@@ -1,0 +1,88 @@
+//! AME key generation.
+
+use ppann_linalg::{random_invertible, Matrix};
+use rand::Rng;
+
+/// Number of (left, right) component pairs: 16 of each, 32 matrices total.
+pub(crate) const PAIRS: usize = 16;
+
+/// The AME secret key: 16 left matrices `Aⱼ` and 16 right matrices `Bⱼ`,
+/// all in `R^{(2d+6)×(2d+6)}`, with the inverse transposes/inverses
+/// precomputed for trapdoor generation.
+pub struct AmeSecretKey {
+    dim: usize,
+    pub(crate) a: Vec<Matrix>,
+    /// `(Aⱼᵀ)⁻¹ = (Aⱼ⁻¹)ᵀ`.
+    pub(crate) a_inv_t: Vec<Matrix>,
+    pub(crate) b: Vec<Matrix>,
+    pub(crate) b_inv: Vec<Matrix>,
+}
+
+impl AmeSecretKey {
+    /// Generates the 32 key matrices for `dim`-dimensional vectors.
+    pub fn generate(dim: usize, rng: &mut impl Rng) -> Self {
+        assert!(dim > 0, "AME requires a positive dimension");
+        let n = Self::augmented_dim_for(dim);
+        let mut a = Vec::with_capacity(PAIRS);
+        let mut a_inv_t = Vec::with_capacity(PAIRS);
+        let mut b = Vec::with_capacity(PAIRS);
+        let mut b_inv = Vec::with_capacity(PAIRS);
+        for _ in 0..PAIRS {
+            let (m, m_inv) = random_invertible(n, rng);
+            a_inv_t.push(m_inv.transpose());
+            a.push(m);
+            let (m, m_inv) = random_invertible(n, rng);
+            b.push(m);
+            b_inv.push(m_inv);
+        }
+        Self { dim, a, a_inv_t, b, b_inv }
+    }
+
+    /// Original vector dimension `d`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The augmented dimension `2d + 6`.
+    pub fn augmented_dim(&self) -> usize {
+        Self::augmented_dim_for(self.dim)
+    }
+
+    /// `2d + 6` (paper Section III-C).
+    pub fn augmented_dim_for(dim: usize) -> usize {
+        2 * dim + 6
+    }
+}
+
+impl std::fmt::Debug for AmeSecretKey {
+    /// Redacts all key material.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AmeSecretKey").field("dim", &self.dim).finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppann_linalg::seeded_rng;
+
+    #[test]
+    fn key_has_32_matrices_of_documented_shape() {
+        let mut rng = seeded_rng(101);
+        let sk = AmeSecretKey::generate(5, &mut rng);
+        assert_eq!(sk.a.len() + sk.b.len(), 32);
+        assert_eq!(sk.augmented_dim(), 16);
+        assert!(sk.a.iter().all(|m| m.rows() == 16 && m.cols() == 16));
+    }
+
+    #[test]
+    fn inverse_transposes_are_consistent() {
+        let mut rng = seeded_rng(102);
+        let sk = AmeSecretKey::generate(3, &mut rng);
+        let n = sk.augmented_dim();
+        for j in 0..PAIRS {
+            let prod = sk.a[j].transpose().matmul(&sk.a_inv_t[j]);
+            assert!(prod.max_abs_diff(&ppann_linalg::Matrix::identity(n)) < 1e-7);
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! # ppann-ame
+//!
+//! **Asymmetric matrix encryption (AME)** — the exact secure-comparison
+//! baseline of the reproduced paper (Section III-C; Zheng et al., IEEE TDSC
+//! 2024). Like DCE, AME reveals only the *result* of a distance comparison;
+//! unlike DCE, it pays O(d²) per comparison.
+//!
+//! The original construction is closed source; per DESIGN.md §3 this crate is
+//! a **functional reconstruction** that reproduces every property the paper
+//! states and uses:
+//!
+//! * the secret key is **32 matrices** in `R^{(2d+6)×(2d+6)}`
+//!   (16 left / 16 right),
+//! * each database vector encrypts to **32 vectors** in `R^{2d+6}`,
+//! * each query encrypts to **16 matrices** in `R^{(2d+6)×(2d+6)}`,
+//! * one comparison evaluates **16 vector-matrix products + 16 inner
+//!   products** — `16·(2d+6)² + 16·(2d+6)` ≈ `64d² + 416d + 676` MACs,
+//! * the comparison is exact: the result equals
+//!   `s_o·s_p·r_q·(dist(o,q) − dist(p,q))` with positive blinding factors.
+//!
+//! How the reconstruction works: the augmented plaintext
+//! `e_p = [pᵀ, ‖p‖², 1, tail]` (random tail, re-sampled per component) is hidden
+//! behind per-component random invertible matrices `Aⱼ`, `Bⱼ`. A query
+//! builds `Wⱼ = r_q·(Aⱼᵀ)⁻¹·(G_q/16 + Eⱼ)·Bⱼ⁻¹` where the core matrix `G_q`
+//! satisfies `e_oᵀ·G_q·e_p = dist(o,q) − dist(p,q)` and the noise matrices
+//! `Eⱼ` (supported on the deterministic coordinates) sum to zero — so any
+//! *single* component is randomized garbage and only the full 16-term sum
+//! reveals the comparison. Tests verify both facts.
+
+mod key;
+mod scheme;
+
+pub use key::AmeSecretKey;
+pub use scheme::{distance_comp, sdc_mac_ops, AmeCiphertext, AmeTrapdoor, COMPONENTS};

@@ -1,0 +1,254 @@
+//! AME encryption, trapdoor generation and secure comparison.
+
+use crate::key::{AmeSecretKey, PAIRS};
+use ppann_linalg::vector::{dot, norm_sq};
+use ppann_linalg::Matrix;
+use rand::Rng;
+
+/// Number of vector components in a database ciphertext (16 left + 16 right).
+pub const COMPONENTS: usize = 2 * PAIRS;
+
+/// Multiply-accumulate operations per secure comparison:
+/// `16·(2d+6)² + 16·(2d+6)` — the paper rounds this to `64d² + 416d + 676`.
+pub const fn sdc_mac_ops(d: usize) -> usize {
+    let n = 2 * d + 6;
+    PAIRS * n * n + PAIRS * n
+}
+
+/// Ciphertext of a database vector: 16 left vectors `a_j` and 16 right
+/// vectors `b_j`, each in `R^{2d+6}` (32 vectors total, matching §III-C).
+#[derive(Clone, Debug, PartialEq)]
+pub struct AmeCiphertext {
+    pub(crate) left: Vec<Vec<f64>>,
+    pub(crate) right: Vec<Vec<f64>>,
+}
+
+impl AmeCiphertext {
+    /// Total number of stored scalars: `32·(2d+6)`.
+    pub fn len_scalars(&self) -> usize {
+        self.left.iter().chain(&self.right).map(Vec::len).sum()
+    }
+}
+
+/// Trapdoor of a query: 16 matrices `W_j ∈ R^{(2d+6)×(2d+6)}`.
+#[derive(Clone, Debug)]
+pub struct AmeTrapdoor {
+    pub(crate) w: Vec<Matrix>,
+}
+
+impl AmeTrapdoor {
+    /// Total number of stored scalars: `16·(2d+6)²`.
+    pub fn len_scalars(&self) -> usize {
+        self.w.iter().map(|m| m.rows() * m.cols()).sum()
+    }
+}
+
+/// Augmented plaintext `e_p = [pᵀ, ‖p‖², 1, tail]` with a fresh random tail
+/// of `d + 4` slots (total `2d + 6`). The tail coordinates never interact
+/// with the query's core matrix, so they are pure masking entropy.
+fn augment(p: &[f64], rng: &mut impl Rng) -> Vec<f64> {
+    let d = p.len();
+    let mut e = Vec::with_capacity(2 * d + 6);
+    e.extend_from_slice(p);
+    e.push(norm_sq(p));
+    e.push(1.0);
+    for _ in 0..d + 4 {
+        e.push(rng.gen_range(-1.0..1.0));
+    }
+    e
+}
+
+impl AmeSecretKey {
+    /// Encrypts a database vector into its 32 component vectors.
+    pub fn encrypt(&self, p: &[f64], rng: &mut impl Rng) -> AmeCiphertext {
+        assert_eq!(p.len(), self.dim(), "AME encrypt: dimension mismatch");
+        let s_p = rng.gen_range(0.5..2.0); // positive per-vector blinding
+        let mut left = Vec::with_capacity(PAIRS);
+        let mut right = Vec::with_capacity(PAIRS);
+        for j in 0..PAIRS {
+            // Fresh tails per component: no two components share masking.
+            let mut e = self.a[j].matvec(&augment(p, rng));
+            e.iter_mut().for_each(|v| *v *= s_p);
+            left.push(e);
+            let mut e = self.b[j].matvec(&augment(p, rng));
+            e.iter_mut().for_each(|v| *v *= s_p);
+            right.push(e);
+        }
+        AmeCiphertext { left, right }
+    }
+
+    /// The query core matrix `G_q`: `e_oᵀ·G_q·e_p = dist(o,q) − dist(p,q)`.
+    ///
+    /// Layout (indices into the augmented vector): `0..d` = coordinates,
+    /// `d` = squared norm, `d+1` = the constant one, `d+2..` = random tail
+    /// (zero rows/columns in `G_q`).
+    fn core_matrix(&self, q: &[f64]) -> Matrix {
+        let d = self.dim();
+        let n = self.augmented_dim();
+        let mut g = Matrix::zeros(n, n);
+        // ‖o‖²·1_p  −  1_o·‖p‖²
+        g[(d, d + 1)] = 1.0;
+        g[(d + 1, d)] = -1.0;
+        // −2·oᵀq·1_p  +  2·1_o·pᵀq
+        for i in 0..d {
+            g[(i, d + 1)] = -2.0 * q[i];
+            g[(d + 1, i)] = 2.0 * q[i];
+        }
+        g
+    }
+
+    /// Generates the 16 trapdoor matrices
+    /// `W_j = r_q·(A_jᵀ)⁻¹·(G_q/16 + E_j)·B_j⁻¹`, where the noise matrices
+    /// `E_j` are random on the deterministic `(d+2)×(d+2)` block and sum to
+    /// zero — single components are garbage; only the 16-term sum compares.
+    pub fn trapdoor(&self, q: &[f64], rng: &mut impl Rng) -> AmeTrapdoor {
+        assert_eq!(q.len(), self.dim(), "AME trapdoor: dimension mismatch");
+        let d = self.dim();
+        let n = self.augmented_dim();
+        let r_q = rng.gen_range(0.5..2.0);
+        let g = self.core_matrix(q);
+
+        // Noise matrices with Σ E_j = 0.
+        let mut noises: Vec<Matrix> = (0..PAIRS - 1)
+            .map(|_| {
+                let mut e = Matrix::zeros(n, n);
+                for i in 0..d + 2 {
+                    for k in 0..d + 2 {
+                        e[(i, k)] = rng.gen_range(-1.0..1.0);
+                    }
+                }
+                e
+            })
+            .collect();
+        let mut last = Matrix::zeros(n, n);
+        for e in &noises {
+            for i in 0..d + 2 {
+                for k in 0..d + 2 {
+                    last[(i, k)] -= e[(i, k)];
+                }
+            }
+        }
+        noises.push(last);
+
+        let w = (0..PAIRS)
+            .map(|j| {
+                let mut inner = noises[j].clone();
+                for i in 0..n {
+                    for k in 0..n {
+                        inner[(i, k)] += g[(i, k)] / PAIRS as f64;
+                        inner[(i, k)] *= r_q;
+                    }
+                }
+                self.a_inv_t[j].matmul(&inner).matmul(&self.b_inv[j])
+            })
+            .collect();
+        AmeTrapdoor { w }
+    }
+}
+
+/// The AME secure comparison: `Z = Σⱼ a_{o,j}ᵀ·W_j·b_{p,j}`, equal to
+/// `s_o·s_p·r_q·(dist(o,q) − dist(p,q))` — same sign semantics as DCE's
+/// `DistanceComp`, at 16 mat-vec + 16 inner products.
+pub fn distance_comp(c_o: &AmeCiphertext, c_p: &AmeCiphertext, t_q: &AmeTrapdoor) -> f64 {
+    let mut z = 0.0;
+    for j in 0..PAIRS {
+        let wb = t_q.w[j].matvec(&c_p.right[j]);
+        z += dot(&c_o.left[j], &wb);
+    }
+    z
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppann_linalg::vector::squared_euclidean;
+    use ppann_linalg::{seeded_rng, uniform_vec};
+
+    #[test]
+    fn sign_agreement_with_plaintext() {
+        let mut rng = seeded_rng(111);
+        for d in [2usize, 5, 10] {
+            let sk = AmeSecretKey::generate(d, &mut rng);
+            let q = uniform_vec(&mut rng, d, -1.0, 1.0);
+            let t = sk.trapdoor(&q, &mut rng);
+            for _ in 0..25 {
+                let o = uniform_vec(&mut rng, d, -1.0, 1.0);
+                let p = uniform_vec(&mut rng, d, -1.0, 1.0);
+                let z = distance_comp(&sk.encrypt(&o, &mut rng), &sk.encrypt(&p, &mut rng), &t);
+                let truth = squared_euclidean(&o, &q) - squared_euclidean(&p, &q);
+                if truth.abs() > 1e-9 {
+                    assert_eq!(z < 0.0, truth < 0.0, "d={d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blinding_factor_positive_and_bounded() {
+        let mut rng = seeded_rng(112);
+        let d = 6;
+        let sk = AmeSecretKey::generate(d, &mut rng);
+        let q = uniform_vec(&mut rng, d, -1.0, 1.0);
+        let t = sk.trapdoor(&q, &mut rng);
+        for _ in 0..25 {
+            let o = uniform_vec(&mut rng, d, -1.0, 1.0);
+            let p = uniform_vec(&mut rng, d, -1.0, 1.0);
+            let truth = squared_euclidean(&o, &q) - squared_euclidean(&p, &q);
+            if truth.abs() < 1e-6 {
+                continue;
+            }
+            let z = distance_comp(&sk.encrypt(&o, &mut rng), &sk.encrypt(&p, &mut rng), &t);
+            let factor = z / truth;
+            assert!(factor > 0.1 && factor < 8.5, "factor {factor} out of (0.5³, 2³)");
+        }
+    }
+
+    #[test]
+    fn single_component_reveals_nothing_reliable() {
+        // Evaluate only component j=0 for many encryptions of the same pair:
+        // the noise E_0 dominates, so the partial sum must disagree with the
+        // truth on a nontrivial fraction of trials.
+        let mut rng = seeded_rng(113);
+        let d = 4;
+        let sk = AmeSecretKey::generate(d, &mut rng);
+        let q = uniform_vec(&mut rng, d, -1.0, 1.0);
+        let o = uniform_vec(&mut rng, d, -1.0, 1.0);
+        let p: Vec<f64> = o.iter().map(|x| x + 0.01).collect(); // small true gap
+        let truth = squared_euclidean(&o, &q) - squared_euclidean(&p, &q);
+        let mut disagreements = 0;
+        for _ in 0..100 {
+            let t = sk.trapdoor(&q, &mut rng);
+            let co = sk.encrypt(&o, &mut rng);
+            let cp = sk.encrypt(&p, &mut rng);
+            let partial = dot(&co.left[0], &t.w[0].matvec(&cp.right[0]));
+            if (partial < 0.0) != (truth < 0.0) {
+                disagreements += 1;
+            }
+        }
+        assert!(disagreements > 10, "partial sums leak the comparison: {disagreements}/100");
+    }
+
+    #[test]
+    fn documented_shapes() {
+        let mut rng = seeded_rng(114);
+        let d = 7;
+        let sk = AmeSecretKey::generate(d, &mut rng);
+        let p = uniform_vec(&mut rng, d, -1.0, 1.0);
+        let c = sk.encrypt(&p, &mut rng);
+        let t = sk.trapdoor(&p, &mut rng);
+        let n = 2 * d + 6;
+        assert_eq!(c.left.len(), 16);
+        assert_eq!(c.right.len(), 16);
+        assert_eq!(c.len_scalars(), 32 * n);
+        assert_eq!(t.len_scalars(), 16 * n * n);
+        assert_eq!(sdc_mac_ops(d), 16 * n * n + 16 * n);
+    }
+
+    #[test]
+    fn encryption_is_probabilistic() {
+        let mut rng = seeded_rng(115);
+        let sk = AmeSecretKey::generate(3, &mut rng);
+        let p = uniform_vec(&mut rng, 3, -1.0, 1.0);
+        assert_ne!(sk.encrypt(&p, &mut rng), sk.encrypt(&p, &mut rng));
+    }
+}

@@ -1,0 +1,27 @@
+//! Property-based tests of the AME reconstruction: exact comparisons for
+//! arbitrary inputs, like DCE but at O(d²).
+
+use ppann_ame::{distance_comp, AmeSecretKey};
+use ppann_linalg::{seeded_rng, vector::squared_euclidean};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn sign_agreement(
+        d in 2usize..8,
+        seed in 0u64..1000,
+        data in proptest::collection::vec(-1.0f64..1.0, 24),
+    ) {
+        let mut rng = seeded_rng(seed);
+        let sk = AmeSecretKey::generate(d, &mut rng);
+        let o = &data[..d];
+        let p = &data[8..8 + d];
+        let q = &data[16..16 + d];
+        let truth = squared_euclidean(o, q) - squared_euclidean(p, q);
+        prop_assume!(truth.abs() > 1e-7);
+        let z = distance_comp(&sk.encrypt(o, &mut rng), &sk.encrypt(p, &mut rng), &sk.trapdoor(q, &mut rng));
+        prop_assert_eq!(z < 0.0, truth < 0.0);
+    }
+}

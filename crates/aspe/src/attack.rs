@@ -1,0 +1,243 @@
+//! The known-plaintext attacks of paper Section III-A, implemented
+//! constructively.
+//!
+//! Threat model: the attacker holds the encrypted database `C_P`, the
+//! encrypted queries `C_Q`, and a leaked subset `P_leak ⊂ P` of plaintexts
+//! (`|P_leak| = d+2`, or `0.5d²+2.5d+3` for the square variant). Because the
+//! server can evaluate `L(C_p, T_q)` for every pair, the attacker sees a
+//! known transformation of every `dist(p, q)` — and linear algebra does the
+//! rest.
+
+use crate::scheme::{AspeKey, DistanceLeak};
+use ppann_linalg::vector::norm_sq;
+use ppann_linalg::{LuDecomposition, Matrix};
+
+/// Inverts the scalar transformation so every variant reduces to the linear
+/// case of Theorem 1 (Corollaries 1–2 do exactly this substitution).
+fn to_linear_scale(leak: DistanceLeak, observed: f64) -> f64 {
+    match leak {
+        DistanceLeak::Linear => observed,
+        DistanceLeak::Exponential => observed.ln(),
+        DistanceLeak::Logarithmic => observed.exp(),
+        DistanceLeak::Square => {
+            panic!("square leak needs the linearization attack (recover_query_square)")
+        }
+    }
+}
+
+/// **Theorem 1 / Corollaries 1–2** — recovers a query vector `q` from `d+2`
+/// known plaintexts and the leaked values `L(C_pᵢ, T_q)`.
+///
+/// Builds the system `[−2pᵢᵀ, ‖pᵢ‖², 1]·x = Lᵢ` whose unknown is
+/// `x = [r₁qᵀ, r₁, r₂]`, solves it, and divides out `r₁`.
+/// Returns `(q, r1, r2)` so the second attack stage can reuse the
+/// per-query randomness.
+///
+/// # Panics
+/// Panics if fewer than `d+2` plaintexts are supplied or the system is
+/// singular (non-generic plaintexts).
+pub fn recover_query(
+    key_leak: DistanceLeak,
+    known_plaintexts: &[Vec<f64>],
+    observed: &[f64],
+) -> (Vec<f64>, f64, f64) {
+    let d = known_plaintexts[0].len();
+    assert!(
+        known_plaintexts.len() >= d + 2 && observed.len() >= d + 2,
+        "need d+2 = {} known plaintexts, got {}",
+        d + 2,
+        known_plaintexts.len()
+    );
+    let mut rows = Vec::with_capacity(d + 2);
+    let mut b = Vec::with_capacity(d + 2);
+    for (p, &l) in known_plaintexts.iter().zip(observed).take(d + 2) {
+        rows.push(AspeKey::augment_data(p));
+        b.push(to_linear_scale(key_leak, l));
+    }
+    let mc = Matrix::from_vec(d + 2, d + 2, rows.concat());
+    let x = LuDecomposition::factor(&mc)
+        .expect("known plaintexts must be in general position")
+        .solve(&b)
+        .expect("dimension mismatch");
+    let r1 = x[d];
+    let q = x[..d].iter().map(|v| v / r1).collect();
+    (q, r1, x[d + 1])
+}
+
+/// **Theorem 1, second stage** — recovers an *unknown database vector* `p`
+/// from `d+2` previously recovered queries `(qⱼ, r₁ⱼ, r₂ⱼ)` and the leaks
+/// `L(C_p, T_qⱼ)`.
+///
+/// The unknown is `y = [−2pᵀ, ‖p‖²]`; each query yields the equation
+/// `y·[r₁ⱼqⱼᵀ, r₁ⱼ] = Lⱼ − r₂ⱼ`.
+pub fn recover_database_vector(
+    key_leak: DistanceLeak,
+    queries: &[(Vec<f64>, f64, f64)],
+    observed: &[f64],
+) -> Vec<f64> {
+    let d = queries[0].0.len();
+    assert!(
+        queries.len() > d && observed.len() > d,
+        "need at least d+1 recovered queries"
+    );
+    let mut rows = Vec::with_capacity(d + 1);
+    let mut b = Vec::with_capacity(d + 1);
+    for ((q, r1, r2), &l) in queries.iter().zip(observed).take(d + 1) {
+        let mut row = Vec::with_capacity(d + 1);
+        row.extend(q.iter().map(|v| r1 * v));
+        row.push(*r1);
+        rows.push(row);
+        b.push(to_linear_scale(key_leak, l) - r2);
+    }
+    let a = Matrix::from_vec(d + 1, d + 1, rows.concat());
+    let y = LuDecomposition::factor(&a)
+        .expect("recovered queries must be in general position")
+        .solve(&b)
+        .expect("dimension mismatch");
+    y[..d].iter().map(|v| -v / 2.0).collect()
+}
+
+/// Degree-≤4 monomial features of `p` used by the square-leak linearization:
+/// `[1, pᵢ, pᵢpⱼ (i≤j), ‖p‖²pᵢ, ‖p‖⁴]`.
+///
+/// The paper's basis also lists `‖p‖²`, but as a function of `p` it equals
+/// `Σᵢ pᵢ²` — a linear combination of the `pᵢpⱼ` columns — so including it
+/// would make the design matrix singular; the attack drops it and lets the
+/// solver fold its weight into the `pᵢ²` coefficients.
+fn square_features(p: &[f64]) -> Vec<f64> {
+    let d = p.len();
+    let nsq = norm_sq(p);
+    let mut f = Vec::with_capacity(square_feature_dim(d));
+    f.push(1.0);
+    f.extend_from_slice(p);
+    for i in 0..d {
+        for j in i..d {
+            f.push(p[i] * p[j]);
+        }
+    }
+    f.extend(p.iter().map(|x| nsq * x));
+    f.push(nsq * nsq);
+    f
+}
+
+/// Number of features: `0.5d² + 2.5d + 2` (the paper's `0.5d² + 2.5d + 3`
+/// minus the redundant `‖p‖²` column).
+pub fn square_feature_dim(d: usize) -> usize {
+    1 + d + d * (d + 1) / 2 + d + 1
+}
+
+/// **Theorem 2** — recovers a query from the square-leaking variant given
+/// `0.5d² + 2.5d + 2` known plaintexts in general position.
+///
+/// Fits the leak as a linear function of the monomial features, then reads
+/// `q` off the fitted coefficients: the `‖p‖⁴` coefficient is `r₁` and the
+/// `‖p‖²pᵢ` coefficient is `−4r₁qᵢ`.
+pub fn recover_query_square(known_plaintexts: &[Vec<f64>], observed: &[f64]) -> Vec<f64> {
+    let d = known_plaintexts[0].len();
+    let m = square_feature_dim(d);
+    assert!(
+        known_plaintexts.len() >= m && observed.len() >= m,
+        "need {m} known plaintexts for d = {d}, got {}",
+        known_plaintexts.len()
+    );
+    let mut rows = Vec::with_capacity(m);
+    for p in known_plaintexts.iter().take(m) {
+        rows.push(square_features(p));
+    }
+    let a = Matrix::from_vec(m, m, rows.concat());
+    let c = LuDecomposition::factor(&a)
+        .expect("known plaintexts must be in general position")
+        .solve(&observed[..m])
+        .expect("dimension mismatch");
+    // Feature layout: [1 | p (d) | pᵢpⱼ (d(d+1)/2) | ‖p‖²p (d) | ‖p‖⁴].
+    let r1 = c[m - 1];
+    let base = 1 + d + d * (d + 1) / 2;
+    (0..d).map(|i| -c[base + i] / (4.0 * r1)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::AspeKey;
+    use ppann_linalg::vector::max_abs_diff;
+    use ppann_linalg::{seeded_rng, uniform_vec};
+
+    use crate::scheme::{AspeCiphertext, AspeTrapdoor};
+
+    fn leaks_for(
+        key: &AspeKey,
+        plaintexts: &[Vec<f64>],
+        tq: &AspeTrapdoor,
+    ) -> (Vec<AspeCiphertext>, Vec<f64>) {
+        let cts: Vec<AspeCiphertext> = plaintexts.iter().map(|p| key.encrypt_data(p)).collect();
+        let ls = cts.iter().map(|c| key.leak(c, tq)).collect();
+        (cts, ls)
+    }
+
+    #[test]
+    fn theorem_1_recovers_queries_and_database() {
+        let mut rng = seeded_rng(91);
+        for leak in
+            [DistanceLeak::Linear, DistanceLeak::Exponential, DistanceLeak::Logarithmic]
+        {
+            let d = 8;
+            let key = AspeKey::generate(d, leak, &mut rng);
+            let p_leak: Vec<Vec<f64>> =
+                (0..d + 2).map(|_| uniform_vec(&mut rng, d, -1.0, 1.0)).collect();
+
+            // Stage 1: recover d+2 distinct queries.
+            let mut recovered = Vec::new();
+            let mut trapdoors = Vec::new();
+            for _ in 0..d + 2 {
+                let q = uniform_vec(&mut rng, d, -1.0, 1.0);
+                let tq = key.trapdoor(&q, &mut rng);
+                let (_, ls) = leaks_for(&key, &p_leak, &tq);
+                let (q_hat, r1, r2) = recover_query(leak, &p_leak, &ls);
+                assert!(max_abs_diff(&q_hat, &q) < 1e-6, "leak {leak:?}: query not recovered");
+                recovered.push((q_hat, r1, r2));
+                trapdoors.push(tq);
+            }
+
+            // Stage 2: recover a database vector outside P_leak.
+            let secret_p = uniform_vec(&mut rng, d, -1.0, 1.0);
+            let cp = key.encrypt_data(&secret_p);
+            let obs: Vec<f64> = trapdoors.iter().map(|t| key.leak(&cp, t)).collect();
+            let p_hat = recover_database_vector(leak, &recovered, &obs);
+            assert!(
+                max_abs_diff(&p_hat, &secret_p) < 1e-6,
+                "leak {leak:?}: database vector not recovered"
+            );
+        }
+    }
+
+    #[test]
+    fn theorem_2_square_linearization() {
+        let mut rng = seeded_rng(92);
+        let d = 5;
+        let key = AspeKey::generate(d, DistanceLeak::Square, &mut rng);
+        let m = square_feature_dim(d);
+        let p_leak: Vec<Vec<f64>> = (0..m).map(|_| uniform_vec(&mut rng, d, -1.0, 1.0)).collect();
+        let q = uniform_vec(&mut rng, d, -1.0, 1.0);
+        let tq = key.trapdoor(&q, &mut rng);
+        let (_, ls) = leaks_for(&key, &p_leak, &tq);
+        let q_hat = recover_query_square(&p_leak, &ls);
+        assert!(
+            max_abs_diff(&q_hat, &q) < 1e-5,
+            "square attack failed: {q_hat:?} vs {q:?}"
+        );
+    }
+
+    #[test]
+    fn feature_dim_formula() {
+        // 0.5d² + 2.5d + 2 (paper's count minus the aliased ‖p‖² column).
+        assert_eq!(square_feature_dim(4), 1 + 4 + 10 + 4 + 1); // = 20
+        assert_eq!(square_feature_dim(5), 1 + 5 + 15 + 5 + 1); // = 27
+        assert_eq!(square_feature_dim(5), (25 + 5 * 5 + 4) / 2); // 0.5d²+2.5d+2
+    }
+
+    #[test]
+    #[should_panic(expected = "need d+2")]
+    fn too_few_plaintexts_rejected() {
+        recover_query(DistanceLeak::Linear, &[vec![0.0, 0.0]], &[1.0]);
+    }
+}

@@ -1,0 +1,37 @@
+//! # ppann-aspe
+//!
+//! **Asymmetric scalar-product-preserving encryption (ASPE)** and its
+//! "enhanced" variants, together with the **known-plaintext attacks** that
+//! the reproduced paper uses to rule them out (Section III-A, Theorems 1–2,
+//! Corollaries 1–2).
+//!
+//! ASPE (Wong et al., SIGMOD 2009) hides vectors behind a secret invertible
+//! matrix: `C_p = Mᵀ·p′`, `T_q = M⁻¹·q′`, so `C_pᵀ·T_q = p′ᵀ·q′` leaks a
+//! fixed transformation of `dist(p, q)`. The enhanced variants wrap that
+//! leak in a linear / exponential / logarithmic / square transformation.
+//! The paper proves — and [`attack`] demonstrates constructively — that an
+//! attacker holding `d+2` known plaintexts (or `0.5d²+2.5d+3` for the square
+//! variant) recovers every query and then every database vector by solving
+//! linear systems. This crate exists so the attack is *runnable*, not just
+//! citable: see `examples/kpa_attack.rs` at the workspace root.
+//!
+//! ```
+//! use ppann_aspe::{AspeKey, DistanceLeak};
+//! use ppann_linalg::seeded_rng;
+//!
+//! let mut rng = seeded_rng(5);
+//! let key = AspeKey::generate(4, DistanceLeak::Linear, &mut rng);
+//! let p = [0.5, 0.1, -0.3, 0.9];
+//! let q = [0.0, 0.2, -0.1, 0.4];
+//! let cp = key.encrypt_data(&p);
+//! let tq = key.trapdoor(&q, &mut rng);
+//! // The leak is monotone in dist(p, q), so comparisons work…
+//! // …and that is exactly what the KPA attack exploits.
+//! let _ = key.leak(&cp, &tq);
+//! ```
+
+pub mod attack;
+mod scheme;
+
+pub use attack::{recover_database_vector, recover_query, recover_query_square};
+pub use scheme::{AspeCiphertext, AspeKey, AspeTrapdoor, DistanceLeak};

@@ -1,0 +1,214 @@
+//! ASPE and the distance-leaking variants of paper Section III-A.
+
+use ppann_linalg::vector::{dot, norm_sq};
+use ppann_linalg::{random_invertible, Matrix};
+use rand::Rng;
+
+/// Which transformation of the distance the scheme leaks.
+///
+/// These correspond one-to-one to the cases analyzed in the paper:
+/// Theorem 1 (linear), Corollary 1 (exponential), Corollary 2 (logarithmic)
+/// and Theorem 2 (square).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DistanceLeak {
+    /// `L = r₁·dist + c_q` (affine in the distance).
+    Linear,
+    /// `L = exp(r₁·dist + c_q)`.
+    Exponential,
+    /// `L = ln(r₁·dist + c_q)` with `c_q` chosen to keep the input positive.
+    Logarithmic,
+    /// `L = r₁·(dist − ‖q‖² + r₂)² + r₃` with `r₂ ≥ ‖q‖²` for monotonicity.
+    Square,
+}
+
+/// Ciphertext of a database vector: `Mᵀ·[−2pᵀ, ‖p‖², 1]ᵀ ∈ R^{d+2}`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AspeCiphertext(pub Vec<f64>);
+
+/// Trapdoor of a query (with its per-query randomness baked in).
+#[derive(Clone, Debug, PartialEq)]
+pub struct AspeTrapdoor(pub Vec<f64>);
+
+/// An ASPE secret key: the invertible matrix `M` and the leak flavor.
+pub struct AspeKey {
+    dim: usize,
+    leak: DistanceLeak,
+    m_t: Matrix,
+    m_inv: Matrix,
+}
+
+impl AspeKey {
+    /// Generates a key for `dim`-dimensional vectors.
+    pub fn generate(dim: usize, leak: DistanceLeak, rng: &mut impl Rng) -> Self {
+        assert!(dim > 0);
+        let (m, m_inv) = random_invertible(dim + 2, rng);
+        Self { dim, leak, m_t: m.transpose(), m_inv }
+    }
+
+    /// Vector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The leak flavor of this key.
+    pub fn leak_kind(&self) -> DistanceLeak {
+        self.leak
+    }
+
+    /// The augmented plaintext `p′ = [−2pᵀ, ‖p‖², 1]` whose inner product
+    /// with `q′ = [r₁qᵀ, r₁, r₂]` is affine in `dist(p, q)`.
+    pub fn augment_data(p: &[f64]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(p.len() + 2);
+        out.extend(p.iter().map(|x| -2.0 * x));
+        out.push(norm_sq(p));
+        out.push(1.0);
+        out
+    }
+
+    /// Encrypts a database vector (deterministic: the scheme's randomness is
+    /// all query-side, which is exactly its weakness).
+    pub fn encrypt_data(&self, p: &[f64]) -> AspeCiphertext {
+        assert_eq!(p.len(), self.dim, "encrypt_data: dimension mismatch");
+        AspeCiphertext(self.m_t.matvec(&Self::augment_data(p)))
+    }
+
+    /// Creates a query trapdoor with fresh per-query randomness.
+    pub fn trapdoor(&self, q: &[f64], rng: &mut impl Rng) -> AspeTrapdoor {
+        assert_eq!(q.len(), self.dim, "trapdoor: dimension mismatch");
+        let r1 = rng.gen_range(0.5..2.0);
+        let (r2, r3) = match self.leak {
+            // Keep ln's argument strictly positive: r₂ ≥ r₁‖q‖² + margin.
+            DistanceLeak::Logarithmic => (r1 * norm_sq(q) + rng.gen_range(0.5..2.0), 0.0),
+            // Square: r₂ ≥ r₁‖q‖² keeps the parabola monotone over dist ≥ 0
+            // (the squared affine form r₁·dist + (r₂ − r₁‖q‖²) stays ≥ 0).
+            DistanceLeak::Square => {
+                (r1 * norm_sq(q) + rng.gen_range(0.5..2.0), rng.gen_range(-1.0..1.0))
+            }
+            _ => (rng.gen_range(-2.0..2.0), 0.0),
+        };
+        let mut qp = Vec::with_capacity(self.dim + 2);
+        qp.extend(q.iter().map(|x| r1 * x));
+        qp.push(r1);
+        qp.push(r2);
+        let inner = self.m_inv.matvec(&qp);
+        match self.leak {
+            DistanceLeak::Square => {
+                // The square leak needs r₁ (outer scale) and r₃ (offset)
+                // applied *after* the bilinear form; ship them in the clear
+                // appendix of the trapdoor exactly like the paper's scheme
+                // ships its transformation parameters server-side.
+                let mut t = inner;
+                t.push(r1);
+                t.push(r3);
+                AspeTrapdoor(t)
+            }
+            _ => AspeTrapdoor(inner),
+        }
+    }
+
+    /// The value the server observes for the pair `(C_p, T_q)` — a
+    /// deterministic transformation of `dist(p, q)`.
+    pub fn leak(&self, cp: &AspeCiphertext, tq: &AspeTrapdoor) -> f64 {
+        let raw = match self.leak {
+            DistanceLeak::Square => dot(&cp.0, &tq.0[..tq.0.len() - 2]),
+            _ => dot(&cp.0, &tq.0),
+        };
+        match self.leak {
+            DistanceLeak::Linear => raw,
+            DistanceLeak::Exponential => raw.exp(),
+            DistanceLeak::Logarithmic => raw.ln(),
+            DistanceLeak::Square => {
+                let r1 = tq.0[tq.0.len() - 2];
+                let r3 = tq.0[tq.0.len() - 1];
+                // raw = r₁·(dist − ‖q‖² + r₂); the leak squares the affine
+                // form, rescales and offsets it.
+                (raw / r1) * (raw / r1) * r1 + r3
+            }
+        }
+    }
+
+    /// Compares two database vectors by distance to the query using only
+    /// leaked values (what an honest server does with this scheme).
+    pub fn closer(&self, ca: &AspeCiphertext, cb: &AspeCiphertext, tq: &AspeTrapdoor) -> bool {
+        self.leak(ca, tq) < self.leak(cb, tq)
+    }
+}
+
+impl std::fmt::Debug for AspeKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AspeKey").field("dim", &self.dim).field("leak", &self.leak).finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppann_linalg::vector::squared_euclidean;
+    use ppann_linalg::{seeded_rng, uniform_vec};
+
+    #[test]
+    fn comparisons_agree_with_plaintext_for_all_leaks() {
+        let mut rng = seeded_rng(81);
+        for leak in [
+            DistanceLeak::Linear,
+            DistanceLeak::Exponential,
+            DistanceLeak::Logarithmic,
+            DistanceLeak::Square,
+        ] {
+            let d = 6;
+            let key = AspeKey::generate(d, leak, &mut rng);
+            let q = uniform_vec(&mut rng, d, -1.0, 1.0);
+            let tq = key.trapdoor(&q, &mut rng);
+            for _ in 0..40 {
+                let a = uniform_vec(&mut rng, d, -1.0, 1.0);
+                let b = uniform_vec(&mut rng, d, -1.0, 1.0);
+                let truth = squared_euclidean(&a, &q) < squared_euclidean(&b, &q);
+                let got = key.closer(&key.encrypt_data(&a), &key.encrypt_data(&b), &tq);
+                assert_eq!(got, truth, "leak {leak:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn linear_leak_is_affine_in_distance() {
+        let mut rng = seeded_rng(82);
+        let d = 5;
+        let key = AspeKey::generate(d, DistanceLeak::Linear, &mut rng);
+        let q = uniform_vec(&mut rng, d, -1.0, 1.0);
+        let tq = key.trapdoor(&q, &mut rng);
+        // Fit a line through two (dist, leak) pairs, check a third.
+        let pts: Vec<Vec<f64>> = (0..3).map(|_| uniform_vec(&mut rng, d, -1.0, 1.0)).collect();
+        let obs: Vec<(f64, f64)> = pts
+            .iter()
+            .map(|p| (squared_euclidean(p, &q), key.leak(&key.encrypt_data(p), &tq)))
+            .collect();
+        let slope = (obs[1].1 - obs[0].1) / (obs[1].0 - obs[0].0);
+        let intercept = obs[0].1 - slope * obs[0].0;
+        assert!((obs[2].1 - (slope * obs[2].0 + intercept)).abs() < 1e-6);
+        assert!(slope > 0.0, "r1 must be positive");
+    }
+
+    #[test]
+    fn log_leak_is_finite() {
+        let mut rng = seeded_rng(83);
+        let d = 4;
+        let key = AspeKey::generate(d, DistanceLeak::Logarithmic, &mut rng);
+        let q = uniform_vec(&mut rng, d, -1.0, 1.0);
+        let tq = key.trapdoor(&q, &mut rng);
+        for _ in 0..50 {
+            let p = uniform_vec(&mut rng, d, -1.0, 1.0);
+            let l = key.leak(&key.encrypt_data(&p), &tq);
+            assert!(l.is_finite());
+        }
+    }
+
+    #[test]
+    fn data_encryption_is_deterministic_query_is_not() {
+        let mut rng = seeded_rng(84);
+        let d = 4;
+        let key = AspeKey::generate(d, DistanceLeak::Linear, &mut rng);
+        let p = uniform_vec(&mut rng, d, -1.0, 1.0);
+        assert_eq!(key.encrypt_data(&p), key.encrypt_data(&p));
+        assert_ne!(key.trapdoor(&p, &mut rng), key.trapdoor(&p, &mut rng));
+    }
+}

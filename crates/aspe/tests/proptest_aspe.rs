@@ -1,0 +1,29 @@
+//! Property-based tests: the KPA attack succeeds for arbitrary dimensions,
+//! keys and query vectors — insecurity is not an artifact of one seed.
+
+use ppann_aspe::{recover_query, AspeKey, DistanceLeak};
+use ppann_linalg::{seeded_rng, uniform_vec, vector};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn attack_always_recovers_query(
+        d in 2usize..10,
+        seed in 0u64..10_000,
+        leak_idx in 0usize..3,
+    ) {
+        let leak = [DistanceLeak::Linear, DistanceLeak::Exponential, DistanceLeak::Logarithmic][leak_idx];
+        let mut rng = seeded_rng(seed);
+        let key = AspeKey::generate(d, leak, &mut rng);
+        let known: Vec<Vec<f64>> = (0..d + 2).map(|_| uniform_vec(&mut rng, d, -1.0, 1.0)).collect();
+        let q = uniform_vec(&mut rng, d, -1.0, 1.0);
+        let tq = key.trapdoor(&q, &mut rng);
+        let observed: Vec<f64> =
+            known.iter().map(|p| key.leak(&key.encrypt_data(p), &tq)).collect();
+        let (q_hat, r1, _) = recover_query(leak, &known, &observed);
+        prop_assert!(r1.abs() > 1e-9);
+        prop_assert!(vector::max_abs_diff(&q_hat, &q) < 1e-5, "recovery failed");
+    }
+}

@@ -1,0 +1,60 @@
+//! Cost accounting shared by every baseline (the axes of Figure 9).
+
+use std::time::Duration;
+
+/// Per-query cost split into the three buckets the paper reports:
+/// server-side compute, user-side compute, and communication.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TriCost {
+    /// Wall-clock time spent in server-side code.
+    pub server_time: Duration,
+    /// Wall-clock time spent in user-side code (hashing, decryption,
+    /// distance computation, PIR decoding, …).
+    pub user_time: Duration,
+    /// Bytes travelling user → server(s).
+    pub bytes_up: u64,
+    /// Bytes travelling server(s) → user.
+    pub bytes_down: u64,
+    /// Communication rounds.
+    pub rounds: u64,
+}
+
+impl TriCost {
+    /// Total communication volume.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_up + self.bytes_down
+    }
+
+    /// Accumulates another query's cost (for workload averages).
+    pub fn absorb(&mut self, other: &TriCost) {
+        self.server_time += other.server_time;
+        self.user_time += other.user_time;
+        self.bytes_up += other.bytes_up;
+        self.bytes_down += other.bytes_down;
+        self.rounds += other.rounds;
+    }
+}
+
+/// The result of one baseline query.
+#[derive(Clone, Debug)]
+pub struct BaselineOutcome {
+    /// Returned neighbor ids, closest first.
+    pub ids: Vec<u32>,
+    /// Cost breakdown.
+    pub cost: TriCost,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_sums() {
+        let mut a = TriCost { bytes_up: 5, bytes_down: 7, rounds: 1, ..Default::default() };
+        a.absorb(&TriCost { bytes_up: 1, bytes_down: 2, rounds: 3, ..Default::default() });
+        assert_eq!(a.bytes_up, 6);
+        assert_eq!(a.bytes_down, 9);
+        assert_eq!(a.rounds, 4);
+        assert_eq!(a.total_bytes(), 15);
+    }
+}

@@ -1,0 +1,118 @@
+//! A bounded top-k max-heap over an arbitrary "is farther" comparator —
+//! the refine-phase engine shared by HNSW-AME (AME comparisons) and the
+//! user-side refinements (plaintext comparisons).
+
+/// Bounded max-heap keyed by a caller-supplied comparator.
+pub struct ComparatorTopK<F> {
+    farther: F,
+    capacity: usize,
+    heap: Vec<u32>,
+    comparisons: u64,
+}
+
+impl<F: FnMut(u32, u32) -> bool> ComparatorTopK<F> {
+    /// `farther(a, b)` must return true iff candidate `a` ranks strictly
+    /// worse (farther from the query) than `b`.
+    pub fn new(capacity: usize, farther: F) -> Self {
+        assert!(capacity > 0);
+        Self { farther, capacity, heap: Vec::with_capacity(capacity + 1), comparisons: 0 }
+    }
+
+    /// Comparisons performed so far.
+    pub fn comparisons(&self) -> u64 {
+        self.comparisons
+    }
+
+    fn farther(&mut self, a: u32, b: u32) -> bool {
+        self.comparisons += 1;
+        (self.farther)(a, b)
+    }
+
+    /// Offers one candidate.
+    pub fn offer(&mut self, id: u32) {
+        if self.heap.len() < self.capacity {
+            self.heap.push(id);
+            let mut i = self.heap.len() - 1;
+            while i > 0 {
+                let parent = (i - 1) / 2;
+                let (a, b) = (self.heap[i], self.heap[parent]);
+                if self.farther(a, b) {
+                    self.heap.swap(i, parent);
+                    i = parent;
+                } else {
+                    break;
+                }
+            }
+        } else {
+            let top = self.heap[0];
+            if self.farther(top, id) {
+                self.heap[0] = id;
+                self.sift_down(0);
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut largest = i;
+            if l < self.heap.len() {
+                let (a, b) = (self.heap[l], self.heap[largest]);
+                if self.farther(a, b) {
+                    largest = l;
+                }
+            }
+            if r < self.heap.len() {
+                let (a, b) = (self.heap[r], self.heap[largest]);
+                if self.farther(a, b) {
+                    largest = r;
+                }
+            }
+            if largest == i {
+                return;
+            }
+            self.heap.swap(i, largest);
+            i = largest;
+        }
+    }
+
+    /// Drains into ids ordered best (closest) first.
+    pub fn into_sorted_ids(mut self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.heap.len());
+        while !self.heap.is_empty() {
+            let last = self.heap.len() - 1;
+            self.heap.swap(0, last);
+            out.push(self.heap.pop().expect("nonempty"));
+            if !self.heap.is_empty() {
+                self.sift_down(0);
+            }
+        }
+        out.reverse();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selects_smallest_values() {
+        let keys: Vec<f64> = vec![5.0, 1.0, 9.0, 3.0, 7.0, 2.0, 8.0];
+        let mut heap = ComparatorTopK::new(3, |a: u32, b: u32| keys[a as usize] > keys[b as usize]);
+        for id in 0..keys.len() as u32 {
+            heap.offer(id);
+        }
+        assert_eq!(heap.into_sorted_ids(), vec![1, 5, 3]);
+    }
+
+    #[test]
+    fn capacity_one() {
+        let keys = [4.0, 2.0, 6.0];
+        let mut heap = ComparatorTopK::new(1, |a: u32, b: u32| keys[a as usize] > keys[b as usize]);
+        for id in 0..3 {
+            heap.offer(id);
+        }
+        assert_eq!(heap.into_sorted_ids(), vec![1]);
+    }
+}

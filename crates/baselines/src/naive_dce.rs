@@ -1,0 +1,133 @@
+//! **Naive HNSW-over-DCE** — the strawman design the paper's introduction
+//! rejects before proposing the filter-and-refine scheme: the owner builds
+//! an HNSW graph on *plaintext* neighborhoods and ships (graph structure +
+//! DCE ciphertexts) to the server, which traverses the graph using DCE
+//! comparisons only.
+//!
+//! It is functionally correct (comparison-driven beam search, see
+//! `ppann_hnsw::Hnsw::search_by_comparison`) but pays the two costs the
+//! paper names: (1) the graph edges expose *exact* neighbor relationships,
+//! and (2) every traversal step costs a DCE comparison (`4d + 32` MACs)
+//! instead of a SAP distance (`d` MACs). The ablation harness measures (2)
+//! directly against the real scheme.
+
+use crate::cost::{BaselineOutcome, TriCost};
+use ppann_dce::{distance_comp, DceCiphertext, DceSecretKey, DceTrapdoor};
+use ppann_hnsw::{Hnsw, HnswParams};
+use ppann_linalg::{seeded_rng, vector};
+use std::time::Instant;
+
+/// Parameters of the naive system.
+#[derive(Clone, Copy, Debug)]
+pub struct NaiveDceParams {
+    /// Vector dimensionality.
+    pub dim: usize,
+    /// HNSW construction parameters (built on plaintext!).
+    pub hnsw: HnswParams,
+    /// Master seed.
+    pub seed: u64,
+}
+
+/// The assembled naive system (owner key + server state).
+pub struct NaiveDce {
+    params: NaiveDceParams,
+    dce: DceSecretKey,
+    norm_scale: f64,
+    /// Server state: the plaintext-built graph (structure only is used at
+    /// query time) and the DCE ciphertexts.
+    graph: Hnsw,
+    ciphertexts: Vec<DceCiphertext>,
+}
+
+impl NaiveDce {
+    /// Owner-side setup.
+    pub fn setup(params: NaiveDceParams, data: &[Vec<f64>]) -> Self {
+        let mut rng = seeded_rng(params.seed);
+        let max_abs = data.iter().map(|v| vector::max_abs(v)).fold(0.0f64, f64::max);
+        let norm_scale = if max_abs > 0.0 { 1.0 / max_abs } else { 1.0 };
+        let normalized: Vec<Vec<f64>> =
+            data.iter().map(|v| vector::scaled(v, norm_scale)).collect();
+        let dce = DceSecretKey::generate(params.dim, &mut rng);
+        let ciphertexts = dce.encrypt_batch(&normalized, params.seed ^ 0x0A17E);
+        let graph = Hnsw::build(params.dim, params.hnsw, &normalized);
+        Self { params, dce, norm_scale, graph, ciphertexts }
+    }
+
+    /// Number of indexed vectors.
+    pub fn len(&self) -> usize {
+        self.graph.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.graph.is_empty()
+    }
+
+    /// User-side query encryption: one DCE trapdoor.
+    pub fn encrypt_query(&self, q: &[f64], seed: u64) -> DceTrapdoor {
+        let mut rng = seeded_rng(self.params.seed ^ seed ^ 0x7777);
+        self.dce.trapdoor(&vector::scaled(q, self.norm_scale), &mut rng)
+    }
+
+    /// Server-side search: comparison-driven HNSW traversal where each
+    /// ordering decision is one DCE `DistanceComp`.
+    pub fn search(&self, trapdoor: &DceTrapdoor, k: usize, ef: usize) -> BaselineOutcome {
+        let started = Instant::now();
+        let mut comparisons = 0u64;
+        let ids = self.graph.search_by_comparison(k, ef, |a, b| {
+            comparisons += 1;
+            distance_comp(&self.ciphertexts[a as usize], &self.ciphertexts[b as usize], trapdoor)
+                < 0.0
+        });
+        BaselineOutcome {
+            ids,
+            cost: TriCost {
+                server_time: started.elapsed(),
+                user_time: std::time::Duration::ZERO,
+                bytes_up: 8 * trapdoor.dim() as u64 + 8,
+                bytes_down: 4 * k as u64,
+                rounds: 1,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppann_linalg::uniform_vec;
+
+    #[test]
+    fn naive_search_is_accurate() {
+        let mut rng = seeded_rng(411);
+        let data: Vec<Vec<f64>> = (0..300).map(|_| uniform_vec(&mut rng, 8, -1.0, 1.0)).collect();
+        let sys = NaiveDce::setup(
+            NaiveDceParams { dim: 8, hnsw: HnswParams::default(), seed: 1 },
+            &data,
+        );
+        let t = sys.encrypt_query(&data[42], 0);
+        let out = sys.search(&t, 1, 40);
+        assert_eq!(out.ids, vec![42]);
+    }
+
+    #[test]
+    fn top_k_matches_plaintext_graph_search() {
+        let mut rng = seeded_rng(412);
+        let data: Vec<Vec<f64>> = (0..250).map(|_| uniform_vec(&mut rng, 6, -1.0, 1.0)).collect();
+        let sys = NaiveDce::setup(
+            NaiveDceParams { dim: 6, hnsw: HnswParams::default(), seed: 2 },
+            &data,
+        );
+        for qi in 0..5 {
+            let t = sys.encrypt_query(&data[qi], qi as u64);
+            let secure = sys.search(&t, 10, 50).ids;
+            // Same graph, plaintext distances (normalization preserves order).
+            let plain: Vec<u32> =
+                sys.graph.search(&ppann_linalg::vector::scaled(&data[qi], sys.norm_scale), 10, 50)
+                    .iter()
+                    .map(|n| n.id)
+                    .collect();
+            assert_eq!(secure, plain, "query {qi}");
+        }
+    }
+}

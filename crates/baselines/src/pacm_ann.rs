@@ -1,0 +1,259 @@
+//! **PACM-ANN** (Zhou, Shi, Fanti — "PACMANN"; paper baseline `[45]`):
+//! user-driven graph search where every index/vector access is hidden behind
+//! private information retrieval.
+//!
+//! Protocol shape (multi-round, user-controlled):
+//! 1. The owner builds a proximity graph over the plaintext vectors; the
+//!    graph's fixed-degree adjacency lists and the vectors are laid out as
+//!    PIR blocks, replicated on two non-colluding servers.
+//! 2. The user walks the graph greedily: each step PIR-fetches the adjacency
+//!    blocks of the current beam, then PIR-fetches the newly discovered
+//!    vectors, computes distances locally, and advances the beam.
+//!
+//! Faithfulness note (DESIGN.md §3): the original uses single-server PIR;
+//! the substrate here is information-theoretic two-server PIR. The defining
+//! cost behaviour — every fetch costs the servers a linear scan and the walk
+//! needs many rounds — is identical.
+
+use crate::cost::{BaselineOutcome, TriCost};
+use ppann_hnsw::{Hnsw, HnswParams};
+use ppann_linalg::{seeded_rng, vector};
+use ppann_pir::{PirCost, PirDatabase, TwoServerPir};
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+/// PACM-ANN parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct PacmAnnParams {
+    /// Vector dimensionality.
+    pub dim: usize,
+    /// Construction parameters of the underlying proximity graph.
+    pub graph: HnswParams,
+    /// Beam width of the user-side walk.
+    pub beam: usize,
+    /// Maximum walk rounds (each round = 2 PIR round-trips).
+    pub max_rounds: usize,
+    /// Seed for PIR mask randomness.
+    pub seed: u64,
+}
+
+/// The assembled PACM-ANN system.
+pub struct PacmAnn {
+    params: PacmAnnParams,
+    adjacency: TwoServerPir,
+    vectors: TwoServerPir,
+    entry: u32,
+    degree: usize,
+    n: usize,
+}
+
+impl PacmAnn {
+    /// Owner-side setup: proximity graph + PIR block layout.
+    pub fn setup(params: PacmAnnParams, data: &[Vec<f64>]) -> Self {
+        assert!(!data.is_empty(), "PACM-ANN requires a non-empty database");
+        let graph = Hnsw::build(params.dim, params.graph, data);
+        let degree = params.graph.m0;
+        // Adjacency blocks: layer-0 neighbor ids, padded with u32::MAX.
+        let adj_blocks: Vec<Vec<u8>> = (0..data.len() as u32)
+            .map(|id| {
+                let mut block = Vec::with_capacity(degree * 4);
+                for &nb in graph.links(id, 0).iter().take(degree) {
+                    block.extend_from_slice(&nb.to_le_bytes());
+                }
+                while block.len() < degree * 4 {
+                    block.extend_from_slice(&u32::MAX.to_le_bytes());
+                }
+                block
+            })
+            .collect();
+        // Vector blocks: raw little-endian f64 coordinates.
+        let vec_blocks: Vec<Vec<u8>> = data
+            .iter()
+            .map(|v| v.iter().flat_map(|x| x.to_le_bytes()).collect())
+            .collect();
+        let entry = graph.entry_point().expect("nonempty graph");
+        Self {
+            params,
+            adjacency: TwoServerPir::new(PirDatabase::from_blocks(degree * 4, &adj_blocks)),
+            vectors: TwoServerPir::new(PirDatabase::from_blocks(params.dim * 8, &vec_blocks)),
+            entry,
+            degree,
+            n: data.len(),
+        }
+    }
+
+    /// Number of indexed vectors.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    fn decode_vector(&self, block: &[u8]) -> Vec<f64> {
+        block.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes"))).collect()
+    }
+
+    /// One query: the user walks the graph via PIR fetches. Server time is
+    /// the wall time spent inside PIR answering; everything else (decoding,
+    /// distances, beam management) is user time.
+    pub fn search(&self, q: &[f64], k: usize, query_seed: u64) -> BaselineOutcome {
+        let mut rng = seeded_rng(self.params.seed ^ query_seed);
+        let mut pir_cost = PirCost::default();
+        let started = Instant::now();
+        let mut server_time = std::time::Duration::ZERO;
+
+        // The user's local view: distance per fetched vector.
+        let mut dist_of: HashMap<u32, f64> = HashMap::new();
+        let mut visited: HashSet<u32> = HashSet::new();
+        let mut expanded: HashSet<u32> = HashSet::new();
+
+        // Bootstrap: fetch the (public) entry point's vector.
+        let t = Instant::now();
+        let entry_block = self.vectors.retrieve(self.entry as usize, &mut rng, &mut pir_cost);
+        server_time += t.elapsed();
+        visited.insert(self.entry);
+        dist_of.insert(self.entry, vector::squared_euclidean(q, &self.decode_vector(&entry_block)));
+
+        for _round in 0..self.params.max_rounds {
+            // Pick the best `beam` non-expanded nodes.
+            let mut frontier: Vec<u32> =
+                dist_of.keys().copied().filter(|id| !expanded.contains(id)).collect();
+            if frontier.is_empty() {
+                break;
+            }
+            frontier.sort_by(|a, b| dist_of[a].partial_cmp(&dist_of[b]).expect("no NaN"));
+            frontier.truncate(self.params.beam);
+
+            // Round-trip 1: adjacency blocks of the beam.
+            let t = Instant::now();
+            let adj_blocks = self.adjacency.retrieve_batch(
+                &frontier.iter().map(|&id| id as usize).collect::<Vec<_>>(),
+                &mut rng,
+                &mut pir_cost,
+            );
+            server_time += t.elapsed();
+            let mut discovered: Vec<u32> = Vec::new();
+            for (node, block) in frontier.iter().zip(&adj_blocks) {
+                expanded.insert(*node);
+                for c in block.chunks_exact(4).take(self.degree) {
+                    let nb = u32::from_le_bytes(c.try_into().expect("4 bytes"));
+                    if nb != u32::MAX && (nb as usize) < self.n && visited.insert(nb) {
+                        discovered.push(nb);
+                    }
+                }
+            }
+            if discovered.is_empty() {
+                continue;
+            }
+            // Round-trip 2: the newly discovered vectors.
+            let t = Instant::now();
+            let vec_blocks = self.vectors.retrieve_batch(
+                &discovered.iter().map(|&id| id as usize).collect::<Vec<_>>(),
+                &mut rng,
+                &mut pir_cost,
+            );
+            server_time += t.elapsed();
+            for (id, block) in discovered.iter().zip(&vec_blocks) {
+                dist_of.insert(*id, vector::squared_euclidean(q, &self.decode_vector(block)));
+            }
+        }
+
+        let mut ranked: Vec<(u32, f64)> = dist_of.into_iter().collect();
+        ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN"));
+        let ids: Vec<u32> = ranked.iter().take(k).map(|(id, _)| *id).collect();
+        let user_time = started.elapsed().saturating_sub(server_time);
+
+        BaselineOutcome {
+            ids,
+            cost: TriCost {
+                server_time,
+                user_time,
+                bytes_up: pir_cost.bytes_up,
+                bytes_down: pir_cost.bytes_down,
+                rounds: pir_cost.rounds,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)]
+mod tests {
+    use super::*;
+    use ppann_linalg::uniform_vec;
+    use rand::Rng;
+
+    fn system(n: usize, dim: usize, seed: u64) -> (Vec<Vec<f64>>, PacmAnn) {
+        let mut rng = seeded_rng(seed);
+        let centers: Vec<Vec<f64>> =
+            (0..8).map(|_| uniform_vec(&mut rng, dim, -1.0, 1.0)).collect();
+        let data: Vec<Vec<f64>> = (0..n)
+            .map(|_| {
+                let c = &centers[rng.gen_range(0..centers.len())];
+                c.iter().map(|x| x + rng.gen_range(-0.1..0.1)).collect()
+            })
+            .collect();
+        let params = PacmAnnParams {
+            dim,
+            graph: HnswParams::default(),
+            beam: 4,
+            max_rounds: 12,
+            seed,
+        };
+        let sys = PacmAnn::setup(params, &data);
+        (data, sys)
+    }
+
+    #[test]
+    fn walk_reaches_the_nearest_neighbor() {
+        let (data, sys) = system(400, 6, 201);
+        let out = sys.search(&data[17], 1, 0);
+        assert_eq!(out.ids, vec![17]);
+    }
+
+    #[test]
+    fn costs_reflect_pir_scans() {
+        let (data, sys) = system(300, 6, 202);
+        let out = sys.search(&data[0], 5, 1);
+        // Multi-round by construction, with real PIR traffic.
+        assert!(out.cost.rounds > 2, "rounds {}", out.cost.rounds);
+        assert!(out.cost.bytes_up > 0 && out.cost.bytes_down > 0);
+        assert_eq!(out.ids.len(), 5);
+    }
+
+    #[test]
+    fn recall_improves_with_beam_width() {
+        let (data, _) = system(600, 6, 203);
+        let narrow = PacmAnn::setup(
+            PacmAnnParams { dim: 6, graph: HnswParams::default(), beam: 1, max_rounds: 3, seed: 1 },
+            &data,
+        );
+        let wide = PacmAnn::setup(
+            PacmAnnParams { dim: 6, graph: HnswParams::default(), beam: 8, max_rounds: 12, seed: 1 },
+            &data,
+        );
+        let truth = |q: &[f64], k: usize| {
+            let mut ids: Vec<u32> = (0..data.len() as u32).collect();
+            ids.sort_by(|&a, &b| {
+                vector::squared_euclidean(&data[a as usize], q)
+                    .partial_cmp(&vector::squared_euclidean(&data[b as usize], q))
+                    .unwrap()
+            });
+            ids.truncate(k);
+            ids
+        };
+        let mut narrow_hits = 0;
+        let mut wide_hits = 0;
+        for qi in 0..10 {
+            let t = truth(&data[qi], 10);
+            narrow_hits +=
+                t.iter().filter(|x| narrow.search(&data[qi], 10, qi as u64).ids.contains(x)).count();
+            wide_hits +=
+                t.iter().filter(|x| wide.search(&data[qi], 10, qi as u64).ids.contains(x)).count();
+        }
+        assert!(wide_hits >= narrow_hits, "wide {wide_hits} < narrow {narrow_hits}");
+    }
+}

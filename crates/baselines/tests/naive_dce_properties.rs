@@ -1,0 +1,39 @@
+//! Property-based tests for the naive HNSW-over-DCE baseline: its
+//! comparison-driven traversal must agree with plaintext graph search on
+//! arbitrary inputs (the DCE oracle is exact, so any divergence would be a
+//! traversal bug).
+
+use ppann_baselines::naive_dce::{NaiveDce, NaiveDceParams};
+use ppann_hnsw::HnswParams;
+use ppann_linalg::seeded_rng;
+use proptest::prelude::*;
+use rand::Rng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn naive_traversal_matches_plaintext_graph(
+        n in 30usize..120,
+        d in 2usize..6,
+        seed in 0u64..1_000,
+    ) {
+        let mut rng = seeded_rng(seed);
+        let data: Vec<Vec<f64>> =
+            (0..n).map(|_| (0..d).map(|_| rng.gen_range(-1.0..1.0)).collect()).collect();
+        let sys = NaiveDce::setup(
+            NaiveDceParams { dim: d, hnsw: HnswParams::default(), seed },
+            &data,
+        );
+        let qi = seed as usize % n;
+        let trapdoor = sys.encrypt_query(&data[qi], seed);
+        let out = sys.search(&trapdoor, 5, 40);
+        // The query equals a database vector, so it must rank first.
+        prop_assert_eq!(out.ids[0], qi as u32);
+        prop_assert!(out.ids.len() <= 5);
+        let mut dedup = out.ids.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), out.ids.len());
+    }
+}

@@ -1,0 +1,48 @@
+//! End-to-end query benchmark: the full Algorithm 2 (filter + refine) and
+//! the filter-only variant, at n = 5,000 SIFT-like vectors.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppann_core::{CloudServer, DataOwner, PpAnnParams, SearchParams};
+use ppann_datasets::{DatasetProfile, Workload};
+use ppann_hnsw::HnswParams;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_e2e(c: &mut Criterion) {
+    let profile = DatasetProfile::SiftLike;
+    let w = Workload::generate(profile, 5_000, 16, 9);
+    let params = PpAnnParams::new(w.dim())
+        .with_seed(10)
+        .with_beta(profile.default_beta())
+        .with_hnsw(HnswParams::default());
+    let owner = DataOwner::setup(params, w.base());
+    let server = CloudServer::new(owner.outsource(w.base()));
+    let mut user = owner.authorize_user();
+    let queries: Vec<_> = w.queries().iter().map(|q| user.encrypt_query(q, 10)).collect();
+
+    let mut group = c.benchmark_group("e2e_query_5k_sift");
+    group.warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+    for ratio in [4usize, 16, 64] {
+        let sp = SearchParams::from_ratio(10, ratio, (10 * ratio).max(80));
+        group.bench_with_input(BenchmarkId::new("filter+refine", ratio), &ratio, |b, _| {
+            let mut qi = 0;
+            b.iter(|| {
+                let out = server.search(&queries[qi % queries.len()], &sp);
+                qi += 1;
+                black_box(out)
+            })
+        });
+    }
+    group.bench_function("filter_only_ef160", |b| {
+        let mut qi = 0;
+        b.iter(|| {
+            let out = server.search_filter_only(&queries[qi % queries.len()], 160);
+            qi += 1;
+            black_box(out)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_e2e);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Per-vector encryption cost (Figure 8 at operation granularity):
+//! DCPE O(d) < DCE O(d²) < AME (32 mat-vecs on (2d+6)-dims).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppann_dcpe::{SapEncryptor, SapKey};
+use ppann_linalg::{seeded_rng, uniform_vec};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_encryption(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encryption");
+    group.warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1));
+    for d in [96usize, 128, 960] {
+        let mut rng = seeded_rng(2);
+        let p = uniform_vec(&mut rng, d, -1.0, 1.0);
+
+        let sap = SapEncryptor::new(SapKey::new(1024.0, 1.0));
+        group.bench_with_input(BenchmarkId::new("dcpe_sap", d), &d, |b, _| {
+            b.iter(|| black_box(sap.encrypt(&p, &mut rng)))
+        });
+
+        let dce = ppann_dce::DceSecretKey::generate(d, &mut rng);
+        group.bench_with_input(BenchmarkId::new("dce", d), &d, |b, _| {
+            b.iter(|| black_box(dce.encrypt(&p, &mut rng)))
+        });
+
+        if d <= 128 {
+            let ame = ppann_ame::AmeSecretKey::generate(d, &mut rng);
+            group.sample_size(10);
+            group.bench_with_input(BenchmarkId::new("ame", d), &d, |b, _| {
+                b.iter(|| black_box(ame.encrypt(&p, &mut rng)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encryption);
+criterion_main!(benches);

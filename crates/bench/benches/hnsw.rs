@@ -1,0 +1,43 @@
+//! Filter-phase microbenchmark: HNSW search over SAP ciphertexts at several
+//! beam widths (the `efSearch` axis of Figures 4–5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppann_datasets::{DatasetProfile, Workload};
+use ppann_dcpe::{SapEncryptor, SapKey};
+use ppann_hnsw::{Hnsw, HnswParams};
+use ppann_linalg::{seeded_rng, vector};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_hnsw(c: &mut Criterion) {
+    let w = Workload::generate(DatasetProfile::SiftLike, 10_000, 16, 4);
+    let max_abs = w.dataset().max_abs_coordinate();
+    let normalized: Vec<Vec<f64>> =
+        w.base().iter().map(|v| vector::scaled(v, 1.0 / max_abs)).collect();
+    let sap = SapEncryptor::new(SapKey::new(1024.0, DatasetProfile::SiftLike.default_beta()));
+    let base = sap.encrypt_batch(&normalized, 5);
+    let index = Hnsw::build(w.dim(), HnswParams::default(), &base);
+    let mut rng = seeded_rng(6);
+    let queries: Vec<Vec<f64>> = w
+        .queries()
+        .iter()
+        .map(|q| sap.encrypt(&vector::scaled(q, 1.0 / max_abs), &mut rng))
+        .collect();
+
+    let mut group = c.benchmark_group("hnsw_search_10k_sift");
+    group.warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+    for ef in [20usize, 80, 320] {
+        group.bench_with_input(BenchmarkId::new("ef", ef), &ef, |b, &ef| {
+            let mut qi = 0;
+            b.iter(|| {
+                let out = index.search(&queries[qi % queries.len()], 10, ef);
+                qi += 1;
+                black_box(out)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hnsw);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Refine-phase microbenchmark: the secure top-k heap over k′ candidates
+//! (the paper's O(k′·d·log k) term, Figure 5's cost axis).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppann_core::SecureTopK;
+use ppann_dce::DceSecretKey;
+use ppann_linalg::{seeded_rng, uniform_vec};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_refine(c: &mut Criterion) {
+    let d = 128;
+    let mut rng = seeded_rng(7);
+    let sk = DceSecretKey::generate(d, &mut rng);
+    let pts: Vec<Vec<f64>> = (0..1500).map(|_| uniform_vec(&mut rng, d, -1.0, 1.0)).collect();
+    let cts = sk.encrypt_batch(&pts, 8);
+    let q = uniform_vec(&mut rng, d, -1.0, 1.0);
+    let t = sk.trapdoor(&q, &mut rng);
+
+    let mut group = c.benchmark_group("refine_topk_d128");
+    group.warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+    for k_prime in [40usize, 320, 1280] {
+        group.bench_with_input(BenchmarkId::new("k_prime", k_prime), &k_prime, |b, &kp| {
+            b.iter(|| {
+                let mut heap = SecureTopK::new(&t, &cts, 10);
+                for id in 0..kp as u32 {
+                    heap.offer(id);
+                }
+                black_box(heap.into_sorted_ids())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_refine);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Secure-distance-comparison microbenchmark (paper §IV-B analysis):
+//! plaintext distance O(d) vs DCE `DistanceComp` O(d) (4d+32 MACs) vs AME
+//! O(d²) (64d²+416d+676 MACs). The shape to verify: DCE within a small
+//! factor of plaintext; AME orders of magnitude slower, widening with d.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppann_linalg::{seeded_rng, uniform_vec, vector};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_sdc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sdc");
+    group.warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1));
+    for d in [96usize, 128, 960] {
+        let mut rng = seeded_rng(1);
+        let o = uniform_vec(&mut rng, d, -1.0, 1.0);
+        let p = uniform_vec(&mut rng, d, -1.0, 1.0);
+        let q = uniform_vec(&mut rng, d, -1.0, 1.0);
+
+        group.bench_with_input(BenchmarkId::new("plaintext", d), &d, |b, _| {
+            b.iter(|| {
+                black_box(
+                    vector::squared_euclidean(&o, &q) - vector::squared_euclidean(&p, &q),
+                )
+            })
+        });
+
+        let dce = ppann_dce::DceSecretKey::generate(d, &mut rng);
+        let c_o = dce.encrypt(&o, &mut rng);
+        let c_p = dce.encrypt(&p, &mut rng);
+        let t_q = dce.trapdoor(&q, &mut rng);
+        group.bench_with_input(BenchmarkId::new("dce", d), &d, |b, _| {
+            b.iter(|| black_box(ppann_dce::distance_comp(&c_o, &c_p, &t_q)))
+        });
+
+        if d <= 128 {
+            let ame = ppann_ame::AmeSecretKey::generate(d, &mut rng);
+            let a_o = ame.encrypt(&o, &mut rng);
+            let a_p = ame.encrypt(&p, &mut rng);
+            let a_t = ame.trapdoor(&q, &mut rng);
+            group.sample_size(20);
+            group.bench_with_input(BenchmarkId::new("ame", d), &d, |b, _| {
+                b.iter(|| black_box(ppann_ame::distance_comp(&a_o, &a_p, &a_t)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sdc);
+criterion_main!(benches);

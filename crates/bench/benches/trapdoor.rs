@@ -1,0 +1,32 @@
+//! Query-encryption (user-side) cost: the DCE trapdoor is O(d²) — the
+//! paper's entire user involvement — while an AME trapdoor builds 16 matrix
+//! sandwiches and dominates Figure 9's user-side cost for HNSW-AME.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppann_linalg::{seeded_rng, uniform_vec};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_trapdoor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trapdoor");
+    group.warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1));
+    for d in [96usize, 128, 960] {
+        let mut rng = seeded_rng(3);
+        let q = uniform_vec(&mut rng, d, -1.0, 1.0);
+        let dce = ppann_dce::DceSecretKey::generate(d, &mut rng);
+        group.bench_with_input(BenchmarkId::new("dce", d), &d, |b, _| {
+            b.iter(|| black_box(dce.trapdoor(&q, &mut rng)))
+        });
+        if d <= 128 {
+            let ame = ppann_ame::AmeSecretKey::generate(d, &mut rng);
+            group.sample_size(10);
+            group.bench_with_input(BenchmarkId::new("ame", d), &d, |b, _| {
+                b.iter(|| black_box(ame.trapdoor(&q, &mut rng)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_trapdoor);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! **β calibration** (paper §VII-A): the paper selects, per dataset, the β
+//! whose *filter-only* recall ceiling is ≈ 0.5 — "the attacker's probability
+//! of guessing the true neighbor correctly is only 50%". This utility sweeps
+//! β and prints the ceiling so the grids in `DatasetProfile::beta_grid` stay
+//! honest.
+
+use ppann_bench::{bench_scale, TableWriter};
+use ppann_datasets::{DatasetProfile, RecallAccumulator, Workload};
+use ppann_dcpe::{SapEncryptor, SapKey};
+use ppann_hnsw::{Hnsw, HnswParams};
+use ppann_linalg::{seeded_rng, vector};
+
+fn main() {
+    let scale = bench_scale();
+    let k = 10;
+    let sweep = [0.0, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0, 4.0];
+    for profile in DatasetProfile::ALL {
+        let (n, q) = profile.default_scale();
+        let n = scale.scaled(n / 4, n);
+        let q = scale.scaled(q / 4, q).max(20);
+        let w = Workload::generate(profile, n, q, 4242);
+        let truth = w.ground_truth(k);
+        let max_abs = w.dataset().max_abs_coordinate().max(1e-12);
+        let normalized: Vec<Vec<f64>> =
+            w.base().iter().map(|v| vector::scaled(v, 1.0 / max_abs)).collect();
+        let mut t = TableWriter::new(
+            &format!("beta calibration ({}), n={n}", profile.name()),
+            &["beta", "filter-only recall ceiling (ef=160)"],
+        );
+        for beta in sweep {
+            let sap = SapEncryptor::new(SapKey::new(1024.0, beta));
+            let sap_base = sap.encrypt_batch(&normalized, 7);
+            let index = Hnsw::build(w.dim(), HnswParams::default(), &sap_base);
+            let mut rng = seeded_rng(9);
+            let mut acc = RecallAccumulator::default();
+            for (qv, tr) in w.queries().iter().zip(&truth) {
+                let cq = sap.encrypt(&vector::scaled(qv, 1.0 / max_abs), &mut rng);
+                let got: Vec<u32> = index.search(&cq, k, 160).iter().map(|h| h.id).collect();
+                acc.record(tr, &got);
+            }
+            t.row(&[format!("{beta:.2}"), format!("{:.3}", acc.mean())]);
+        }
+        t.print();
+    }
+}

@@ -1,0 +1,48 @@
+//! **Figure 10** — scalability: per-query latency of the full scheme as the
+//! database grows (the paper samples Sift1B/Deep1B at 25/50/75/100M; the
+//! synthetic stand-ins sweep four sizes at benchmark scale). Expectation:
+//! latency grows sublinearly with n at fixed recall targets.
+
+use ppann_bench::harness::build_scheme;
+use ppann_bench::{bench_scale, measured_queries, TableWriter};
+use ppann_core::SearchParams;
+use ppann_datasets::{DatasetProfile, Workload};
+use ppann_hnsw::HnswParams;
+
+fn main() {
+    let scale = bench_scale();
+    let k = 10;
+    let base_n = scale.scaled(6_000, 50_000);
+    let steps = [base_n / 4, base_n / 2, 3 * base_n / 4, base_n];
+    for profile in [DatasetProfile::SiftLike, DatasetProfile::DeepLike] {
+        let mut t = TableWriter::new(
+            &format!("Fig 10 ({}): latency vs database size", profile.name()),
+            &["n", "recall@10", "latency(ms)", "QPS", "latency growth vs n/4"],
+        );
+        let mut first_latency = None;
+        for &n in &steps {
+            let w = Workload::generate(profile, n, scale.scaled(30, 100), 7171);
+            let truth = w.ground_truth(k);
+            let (_owner, server, mut user) =
+                build_scheme(&w, profile.default_beta(), HnswParams::default(), 31);
+            let params = SearchParams::from_ratio(k, 16, 160);
+            let m = measured_queries(&server, &mut user, &w, &truth, k, &params, false);
+            let growth = match first_latency {
+                None => {
+                    first_latency = Some(m.latency_ms);
+                    "1.00x".to_string()
+                }
+                Some(f) => format!("{:.2}x", m.latency_ms / f),
+            };
+            t.row(&[
+                n.to_string(),
+                format!("{:.3}", m.recall),
+                format!("{:.3}", m.latency_ms),
+                format!("{:.0}", m.qps),
+                growth,
+            ]);
+        }
+        t.print();
+    }
+    println!("\nShape check (paper Fig 10): latency growth is sublinear (4x data ⇒ well under 4x latency).");
+}

@@ -1,0 +1,64 @@
+//! **Figure 4** — effect of the DCPE noise budget β on the *filter-only*
+//! search (k′ = k, no refinement): QPS vs Recall@10 per dataset, one curve
+//! per β. Expectation from the paper: larger β caps the attainable recall
+//! (more index noise) at roughly unchanged QPS; the chosen default β drives
+//! the ceiling toward ≈ 0.5.
+//!
+//! The filter phase needs no DCE ciphertexts, so this binary builds
+//! SAP + HNSW directly.
+
+use ppann_bench::{bench_scale, TableWriter};
+use ppann_datasets::{DatasetProfile, RecallAccumulator, Workload};
+use ppann_dcpe::{SapEncryptor, SapKey};
+use ppann_hnsw::{Hnsw, HnswParams};
+use ppann_linalg::{seeded_rng, vector};
+use std::time::Instant;
+
+fn main() {
+    let scale = bench_scale();
+    let k = 10;
+    let ef_grid = [10usize, 20, 40, 80, 160];
+    for profile in DatasetProfile::ALL {
+        let (n, q) = profile.default_scale();
+        let n = scale.scaled(n / 2, n);
+        let q = scale.scaled(q / 2, q).max(20);
+        let w = Workload::generate(profile, n, q, 4242);
+        let truth = w.ground_truth(k);
+        let max_abs = w.dataset().max_abs_coordinate().max(1e-12);
+        let normalized: Vec<Vec<f64>> =
+            w.base().iter().map(|v| vector::scaled(v, 1.0 / max_abs)).collect();
+
+        let mut t = TableWriter::new(
+            &format!("Fig 4 ({}): filter-only QPS vs Recall@10 per beta", profile.name()),
+            &["beta", "efSearch", "recall@10", "QPS"],
+        );
+        for beta in profile.beta_grid() {
+            let sap = SapEncryptor::new(SapKey::new(1024.0, beta));
+            let sap_base = sap.encrypt_batch(&normalized, 7);
+            let index = Hnsw::build(w.dim(), HnswParams::default(), &sap_base);
+            let mut rng = seeded_rng(9);
+            let enc_queries: Vec<Vec<f64>> = w
+                .queries()
+                .iter()
+                .map(|qv| sap.encrypt(&vector::scaled(qv, 1.0 / max_abs), &mut rng))
+                .collect();
+            for &ef in &ef_grid {
+                let mut acc = RecallAccumulator::default();
+                let started = Instant::now();
+                for (cq, tr) in enc_queries.iter().zip(&truth) {
+                    let got: Vec<u32> = index.search(cq, k, ef).iter().map(|h| h.id).collect();
+                    acc.record(tr, &got);
+                }
+                let qps = enc_queries.len() as f64 / started.elapsed().as_secs_f64();
+                t.row(&[
+                    format!("{beta:.2}"),
+                    ef.to_string(),
+                    format!("{:.3}", acc.mean()),
+                    format!("{qps:.0}"),
+                ]);
+            }
+        }
+        t.print();
+    }
+    println!("\nShape check (paper Fig 4): recall ceiling decreases as beta grows; beta=0 is the noiseless upper envelope.");
+}

@@ -1,0 +1,46 @@
+//! **Figure 5** — effect of `Ratio_k = k′/k` on the full scheme: QPS vs
+//! Recall@10, one curve per ratio. Expectation from the paper: larger
+//! `Ratio_k` lifts the recall ceiling (more candidates survive the noisy
+//! filter into the exact refine) while costing throughput.
+
+use ppann_bench::harness::build_scheme;
+use ppann_bench::{bench_scale, measured_queries, TableWriter};
+use ppann_core::SearchParams;
+use ppann_datasets::{DatasetProfile, Workload};
+use ppann_hnsw::HnswParams;
+
+fn main() {
+    let scale = bench_scale();
+    let k = 10;
+    let ratios = [1usize, 2, 4, 8, 16, 32, 64, 128];
+    let ef_grid = [20usize, 40, 80, 160];
+    for profile in DatasetProfile::ALL {
+        let (n, q) = profile.default_scale();
+        let n = scale.scaled(n / 2, n);
+        let q = scale.scaled(q / 4, q / 2).max(20);
+        let w = Workload::generate(profile, n, q, 5151);
+        let truth = w.ground_truth(k);
+        let (_owner, server, mut user) =
+            build_scheme(&w, profile.default_beta(), HnswParams::default(), 11);
+
+        let mut t = TableWriter::new(
+            &format!("Fig 5 ({}): QPS vs Recall@10 per Ratio_k", profile.name()),
+            &["Ratio_k", "efSearch", "recall@10", "QPS", "refine SDC/query"],
+        );
+        for &ratio in &ratios {
+            for &ef in &ef_grid {
+                let params = SearchParams::from_ratio(k, ratio, ef.max(k * ratio));
+                let m = measured_queries(&server, &mut user, &w, &truth, k, &params, false);
+                t.row(&[
+                    ratio.to_string(),
+                    params.ef_search.to_string(),
+                    format!("{:.3}", m.recall),
+                    format!("{:.0}", m.qps),
+                    format!("{:.0}", m.refine_sdc),
+                ]);
+            }
+        }
+        t.print();
+    }
+    println!("\nShape check (paper Fig 5): recall ceiling rises with Ratio_k; QPS falls as Ratio_k grows.");
+}

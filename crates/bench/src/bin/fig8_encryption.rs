@@ -1,0 +1,65 @@
+//! **Figure 8** — per-vector encryption cost of DCPE vs DCE vs AME across
+//! the four dataset dimensionalities. Expectation from the paper:
+//! DCPE ≪ DCE ≪ AME (AME "considerably" more expensive, DCPE cheapest).
+
+use ppann_ame::AmeSecretKey;
+use ppann_bench::{bench_scale, TableWriter};
+use ppann_datasets::DatasetProfile;
+use ppann_dce::DceSecretKey;
+use ppann_dcpe::{SapEncryptor, SapKey};
+use ppann_linalg::{seeded_rng, uniform_vec};
+use std::time::Instant;
+
+fn main() {
+    let scale = bench_scale();
+    let mut t = TableWriter::new(
+        "Fig 8: vector encryption cost (microseconds per vector)",
+        &["dataset", "dim", "DCPE(us)", "DCE(us)", "AME(us)", "AME/DCE"],
+    );
+    for profile in DatasetProfile::ALL {
+        let d = profile.dim();
+        let reps = if d > 500 { scale.scaled(20, 100) } else { scale.scaled(200, 1000) };
+        let mut rng = seeded_rng(88);
+        let vectors: Vec<Vec<f64>> = (0..reps).map(|_| uniform_vec(&mut rng, d, -1.0, 1.0)).collect();
+
+        let sap = SapEncryptor::new(SapKey::new(1024.0, 1.0));
+        let started = Instant::now();
+        for v in &vectors {
+            std::hint::black_box(sap.encrypt(v, &mut rng));
+        }
+        let dcpe_us = started.elapsed().as_secs_f64() * 1e6 / reps as f64;
+
+        let dce = DceSecretKey::generate(d, &mut rng);
+        let started = Instant::now();
+        for v in &vectors {
+            std::hint::black_box(dce.encrypt(v, &mut rng));
+        }
+        let dce_us = started.elapsed().as_secs_f64() * 1e6 / reps as f64;
+
+        // AME keygen alone inverts 32 (2d+6)² matrices; at d = 960 that is
+        // minutes of setup for one datapoint, so quick mode measures the
+        // three lower-dimensional profiles (PPANN_SCALE=paper adds GIST).
+        let ame_cell = if d <= 500 || scale == ppann_bench::BenchScale::Paper {
+            let ame = AmeSecretKey::generate(d, &mut rng);
+            let ame_reps = if d > 500 { reps.min(3) } else { reps.min(50) };
+            let started = Instant::now();
+            for v in vectors.iter().take(ame_reps) {
+                std::hint::black_box(ame.encrypt(v, &mut rng));
+            }
+            Some(started.elapsed().as_secs_f64() * 1e6 / ame_reps as f64)
+        } else {
+            None
+        };
+
+        t.row(&[
+            profile.name().into(),
+            d.to_string(),
+            format!("{dcpe_us:.1}"),
+            format!("{dce_us:.1}"),
+            ame_cell.map_or("skipped(quick)".into(), |v| format!("{v:.1}")),
+            ame_cell.map_or("-".into(), |v| format!("{:.1}x", v / dce_us)),
+        ]);
+    }
+    t.print();
+    println!("\nShape check (paper Fig 8): DCPE < DCE < AME at every dimensionality.");
+}

@@ -1,0 +1,119 @@
+//! **Figure 9** — server-side and user-side cost per query at
+//! Recall@10 ≈ 0.9, plus communication volume, for every method.
+//! Expectation from the paper: PP-ANNS has both the cheapest server path
+//! among secure schemes and a near-zero user path; RS-SANN/PACM-ANN/PRI-ANN
+//! shift heavy work (decryption / graph walk / PIR decode) onto the user.
+
+use ppann_baselines::pacm_ann::{PacmAnn, PacmAnnParams};
+use ppann_baselines::pri_ann::{PriAnn, PriAnnParams};
+use ppann_baselines::rs_sann::{RsSann, RsSannParams};
+use ppann_baselines::TriCost;
+use ppann_bench::harness::build_scheme;
+use ppann_bench::{bench_scale, TableWriter};
+use ppann_core::SearchParams;
+use ppann_datasets::{recall_at_k, DatasetProfile, Workload};
+use ppann_hnsw::HnswParams;
+use ppann_lsh::LshParams;
+use std::time::{Duration, Instant};
+
+fn main() {
+    let scale = bench_scale();
+    let k = 10;
+    let profile = DatasetProfile::SiftLike;
+    let n = scale.scaled(4_000, 20_000);
+    let n_queries = scale.scaled(10, 30);
+    let w = Workload::generate(profile, n, n_queries, 9191);
+    let truth = w.ground_truth(k);
+
+    let mut t = TableWriter::new(
+        &format!("Fig 9 ({}, n={n}): cost breakdown at Recall@10 ~ 0.9", profile.name()),
+        &["method", "recall@10", "server ms/q", "user ms/q", "comm KB/q", "rounds"],
+    );
+
+    // --- PP-ANNS (ours), Ratio_k chosen for ~0.9 recall.
+    {
+        let (_owner, server, mut user) =
+            build_scheme(&w, profile.default_beta(), HnswParams::default(), 51);
+        let params = SearchParams::from_ratio(k, 32, 320);
+        let queries: Vec<_> = w.queries().iter().map(|q| user.encrypt_query(q, k)).collect();
+        let mut recall_sum = 0.0;
+        let mut server_time = Duration::ZERO;
+        let mut user_time = Duration::ZERO;
+        let mut comm = 0u64;
+        for (qi, enc) in queries.iter().enumerate() {
+            let started = Instant::now();
+            let out = server.search(enc, &params);
+            server_time += started.elapsed();
+            recall_sum += recall_at_k(&truth[qi], &out.ids);
+            comm += out.cost.total_bytes();
+        }
+        // User cost: re-measure encryption outside the server loop.
+        for q in w.queries() {
+            let started = Instant::now();
+            std::hint::black_box(user.encrypt_query(q, k));
+            user_time += started.elapsed();
+        }
+        let nq = queries.len() as f64;
+        t.row(&[
+            "PP-ANNS (ours)".into(),
+            format!("{:.3}", recall_sum / nq),
+            format!("{:.3}", server_time.as_secs_f64() * 1e3 / nq),
+            format!("{:.3}", user_time.as_secs_f64() * 1e3 / nq),
+            format!("{:.1}", comm as f64 / nq / 1024.0),
+            "1".into(),
+        ]);
+    }
+
+    // --- Baselines at their ~0.9-recall configurations.
+    let rs = RsSann::setup(
+        RsSannParams { dim: w.dim(), lsh: LshParams::tuned(8, 24, 1, w.base()), max_candidates: 1200 },
+        [9u8; 16],
+        w.base(),
+    );
+    report(&mut t, "RS-SANN", &truth, |qi| rs.search(&w.queries()[qi], k));
+
+    let pacm = PacmAnn::setup(
+        PacmAnnParams { dim: w.dim(), graph: HnswParams::default(), beam: 6, max_rounds: 10, seed: 2 },
+        w.base(),
+    );
+    report(&mut t, "PACM-ANN", &truth, |qi| pacm.search(&w.queries()[qi], k, qi as u64));
+
+    let pri = PriAnn::setup(
+        PriAnnParams {
+            dim: w.dim(),
+            lsh: LshParams::tuned(8, 20, 3, w.base()),
+            bucket_capacity: 32,
+            max_candidates: 200,
+            seed: 3,
+        },
+        w.base(),
+    );
+    report(&mut t, "PRI-ANN", &truth, |qi| pri.search(&w.queries()[qi], k, qi as u64));
+
+    t.print();
+    println!("\nShape check (paper Fig 9): ours minimizes BOTH sides; baselines shift heavy refinement to the user and/or pay PIR scans server-side.");
+}
+
+fn report(
+    t: &mut TableWriter,
+    name: &str,
+    truth: &[Vec<u32>],
+    mut run: impl FnMut(usize) -> ppann_baselines::BaselineOutcome,
+) {
+    let mut recall_sum = 0.0;
+    let mut cost = TriCost::default();
+    for (qi, tr) in truth.iter().enumerate() {
+        let out = run(qi);
+        recall_sum += recall_at_k(tr, &out.ids);
+        cost.absorb(&out.cost);
+    }
+    let nq = truth.len() as f64;
+    t.row(&[
+        name.into(),
+        format!("{:.3}", recall_sum / nq),
+        format!("{:.3}", cost.server_time.as_secs_f64() * 1e3 / nq),
+        format!("{:.3}", cost.user_time.as_secs_f64() * 1e3 / nq),
+        format!("{:.1}", cost.total_bytes() as f64 / nq / 1024.0),
+        format!("{:.0}", cost.rounds as f64 / nq),
+    ]);
+}

@@ -1,0 +1,68 @@
+//! **Graph substitution** (paper §V-A): "our approach can leverage other
+//! proximity graph-based approaches for k-ANNS like the navigating
+//! spreading-out graph … to substitute HNSW for indexing the
+//! DCPE-encrypted vectors." This harness runs both graphs as the filter
+//! index over the same SAP ciphertexts and prints filter-only
+//! recall/QPS so the claim is checkable, not just quotable.
+
+use ppann_bench::{bench_scale, TableWriter};
+use ppann_datasets::{DatasetProfile, RecallAccumulator, Workload};
+use ppann_dcpe::{SapEncryptor, SapKey};
+use ppann_hnsw::{Hnsw, HnswParams, Nsg, NsgParams};
+use ppann_linalg::{seeded_rng, vector};
+use std::time::Instant;
+
+fn main() {
+    let scale = bench_scale();
+    let k = 10;
+    for profile in [DatasetProfile::SiftLike, DatasetProfile::DeepLike] {
+        let (n, q) = profile.default_scale();
+        let n = scale.scaled(n / 4, n / 2);
+        let q = scale.scaled(q / 4, q / 2).max(20);
+        let w = Workload::generate(profile, n, q, 2727);
+        let truth = w.ground_truth(k);
+        let max_abs = w.dataset().max_abs_coordinate().max(1e-12);
+        let normalized: Vec<Vec<f64>> =
+            w.base().iter().map(|v| vector::scaled(v, 1.0 / max_abs)).collect();
+        let beta = profile.default_beta();
+        let sap = SapEncryptor::new(SapKey::new(1024.0, beta));
+        let sap_base = sap.encrypt_batch(&normalized, 7);
+        let mut rng = seeded_rng(9);
+        let enc_queries: Vec<Vec<f64>> = w
+            .queries()
+            .iter()
+            .map(|qv| sap.encrypt(&vector::scaled(qv, 1.0 / max_abs), &mut rng))
+            .collect();
+
+        let mut t = TableWriter::new(
+            &format!("Graph substitution ({}, beta={beta}): filter index = HNSW vs NSG", profile.name()),
+            &["index", "pool/ef", "recall@10", "QPS"],
+        );
+
+        let hnsw = Hnsw::build(w.dim(), HnswParams::default(), &sap_base);
+        for ef in [40usize, 160] {
+            let mut acc = RecallAccumulator::default();
+            let started = Instant::now();
+            for (cq, tr) in enc_queries.iter().zip(&truth) {
+                let got: Vec<u32> = hnsw.search(cq, k, ef).iter().map(|h| h.id).collect();
+                acc.record(tr, &got);
+            }
+            let qps = enc_queries.len() as f64 / started.elapsed().as_secs_f64();
+            t.row(&["HNSW".into(), ef.to_string(), format!("{:.3}", acc.mean()), format!("{qps:.0}")]);
+        }
+
+        let nsg = Nsg::build(w.dim(), NsgParams::default(), &sap_base);
+        for l in [40usize, 160, 640] {
+            let mut acc = RecallAccumulator::default();
+            let started = Instant::now();
+            for (cq, tr) in enc_queries.iter().zip(&truth) {
+                let got: Vec<u32> = nsg.search(cq, k, l).iter().map(|h| h.id).collect();
+                acc.record(tr, &got);
+            }
+            let qps = enc_queries.len() as f64 / started.elapsed().as_secs_f64();
+            t.row(&["NSG".into(), l.to_string(), format!("{:.3}", acc.mean()), format!("{qps:.0}")]);
+        }
+        t.print();
+    }
+    println!("\nShape check (paper SV-A): either proximity graph can serve as the filter index; NSG needs wider pools than HNSW to approach the same beta-governed ceiling.");
+}

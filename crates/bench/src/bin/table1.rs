@@ -1,0 +1,33 @@
+//! **Table I** — statistics of the evaluation datasets: the paper's original
+//! corpora side by side with the synthetic stand-ins actually used here
+//! (substitution rationale: DESIGN.md §3).
+
+use ppann_bench::{bench_scale, TableWriter};
+use ppann_datasets::{DatasetProfile, Workload};
+
+fn main() {
+    let scale = bench_scale();
+    let mut t = TableWriter::new(
+        "Table I: statistics of datasets (paper corpus vs synthetic stand-in)",
+        &["dataset", "#dim", "paper #vectors", "paper #queries", "synth #vectors", "synth #queries", "max|coord|"],
+    );
+    for profile in DatasetProfile::ALL {
+        let (paper_n, paper_q) = profile.paper_cardinality();
+        let (mut n, mut q) = profile.default_scale();
+        if scale == ppann_bench::BenchScale::Paper {
+            n *= 5;
+            q *= 2;
+        }
+        let w = Workload::generate(profile, n, q, 42);
+        t.row(&[
+            profile.name().into(),
+            profile.dim().to_string(),
+            paper_n.to_string(),
+            paper_q.to_string(),
+            n.to_string(),
+            q.to_string(),
+            format!("{:.2}", w.dataset().max_abs_coordinate()),
+        ]);
+    }
+    t.print();
+}

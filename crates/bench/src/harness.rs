@@ -1,0 +1,126 @@
+//! Shared measurement machinery for the figure binaries.
+
+use ppann_core::{CloudServer, DataOwner, PpAnnParams, QueryUser, SearchParams};
+use ppann_datasets::{recall_at_k, Workload};
+use std::time::Instant;
+
+/// Global scale switch: `PPANN_SCALE=paper` enables the larger runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BenchScale {
+    /// Laptop-quick defaults (minutes for the full suite).
+    Quick,
+    /// Larger runs closer to the paper's scales (tens of minutes).
+    Paper,
+}
+
+/// Reads the scale from the environment.
+pub fn bench_scale() -> BenchScale {
+    match std::env::var("PPANN_SCALE").as_deref() {
+        Ok("paper") | Ok("PAPER") | Ok("full") => BenchScale::Paper,
+        _ => BenchScale::Quick,
+    }
+}
+
+impl BenchScale {
+    /// Scales a quick-mode count up for paper mode.
+    pub fn scaled(&self, quick: usize, paper: usize) -> usize {
+        match self {
+            BenchScale::Quick => quick,
+            BenchScale::Paper => paper,
+        }
+    }
+}
+
+/// Result of measuring a batch of queries against one configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct MeasuredSearch {
+    /// Mean Recall@k over the query set.
+    pub recall: f64,
+    /// Queries per second (single-threaded, as in the paper).
+    pub qps: f64,
+    /// Mean per-query latency in milliseconds.
+    pub latency_ms: f64,
+    /// Mean filter-phase distance computations.
+    pub filter_dist: f64,
+    /// Mean refine-phase secure comparisons.
+    pub refine_sdc: f64,
+}
+
+/// Runs every workload query through the server single-threaded and reports
+/// recall + throughput. Query encryption happens *outside* the timed loop
+/// (it is user-side cost, reported separately by Figure 9).
+pub fn measured_queries(
+    server: &CloudServer,
+    user: &mut QueryUser,
+    workload: &Workload,
+    truth: &[Vec<u32>],
+    k: usize,
+    params: &SearchParams,
+    filter_only: bool,
+) -> MeasuredSearch {
+    let queries: Vec<_> =
+        workload.queries().iter().map(|q| user.encrypt_query(q, k)).collect();
+    let mut recall_sum = 0.0;
+    let mut filter_dist = 0u64;
+    let mut refine_sdc = 0u64;
+    let started = Instant::now();
+    for (enc, t) in queries.iter().zip(truth) {
+        let out = if filter_only {
+            server.search_filter_only(enc, params.ef_search)
+        } else {
+            server.search(enc, params)
+        };
+        recall_sum += recall_at_k(t, &out.ids);
+        filter_dist += out.cost.filter_dist_comps;
+        refine_sdc += out.cost.refine_sdc_comps;
+    }
+    let elapsed = started.elapsed();
+    let n = queries.len().max(1) as f64;
+    MeasuredSearch {
+        recall: recall_sum / n,
+        qps: n / elapsed.as_secs_f64().max(1e-12),
+        latency_ms: elapsed.as_secs_f64() * 1e3 / n,
+        filter_dist: filter_dist as f64 / n,
+        refine_sdc: refine_sdc as f64 / n,
+    }
+}
+
+/// Builds owner + server for a workload with the given β (and HNSW params),
+/// returning the authorized user too.
+pub fn build_scheme(
+    workload: &Workload,
+    beta: f64,
+    hnsw: ppann_hnsw::HnswParams,
+    seed: u64,
+) -> (DataOwner, CloudServer, QueryUser) {
+    let params = PpAnnParams::new(workload.dim()).with_seed(seed).with_beta(beta).with_hnsw(hnsw);
+    let owner = DataOwner::setup(params, workload.base());
+    let server = CloudServer::new(owner.outsource(workload.base()));
+    let user = owner.authorize_user();
+    (owner, server, user)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppann_datasets::DatasetProfile;
+
+    #[test]
+    fn measured_queries_end_to_end() {
+        let w = Workload::generate(DatasetProfile::DeepLike, 300, 10, 3);
+        let truth = w.ground_truth(5);
+        let (_owner, server, mut user) =
+            build_scheme(&w, 0.0, ppann_hnsw::HnswParams::default(), 3);
+        let m = measured_queries(
+            &server,
+            &mut user,
+            &w,
+            &truth,
+            5,
+            &SearchParams { k_prime: 25, ef_search: 50 },
+            false,
+        );
+        assert!(m.recall > 0.9, "recall {}", m.recall);
+        assert!(m.qps > 0.0 && m.latency_ms > 0.0);
+    }
+}

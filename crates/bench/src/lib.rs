@@ -1,0 +1,26 @@
+//! # ppann-bench
+//!
+//! The benchmark harness regenerating **every table and figure** of the
+//! paper's evaluation (Section VII). One binary per experiment:
+//!
+//! | Binary | Reproduces | Paper artifact |
+//! |--------|-----------|----------------|
+//! | `table1` | dataset statistics | Table I |
+//! | `fig4_beta` | β vs filter-phase QPS/recall | Figure 4 |
+//! | `fig5_ratiok` | Ratio_k vs QPS/recall | Figure 5 |
+//! | `fig6_refine` | HNSW-DCE vs HNSW-AME vs HNSW(filter) | Figure 6 |
+//! | `fig7_baselines` | ours vs RS-SANN/PACM-ANN/PRI-ANN | Figure 7 |
+//! | `fig8_encryption` | per-vector encryption cost | Figure 8 |
+//! | `fig9_costs` | server/user/comm cost at recall 0.9 | Figure 9 |
+//! | `fig10_scalability` | latency vs database size | Figure 10 |
+//! | `plaintext_gap` | ours vs plaintext HNSW | §VII-B closing text |
+//!
+//! Scales default to laptop-quick sizes; set `PPANN_SCALE=paper` for the
+//! larger runs (see EXPERIMENTS.md). Criterion micro-benchmarks for the
+//! operation-level costs (§IV-B analysis) live in `benches/`.
+
+pub mod harness;
+pub mod tables;
+
+pub use harness::{bench_scale, measured_queries, BenchScale, MeasuredSearch};
+pub use tables::TableWriter;

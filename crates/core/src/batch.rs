@@ -1,0 +1,132 @@
+//! Batched and multi-threaded query execution.
+//!
+//! The paper measures single-threaded search; a production deployment
+//! amortizes across cores. [`BatchExecutor`] fans a query batch out over a
+//! [`SharedServer`] with scoped worker threads, preserving result order and
+//! aggregating costs — the engine behind the `throughput_scaling` benchmark
+//! (an extension experiment, not a paper figure).
+
+use crate::concurrent::SharedServer;
+use crate::cost::QueryCost;
+use crate::query::EncryptedQuery;
+use crate::server::{SearchOutcome, SearchParams};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Aggregated result of a batch run.
+#[derive(Debug)]
+pub struct BatchOutcome {
+    /// Per-query outcomes, in input order.
+    pub outcomes: Vec<SearchOutcome>,
+    /// Sum of all per-query costs.
+    pub total_cost: QueryCost,
+    /// Wall-clock time for the whole batch.
+    pub wall_time: std::time::Duration,
+    /// Worker threads used.
+    pub threads: usize,
+}
+
+impl BatchOutcome {
+    /// Aggregate throughput (queries per second of wall time).
+    pub fn qps(&self) -> f64 {
+        self.outcomes.len() as f64 / self.wall_time.as_secs_f64().max(1e-12)
+    }
+}
+
+/// Runs query batches against a shared server with a fixed worker count.
+pub struct BatchExecutor {
+    server: SharedServer,
+    threads: usize,
+}
+
+impl BatchExecutor {
+    /// Creates an executor with `threads` workers (clamped to ≥ 1).
+    pub fn new(server: SharedServer, threads: usize) -> Self {
+        Self { server, threads: threads.max(1) }
+    }
+
+    /// Executes all queries, work-stealing over an atomic cursor so skewed
+    /// per-query latencies cannot idle a worker.
+    pub fn run(&self, queries: &[EncryptedQuery], params: &SearchParams) -> BatchOutcome {
+        let started = std::time::Instant::now();
+        let n = queries.len();
+        let mut slots: Vec<Option<SearchOutcome>> = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+        let cursor = AtomicUsize::new(0);
+
+        // Workers steal indices from a shared cursor, collect results
+        // locally, and the merge below restores input order.
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(self.threads);
+            for _ in 0..self.threads {
+                let server = self.server.clone();
+                let cursor = &cursor;
+                handles.push(scope.spawn(move || {
+                    let mut local: Vec<(usize, SearchOutcome)> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, server.search(&queries[i], params)));
+                    }
+                    local
+                }));
+            }
+            for h in handles {
+                for (i, out) in h.join().expect("batch worker panicked") {
+                    slots[i] = Some(out);
+                }
+            }
+        });
+
+        let outcomes: Vec<SearchOutcome> =
+            slots.into_iter().map(|s| s.expect("every slot filled")).collect();
+        let mut total_cost = QueryCost::default();
+        for o in &outcomes {
+            total_cost.absorb(&o.cost);
+        }
+        BatchOutcome { outcomes, total_cost, wall_time: started.elapsed(), threads: self.threads }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::owner::{DataOwner, PpAnnParams};
+    use crate::server::CloudServer;
+    use ppann_linalg::{seeded_rng, uniform_vec};
+
+    #[test]
+    fn batch_matches_sequential_results() {
+        let mut rng = seeded_rng(511);
+        let data: Vec<Vec<f64>> = (0..400).map(|_| uniform_vec(&mut rng, 6, -1.0, 1.0)).collect();
+        let owner = DataOwner::setup(PpAnnParams::new(6).with_beta(0.5).with_seed(3), &data);
+        let server = CloudServer::new(owner.outsource(&data));
+        let shared = SharedServer::new(server);
+        let mut user = owner.authorize_user();
+        let queries: Vec<_> = (0..24).map(|i| user.encrypt_query(&data[i], 5)).collect();
+        let params = SearchParams::from_ratio(5, 8, 60);
+
+        let sequential: Vec<Vec<u32>> =
+            queries.iter().map(|q| shared.search(q, &params).ids).collect();
+        let exec = BatchExecutor::new(shared, 4);
+        let batch = exec.run(&queries, &params);
+        assert_eq!(batch.outcomes.len(), 24);
+        assert_eq!(batch.threads, 4);
+        for (seq, out) in sequential.iter().zip(&batch.outcomes) {
+            assert_eq!(seq, &out.ids, "order or content drift under threading");
+        }
+        assert!(batch.qps() > 0.0);
+        assert!(batch.total_cost.refine_sdc_comps > 0);
+    }
+
+    #[test]
+    fn empty_batch() {
+        let data = vec![vec![0.0, 1.0]];
+        let owner = DataOwner::setup(PpAnnParams::new(2).with_seed(4), &data);
+        let shared = SharedServer::new(CloudServer::new(owner.outsource(&data)));
+        let exec = BatchExecutor::new(shared, 3);
+        let out = exec.run(&[], &SearchParams::from_ratio(1, 1, 10));
+        assert!(out.outcomes.is_empty());
+    }
+}

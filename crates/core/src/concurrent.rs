@@ -1,0 +1,87 @@
+//! A thread-safe server facade: concurrent queries, exclusive maintenance.
+//!
+//! The paper evaluates single-threaded search, but a deployable service must
+//! answer queries while the owner occasionally inserts or deletes vectors.
+//! `SharedServer` wraps [`CloudServer`] in a `parking_lot::RwLock`: searches
+//! take the shared lock, maintenance takes the exclusive one.
+
+use crate::query::EncryptedQuery;
+use crate::server::{CloudServer, SearchOutcome, SearchParams};
+use parking_lot::RwLock;
+use ppann_dce::DceCiphertext;
+use std::sync::Arc;
+
+/// A cheaply clonable, thread-safe handle to a cloud server.
+#[derive(Clone)]
+pub struct SharedServer {
+    inner: Arc<RwLock<CloudServer>>,
+}
+
+impl SharedServer {
+    /// Wraps a server.
+    pub fn new(server: CloudServer) -> Self {
+        Self { inner: Arc::new(RwLock::new(server)) }
+    }
+
+    /// Concurrent query path (shared lock).
+    pub fn search(&self, query: &EncryptedQuery, params: &SearchParams) -> SearchOutcome {
+        self.inner.read().search(query, params)
+    }
+
+    /// Exclusive insertion (Section V-D).
+    pub fn insert(&self, c_sap: Vec<f64>, c_dce: DceCiphertext) -> u32 {
+        self.inner.write().insert(c_sap, c_dce)
+    }
+
+    /// Exclusive deletion (Section V-D).
+    pub fn delete(&self, id: u32) {
+        self.inner.write().delete(id)
+    }
+
+    /// Live vector count.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::owner::{DataOwner, PpAnnParams};
+    use ppann_linalg::{seeded_rng, uniform_vec};
+
+    #[test]
+    fn parallel_queries_and_maintenance() {
+        let mut rng = seeded_rng(161);
+        let data: Vec<Vec<f64>> = (0..200).map(|_| uniform_vec(&mut rng, 6, -1.0, 1.0)).collect();
+        let owner = DataOwner::setup(PpAnnParams::new(6).with_seed(9), &data);
+        let shared = SharedServer::new(CloudServer::new(owner.outsource(&data)));
+        let mut user = owner.authorize_user();
+        let queries: Vec<_> = (0..16).map(|i| user.encrypt_query(&data[i], 5)).collect();
+
+        std::thread::scope(|scope| {
+            for chunk in queries.chunks(4) {
+                let shared = shared.clone();
+                scope.spawn(move || {
+                    for q in chunk {
+                        let out =
+                            shared.search(q, &SearchParams { k_prime: 20, ef_search: 40 });
+                        assert_eq!(out.ids.len(), 5);
+                    }
+                });
+            }
+            let shared2 = shared.clone();
+            let (c_sap, c_dce) = owner.encrypt_for_insert(&data[0], 99);
+            scope.spawn(move || {
+                let id = shared2.insert(c_sap, c_dce);
+                shared2.delete(id);
+            });
+        });
+        assert_eq!(shared.len(), 200);
+    }
+}

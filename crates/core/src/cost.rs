@@ -1,0 +1,63 @@
+//! Cost accounting for the Figure 9 style server/user/communication
+//! breakdowns.
+
+use std::time::Duration;
+
+/// Costs incurred by the server while answering one query.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct QueryCost {
+    /// Plain (SAP-space) distance computations in the filter phase.
+    pub filter_dist_comps: u64,
+    /// DCE secure comparisons in the refine phase.
+    pub refine_sdc_comps: u64,
+    /// Wall-clock server time.
+    pub server_time: Duration,
+    /// Bytes uploaded by the user (SAP query + trapdoor + k).
+    pub bytes_up: u64,
+    /// Bytes downloaded by the user (k result ids).
+    pub bytes_down: u64,
+}
+
+impl QueryCost {
+    /// Total communication volume.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_up + self.bytes_down
+    }
+
+    /// Accumulates another query's costs (for averaging over a workload).
+    pub fn absorb(&mut self, other: &QueryCost) {
+        self.filter_dist_comps += other.filter_dist_comps;
+        self.refine_sdc_comps += other.refine_sdc_comps;
+        self.server_time += other.server_time;
+        self.bytes_up += other.bytes_up;
+        self.bytes_down += other.bytes_down;
+    }
+}
+
+/// Costs incurred by the user per query (trapdoor generation is the only
+/// user-side work in this scheme — property P3 of the paper).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct UserCost {
+    /// Wall-clock time to produce `(C_q, T_q)`.
+    pub encrypt_time: Duration,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_sums_fields() {
+        let mut a = QueryCost {
+            filter_dist_comps: 1,
+            refine_sdc_comps: 2,
+            server_time: Duration::from_nanos(5),
+            bytes_up: 10,
+            bytes_down: 20,
+        };
+        a.absorb(&a.clone());
+        assert_eq!(a.filter_dist_comps, 2);
+        assert_eq!(a.refine_sdc_comps, 4);
+        assert_eq!(a.total_bytes(), 60);
+    }
+}

@@ -1,0 +1,183 @@
+//! The secure top-k heap of the refine phase (paper Algorithm 2).
+//!
+//! A bounded max-heap over candidate ids in which **every** ordering decision
+//! is a DCE `DistanceComp` call — the server never sees a distance value,
+//! only comparison signs. Each insertion costs O(log k) secure comparisons,
+//! giving the paper's refine complexity O(k′·d·log k).
+
+use ppann_dce::{distance_comp, DceCiphertext, DceTrapdoor};
+
+/// A bounded secure max-heap: retains the `k` candidates closest to the
+/// query, with the *farthest* retained candidate on top.
+pub struct SecureTopK<'a> {
+    trapdoor: &'a DceTrapdoor,
+    ciphertexts: &'a [DceCiphertext],
+    capacity: usize,
+    heap: Vec<u32>,
+    comparisons: u64,
+}
+
+impl<'a> SecureTopK<'a> {
+    /// Creates an empty heap of the given capacity (`k`).
+    pub fn new(trapdoor: &'a DceTrapdoor, ciphertexts: &'a [DceCiphertext], capacity: usize) -> Self {
+        assert!(capacity > 0, "SecureTopK requires capacity ≥ 1");
+        Self { trapdoor, ciphertexts, capacity, heap: Vec::with_capacity(capacity + 1), comparisons: 0 }
+    }
+
+    /// Number of retained candidates.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when nothing has been offered yet.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Secure comparisons performed so far.
+    pub fn comparisons(&self) -> u64 {
+        self.comparisons
+    }
+
+    /// `true` iff `dist(a, q) > dist(b, q)` — the max-heap ordering.
+    fn farther(&mut self, a: u32, b: u32) -> bool {
+        self.comparisons += 1;
+        distance_comp(&self.ciphertexts[a as usize], &self.ciphertexts[b as usize], self.trapdoor)
+            > 0.0
+    }
+
+    /// Offers a candidate (the body of Algorithm 2's loop): inserted outright
+    /// while the heap is under capacity; otherwise it replaces the current
+    /// top iff it is closer to the query.
+    pub fn offer(&mut self, id: u32) {
+        if self.heap.len() < self.capacity {
+            self.heap.push(id);
+            self.sift_up(self.heap.len() - 1);
+        } else {
+            let top = self.heap[0];
+            // Algorithm 2 line 8: DistanceComp(C_o, C_p, T_q) > 0 ⇒ p wins.
+            if self.farther(top, id) {
+                self.heap[0] = id;
+                self.sift_down(0);
+            }
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.farther(self.heap[i], self.heap[parent]) {
+                self.heap.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut largest = i;
+            if l < self.heap.len() && self.farther(self.heap[l], self.heap[largest]) {
+                largest = l;
+            }
+            if r < self.heap.len() && self.farther(self.heap[r], self.heap[largest]) {
+                largest = r;
+            }
+            if largest == i {
+                return;
+            }
+            self.heap.swap(i, largest);
+            i = largest;
+        }
+    }
+
+    /// Drains the heap into ids ordered closest-first (k·log k secure
+    /// comparisons; the paper returns the heap unordered, ordering is a
+    /// convenience for recall computation).
+    pub fn into_sorted_ids(mut self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.heap.len());
+        while !self.heap.is_empty() {
+            let last = self.heap.len() - 1;
+            self.heap.swap(0, last);
+            out.push(self.heap.pop().expect("nonempty"));
+            if !self.heap.is_empty() {
+                self.sift_down(0);
+            }
+        }
+        out.reverse();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppann_dce::DceSecretKey;
+    use ppann_linalg::vector::squared_euclidean;
+    use ppann_linalg::{seeded_rng, uniform_vec};
+
+    #[test]
+    fn keeps_the_true_top_k() {
+        let mut rng = seeded_rng(121);
+        let d = 8;
+        let sk = DceSecretKey::generate(d, &mut rng);
+        let pts: Vec<Vec<f64>> = (0..60).map(|_| uniform_vec(&mut rng, d, -1.0, 1.0)).collect();
+        let cts: Vec<_> = pts.iter().map(|p| sk.encrypt(p, &mut rng)).collect();
+        let q = uniform_vec(&mut rng, d, -1.0, 1.0);
+        let t = sk.trapdoor(&q, &mut rng);
+
+        let mut heap = SecureTopK::new(&t, &cts, 10);
+        for id in 0..pts.len() as u32 {
+            heap.offer(id);
+        }
+        let got = heap.into_sorted_ids();
+
+        let mut expected: Vec<u32> = (0..pts.len() as u32).collect();
+        expected.sort_by(|&a, &b| {
+            squared_euclidean(&pts[a as usize], &q)
+                .partial_cmp(&squared_euclidean(&pts[b as usize], &q))
+                .unwrap()
+        });
+        assert_eq!(got, expected[..10].to_vec());
+    }
+
+    #[test]
+    fn under_capacity_returns_everything() {
+        let mut rng = seeded_rng(122);
+        let d = 4;
+        let sk = DceSecretKey::generate(d, &mut rng);
+        let pts: Vec<Vec<f64>> = (0..3).map(|_| uniform_vec(&mut rng, d, -1.0, 1.0)).collect();
+        let cts: Vec<_> = pts.iter().map(|p| sk.encrypt(p, &mut rng)).collect();
+        let t = sk.trapdoor(&pts[0], &mut rng);
+        let mut heap = SecureTopK::new(&t, &cts, 10);
+        for id in 0..3 {
+            heap.offer(id);
+        }
+        assert_eq!(heap.len(), 3);
+        let ids = heap.into_sorted_ids();
+        assert_eq!(ids.len(), 3);
+        assert_eq!(ids[0], 0);
+    }
+
+    #[test]
+    fn comparison_count_is_logarithmic_per_offer() {
+        let mut rng = seeded_rng(123);
+        let d = 4;
+        let k = 16usize;
+        let n = 512u32;
+        let sk = DceSecretKey::generate(d, &mut rng);
+        let pts: Vec<Vec<f64>> = (0..n).map(|_| uniform_vec(&mut rng, d, -1.0, 1.0)).collect();
+        let cts: Vec<_> = pts.iter().map(|p| sk.encrypt(p, &mut rng)).collect();
+        let t = sk.trapdoor(&pts[0], &mut rng);
+        let mut heap = SecureTopK::new(&t, &cts, k);
+        for id in 0..n {
+            heap.offer(id);
+        }
+        let comps = heap.comparisons();
+        // Bound: each offer costs ≤ 1 + 2·log₂(k) comparisons.
+        let bound = n as u64 * (1 + 2 * (k as f64).log2().ceil() as u64);
+        assert!(comps <= bound, "comps {comps} exceeds bound {bound}");
+    }
+}

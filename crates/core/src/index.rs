@@ -1,0 +1,77 @@
+//! The encrypted database the cloud stores: SAP ciphertexts inside the HNSW
+//! index, plus the aligned DCE ciphertexts (paper Figure 3, `B1`/`B2`).
+
+use ppann_dce::DceCiphertext;
+use ppann_hnsw::Hnsw;
+
+/// Everything the server holds: the HNSW graph whose `VecStore` contains the
+/// SAP ciphertexts, and one DCE ciphertext per vector, aligned by id.
+pub struct EncryptedDatabase {
+    hnsw: Hnsw,
+    dce: Vec<DceCiphertext>,
+}
+
+impl EncryptedDatabase {
+    /// Assembles a database; ids of the HNSW store and the DCE list must
+    /// align (they do by construction in [`crate::DataOwner::outsource`]).
+    pub fn new(hnsw: Hnsw, dce: Vec<DceCiphertext>) -> Self {
+        assert_eq!(
+            hnsw.capacity_slots(),
+            dce.len(),
+            "HNSW store and DCE ciphertext list must align"
+        );
+        Self { hnsw, dce }
+    }
+
+    /// Number of live vectors.
+    pub fn len(&self) -> usize {
+        self.hnsw.len()
+    }
+
+    /// True when the database holds no live vectors.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The filter index.
+    pub fn hnsw(&self) -> &Hnsw {
+        &self.hnsw
+    }
+
+    /// The aligned DCE ciphertexts.
+    pub fn dce_ciphertexts(&self) -> &[DceCiphertext] {
+        &self.dce
+    }
+
+    /// Inserts a pre-encrypted vector (server-side half of the paper's
+    /// Section V-D insertion: the owner encrypted, the server wires the
+    /// graph). Returns the assigned id.
+    pub fn insert(&mut self, c_sap: Vec<f64>, c_dce: DceCiphertext) -> u32 {
+        let id = self.hnsw.insert(&c_sap);
+        debug_assert_eq!(id as usize, self.dce.len());
+        self.dce.push(c_dce);
+        id
+    }
+
+    /// Deletes a vector by id; the HNSW repair runs entirely server-side
+    /// (paper: "the deletion could be finished solely by the server").
+    pub fn delete(&mut self, id: u32) {
+        self.hnsw.delete(id);
+        // The DCE ciphertext slot is retained as a tombstone so ids stay
+        // aligned; the filter phase never returns deleted ids.
+    }
+
+    /// Decomposes the database into its index and ciphertext list.
+    pub fn into_parts(self) -> (Hnsw, Vec<DceCiphertext>) {
+        (self.hnsw, self.dce)
+    }
+}
+
+impl std::fmt::Debug for EncryptedDatabase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EncryptedDatabase")
+            .field("live", &self.len())
+            .field("slots", &self.hnsw.capacity_slots())
+            .finish_non_exhaustive()
+    }
+}

@@ -1,0 +1,154 @@
+//! Persistence of the data owner's key bundle.
+//!
+//! The owner's secrets (DCE key, SAP key, normalization factor) plus the
+//! scheme parameters are everything needed to resume operating against an
+//! outsourced database: authorize new users, encrypt insertions, re-derive
+//! query trapdoors. **The file is raw key material** — protect it like one.
+
+use crate::owner::{DataOwner, OwnerSecretKey, PpAnnParams};
+use crate::persist::PersistError;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use ppann_dce::DceSecretKey;
+use ppann_dcpe::{SapEncryptor, SapKey};
+use ppann_hnsw::HnswParams;
+use std::io::{Read, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+const MAGIC: &[u8; 4] = b"PPSK";
+const VERSION: u32 = 1;
+
+impl DataOwner {
+    /// Serializes the key bundle and scheme parameters.
+    pub fn to_key_bytes(&self) -> Bytes {
+        let params = self.params();
+        let key = self.secret_key();
+        let dce_bytes = key.dce.to_bytes();
+        let mut buf = BytesMut::with_capacity(64 + dce_bytes.len());
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(VERSION);
+        buf.put_u64_le(params.dim as u64);
+        buf.put_f64_le(params.sap_s);
+        buf.put_f64_le(params.sap_beta);
+        buf.put_u64_le(params.hnsw.m as u64);
+        buf.put_u64_le(params.hnsw.m0 as u64);
+        buf.put_u64_le(params.hnsw.ef_construction as u64);
+        buf.put_u8(params.hnsw.extend_candidates as u8);
+        buf.put_u8(params.hnsw.keep_pruned as u8);
+        buf.put_u64_le(params.hnsw.seed);
+        buf.put_u64_le(params.seed);
+        buf.put_f64_le(key.norm_scale_value());
+        buf.put_u64_le(dce_bytes.len() as u64);
+        buf.put_slice(&dce_bytes);
+        buf.freeze()
+    }
+
+    /// Restores a data owner from bytes written by
+    /// [`DataOwner::to_key_bytes`].
+    pub fn from_key_bytes(mut data: Bytes) -> Result<Self, PersistError> {
+        let corrupt = |msg: &str| PersistError::Corrupt(msg.to_string());
+        if data.remaining() < 8 || &data.copy_to_bytes(4)[..] != MAGIC {
+            return Err(corrupt("bad key magic"));
+        }
+        if data.get_u32_le() != VERSION {
+            return Err(corrupt("unsupported key version"));
+        }
+        if data.remaining() < 8 * 8 + 2 + 8 {
+            return Err(corrupt("truncated key header"));
+        }
+        let dim = data.get_u64_le() as usize;
+        let sap_s = data.get_f64_le();
+        let sap_beta = data.get_f64_le();
+        let hnsw = HnswParams {
+            m: data.get_u64_le() as usize,
+            m0: data.get_u64_le() as usize,
+            ef_construction: data.get_u64_le() as usize,
+            extend_candidates: data.get_u8() != 0,
+            keep_pruned: data.get_u8() != 0,
+            seed: data.get_u64_le(),
+        };
+        let seed = data.get_u64_le();
+        let norm_scale = data.get_f64_le();
+        let dce_len = data.get_u64_le() as usize;
+        if data.remaining() < dce_len {
+            return Err(corrupt("truncated DCE key"));
+        }
+        let dce = DceSecretKey::from_bytes(data.copy_to_bytes(dce_len))
+            .map_err(|e| corrupt(&format!("dce key: {e}")))?;
+        let params = PpAnnParams { dim, sap_s, sap_beta, hnsw, seed, parallel_build: false };
+        let key = OwnerSecretKey::from_parts(
+            dce,
+            SapEncryptor::new(SapKey::new(sap_s, sap_beta)),
+            norm_scale,
+            dim,
+        );
+        Ok(DataOwner::from_parts(Arc::new(key), params))
+    }
+
+    /// Writes the key bundle to a file.
+    pub fn save_keys(&self, path: &Path) -> Result<(), PersistError> {
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        f.write_all(&self.to_key_bytes())?;
+        f.flush()?;
+        Ok(())
+    }
+
+    /// Loads a key bundle from a file.
+    pub fn load_keys(path: &Path) -> Result<Self, PersistError> {
+        let mut buf = Vec::new();
+        std::fs::File::open(path)?.read_to_end(&mut buf)?;
+        Self::from_key_bytes(Bytes::from(buf))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{CloudServer, SearchParams};
+    use ppann_linalg::{seeded_rng, uniform_vec};
+
+    #[test]
+    fn key_roundtrip_keeps_the_database_usable() {
+        let mut rng = seeded_rng(331);
+        let data: Vec<Vec<f64>> = (0..200).map(|_| uniform_vec(&mut rng, 6, -3.0, 3.0)).collect();
+        let owner = DataOwner::setup(PpAnnParams::new(6).with_beta(0.5).with_seed(5), &data);
+        let server = CloudServer::new(owner.outsource(&data));
+
+        // Round-trip the keys, then query the OLD server with a user
+        // authorized by the RESTORED owner.
+        let restored = DataOwner::from_key_bytes(owner.to_key_bytes()).unwrap();
+        let mut user = restored.authorize_user();
+        let out = server.search(
+            &user.encrypt_query(&data[17], 3),
+            &SearchParams::from_ratio(3, 8, 60),
+        );
+        assert_eq!(out.ids[0], 17);
+
+        // And an insertion encrypted by the restored owner must land.
+        let mut server = server;
+        let novel = vec![9.0; 6];
+        let (c_sap, c_dce) = restored.encrypt_for_insert(&novel, 1);
+        let id = server.insert(c_sap, c_dce);
+        let out = server.search(
+            &user.encrypt_query(&novel, 1),
+            &SearchParams::from_ratio(1, 8, 60),
+        );
+        assert_eq!(out.ids, vec![id]);
+    }
+
+    #[test]
+    fn key_file_roundtrip() {
+        let data = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        let owner = DataOwner::setup(PpAnnParams::new(2).with_seed(6), &data);
+        let path = std::env::temp_dir().join("ppanns_keyfile_test.bin");
+        owner.save_keys(&path).unwrap();
+        let restored = DataOwner::load_keys(&path).unwrap();
+        assert_eq!(restored.params().dim, 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn garbage_key_rejected() {
+        assert!(DataOwner::from_key_bytes(Bytes::from_static(b"garbage")).is_err());
+    }
+}

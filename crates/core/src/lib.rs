@@ -1,0 +1,65 @@
+//! # ppann-core
+//!
+//! The complete **PP-ANNS scheme** of the reproduced paper (Section V):
+//! a single-server, non-interactive privacy-preserving k-ANN search.
+//!
+//! ## Roles (paper Figure 1)
+//!
+//! * [`DataOwner`] — holds the plaintext database; generates the secret key
+//!   bundle, encrypts every vector under **both** DCPE/SAP (approximate, for
+//!   the index) and DCE (exact comparisons, for refinement), builds the HNSW
+//!   graph over the SAP ciphertexts, and outsources everything to the cloud.
+//! * [`QueryUser`] — holds the authorized secret key; per query computes one
+//!   SAP ciphertext and one DCE trapdoor (O(d²) work) and sends `(C_q, T_q, k)`.
+//! * [`CloudServer`] — stores only ciphertexts; answers queries with the
+//!   **filter-and-refine** search of Algorithm 2: a k′-ANN search on the
+//!   HNSW-over-SAP index (cheap, approximate) followed by an exact top-k
+//!   refinement that orders candidates *only* through DCE's `DistanceComp`.
+//!
+//! ## What the server learns
+//!
+//! Per the paper's threat model, the server sees SAP ciphertexts, DCE
+//! ciphertexts, the (approximate) HNSW neighborhood structure, and the signs
+//! of distance comparisons during refinement — nothing else. No plaintext
+//! vector, query, or distance value is ever materialized server-side.
+//!
+//! ```
+//! use ppann_core::{CloudServer, DataOwner, PpAnnParams, SearchParams};
+//! use ppann_linalg::{seeded_rng, uniform_vec};
+//!
+//! let mut rng = seeded_rng(7);
+//! let data: Vec<Vec<f64>> = (0..200).map(|_| uniform_vec(&mut rng, 8, -1.0, 1.0)).collect();
+//! let params = PpAnnParams::new(8).with_seed(42);
+//! let owner = DataOwner::setup(params, &data);
+//! let server = CloudServer::new(owner.outsource(&data));
+//! let mut user = owner.authorize_user();
+//!
+//! let query = user.encrypt_query(&data[0], 5);
+//! let outcome = server.search(&query, &SearchParams { k_prime: 20, ef_search: 40 });
+//! assert_eq!(outcome.ids.len(), 5);
+//! assert_eq!(outcome.ids[0], 0); // the query point itself is its own 1-NN
+//! ```
+
+pub mod batch;
+mod concurrent;
+mod cost;
+mod heap;
+mod index;
+mod keyfile;
+mod owner;
+mod persist;
+mod query;
+mod server;
+pub mod tune;
+mod user;
+
+pub use batch::{BatchExecutor, BatchOutcome};
+pub use concurrent::SharedServer;
+pub use cost::{QueryCost, UserCost};
+pub use heap::SecureTopK;
+pub use index::EncryptedDatabase;
+pub use owner::{DataOwner, OwnerSecretKey, PpAnnParams};
+pub use persist::PersistError;
+pub use query::EncryptedQuery;
+pub use server::{CloudServer, SearchOutcome, SearchParams};
+pub use user::QueryUser;

@@ -1,0 +1,173 @@
+//! Binary persistence of the encrypted database (server snapshots).
+//!
+//! Layout (little endian, hand-rolled over `bytes` — see DESIGN.md §5 for
+//! why no serialization crate is used):
+//!
+//! ```text
+//! magic "PPDB" | version u32 | hnsw_len u64 | hnsw snapshot bytes
+//! | n_dce u64 | component_dim u64 | 4·dim f64 per ciphertext
+//! ```
+
+use crate::index::EncryptedDatabase;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use ppann_dce::DceCiphertext;
+use ppann_hnsw::Hnsw;
+use std::io::{Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"PPDB";
+const VERSION: u32 = 1;
+
+/// Persistence failures.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Bad magic/version or inconsistent lengths.
+    Corrupt(String),
+    /// Underlying IO failure.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Corrupt(msg) => write!(f, "corrupt snapshot: {msg}"),
+            PersistError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+impl std::error::Error for PersistError {}
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl EncryptedDatabase {
+    /// Serializes the full encrypted database.
+    pub fn to_bytes(&self) -> Bytes {
+        let hnsw_bytes = self.hnsw().to_bytes();
+        let dce = self.dce_ciphertexts();
+        let comp_dim = dce.first().map_or(0, |c| c.component_dim());
+        let mut buf =
+            BytesMut::with_capacity(32 + hnsw_bytes.len() + dce.len() * comp_dim * 4 * 8);
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(VERSION);
+        buf.put_u64_le(hnsw_bytes.len() as u64);
+        buf.put_slice(&hnsw_bytes);
+        buf.put_u64_le(dce.len() as u64);
+        buf.put_u64_le(comp_dim as u64);
+        for ct in dce {
+            for comp in ct.components() {
+                for v in comp {
+                    buf.put_f64_le(*v);
+                }
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Restores a database serialized by [`Self::to_bytes`].
+    pub fn from_bytes(mut data: Bytes) -> Result<Self, PersistError> {
+        let err = |msg: &str| PersistError::Corrupt(msg.to_string());
+        if data.remaining() < 8 || &data.copy_to_bytes(4)[..] != MAGIC {
+            return Err(err("bad magic"));
+        }
+        if data.get_u32_le() != VERSION {
+            return Err(err("unsupported version"));
+        }
+        if data.remaining() < 8 {
+            return Err(err("truncated header"));
+        }
+        let hnsw_len = data.get_u64_le() as usize;
+        if data.remaining() < hnsw_len {
+            return Err(err("truncated index"));
+        }
+        let hnsw = Hnsw::from_bytes(data.copy_to_bytes(hnsw_len))
+            .map_err(|e| err(&format!("hnsw: {e}")))?;
+        if data.remaining() < 16 {
+            return Err(err("truncated ciphertext header"));
+        }
+        let n = data.get_u64_le() as usize;
+        let comp_dim = data.get_u64_le() as usize;
+        if data.remaining() < n * comp_dim * 4 * 8 {
+            return Err(err("truncated ciphertexts"));
+        }
+        let mut dce = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut comps: [Vec<f64>; 4] = Default::default();
+            for comp in &mut comps {
+                comp.reserve(comp_dim);
+                for _ in 0..comp_dim {
+                    comp.push(data.get_f64_le());
+                }
+            }
+            let [a, b, c, d] = comps;
+            dce.push(DceCiphertext::from_components(a, b, c, d));
+        }
+        if hnsw.capacity_slots() != dce.len() {
+            return Err(err("index/ciphertext misalignment"));
+        }
+        Ok(EncryptedDatabase::new(hnsw, dce))
+    }
+
+    /// Writes the snapshot to a file.
+    pub fn save_to(&self, path: &Path) -> Result<(), PersistError> {
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        f.write_all(&self.to_bytes())?;
+        f.flush()?;
+        Ok(())
+    }
+
+    /// Loads a snapshot from a file.
+    pub fn load_from(path: &Path) -> Result<Self, PersistError> {
+        let mut buf = Vec::new();
+        std::fs::File::open(path)?.read_to_end(&mut buf)?;
+        Self::from_bytes(Bytes::from(buf))
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)]
+mod tests {
+    use super::*;
+    use crate::owner::{DataOwner, PpAnnParams};
+    use crate::server::{CloudServer, SearchParams};
+    use ppann_linalg::{seeded_rng, uniform_vec};
+
+    #[test]
+    fn roundtrip_preserves_search_results() {
+        let mut rng = seeded_rng(171);
+        let data: Vec<Vec<f64>> = (0..120).map(|_| uniform_vec(&mut rng, 6, -1.0, 1.0)).collect();
+        let owner = DataOwner::setup(PpAnnParams::new(6).with_seed(3), &data);
+        let db = owner.outsource(&data);
+        let bytes = db.to_bytes();
+        let restored = EncryptedDatabase::from_bytes(bytes).unwrap();
+
+        let server_a = CloudServer::new(db);
+        let server_b = CloudServer::new(restored);
+        let mut user = owner.authorize_user();
+        for i in 0..5 {
+            let q = user.encrypt_query(&data[i], 5);
+            let p = SearchParams { k_prime: 20, ef_search: 40 };
+            assert_eq!(server_a.search(&q, &p).ids, server_b.search(&q, &p).ids);
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let mut rng = seeded_rng(172);
+        let data: Vec<Vec<f64>> = (0..30).map(|_| uniform_vec(&mut rng, 4, -1.0, 1.0)).collect();
+        let owner = DataOwner::setup(PpAnnParams::new(4), &data);
+        let db = owner.outsource(&data);
+        let path = std::env::temp_dir().join("ppanns_persist_test.bin");
+        db.save_to(&path).unwrap();
+        let restored = EncryptedDatabase::load_from(&path).unwrap();
+        assert_eq!(restored.len(), 30);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(EncryptedDatabase::from_bytes(Bytes::from_static(b"garbage!")).is_err());
+    }
+}

@@ -1,0 +1,40 @@
+//! The encrypted query message sent from user to server.
+
+use ppann_dce::DceTrapdoor;
+
+/// `(C_q^SAP, T_q, k)` — everything the server receives for one query
+/// (paper Section V-C: two messages total per query, this one up and the
+/// result ids down).
+#[derive(Clone, Debug)]
+pub struct EncryptedQuery {
+    /// SAP ciphertext of the query (drives the filter phase).
+    pub c_sap: Vec<f64>,
+    /// DCE trapdoor of the query (drives the refine phase).
+    pub trapdoor: DceTrapdoor,
+    /// Number of neighbors requested.
+    pub k: usize,
+}
+
+impl EncryptedQuery {
+    /// Size of the upstream message in bytes: `8d` (SAP, f64) +
+    /// `8·(2d+16)` (trapdoor, f64) + 8 (k), mirroring the paper's
+    /// communication analysis with f64 coordinates.
+    pub fn upload_bytes(&self) -> u64 {
+        (8 * self.c_sap.len() + 8 * self.trapdoor.dim() + 8) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upload_bytes_formula() {
+        let q = EncryptedQuery {
+            c_sap: vec![0.0; 10],
+            trapdoor: DceTrapdoor::from_vec(vec![0.0; 36]),
+            k: 5,
+        };
+        assert_eq!(q.upload_bytes(), 80 + 288 + 8);
+    }
+}

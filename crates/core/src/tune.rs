@@ -1,0 +1,157 @@
+//! Search-parameter tuning (paper Section V-B: "In practice, we employ the
+//! grid search method to select the best value of k′").
+//!
+//! Given a server, a user, a tuning query set with ground truth and a target
+//! recall, [`grid_search`] walks a (Ratio_k × efSearch) grid and returns the
+//! highest-throughput configuration meeting the target. The data owner runs
+//! this offline on a held-out query sample before going live.
+
+use crate::query::EncryptedQuery;
+use crate::server::{CloudServer, SearchParams};
+use crate::user::QueryUser;
+use std::time::Instant;
+
+/// The tuning grid. Defaults mirror the sweeps of Figures 4–5.
+#[derive(Clone, Debug)]
+pub struct TuningGrid {
+    /// Candidate `Ratio_k = k′/k` multipliers.
+    pub ratios: Vec<usize>,
+    /// Candidate `efSearch` floors (the effective beam is
+    /// `max(ef, k·ratio)`).
+    pub ef_search: Vec<usize>,
+}
+
+impl Default for TuningGrid {
+    fn default() -> Self {
+        Self { ratios: vec![1, 2, 4, 8, 16, 32, 64, 128], ef_search: vec![40, 80, 160, 320] }
+    }
+}
+
+/// One evaluated grid point.
+#[derive(Clone, Copy, Debug)]
+pub struct TuningPoint {
+    /// The configuration evaluated.
+    pub params: SearchParams,
+    /// Mean Recall@k over the tuning queries.
+    pub recall: f64,
+    /// Throughput over the tuning queries (single-threaded).
+    pub qps: f64,
+}
+
+/// Result of a grid search.
+#[derive(Clone, Debug)]
+pub struct TuningOutcome {
+    /// The best configuration meeting the target (highest QPS), if any.
+    pub best: Option<TuningPoint>,
+    /// Every evaluated point, for diagnostics.
+    pub evaluated: Vec<TuningPoint>,
+}
+
+/// Runs the grid search. `truth[i]` must hold the exact k-NN ids of
+/// `queries[i]`; `k` is the production k. Single-threaded, like the
+/// measurements it calibrates.
+pub fn grid_search(
+    server: &CloudServer,
+    user: &mut QueryUser,
+    queries: &[Vec<f64>],
+    truth: &[Vec<u32>],
+    k: usize,
+    target_recall: f64,
+    grid: &TuningGrid,
+) -> TuningOutcome {
+    assert_eq!(queries.len(), truth.len(), "queries/truth length mismatch");
+    let encrypted: Vec<EncryptedQuery> =
+        queries.iter().map(|q| user.encrypt_query(q, k)).collect();
+
+    let mut evaluated = Vec::new();
+    let mut best: Option<TuningPoint> = None;
+    for &ratio in &grid.ratios {
+        for &ef in &grid.ef_search {
+            let params = SearchParams::from_ratio(k, ratio, ef.max(k * ratio));
+            let started = Instant::now();
+            let mut recall_sum = 0.0;
+            for (enc, t) in encrypted.iter().zip(truth) {
+                let out = server.search(enc, &params);
+                recall_sum += recall(t, &out.ids);
+            }
+            let elapsed = started.elapsed().as_secs_f64().max(1e-12);
+            let point = TuningPoint {
+                params,
+                recall: recall_sum / encrypted.len().max(1) as f64,
+                qps: encrypted.len() as f64 / elapsed,
+            };
+            evaluated.push(point);
+            if point.recall >= target_recall
+                && best.map_or(true, |b| point.qps > b.qps)
+            {
+                best = Some(point);
+            }
+        }
+    }
+    TuningOutcome { best, evaluated }
+}
+
+fn recall(truth: &[u32], got: &[u32]) -> f64 {
+    if truth.is_empty() {
+        return 1.0;
+    }
+    truth.iter().filter(|t| got.contains(t)).count() as f64 / truth.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::owner::{DataOwner, PpAnnParams};
+    use ppann_linalg::{seeded_rng, uniform_vec, vector};
+
+    fn exact_knn(base: &[Vec<f64>], q: &[f64], k: usize) -> Vec<u32> {
+        let mut ids: Vec<u32> = (0..base.len() as u32).collect();
+        ids.sort_by(|&a, &b| {
+            vector::squared_euclidean(&base[a as usize], q)
+                .partial_cmp(&vector::squared_euclidean(&base[b as usize], q))
+                .unwrap()
+        });
+        ids.truncate(k);
+        ids
+    }
+
+    #[test]
+    fn grid_search_meets_target() {
+        let mut rng = seeded_rng(501);
+        let data: Vec<Vec<f64>> = (0..600).map(|_| uniform_vec(&mut rng, 8, -1.0, 1.0)).collect();
+        let owner =
+            DataOwner::setup(PpAnnParams::new(8).with_beta(1.5).with_seed(1), &data);
+        let server = CloudServer::new(owner.outsource(&data));
+        let mut user = owner.authorize_user();
+        let queries: Vec<Vec<f64>> = data[..10].to_vec();
+        let truth: Vec<Vec<u32>> = queries.iter().map(|q| exact_knn(&data, q, 5)).collect();
+
+        let grid = TuningGrid { ratios: vec![1, 8, 32], ef_search: vec![40, 160] };
+        let outcome = grid_search(&server, &mut user, &queries, &truth, 5, 0.9, &grid);
+        let best = outcome.best.expect("some configuration must reach 0.9");
+        assert!(best.recall >= 0.9);
+        assert_eq!(outcome.evaluated.len(), 6);
+        // The chosen point must be the fastest among qualifying ones.
+        for p in &outcome.evaluated {
+            if p.recall >= 0.9 {
+                assert!(best.qps >= p.qps);
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_target_returns_none() {
+        let mut rng = seeded_rng(502);
+        let data: Vec<Vec<f64>> = (0..100).map(|_| uniform_vec(&mut rng, 4, -1.0, 1.0)).collect();
+        // Absurd noise: β far beyond the admissible range ⇒ low ceiling.
+        let owner = DataOwner::setup(PpAnnParams::new(4).with_beta(50.0).with_seed(2), &data);
+        let server = CloudServer::new(owner.outsource(&data));
+        let mut user = owner.authorize_user();
+        let queries: Vec<Vec<f64>> = data[..5].to_vec();
+        let truth: Vec<Vec<u32>> = queries.iter().map(|q| exact_knn(&data, q, 5)).collect();
+        let grid = TuningGrid { ratios: vec![1], ef_search: vec![20] };
+        let outcome = grid_search(&server, &mut user, &queries, &truth, 5, 0.999, &grid);
+        assert!(outcome.best.is_none());
+        assert!(!outcome.evaluated.is_empty());
+    }
+}

@@ -1,0 +1,85 @@
+//! The query user: the only party besides the owner holding the key.
+
+use crate::cost::UserCost;
+use crate::query::EncryptedQuery;
+use crate::owner::OwnerSecretKey;
+use ppann_linalg::seeded_rng;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A query user holding the authorized key bundle (paper Figure 1).
+///
+/// Per property P3 the user's entire involvement is `encrypt_query` (O(d²)
+/// for the DCE trapdoor, O(d) for the SAP ciphertext) and receiving `k` ids.
+pub struct QueryUser {
+    key: Arc<OwnerSecretKey>,
+    rng: StdRng,
+    last_cost: UserCost,
+}
+
+impl QueryUser {
+    pub(crate) fn new(key: Arc<OwnerSecretKey>, seed: u64) -> Self {
+        Self { key, rng: seeded_rng(seed), last_cost: UserCost::default() }
+    }
+
+    /// Encrypts a query: normalizes, SAP-encrypts (filter phase) and
+    /// generates the DCE trapdoor (refine phase).
+    pub fn encrypt_query(&mut self, q: &[f64], k: usize) -> EncryptedQuery {
+        assert!(k > 0, "k must be positive");
+        let started = Instant::now();
+        let normalized = self.key.normalize(q);
+        let c_sap = self.key.sap.encrypt(&normalized, &mut self.rng);
+        let trapdoor = self.key.dce.trapdoor(&normalized, &mut self.rng);
+        self.last_cost = UserCost { encrypt_time: started.elapsed() };
+        EncryptedQuery { c_sap, trapdoor, k }
+    }
+
+    /// Cost of the most recent `encrypt_query` call.
+    pub fn last_cost(&self) -> UserCost {
+        self.last_cost
+    }
+
+    /// Derives an independent user (e.g. to model several query clients).
+    pub fn fork(&mut self) -> QueryUser {
+        QueryUser::new(Arc::clone(&self.key), self.rng.gen())
+    }
+}
+
+impl std::fmt::Debug for QueryUser {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("QueryUser { .. }")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::owner::{DataOwner, PpAnnParams};
+    use ppann_linalg::{seeded_rng, uniform_vec};
+
+    #[test]
+    fn query_encryption_produces_both_ciphertexts() {
+        let mut rng = seeded_rng(141);
+        let data: Vec<Vec<f64>> = (0..10).map(|_| uniform_vec(&mut rng, 5, -2.0, 2.0)).collect();
+        let owner = DataOwner::setup(PpAnnParams::new(5), &data);
+        let mut user = owner.authorize_user();
+        let q = user.encrypt_query(&data[0], 3);
+        assert_eq!(q.c_sap.len(), 5);
+        assert_eq!(q.trapdoor.dim(), 2 * 6 + 16); // d=5 padded to 6
+        assert_eq!(q.k, 3);
+        assert!(q.upload_bytes() > 0);
+    }
+
+    #[test]
+    fn fresh_randomness_per_query() {
+        let mut rng = seeded_rng(142);
+        let data: Vec<Vec<f64>> = (0..5).map(|_| uniform_vec(&mut rng, 4, -1.0, 1.0)).collect();
+        let owner = DataOwner::setup(PpAnnParams::new(4), &data);
+        let mut user = owner.authorize_user();
+        let a = user.encrypt_query(&data[0], 1);
+        let b = user.encrypt_query(&data[0], 1);
+        assert_ne!(a.c_sap, b.c_sap);
+        assert_ne!(a.trapdoor, b.trapdoor);
+    }
+}

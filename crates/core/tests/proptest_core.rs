@@ -1,0 +1,62 @@
+//! Property-based tests of the PP-ANNS core: the secure top-k heap must
+//! select the true top-k for arbitrary candidate multisets, and persistence
+//! must be lossless.
+
+use ppann_core::{DataOwner, EncryptedDatabase, PpAnnParams, SecureTopK};
+use ppann_dce::DceSecretKey;
+use ppann_linalg::{seeded_rng, vector};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// SecureTopK == plaintext top-k for arbitrary candidate orders.
+    #[test]
+    fn secure_heap_selects_true_topk(
+        d in 2usize..10,
+        k in 1usize..8,
+        n in 1usize..40,
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = seeded_rng(seed);
+        let sk = DceSecretKey::generate(d, &mut rng);
+        let pts: Vec<Vec<f64>> =
+            (0..n).map(|_| ppann_linalg::uniform_vec(&mut rng, d, -1.0, 1.0)).collect();
+        let cts = sk.encrypt_batch(&pts, seed);
+        let q = ppann_linalg::uniform_vec(&mut rng, d, -1.0, 1.0);
+        let t = sk.trapdoor(&q, &mut rng);
+
+        let mut heap = SecureTopK::new(&t, &cts, k);
+        for id in 0..n as u32 {
+            heap.offer(id);
+        }
+        let got = heap.into_sorted_ids();
+
+        let mut expected: Vec<u32> = (0..n as u32).collect();
+        expected.sort_by(|&a, &b| {
+            vector::squared_euclidean(&pts[a as usize], &q)
+                .partial_cmp(&vector::squared_euclidean(&pts[b as usize], &q))
+                .unwrap()
+        });
+        expected.truncate(k);
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Snapshot round-trips preserve the byte-level database exactly.
+    #[test]
+    fn persistence_lossless(
+        d in 2usize..6,
+        n in 1usize..30,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = seeded_rng(seed);
+        let data: Vec<Vec<f64>> =
+            (0..n).map(|_| ppann_linalg::uniform_vec(&mut rng, d, -1.0, 1.0)).collect();
+        let owner = DataOwner::setup(PpAnnParams::new(d).with_seed(seed), &data);
+        let db = owner.outsource(&data);
+        let bytes_a = db.to_bytes();
+        let restored = EncryptedDatabase::from_bytes(bytes_a.clone()).unwrap();
+        prop_assert_eq!(restored.len(), db.len());
+        prop_assert_eq!(restored.to_bytes(), bytes_a);
+    }
+}

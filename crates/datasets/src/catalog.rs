@@ -1,0 +1,118 @@
+//! The four dataset profiles of the paper's Table I.
+
+/// A dataset family mirroring one of the paper's evaluation corpora.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DatasetProfile {
+    /// SIFT descriptors: 128-d, non-negative, quantized, strongly clustered
+    /// (paper: Sift1M, 1,000,000 vectors / 10,000 queries).
+    SiftLike,
+    /// GIST descriptors: 960-d dense floats in [0, 1], mildly clustered
+    /// (paper: Gist, 1,000,000 / 1,000).
+    GistLike,
+    /// GloVe word embeddings: 100-d, signed, heavy-tailed norms
+    /// (paper: Glove, 1,183,514 / 10,000).
+    GloveLike,
+    /// Deep CNN descriptors: 96-d, L2-normalized
+    /// (paper: Deep1M, 1,000,000 / 10,000).
+    DeepLike,
+}
+
+impl DatasetProfile {
+    /// All four profiles in the paper's Table I order.
+    pub const ALL: [DatasetProfile; 4] = [
+        DatasetProfile::SiftLike,
+        DatasetProfile::GistLike,
+        DatasetProfile::GloveLike,
+        DatasetProfile::DeepLike,
+    ];
+
+    /// Vector dimensionality — identical to the paper's dataset.
+    pub fn dim(&self) -> usize {
+        match self {
+            DatasetProfile::SiftLike => 128,
+            DatasetProfile::GistLike => 960,
+            DatasetProfile::GloveLike => 100,
+            DatasetProfile::DeepLike => 96,
+        }
+    }
+
+    /// Display name used in benchmark tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DatasetProfile::SiftLike => "Sift1M(synth)",
+            DatasetProfile::GistLike => "Gist(synth)",
+            DatasetProfile::GloveLike => "Glove(synth)",
+            DatasetProfile::DeepLike => "Deep1M(synth)",
+        }
+    }
+
+    /// Cardinality of the paper's original corpus (Table I), for reference
+    /// output in `table1`.
+    pub fn paper_cardinality(&self) -> (usize, usize) {
+        match self {
+            DatasetProfile::SiftLike => (1_000_000, 10_000),
+            DatasetProfile::GistLike => (1_000_000, 1_000),
+            DatasetProfile::GloveLike => (1_183_514, 10_000),
+            DatasetProfile::DeepLike => (1_000_000, 10_000),
+        }
+    }
+
+    /// Default synthetic scale used by the bench harness: high-dimensional
+    /// GIST is scaled further down because every scheme's cost is ≥ O(d) and
+    /// AME's is O(d²).
+    pub fn default_scale(&self) -> (usize, usize) {
+        match self {
+            DatasetProfile::GistLike => (4_000, 100),
+            _ => (20_000, 200),
+        }
+    }
+
+    /// The β grid examined in Figure 4, translated to normalized coordinates
+    /// (`M = 1` after the owner's normalization, so the admissible range of
+    /// the paper becomes `[1, 2√d]`; 0 disables the noise). The largest
+    /// entry is calibrated — via `cargo run -p ppann-bench --bin
+    /// calibrate_beta` — so the filter-only recall ceiling lands at ≈ 0.5,
+    /// the paper's §VII-A selection criterion.
+    pub fn beta_grid(&self) -> [f64; 4] {
+        match self {
+            DatasetProfile::SiftLike => [0.0, 0.75, 1.5, 3.0],
+            DatasetProfile::GistLike => [0.0, 2.0, 4.0, 8.0],
+            DatasetProfile::GloveLike => [0.0, 0.4, 0.8, 1.5],
+            DatasetProfile::DeepLike => [0.0, 0.7, 1.4, 2.75],
+        }
+    }
+
+    /// The single β the end-to-end experiments use: the calibrated value
+    /// whose filter-only recall ceiling is ≈ 0.5 ("the attacker's
+    /// probability of guessing the true neighbor correctly is only 50%").
+    pub fn default_beta(&self) -> f64 {
+        self.beta_grid()[3]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dims_match_table_1() {
+        assert_eq!(DatasetProfile::SiftLike.dim(), 128);
+        assert_eq!(DatasetProfile::GistLike.dim(), 960);
+        assert_eq!(DatasetProfile::GloveLike.dim(), 100);
+        assert_eq!(DatasetProfile::DeepLike.dim(), 96);
+    }
+
+    #[test]
+    fn paper_cardinalities_match_table_1() {
+        assert_eq!(DatasetProfile::GloveLike.paper_cardinality(), (1_183_514, 10_000));
+        assert_eq!(DatasetProfile::GistLike.paper_cardinality(), (1_000_000, 1_000));
+    }
+
+    #[test]
+    fn beta_grids_start_at_zero() {
+        for p in DatasetProfile::ALL {
+            assert_eq!(p.beta_grid()[0], 0.0);
+            assert!(p.default_beta() > 0.0);
+        }
+    }
+}

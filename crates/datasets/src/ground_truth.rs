@@ -1,0 +1,51 @@
+//! Exact k-NN ground truth, computed in parallel (construction-time only —
+//! never part of a timed search path).
+
+use ppann_linalg::{parallel_map_indexed, vector};
+
+/// Exact k-nearest-neighbor ids for every query, closest first.
+pub fn brute_force_knn(base: &[Vec<f64>], queries: &[Vec<f64>], k: usize) -> Vec<Vec<u32>> {
+    parallel_map_indexed(queries.len(), |qi| {
+        let q = &queries[qi];
+        // Bounded insertion sort into a top-k buffer: O(n·k) worst case but
+        // cache-friendly and allocation-free per candidate.
+        let mut top: Vec<(f64, u32)> = Vec::with_capacity(k + 1);
+        for (id, b) in base.iter().enumerate() {
+            let d = vector::squared_euclidean(q, b);
+            if top.len() < k || d < top.last().expect("nonempty").0 {
+                let pos = top.partition_point(|&(dist, _)| dist <= d);
+                top.insert(pos, (d, id as u32));
+                if top.len() > k {
+                    top.pop();
+                }
+            }
+        }
+        top.into_iter().map(|(_, id)| id).collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_naive_sort() {
+        let base: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64]).collect();
+        let queries = vec![vec![42.2], vec![0.0]];
+        let truth = brute_force_knn(&base, &queries, 3);
+        assert_eq!(truth[0], vec![42, 43, 41]);
+        assert_eq!(truth[1], vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn k_exceeding_n_is_clamped() {
+        let base = vec![vec![1.0], vec![2.0]];
+        let truth = brute_force_knn(&base, &[vec![0.0]], 5);
+        assert_eq!(truth[0], vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_queries() {
+        assert!(brute_force_knn(&[vec![1.0]], &[], 3).is_empty());
+    }
+}

@@ -1,0 +1,118 @@
+//! `.fvecs` / `.ivecs` readers and writers (the TEXMEX corpus format used by
+//! Sift1M/Gist/Deep1M): every vector is a little-endian `i32` dimension
+//! followed by `dim` little-endian values (`f32` or `i32`).
+//!
+//! These exist so that readers holding the real corpora can reproduce the
+//! experiments on them: load with [`read_fvecs`], wrap in
+//! [`crate::Dataset::from_parts`].
+
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Reads an entire `.fvecs` file (optionally capping the number of vectors).
+pub fn read_fvecs(path: &Path, limit: Option<usize>) -> std::io::Result<Vec<Vec<f64>>> {
+    let mut reader = BufReader::new(std::fs::File::open(path)?);
+    let mut out = Vec::new();
+    let mut dim_buf = [0u8; 4];
+    loop {
+        if let Some(l) = limit {
+            if out.len() >= l {
+                break;
+            }
+        }
+        match reader.read_exact(&mut dim_buf) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => break,
+            Err(e) => return Err(e),
+        }
+        let dim = i32::from_le_bytes(dim_buf) as usize;
+        let mut payload = vec![0u8; dim * 4];
+        reader.read_exact(&mut payload)?;
+        out.push(
+            payload
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes(c.try_into().expect("chunk of 4")) as f64)
+                .collect(),
+        );
+    }
+    Ok(out)
+}
+
+/// Writes vectors as `.fvecs` (values stored as `f32`).
+pub fn write_fvecs(path: &Path, vectors: &[Vec<f64>]) -> std::io::Result<()> {
+    let mut w = BufWriter::new(std::fs::File::create(path)?);
+    for v in vectors {
+        w.write_all(&(v.len() as i32).to_le_bytes())?;
+        for x in v {
+            w.write_all(&(*x as f32).to_le_bytes())?;
+        }
+    }
+    w.flush()
+}
+
+/// Reads an `.ivecs` file (e.g. ground-truth id lists).
+pub fn read_ivecs(path: &Path, limit: Option<usize>) -> std::io::Result<Vec<Vec<u32>>> {
+    let mut reader = BufReader::new(std::fs::File::open(path)?);
+    let mut out = Vec::new();
+    let mut dim_buf = [0u8; 4];
+    loop {
+        if let Some(l) = limit {
+            if out.len() >= l {
+                break;
+            }
+        }
+        match reader.read_exact(&mut dim_buf) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => break,
+            Err(e) => return Err(e),
+        }
+        let dim = i32::from_le_bytes(dim_buf) as usize;
+        let mut payload = vec![0u8; dim * 4];
+        reader.read_exact(&mut payload)?;
+        out.push(
+            payload
+                .chunks_exact(4)
+                .map(|c| i32::from_le_bytes(c.try_into().expect("chunk of 4")) as u32)
+                .collect(),
+        );
+    }
+    Ok(out)
+}
+
+/// Writes id lists as `.ivecs`.
+pub fn write_ivecs(path: &Path, lists: &[Vec<u32>]) -> std::io::Result<()> {
+    let mut w = BufWriter::new(std::fs::File::create(path)?);
+    for ids in lists {
+        w.write_all(&(ids.len() as i32).to_le_bytes())?;
+        for id in ids {
+            w.write_all(&(*id as i32).to_le_bytes())?;
+        }
+    }
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fvecs_roundtrip() {
+        let path = std::env::temp_dir().join("ppanns_io_test.fvecs");
+        let vecs = vec![vec![1.0, 2.5, -3.0], vec![0.0, 4.0, 5.0]];
+        write_fvecs(&path, &vecs).unwrap();
+        let back = read_fvecs(&path, None).unwrap();
+        assert_eq!(back, vecs);
+        let capped = read_fvecs(&path, Some(1)).unwrap();
+        assert_eq!(capped.len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn ivecs_roundtrip() {
+        let path = std::env::temp_dir().join("ppanns_io_test.ivecs");
+        let lists = vec![vec![1, 2, 3], vec![7]];
+        write_ivecs(&path, &lists).unwrap();
+        assert_eq!(read_ivecs(&path, None).unwrap(), lists);
+        std::fs::remove_file(&path).ok();
+    }
+}

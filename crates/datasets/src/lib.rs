@@ -1,0 +1,34 @@
+//! # ppann-datasets
+//!
+//! Evaluation substrate: datasets, ground truth and metrics.
+//!
+//! The paper evaluates on Sift1M, Gist, Glove and Deep1M (Table I) plus
+//! samples of Sift1B/Deep1B. Those corpora are not redistributable inside
+//! this repository, so per DESIGN.md §3 this crate generates **seeded
+//! synthetic datasets with matching dimensionality and distributional
+//! character**, at benchmark-friendly scales. Every experiment in the bench
+//! harness measures *relative* behaviour of schemes over the same vectors,
+//! which the synthetic workloads preserve; readers holding the real corpora
+//! can drop `.fvecs` files in and re-run via [`io`].
+//!
+//! ```
+//! use ppann_datasets::{DatasetProfile, Workload};
+//!
+//! let ws = Workload::generate(DatasetProfile::SiftLike, 2_000, 50, 7);
+//! assert_eq!(ws.dim(), 128);
+//! let truth = ws.ground_truth(10);
+//! assert_eq!(truth.len(), 50);
+//! ```
+
+mod catalog;
+mod ground_truth;
+pub mod io;
+mod metrics;
+mod synth;
+mod workload;
+
+pub use catalog::DatasetProfile;
+pub use ground_truth::brute_force_knn;
+pub use metrics::{mean, percentile, recall_at_k, stddev, RecallAccumulator};
+pub use synth::Dataset;
+pub use workload::Workload;

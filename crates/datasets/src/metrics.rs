@@ -1,0 +1,109 @@
+//! Recall and summary statistics (the paper's accuracy metric, §VII).
+
+/// `Recall@k` for a single query: `|truth ∩ result| / |truth|`
+/// (the paper's `|N*(q) ∩ N(q)| / k`).
+pub fn recall_at_k(truth: &[u32], result: &[u32]) -> f64 {
+    if truth.is_empty() {
+        return 1.0;
+    }
+    let hits = truth.iter().filter(|t| result.contains(t)).count();
+    hits as f64 / truth.len() as f64
+}
+
+/// Accumulates per-query recalls into a mean (the paper averages recalls
+/// over the query set).
+#[derive(Clone, Debug, Default)]
+pub struct RecallAccumulator {
+    total: f64,
+    count: usize,
+}
+
+impl RecallAccumulator {
+    /// Records one query's recall.
+    pub fn record(&mut self, truth: &[u32], result: &[u32]) {
+        self.total += recall_at_k(truth, result);
+        self.count += 1;
+    }
+
+    /// Mean recall over all recorded queries.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total / self.count as f64
+        }
+    }
+
+    /// Number of queries recorded.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+}
+
+/// Arithmetic mean.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// The `p`-th percentile (0.0–1.0) of a sample, by nearest-rank on a sorted
+/// copy. Latency distributions are the intended use (p50/p95/p99 reporting).
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "percentile must be in [0, 1]");
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Sample standard deviation.
+pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recall_counts_intersection() {
+        assert_eq!(recall_at_k(&[1, 2, 3, 4], &[2, 4, 9, 11]), 0.5);
+        assert_eq!(recall_at_k(&[1], &[1]), 1.0);
+        assert_eq!(recall_at_k(&[1], &[2]), 0.0);
+        assert_eq!(recall_at_k(&[], &[1]), 1.0);
+    }
+
+    #[test]
+    fn accumulator_averages() {
+        let mut acc = RecallAccumulator::default();
+        acc.record(&[1, 2], &[1, 2]);
+        acc.record(&[1, 2], &[1, 9]);
+        assert_eq!(acc.mean(), 0.75);
+        assert_eq!(acc.count(), 2);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let xs = [5.0, 1.0, 4.0, 2.0, 3.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 0.5), 3.0);
+        assert_eq!(percentile(&xs, 1.0), 5.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn stats_basics() {
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+        assert!((stddev(&[1.0, 3.0]) - std::f64::consts::SQRT_2).abs() < 1e-12);
+        assert_eq!(stddev(&[5.0]), 0.0);
+    }
+}

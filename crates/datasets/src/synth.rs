@@ -1,0 +1,182 @@
+//! Seeded synthetic dataset generators.
+//!
+//! Each generator reproduces the coarse distributional character of its real
+//! counterpart — the properties that drive ANN index behaviour (cluster
+//! structure, coordinate range, norm distribution) — while staying fully
+//! deterministic given a seed.
+
+use crate::catalog::DatasetProfile;
+use ppann_linalg::{gaussian, seeded_rng, uniform_vec, vector};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// An in-memory dataset: base vectors plus query vectors.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    /// Which profile generated this dataset (None for external data).
+    pub profile: Option<DatasetProfile>,
+    /// Vector dimensionality.
+    pub dim: usize,
+    /// Database vectors.
+    pub base: Vec<Vec<f64>>,
+    /// Query vectors (drawn from the same distribution, held out).
+    pub queries: Vec<Vec<f64>>,
+}
+
+impl Dataset {
+    /// Generates `n` base + `n_queries` query vectors for a profile.
+    pub fn generate(profile: DatasetProfile, n: usize, n_queries: usize, seed: u64) -> Self {
+        let mut rng = seeded_rng(seed ^ profile.dim() as u64);
+        let gen = |rng: &mut StdRng, count: usize| -> Vec<Vec<f64>> {
+            match profile {
+                DatasetProfile::SiftLike => sift_like(rng, count),
+                DatasetProfile::GistLike => gist_like(rng, count),
+                DatasetProfile::GloveLike => glove_like(rng, count),
+                DatasetProfile::DeepLike => deep_like(rng, count),
+            }
+        };
+        // Base and queries come from one stream so queries share clusters.
+        let mut all = gen(&mut rng, n + n_queries);
+        let queries = all.split_off(n);
+        Self { profile: Some(profile), dim: profile.dim(), base: all, queries }
+    }
+
+    /// Wraps external vectors (e.g. loaded from fvecs files).
+    pub fn from_parts(dim: usize, base: Vec<Vec<f64>>, queries: Vec<Vec<f64>>) -> Self {
+        assert!(base.iter().chain(&queries).all(|v| v.len() == dim), "ragged vectors");
+        Self { profile: None, dim, base, queries }
+    }
+
+    /// Largest absolute coordinate over the base vectors (the `M` of the
+    /// DCPE β-range).
+    pub fn max_abs_coordinate(&self) -> f64 {
+        self.base.iter().map(|v| vector::max_abs(v)).fold(0.0, f64::max)
+    }
+}
+
+/// Shared clustered-Gaussian scaffold: `k` centers, per-cluster sigma.
+fn clustered(
+    rng: &mut StdRng,
+    count: usize,
+    dim: usize,
+    n_clusters: usize,
+    center_lo: f64,
+    center_hi: f64,
+    sigma: f64,
+) -> Vec<Vec<f64>> {
+    let centers: Vec<Vec<f64>> =
+        (0..n_clusters).map(|_| uniform_vec(rng, dim, center_lo, center_hi)).collect();
+    (0..count)
+        .map(|_| {
+            let c = &centers[rng.gen_range(0..n_clusters)];
+            c.iter().map(|x| x + sigma * gaussian(rng)).collect()
+        })
+        .collect()
+}
+
+/// SIFT-like: 128-d, clustered, clamped to [0, 255] and quantized to
+/// integers (SIFT descriptors are uint8 histograms).
+fn sift_like(rng: &mut StdRng, count: usize) -> Vec<Vec<f64>> {
+    clustered(rng, count, 128, 64, 20.0, 180.0, 25.0)
+        .into_iter()
+        .map(|v| v.into_iter().map(|x| x.clamp(0.0, 255.0).round()).collect())
+        .collect()
+}
+
+/// GIST-like: 960-d dense floats in [0, 1] with low-variance clusters.
+fn gist_like(rng: &mut StdRng, count: usize) -> Vec<Vec<f64>> {
+    clustered(rng, count, 960, 32, 0.2, 0.8, 0.08)
+        .into_iter()
+        .map(|v| v.into_iter().map(|x| x.clamp(0.0, 1.0)).collect())
+        .collect()
+}
+
+/// GloVe-like: 100-d signed embeddings with heavy-tailed norms (per-vector
+/// log-normal scale on top of clustered Gaussians).
+fn glove_like(rng: &mut StdRng, count: usize) -> Vec<Vec<f64>> {
+    clustered(rng, count, 100, 48, -2.0, 2.0, 0.8)
+        .into_iter()
+        .map(|v| {
+            let scale = (0.4 * gaussian(rng)).exp();
+            v.into_iter().map(|x| scale * x).collect()
+        })
+        .collect()
+}
+
+/// Deep-like: 96-d CNN descriptors, L2-normalized to the unit sphere.
+fn deep_like(rng: &mut StdRng, count: usize) -> Vec<Vec<f64>> {
+    clustered(rng, count, 96, 40, -1.0, 1.0, 0.35)
+        .into_iter()
+        .map(|mut v| {
+            let n = vector::norm(&v).max(1e-12);
+            vector::scale_in_place(&mut v, 1.0 / n);
+            v
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Dataset::generate(DatasetProfile::DeepLike, 50, 5, 7);
+        let b = Dataset::generate(DatasetProfile::DeepLike, 50, 5, 7);
+        assert_eq!(a.base, b.base);
+        assert_eq!(a.queries, b.queries);
+    }
+
+    #[test]
+    fn sift_like_is_quantized_nonnegative() {
+        let d = Dataset::generate(DatasetProfile::SiftLike, 30, 2, 1);
+        for v in &d.base {
+            assert_eq!(v.len(), 128);
+            assert!(v.iter().all(|x| (0.0..=255.0).contains(x) && x.fract() == 0.0));
+        }
+    }
+
+    #[test]
+    fn gist_like_in_unit_interval() {
+        let d = Dataset::generate(DatasetProfile::GistLike, 10, 2, 2);
+        assert!(d.base.iter().flatten().all(|x| (0.0..=1.0).contains(x)));
+        assert_eq!(d.dim, 960);
+    }
+
+    #[test]
+    fn deep_like_is_unit_norm() {
+        let d = Dataset::generate(DatasetProfile::DeepLike, 20, 2, 3);
+        for v in &d.base {
+            assert!((vector::norm(v) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn glove_like_norms_are_heavy_tailed() {
+        let d = Dataset::generate(DatasetProfile::GloveLike, 400, 2, 4);
+        let norms: Vec<f64> = d.base.iter().map(|v| vector::norm(v)).collect();
+        let max = norms.iter().cloned().fold(0.0, f64::max);
+        let min = norms.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(max / min > 2.0, "norm spread too tight: {min}..{max}");
+    }
+
+    #[test]
+    fn queries_share_the_cluster_structure() {
+        // A query's nearest base vector should be far closer than a random
+        // pair, because queries are drawn from the same clusters.
+        let d = Dataset::generate(DatasetProfile::SiftLike, 500, 10, 5);
+        let mut rng = seeded_rng(6);
+        for q in &d.queries {
+            let nearest = d
+                .base
+                .iter()
+                .map(|b| vector::squared_euclidean(q, b))
+                .fold(f64::INFINITY, f64::min);
+            let random = vector::squared_euclidean(
+                q,
+                &d.base[rng.gen_range(0..d.base.len())],
+            );
+            assert!(nearest <= random);
+        }
+    }
+}

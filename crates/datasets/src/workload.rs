@@ -1,0 +1,67 @@
+//! A ready-to-run workload: dataset + cached ground truth.
+
+use crate::catalog::DatasetProfile;
+use crate::ground_truth::brute_force_knn;
+use crate::synth::Dataset;
+
+/// A dataset together with lazily computed exact neighbors.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    dataset: Dataset,
+}
+
+impl Workload {
+    /// Generates a synthetic workload.
+    pub fn generate(profile: DatasetProfile, n: usize, n_queries: usize, seed: u64) -> Self {
+        Self { dataset: Dataset::generate(profile, n, n_queries, seed) }
+    }
+
+    /// Generates at the profile's default benchmark scale.
+    pub fn default_scale(profile: DatasetProfile, seed: u64) -> Self {
+        let (n, q) = profile.default_scale();
+        Self::generate(profile, n, q, seed)
+    }
+
+    /// Wraps external data.
+    pub fn from_dataset(dataset: Dataset) -> Self {
+        Self { dataset }
+    }
+
+    /// The underlying dataset.
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// Base vectors.
+    pub fn base(&self) -> &[Vec<f64>] {
+        &self.dataset.base
+    }
+
+    /// Query vectors.
+    pub fn queries(&self) -> &[Vec<f64>] {
+        &self.dataset.queries
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dataset.dim
+    }
+
+    /// Exact k-NN ids per query (computed in parallel on demand).
+    pub fn ground_truth(&self, k: usize) -> Vec<Vec<u32>> {
+        brute_force_knn(&self.dataset.base, &self.dataset.queries, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_end_to_end() {
+        let w = Workload::generate(DatasetProfile::DeepLike, 100, 5, 11);
+        let t = w.ground_truth(3);
+        assert_eq!(t.len(), 5);
+        assert!(t.iter().all(|ids| ids.len() == 3));
+    }
+}

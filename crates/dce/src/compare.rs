@@ -1,0 +1,175 @@
+//! `DistanceComp`: the secure distance comparison (paper Theorem 3).
+
+use crate::encrypt::{DceCiphertext, DceTrapdoor};
+
+/// Number of multiply-accumulate operations per secure comparison: `4d + 32`
+/// (paper Section IV-B). `d` is the original vector dimension (rounded up to
+/// even internally).
+pub const fn sdc_mac_ops(d: usize) -> usize {
+    4 * crate::randomize::even_dim(d) + 32
+}
+
+/// `DistanceComp(C_o, C_p, T_q)` — returns
+/// `Z = 2·r_o·r_p·r_q·(dist(o,q) − dist(p,q))`.
+///
+/// The sign of `Z` answers the comparison exactly (Theorem 3):
+/// `Z < 0 ⇔ dist(o,q) < dist(p,q)`. The magnitude is blinded by the three
+/// fresh positive randoms and carries no usable information.
+///
+/// Cost: one fused pass of `2d+16` elements computing
+/// `(ō′₁◦p̄′₃ − ō′₂◦p̄′₄)ᵀ·q̄′` — `4d + 32` MACs, O(d).
+#[inline]
+pub fn distance_comp(c_o: &DceCiphertext, c_p: &DceCiphertext, t_q: &DceTrapdoor) -> f64 {
+    let n = t_q.t.len();
+    assert_eq!(c_o.c1.len(), n, "distance_comp: ciphertext/trapdoor dim mismatch");
+    assert_eq!(c_p.c3.len(), n, "distance_comp: ciphertext/trapdoor dim mismatch");
+    let (o1, o2) = (&c_o.c1, &c_o.c2);
+    let (p3, p4) = (&c_p.c3, &c_p.c4);
+    let t = &t_q.t;
+    let mut acc0 = 0.0;
+    let mut acc1 = 0.0;
+    let mut i = 0;
+    // Two-way unrolled fused loop: (o1*p3 - o2*p4) * t.
+    while i + 1 < n {
+        acc0 += (o1[i] * p3[i] - o2[i] * p4[i]) * t[i];
+        acc1 += (o1[i + 1] * p3[i + 1] - o2[i + 1] * p4[i + 1]) * t[i + 1];
+        i += 2;
+    }
+    if i < n {
+        acc0 += (o1[i] * p3[i] - o2[i] * p4[i]) * t[i];
+    }
+    acc0 + acc1
+}
+
+/// Convenience predicate: is `o` strictly closer to the query than `p`?
+#[inline]
+pub fn is_closer(c_o: &DceCiphertext, c_p: &DceCiphertext, t_q: &DceTrapdoor) -> bool {
+    distance_comp(c_o, c_p, t_q) < 0.0
+}
+
+/// A comparator view over a trapdoor, yielding a total order on ciphertexts
+/// by their (hidden) distance to the query. This is the only ordering the
+/// refine phase of the PP-ANNS scheme is allowed to observe.
+pub struct SecureOrd<'a> {
+    trapdoor: &'a DceTrapdoor,
+}
+
+impl<'a> SecureOrd<'a> {
+    /// Wraps a trapdoor.
+    pub fn new(trapdoor: &'a DceTrapdoor) -> Self {
+        Self { trapdoor }
+    }
+
+    /// `Ordering::Less` iff `dist(o, q) < dist(p, q)`.
+    pub fn cmp(&self, c_o: &DceCiphertext, c_p: &DceCiphertext) -> std::cmp::Ordering {
+        let z = distance_comp(c_o, c_p, self.trapdoor);
+        if z < 0.0 {
+            std::cmp::Ordering::Less
+        } else if z > 0.0 {
+            std::cmp::Ordering::Greater
+        } else {
+            std::cmp::Ordering::Equal
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DceSecretKey;
+    use ppann_linalg::vector::squared_euclidean;
+    use ppann_linalg::{seeded_rng, uniform_vec};
+
+    /// Exhaustive sign-agreement check across dimensions and random triples.
+    #[test]
+    fn theorem_3_sign_agreement() {
+        let mut rng = seeded_rng(61);
+        for d in [2usize, 3, 8, 20, 50, 128] {
+            let sk = DceSecretKey::generate(d, &mut rng);
+            let q = uniform_vec(&mut rng, d, -1.0, 1.0);
+            let t = sk.trapdoor(&q, &mut rng);
+            for _ in 0..50 {
+                let o = uniform_vec(&mut rng, d, -1.0, 1.0);
+                let p = uniform_vec(&mut rng, d, -1.0, 1.0);
+                let c_o = sk.encrypt(&o, &mut rng);
+                let c_p = sk.encrypt(&p, &mut rng);
+                let z = distance_comp(&c_o, &c_p, &t);
+                let truth = squared_euclidean(&o, &q) - squared_euclidean(&p, &q);
+                if truth.abs() > 1e-9 {
+                    assert_eq!(
+                        z < 0.0,
+                        truth < 0.0,
+                        "d={d}: Z={z} disagrees with truth={truth}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The blinded magnitude is proportional to the true distance gap with a
+    /// per-triple positive factor 2·r_o·r_p·r_q ∈ [2·0.5³, 2·2³).
+    #[test]
+    fn blinding_factor_is_bounded_positive() {
+        let mut rng = seeded_rng(62);
+        let d = 16;
+        let sk = DceSecretKey::generate(d, &mut rng);
+        let q = uniform_vec(&mut rng, d, -1.0, 1.0);
+        let t = sk.trapdoor(&q, &mut rng);
+        for _ in 0..50 {
+            let o = uniform_vec(&mut rng, d, -1.0, 1.0);
+            let p = uniform_vec(&mut rng, d, -1.0, 1.0);
+            let truth = squared_euclidean(&o, &q) - squared_euclidean(&p, &q);
+            if truth.abs() < 1e-6 {
+                continue;
+            }
+            let z = distance_comp(&sk.encrypt(&o, &mut rng), &sk.encrypt(&p, &mut rng), &t);
+            let factor = z / truth;
+            assert!(
+                factor > 0.2 && factor < 16.5,
+                "blinding factor {factor} outside (2·0.5³, 2·2³)"
+            );
+        }
+    }
+
+    #[test]
+    fn reflexive_comparison_is_near_zero() {
+        let mut rng = seeded_rng(63);
+        let d = 10;
+        let sk = DceSecretKey::generate(d, &mut rng);
+        let q = uniform_vec(&mut rng, d, -1.0, 1.0);
+        let t = sk.trapdoor(&q, &mut rng);
+        let p = uniform_vec(&mut rng, d, -1.0, 1.0);
+        let c_a = sk.encrypt(&p, &mut rng);
+        let c_b = sk.encrypt(&p, &mut rng); // fresh encryption of the same vector
+        let z = distance_comp(&c_a, &c_b, &t).abs();
+        assert!(z < 1e-6, "self comparison |Z| = {z}");
+    }
+
+    #[test]
+    fn secure_ord_is_antisymmetric_and_transitive() {
+        let mut rng = seeded_rng(64);
+        let d = 8;
+        let sk = DceSecretKey::generate(d, &mut rng);
+        let q = uniform_vec(&mut rng, d, -1.0, 1.0);
+        let t = sk.trapdoor(&q, &mut rng);
+        let ord = SecureOrd::new(&t);
+        let pts: Vec<Vec<f64>> = (0..6).map(|_| uniform_vec(&mut rng, d, -1.0, 1.0)).collect();
+        let cts: Vec<_> = pts.iter().map(|p| sk.encrypt(p, &mut rng)).collect();
+        // Sort indices by secure order and verify against plaintext order.
+        let mut idx: Vec<usize> = (0..pts.len()).collect();
+        idx.sort_by(|&a, &b| ord.cmp(&cts[a], &cts[b]));
+        let mut expected: Vec<usize> = (0..pts.len()).collect();
+        expected.sort_by(|&a, &b| {
+            squared_euclidean(&pts[a], &q)
+                .partial_cmp(&squared_euclidean(&pts[b], &q))
+                .unwrap()
+        });
+        assert_eq!(idx, expected);
+    }
+
+    #[test]
+    fn mac_ops_formula() {
+        assert_eq!(sdc_mac_ops(128), 4 * 128 + 32);
+        assert_eq!(sdc_mac_ops(5), 4 * 6 + 32); // odd dims padded
+    }
+}

@@ -1,0 +1,177 @@
+//! Phase 2 of DCE: `Enc` and `TrapGen` (paper Section IV-B).
+
+use crate::key::DceSecretKey;
+use crate::randomize::{randomize_database, randomize_query};
+use ppann_linalg::vector;
+use rand::Rng;
+
+/// Ciphertext of a database vector: `C_p = (p̄′₁, p̄′₂, p̄′₃, p̄′₄)`, four
+/// vectors in `R^{2d+16}` (total `8d + 64` scalars, as analyzed in §IV-B).
+///
+/// Components 1–2 are consumed when the vector plays the role of `o` (the
+/// heap candidate being challenged) and components 3–4 when it plays `p`
+/// (the incumbent), so every database vector carries all four.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DceCiphertext {
+    pub(crate) c1: Vec<f64>,
+    pub(crate) c2: Vec<f64>,
+    pub(crate) c3: Vec<f64>,
+    pub(crate) c4: Vec<f64>,
+}
+
+impl DceCiphertext {
+    /// Dimension of each component (`2d + 16`).
+    pub fn component_dim(&self) -> usize {
+        self.c1.len()
+    }
+
+    /// Total number of scalars in the ciphertext (`8d + 64`).
+    pub fn len_scalars(&self) -> usize {
+        4 * self.c1.len()
+    }
+
+    /// Raw component access (for persistence).
+    pub fn components(&self) -> [&[f64]; 4] {
+        [&self.c1, &self.c2, &self.c3, &self.c4]
+    }
+
+    /// Rebuilds a ciphertext from raw components (for persistence).
+    pub fn from_components(c1: Vec<f64>, c2: Vec<f64>, c3: Vec<f64>, c4: Vec<f64>) -> Self {
+        assert!(
+            c1.len() == c2.len() && c2.len() == c3.len() && c3.len() == c4.len(),
+            "DceCiphertext components must share one dimension"
+        );
+        Self { c1, c2, c3, c4 }
+    }
+}
+
+/// Trapdoor of a query vector: `T_q = q̄′ ∈ R^{2d+16}`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DceTrapdoor {
+    pub(crate) t: Vec<f64>,
+}
+
+impl DceTrapdoor {
+    /// Dimension of the trapdoor (`2d + 16`).
+    pub fn dim(&self) -> usize {
+        self.t.len()
+    }
+
+    /// Raw trapdoor data (for persistence).
+    pub fn as_slice(&self) -> &[f64] {
+        &self.t
+    }
+
+    /// Rebuilds a trapdoor from raw data (for persistence).
+    pub fn from_vec(t: Vec<f64>) -> Self {
+        Self { t }
+    }
+}
+
+impl DceSecretKey {
+    /// `Enc(p, SK) → C_p`: randomizes `p` into `p̄` then applies the vector
+    /// transformation (Equations 10 and 13) to produce the four precomputed
+    /// comparison components.
+    pub fn encrypt(&self, p: &[f64], rng: &mut impl Rng) -> DceCiphertext {
+        let pbar = randomize_database(self, p, rng);
+        let up = self.m_up().vecmat(&pbar);
+        let down = self.m_down().vecmat(&pbar);
+
+        // Equation 10: ±1 offsets around the matrix images…
+        let p1 = vector::add_scalar(&up, 1.0);
+        let p2 = vector::add_scalar(&up, -1.0);
+        let p3 = vector::add_scalar(&down, 1.0);
+        let p4 = vector::add_scalar(&down, -1.0);
+
+        // …Equation 13: positive per-vector blinding r_p and kv masking.
+        let rp = rng.gen_range(0.5..2.0);
+        let scale_mask = |v: &[f64], kv: &[f64]| {
+            let mut out = vector::hadamard_div(v, kv);
+            vector::scale_in_place(&mut out, rp);
+            out
+        };
+        DceCiphertext {
+            c1: scale_mask(&p1, self.kv(0)),
+            c2: scale_mask(&p2, self.kv(1)),
+            c3: scale_mask(&p3, self.kv(2)),
+            c4: scale_mask(&p4, self.kv(3)),
+        }
+    }
+
+    /// `TrapGen(q, SK) → T_q`: randomizes `q` into `q̄` then applies
+    /// Equation 15: `q̄′ = r_q · (M₃⁻¹·[q̄ᵀ, −q̄ᵀ]ᵀ) ◦ (kv₂ ◦ kv₄)`.
+    pub fn trapdoor(&self, q: &[f64], rng: &mut impl Rng) -> DceTrapdoor {
+        let qbar = randomize_query(self, q, rng);
+        let mut stacked = Vec::with_capacity(2 * qbar.len());
+        stacked.extend_from_slice(&qbar);
+        stacked.extend(qbar.iter().map(|v| -v));
+
+        let image = self.m3_inv().matvec(&stacked);
+        let rq = rng.gen_range(0.5..2.0);
+        let mut t = vector::hadamard(&image, self.kv24());
+        vector::scale_in_place(&mut t, rq);
+        DceTrapdoor { t }
+    }
+
+    /// Encrypts a batch of database vectors deterministically from a base
+    /// seed, in parallel (item `i` uses an RNG derived from `seed ^ h(i)`).
+    pub fn encrypt_batch(&self, points: &[Vec<f64>], seed: u64) -> Vec<DceCiphertext> {
+        ppann_linalg::parallel_map_indexed(points.len(), |i| {
+            let mut rng =
+                ppann_linalg::seeded_rng(seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            self.encrypt(&points[i], &mut rng)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppann_linalg::{seeded_rng, uniform_vec};
+    use crate::randomize::ciphertext_dim;
+
+    #[test]
+    fn ciphertext_and_trapdoor_shapes() {
+        let mut rng = seeded_rng(51);
+        for d in [3usize, 4, 10, 33] {
+            let sk = DceSecretKey::generate(d, &mut rng);
+            let p = uniform_vec(&mut rng, d, -1.0, 1.0);
+            let c = sk.encrypt(&p, &mut rng);
+            let t = sk.trapdoor(&p, &mut rng);
+            assert_eq!(c.component_dim(), ciphertext_dim(d));
+            assert_eq!(c.len_scalars(), 4 * ciphertext_dim(d));
+            assert_eq!(t.dim(), ciphertext_dim(d));
+        }
+    }
+
+    #[test]
+    fn encryption_is_probabilistic() {
+        let mut rng = seeded_rng(52);
+        let sk = DceSecretKey::generate(8, &mut rng);
+        let p = uniform_vec(&mut rng, 8, -1.0, 1.0);
+        assert_ne!(sk.encrypt(&p, &mut rng), sk.encrypt(&p, &mut rng));
+        assert_ne!(sk.trapdoor(&p, &mut rng), sk.trapdoor(&p, &mut rng));
+    }
+
+    #[test]
+    fn batch_matches_single_item_derivation() {
+        let mut rng = seeded_rng(53);
+        let sk = DceSecretKey::generate(6, &mut rng);
+        let pts: Vec<Vec<f64>> = (0..10).map(|_| uniform_vec(&mut rng, 6, -1.0, 1.0)).collect();
+        let batch = sk.encrypt_batch(&pts, 7);
+        let mut rng3 = ppann_linalg::seeded_rng(7 ^ 3u64.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        assert_eq!(batch[3], sk.encrypt(&pts[3], &mut rng3));
+    }
+
+    #[test]
+    fn roundtrip_components_persistence() {
+        let mut rng = seeded_rng(54);
+        let sk = DceSecretKey::generate(5, &mut rng);
+        let p = uniform_vec(&mut rng, 5, -1.0, 1.0);
+        let c = sk.encrypt(&p, &mut rng);
+        let [a, b, cc, d] = c.components();
+        let rebuilt =
+            DceCiphertext::from_components(a.to_vec(), b.to_vec(), cc.to_vec(), d.to_vec());
+        assert_eq!(rebuilt, c);
+    }
+}

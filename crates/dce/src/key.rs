@@ -1,0 +1,276 @@
+//! DCE secret keys (`KeyGen` of Section IV-B).
+
+use crate::randomize::{ciphertext_dim, even_dim, randomized_dim};
+use ppann_linalg::{random_invertible, random_sign_vec, vector, Matrix, Permutation};
+use rand::Rng;
+
+/// The DCE secret key
+/// `SK = {M₁, M₂, M₃, π₁, π₂, r₁…r₄, kv₁…kv₄}`.
+///
+/// `M₁, M₂ ∈ R^{(d/2+4)²}` and the permutations/randoms `r₁…r₄` drive the
+/// vector-randomization phase; `M₃ ∈ R^{(2d+16)²}` (stored pre-split into
+/// `M_up`/`M_down` plus its inverse) and the masking vectors `kv₁…kv₄` with
+/// `kv₁◦kv₃ = kv₂◦kv₄` drive the vector-transformation phase.
+///
+/// Inverses of `M₁`, `M₂`, `M₃` are precomputed at generation time so that
+/// trapdoor generation is two mat-vecs, not two solves.
+pub struct DceSecretKey {
+    dim: usize,
+    m1: Matrix,
+    m1_inv: Matrix,
+    m2: Matrix,
+    m2_inv: Matrix,
+    pi1: Permutation,
+    pi2: Permutation,
+    r: [f64; 4],
+    m_up: Matrix,
+    m_down: Matrix,
+    m3_inv: Matrix,
+    kv: [Vec<f64>; 4],
+    /// Precomputed `kv₂ ◦ kv₄` used by every trapdoor.
+    kv24: Vec<f64>,
+}
+
+impl DceSecretKey {
+    /// Generates a fresh key for `dim`-dimensional vectors
+    /// (`KeyGen(1^ζ, d)`). The security parameter of the paper is implicit in
+    /// the caller's choice of RNG.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0`.
+    pub fn generate(dim: usize, rng: &mut impl Rng) -> Self {
+        assert!(dim > 0, "DCE requires a positive dimension");
+        let d_even = even_dim(dim);
+        let half = d_even / 2 + 4;
+        let full = randomized_dim(dim);
+        let double = ciphertext_dim(dim);
+
+        let (m1, m1_inv) = random_invertible(half, rng);
+        let (m2, m2_inv) = random_invertible(half, rng);
+        let (m3, m3_inv) = random_invertible(double, rng);
+        let m_up = m3.row_block(0, full);
+        let m_down = m3.row_block(full, double);
+
+        let pi1 = Permutation::random(d_even, rng);
+        let pi2 = Permutation::random(full, rng);
+
+        // r₁…r₄ are shared across all database and query vectors; they must
+        // be nonzero (γ_p divides by r₄), which `random_sign_vec` guarantees.
+        let rv = random_sign_vec(rng, 4);
+        let r = [rv[0], rv[1], rv[2], rv[3]];
+
+        // kv₁, kv₂, kv₃ free; kv₄ = (kv₁ ◦ kv₃) / kv₂ enforces the masking
+        // identity kv₁◦kv₃ = kv₂◦kv₄ of Equation 12.
+        let kv1 = random_sign_vec(rng, double);
+        let kv2 = random_sign_vec(rng, double);
+        let kv3 = random_sign_vec(rng, double);
+        let kv4 = vector::hadamard_div(&vector::hadamard(&kv1, &kv3), &kv2);
+        let kv24 = vector::hadamard(&kv2, &kv4);
+
+        Self {
+            dim,
+            m1,
+            m1_inv,
+            m2,
+            m2_inv,
+            pi1,
+            pi2,
+            r,
+            m_up,
+            m_down,
+            m3_inv,
+            kv: [kv1, kv2, kv3, kv4],
+            kv24,
+        }
+    }
+
+    /// Original (unpadded) vector dimension `d`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    pub(crate) fn m1(&self) -> &Matrix {
+        &self.m1
+    }
+    pub(crate) fn m1_inv(&self) -> &Matrix {
+        &self.m1_inv
+    }
+    pub(crate) fn m2(&self) -> &Matrix {
+        &self.m2
+    }
+    pub(crate) fn m2_inv(&self) -> &Matrix {
+        &self.m2_inv
+    }
+    pub(crate) fn pi1(&self) -> &Permutation {
+        &self.pi1
+    }
+    pub(crate) fn pi2(&self) -> &Permutation {
+        &self.pi2
+    }
+    pub(crate) fn r(&self) -> &[f64; 4] {
+        &self.r
+    }
+    pub(crate) fn m_up(&self) -> &Matrix {
+        &self.m_up
+    }
+    pub(crate) fn m_down(&self) -> &Matrix {
+        &self.m_down
+    }
+    pub(crate) fn m3_inv(&self) -> &Matrix {
+        &self.m3_inv
+    }
+    pub(crate) fn kv(&self, i: usize) -> &[f64] {
+        &self.kv[i]
+    }
+    pub(crate) fn kv24(&self) -> &[f64] {
+        &self.kv24
+    }
+
+    /// Borrowed view of the raw key material (serialization only).
+    pub(crate) fn raw_parts(&self) -> RawKeyParts<'_> {
+        RawKeyParts {
+            dim: self.dim,
+            m1: &self.m1,
+            m1_inv: &self.m1_inv,
+            m2: &self.m2,
+            m2_inv: &self.m2_inv,
+            pi1: &self.pi1,
+            pi2: &self.pi2,
+            r: &self.r,
+            m_up: &self.m_up,
+            m_down: &self.m_down,
+            m3_inv: &self.m3_inv,
+            kv: [&self.kv[0], &self.kv[1], &self.kv[2], &self.kv[3]],
+        }
+    }
+
+    /// Reassembles a key from raw material (deserialization only). Returns
+    /// `None` when the shapes are mutually inconsistent.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_raw_parts(
+        dim: usize,
+        m1: Matrix,
+        m1_inv: Matrix,
+        m2: Matrix,
+        m2_inv: Matrix,
+        pi1: Permutation,
+        pi2: Permutation,
+        r: [f64; 4],
+        m_up: Matrix,
+        m_down: Matrix,
+        m3_inv: Matrix,
+        kv: [Vec<f64>; 4],
+    ) -> Option<Self> {
+        let d_even = even_dim(dim);
+        let half = d_even / 2 + 4;
+        let full = randomized_dim(dim);
+        let double = ciphertext_dim(dim);
+        let shapes_ok = dim > 0
+            && m1.rows() == half
+            && m1.cols() == half
+            && m2.rows() == half
+            && m2.cols() == half
+            && m_up.rows() == full
+            && m_up.cols() == double
+            && m_down.rows() == full
+            && m_down.cols() == double
+            && m3_inv.rows() == double
+            && m3_inv.cols() == double
+            && pi1.len() == d_even
+            && pi2.len() == full
+            && kv.iter().all(|v| v.len() == double)
+            && r.iter().all(|x| *x != 0.0)
+            && kv.iter().all(|v| v.iter().all(|x| *x != 0.0));
+        if !shapes_ok {
+            return None;
+        }
+        let kv24 = vector::hadamard(&kv[1], &kv[3]);
+        Some(Self {
+            dim,
+            m1,
+            m1_inv,
+            m2,
+            m2_inv,
+            pi1,
+            pi2,
+            r,
+            m_up,
+            m_down,
+            m3_inv,
+            kv,
+            kv24,
+        })
+    }
+}
+
+/// Borrowed raw key material (serialization support).
+pub(crate) struct RawKeyParts<'a> {
+    pub dim: usize,
+    pub m1: &'a Matrix,
+    pub m1_inv: &'a Matrix,
+    pub m2: &'a Matrix,
+    pub m2_inv: &'a Matrix,
+    pub pi1: &'a Permutation,
+    pub pi2: &'a Permutation,
+    pub r: &'a [f64; 4],
+    pub m_up: &'a Matrix,
+    pub m_down: &'a Matrix,
+    pub m3_inv: &'a Matrix,
+    pub kv: [&'a [f64]; 4],
+}
+
+impl std::fmt::Debug for DceSecretKey {
+    /// Deliberately redacts all key material.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DceSecretKey").field("dim", &self.dim).finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppann_linalg::seeded_rng;
+
+    #[test]
+    fn masking_identity_holds() {
+        let mut rng = seeded_rng(41);
+        let sk = DceSecretKey::generate(10, &mut rng);
+        let lhs = vector::hadamard(sk.kv(0), sk.kv(2));
+        let rhs = vector::hadamard(sk.kv(1), sk.kv(3));
+        assert!(vector::max_abs_diff(&lhs, &rhs) < 1e-12);
+    }
+
+    #[test]
+    fn key_shapes_match_paper() {
+        let mut rng = seeded_rng(42);
+        let d = 12;
+        let sk = DceSecretKey::generate(d, &mut rng);
+        assert_eq!(sk.m1().rows(), d / 2 + 4);
+        assert_eq!(sk.m_up().rows(), d + 8);
+        assert_eq!(sk.m_up().cols(), 2 * d + 16);
+        assert_eq!(sk.m3_inv().rows(), 2 * d + 16);
+        assert_eq!(sk.kv(0).len(), 2 * d + 16);
+    }
+
+    #[test]
+    fn r_values_are_nonzero() {
+        let mut rng = seeded_rng(43);
+        let sk = DceSecretKey::generate(6, &mut rng);
+        assert!(sk.r().iter().all(|v| v.abs() >= 0.5));
+    }
+
+    #[test]
+    fn debug_redacts_key_material() {
+        let mut rng = seeded_rng(44);
+        let sk = DceSecretKey::generate(4, &mut rng);
+        let shown = format!("{sk:?}");
+        assert!(shown.contains("dim"));
+        assert!(!shown.contains("m1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive dimension")]
+    fn zero_dim_rejected() {
+        DceSecretKey::generate(0, &mut seeded_rng(45));
+    }
+}

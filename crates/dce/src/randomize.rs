@@ -1,0 +1,221 @@
+//! Phase 1 of DCE: vector randomization (paper Section IV-A, Steps 1–4).
+//!
+//! Produces `p̄, q̄ ∈ R^{d+8}` with `p̄ᵀ·q̄ = ‖p‖² − 2·pᵀq` (Equation 5).
+//! All dimension bookkeeping lives here: an odd input dimension is padded
+//! with one zero coordinate (the pairwise recoding of Step 1 needs an even
+//! `d`; padding changes neither norms nor inner products).
+
+use crate::key::DceSecretKey;
+use ppann_linalg::vector::norm_sq;
+use rand::Rng;
+
+/// Input dimension rounded up to the next even number.
+pub const fn even_dim(d: usize) -> usize {
+    if d.is_multiple_of(2) {
+        d
+    } else {
+        d + 1
+    }
+}
+
+/// Dimension of the randomized vector `p̄`: `d_even + 8`.
+pub const fn randomized_dim(d: usize) -> usize {
+    even_dim(d) + 8
+}
+
+/// Dimension of each ciphertext component and of the trapdoor: `2·d_even + 16`.
+pub const fn ciphertext_dim(d: usize) -> usize {
+    2 * randomized_dim(d)
+}
+
+/// Step 1 for a database vector: pairwise sum/difference recoding.
+/// `p̌ = [p₁+p₂, p₁−p₂, p₃+p₄, p₃−p₄, …]`.
+fn step1_database(p: &[f64], d_even: usize) -> Vec<f64> {
+    let mut out = vec![0.0; d_even];
+    for i in 0..d_even / 2 {
+        let a = p.get(2 * i).copied().unwrap_or(0.0);
+        let b = p.get(2 * i + 1).copied().unwrap_or(0.0);
+        out[2 * i] = a + b;
+        out[2 * i + 1] = a - b;
+    }
+    out
+}
+
+/// Step 1 for a query vector: the negated recoding, so that
+/// `p̌ᵀ·q̌ = −2·pᵀq`.
+fn step1_query(q: &[f64], d_even: usize) -> Vec<f64> {
+    let mut out = step1_database(q, d_even);
+    for v in &mut out {
+        *v = -*v;
+    }
+    out
+}
+
+/// Per-vector randomness drawn during database-vector randomization.
+struct DbRandomness {
+    alpha1: f64,
+    alpha2: f64,
+    rp: [f64; 3],
+}
+
+fn positive_random(rng: &mut impl Rng) -> f64 {
+    rng.gen_range(0.5..2.0)
+}
+
+fn signed_random(rng: &mut impl Rng) -> f64 {
+    let m = positive_random(rng);
+    if rng.gen::<bool>() {
+        m
+    } else {
+        -m
+    }
+}
+
+/// Steps 1–4 for a database vector `p`, producing `p̄ ∈ R^{d+8}`.
+pub(crate) fn randomize_database(sk: &DceSecretKey, p: &[f64], rng: &mut impl Rng) -> Vec<f64> {
+    assert_eq!(p.len(), sk.dim(), "randomize_database: dimension mismatch");
+    let d_even = even_dim(sk.dim());
+    let h = d_even / 2;
+
+    // Step 1 + Step 2: recode then permute with π₁.
+    let checked = step1_database(p, d_even);
+    let bp = sk.pi1().apply(&checked);
+
+    // Step 3: split with random slots. γ_p encodes ‖p‖² so that the paired
+    // inner product with a query's (r₁…r₄) slots reconstructs it exactly.
+    let rnd = DbRandomness {
+        alpha1: signed_random(rng),
+        alpha2: signed_random(rng),
+        rp: [signed_random(rng), signed_random(rng), signed_random(rng)],
+    };
+    let r = sk.r();
+    let gamma = (norm_sq(p) - rnd.rp[0] * r[0] - rnd.rp[1] * r[1] - rnd.rp[2] * r[2]) / r[3];
+
+    let mut bp1 = Vec::with_capacity(h + 4);
+    bp1.extend_from_slice(&bp[..h]);
+    bp1.extend_from_slice(&[rnd.alpha1, -rnd.alpha1, rnd.rp[0], rnd.rp[1]]);
+
+    let mut bp2 = Vec::with_capacity(h + 4);
+    bp2.extend_from_slice(&bp[h..]);
+    bp2.extend_from_slice(&[rnd.alpha2, rnd.alpha2, rnd.rp[2], gamma]);
+
+    // Step 4: block matrix encryption (p̂₁ᵀM₁, p̂₂ᵀM₂) then permutation π₂.
+    let mut joined = sk.m1().vecmat(&bp1);
+    joined.extend(sk.m2().vecmat(&bp2));
+    sk.pi2().apply(&joined)
+}
+
+/// Steps 1–4 for a query vector `q`, producing `q̄ ∈ R^{d+8}`.
+pub(crate) fn randomize_query(sk: &DceSecretKey, q: &[f64], rng: &mut impl Rng) -> Vec<f64> {
+    assert_eq!(q.len(), sk.dim(), "randomize_query: dimension mismatch");
+    let d_even = even_dim(sk.dim());
+    let h = d_even / 2;
+
+    let checked = step1_query(q, d_even);
+    let bq = sk.pi1().apply(&checked);
+
+    let beta1 = signed_random(rng);
+    let beta2 = signed_random(rng);
+    let r = sk.r();
+
+    let mut bq1 = Vec::with_capacity(h + 4);
+    bq1.extend_from_slice(&bq[..h]);
+    bq1.extend_from_slice(&[beta1, beta1, r[0], r[1]]);
+
+    let mut bq2 = Vec::with_capacity(h + 4);
+    bq2.extend_from_slice(&bq[h..]);
+    bq2.extend_from_slice(&[beta2, -beta2, r[2], r[3]]);
+
+    // Step 4 for queries uses the matrix inverses: q̄ = π₂([M₁⁻¹q̂₁, M₂⁻¹q̂₂]).
+    let mut joined = sk.m1_inv().matvec(&bq1);
+    joined.extend(sk.m2_inv().matvec(&bq2));
+    sk.pi2().apply(&joined)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppann_linalg::vector::{dot, norm_sq, squared_euclidean};
+    use ppann_linalg::{seeded_rng, uniform_vec};
+
+    #[test]
+    fn dims_helpers() {
+        assert_eq!(even_dim(4), 4);
+        assert_eq!(even_dim(5), 6);
+        assert_eq!(randomized_dim(128), 136);
+        assert_eq!(ciphertext_dim(128), 272);
+    }
+
+    #[test]
+    fn step1_preserves_scaled_inner_product() {
+        // p̌ᵀ·q̌ = −2·pᵀq (Equation 1).
+        let mut rng = seeded_rng(31);
+        for d in [2usize, 4, 8, 64] {
+            let p = uniform_vec(&mut rng, d, -3.0, 3.0);
+            let q = uniform_vec(&mut rng, d, -3.0, 3.0);
+            let cp = step1_database(&p, d);
+            let cq = step1_query(&q, d);
+            let expected = -2.0 * dot(&p, &q);
+            assert!((dot(&cp, &cq) - expected).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn step1_pads_odd_dims_with_zero() {
+        let p = [1.0, 2.0, 3.0];
+        let out = step1_database(&p, 4);
+        assert_eq!(out, vec![3.0, -1.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn randomization_satisfies_equation_5() {
+        // p̄ᵀ·q̄ = ‖p‖² − 2·pᵀq, for even and odd dimensions.
+        let mut rng = seeded_rng(32);
+        for d in [2usize, 5, 8, 17, 64] {
+            let sk = DceSecretKey::generate(d, &mut rng);
+            for _ in 0..10 {
+                let p = uniform_vec(&mut rng, d, -1.0, 1.0);
+                let q = uniform_vec(&mut rng, d, -1.0, 1.0);
+                let pb = randomize_database(&sk, &p, &mut rng);
+                let qb = randomize_query(&sk, &q, &mut rng);
+                assert_eq!(pb.len(), randomized_dim(d));
+                assert_eq!(qb.len(), randomized_dim(d));
+                let expected = norm_sq(&p) - 2.0 * dot(&p, &q);
+                assert!(
+                    (dot(&pb, &qb) - expected).abs() < 1e-7,
+                    "d={d}: got {}, want {expected}",
+                    dot(&pb, &qb)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn equation_5_reconstructs_distance_difference() {
+        // (ōᵀq̄ − p̄ᵀq̄) = dist(o,q) − dist(p,q): the ‖q‖² terms cancel.
+        let mut rng = seeded_rng(33);
+        let d = 12;
+        let sk = DceSecretKey::generate(d, &mut rng);
+        let o = uniform_vec(&mut rng, d, -1.0, 1.0);
+        let p = uniform_vec(&mut rng, d, -1.0, 1.0);
+        let q = uniform_vec(&mut rng, d, -1.0, 1.0);
+        let ob = randomize_database(&sk, &o, &mut rng);
+        let pb = randomize_database(&sk, &p, &mut rng);
+        let qb = randomize_query(&sk, &q, &mut rng);
+        let lhs = dot(&ob, &qb) - dot(&pb, &qb);
+        let rhs = squared_euclidean(&o, &q) - squared_euclidean(&p, &q);
+        assert!((lhs - rhs).abs() < 1e-7);
+    }
+
+    #[test]
+    fn randomization_is_randomized() {
+        // Two encryptions of the same vector differ (fresh per-vector slots).
+        let mut rng = seeded_rng(34);
+        let d = 6;
+        let sk = DceSecretKey::generate(d, &mut rng);
+        let p = uniform_vec(&mut rng, d, -1.0, 1.0);
+        let a = randomize_database(&sk, &p, &mut rng);
+        let b = randomize_database(&sk, &p, &mut rng);
+        assert_ne!(a, b);
+    }
+}

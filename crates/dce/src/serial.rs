@@ -1,0 +1,196 @@
+//! Binary serialization of DCE secret keys.
+//!
+//! The data owner must persist its key bundle between sessions (losing the
+//! key strands every ciphertext on the server). The format is the same
+//! hand-rolled little-endian layout as the other snapshots in this
+//! workspace: magic, version, dimensions, then the raw key material.
+//! **This is key material** — the caller is responsible for storing the
+//! bytes with appropriate protection.
+
+use crate::key::DceSecretKey;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use ppann_linalg::{Matrix, Permutation};
+
+const MAGIC: &[u8; 4] = b"DCEK";
+const VERSION: u32 = 1;
+
+/// Key (de)serialization failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KeyCodecError {
+    /// Magic/version mismatch.
+    BadHeader,
+    /// Truncated or inconsistent payload.
+    Truncated,
+}
+
+impl std::fmt::Display for KeyCodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KeyCodecError::BadHeader => write!(f, "bad key header"),
+            KeyCodecError::Truncated => write!(f, "truncated key material"),
+        }
+    }
+}
+impl std::error::Error for KeyCodecError {}
+
+fn put_matrix(buf: &mut BytesMut, m: &Matrix) {
+    buf.put_u64_le(m.rows() as u64);
+    buf.put_u64_le(m.cols() as u64);
+    for v in m.data() {
+        buf.put_f64_le(*v);
+    }
+}
+
+fn get_matrix(data: &mut Bytes) -> Result<Matrix, KeyCodecError> {
+    if data.remaining() < 16 {
+        return Err(KeyCodecError::Truncated);
+    }
+    let rows = data.get_u64_le() as usize;
+    let cols = data.get_u64_le() as usize;
+    if data.remaining() < rows * cols * 8 {
+        return Err(KeyCodecError::Truncated);
+    }
+    let mut out = Vec::with_capacity(rows * cols);
+    for _ in 0..rows * cols {
+        out.push(data.get_f64_le());
+    }
+    Ok(Matrix::from_vec(rows, cols, out))
+}
+
+fn put_vec(buf: &mut BytesMut, v: &[f64]) {
+    buf.put_u64_le(v.len() as u64);
+    for x in v {
+        buf.put_f64_le(*x);
+    }
+}
+
+fn get_vec(data: &mut Bytes) -> Result<Vec<f64>, KeyCodecError> {
+    if data.remaining() < 8 {
+        return Err(KeyCodecError::Truncated);
+    }
+    let n = data.get_u64_le() as usize;
+    if data.remaining() < n * 8 {
+        return Err(KeyCodecError::Truncated);
+    }
+    Ok((0..n).map(|_| data.get_f64_le()).collect())
+}
+
+fn put_permutation(buf: &mut BytesMut, p: &Permutation) {
+    buf.put_u64_le(p.len() as u64);
+    for &x in p.map() {
+        buf.put_u32_le(x);
+    }
+}
+
+fn get_permutation(data: &mut Bytes) -> Result<Permutation, KeyCodecError> {
+    if data.remaining() < 8 {
+        return Err(KeyCodecError::Truncated);
+    }
+    let n = data.get_u64_le() as usize;
+    if data.remaining() < n * 4 {
+        return Err(KeyCodecError::Truncated);
+    }
+    Ok(Permutation::from_map((0..n).map(|_| data.get_u32_le()).collect()))
+}
+
+impl DceSecretKey {
+    /// Serializes the complete key (all matrices, permutations, masking
+    /// vectors and shared randoms).
+    pub fn to_bytes(&self) -> Bytes {
+        let parts = self.raw_parts();
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(VERSION);
+        buf.put_u64_le(parts.dim as u64);
+        for m in [parts.m1, parts.m1_inv, parts.m2, parts.m2_inv, parts.m_up, parts.m_down, parts.m3_inv]
+        {
+            put_matrix(&mut buf, m);
+        }
+        put_permutation(&mut buf, parts.pi1);
+        put_permutation(&mut buf, parts.pi2);
+        for r in parts.r {
+            buf.put_f64_le(*r);
+        }
+        for kv in parts.kv {
+            put_vec(&mut buf, kv);
+        }
+        buf.freeze()
+    }
+
+    /// Restores a key serialized with [`DceSecretKey::to_bytes`].
+    pub fn from_bytes(mut data: Bytes) -> Result<Self, KeyCodecError> {
+        if data.remaining() < 8 || &data.copy_to_bytes(4)[..] != MAGIC {
+            return Err(KeyCodecError::BadHeader);
+        }
+        if data.get_u32_le() != VERSION {
+            return Err(KeyCodecError::BadHeader);
+        }
+        if data.remaining() < 8 {
+            return Err(KeyCodecError::Truncated);
+        }
+        let dim = data.get_u64_le() as usize;
+        let m1 = get_matrix(&mut data)?;
+        let m1_inv = get_matrix(&mut data)?;
+        let m2 = get_matrix(&mut data)?;
+        let m2_inv = get_matrix(&mut data)?;
+        let m_up = get_matrix(&mut data)?;
+        let m_down = get_matrix(&mut data)?;
+        let m3_inv = get_matrix(&mut data)?;
+        let pi1 = get_permutation(&mut data)?;
+        let pi2 = get_permutation(&mut data)?;
+        if data.remaining() < 32 {
+            return Err(KeyCodecError::Truncated);
+        }
+        let r = [data.get_f64_le(), data.get_f64_le(), data.get_f64_le(), data.get_f64_le()];
+        let kv1 = get_vec(&mut data)?;
+        let kv2 = get_vec(&mut data)?;
+        let kv3 = get_vec(&mut data)?;
+        let kv4 = get_vec(&mut data)?;
+        DceSecretKey::from_raw_parts(dim, m1, m1_inv, m2, m2_inv, pi1, pi2, r, m_up, m_down, m3_inv, [kv1, kv2, kv3, kv4])
+            .ok_or(KeyCodecError::Truncated)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance_comp;
+    use ppann_linalg::{seeded_rng, uniform_vec};
+
+    #[test]
+    fn key_roundtrip_preserves_comparisons() {
+        let mut rng = seeded_rng(321);
+        let d = 9;
+        let sk = DceSecretKey::generate(d, &mut rng);
+        let restored = DceSecretKey::from_bytes(sk.to_bytes()).unwrap();
+
+        // A ciphertext produced by the original key must compare correctly
+        // against one produced by the restored key.
+        let o = uniform_vec(&mut rng, d, -1.0, 1.0);
+        let p = uniform_vec(&mut rng, d, -1.0, 1.0);
+        let q = uniform_vec(&mut rng, d, -1.0, 1.0);
+        let c_o = sk.encrypt(&o, &mut rng);
+        let c_p = restored.encrypt(&p, &mut rng);
+        let t_q = restored.trapdoor(&q, &mut rng);
+        let z = distance_comp(&c_o, &c_p, &t_q);
+        let truth = ppann_linalg::vector::squared_euclidean(&o, &q)
+            - ppann_linalg::vector::squared_euclidean(&p, &q);
+        assert_eq!(z < 0.0, truth < 0.0);
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert_eq!(
+            DceSecretKey::from_bytes(Bytes::from_static(b"nope")).unwrap_err(),
+            KeyCodecError::BadHeader
+        );
+        let mut rng = seeded_rng(322);
+        let sk = DceSecretKey::generate(4, &mut rng);
+        let mut good = sk.to_bytes().to_vec();
+        good.truncate(good.len() / 2);
+        assert_eq!(
+            DceSecretKey::from_bytes(Bytes::from(good)).unwrap_err(),
+            KeyCodecError::Truncated
+        );
+    }
+}

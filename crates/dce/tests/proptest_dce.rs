@@ -1,0 +1,93 @@
+//! Property-based tests of DCE: Theorem 3 (exact comparisons) must hold for
+//! arbitrary vectors, dimensions (odd and even), keys and randomness.
+
+use ppann_dce::{distance_comp, DceSecretKey};
+use ppann_linalg::vector::squared_euclidean;
+use ppann_linalg::seeded_rng;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Sign agreement on arbitrary triples, any dimension 2..=20.
+    #[test]
+    fn theorem_3_holds(
+        d in 2usize..=20,
+        key_seed in 0u64..10_000,
+        data in proptest::collection::vec(-1.0f64..1.0, 60),
+    ) {
+        let mut rng = seeded_rng(key_seed);
+        let sk = DceSecretKey::generate(d, &mut rng);
+        let o = &data[..d];
+        let p = &data[20..20 + d];
+        let q = &data[40..40 + d];
+        let c_o = sk.encrypt(o, &mut rng);
+        let c_p = sk.encrypt(p, &mut rng);
+        let t_q = sk.trapdoor(q, &mut rng);
+        let z = distance_comp(&c_o, &c_p, &t_q);
+        let truth = squared_euclidean(o, q) - squared_euclidean(p, q);
+        // Guard band: ties within numerical noise are unconstrained.
+        if truth.abs() > 1e-7 {
+            prop_assert_eq!(z < 0.0, truth < 0.0, "Z = {}, truth = {}", z, truth);
+        }
+    }
+
+    /// Comparisons are consistent across re-encryptions: any two fresh
+    /// ciphertext pairs of the same plaintexts order identically.
+    #[test]
+    fn reencryption_stability(
+        d in 2usize..=12,
+        key_seed in 0u64..1000,
+        data in proptest::collection::vec(-1.0f64..1.0, 36),
+    ) {
+        let mut rng = seeded_rng(key_seed ^ 0xABCD);
+        let sk = DceSecretKey::generate(d, &mut rng);
+        let o = &data[..d];
+        let p = &data[12..12 + d];
+        let q = &data[24..24 + d];
+        let truth = squared_euclidean(o, q) - squared_euclidean(p, q);
+        prop_assume!(truth.abs() > 1e-6);
+        let t_q = sk.trapdoor(q, &mut rng);
+        let mut signs = Vec::new();
+        for _ in 0..4 {
+            let z = distance_comp(&sk.encrypt(o, &mut rng), &sk.encrypt(p, &mut rng), &t_q);
+            signs.push(z < 0.0);
+        }
+        prop_assert!(signs.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    /// Antisymmetry: swapping o and p flips the sign.
+    #[test]
+    fn antisymmetry(
+        d in 2usize..=12,
+        key_seed in 0u64..1000,
+        data in proptest::collection::vec(-1.0f64..1.0, 36),
+    ) {
+        let mut rng = seeded_rng(key_seed ^ 0x1357);
+        let sk = DceSecretKey::generate(d, &mut rng);
+        let o = &data[..d];
+        let p = &data[12..12 + d];
+        let q = &data[24..24 + d];
+        let truth = squared_euclidean(o, q) - squared_euclidean(p, q);
+        prop_assume!(truth.abs() > 1e-6);
+        let c_o = sk.encrypt(o, &mut rng);
+        let c_p = sk.encrypt(p, &mut rng);
+        let t_q = sk.trapdoor(q, &mut rng);
+        let forward = distance_comp(&c_o, &c_p, &t_q);
+        let backward = distance_comp(&c_p, &c_o, &t_q);
+        prop_assert_eq!(forward < 0.0, backward > 0.0);
+    }
+
+    /// Ciphertext shapes always match the paper's 8d+64 / 2d+16 analysis.
+    #[test]
+    fn shapes(d in 1usize..=30, key_seed in 0u64..100) {
+        let mut rng = seeded_rng(key_seed);
+        let sk = DceSecretKey::generate(d, &mut rng);
+        let v = vec![0.5; d];
+        let c = sk.encrypt(&v, &mut rng);
+        let t = sk.trapdoor(&v, &mut rng);
+        let d_even = d + d % 2;
+        prop_assert_eq!(c.len_scalars(), 8 * d_even + 64);
+        prop_assert_eq!(t.dim(), 2 * d_even + 16);
+    }
+}

@@ -1,0 +1,92 @@
+//! Approximation-quality helpers for SAP ciphertexts.
+//!
+//! These functions quantify the error that the filter phase inherits from
+//! DCPE and back the β-DCP property tests.
+
+use ppann_linalg::vector;
+
+/// Estimates the plaintext squared distance from two SAP ciphertexts:
+/// `dist(C_p, C_q) / s²`. This is the approximate distance the filter phase
+/// ranks candidates by.
+pub fn approximate_distance_sq(c_p: &[f64], c_q: &[f64], s: f64) -> f64 {
+    vector::squared_euclidean(c_p, c_q) / (s * s)
+}
+
+/// Upper bound on the *Euclidean* (non-squared) distance estimation error:
+/// `|‖C_p − C_q‖/s − ‖p − q‖| ≤ β/2` (each ciphertext contributes noise of
+/// norm at most `sβ/4`).
+pub fn max_distance_error(beta: f64) -> f64 {
+    beta / 2.0
+}
+
+/// Checks the β-DCP implication on a concrete triple: if
+/// `‖o−q‖ < ‖p−q‖ − β` then the encrypted comparison must agree. Returns
+/// `true` when the implication is satisfied (vacuously true when the margin
+/// does not hold).
+pub fn dcp_margin_holds(
+    o: &[f64],
+    p: &[f64],
+    q: &[f64],
+    c_o: &[f64],
+    c_p: &[f64],
+    c_q: &[f64],
+    beta: f64,
+) -> bool {
+    let d_oq = vector::squared_euclidean(o, q).sqrt();
+    let d_pq = vector::squared_euclidean(p, q).sqrt();
+    if d_oq < d_pq - beta {
+        let e_oq = vector::squared_euclidean(c_o, c_q);
+        let e_pq = vector::squared_euclidean(c_p, c_q);
+        e_oq < e_pq
+    } else {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SapEncryptor, SapKey};
+    use ppann_linalg::{seeded_rng, uniform_vec};
+
+    #[test]
+    fn approx_distance_tracks_truth_within_bound() {
+        let s = 64.0;
+        let beta = 0.5;
+        let enc = SapEncryptor::new(SapKey::new(s, beta));
+        let mut rng = seeded_rng(21);
+        for _ in 0..100 {
+            let p = uniform_vec(&mut rng, 16, -1.0, 1.0);
+            let q = uniform_vec(&mut rng, 16, -1.0, 1.0);
+            let cp = enc.encrypt(&p, &mut rng);
+            let cq = enc.encrypt(&q, &mut rng);
+            let true_d = vector::squared_euclidean(&p, &q).sqrt();
+            let approx_d = approximate_distance_sq(&cp, &cq, s).sqrt();
+            assert!(
+                (true_d - approx_d).abs() <= max_distance_error(beta) + 1e-9,
+                "error {} exceeds bound {}",
+                (true_d - approx_d).abs(),
+                max_distance_error(beta)
+            );
+        }
+    }
+
+    #[test]
+    fn dcp_property_holds_statistically() {
+        // The β-DCP implication must hold on *every* triple (it is a
+        // worst-case guarantee of the construction, not a statistical one).
+        let s = 32.0;
+        let beta = 0.8;
+        let enc = SapEncryptor::new(SapKey::new(s, beta));
+        let mut rng = seeded_rng(22);
+        for _ in 0..500 {
+            let o = uniform_vec(&mut rng, 12, -2.0, 2.0);
+            let p = uniform_vec(&mut rng, 12, -2.0, 2.0);
+            let q = uniform_vec(&mut rng, 12, -2.0, 2.0);
+            let c_o = enc.encrypt(&o, &mut rng);
+            let c_p = enc.encrypt(&p, &mut rng);
+            let c_q = enc.encrypt(&q, &mut rng);
+            assert!(dcp_margin_holds(&o, &p, &q, &c_o, &c_p, &c_q, beta));
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! SAP secret keys and the admissible β range.
+
+/// Secret key of the Scale-and-Perturb DCPE instance.
+///
+/// * `s` — the scaling factor (a random positive number; the paper uses
+///   `s = 1024` following Bogatov's recommendation).
+/// * `beta` — the perturbation budget: each ciphertext is the scaled
+///   plaintext plus a random vector of norm at most `s·β/4`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SapKey {
+    s: f64,
+    beta: f64,
+}
+
+impl SapKey {
+    /// Creates a key.
+    ///
+    /// # Panics
+    /// Panics unless `s > 0` and `beta >= 0` (β = 0 disables the noise — the
+    /// "β = 0" series of Figure 4).
+    pub fn new(s: f64, beta: f64) -> Self {
+        assert!(s > 0.0, "SAP scaling factor must be positive");
+        assert!(beta >= 0.0, "SAP beta must be non-negative");
+        Self { s, beta }
+    }
+
+    /// The scaling factor `s`.
+    #[inline]
+    pub fn s(&self) -> f64 {
+        self.s
+    }
+
+    /// The perturbation budget `β`.
+    #[inline]
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Radius of the perturbation ball: `s·β/4`.
+    #[inline]
+    pub fn noise_radius(&self) -> f64 {
+        self.s * self.beta / 4.0
+    }
+}
+
+/// The paper's admissible range for β: `[√M, 2·M·√d]`, where
+/// `M = max_{p∈P} max_i |p_i|` is the largest absolute coordinate of the
+/// database (Section V-A / VII-A).
+pub fn beta_range(max_abs_coordinate: f64, dim: usize) -> (f64, f64) {
+    assert!(max_abs_coordinate >= 0.0);
+    (
+        max_abs_coordinate.sqrt(),
+        2.0 * max_abs_coordinate * (dim as f64).sqrt(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noise_radius_formula() {
+        let k = SapKey::new(1024.0, 2.0);
+        assert_eq!(k.noise_radius(), 512.0);
+    }
+
+    #[test]
+    fn beta_range_matches_paper() {
+        let (lo, hi) = beta_range(4.0, 16);
+        assert_eq!(lo, 2.0);
+        assert_eq!(hi, 32.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_scale_rejected() {
+        SapKey::new(0.0, 1.0);
+    }
+}

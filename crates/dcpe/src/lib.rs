@@ -1,0 +1,41 @@
+//! # ppann-dcpe
+//!
+//! Distance-comparison-preserving encryption (DCPE) via the **Scale-and-
+//! Perturb (SAP)** construction of Fuchsbauer et al. (SCN 2022), as used by
+//! the reproduced paper (Sections III-B and V-A, Algorithm 1).
+//!
+//! SAP encrypts a vector `p` as `C_p = s·p + λ_p` where `s` is a secret
+//! scaling factor and `λ_p` is a fresh random vector drawn from the ball
+//! `B(0, sβ/4)`. Distances between ciphertexts *approximate* (scaled)
+//! plaintext distances: SAP is a β-DCP function — whenever
+//! `‖o−q‖ < ‖p−q‖ − β`, the encrypted comparison agrees
+//! (`‖f(o)−f(q)‖ < ‖f(p)−f(q)‖`).
+//!
+//! In the PP-ANNS scheme the data owner builds the HNSW filter index over SAP
+//! ciphertexts: comparisons there may err by up to β, which is exactly the
+//! privacy/accuracy dial of Figure 4 (larger β ⇒ more noise ⇒ more privacy,
+//! lower filter recall ceiling).
+//!
+//! Following the paper, this implementation deliberately does **not** retain
+//! the information needed to decrypt: ciphertexts live on the server forever
+//! and are never decrypted.
+//!
+//! ```
+//! use ppann_dcpe::{SapKey, SapEncryptor};
+//! use ppann_linalg::seeded_rng;
+//!
+//! let mut rng = seeded_rng(7);
+//! let key = SapKey::new(1024.0, 2.0);
+//! let enc = SapEncryptor::new(key);
+//! let p = vec![0.5, -0.25, 1.0, 0.0];
+//! let c = enc.encrypt(&p, &mut rng);
+//! assert_eq!(c.len(), p.len());
+//! ```
+
+mod analysis;
+mod keys;
+mod sap;
+
+pub use analysis::{approximate_distance_sq, dcp_margin_holds, max_distance_error};
+pub use keys::{beta_range, SapKey};
+pub use sap::SapEncryptor;

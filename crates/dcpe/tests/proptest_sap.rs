@@ -1,0 +1,69 @@
+//! Property-based tests of SAP/DCPE: the β-DCP guarantee is worst-case, so
+//! it must survive arbitrary inputs.
+
+use ppann_dcpe::{dcp_margin_holds, SapEncryptor, SapKey};
+use ppann_linalg::{seeded_rng, vector};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Perturbation norm never exceeds sβ/4.
+    #[test]
+    fn noise_radius_bound(
+        d in 1usize..32,
+        s in 1.0f64..100.0,
+        beta in 0.0f64..4.0,
+        seed in 0u64..1000,
+        data in proptest::collection::vec(-5.0f64..5.0, 32),
+    ) {
+        let enc = SapEncryptor::new(SapKey::new(s, beta));
+        let mut rng = seeded_rng(seed);
+        let p = &data[..d];
+        let c = enc.encrypt(p, &mut rng);
+        let noise = vector::sub(&c, &vector::scaled(p, s));
+        prop_assert!(vector::norm(&noise) <= s * beta / 4.0 + 1e-9);
+    }
+
+    /// The β-DCP implication holds on every triple.
+    #[test]
+    fn dcp_implication(
+        d in 1usize..16,
+        beta in 0.01f64..2.0,
+        seed in 0u64..1000,
+        data in proptest::collection::vec(-3.0f64..3.0, 48),
+    ) {
+        let enc = SapEncryptor::new(SapKey::new(16.0, beta));
+        let mut rng = seeded_rng(seed);
+        let o = &data[..d];
+        let p = &data[16..16 + d];
+        let q = &data[32..32 + d];
+        let c_o = enc.encrypt(o, &mut rng);
+        let c_p = enc.encrypt(p, &mut rng);
+        let c_q = enc.encrypt(q, &mut rng);
+        prop_assert!(dcp_margin_holds(o, p, q, &c_o, &c_p, &c_q, beta));
+    }
+
+    /// β = 0 degenerates to exact scaling: encrypted comparisons are exact.
+    #[test]
+    fn beta_zero_is_exact(
+        d in 1usize..16,
+        seed in 0u64..1000,
+        data in proptest::collection::vec(-3.0f64..3.0, 48),
+    ) {
+        let enc = SapEncryptor::new(SapKey::new(8.0, 0.0));
+        let mut rng = seeded_rng(seed);
+        let o = &data[..d];
+        let p = &data[16..16 + d];
+        let q = &data[32..32 + d];
+        let c_o = enc.encrypt(o, &mut rng);
+        let c_p = enc.encrypt(p, &mut rng);
+        let c_q = enc.encrypt(q, &mut rng);
+        let truth = vector::squared_euclidean(o, q) < vector::squared_euclidean(p, q);
+        let enc_cmp = vector::squared_euclidean(&c_o, &c_q) < vector::squared_euclidean(&c_p, &c_q);
+        let gap = (vector::squared_euclidean(o, q) - vector::squared_euclidean(p, q)).abs();
+        if gap > 1e-9 {
+            prop_assert_eq!(truth, enc_cmp);
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Exact k-NN by linear scan — ground truth for every recall measurement.
+
+use crate::graph::Neighbor;
+use crate::store::VecStore;
+use ppann_linalg::vector::squared_euclidean;
+use std::collections::BinaryHeap;
+
+struct MaxByDist(Neighbor);
+impl PartialEq for MaxByDist {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.dist == other.0.dist
+    }
+}
+impl Eq for MaxByDist {}
+impl Ord for MaxByDist {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.dist.partial_cmp(&other.0.dist).expect("NaN distance")
+    }
+}
+impl PartialOrd for MaxByDist {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Exact k-nearest neighbors of `query` in `store`, closest first.
+pub fn exact_knn(store: &VecStore, query: &[f64], k: usize) -> Vec<Neighbor> {
+    let mut heap: BinaryHeap<MaxByDist> = BinaryHeap::with_capacity(k + 1);
+    for (id, v) in store.iter() {
+        let dist = squared_euclidean(query, v);
+        if heap.len() < k {
+            heap.push(MaxByDist(Neighbor { id, dist }));
+        } else if let Some(top) = heap.peek() {
+            if dist < top.0.dist {
+                heap.pop();
+                heap.push(MaxByDist(Neighbor { id, dist }));
+            }
+        }
+    }
+    let mut out: Vec<Neighbor> = heap.into_iter().map(|m| m.0).collect();
+    out.sort_by(|a, b| a.dist.partial_cmp(&b.dist).unwrap());
+    out
+}
+
+/// Exact k-NN ids only.
+pub fn exact_knn_ids(store: &VecStore, query: &[f64], k: usize) -> Vec<u32> {
+    exact_knn(store, query, k).into_iter().map(|n| n.id).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_true_neighbors() {
+        let store = VecStore::from_vectors(
+            1,
+            &[vec![0.0], vec![10.0], vec![3.0], vec![-1.0], vec![7.0]],
+        );
+        let ids = exact_knn_ids(&store, &[2.0], 3);
+        assert_eq!(ids, vec![2, 0, 3]);
+    }
+
+    #[test]
+    fn k_larger_than_n() {
+        let store = VecStore::from_vectors(1, &[vec![1.0], vec![2.0]]);
+        assert_eq!(exact_knn(&store, &[0.0], 10).len(), 2);
+    }
+
+    #[test]
+    fn results_sorted_by_distance() {
+        let store = VecStore::from_vectors(2, &[vec![5.0, 0.0], vec![1.0, 0.0], vec![3.0, 0.0]]);
+        let hits = exact_knn(&store, &[0.0, 0.0], 3);
+        assert!(hits.windows(2).all(|w| w[0].dist <= w[1].dist));
+    }
+}

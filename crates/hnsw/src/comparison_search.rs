@@ -1,0 +1,187 @@
+//! Comparison-only graph traversal.
+//!
+//! The paper's Section I sketches (and rejects) a *naive* PP-ANNS design:
+//! ship a proximity graph to the cloud and run its search with secure
+//! distance **comparisons** instead of distances. Beam search never actually
+//! needs distance values — every heap operation and the termination test
+//! reduce to "is `a` closer to the query than `b`?" — so the traversal can
+//! run on any total-order oracle, e.g. DCE's `DistanceComp`.
+//!
+//! This module implements that traversal generically so the naive design can
+//! be measured (ablation 5) rather than just argued about. The oracle is
+//! `FnMut(u32, u32) -> bool` returning "first id is strictly closer".
+
+use crate::graph::Hnsw;
+use crate::visited::VisitedTable;
+
+/// A poor man's ordered buffer keyed by a comparison oracle: keeps ids
+/// sorted closest-first via binary-search insertion. Sizes here are bounded
+/// by `ef`, so O(ef) insertion is acceptable and keeps the oracle-call count
+/// at O(log ef) per insert.
+struct OrderedByOracle {
+    ids: Vec<u32>,
+}
+
+impl OrderedByOracle {
+    fn new() -> Self {
+        Self { ids: Vec::new() }
+    }
+
+    fn insert(&mut self, id: u32, closer: &mut impl FnMut(u32, u32) -> bool) {
+        let pos = self.ids.partition_point(|&existing| closer(existing, id));
+        self.ids.insert(pos, id);
+    }
+
+    fn pop_closest(&mut self) -> Option<u32> {
+        if self.ids.is_empty() {
+            None
+        } else {
+            Some(self.ids.remove(0))
+        }
+    }
+
+    fn worst(&self) -> Option<u32> {
+        self.ids.last().copied()
+    }
+
+    fn drop_worst(&mut self) {
+        self.ids.pop();
+    }
+
+    fn len(&self) -> usize {
+        self.ids.len()
+    }
+}
+
+impl Hnsw {
+    /// k-ANN search that never evaluates a distance: all ordering decisions
+    /// go through `closer(a, b)` ("is node `a` strictly closer to the query
+    /// than node `b`?"). Returns up to `k` live ids, closest first.
+    ///
+    /// This is the engine of the naive HNSW-over-DCE design the paper argues
+    /// against in Section I: correct, but every oracle call costs `4d + 32`
+    /// MACs instead of `d`, and the graph itself must have been built on
+    /// exact neighborhoods (leaking them to the server).
+    pub fn search_by_comparison(
+        &self,
+        k: usize,
+        ef: usize,
+        mut closer: impl FnMut(u32, u32) -> bool,
+    ) -> Vec<u32> {
+        let Some(entry) = self.entry_point() else { return Vec::new() };
+        let ef = ef.max(k);
+
+        // Greedy descent through the upper layers.
+        let mut ep = entry;
+        for layer in (1..=self.node_level(entry)).rev() {
+            loop {
+                let mut improved = false;
+                for &nb in self.links(ep, layer) {
+                    if closer(nb, ep) {
+                        ep = nb;
+                        improved = true;
+                    }
+                }
+                if !improved {
+                    break;
+                }
+            }
+        }
+
+        // Layer-0 beam search, comparison-driven.
+        let mut visited = VisitedTable::default();
+        visited.reset(self.capacity_slots());
+        visited.insert(ep);
+        let mut candidates = OrderedByOracle::new();
+        let mut results = OrderedByOracle::new();
+        candidates.insert(ep, &mut closer);
+        if !self.is_deleted(ep) {
+            results.insert(ep, &mut closer);
+        }
+
+        while let Some(c) = candidates.pop_closest() {
+            if results.len() >= ef {
+                if let Some(worst) = results.worst() {
+                    // Termination: the closest unexpanded candidate is no
+                    // closer than the worst retained result.
+                    if !closer(c, worst) {
+                        break;
+                    }
+                }
+            }
+            for &nb in self.links(c, 0) {
+                if !visited.insert(nb) {
+                    continue;
+                }
+                let admit = results.len() < ef
+                    || results.worst().map(|w| closer(nb, w)).unwrap_or(true);
+                if admit {
+                    candidates.insert(nb, &mut closer);
+                    if !self.is_deleted(nb) {
+                        results.insert(nb, &mut closer);
+                        if results.len() > ef {
+                            results.drop_worst();
+                        }
+                    }
+                }
+            }
+        }
+        results.ids.truncate(k);
+        results.ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{exact_knn_ids, HnswParams};
+    use ppann_linalg::vector::squared_euclidean;
+    use ppann_linalg::{seeded_rng, uniform_vec};
+
+    #[test]
+    fn comparison_search_matches_distance_search() {
+        let mut rng = seeded_rng(401);
+        let pts: Vec<Vec<f64>> = (0..400).map(|_| uniform_vec(&mut rng, 8, -1.0, 1.0)).collect();
+        let index = Hnsw::build(8, HnswParams::default(), &pts);
+        for qi in 0..10 {
+            let q = pts[qi].clone();
+            let by_cmp = index.search_by_comparison(10, 60, |a, b| {
+                squared_euclidean(&pts[a as usize], &q) < squared_euclidean(&pts[b as usize], &q)
+            });
+            let by_dist: Vec<u32> = index.search(&q, 10, 60).iter().map(|n| n.id).collect();
+            assert_eq!(by_cmp, by_dist, "query {qi}");
+        }
+    }
+
+    #[test]
+    fn comparison_search_exact_on_tiny_sets() {
+        let mut rng = seeded_rng(402);
+        let pts: Vec<Vec<f64>> = (0..25).map(|_| uniform_vec(&mut rng, 4, -1.0, 1.0)).collect();
+        let index = Hnsw::build(4, HnswParams::default(), &pts);
+        let q = uniform_vec(&mut rng, 4, -1.0, 1.0);
+        let got = index.search_by_comparison(5, 25, |a, b| {
+            squared_euclidean(&pts[a as usize], &q) < squared_euclidean(&pts[b as usize], &q)
+        });
+        assert_eq!(got, exact_knn_ids(index.store(), &q, 5));
+    }
+
+    #[test]
+    fn skips_deleted_nodes() {
+        let mut rng = seeded_rng(403);
+        let pts: Vec<Vec<f64>> = (0..60).map(|_| uniform_vec(&mut rng, 4, -1.0, 1.0)).collect();
+        let mut index = Hnsw::build(4, HnswParams::default(), &pts);
+        let q = pts[0].clone();
+        index.delete(0);
+        let got = index.search_by_comparison(5, 30, |a, b| {
+            squared_euclidean(&pts[a as usize], &q) < squared_euclidean(&pts[b as usize], &q)
+        });
+        assert!(!got.contains(&0));
+        assert_eq!(got.len(), 5);
+    }
+
+    #[test]
+    fn empty_index() {
+        let index = Hnsw::new(3, HnswParams::default());
+        assert!(index.search_by_comparison(5, 10, |_, _| false).is_empty());
+    }
+}

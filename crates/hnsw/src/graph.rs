@@ -1,0 +1,840 @@
+//! The hierarchical graph: construction, search, maintenance.
+
+use crate::params::HnswParams;
+use crate::store::VecStore;
+use crate::visited::VisitedTable;
+use ppann_linalg::vector::squared_euclidean;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A search hit: node id plus its (squared) distance to the query.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Neighbor {
+    /// Node id within the index.
+    pub id: u32,
+    /// Squared Euclidean distance to the query.
+    pub dist: f64,
+}
+
+/// Max-heap entry ordered by distance (largest distance on top).
+#[derive(Clone, Copy, PartialEq)]
+struct FarthestFirst(Neighbor);
+/// Min-heap entry ordered by distance (smallest distance on top).
+#[derive(Clone, Copy, PartialEq)]
+struct ClosestFirst(Neighbor);
+
+impl Eq for FarthestFirst {}
+impl Eq for ClosestFirst {}
+impl Ord for FarthestFirst {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.dist.partial_cmp(&other.0.dist).expect("NaN distance in HNSW heap")
+    }
+}
+impl PartialOrd for FarthestFirst {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for ClosestFirst {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.0.dist.partial_cmp(&self.0.dist).expect("NaN distance in HNSW heap")
+    }
+}
+impl PartialOrd for ClosestFirst {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Per-node adjacency: one neighbor list per layer `0..=level`.
+#[derive(Clone, Debug, Default)]
+struct Node {
+    links: Vec<Vec<u32>>,
+    deleted: bool,
+}
+
+impl Node {
+    fn level(&self) -> usize {
+        self.links.len().saturating_sub(1)
+    }
+}
+
+/// Borrowed snapshot of an index's internals for serialization:
+/// `(params, store, per-node (links, deleted), entry, live)`.
+pub(crate) type RawParts<'a> =
+    (&'a HnswParams, &'a VecStore, Vec<(Vec<Vec<u32>>, bool)>, Option<u32>, usize);
+
+/// Reusable per-thread scratch space for [`Hnsw::search_with`].
+#[derive(Default)]
+pub struct SearchScratch(VisitedTable);
+
+/// A Hierarchical Navigable Small World index over squared-Euclidean space.
+pub struct Hnsw {
+    params: HnswParams,
+    store: VecStore,
+    nodes: Vec<Node>,
+    entry: Option<u32>,
+    rng: StdRng,
+    visited: VisitedTable,
+    live: usize,
+    /// Distance computations performed by searches (the paper's cost unit
+    /// for the filter phase). Relaxed atomic so `search(&self)` stays `&self`.
+    dist_comps: AtomicU64,
+}
+
+impl Hnsw {
+    /// An empty index for `dim`-dimensional vectors.
+    ///
+    /// # Panics
+    /// Panics on invalid parameters (see [`HnswParams::validate`]).
+    pub fn new(dim: usize, params: HnswParams) -> Self {
+        params.validate().expect("invalid HNSW parameters");
+        Self {
+            params,
+            store: VecStore::new(dim),
+            nodes: Vec::new(),
+            entry: None,
+            rng: StdRng::seed_from_u64(params.seed),
+            visited: VisitedTable::default(),
+            live: 0,
+            dist_comps: AtomicU64::new(0),
+        }
+    }
+
+    /// Bulk-builds an index by sequential insertion (the construction order
+    /// of the original algorithm; deterministic given the seed).
+    pub fn build(dim: usize, params: HnswParams, vectors: &[Vec<f64>]) -> Self {
+        let mut index = Self::new(dim, params);
+        for v in vectors {
+            index.insert(v);
+        }
+        index
+    }
+
+    /// Bulk-builds an index with parallel workers.
+    ///
+    /// A deterministic sequential prefix (`max(1% of n, 256)` inserts) lays
+    /// down the upper layers, then worker threads insert the remainder under
+    /// a global write lock with lock-free *search* phases: each worker runs
+    /// the beam search for its vector against a read snapshot, then takes
+    /// the lock only to wire edges. Graph quality matches sequential
+    /// construction statistically (recall parity is tested), but edge sets
+    /// are not bit-identical across thread counts — use [`Hnsw::build`]
+    /// when determinism matters more than wall-clock.
+    pub fn build_parallel(dim: usize, params: HnswParams, vectors: &[Vec<f64>]) -> Self {
+        use std::sync::RwLock;
+        let n = vectors.len();
+        let prefix = (n / 100).max(256).min(n);
+        let mut index = Self::new(dim, params);
+        for v in &vectors[..prefix] {
+            index.insert(v);
+        }
+        if prefix == n {
+            return index;
+        }
+        // Pre-sample levels sequentially so the geometric distribution (and
+        // determinism of levels) is preserved regardless of worker timing.
+        let levels: Vec<usize> = (prefix..n).map(|_| index.sample_level()).collect();
+        let shared = RwLock::new(index);
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let workers = available_threads_for_build().min(n - prefix).max(1);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n - prefix {
+                        break;
+                    }
+                    let vector = &vectors[prefix + i];
+                    let level = levels[i];
+                    // Phase 1 (shared lock): beam-search candidate lists per
+                    // layer against the current graph snapshot.
+                    let plan = {
+                        let g = shared.read().expect("lock poisoned");
+                        g.plan_insertion(vector, level)
+                    };
+                    // Phase 2 (exclusive lock): materialize the node.
+                    let mut g = shared.write().expect("lock poisoned");
+                    g.apply_insertion(vector, level, plan);
+                });
+            }
+        });
+        shared.into_inner().expect("lock poisoned")
+    }
+
+    /// Search phase of a parallel insertion: per-layer candidate lists for
+    /// wiring, computed under a shared lock.
+    fn plan_insertion(&self, vector: &[f64], level: usize) -> Vec<Vec<Neighbor>> {
+        let Some(entry) = self.entry else { return Vec::new() };
+        let top_level = self.nodes[entry as usize].level();
+        let mut ep = entry;
+        for layer in ((level + 1)..=top_level).rev() {
+            ep = self.greedy_closest(vector, ep, layer);
+        }
+        let mut visited = VisitedTable::default();
+        let mut plan = Vec::new();
+        let mut eps = vec![ep];
+        for layer in (0..=level.min(top_level)).rev() {
+            let found = self.search_layer(
+                &mut visited,
+                vector,
+                &eps,
+                self.params.ef_construction,
+                layer,
+                true,
+            );
+            eps = found.iter().map(|nb| nb.id).collect();
+            if eps.is_empty() {
+                eps = vec![ep];
+            }
+            plan.push(found);
+        }
+        plan.reverse(); // plan[layer] = candidates for that layer
+        plan
+    }
+
+    /// Wiring phase of a parallel insertion, under the exclusive lock.
+    /// Candidate distances were computed against a slightly stale snapshot;
+    /// neighbor selection re-runs against current data, which is exactly
+    /// what the sequential path does too.
+    fn apply_insertion(&mut self, vector: &[f64], level: usize, plan: Vec<Vec<Neighbor>>) {
+        let id = self.store.push(vector);
+        self.nodes.push(Node { links: vec![Vec::new(); level + 1], deleted: false });
+        self.live += 1;
+        let Some(entry) = self.entry else {
+            self.entry = Some(id);
+            return;
+        };
+        let top_level = self.nodes[entry as usize].level();
+        for (layer, found) in plan.into_iter().enumerate() {
+            if layer > level.min(top_level) {
+                break;
+            }
+            let m = self.params.max_degree(layer);
+            let chosen = self.select_neighbors(vector, &found, m);
+            for nb in &chosen {
+                if nb.id == id || self.nodes[nb.id as usize].links.len() <= layer {
+                    continue;
+                }
+                self.nodes[id as usize].links[layer].push(nb.id);
+                self.nodes[nb.id as usize].links[layer].push(id);
+                self.shrink_if_needed(nb.id, layer);
+            }
+        }
+        if level > top_level {
+            self.entry = Some(id);
+        }
+    }
+
+    /// Number of live (non-deleted) vectors.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True when no live vectors remain.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Total slots including tombstones (ids are never reused).
+    pub fn capacity_slots(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Vector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.store.dim()
+    }
+
+    /// Construction/search parameters.
+    pub fn params(&self) -> &HnswParams {
+        &self.params
+    }
+
+    /// Underlying vector store (ciphertexts in the PP-ANNS deployment).
+    pub fn store(&self) -> &VecStore {
+        &self.store
+    }
+
+    /// Whether `id` has been deleted.
+    pub fn is_deleted(&self, id: u32) -> bool {
+        self.nodes[id as usize].deleted
+    }
+
+    /// Distance computations performed so far by searches.
+    pub fn distance_computations(&self) -> u64 {
+        self.dist_comps.load(Ordering::Relaxed)
+    }
+
+    /// Resets the distance-computation counter.
+    pub fn reset_distance_computations(&self) {
+        self.dist_comps.store(0, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn dist(&self, a: &[f64], id: u32) -> f64 {
+        self.dist_comps.fetch_add(1, Ordering::Relaxed);
+        squared_euclidean(a, self.store.get(id))
+    }
+
+    /// Samples a level with the exponential decay `⌊−ln(U)·mL⌋`.
+    fn sample_level(&mut self) -> usize {
+        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        (-u.ln() * self.params.ml()).floor() as usize
+    }
+
+    /// Greedy descent on one layer with beam width 1 (used above the
+    /// insertion/search level).
+    fn greedy_closest(&self, query: &[f64], mut ep: u32, layer: usize) -> u32 {
+        let mut best = self.dist(query, ep);
+        loop {
+            let mut improved = false;
+            for &nb in &self.nodes[ep as usize].links[layer] {
+                let d = self.dist(query, nb);
+                if d < best {
+                    best = d;
+                    ep = nb;
+                    improved = true;
+                }
+            }
+            if !improved {
+                return ep;
+            }
+        }
+    }
+
+    /// `SEARCH-LAYER` (Algorithm 2 of the HNSW paper): beam search with
+    /// width `ef`, returning up to `ef` closest elements, closest first.
+    /// `include_deleted` lets construction route through tombstones so the
+    /// graph stays connected after deletions.
+    fn search_layer(
+        &self,
+        visited: &mut VisitedTable,
+        query: &[f64],
+        eps: &[u32],
+        ef: usize,
+        layer: usize,
+        include_deleted: bool,
+    ) -> Vec<Neighbor> {
+        visited.reset(self.nodes.len());
+        let mut candidates: BinaryHeap<ClosestFirst> = BinaryHeap::new();
+        let mut results: BinaryHeap<FarthestFirst> = BinaryHeap::new();
+
+        for &ep in eps {
+            if !visited.insert(ep) {
+                continue;
+            }
+            let d = self.dist(query, ep);
+            let n = Neighbor { id: ep, dist: d };
+            candidates.push(ClosestFirst(n));
+            if include_deleted || !self.nodes[ep as usize].deleted {
+                results.push(FarthestFirst(n));
+            }
+        }
+        while let Some(ClosestFirst(c)) = candidates.pop() {
+            let worst = results.peek().map_or(f64::INFINITY, |f| f.0.dist);
+            if c.dist > worst && results.len() >= ef {
+                break;
+            }
+            for &nb in &self.nodes[c.id as usize].links[layer] {
+                if !visited.insert(nb) {
+                    continue;
+                }
+                let d = self.dist(query, nb);
+                let worst = results.peek().map_or(f64::INFINITY, |f| f.0.dist);
+                if results.len() < ef || d < worst {
+                    candidates.push(ClosestFirst(Neighbor { id: nb, dist: d }));
+                    if include_deleted || !self.nodes[nb as usize].deleted {
+                        results.push(FarthestFirst(Neighbor { id: nb, dist: d }));
+                        if results.len() > ef {
+                            results.pop();
+                        }
+                    }
+                }
+            }
+        }
+        let mut out: Vec<Neighbor> = results.into_iter().map(|f| f.0).collect();
+        out.sort_by(|a, b| a.dist.partial_cmp(&b.dist).unwrap());
+        out
+    }
+
+    /// `SELECT-NEIGHBORS-HEURISTIC` (Algorithm 4): keeps candidates that are
+    /// closer to the base point than to any already-selected neighbor, which
+    /// preserves edge diversity and graph navigability.
+    fn select_neighbors(&self, base: &[f64], candidates: &[Neighbor], m: usize) -> Vec<Neighbor> {
+        let mut work: Vec<Neighbor> = candidates.to_vec();
+        work.sort_by(|a, b| a.dist.partial_cmp(&b.dist).unwrap());
+        let mut selected: Vec<Neighbor> = Vec::with_capacity(m);
+        let mut pruned: Vec<Neighbor> = Vec::new();
+        for cand in work {
+            if selected.len() >= m {
+                break;
+            }
+            let cand_vec = self.store.get(cand.id);
+            let diverse = selected.iter().all(|s| {
+                self.dist_comps.fetch_add(1, Ordering::Relaxed);
+                squared_euclidean(cand_vec, self.store.get(s.id)) > cand.dist
+            });
+            if diverse {
+                selected.push(cand);
+            } else {
+                pruned.push(cand);
+            }
+        }
+        if self.params.keep_pruned {
+            for p in pruned {
+                if selected.len() >= m {
+                    break;
+                }
+                selected.push(p);
+            }
+        }
+        let _ = base; // base vector already folded into candidate distances
+        selected
+    }
+
+    /// Inserts a vector, returning its id (Algorithm 1 of the HNSW paper).
+    pub fn insert(&mut self, vector: &[f64]) -> u32 {
+        let id = self.store.push(vector);
+        let level = self.sample_level();
+        self.nodes.push(Node { links: vec![Vec::new(); level + 1], deleted: false });
+        self.live += 1;
+
+        let Some(entry) = self.entry else {
+            self.entry = Some(id);
+            return id;
+        };
+        let top_level = self.nodes[entry as usize].level();
+        let query = self.store.get(id).to_vec();
+
+        // Phase 1: greedy descent through layers above the node's level.
+        let mut ep = entry;
+        for layer in ((level + 1)..=top_level).rev() {
+            ep = self.greedy_closest(&query, ep, layer);
+        }
+
+        // Phase 2: beam search + bidirectional wiring on each shared layer.
+        let mut visited = std::mem::take(&mut self.visited);
+        let mut eps = vec![ep];
+        for layer in (0..=level.min(top_level)).rev() {
+            let found = self.search_layer(
+                &mut visited,
+                &query,
+                &eps,
+                self.params.ef_construction,
+                layer,
+                true,
+            );
+            let m = self.params.max_degree(layer);
+            let chosen = self.select_neighbors(&query, &found, m);
+            for nb in &chosen {
+                self.nodes[id as usize].links[layer].push(nb.id);
+                self.nodes[nb.id as usize].links[layer].push(id);
+                self.shrink_if_needed(nb.id, layer);
+            }
+            eps = found.iter().map(|n| n.id).collect();
+            if eps.is_empty() {
+                eps = vec![ep];
+            }
+        }
+        self.visited = visited;
+
+        if level > top_level {
+            self.entry = Some(id);
+        }
+        id
+    }
+
+    /// Re-runs neighbor selection on `node`'s list at `layer` if it exceeds
+    /// the degree bound.
+    fn shrink_if_needed(&mut self, node: u32, layer: usize) {
+        let m = self.params.max_degree(layer);
+        if self.nodes[node as usize].links[layer].len() <= m {
+            return;
+        }
+        let base = self.store.get(node).to_vec();
+        let cands: Vec<Neighbor> = self.nodes[node as usize].links[layer]
+            .iter()
+            .map(|&nb| Neighbor { id: nb, dist: self.dist(&base, nb) })
+            .collect();
+        let chosen = self.select_neighbors(&base, &cands, m);
+        self.nodes[node as usize].links[layer] = chosen.into_iter().map(|n| n.id).collect();
+    }
+
+    /// k-ANN search (Algorithm 5): returns up to `k` live neighbors,
+    /// closest first, exploring with beam width `ef ≥ k`.
+    pub fn search(&self, query: &[f64], k: usize, ef: usize) -> Vec<Neighbor> {
+        let mut scratch = SearchScratch::default();
+        self.search_with(&mut scratch, query, k, ef)
+    }
+
+    /// Search variant reusing caller-owned scratch space (used by the
+    /// single-threaded benchmark loops to avoid per-query allocation).
+    pub fn search_with(
+        &self,
+        scratch: &mut SearchScratch,
+        query: &[f64],
+        k: usize,
+        ef: usize,
+    ) -> Vec<Neighbor> {
+        let Some(entry) = self.entry else { return Vec::new() };
+        assert_eq!(query.len(), self.dim(), "search: query dimension mismatch");
+        let ef = ef.max(k);
+        let mut ep = entry;
+        for layer in (1..=self.nodes[entry as usize].level()).rev() {
+            ep = self.greedy_closest(query, ep, layer);
+        }
+        let mut found = self.search_layer(&mut scratch.0, query, &[ep], ef, 0, false);
+        found.truncate(k);
+        found
+    }
+
+    /// Deletes a vector (paper Section V-D): tombstones the node, strips its
+    /// edges, and repairs every in-neighbor by re-running k-ANN + neighbor
+    /// selection for it — out-neighbors are unaffected, as the paper notes.
+    /// Runs entirely server-side (no data-owner involvement).
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range or already deleted.
+    pub fn delete(&mut self, id: u32) {
+        assert!((id as usize) < self.nodes.len(), "delete: id out of range");
+        assert!(!self.nodes[id as usize].deleted, "delete: node already deleted");
+        self.nodes[id as usize].deleted = true;
+        self.live -= 1;
+
+        // Collect in-neighbors per layer before mutating.
+        let max_layer = self.nodes[id as usize].level();
+        let mut in_neighbors: Vec<Vec<u32>> = vec![Vec::new(); max_layer + 1];
+        for (other, node) in self.nodes.iter().enumerate() {
+            if other as u32 == id || node.deleted {
+                continue;
+            }
+            for (layer, links) in node.links.iter().enumerate() {
+                if layer <= max_layer && links.contains(&id) {
+                    in_neighbors[layer].push(other as u32);
+                }
+            }
+        }
+        // Strip edges touching the tombstone.
+        for layer_list in &mut in_neighbors {
+            for &v in layer_list.iter() {
+                let links = &mut self.nodes[v as usize].links;
+                links.iter_mut().for_each(|l| l.retain(|&x| x != id));
+            }
+        }
+        self.nodes[id as usize].links.iter_mut().for_each(|l| l.clear());
+
+        // Move the entry point off the tombstone.
+        if self.entry == Some(id) {
+            self.entry = self
+                .nodes
+                .iter()
+                .enumerate()
+                .filter(|(_, n)| !n.deleted)
+                .max_by_key(|(_, n)| n.level())
+                .map(|(i, _)| i as u32);
+        }
+
+        // Repair each in-neighbor: re-select its layer links from a fresh
+        // k-ANN of itself ("reinsert it into HNSW" per the paper).
+        let mut visited = std::mem::take(&mut self.visited);
+        for (layer, vs) in in_neighbors.iter().enumerate() {
+            for &v in vs {
+                if self.entry.is_none() {
+                    break;
+                }
+                let base = self.store.get(v).to_vec();
+                let eps = vec![self.entry.unwrap()];
+                let found = self.search_layer(
+                    &mut visited,
+                    &base,
+                    &eps,
+                    self.params.ef_construction,
+                    layer.min(self.nodes[self.entry.unwrap() as usize].level()),
+                    true,
+                );
+                let cands: Vec<Neighbor> =
+                    found.into_iter().filter(|n| n.id != v && !self.is_deleted(n.id)).collect();
+                let m = self.params.max_degree(layer);
+                let mut chosen = self.select_neighbors(&base, &cands, m);
+                // Keep existing live links that the re-selection missed.
+                let existing = self.nodes[v as usize].links[layer].clone();
+                for e in existing {
+                    if chosen.len() >= m {
+                        break;
+                    }
+                    if !chosen.iter().any(|c| c.id == e) {
+                        chosen.push(Neighbor { id: e, dist: 0.0 });
+                    }
+                }
+                self.nodes[v as usize].links[layer] = chosen.into_iter().map(|n| n.id).collect();
+            }
+        }
+        self.visited = visited;
+    }
+
+    /// Iterator over live node ids.
+    pub fn live_ids(&self) -> impl Iterator<Item = u32> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| !n.deleted)
+            .map(|(i, _)| i as u32)
+    }
+
+    /// Graph introspection for tests and serialization: the neighbor list of
+    /// `id` at `layer`.
+    pub fn links(&self, id: u32, layer: usize) -> &[u32] {
+        &self.nodes[id as usize].links[layer]
+    }
+
+    /// The level of node `id`.
+    pub fn node_level(&self, id: u32) -> usize {
+        self.nodes[id as usize].level()
+    }
+
+    /// The current entry point, if any.
+    pub fn entry_point(&self) -> Option<u32> {
+        self.entry
+    }
+
+    pub(crate) fn raw_parts(&self) -> RawParts<'_> {
+        (
+            &self.params,
+            &self.store,
+            self.nodes.iter().map(|n| (n.links.clone(), n.deleted)).collect(),
+            self.entry,
+            self.live,
+        )
+    }
+
+    pub(crate) fn from_raw_parts(
+        params: HnswParams,
+        store: VecStore,
+        nodes: Vec<(Vec<Vec<u32>>, bool)>,
+        entry: Option<u32>,
+        live: usize,
+    ) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(params.seed ^ nodes.len() as u64),
+            params,
+            store,
+            nodes: nodes.into_iter().map(|(links, deleted)| Node { links, deleted }).collect(),
+            entry,
+            visited: VisitedTable::default(),
+            live,
+            dist_comps: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Worker threads to use for parallel construction.
+pub(crate) fn available_threads_for_build() -> usize {
+    std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1)
+}
+
+impl std::fmt::Debug for Hnsw {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Hnsw")
+            .field("dim", &self.dim())
+            .field("live", &self.live)
+            .field("slots", &self.nodes.len())
+            .field("entry", &self.entry)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bruteforce::exact_knn;
+    use ppann_linalg::{seeded_rng, uniform_vec};
+    use rand::Rng;
+
+    fn clustered(n: usize, dim: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = seeded_rng(seed);
+        let centers: Vec<Vec<f64>> = (0..8).map(|_| uniform_vec(&mut rng, dim, -1.0, 1.0)).collect();
+        (0..n)
+            .map(|_| {
+                let c = &centers[rng.gen_range(0..centers.len())];
+                c.iter().map(|x| x + rng.gen_range(-0.1..0.1)).collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_index_returns_nothing() {
+        let index = Hnsw::new(4, HnswParams::default());
+        assert!(index.search(&[0.0; 4], 5, 10).is_empty());
+        assert!(index.is_empty());
+    }
+
+    #[test]
+    fn single_point() {
+        let mut index = Hnsw::new(2, HnswParams::default());
+        index.insert(&[1.0, 1.0]);
+        let hits = index.search(&[0.0, 0.0], 3, 10);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].id, 0);
+        assert!((hits[0].dist - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_on_tiny_sets() {
+        let pts = clustered(50, 4, 7);
+        let index = Hnsw::build(4, HnswParams::default(), &pts);
+        let store = index.store().clone();
+        for q in clustered(10, 4, 8) {
+            let hits = index.search(&q, 5, 50);
+            let truth = exact_knn(&store, &q, 5);
+            let hit_ids: Vec<u32> = hits.iter().map(|h| h.id).collect();
+            let truth_ids: Vec<u32> = truth.iter().map(|h| h.id).collect();
+            assert_eq!(hit_ids, truth_ids);
+        }
+    }
+
+    #[test]
+    fn recall_on_clustered_data() {
+        let pts = clustered(2000, 16, 9);
+        let index = Hnsw::build(16, HnswParams::default(), &pts);
+        let queries = clustered(50, 16, 10);
+        let mut hit = 0usize;
+        let mut total = 0usize;
+        for q in &queries {
+            let truth: Vec<u32> = exact_knn(index.store(), q, 10).iter().map(|n| n.id).collect();
+            let got: Vec<u32> = index.search(q, 10, 100).iter().map(|n| n.id).collect();
+            total += truth.len();
+            hit += truth.iter().filter(|t| got.contains(t)).count();
+        }
+        let recall = hit as f64 / total as f64;
+        assert!(recall > 0.95, "recall {recall} too low");
+    }
+
+    #[test]
+    fn degree_bounds_respected() {
+        let pts = clustered(500, 8, 11);
+        let index = Hnsw::build(8, HnswParams::default(), &pts);
+        for id in index.live_ids() {
+            for layer in 0..=index.node_level(id) {
+                let deg = index.links(id, layer).len();
+                assert!(
+                    deg <= index.params().max_degree(layer),
+                    "node {id} layer {layer} degree {deg}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn construction_is_deterministic() {
+        let pts = clustered(300, 8, 12);
+        let a = Hnsw::build(8, HnswParams::default(), &pts);
+        let b = Hnsw::build(8, HnswParams::default(), &pts);
+        let q = &pts[0];
+        let ha: Vec<u32> = a.search(q, 10, 50).iter().map(|n| n.id).collect();
+        let hb: Vec<u32> = b.search(q, 10, 50).iter().map(|n| n.id).collect();
+        assert_eq!(ha, hb);
+    }
+
+    #[test]
+    fn deleted_nodes_vanish_from_results() {
+        let pts = clustered(200, 8, 13);
+        let mut index = Hnsw::build(8, HnswParams::default(), &pts);
+        let q = pts[0].clone();
+        let first = index.search(&q, 1, 30)[0].id;
+        index.delete(first);
+        assert!(index.is_deleted(first));
+        let hits = index.search(&q, 10, 60);
+        assert!(hits.iter().all(|h| h.id != first));
+        assert_eq!(index.len(), 199);
+    }
+
+    #[test]
+    fn heavy_deletion_keeps_index_usable() {
+        let pts = clustered(300, 8, 14);
+        let mut index = Hnsw::build(8, HnswParams::default(), &pts);
+        for id in 0..100u32 {
+            index.delete(id);
+        }
+        assert_eq!(index.len(), 200);
+        // Recall against brute force over the survivors.
+        let q = pts[150].clone();
+        let got: Vec<u32> = index.search(&q, 5, 80).iter().map(|n| n.id).collect();
+        assert!(!got.is_empty());
+        assert!(got.iter().all(|&id| id >= 100));
+        assert!(got.contains(&150));
+    }
+
+    #[test]
+    fn insert_after_delete_works() {
+        let pts = clustered(100, 4, 15);
+        let mut index = Hnsw::build(4, HnswParams::default(), &pts);
+        index.delete(0);
+        let new_id = index.insert(&[9.0, 9.0, 9.0, 9.0]);
+        let hits = index.search(&[9.0, 9.0, 9.0, 9.0], 1, 20);
+        assert_eq!(hits[0].id, new_id);
+    }
+
+    #[test]
+    fn distance_counter_moves() {
+        let pts = clustered(200, 8, 16);
+        let index = Hnsw::build(8, HnswParams::default(), &pts);
+        index.reset_distance_computations();
+        index.search(&pts[0], 10, 50);
+        assert!(index.distance_computations() > 0);
+    }
+
+    #[test]
+    fn parallel_build_reaches_sequential_recall() {
+        let pts = clustered(3000, 8, 18);
+        let queries = clustered(40, 8, 19);
+        let seq = Hnsw::build(8, HnswParams::default(), &pts);
+        let par = Hnsw::build_parallel(8, HnswParams::default(), &pts);
+        assert_eq!(par.len(), 3000);
+        let recall = |index: &Hnsw| {
+            let mut hit = 0usize;
+            for q in &queries {
+                let truth: Vec<u32> =
+                    exact_knn(index.store(), q, 10).iter().map(|n| n.id).collect();
+                let got: Vec<u32> = index.search(q, 10, 100).iter().map(|n| n.id).collect();
+                hit += truth.iter().filter(|t| got.contains(t)).count();
+            }
+            hit as f64 / (queries.len() * 10) as f64
+        };
+        let (rs, rp) = (recall(&seq), recall(&par));
+        assert!(rp > rs - 0.05, "parallel recall {rp} lags sequential {rs}");
+    }
+
+    #[test]
+    fn parallel_build_small_inputs() {
+        // Prefix covers everything: parallel path degenerates to sequential.
+        let pts = clustered(40, 4, 20);
+        let par = Hnsw::build_parallel(4, HnswParams::default(), &pts);
+        assert_eq!(par.len(), 40);
+        let hits = par.search(&pts[3], 1, 20);
+        assert_eq!(hits[0].id, 3);
+    }
+
+    #[test]
+    fn parallel_build_respects_degree_bounds() {
+        let pts = clustered(1200, 6, 21);
+        let par = Hnsw::build_parallel(6, HnswParams::default(), &pts);
+        for id in par.live_ids() {
+            for layer in 0..=par.node_level(id) {
+                assert!(par.links(id, layer).len() <= par.params().max_degree(layer));
+            }
+        }
+    }
+
+    #[test]
+    fn entry_point_survives_deletion() {
+        let pts = clustered(50, 4, 17);
+        let mut index = Hnsw::build(4, HnswParams::default(), &pts);
+        let ep = index.entry_point().unwrap();
+        index.delete(ep);
+        assert_ne!(index.entry_point(), Some(ep));
+        assert!(!index.search(&pts[5], 3, 20).is_empty());
+    }
+}

@@ -1,0 +1,100 @@
+//! HNSW construction and search parameters.
+
+/// Construction parameters of the HNSW graph.
+///
+/// The paper's evaluation (Section VII-A) uses `m = 40` and
+/// `efConstruction = 600`, selected by grid search; the defaults here are the
+/// classic `m = 16`, `efConstruction = 200`, which the benchmark harness
+/// overrides per experiment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HnswParams {
+    /// Maximum out-degree on layers above 0 (the paper's `m`).
+    pub m: usize,
+    /// Maximum out-degree on layer 0 (conventionally `2·m`).
+    pub m0: usize,
+    /// Beam width while constructing (`efConstruction`).
+    pub ef_construction: usize,
+    /// Extend candidate sets with neighbors-of-neighbors during selection
+    /// (Algorithm 4's `extendCandidates`).
+    pub extend_candidates: bool,
+    /// Back-fill pruned candidates up to `M` (Algorithm 4's
+    /// `keepPrunedConnections`).
+    pub keep_pruned: bool,
+    /// Seed for the level sampler, making construction deterministic.
+    pub seed: u64,
+}
+
+impl Default for HnswParams {
+    fn default() -> Self {
+        Self {
+            m: 16,
+            m0: 32,
+            ef_construction: 200,
+            extend_candidates: false,
+            keep_pruned: true,
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl HnswParams {
+    /// Paper-style parameters (`m = 40`, `efConstruction = 600`).
+    pub fn paper() -> Self {
+        Self { m: 40, m0: 80, ef_construction: 600, ..Self::default() }
+    }
+
+    /// Maximum degree allowed on `layer`.
+    pub fn max_degree(&self, layer: usize) -> usize {
+        if layer == 0 {
+            self.m0
+        } else {
+            self.m
+        }
+    }
+
+    /// Level-sampling normalization `mL = 1/ln(m)`.
+    pub fn ml(&self) -> f64 {
+        1.0 / (self.m as f64).ln()
+    }
+
+    /// Validates invariants (degrees ≥ 2, beam ≥ 1).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.m < 2 {
+            return Err(format!("m must be ≥ 2, got {}", self.m));
+        }
+        if self.m0 < self.m {
+            return Err(format!("m0 ({}) must be ≥ m ({})", self.m0, self.m));
+        }
+        if self.ef_construction == 0 {
+            return Err("ef_construction must be ≥ 1".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid() {
+        assert!(HnswParams::default().validate().is_ok());
+        assert!(HnswParams::paper().validate().is_ok());
+    }
+
+    #[test]
+    fn degree_per_layer() {
+        let p = HnswParams::default();
+        assert_eq!(p.max_degree(0), 32);
+        assert_eq!(p.max_degree(1), 16);
+        assert_eq!(p.max_degree(5), 16);
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        let p = HnswParams { m: 1, ..Default::default() };
+        assert!(p.validate().is_err());
+        let p2 = HnswParams { m0: 4, ..Default::default() };
+        assert!(p2.validate().is_err());
+    }
+}

@@ -1,0 +1,155 @@
+//! Byte-level serialization of HNSW snapshots.
+//!
+//! The cloud server persists the privacy-preserving index between sessions;
+//! since no serialization-format crate is on the approved dependency list the
+//! format is a hand-rolled little-endian layout over `bytes`:
+//!
+//! ```text
+//! magic "HNSW" | version u32 | dim u64 | params | entry (u64::MAX = none)
+//! | live u64 | n_nodes u64 | store f64s | per node: deleted u8, n_layers u32,
+//!   per layer: len u32, ids u32*
+//! ```
+
+use crate::graph::Hnsw;
+use crate::params::HnswParams;
+use crate::store::VecStore;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const MAGIC: &[u8; 4] = b"HNSW";
+const VERSION: u32 = 1;
+
+/// Serialization failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// Magic bytes or version did not match.
+    BadHeader,
+    /// The buffer ended prematurely or contained inconsistent lengths.
+    Truncated,
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::BadHeader => write!(f, "bad snapshot header"),
+            SnapshotError::Truncated => write!(f, "truncated snapshot"),
+        }
+    }
+}
+impl std::error::Error for SnapshotError {}
+
+impl Hnsw {
+    /// Serializes the full index (vectors + graph + tombstones).
+    pub fn to_bytes(&self) -> Bytes {
+        let (params, store, nodes, entry, live) = self.raw_parts();
+        let mut buf = BytesMut::with_capacity(64 + store.raw().len() * 8);
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(VERSION);
+        buf.put_u64_le(store.dim() as u64);
+        buf.put_u64_le(params.m as u64);
+        buf.put_u64_le(params.m0 as u64);
+        buf.put_u64_le(params.ef_construction as u64);
+        buf.put_u8(params.extend_candidates as u8);
+        buf.put_u8(params.keep_pruned as u8);
+        buf.put_u64_le(params.seed);
+        buf.put_u64_le(entry.map_or(u64::MAX, |e| e as u64));
+        buf.put_u64_le(live as u64);
+        buf.put_u64_le(nodes.len() as u64);
+        for v in store.raw() {
+            buf.put_f64_le(*v);
+        }
+        for (links, deleted) in &nodes {
+            buf.put_u8(*deleted as u8);
+            buf.put_u32_le(links.len() as u32);
+            for layer in links {
+                buf.put_u32_le(layer.len() as u32);
+                for id in layer {
+                    buf.put_u32_le(*id);
+                }
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Restores an index serialized by [`Hnsw::to_bytes`].
+    pub fn from_bytes(mut data: Bytes) -> Result<Self, SnapshotError> {
+        if data.remaining() < 8 || &data.copy_to_bytes(4)[..] != MAGIC {
+            return Err(SnapshotError::BadHeader);
+        }
+        if data.get_u32_le() != VERSION {
+            return Err(SnapshotError::BadHeader);
+        }
+        let need = |data: &Bytes, n: usize| {
+            if data.remaining() < n {
+                Err(SnapshotError::Truncated)
+            } else {
+                Ok(())
+            }
+        };
+        need(&data, 8 * 7 + 2)?;
+        let dim = data.get_u64_le() as usize;
+        let params = HnswParams {
+            m: data.get_u64_le() as usize,
+            m0: data.get_u64_le() as usize,
+            ef_construction: data.get_u64_le() as usize,
+            extend_candidates: data.get_u8() != 0,
+            keep_pruned: data.get_u8() != 0,
+            seed: data.get_u64_le(),
+        };
+        let entry_raw = data.get_u64_le();
+        let live = data.get_u64_le() as usize;
+        let n_nodes = data.get_u64_le() as usize;
+        need(&data, n_nodes * dim * 8)?;
+        let mut raw = Vec::with_capacity(n_nodes * dim);
+        for _ in 0..n_nodes * dim {
+            raw.push(data.get_f64_le());
+        }
+        let store = VecStore::from_raw(dim.max(1), raw);
+        let mut nodes = Vec::with_capacity(n_nodes);
+        for _ in 0..n_nodes {
+            need(&data, 5)?;
+            let deleted = data.get_u8() != 0;
+            let n_layers = data.get_u32_le() as usize;
+            let mut links = Vec::with_capacity(n_layers);
+            for _ in 0..n_layers {
+                need(&data, 4)?;
+                let len = data.get_u32_le() as usize;
+                need(&data, len * 4)?;
+                links.push((0..len).map(|_| data.get_u32_le()).collect());
+            }
+            nodes.push((links, deleted));
+        }
+        let entry = if entry_raw == u64::MAX { None } else { Some(entry_raw as u32) };
+        Ok(Hnsw::from_raw_parts(params, store, nodes, entry, live))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppann_linalg::{seeded_rng, uniform_vec};
+
+    #[test]
+    fn roundtrip_preserves_results() {
+        let mut rng = seeded_rng(71);
+        let pts: Vec<Vec<f64>> = (0..300).map(|_| uniform_vec(&mut rng, 8, -1.0, 1.0)).collect();
+        let mut index = Hnsw::build(8, HnswParams::default(), &pts);
+        index.delete(5);
+        let bytes = index.to_bytes();
+        let restored = Hnsw::from_bytes(bytes).unwrap();
+        assert_eq!(restored.len(), index.len());
+        assert!(restored.is_deleted(5));
+        for q in pts.iter().take(10) {
+            let a: Vec<u32> = index.search(q, 5, 40).iter().map(|n| n.id).collect();
+            let b: Vec<u32> = restored.search(q, 5, 40).iter().map(|n| n.id).collect();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert_eq!(Hnsw::from_bytes(Bytes::from_static(b"nope")).unwrap_err(), SnapshotError::BadHeader);
+        let mut good = Hnsw::build(2, HnswParams::default(), &[vec![0.0, 1.0]]).to_bytes().to_vec();
+        good.truncate(good.len() - 3);
+        assert_eq!(Hnsw::from_bytes(Bytes::from(good)).unwrap_err(), SnapshotError::Truncated);
+    }
+}

@@ -1,0 +1,105 @@
+//! Flat, cache-friendly vector storage.
+
+/// A contiguous store of `dim`-dimensional `f64` vectors, addressed by dense
+/// `u32` ids in insertion order.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct VecStore {
+    dim: usize,
+    data: Vec<f64>,
+}
+
+impl VecStore {
+    /// An empty store of `dim`-dimensional vectors.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "VecStore dimension must be positive");
+        Self { dim, data: Vec::new() }
+    }
+
+    /// Builds a store from owned vectors.
+    ///
+    /// # Panics
+    /// Panics on ragged input.
+    pub fn from_vectors(dim: usize, vectors: &[Vec<f64>]) -> Self {
+        let mut s = Self::new(dim);
+        for v in vectors {
+            s.push(v);
+        }
+        s
+    }
+
+    /// Appends a vector, returning its id.
+    pub fn push(&mut self, v: &[f64]) -> u32 {
+        assert_eq!(v.len(), self.dim, "VecStore::push: dimension mismatch");
+        let id = self.len() as u32;
+        self.data.extend_from_slice(v);
+        id
+    }
+
+    /// The vector with the given id.
+    #[inline]
+    pub fn get(&self, id: u32) -> &[f64] {
+        let i = id as usize * self.dim;
+        &self.data[i..i + self.dim]
+    }
+
+    /// Number of stored vectors.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len() / self.dim
+    }
+
+    /// True when no vectors are stored.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Vector dimensionality.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Iterates over `(id, vector)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &[f64])> {
+        self.data.chunks_exact(self.dim).enumerate().map(|(i, v)| (i as u32, v))
+    }
+
+    /// Raw flat buffer (for serialization).
+    pub fn raw(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Rebuilds from a raw flat buffer (for deserialization).
+    pub fn from_raw(dim: usize, data: Vec<f64>) -> Self {
+        assert!(dim > 0 && data.len().is_multiple_of(dim), "from_raw: ragged buffer");
+        Self { dim, data }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_get_roundtrip() {
+        let mut s = VecStore::new(3);
+        let a = s.push(&[1.0, 2.0, 3.0]);
+        let b = s.push(&[4.0, 5.0, 6.0]);
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(s.get(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn iter_yields_in_order() {
+        let s = VecStore::from_vectors(2, &[vec![0.0, 1.0], vec![2.0, 3.0]]);
+        let ids: Vec<u32> = s.iter().map(|(i, _)| i).collect();
+        assert_eq!(ids, vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn ragged_push_rejected() {
+        VecStore::new(2).push(&[1.0]);
+    }
+}

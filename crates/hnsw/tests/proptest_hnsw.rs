@@ -1,0 +1,94 @@
+//! Property-based tests of the HNSW index: structural invariants must hold
+//! for arbitrary data, parameters and maintenance sequences.
+
+use ppann_hnsw::{exact_knn_ids, Hnsw, HnswParams};
+use proptest::prelude::*;
+
+fn points(n: usize, d: usize, data: &[f64]) -> Vec<Vec<f64>> {
+    (0..n).map(|i| data[i * d..(i + 1) * d].to_vec()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Results are deduplicated, live, sorted by true distance, ≤ k long.
+    #[test]
+    fn search_invariants(
+        n in 2usize..80,
+        d in 1usize..8,
+        k in 1usize..12,
+        data in proptest::collection::vec(-1.0f64..1.0, 80 * 8),
+        q_seed in proptest::collection::vec(-1.0f64..1.0, 8),
+    ) {
+        let pts = points(n, d, &data);
+        let index = Hnsw::build(d, HnswParams::default(), &pts);
+        let q = &q_seed[..d];
+        let hits = index.search(q, k, 40);
+        prop_assert!(hits.len() <= k);
+        prop_assert!(hits.len() == k.min(n));
+        let mut ids: Vec<u32> = hits.iter().map(|h| h.id).collect();
+        prop_assert!(hits.windows(2).all(|w| w[0].dist <= w[1].dist), "not sorted");
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), hits.len(), "duplicates returned");
+    }
+
+    /// On databases small enough to fit one layer-0 neighborhood, HNSW with
+    /// a generous beam is exact.
+    #[test]
+    fn exact_on_tiny_databases(
+        n in 2usize..30,
+        d in 1usize..6,
+        data in proptest::collection::vec(-1.0f64..1.0, 30 * 6),
+        q_seed in proptest::collection::vec(-1.0f64..1.0, 6),
+    ) {
+        let pts = points(n, d, &data);
+        let index = Hnsw::build(d, HnswParams::default(), &pts);
+        let q = &q_seed[..d];
+        let got: Vec<u32> = index.search(q, 5, n.max(30)).iter().map(|h| h.id).collect();
+        let truth = exact_knn_ids(index.store(), q, 5);
+        prop_assert_eq!(got, truth);
+    }
+
+    /// Deleted ids never come back; live count tracks maintenance.
+    #[test]
+    fn deletion_invariants(
+        n in 5usize..50,
+        d in 1usize..5,
+        delete_mask in proptest::collection::vec(any::<bool>(), 50),
+        data in proptest::collection::vec(-1.0f64..1.0, 50 * 5),
+    ) {
+        let pts = points(n, d, &data);
+        let mut index = Hnsw::build(d, HnswParams::default(), &pts);
+        let mut deleted = Vec::new();
+        for (id, &kill) in delete_mask.iter().take(n).enumerate() {
+            // Keep at least two nodes alive.
+            if kill && index.len() > 2 {
+                index.delete(id as u32);
+                deleted.push(id as u32);
+            }
+        }
+        prop_assert_eq!(index.len(), n - deleted.len());
+        let q = &pts[0];
+        let hits = index.search(q, n, 60);
+        for h in &hits {
+            prop_assert!(!deleted.contains(&h.id), "deleted id {} returned", h.id);
+        }
+    }
+
+    /// Serialization round-trips to an index with identical answers.
+    #[test]
+    fn snapshot_roundtrip(
+        n in 2usize..40,
+        d in 1usize..5,
+        data in proptest::collection::vec(-1.0f64..1.0, 40 * 5),
+    ) {
+        let pts = points(n, d, &data);
+        let index = Hnsw::build(d, HnswParams::default(), &pts);
+        let restored = Hnsw::from_bytes(index.to_bytes()).unwrap();
+        let q = &pts[n / 2];
+        let a: Vec<u32> = index.search(q, 5, 30).iter().map(|h| h.id).collect();
+        let b: Vec<u32> = restored.search(q, 5, 30).iter().map(|h| h.id).collect();
+        prop_assert_eq!(a, b);
+    }
+}

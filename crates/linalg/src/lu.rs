@@ -1,0 +1,198 @@
+//! LU decomposition with partial pivoting: linear solves and inversion.
+//!
+//! Key generation for DCE/AME/ASPE requires inverses of random matrices up to
+//! ≈2000×2000. Partial-pivoted LU is numerically adequate for random dense
+//! matrices (which are well conditioned with overwhelming probability) and is
+//! simple enough to verify exhaustively in tests.
+
+use crate::Matrix;
+
+/// Errors produced by the linear-algebra layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// The matrix is singular (or numerically so) and cannot be factored.
+    Singular,
+    /// Operand dimensions do not agree.
+    DimensionMismatch { expected: usize, got: usize },
+}
+
+impl std::fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinalgError::Singular => write!(f, "matrix is singular"),
+            LinalgError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// An LU factorization `P·A = L·U` of a square matrix.
+#[derive(Debug)]
+pub struct LuDecomposition {
+    lu: Matrix,
+    /// Row permutation: solving uses `b[piv[i]]`.
+    piv: Vec<usize>,
+}
+
+impl LuDecomposition {
+    /// Factors `a`, returning an error if a pivot collapses below `1e-12`
+    /// relative to the largest element of its column.
+    pub fn factor(a: &Matrix) -> Result<Self, LinalgError> {
+        if a.rows() != a.cols() {
+            return Err(LinalgError::DimensionMismatch { expected: a.rows(), got: a.cols() });
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut piv: Vec<usize> = (0..n).collect();
+
+        for col in 0..n {
+            // Partial pivot: pick the largest |value| in this column.
+            let mut pivot_row = col;
+            let mut pivot_val = lu[(col, col)].abs();
+            for r in col + 1..n {
+                let v = lu[(r, col)].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = r;
+                }
+            }
+            if pivot_val < 1e-12 {
+                return Err(LinalgError::Singular);
+            }
+            if pivot_row != col {
+                piv.swap(col, pivot_row);
+                for j in 0..n {
+                    let tmp = lu[(col, j)];
+                    lu[(col, j)] = lu[(pivot_row, j)];
+                    lu[(pivot_row, j)] = tmp;
+                }
+            }
+            let inv_pivot = 1.0 / lu[(col, col)];
+            for r in col + 1..n {
+                let factor = lu[(r, col)] * inv_pivot;
+                lu[(r, col)] = factor;
+                if factor != 0.0 {
+                    for j in col + 1..n {
+                        let sub = factor * lu[(col, j)];
+                        lu[(r, j)] -= sub;
+                    }
+                }
+            }
+        }
+        Ok(Self { lu, piv })
+    }
+
+    /// Solves `A·x = b`.
+    #[allow(clippy::needless_range_loop)] // i/j index two buffers in lockstep
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let n = self.lu.rows();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch { expected: n, got: b.len() });
+        }
+        // Forward substitution with the permuted right-hand side.
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut acc = b[self.piv[i]];
+            for j in 0..i {
+                acc -= self.lu[(i, j)] * y[j];
+            }
+            y[i] = acc;
+        }
+        // Back substitution.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut acc = y[i];
+            for j in i + 1..n {
+                acc -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Computes `A⁻¹` column by column.
+    pub fn inverse(&self) -> Result<Matrix, LinalgError> {
+        let n = self.lu.rows();
+        let mut inv = Matrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for col in 0..n {
+            e[col] = 1.0;
+            let x = self.solve(&e)?;
+            for (row, v) in x.into_iter().enumerate() {
+                inv[(row, col)] = v;
+            }
+            e[col] = 0.0;
+        }
+        Ok(inv)
+    }
+}
+
+/// Convenience: invert a square matrix in one call.
+pub fn invert(a: &Matrix) -> Result<Matrix, LinalgError> {
+    LuDecomposition::factor(a)?.inverse()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seeded_rng;
+    use rand::Rng;
+
+    #[test]
+    fn solves_known_system() {
+        // 2x + y = 5 ; x + 3y = 10  =>  x = 1, y = 3
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let lu = LuDecomposition::factor(&a).unwrap();
+        let x = lu.solve(&[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_of_identity_is_identity() {
+        let inv = invert(&Matrix::identity(6)).unwrap();
+        assert!(inv.max_abs_diff(&Matrix::identity(6)) < 1e-14);
+    }
+
+    #[test]
+    fn random_inverse_roundtrip() {
+        let mut rng = seeded_rng(42);
+        for n in [1usize, 2, 3, 8, 33, 64] {
+            let mut m = Matrix::zeros(n, n);
+            m.fill_with(|| rng.gen_range(-1.0..1.0));
+            let inv = invert(&m).expect("random matrix should be invertible");
+            let prod = m.matmul(&inv);
+            assert!(
+                prod.max_abs_diff(&Matrix::identity(n)) < 1e-8,
+                "residual too large for n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn singular_matrix_is_rejected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert_eq!(LuDecomposition::factor(&a).unwrap_err(), LinalgError::Singular);
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            LuDecomposition::factor(&a),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let lu = LuDecomposition::factor(&a).unwrap();
+        let x = lu.solve(&[3.0, 7.0]).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+}

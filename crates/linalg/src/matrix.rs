@@ -1,0 +1,231 @@
+//! Row-major dense matrices.
+//!
+//! The PP-ANNS schemes only need a handful of operations — matrix-vector and
+//! vector-matrix products, multiplication, transposition and row slicing —
+//! but they need them on matrices up to `(2d+16) × (2d+16)` (≈ 2000² for the
+//! GIST-like workload), so the storage is a single flat buffer and the inner
+//! loops run over contiguous rows.
+
+use crate::vector::dot;
+
+/// A dense row-major `rows × cols` matrix of `f64`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from a flat row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "from_vec: buffer size mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Builds a matrix from row slices (test helper).
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "from_rows: ragged rows");
+            data.extend_from_slice(row);
+        }
+        Self { rows: r, cols: c, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow of the flat row-major buffer.
+    #[inline]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Row `i` as a contiguous slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        debug_assert!(i < self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        debug_assert!(i < self.rows);
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Matrix-vector product `A·x`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "matvec: dimension mismatch");
+        (0..self.rows).map(|i| dot(self.row(i), x)).collect()
+    }
+
+    /// Vector-matrix product `xᵀ·A`, returned as a plain vector.
+    ///
+    /// This is the hot operation of DCE encryption (`p̄ᵀ·M_up`): it walks the
+    /// matrix row by row so the access pattern stays sequential.
+    pub fn vecmat(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.rows, "vecmat: dimension mismatch");
+        let mut out = vec![0.0; self.cols];
+        for (i, &xi) in x.iter().enumerate() {
+            if xi == 0.0 {
+                continue;
+            }
+            let row = self.row(i);
+            for (o, r) in out.iter_mut().zip(row) {
+                *o += xi * r;
+            }
+        }
+        out
+    }
+
+    /// Matrix product `A·B`.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul: dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        // i-k-j loop order keeps both `other` and `out` accesses sequential.
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                let brow = other.row(k);
+                let orow = out.row_mut(i);
+                for (o, b) in orow.iter_mut().zip(brow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Copy of the row range `lo..hi` as a new `(hi-lo) × cols` matrix.
+    ///
+    /// Used to split `M₃` into `M_up` / `M_down` (paper Section IV-A).
+    pub fn row_block(&self, lo: usize, hi: usize) -> Matrix {
+        assert!(lo <= hi && hi <= self.rows, "row_block: out of range");
+        Matrix::from_vec(hi - lo, self.cols, self.data[lo * self.cols..hi * self.cols].to_vec())
+    }
+
+    /// Largest absolute element-wise difference against `other`.
+    pub fn max_abs_diff(&self, other: &Matrix) -> f64 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        self.data
+            .iter()
+            .zip(&other.data)
+            .fold(0.0f64, |m, (a, b)| m.max((a - b).abs()))
+    }
+
+    /// Fills the matrix with samples from `f`.
+    pub fn fill_with(&mut self, mut f: impl FnMut() -> f64) {
+        for v in &mut self.data {
+            *v = f();
+        }
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_matvec_is_noop() {
+        let m = Matrix::identity(5);
+        let x = vec![1.0, -2.0, 3.0, 0.5, 4.0];
+        assert_eq!(m.matvec(&x), x);
+        assert_eq!(m.vecmat(&x), x);
+    }
+
+    #[test]
+    fn matmul_small_known() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn vecmat_equals_transpose_matvec() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let x = [0.5, -1.5];
+        assert_eq!(a.vecmat(&x), a.transpose().matvec(&x));
+    }
+
+    #[test]
+    fn row_block_splits_matrix() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0], &[7.0, 8.0]]);
+        let up = m.row_block(0, 2);
+        let down = m.row_block(2, 4);
+        assert_eq!(up, Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]));
+        assert_eq!(down, Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn matvec_rejects_bad_dims() {
+        Matrix::zeros(2, 3).matvec(&[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,68 @@
+//! Scoped-thread parallel map for one-off bulk jobs.
+//!
+//! Bulk database encryption (DCE: O(d²) per vector; AME: 32 mat-vecs per
+//! vector) and brute-force ground truth are embarrassingly parallel and run
+//! once per experiment, so they are spread across scoped threads. Search-path
+//! code never uses this module: the paper reports single-threaded search.
+
+/// Number of worker threads to use for bulk jobs.
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Computes `f(0), f(1), …, f(n-1)` in parallel, preserving index order.
+///
+/// Work is split into contiguous chunks, one per thread, so per-item overhead
+/// stays negligible even for millions of cheap items.
+pub fn parallel_map_indexed<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = available_threads().min(n.max(1));
+    if threads <= 1 || n < 2 {
+        return (0..n).map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut pieces: Vec<Vec<T>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for t in 0..threads {
+            let lo = t * chunk;
+            let hi = ((t + 1) * chunk).min(n);
+            if lo >= hi {
+                break;
+            }
+            let f = &f;
+            handles.push(scope.spawn(move || (lo..hi).map(f).collect::<Vec<T>>()));
+        }
+        for h in handles {
+            pieces.push(h.join().expect("parallel_map_indexed worker panicked"));
+        }
+    });
+    let mut out = Vec::with_capacity(n);
+    for p in pieces {
+        out.extend(p);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let out = parallel_map_indexed(1000, |i| i * i);
+        assert_eq!(out.len(), 1000);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * i);
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(parallel_map_indexed(0, |i| i).is_empty());
+        assert_eq!(parallel_map_indexed(1, |i| i + 7), vec![7]);
+    }
+}

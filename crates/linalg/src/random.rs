@@ -1,0 +1,141 @@
+//! Seeded random sampling helpers.
+//!
+//! Everything in the reproduction is deterministic given a seed: datasets,
+//! keys, index construction. `rand 0.8` ships no Gaussian distribution (that
+//! lives in `rand_distr`, which is not on the approved dependency list), so
+//! the standard normal is implemented here via Box–Muller.
+
+use crate::lu::invert;
+use crate::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic RNG from a 64-bit seed.
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// One standard-normal sample (Box–Muller, cosine branch).
+pub fn gaussian(rng: &mut impl Rng) -> f64 {
+    // u1 ∈ (0, 1] so the log never sees zero.
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// A vector of `n` iid standard-normal samples.
+pub fn gaussian_vec(rng: &mut impl Rng, n: usize) -> Vec<f64> {
+    (0..n).map(|_| gaussian(rng)).collect()
+}
+
+/// A vector of `n` iid uniform samples on `[lo, hi)`.
+pub fn uniform_vec(rng: &mut impl Rng, n: usize, lo: f64, hi: f64) -> Vec<f64> {
+    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+/// A uniformly random direction on the unit sphere `S^{n-1}`.
+pub fn random_unit_vector(rng: &mut impl Rng, n: usize) -> Vec<f64> {
+    loop {
+        let v = gaussian_vec(rng, n);
+        let norm = crate::vector::norm(&v);
+        if norm > 1e-12 {
+            return crate::vector::scaled(&v, 1.0 / norm);
+        }
+    }
+}
+
+/// A vector whose entries have magnitude in `[0.5, 2)` and random sign.
+///
+/// Used for the DCE `kv` masking vectors: bounded away from zero so the
+/// element-wise divisions of Equation 12 never blow up.
+pub fn random_sign_vec(rng: &mut impl Rng, n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|_| {
+            let mag = rng.gen_range(0.5..2.0);
+            if rng.gen::<bool>() {
+                mag
+            } else {
+                -mag
+            }
+        })
+        .collect()
+}
+
+/// Generates a random invertible `n × n` matrix together with its inverse.
+///
+/// Entries are `U(-1, 1)`; candidates are rejected unless the inversion
+/// residual stays below `1e-8` so that downstream secure comparisons remain
+/// numerically exact (DESIGN.md §6). The residual is checked with random
+/// probe vectors — `‖M·(M⁻¹·b) − b‖∞ / ‖b‖∞` for several `b` — which is
+/// O(n²) instead of the O(n³) full `M·M⁻¹` product; key generation for the
+/// GIST-scale matrices (≈2000²) would otherwise dominate setup. Random
+/// dense matrices are well conditioned with overwhelming probability, so
+/// rejection is rare.
+pub fn random_invertible(n: usize, rng: &mut impl Rng) -> (Matrix, Matrix) {
+    assert!(n > 0, "random_invertible: empty matrix");
+    'attempt: for _ in 0..16 {
+        let mut m = Matrix::zeros(n, n);
+        m.fill_with(|| rng.gen_range(-1.0..1.0));
+        let Ok(inv) = invert(&m) else { continue };
+        for _probe in 0..3 {
+            let b = uniform_vec(rng, n, -1.0, 1.0);
+            let back = m.matvec(&inv.matvec(&b));
+            let scale = crate::vector::max_abs(&b).max(1e-12);
+            if crate::vector::max_abs_diff(&back, &b) / scale >= 1e-8 {
+                continue 'attempt;
+            }
+        }
+        return (m, inv);
+    }
+    unreachable!("failed to sample a well-conditioned invertible matrix after 16 attempts")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaussian_moments_are_sane() {
+        let mut rng = seeded_rng(3);
+        let n = 200_000;
+        let xs = gaussian_vec(&mut rng, n);
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn unit_vector_has_unit_norm() {
+        let mut rng = seeded_rng(4);
+        for n in [1usize, 2, 10, 100] {
+            let v = random_unit_vector(&mut rng, n);
+            assert!((crate::vector::norm(&v) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sign_vec_bounded_away_from_zero() {
+        let mut rng = seeded_rng(5);
+        let v = random_sign_vec(&mut rng, 1000);
+        assert!(v.iter().all(|x| x.abs() >= 0.5 && x.abs() < 2.0));
+        // Both signs occur.
+        assert!(v.iter().any(|x| *x > 0.0) && v.iter().any(|x| *x < 0.0));
+    }
+
+    #[test]
+    fn random_invertible_residual() {
+        let mut rng = seeded_rng(6);
+        for n in [2usize, 16, 80] {
+            let (m, inv) = random_invertible(n, &mut rng);
+            assert!(m.matmul(&inv).max_abs_diff(&Matrix::identity(n)) < 1e-8);
+        }
+    }
+
+    #[test]
+    fn seeded_rng_is_deterministic() {
+        let a = gaussian_vec(&mut seeded_rng(9), 16);
+        let b = gaussian_vec(&mut seeded_rng(9), 16);
+        assert_eq!(a, b);
+    }
+}

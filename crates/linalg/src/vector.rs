@@ -1,0 +1,215 @@
+//! Dense `f64` vector kernels.
+//!
+//! These are the hot loops of the whole system: a single HNSW search performs
+//! thousands of [`squared_euclidean`] calls and every DCE secure comparison
+//! reduces to three fused element-wise passes. All kernels take plain slices
+//! so callers can keep their data in flat, cache-friendly buffers.
+
+/// Inner product `a · b`.
+///
+/// # Panics
+/// Panics in debug builds if the slices have different lengths.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "dot: dimension mismatch");
+    // Four independent accumulators let LLVM keep the loop vectorized even
+    // though floating point addition is not associative.
+    let chunks = a.len() / 4;
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
+    for i in 0..chunks {
+        let j = i * 4;
+        s0 += a[j] * b[j];
+        s1 += a[j + 1] * b[j + 1];
+        s2 += a[j + 2] * b[j + 2];
+        s3 += a[j + 3] * b[j + 3];
+    }
+    let mut tail = 0.0;
+    for j in chunks * 4..a.len() {
+        tail += a[j] * b[j];
+    }
+    s0 + s1 + s2 + s3 + tail
+}
+
+/// Squared Euclidean distance `‖a − b‖²` — the `dist(p, q)` of the paper.
+#[inline]
+pub fn squared_euclidean(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "squared_euclidean: dimension mismatch");
+    let chunks = a.len() / 4;
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
+    for i in 0..chunks {
+        let j = i * 4;
+        let d0 = a[j] - b[j];
+        let d1 = a[j + 1] - b[j + 1];
+        let d2 = a[j + 2] - b[j + 2];
+        let d3 = a[j + 3] - b[j + 3];
+        s0 += d0 * d0;
+        s1 += d1 * d1;
+        s2 += d2 * d2;
+        s3 += d3 * d3;
+    }
+    let mut tail = 0.0;
+    for j in chunks * 4..a.len() {
+        let d = a[j] - b[j];
+        tail += d * d;
+    }
+    s0 + s1 + s2 + s3 + tail
+}
+
+/// Squared L2 norm `‖a‖²`.
+#[inline]
+pub fn norm_sq(a: &[f64]) -> f64 {
+    dot(a, a)
+}
+
+/// L2 norm `‖a‖`.
+#[inline]
+pub fn norm(a: &[f64]) -> f64 {
+    norm_sq(a).sqrt()
+}
+
+/// Element-wise sum `a + b`.
+pub fn add(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "add: dimension mismatch");
+    a.iter().zip(b).map(|(x, y)| x + y).collect()
+}
+
+/// Element-wise difference `a − b`.
+pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "sub: dimension mismatch");
+    a.iter().zip(b).map(|(x, y)| x - y).collect()
+}
+
+/// Element-wise (Hadamard) product `a ◦ b` (paper Section IV-A).
+pub fn hadamard(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "hadamard: dimension mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).collect()
+}
+
+/// Element-wise division `a / b` (paper Section IV-A).
+///
+/// # Panics
+/// Panics if any divisor is exactly zero; key generation guarantees the
+/// `kv` vectors are bounded away from zero.
+pub fn hadamard_div(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "hadamard_div: dimension mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            assert!(*y != 0.0, "hadamard_div: division by zero");
+            x / y
+        })
+        .collect()
+}
+
+/// In-place scaling `a ← c·a`.
+pub fn scale_in_place(a: &mut [f64], c: f64) {
+    for x in a.iter_mut() {
+        *x *= c;
+    }
+}
+
+/// Returns `c·a` as a new vector.
+pub fn scaled(a: &[f64], c: f64) -> Vec<f64> {
+    a.iter().map(|x| x * c).collect()
+}
+
+/// `y ← y + c·x` (AXPY).
+pub fn axpy(y: &mut [f64], c: f64, x: &[f64]) {
+    assert_eq!(y.len(), x.len(), "axpy: dimension mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += c * xi;
+    }
+}
+
+/// Adds the scalar `c` to every element, returning a new vector.
+pub fn add_scalar(a: &[f64], c: f64) -> Vec<f64> {
+    a.iter().map(|x| x + c).collect()
+}
+
+/// Largest absolute coordinate (the `M` of the DCPE β-range).
+pub fn max_abs(a: &[f64]) -> f64 {
+    a.iter().fold(0.0f64, |m, x| m.max(x.abs()))
+}
+
+/// Maximum absolute element-wise difference between two vectors.
+pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "max_abs_diff: dimension mismatch");
+    a.iter()
+        .zip(b)
+        .fold(0.0f64, |m, (x, y)| m.max((x - y).abs()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_matches_naive() {
+        let a: Vec<f64> = (0..13).map(|i| i as f64 * 0.5).collect();
+        let b: Vec<f64> = (0..13).map(|i| (13 - i) as f64).collect();
+        let naive: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        assert!((dot(&a, &b) - naive).abs() < 1e-12);
+    }
+
+    #[test]
+    fn squared_euclidean_basic() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [4.0, 6.0, 3.0];
+        assert_eq!(squared_euclidean(&a, &b), 9.0 + 16.0);
+    }
+
+    #[test]
+    fn squared_euclidean_is_symmetric_and_zero_on_self() {
+        let a = [0.25, -1.5, 2.0, 7.5, -3.25];
+        let b = [1.0, 0.0, -2.0, 3.0, 4.0];
+        assert_eq!(squared_euclidean(&a, &b), squared_euclidean(&b, &a));
+        assert_eq!(squared_euclidean(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn hadamard_identity_pair() {
+        // (a+1)◦(b+1) − (a−1)◦(b−1) = 2a + 2b   (paper Equation 6)
+        let a = [0.5, -2.0, 3.25, 4.0];
+        let b = [1.5, 0.25, -1.0, 2.0];
+        let ones = [1.0; 4];
+        let lhs = sub(
+            &hadamard(&add(&a, &ones), &add(&b, &ones)),
+            &hadamard(&sub(&a, &ones), &sub(&b, &ones)),
+        );
+        let rhs = add(&scaled(&a, 2.0), &scaled(&b, 2.0));
+        assert!(max_abs_diff(&lhs, &rhs) < 1e-12);
+    }
+
+    #[test]
+    fn hadamard_div_quotient_rule() {
+        // (a◦b)/(c◦d) = (a/c)◦(b/d)   (paper Equation 7)
+        let a = [2.0, 3.0, -4.0];
+        let b = [5.0, -6.0, 7.0];
+        let c = [1.0, 2.0, 4.0];
+        let d = [2.0, 3.0, -7.0];
+        let lhs = hadamard_div(&hadamard(&a, &b), &hadamard(&c, &d));
+        let rhs = hadamard(&hadamard_div(&a, &c), &hadamard_div(&b, &d));
+        assert!(max_abs_diff(&lhs, &rhs) < 1e-12);
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut y = vec![1.0, 2.0, 3.0];
+        axpy(&mut y, 2.0, &[1.0, 1.0, 1.0]);
+        assert_eq!(y, vec![3.0, 4.0, 5.0]);
+        scale_in_place(&mut y, 0.5);
+        assert_eq!(y, vec![1.5, 2.0, 2.5]);
+    }
+
+    #[test]
+    fn max_abs_finds_extreme() {
+        assert_eq!(max_abs(&[0.5, -7.25, 3.0]), 7.25);
+        assert_eq!(max_abs(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn hadamard_div_rejects_zero() {
+        hadamard_div(&[1.0], &[0.0]);
+    }
+}

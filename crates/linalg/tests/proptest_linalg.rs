@@ -1,0 +1,72 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use ppann_linalg::{vector, LuDecomposition, Matrix, Permutation};
+use proptest::prelude::*;
+
+fn vec_strategy(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-10.0f64..10.0, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Dot products are symmetric and bilinear in the first argument.
+    #[test]
+    fn dot_symmetric_bilinear(n in 1usize..32, seed_a in vec_strategy(32), seed_b in vec_strategy(32), c in -5.0f64..5.0) {
+        let a = &seed_a[..n];
+        let b = &seed_b[..n];
+        prop_assert!((vector::dot(a, b) - vector::dot(b, a)).abs() < 1e-9);
+        let scaled = vector::scaled(a, c);
+        prop_assert!((vector::dot(&scaled, b) - c * vector::dot(a, b)).abs() < 1e-6);
+    }
+
+    /// ‖a−b‖² is nonnegative, zero iff a = b (over exact copies), symmetric.
+    #[test]
+    fn distance_axioms(n in 1usize..32, seed_a in vec_strategy(32), seed_b in vec_strategy(32)) {
+        let a = &seed_a[..n];
+        let b = &seed_b[..n];
+        let d = vector::squared_euclidean(a, b);
+        prop_assert!(d >= 0.0);
+        prop_assert!((d - vector::squared_euclidean(b, a)).abs() < 1e-9);
+        prop_assert_eq!(vector::squared_euclidean(a, a), 0.0);
+    }
+
+    /// The paper's Equation 6 Hadamard identity holds for arbitrary inputs.
+    #[test]
+    fn hadamard_identity(n in 1usize..24, seed_a in vec_strategy(24), seed_b in vec_strategy(24)) {
+        let a = &seed_a[..n];
+        let b = &seed_b[..n];
+        let ones = vec![1.0; n];
+        let lhs = vector::sub(
+            &vector::hadamard(&vector::add(a, &ones), &vector::add(b, &ones)),
+            &vector::hadamard(&vector::sub(a, &ones), &vector::sub(b, &ones)),
+        );
+        let rhs = vector::add(&vector::scaled(a, 2.0), &vector::scaled(b, 2.0));
+        prop_assert!(vector::max_abs_diff(&lhs, &rhs) < 1e-9);
+    }
+
+    /// LU solves reproduce the right-hand side.
+    #[test]
+    fn lu_solve_residual(n in 1usize..12, entries in proptest::collection::vec(-1.0f64..1.0, 144), b in vec_strategy(12)) {
+        let m = Matrix::from_vec(n, n, entries[..n * n].to_vec());
+        if let Ok(lu) = LuDecomposition::factor(&m) {
+            let x = lu.solve(&b[..n]).unwrap();
+            let back = m.matvec(&x);
+            for (lhs, rhs) in back.iter().zip(&b[..n]) {
+                prop_assert!((lhs - rhs).abs() < 1e-6, "residual too large");
+            }
+        }
+    }
+
+    /// A permutation applied to both vectors preserves inner products, and
+    /// its inverse undoes it.
+    #[test]
+    fn permutation_properties(n in 1usize..48, seed in 0u64..1000, data in vec_strategy(48)) {
+        let mut rng = ppann_linalg::seeded_rng(seed);
+        let p = Permutation::random(n, &mut rng);
+        let v = &data[..n];
+        prop_assert_eq!(p.inverse().apply(&p.apply(v)), v.to_vec());
+        let w: Vec<f64> = v.iter().map(|x| x + 1.0).collect();
+        prop_assert!((vector::dot(&p.apply(v), &p.apply(&w)) - vector::dot(v, &w)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,69 @@
+//! Property-based tests for the E2LSH substrate.
+
+use ppann_lsh::{LshIndex, LshParams};
+use proptest::prelude::*;
+
+fn vecs(n: usize, d: usize, raw: &[f64]) -> Vec<Vec<f64>> {
+    (0..n).map(|i| raw[i * d..(i + 1) * d].to_vec()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A vector always lands in its own bucket: querying with an indexed
+    /// vector must return it among the candidates.
+    #[test]
+    fn self_collision(
+        n in 1usize..40,
+        d in 1usize..8,
+        raw in proptest::collection::vec(-5.0f64..5.0, 40 * 8),
+        seed in any::<u64>(),
+    ) {
+        let data = vecs(n, d, &raw);
+        let params = LshParams { k: 3, l: 4, w: 1.0, seed };
+        let index = LshIndex::build(d, params, &data);
+        for (i, v) in data.iter().enumerate() {
+            let cands = index.candidates(v);
+            prop_assert!(cands.contains(&(i as u32)), "vector {i} missing from its own bucket");
+        }
+    }
+
+    /// Multi-probe candidates are always a superset of single-probe ones,
+    /// and probe keys never repeat.
+    #[test]
+    fn multiprobe_superset(
+        n in 1usize..30,
+        d in 1usize..6,
+        raw in proptest::collection::vec(-3.0f64..3.0, 30 * 6),
+        probes in 0usize..8,
+        seed in any::<u64>(),
+    ) {
+        let data = vecs(n, d, &raw);
+        let params = LshParams { k: 4, l: 3, w: 0.75, seed };
+        let index = LshIndex::build(d, params, &data);
+        let q = &data[0];
+        let single = index.candidates(q);
+        let multi = index.candidates_multiprobe(q, probes);
+        prop_assert!(single.iter().all(|id| multi.contains(id)));
+        for t in 0..index.num_tables() {
+            let keys = index.probe_keys(t, q, probes);
+            let mut dedup = keys.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            prop_assert_eq!(dedup.len(), keys.len());
+        }
+    }
+
+    /// Tuned parameters are always usable (positive finite width).
+    #[test]
+    fn tuned_width_always_valid(
+        n in 0usize..20,
+        d in 1usize..5,
+        raw in proptest::collection::vec(-2.0f64..2.0, 20 * 5),
+        seed in any::<u64>(),
+    ) {
+        let data = vecs(n, d, &raw);
+        let p = LshParams::tuned(4, 4, seed, &data);
+        prop_assert!(p.w.is_finite() && p.w > 0.0);
+    }
+}

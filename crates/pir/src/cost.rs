@@ -1,0 +1,42 @@
+//! Cost accounting shared by the PIR-based baselines.
+
+/// Accumulated costs of a sequence of PIR interactions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PirCost {
+    /// Bytes uploaded by the client (selection masks).
+    pub bytes_up: u64,
+    /// Bytes downloaded by the client (server answers).
+    pub bytes_down: u64,
+    /// Blocks XOR-scanned across both servers.
+    pub server_blocks: u64,
+    /// Number of query rounds.
+    pub rounds: u64,
+}
+
+impl PirCost {
+    /// Merges another cost record into this one.
+    pub fn absorb(&mut self, other: PirCost) {
+        self.bytes_up += other.bytes_up;
+        self.bytes_down += other.bytes_down;
+        self.server_blocks += other.server_blocks;
+        self.rounds += other.rounds;
+    }
+
+    /// Total communication in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_up + self.bytes_down
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_accumulates() {
+        let mut a = PirCost { bytes_up: 1, bytes_down: 2, server_blocks: 3, rounds: 1 };
+        a.absorb(PirCost { bytes_up: 10, bytes_down: 20, server_blocks: 30, rounds: 1 });
+        assert_eq!(a, PirCost { bytes_up: 11, bytes_down: 22, server_blocks: 33, rounds: 2 });
+        assert_eq!(a.total_bytes(), 33);
+    }
+}

@@ -1,0 +1,35 @@
+//! # ppann-pir
+//!
+//! Information-theoretic **two-server XOR private information retrieval**.
+//!
+//! The PACM-ANN and PRI-ANN baselines of the reproduced paper retrieve index
+//! blocks (graph adjacency lists, LSH buckets) and encrypted vectors from the
+//! server *without revealing which block* they fetch. This crate supplies
+//! that substrate with the classic two-server scheme: the client sends a
+//! uniformly random selection bit-vector to server A and the same vector with
+//! the target bit flipped to server B; each server XORs together its selected
+//! blocks; the client XORs the two answers to recover the target block.
+//!
+//! Each individual query is information-theoretically private against either
+//! (non-colluding) server — and each answer costs a server a scan of ~n/2
+//! blocks, which is precisely the cost behaviour that makes the PIR-based
+//! baselines slow in Figures 7 and 9.
+//!
+//! ```
+//! use ppann_pir::{PirCost, PirDatabase, TwoServerPir};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let db = PirDatabase::from_blocks(4, &[vec![1, 2, 3, 4], vec![5, 6, 7, 8]]);
+//! let pir = TwoServerPir::new(db);
+//! let mut cost = PirCost::default();
+//! let block = pir.retrieve(1, &mut StdRng::seed_from_u64(0), &mut cost);
+//! assert_eq!(block, vec![5, 6, 7, 8]);
+//! ```
+
+mod cost;
+mod database;
+mod protocol;
+
+pub use cost::PirCost;
+pub use database::PirDatabase;
+pub use protocol::{PirQuery, PirServer, TwoServerPir};

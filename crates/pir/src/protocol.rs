@@ -1,0 +1,195 @@
+//! The two-server XOR PIR protocol.
+
+use crate::cost::PirCost;
+use crate::database::PirDatabase;
+use rand::Rng;
+
+/// A client query: one selection mask per server. Server B's mask differs
+/// from server A's in exactly the target bit, so neither mask alone carries
+/// any information about the target index.
+#[derive(Clone, Debug)]
+pub struct PirQuery {
+    mask_a: Vec<u64>,
+    mask_b: Vec<u64>,
+}
+
+impl PirQuery {
+    /// Builds a query for block `index` of an `n`-block database.
+    pub fn new(index: usize, n: usize, rng: &mut impl Rng) -> Self {
+        assert!(index < n, "PIR index {index} out of range (n = {n})");
+        let words = n.div_ceil(64);
+        let mask_a: Vec<u64> = (0..words).map(|_| rng.gen()).collect();
+        let mut mask_b = mask_a.clone();
+        mask_b[index / 64] ^= 1u64 << (index % 64);
+        // Clear padding bits beyond n so server work counters stay honest.
+        if !n.is_multiple_of(64) {
+            let keep = (1u64 << (n % 64)) - 1;
+            let last = words - 1;
+            let mut q = Self { mask_a, mask_b };
+            q.mask_a[last] &= keep;
+            q.mask_b[last] &= keep;
+            return q;
+        }
+        Self { mask_a, mask_b }
+    }
+
+    /// Upload size of both masks in bytes.
+    pub fn upload_bytes(&self) -> u64 {
+        ((self.mask_a.len() + self.mask_b.len()) * 8) as u64
+    }
+
+    /// The mask destined for server A.
+    pub fn mask_a(&self) -> &[u64] {
+        &self.mask_a
+    }
+
+    /// The mask destined for server B.
+    pub fn mask_b(&self) -> &[u64] {
+        &self.mask_b
+    }
+}
+
+/// One of the two non-colluding PIR servers.
+#[derive(Clone, Debug)]
+pub struct PirServer {
+    db: PirDatabase,
+}
+
+impl PirServer {
+    /// Spins up a server over a database replica.
+    pub fn new(db: PirDatabase) -> Self {
+        Self { db }
+    }
+
+    /// Answers a selection mask: XOR of the selected blocks. Also returns the
+    /// number of blocks scanned (the server-side work).
+    pub fn answer(&self, mask: &[u64]) -> (Vec<u8>, u64) {
+        assert!(mask.len() * 64 >= self.db.len(), "mask shorter than database");
+        self.db.xor_selected(mask)
+    }
+
+    /// The database replica held by this server.
+    pub fn database(&self) -> &PirDatabase {
+        &self.db
+    }
+}
+
+/// Convenience wrapper running the full two-server protocol in-process.
+pub struct TwoServerPir {
+    server_a: PirServer,
+    server_b: PirServer,
+}
+
+impl TwoServerPir {
+    /// Replicates `db` onto two fresh servers.
+    pub fn new(db: PirDatabase) -> Self {
+        Self { server_a: PirServer::new(db.clone()), server_b: PirServer::new(db) }
+    }
+
+    /// Number of blocks in the replicated database.
+    pub fn len(&self) -> usize {
+        self.server_a.database().len()
+    }
+
+    /// True when the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Block size in bytes.
+    pub fn block_size(&self) -> usize {
+        self.server_a.database().block_size()
+    }
+
+    /// Privately retrieves block `index`, recording costs into `cost`.
+    pub fn retrieve(&self, index: usize, rng: &mut impl Rng, cost: &mut PirCost) -> Vec<u8> {
+        let q = PirQuery::new(index, self.len(), rng);
+        let (ans_a, work_a) = self.server_a.answer(q.mask_a());
+        let (ans_b, work_b) = self.server_b.answer(q.mask_b());
+        cost.absorb(PirCost {
+            bytes_up: q.upload_bytes(),
+            bytes_down: (ans_a.len() + ans_b.len()) as u64,
+            server_blocks: work_a + work_b,
+            rounds: 1,
+        });
+        ans_a.iter().zip(&ans_b).map(|(a, b)| a ^ b).collect()
+    }
+
+    /// Retrieves several blocks in one round (the masks travel together, so
+    /// only one round is counted — PRI-ANN's single-round bucket fetch).
+    pub fn retrieve_batch(
+        &self,
+        indices: &[usize],
+        rng: &mut impl Rng,
+        cost: &mut PirCost,
+    ) -> Vec<Vec<u8>> {
+        let out: Vec<Vec<u8>> = indices.iter().map(|&i| self.retrieve(i, rng, cost)).collect();
+        // Collapse the per-retrieve round counts into a single round.
+        cost.rounds -= indices.len().saturating_sub(1) as u64;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn db() -> PirDatabase {
+        PirDatabase::from_blocks(8, &(0..100u8).map(|i| vec![i; 8]).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn retrieves_correct_block() {
+        let pir = TwoServerPir::new(db());
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut cost = PirCost::default();
+        for idx in [0usize, 1, 63, 64, 99] {
+            let block = pir.retrieve(idx, &mut rng, &mut cost);
+            assert_eq!(block, vec![idx as u8; 8], "index {idx}");
+        }
+        assert_eq!(cost.rounds, 5);
+        assert!(cost.server_blocks > 0);
+    }
+
+    #[test]
+    fn masks_differ_only_at_target() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let q = PirQuery::new(70, 100, &mut rng);
+        let diff: Vec<usize> = (0..100)
+            .filter(|i| (q.mask_a()[i / 64] ^ q.mask_b()[i / 64]) >> (i % 64) & 1 == 1)
+            .collect();
+        assert_eq!(diff, vec![70]);
+    }
+
+    #[test]
+    fn server_work_is_about_half_the_database() {
+        let pir = TwoServerPir::new(db());
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut cost = PirCost::default();
+        for _ in 0..50 {
+            pir.retrieve(10, &mut rng, &mut cost);
+        }
+        // Both servers each scan ~n/2 blocks per query.
+        let per_query = cost.server_blocks as f64 / 50.0;
+        assert!((80.0..120.0).contains(&per_query), "per-query work {per_query}");
+    }
+
+    #[test]
+    fn batch_counts_one_round() {
+        let pir = TwoServerPir::new(db());
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut cost = PirCost::default();
+        let blocks = pir.retrieve_batch(&[1, 2, 3], &mut rng, &mut cost);
+        assert_eq!(blocks.len(), 3);
+        assert_eq!(cost.rounds, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_rejected() {
+        let mut rng = StdRng::seed_from_u64(5);
+        PirQuery::new(100, 100, &mut rng);
+    }
+}

@@ -1,0 +1,47 @@
+//! Property-based tests of the two-server XOR PIR substrate.
+
+use ppann_pir::{PirCost, PirDatabase, TwoServerPir};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Retrieval returns the exact target block for arbitrary databases.
+    #[test]
+    fn retrieval_correct(
+        blocks in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..24), 1..80),
+        index_seed in any::<u64>(),
+        rng_seed in any::<u64>(),
+    ) {
+        let block_size = blocks.iter().map(Vec::len).max().unwrap_or(1).max(1);
+        let db = PirDatabase::from_blocks(block_size, &blocks);
+        let pir = TwoServerPir::new(db);
+        let index = (index_seed % blocks.len() as u64) as usize;
+        let mut rng = StdRng::seed_from_u64(rng_seed);
+        let mut cost = PirCost::default();
+        let got = pir.retrieve(index, &mut rng, &mut cost);
+        let mut expected = blocks[index].clone();
+        expected.resize(block_size, 0);
+        prop_assert_eq!(got, expected);
+        prop_assert_eq!(cost.rounds, 1);
+    }
+
+    /// Either server's view (its mask) is a uniformly random bit-vector:
+    /// flipping which server gets the offset mask cannot change the result.
+    #[test]
+    fn servers_are_symmetric(
+        n in 1usize..60,
+        index_seed in any::<u64>(),
+        rng_seed in any::<u64>(),
+    ) {
+        let blocks: Vec<Vec<u8>> = (0..n).map(|i| vec![i as u8; 4]).collect();
+        let pir = TwoServerPir::new(PirDatabase::from_blocks(4, &blocks));
+        let index = (index_seed % n as u64) as usize;
+        let mut cost = PirCost::default();
+        let a = pir.retrieve(index, &mut StdRng::seed_from_u64(rng_seed), &mut cost);
+        let b = pir.retrieve(index, &mut StdRng::seed_from_u64(rng_seed ^ 1), &mut cost);
+        prop_assert_eq!(a, b, "answers must agree regardless of mask randomness");
+    }
+}

@@ -1,0 +1,179 @@
+//! The AES-128 block cipher: key schedule plus encrypt/decrypt of one block.
+
+use crate::tables::{inv_sbox, mul, sbox, xtime};
+
+const ROUNDS: usize = 10;
+
+/// An expanded AES-128 key (11 round keys).
+#[derive(Clone)]
+pub struct Aes128 {
+    round_keys: [[u8; 16]; ROUNDS + 1],
+}
+
+impl Aes128 {
+    /// Expands a 128-bit key (Rijndael key schedule).
+    pub fn new(key: &[u8; 16]) -> Self {
+        let mut w = [[0u8; 4]; 4 * (ROUNDS + 1)];
+        for i in 0..4 {
+            w[i].copy_from_slice(&key[4 * i..4 * i + 4]);
+        }
+        let mut rcon = 1u8;
+        for i in 4..4 * (ROUNDS + 1) {
+            let mut temp = w[i - 1];
+            if i % 4 == 0 {
+                temp.rotate_left(1);
+                for t in &mut temp {
+                    *t = sbox()[*t as usize];
+                }
+                temp[0] ^= rcon;
+                rcon = xtime(rcon);
+            }
+            for j in 0..4 {
+                w[i][j] = w[i - 4][j] ^ temp[j];
+            }
+        }
+        let mut round_keys = [[0u8; 16]; ROUNDS + 1];
+        for (r, rk) in round_keys.iter_mut().enumerate() {
+            for c in 0..4 {
+                rk[4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
+            }
+        }
+        Self { round_keys }
+    }
+
+    fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+        for (s, k) in state.iter_mut().zip(rk) {
+            *s ^= k;
+        }
+    }
+
+    fn sub_bytes(state: &mut [u8; 16]) {
+        for s in state.iter_mut() {
+            *s = sbox()[*s as usize];
+        }
+    }
+
+    fn inv_sub_bytes(state: &mut [u8; 16]) {
+        for s in state.iter_mut() {
+            *s = inv_sbox()[*s as usize];
+        }
+    }
+
+    /// State layout is column-major (byte `4c + r` is row `r`, column `c`),
+    /// so ShiftRows rotates bytes `r, r+4, r+8, r+12` left by `r`.
+    fn shift_rows(state: &mut [u8; 16]) {
+        for r in 1..4 {
+            let row = [state[r], state[r + 4], state[r + 8], state[r + 12]];
+            for c in 0..4 {
+                state[r + 4 * c] = row[(c + r) % 4];
+            }
+        }
+    }
+
+    fn inv_shift_rows(state: &mut [u8; 16]) {
+        for r in 1..4 {
+            let row = [state[r], state[r + 4], state[r + 8], state[r + 12]];
+            for c in 0..4 {
+                state[r + 4 * c] = row[(c + 4 - r) % 4];
+            }
+        }
+    }
+
+    fn mix_columns(state: &mut [u8; 16]) {
+        for c in 0..4 {
+            let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+            state[4 * c] = mul(col[0], 2) ^ mul(col[1], 3) ^ col[2] ^ col[3];
+            state[4 * c + 1] = col[0] ^ mul(col[1], 2) ^ mul(col[2], 3) ^ col[3];
+            state[4 * c + 2] = col[0] ^ col[1] ^ mul(col[2], 2) ^ mul(col[3], 3);
+            state[4 * c + 3] = mul(col[0], 3) ^ col[1] ^ col[2] ^ mul(col[3], 2);
+        }
+    }
+
+    fn inv_mix_columns(state: &mut [u8; 16]) {
+        for c in 0..4 {
+            let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+            state[4 * c] = mul(col[0], 14) ^ mul(col[1], 11) ^ mul(col[2], 13) ^ mul(col[3], 9);
+            state[4 * c + 1] = mul(col[0], 9) ^ mul(col[1], 14) ^ mul(col[2], 11) ^ mul(col[3], 13);
+            state[4 * c + 2] = mul(col[0], 13) ^ mul(col[1], 9) ^ mul(col[2], 14) ^ mul(col[3], 11);
+            state[4 * c + 3] = mul(col[0], 11) ^ mul(col[1], 13) ^ mul(col[2], 9) ^ mul(col[3], 14);
+        }
+    }
+
+    /// Encrypts one 16-byte block.
+    pub fn encrypt_block(&self, plain: &[u8; 16]) -> [u8; 16] {
+        let mut state = *plain;
+        Self::add_round_key(&mut state, &self.round_keys[0]);
+        for round in 1..ROUNDS {
+            Self::sub_bytes(&mut state);
+            Self::shift_rows(&mut state);
+            Self::mix_columns(&mut state);
+            Self::add_round_key(&mut state, &self.round_keys[round]);
+        }
+        Self::sub_bytes(&mut state);
+        Self::shift_rows(&mut state);
+        Self::add_round_key(&mut state, &self.round_keys[ROUNDS]);
+        state
+    }
+
+    /// Decrypts one 16-byte block.
+    pub fn decrypt_block(&self, cipher: &[u8; 16]) -> [u8; 16] {
+        let mut state = *cipher;
+        Self::add_round_key(&mut state, &self.round_keys[ROUNDS]);
+        for round in (1..ROUNDS).rev() {
+            Self::inv_shift_rows(&mut state);
+            Self::inv_sub_bytes(&mut state);
+            Self::add_round_key(&mut state, &self.round_keys[round]);
+            Self::inv_mix_columns(&mut state);
+        }
+        Self::inv_shift_rows(&mut state);
+        Self::inv_sub_bytes(&mut state);
+        Self::add_round_key(&mut state, &self.round_keys[0]);
+        state
+    }
+}
+
+impl std::fmt::Debug for Aes128 {
+    /// Redacts the key schedule.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Aes128 { .. }")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len()).step_by(2).map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap()).collect()
+    }
+
+    #[test]
+    fn fips197_appendix_c1() {
+        let key: [u8; 16] = hex("000102030405060708090a0b0c0d0e0f").try_into().unwrap();
+        let plain: [u8; 16] = hex("00112233445566778899aabbccddeeff").try_into().unwrap();
+        let aes = Aes128::new(&key);
+        let ct = aes.encrypt_block(&plain);
+        assert_eq!(ct.to_vec(), hex("69c4e0d86a7b0430d8cdb78070b4c55a"));
+        assert_eq!(aes.decrypt_block(&ct), plain);
+    }
+
+    #[test]
+    fn fips197_appendix_b() {
+        let key: [u8; 16] = hex("2b7e151628aed2a6abf7158809cf4f3c").try_into().unwrap();
+        let plain: [u8; 16] = hex("3243f6a8885a308d313198a2e0370734").try_into().unwrap();
+        let ct = Aes128::new(&key).encrypt_block(&plain);
+        assert_eq!(ct.to_vec(), hex("3925841d02dc09fbdc118597196a0b32"));
+    }
+
+    #[test]
+    fn roundtrip_random_blocks() {
+        let aes = Aes128::new(&[7u8; 16]);
+        let mut block = [0u8; 16];
+        for i in 0..200u32 {
+            for (j, b) in block.iter_mut().enumerate() {
+                *b = (i as usize * 31 + j * 17) as u8;
+            }
+            assert_eq!(aes.decrypt_block(&aes.encrypt_block(&block)), block);
+        }
+    }
+}

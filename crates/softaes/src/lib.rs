@@ -1,0 +1,32 @@
+//! # ppann-softaes
+//!
+//! A self-contained software **AES-128** (FIPS-197) plus CTR mode.
+//!
+//! In the reproduced paper's taxonomy (Section I), AES is the canonical
+//! *distance-incomparable* encryption: the RS-SANN baseline stores
+//! AES-encrypted vectors on the server and ships candidate ciphertexts back
+//! to the user, who must decrypt before computing any distance. This crate
+//! provides that substrate from scratch — table-based SubBytes,
+//! ShiftRows/MixColumns, the Rijndael key schedule, and a CTR keystream for
+//! encrypting variable-length vector blobs.
+//!
+//! Correctness is pinned to the FIPS-197 Appendix C and NIST SP 800-38A
+//! test vectors.
+//!
+//! ```
+//! use ppann_softaes::Aes128;
+//!
+//! let key = [0u8; 16];
+//! let aes = Aes128::new(&key);
+//! let ct = aes.encrypt_block(&[0u8; 16]);
+//! assert_eq!(aes.decrypt_block(&ct), [0u8; 16]);
+//! ```
+
+mod block;
+mod ctr;
+mod tables;
+mod vectors;
+
+pub use block::Aes128;
+pub use ctr::AesCtr;
+pub use vectors::{decrypt_f64_vector, encrypt_f64_vector};

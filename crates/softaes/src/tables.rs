@@ -1,0 +1,110 @@
+//! AES S-boxes, computed at first use from the finite-field definition
+//! (multiplicative inverse in GF(2⁸) followed by the affine map) rather than
+//! transcribed — the FIPS-197 appendix vectors in `block::tests` pin the
+//! values regardless.
+
+use std::sync::OnceLock;
+
+fn gf_mul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    for _ in 0..8 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        let hi = a & 0x80;
+        a <<= 1;
+        if hi != 0 {
+            a ^= 0x1B; // x⁸ + x⁴ + x³ + x + 1
+        }
+        b >>= 1;
+    }
+    p
+}
+
+fn gf_inv(a: u8) -> u8 {
+    if a == 0 {
+        return 0;
+    }
+    // a^(254) in GF(2⁸) is the multiplicative inverse.
+    let mut result = 1u8;
+    let mut base = a;
+    let mut exp = 254u32;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            result = gf_mul(result, base);
+        }
+        base = gf_mul(base, base);
+        exp >>= 1;
+    }
+    result
+}
+
+fn build_sbox() -> ([u8; 256], [u8; 256]) {
+    let mut sbox = [0u8; 256];
+    let mut inv = [0u8; 256];
+    for (i, slot) in sbox.iter_mut().enumerate() {
+        let x = gf_inv(i as u8);
+        let mut y = x;
+        let mut out = 0x63u8;
+        for _ in 0..4 {
+            out ^= y;
+            y = y.rotate_left(1);
+        }
+        // out = x ^ rotl1(x) ^ rotl2(x) ^ rotl3(x) ^ rotl4(x) ^ 0x63:
+        out ^= y;
+        *slot = out;
+    }
+    for (i, &s) in sbox.iter().enumerate() {
+        inv[s as usize] = i as u8;
+    }
+    (sbox, inv)
+}
+
+static TABLES: OnceLock<([u8; 256], [u8; 256])> = OnceLock::new();
+
+pub(crate) fn sbox() -> &'static [u8; 256] {
+    &TABLES.get_or_init(build_sbox).0
+}
+
+pub(crate) fn inv_sbox() -> &'static [u8; 256] {
+    &TABLES.get_or_init(build_sbox).1
+}
+
+pub(crate) fn xtime(a: u8) -> u8 {
+    gf_mul(a, 2)
+}
+
+pub(crate) fn mul(a: u8, b: u8) -> u8 {
+    gf_mul(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sbox_known_entries() {
+        // FIPS-197 Figure 7.
+        let s = sbox();
+        assert_eq!(s[0x00], 0x63);
+        assert_eq!(s[0x01], 0x7c);
+        assert_eq!(s[0x53], 0xed);
+        assert_eq!(s[0xff], 0x16);
+    }
+
+    #[test]
+    fn inv_sbox_inverts() {
+        let s = sbox();
+        let si = inv_sbox();
+        for i in 0..256 {
+            assert_eq!(si[s[i] as usize] as usize, i);
+        }
+    }
+
+    #[test]
+    fn gf_arithmetic() {
+        // FIPS-197 §4.2: {57}·{83} = {c1}.
+        assert_eq!(mul(0x57, 0x83), 0xc1);
+        assert_eq!(xtime(0x57), 0xae);
+    }
+}

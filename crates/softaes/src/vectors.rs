@@ -1,0 +1,47 @@
+//! Encrypting `f64` vectors as AES-CTR blobs — the storage format of the
+//! RS-SANN baseline (vector id = CTR nonce).
+
+use crate::ctr::AesCtr;
+
+/// Serializes `v` to little-endian bytes and encrypts under `(key, id)`.
+pub fn encrypt_f64_vector(ctr: &AesCtr, id: u64, v: &[f64]) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(v.len() * 8);
+    for x in v {
+        bytes.extend_from_slice(&x.to_le_bytes());
+    }
+    ctr.apply(id, &mut bytes);
+    bytes
+}
+
+/// Decrypts and deserializes a vector encrypted by [`encrypt_f64_vector`].
+///
+/// # Panics
+/// Panics if the ciphertext length is not a multiple of 8.
+pub fn decrypt_f64_vector(ctr: &AesCtr, id: u64, ct: &[u8]) -> Vec<f64> {
+    assert!(ct.len().is_multiple_of(8), "ciphertext length must be a multiple of 8");
+    let mut bytes = ct.to_vec();
+    ctr.apply(id, &mut bytes);
+    bytes.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().unwrap())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_roundtrip() {
+        let ctr = AesCtr::new(&[5u8; 16]);
+        let v = vec![1.5, -2.25, 0.0, f64::MAX, f64::MIN_POSITIVE];
+        let ct = encrypt_f64_vector(&ctr, 11, &v);
+        assert_eq!(ct.len(), v.len() * 8);
+        assert_eq!(decrypt_f64_vector(&ctr, 11, &ct), v);
+    }
+
+    #[test]
+    fn wrong_id_garbles() {
+        let ctr = AesCtr::new(&[5u8; 16]);
+        let v = vec![1.0, 2.0, 3.0];
+        let ct = encrypt_f64_vector(&ctr, 1, &v);
+        assert_ne!(decrypt_f64_vector(&ctr, 2, &ct), v);
+    }
+}

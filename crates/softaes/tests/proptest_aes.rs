@@ -1,0 +1,38 @@
+//! Property-based tests of the AES-128 substrate.
+
+use ppann_softaes::{decrypt_f64_vector, encrypt_f64_vector, Aes128, AesCtr};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Block encryption round-trips for arbitrary keys and blocks.
+    #[test]
+    fn block_roundtrip(key in any::<[u8; 16]>(), block in any::<[u8; 16]>()) {
+        let aes = Aes128::new(&key);
+        prop_assert_eq!(aes.decrypt_block(&aes.encrypt_block(&block)), block);
+    }
+
+    /// Encryption is a permutation: distinct blocks map to distinct outputs.
+    #[test]
+    fn injective(key in any::<[u8; 16]>(), a in any::<[u8; 16]>(), b in any::<[u8; 16]>()) {
+        prop_assume!(a != b);
+        let aes = Aes128::new(&key);
+        prop_assert_ne!(aes.encrypt_block(&a), aes.encrypt_block(&b));
+    }
+
+    /// CTR round-trips for arbitrary lengths and nonces.
+    #[test]
+    fn ctr_roundtrip(key in any::<[u8; 16]>(), nonce in any::<u64>(), msg in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let ctr = AesCtr::new(&key);
+        prop_assert_eq!(ctr.decrypt(nonce, &ctr.encrypt(nonce, &msg)), msg);
+    }
+
+    /// f64 vector encryption round-trips exactly (bit-for-bit).
+    #[test]
+    fn vector_roundtrip(key in any::<[u8; 16]>(), id in any::<u64>(), v in proptest::collection::vec(-1e12f64..1e12, 0..64)) {
+        let ctr = AesCtr::new(&key);
+        let ct = encrypt_f64_vector(&ctr, id, &v);
+        prop_assert_eq!(decrypt_f64_vector(&ctr, id, &ct), v);
+    }
+}

@@ -1,0 +1,105 @@
+//! A miniature Figure 7: the full PP-ANNS scheme against RS-SANN, PACM-ANN
+//! and PRI-ANN on one small workload, printing recall, throughput and
+//! communication per query.
+//!
+//! ```text
+//! cargo run --release --example baseline_faceoff
+//! ```
+
+use ppanns::baselines::pacm_ann::{PacmAnn, PacmAnnParams};
+use ppanns::baselines::pri_ann::{PriAnn, PriAnnParams};
+use ppanns::baselines::rs_sann::{RsSann, RsSannParams};
+use ppanns::core::{CloudServer, DataOwner, PpAnnParams, SearchParams};
+use ppanns::datasets::{recall_at_k, DatasetProfile, Workload};
+use ppanns::hnsw::HnswParams;
+use ppanns::lsh::LshParams;
+use std::time::Instant;
+
+fn main() {
+    let profile = DatasetProfile::SiftLike;
+    let w = Workload::generate(profile, 2_000, 8, 17);
+    let k = 10;
+    let truth = w.ground_truth(k);
+    println!("workload: {} x {}-d, {} queries\n", w.base().len(), w.dim(), w.queries().len());
+    println!("{:<14} {:>9} {:>12} {:>14}", "method", "recall", "QPS", "comm KB/query");
+
+    // PP-ANNS (ours).
+    let owner = DataOwner::setup(
+        PpAnnParams::new(w.dim()).with_beta(profile.default_beta()).with_seed(5),
+        w.base(),
+    );
+    let server = CloudServer::new(owner.outsource(w.base()));
+    let mut user = owner.authorize_user();
+    let encs: Vec<_> = w.queries().iter().map(|q| user.encrypt_query(q, k)).collect();
+    let started = Instant::now();
+    let mut recall = 0.0;
+    let mut comm = 0u64;
+    for (enc, t) in encs.iter().zip(&truth) {
+        let out = server.search(enc, &SearchParams::from_ratio(k, 16, 160));
+        recall += recall_at_k(t, &out.ids);
+        comm += out.cost.total_bytes();
+    }
+    print_row("PP-ANNS", recall, &truth, started, comm);
+
+    // RS-SANN.
+    let rs = RsSann::setup(
+        RsSannParams { dim: w.dim(), lsh: LshParams::tuned(8, 16, 1, w.base()), max_candidates: 600 },
+        [7u8; 16],
+        w.base(),
+    );
+    let started = Instant::now();
+    let (mut recall, mut comm) = (0.0, 0u64);
+    for (qi, t) in truth.iter().enumerate() {
+        let out = rs.search(&w.queries()[qi], k);
+        recall += recall_at_k(t, &out.ids);
+        comm += out.cost.total_bytes();
+    }
+    print_row("RS-SANN", recall, &truth, started, comm);
+
+    // PACM-ANN.
+    let pacm = PacmAnn::setup(
+        PacmAnnParams { dim: w.dim(), graph: HnswParams::default(), beam: 4, max_rounds: 8, seed: 2 },
+        w.base(),
+    );
+    let started = Instant::now();
+    let (mut recall, mut comm) = (0.0, 0u64);
+    for (qi, t) in truth.iter().enumerate() {
+        let out = pacm.search(&w.queries()[qi], k, qi as u64);
+        recall += recall_at_k(t, &out.ids);
+        comm += out.cost.total_bytes();
+    }
+    print_row("PACM-ANN", recall, &truth, started, comm);
+
+    // PRI-ANN.
+    let pri = PriAnn::setup(
+        PriAnnParams {
+            dim: w.dim(),
+            lsh: LshParams::tuned(8, 16, 3, w.base()),
+            bucket_capacity: 32,
+            max_candidates: 128,
+            seed: 3,
+        },
+        w.base(),
+    );
+    let started = Instant::now();
+    let (mut recall, mut comm) = (0.0, 0u64);
+    for (qi, t) in truth.iter().enumerate() {
+        let out = pri.search(&w.queries()[qi], k, qi as u64);
+        recall += recall_at_k(t, &out.ids);
+        comm += out.cost.total_bytes();
+    }
+    print_row("PRI-ANN", recall, &truth, started, comm);
+
+    println!("\n(the gap mirrors the paper's Figure 7: PIR scans and bulk downloads vs one cheap round)");
+}
+
+fn print_row(name: &str, recall_sum: f64, truth: &[Vec<u32>], started: Instant, comm: u64) {
+    let n = truth.len() as f64;
+    println!(
+        "{:<14} {:>9.3} {:>12.1} {:>14.1}",
+        name,
+        recall_sum / n,
+        n / started.elapsed().as_secs_f64(),
+        comm as f64 / n / 1024.0
+    );
+}

@@ -1,0 +1,36 @@
+//! Server snapshots: persist the encrypted database (SAP ciphertexts + HNSW
+//! graph + DCE ciphertexts) to disk and restore it in a fresh process, with
+//! bit-identical search results — the operational path for cloud restarts.
+//!
+//! ```text
+//! cargo run --release --example encrypted_persistence
+//! ```
+
+use ppanns::core::{CloudServer, DataOwner, EncryptedDatabase, PpAnnParams, SearchParams};
+use ppanns::datasets::{DatasetProfile, Workload};
+
+fn main() {
+    let w = Workload::generate(DatasetProfile::DeepLike, 2_000, 5, 23);
+    let owner = DataOwner::setup(
+        PpAnnParams::new(w.dim()).with_beta(DatasetProfile::DeepLike.default_beta()).with_seed(9),
+        w.base(),
+    );
+    let db = owner.outsource(w.base());
+    let path = std::env::temp_dir().join("ppanns_example_snapshot.bin");
+    db.save_to(&path).expect("snapshot write");
+    let bytes = std::fs::metadata(&path).expect("stat").len();
+    println!("snapshot: {} vectors -> {:.1} MiB at {}", db.len(), bytes as f64 / (1 << 20) as f64, path.display());
+
+    let restored = EncryptedDatabase::load_from(&path).expect("snapshot read");
+    let server_a = CloudServer::new(db);
+    let server_b = CloudServer::new(restored);
+    let mut user = owner.authorize_user();
+    for q in w.queries() {
+        let enc = user.encrypt_query(q, 5);
+        let params = SearchParams::from_ratio(5, 16, 100);
+        let (a, b) = (server_a.search(&enc, &params), server_b.search(&enc, &params));
+        assert_eq!(a.ids, b.ids, "restored server must answer identically");
+    }
+    println!("restored server answers all queries identically — snapshot verified");
+    std::fs::remove_file(&path).ok();
+}

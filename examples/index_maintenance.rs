@@ -1,0 +1,59 @@
+//! Index maintenance (paper Section V-D): inserting new vectors (owner
+//! encrypts, server wires the graph) and deleting old ones (server-only,
+//! with in-neighbor repair) — while search keeps working throughout.
+//!
+//! ```text
+//! cargo run --release --example index_maintenance
+//! ```
+
+use ppanns::core::{CloudServer, DataOwner, PpAnnParams, SearchParams};
+use ppanns::datasets::{DatasetProfile, Workload};
+
+fn main() {
+    let workload = Workload::generate(DatasetProfile::GloveLike, 2_000, 10, 13);
+    let k = 5;
+    let params = PpAnnParams::new(workload.dim())
+        .with_beta(DatasetProfile::GloveLike.default_beta())
+        .with_seed(3);
+    let owner = DataOwner::setup(params, workload.base());
+    let mut server = CloudServer::new(owner.outsource(workload.base()));
+    let mut user = owner.authorize_user();
+
+    // Baseline query.
+    let probe = workload.queries()[0].clone();
+    let before = server.search(&user.encrypt_query(&probe, k), &SearchParams::from_ratio(k, 16, 120));
+    println!("before maintenance: top-{k} = {:?}", before.ids);
+
+    // Insert: the owner encrypts a vector very close to the probe; the
+    // server wires it into the HNSW graph (Section V-D insertion).
+    let near_probe: Vec<f64> = probe.iter().map(|x| x + 1e-3).collect();
+    let (c_sap, c_dce) = owner.encrypt_for_insert(&near_probe, 0xFEED);
+    let new_id = server.insert(c_sap, c_dce);
+    let after_insert =
+        server.search(&user.encrypt_query(&probe, k), &SearchParams::from_ratio(k, 16, 120));
+    println!("after insert of id {new_id}: top-{k} = {:?}", after_insert.ids);
+    assert_eq!(after_insert.ids[0], new_id, "the inserted near-duplicate must rank first");
+
+    // Delete: server-side only, repairing the in-neighbors of the victim.
+    server.delete(new_id);
+    let after_delete =
+        server.search(&user.encrypt_query(&probe, k), &SearchParams::from_ratio(k, 16, 120));
+    println!("after delete of id {new_id}: top-{k} = {:?}", after_delete.ids);
+    assert!(!after_delete.ids.contains(&new_id));
+    assert_eq!(after_delete.ids, before.ids, "deletion restores the original answer");
+
+    // Bulk churn: delete 50 vectors, insert 50 fresh ones, verify liveness.
+    for id in 0..50u32 {
+        server.delete(id);
+    }
+    for i in 0..50 {
+        let v = workload.base()[(100 + i) % workload.base().len()].clone();
+        let (c_sap, c_dce) = owner.encrypt_for_insert(&v, i as u64);
+        server.insert(c_sap, c_dce);
+    }
+    let out = server.search(&user.encrypt_query(&probe, k), &SearchParams::from_ratio(k, 16, 120));
+    println!("after churn (50 deletes + 50 inserts): top-{k} = {:?}", out.ids);
+    assert_eq!(out.ids.len(), k);
+    assert!(out.ids.iter().all(|&id| id >= 50), "deleted ids must not resurface");
+    println!("maintenance OK: {} live vectors", server.len());
+}

@@ -1,0 +1,42 @@
+//! Quickstart: outsource an encrypted vector database and run private k-ANN
+//! queries against it.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use ppanns::core::{CloudServer, DataOwner, PpAnnParams, SearchParams};
+use ppanns::datasets::{recall_at_k, DatasetProfile, Workload};
+use ppanns::hnsw::HnswParams;
+
+fn main() {
+    // 1. A workload shaped like SIFT descriptors (128-d, clustered).
+    let workload = Workload::generate(DatasetProfile::SiftLike, 5_000, 20, 7);
+    println!("database: {} vectors, {} dims", workload.base().len(), workload.dim());
+
+    // 2. Data owner: generate keys, encrypt under SAP (index) + DCE (refine),
+    //    build the privacy-preserving index, ship everything to the cloud.
+    let params = PpAnnParams::new(workload.dim())
+        .with_beta(DatasetProfile::SiftLike.default_beta())
+        .with_hnsw(HnswParams::default())
+        .with_seed(42);
+    let owner = DataOwner::setup(params, workload.base());
+    let server = CloudServer::new(owner.outsource(workload.base()));
+    println!("outsourced: {} encrypted vectors (SAP + DCE) + HNSW index", server.len());
+
+    // 3. Authorized user: one encrypted message per query.
+    let mut user = owner.authorize_user();
+    let k = 10;
+    let truth = workload.ground_truth(k);
+
+    let mut total_recall = 0.0;
+    for (q, t) in workload.queries().iter().zip(&truth) {
+        let enc = user.encrypt_query(q, k);
+        let out = server.search(&enc, &SearchParams::from_ratio(k, 16, 160));
+        total_recall += recall_at_k(t, &out.ids);
+    }
+    let recall = total_recall / workload.queries().len() as f64;
+    println!("mean Recall@{k} over {} queries: {recall:.3}", workload.queries().len());
+    println!("(server never saw a plaintext vector, query, or distance value)");
+    assert!(recall > 0.8, "unexpectedly low recall");
+}

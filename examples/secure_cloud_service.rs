@@ -1,0 +1,85 @@
+//! Three-party deployment simulation: data owner, query users and the cloud
+//! server run on separate threads and communicate only through channels —
+//! exactly the message pattern of the paper's Figure 1 (one request up, one
+//! id list down, no other interaction).
+//!
+//! ```text
+//! cargo run --release --example secure_cloud_service
+//! ```
+
+use crossbeam::channel;
+use ppanns::core::{
+    CloudServer, DataOwner, EncryptedQuery, PpAnnParams, SearchParams, SharedServer,
+};
+use ppanns::datasets::{DatasetProfile, Workload};
+use std::thread;
+
+/// What travels user → cloud: the encrypted query plus a reply channel.
+struct QueryRequest {
+    query: EncryptedQuery,
+    reply: channel::Sender<Vec<u32>>,
+}
+
+fn main() {
+    let workload = Workload::generate(DatasetProfile::DeepLike, 3_000, 12, 11);
+    let k = 5;
+
+    // --- Data owner (its own thread): encrypts and outsources.
+    let params = PpAnnParams::new(workload.dim())
+        .with_beta(DatasetProfile::DeepLike.default_beta())
+        .with_seed(1);
+    let owner = DataOwner::setup(params, workload.base());
+    let encrypted_db = {
+        let base = workload.base().to_vec();
+        let owner_ref = &owner;
+        thread::scope(|s| s.spawn(move || owner_ref.outsource(&base)).join().unwrap())
+    };
+    println!("[owner ] outsourced {} encrypted vectors", encrypted_db.len());
+
+    // --- Cloud server thread: serves queries from a channel.
+    let shared = SharedServer::new(CloudServer::new(encrypted_db));
+    let (tx, rx) = channel::unbounded::<QueryRequest>();
+    let server_handle = {
+        let shared = shared.clone();
+        thread::spawn(move || {
+            let mut served = 0usize;
+            while let Ok(req) = rx.recv() {
+                let out = shared.search(&req.query, &SearchParams::from_ratio(k, 16, 120));
+                req.reply.send(out.ids).expect("user hung up");
+                served += 1;
+            }
+            served
+        })
+    };
+
+    // --- Two independent users, each on its own thread.
+    let mut user_a = owner.authorize_user();
+    let mut user_b = user_a.fork();
+    let queries = workload.queries().to_vec();
+    let (half_a, half_b) = queries.split_at(queries.len() / 2);
+    thread::scope(|s| {
+        for (name, user, batch) in
+            [("user-A", &mut user_a, half_a), ("user-B", &mut user_b, half_b)]
+        {
+            let tx = tx.clone();
+            s.spawn(move || {
+                for q in batch {
+                    let (reply_tx, reply_rx) = channel::bounded(1);
+                    let enc = user.encrypt_query(q, k);
+                    let up_bytes = enc.upload_bytes();
+                    tx.send(QueryRequest { query: enc, reply: reply_tx }).unwrap();
+                    let ids = reply_rx.recv().unwrap();
+                    println!(
+                        "[{name}] sent {up_bytes} B up, got {} ids ({} B down)",
+                        ids.len(),
+                        4 * ids.len()
+                    );
+                }
+            });
+        }
+    });
+    drop(tx);
+    let served = server_handle.join().unwrap();
+    println!("[cloud ] served {served} queries; shutting down");
+    assert_eq!(served, queries.len());
+}

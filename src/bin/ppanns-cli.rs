@@ -1,0 +1,199 @@
+//! `ppanns` — command-line front end for the PP-ANNS scheme.
+//!
+//! A minimal operational surface over the library: generate synthetic
+//! datasets, set up keys and outsource a database, run encrypted queries,
+//! and grid-search the `k′` knob — each step persisting its artifacts so
+//! the roles (owner / user / server) can live in separate invocations.
+//!
+//! ```text
+//! ppanns-cli gen       --profile sift --n 5000 --queries 50 --base base.fvecs --out-queries q.fvecs
+//! ppanns-cli outsource --base base.fvecs --beta 3.0 --seed 7 --db db.bin --keys keys.bin
+//! ppanns-cli query     --db db.bin --keys keys.bin --queries q.fvecs --k 10 --ratio 16
+//! ppanns-cli tune      --db db.bin --keys keys.bin --base base.fvecs --queries q.fvecs --k 10 --target 0.9
+//! ```
+
+use ppanns::core::tune::{grid_search, TuningGrid};
+use ppanns::core::{CloudServer, DataOwner, EncryptedDatabase, PpAnnParams, SearchParams};
+use ppanns::datasets::io::{read_fvecs, write_fvecs};
+use ppanns::datasets::{brute_force_knn, Dataset, DatasetProfile};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let flags = match parse_flags(rest) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "gen" => cmd_gen(&flags),
+        "outsource" => cmd_outsource(&flags),
+        "query" => cmd_query(&flags),
+        "tune" => cmd_tune(&flags),
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  ppanns-cli gen       --profile <sift|gist|glove|deep> --n <N> --queries <Q> --base <out.fvecs> --out-queries <out.fvecs> [--seed S]
+  ppanns-cli outsource --base <in.fvecs> --db <out.bin> --keys <out.bin> [--beta B] [--seed S]
+  ppanns-cli query     --db <in.bin> --keys <in.bin> --queries <in.fvecs> [--k K] [--ratio R] [--ef E]
+  ppanns-cli tune      --db <in.bin> --keys <in.bin> --base <in.fvecs> --queries <in.fvecs> [--k K] [--target T]";
+
+type Flags = HashMap<String, String>;
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(key) = it.next() {
+        let Some(name) = key.strip_prefix("--") else {
+            return Err(format!("expected --flag, got `{key}`"));
+        };
+        let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
+        flags.insert(name.to_string(), value.clone());
+    }
+    Ok(flags)
+}
+
+fn required<'a>(flags: &'a Flags, name: &str) -> Result<&'a str, String> {
+    flags.get(name).map(String::as_str).ok_or_else(|| format!("missing --{name}"))
+}
+
+fn parse_or<T: std::str::FromStr>(flags: &Flags, name: &str, default: T) -> Result<T, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("--{name}: cannot parse `{v}`")),
+    }
+}
+
+fn cmd_gen(flags: &Flags) -> Result<(), String> {
+    let profile = match required(flags, "profile")? {
+        "sift" => DatasetProfile::SiftLike,
+        "gist" => DatasetProfile::GistLike,
+        "glove" => DatasetProfile::GloveLike,
+        "deep" => DatasetProfile::DeepLike,
+        other => return Err(format!("unknown profile `{other}`")),
+    };
+    let n: usize = parse_or(flags, "n", 5_000)?;
+    let q: usize = parse_or(flags, "queries", 50)?;
+    let seed: u64 = parse_or(flags, "seed", 42)?;
+    let base_path = PathBuf::from(required(flags, "base")?);
+    let queries_path = PathBuf::from(required(flags, "out-queries")?);
+    let ds = Dataset::generate(profile, n, q, seed);
+    write_fvecs(&base_path, &ds.base).map_err(|e| e.to_string())?;
+    write_fvecs(&queries_path, &ds.queries).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} base vectors -> {} and {} queries -> {} ({}d, profile {})",
+        n,
+        base_path.display(),
+        q,
+        queries_path.display(),
+        profile.dim(),
+        profile.name()
+    );
+    Ok(())
+}
+
+fn load_base(flags: &Flags) -> Result<Vec<Vec<f64>>, String> {
+    let path = PathBuf::from(required(flags, "base")?);
+    read_fvecs(&path, None).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn cmd_outsource(flags: &Flags) -> Result<(), String> {
+    let base = load_base(flags)?;
+    if base.is_empty() {
+        return Err("base file holds no vectors".into());
+    }
+    let dim = base[0].len();
+    let beta: f64 = parse_or(flags, "beta", 1.0)?;
+    let seed: u64 = parse_or(flags, "seed", 7)?;
+    let db_path = PathBuf::from(required(flags, "db")?);
+    let keys_path = PathBuf::from(required(flags, "keys")?);
+
+    let owner = DataOwner::setup(PpAnnParams::new(dim).with_beta(beta).with_seed(seed), &base);
+    let db = owner.outsource(&base);
+    db.save_to(&db_path).map_err(|e| e.to_string())?;
+    owner.save_keys(&keys_path).map_err(|e| e.to_string())?;
+    println!(
+        "outsourced {} vectors ({dim}d, beta {beta}) -> {} ; keys -> {}",
+        db.len(),
+        db_path.display(),
+        keys_path.display()
+    );
+    Ok(())
+}
+
+fn load_server_and_owner(flags: &Flags) -> Result<(CloudServer, DataOwner), String> {
+    let db_path = PathBuf::from(required(flags, "db")?);
+    let keys_path = PathBuf::from(required(flags, "keys")?);
+    let db = EncryptedDatabase::load_from(Path::new(&db_path)).map_err(|e| e.to_string())?;
+    let owner = DataOwner::load_keys(Path::new(&keys_path)).map_err(|e| e.to_string())?;
+    Ok((CloudServer::new(db), owner))
+}
+
+fn cmd_query(flags: &Flags) -> Result<(), String> {
+    let (server, owner) = load_server_and_owner(flags)?;
+    let queries_path = PathBuf::from(required(flags, "queries")?);
+    let queries = read_fvecs(&queries_path, None).map_err(|e| e.to_string())?;
+    let k: usize = parse_or(flags, "k", 10)?;
+    let ratio: usize = parse_or(flags, "ratio", 16)?;
+    let ef: usize = parse_or(flags, "ef", 160)?;
+    let mut user = owner.authorize_user();
+    let params = SearchParams::from_ratio(k, ratio, ef.max(k * ratio));
+    let started = std::time::Instant::now();
+    for (i, q) in queries.iter().enumerate() {
+        let enc = user.encrypt_query(q, k);
+        let out = server.search(&enc, &params);
+        println!("query {i}: {:?}", out.ids);
+    }
+    let secs = started.elapsed().as_secs_f64();
+    println!(
+        "{} queries in {:.3}s ({:.1} QPS, single-threaded)",
+        queries.len(),
+        secs,
+        queries.len() as f64 / secs.max(1e-12)
+    );
+    Ok(())
+}
+
+fn cmd_tune(flags: &Flags) -> Result<(), String> {
+    let (server, owner) = load_server_and_owner(flags)?;
+    let base = load_base(flags)?;
+    let queries_path = PathBuf::from(required(flags, "queries")?);
+    let queries = read_fvecs(&queries_path, None).map_err(|e| e.to_string())?;
+    let k: usize = parse_or(flags, "k", 10)?;
+    let target: f64 = parse_or(flags, "target", 0.9)?;
+    let truth = brute_force_knn(&base, &queries, k);
+    let mut user = owner.authorize_user();
+    let outcome =
+        grid_search(&server, &mut user, &queries, &truth, k, target, &TuningGrid::default());
+    match outcome.best {
+        Some(best) => println!(
+            "best config for recall >= {target}: k'={} efSearch={} (recall {:.3}, {:.1} QPS)",
+            best.params.k_prime, best.params.ef_search, best.recall, best.qps
+        ),
+        None => println!("no configuration on the grid reaches recall {target}"),
+    }
+    for p in &outcome.evaluated {
+        println!(
+            "  k'={:>5} ef={:>5} recall={:.3} qps={:.1}",
+            p.params.k_prime, p.params.ef_search, p.recall, p.qps
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! # ppanns — Privacy-Preserving Approximate Nearest Neighbor Search
+//!
+//! A comprehensive Rust reproduction of *"Privacy-Preserving Approximate
+//! Nearest Neighbor Search on High-Dimensional Data"* (ICDE 2025): a
+//! single-server, non-interactive PP-ANNS scheme built from **Distance
+//! Comparison Encryption** (DCE — exact secure comparisons at O(d)) and a
+//! **privacy-preserving index** (HNSW over DCPE/SAP ciphertexts), searched
+//! with a filter-and-refine strategy.
+//!
+//! This facade crate re-exports the whole workspace under stable module
+//! names; see each crate's documentation for details, `DESIGN.md` for the
+//! system inventory and `EXPERIMENTS.md` for the paper-vs-measured record.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ppanns::core::{CloudServer, DataOwner, PpAnnParams, SearchParams};
+//! use ppanns::linalg::{seeded_rng, uniform_vec};
+//!
+//! // The data owner encrypts a database and outsources it to the cloud.
+//! let mut rng = seeded_rng(1);
+//! let data: Vec<Vec<f64>> = (0..500).map(|_| uniform_vec(&mut rng, 16, -1.0, 1.0)).collect();
+//! let owner = DataOwner::setup(PpAnnParams::new(16).with_beta(0.5), &data);
+//! let server = CloudServer::new(owner.outsource(&data));
+//!
+//! // An authorized user queries with one message; the server answers with
+//! // k ids, never seeing a plaintext vector or distance.
+//! let mut user = owner.authorize_user();
+//! let query = user.encrypt_query(&data[7], 10);
+//! let outcome = server.search(&query, &SearchParams::from_ratio(10, 8, 120));
+//! assert_eq!(outcome.ids.len(), 10);
+//! assert!(outcome.ids.contains(&7));
+//! ```
+//!
+//! ## Workspace map
+//!
+//! | Module | Crate | Contents |
+//! |--------|-------|----------|
+//! | [`core`] | `ppann-core` | the PP-ANNS scheme (owner / user / server, Algorithm 2) |
+//! | [`dce`] | `ppann-dce` | Distance Comparison Encryption (paper Section IV) |
+//! | [`dcpe`] | `ppann-dcpe` | DCPE / Scale-and-Perturb (Section III-B) |
+//! | [`hnsw`] | `ppann-hnsw` | HNSW proximity graph, built from scratch |
+//! | [`aspe`] | `ppann-aspe` | ASPE variants + the KPA attacks of Section III-A |
+//! | [`ame`] | `ppann-ame` | AME baseline (Section III-C reconstruction) |
+//! | [`lsh`] | `ppann-lsh` | E2LSH substrate |
+//! | [`softaes`] | `ppann-softaes` | AES-128 + CTR substrate |
+//! | [`pir`] | `ppann-pir` | two-server XOR PIR substrate |
+//! | [`baselines`] | `ppann-baselines` | RS-SANN, PACM-ANN, PRI-ANN, HNSW-AME |
+//! | [`datasets`] | `ppann-datasets` | synthetic workloads, ground truth, metrics, fvecs IO |
+//! | [`linalg`] | `ppann-linalg` | dense linear algebra + RNG substrate |
+
+pub use ppann_ame as ame;
+pub use ppann_aspe as aspe;
+pub use ppann_baselines as baselines;
+pub use ppann_core as core;
+pub use ppann_datasets as datasets;
+pub use ppann_dce as dce;
+pub use ppann_dcpe as dcpe;
+pub use ppann_hnsw as hnsw;
+pub use ppann_linalg as linalg;
+pub use ppann_lsh as lsh;
+pub use ppann_pir as pir;
+pub use ppann_softaes as softaes;
+
+/// Crate version, exposed for diagnostics.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");

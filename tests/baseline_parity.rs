@@ -1,0 +1,122 @@
+//! Cross-system integration: every baseline and the main scheme answer the
+//! same workload; sanity-check their relative accuracy and cost ordering
+//! (the qualitative content of Figures 7 and 9).
+
+use ppanns::baselines::pacm_ann::{PacmAnn, PacmAnnParams};
+use ppanns::baselines::pri_ann::{PriAnn, PriAnnParams};
+use ppanns::baselines::rs_sann::{RsSann, RsSannParams};
+use ppanns::core::{CloudServer, DataOwner, PpAnnParams, SearchParams};
+use ppanns::datasets::{recall_at_k, DatasetProfile, Workload};
+use ppanns::hnsw::HnswParams;
+use ppanns::lsh::LshParams;
+
+fn workload() -> (Workload, Vec<Vec<u32>>) {
+    let w = Workload::generate(DatasetProfile::SiftLike, 800, 6, 71);
+    let t = w.ground_truth(10);
+    (w, t)
+}
+
+#[test]
+fn all_systems_reach_reasonable_recall() {
+    let (w, truth) = workload();
+    let k = 10;
+
+    // Ours.
+    let owner = DataOwner::setup(
+        PpAnnParams::new(w.dim()).with_beta(DatasetProfile::SiftLike.default_beta()).with_seed(1),
+        w.base(),
+    );
+    let server = CloudServer::new(owner.outsource(w.base()));
+    let mut user = owner.authorize_user();
+    let mut ours = 0.0;
+    for (q, t) in w.queries().iter().zip(&truth) {
+        ours += recall_at_k(
+            t,
+            &server.search(&user.encrypt_query(q, k), &SearchParams::from_ratio(k, 32, 320)).ids,
+        );
+    }
+    ours /= truth.len() as f64;
+
+    // RS-SANN.
+    let rs = RsSann::setup(
+        RsSannParams { dim: w.dim(), lsh: LshParams::tuned(8, 24, 1, w.base()), max_candidates: 500 },
+        [1u8; 16],
+        w.base(),
+    );
+    let mut rs_recall = 0.0;
+    for (qi, t) in truth.iter().enumerate() {
+        rs_recall += recall_at_k(t, &rs.search(&w.queries()[qi], k).ids);
+    }
+    rs_recall /= truth.len() as f64;
+
+    // PACM-ANN.
+    let pacm = PacmAnn::setup(
+        PacmAnnParams { dim: w.dim(), graph: HnswParams::default(), beam: 6, max_rounds: 10, seed: 2 },
+        w.base(),
+    );
+    let mut pacm_recall = 0.0;
+    for (qi, t) in truth.iter().enumerate() {
+        pacm_recall += recall_at_k(t, &pacm.search(&w.queries()[qi], k, qi as u64).ids);
+    }
+    pacm_recall /= truth.len() as f64;
+
+    // PRI-ANN.
+    let pri = PriAnn::setup(
+        PriAnnParams {
+            dim: w.dim(),
+            lsh: LshParams::tuned(8, 24, 3, w.base()),
+            bucket_capacity: 48,
+            max_candidates: 300,
+            seed: 3,
+        },
+        w.base(),
+    );
+    let mut pri_recall = 0.0;
+    for (qi, t) in truth.iter().enumerate() {
+        pri_recall += recall_at_k(t, &pri.search(&w.queries()[qi], k, qi as u64).ids);
+    }
+    pri_recall /= truth.len() as f64;
+
+    assert!(ours > 0.9, "ours {ours}");
+    assert!(rs_recall > 0.5, "rs-sann {rs_recall}");
+    assert!(pacm_recall > 0.5, "pacm-ann {pacm_recall}");
+    assert!(pri_recall > 0.5, "pri-ann {pri_recall}");
+}
+
+#[test]
+fn pir_baselines_pay_linear_server_scans() {
+    let (w, _) = workload();
+    let pri = PriAnn::setup(
+        PriAnnParams {
+            dim: w.dim(),
+            lsh: LshParams::tuned(8, 8, 3, w.base()),
+            bucket_capacity: 32,
+            max_candidates: 64,
+            seed: 3,
+        },
+        w.base(),
+    );
+    let out = pri.search(&w.queries()[0], 10, 0);
+    // PIR masks alone exceed our scheme's entire upstream message.
+    let ours_upload = (8 * w.dim() + 8 * (2 * w.dim() + 16) + 8) as u64;
+    assert!(
+        out.cost.bytes_up > ours_upload,
+        "PIR upload {} should exceed ours {}",
+        out.cost.bytes_up,
+        ours_upload
+    );
+    assert!(out.cost.rounds >= 2);
+}
+
+#[test]
+fn rs_sann_downloads_dwarf_ours() {
+    let (w, _) = workload();
+    let rs = RsSann::setup(
+        RsSannParams { dim: w.dim(), lsh: LshParams::tuned(8, 16, 1, w.base()), max_candidates: 400 },
+        [1u8; 16],
+        w.base(),
+    );
+    let out = rs.search(&w.queries()[0], 10);
+    // Ours returns 4·k bytes; RS-SANN returns whole candidate ciphertexts.
+    assert!(out.cost.bytes_down > 40 * 100, "download {}", out.cost.bytes_down);
+}

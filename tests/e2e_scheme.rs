@@ -1,0 +1,129 @@
+//! End-to-end integration tests of the full PP-ANNS scheme across crates:
+//! owner → cloud → user flows, exactness guarantees, and the paper's
+//! headline accuracy property (refinement recovers what the noisy filter
+//! loses).
+
+use ppanns::core::{CloudServer, DataOwner, PpAnnParams, SearchParams};
+use ppanns::datasets::{recall_at_k, DatasetProfile, Workload};
+
+/// With β = 0 (noiseless filter) and a generous beam, the secure pipeline
+/// must return *exactly* the true top-k in the true order — DCE comparisons
+/// are exact (Theorem 3), so nothing is approximate but HNSW itself.
+#[test]
+fn noiseless_scheme_matches_ground_truth_order() {
+    let w = Workload::generate(DatasetProfile::DeepLike, 1_000, 20, 31);
+    let k = 10;
+    let truth = w.ground_truth(k);
+    let owner = DataOwner::setup(PpAnnParams::new(w.dim()).with_beta(0.0).with_seed(1), w.base());
+    let server = CloudServer::new(owner.outsource(w.base()));
+    let mut user = owner.authorize_user();
+    let mut exact_matches = 0;
+    for (q, t) in w.queries().iter().zip(&truth) {
+        let out = server.search(&user.encrypt_query(q, k), &SearchParams::from_ratio(k, 8, 200));
+        if out.ids == *t {
+            exact_matches += 1;
+        }
+    }
+    // HNSW itself may miss occasionally; demand near-perfect agreement.
+    assert!(exact_matches >= 18, "only {exact_matches}/20 queries matched exactly");
+}
+
+/// The paper's central accuracy claim: with the calibrated β (filter-only
+/// recall ≈ 0.5), raising Ratio_k recovers high recall through the exact
+/// refine phase.
+#[test]
+fn refinement_recovers_recall_lost_to_index_noise() {
+    let profile = DatasetProfile::SiftLike;
+    let w = Workload::generate(profile, 3_000, 25, 37);
+    let k = 10;
+    let truth = w.ground_truth(k);
+    let owner = DataOwner::setup(
+        PpAnnParams::new(w.dim()).with_beta(profile.default_beta()).with_seed(2),
+        w.base(),
+    );
+    let server = CloudServer::new(owner.outsource(w.base()));
+    let mut user = owner.authorize_user();
+
+    let mut recall_at_ratio = |ratio: usize| {
+        let mut sum = 0.0;
+        for (q, t) in w.queries().iter().zip(&truth) {
+            let out = server.search(
+                &user.encrypt_query(q, k),
+                &SearchParams::from_ratio(k, ratio, (k * ratio).max(120)),
+            );
+            sum += recall_at_k(t, &out.ids);
+        }
+        sum / w.queries().len() as f64
+    };
+
+    let low = recall_at_ratio(1);
+    let high = recall_at_ratio(32);
+    assert!(low < 0.75, "ratio 1 should be capped by the noisy filter, got {low}");
+    assert!(high > 0.9, "ratio 32 should recover recall, got {high}");
+    assert!(high > low + 0.2, "refinement gain too small: {low} -> {high}");
+}
+
+/// Results must contain no duplicates, no deleted ids, and exactly k ids
+/// when the database is large enough.
+#[test]
+fn result_set_invariants() {
+    let w = Workload::generate(DatasetProfile::GloveLike, 500, 10, 41);
+    let k = 7;
+    let owner = DataOwner::setup(PpAnnParams::new(w.dim()).with_beta(1.0).with_seed(3), w.base());
+    let mut server = CloudServer::new(owner.outsource(w.base()));
+    for id in [1u32, 5, 9] {
+        server.delete(id);
+    }
+    let mut user = owner.authorize_user();
+    for q in w.queries() {
+        let out = server.search(&user.encrypt_query(q, k), &SearchParams::from_ratio(k, 8, 80));
+        assert_eq!(out.ids.len(), k);
+        let mut dedup = out.ids.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), k, "duplicate ids in result");
+        assert!(!out.ids.iter().any(|id| [1u32, 5, 9].contains(id)), "deleted id returned");
+    }
+}
+
+/// The non-interactive property (P3): one upstream message, one downstream
+/// message, sizes matching the analysis of Section V-C.
+#[test]
+fn communication_matches_cost_analysis() {
+    let w = Workload::generate(DatasetProfile::SiftLike, 300, 3, 43);
+    let d = w.dim();
+    let owner = DataOwner::setup(PpAnnParams::new(d).with_seed(4), w.base());
+    let server = CloudServer::new(owner.outsource(w.base()));
+    let mut user = owner.authorize_user();
+    let k = 10;
+    let enc = user.encrypt_query(&w.queries()[0], k);
+    // Upstream: 8d (SAP) + 8(2d+16) (trapdoor) + 8 (k).
+    assert_eq!(enc.upload_bytes(), (8 * d + 8 * (2 * d + 16) + 8) as u64);
+    let out = server.search(&enc, &SearchParams::from_ratio(k, 4, 60));
+    // Downstream: 4 bytes per returned id.
+    assert_eq!(out.cost.bytes_down, 4 * out.ids.len() as u64);
+}
+
+/// Differently seeded schemes over the same data must produce different
+/// ciphertexts (fresh keys) yet equally accurate results.
+#[test]
+fn independent_keys_same_accuracy() {
+    let w = Workload::generate(DatasetProfile::DeepLike, 800, 10, 47);
+    let k = 5;
+    let truth = w.ground_truth(k);
+    let mut recalls = Vec::new();
+    for seed in [100u64, 200] {
+        let owner =
+            DataOwner::setup(PpAnnParams::new(w.dim()).with_beta(0.5).with_seed(seed), w.base());
+        let server = CloudServer::new(owner.outsource(w.base()));
+        let mut user = owner.authorize_user();
+        let mut sum = 0.0;
+        for (q, t) in w.queries().iter().zip(&truth) {
+            let out =
+                server.search(&user.encrypt_query(q, k), &SearchParams::from_ratio(k, 16, 100));
+            sum += recall_at_k(t, &out.ids);
+        }
+        recalls.push(sum / w.queries().len() as f64);
+    }
+    assert!(recalls.iter().all(|r| *r > 0.85), "recalls {recalls:?}");
+}

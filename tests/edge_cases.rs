@@ -1,0 +1,114 @@
+//! Cross-crate edge-case battery: inputs at the boundaries of every public
+//! API (dimension 1, k = n, duplicate vectors, extreme coordinates,
+//! adversarial parameter combinations).
+
+use ppanns::core::{CloudServer, DataOwner, PpAnnParams, SearchParams};
+use ppanns::datasets::{brute_force_knn, percentile};
+use ppanns::dce::{distance_comp, DceSecretKey};
+use ppanns::hnsw::{Hnsw, HnswParams};
+use ppanns::linalg::{seeded_rng, uniform_vec, vector};
+
+#[test]
+fn one_dimensional_scheme_works() {
+    let data: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64]).collect();
+    let owner = DataOwner::setup(PpAnnParams::new(1).with_beta(0.0).with_seed(1), &data);
+    let server = CloudServer::new(owner.outsource(&data));
+    let mut user = owner.authorize_user();
+    let out = server.search(&user.encrypt_query(&[20.2], 3), &SearchParams::from_ratio(3, 8, 30));
+    assert_eq!(out.ids, vec![20, 21, 19]);
+}
+
+#[test]
+fn duplicate_vectors_all_returned() {
+    let mut data: Vec<Vec<f64>> = vec![vec![5.0, 5.0]; 5];
+    data.extend((0..45).map(|i| vec![i as f64, -(i as f64)]));
+    let owner = DataOwner::setup(PpAnnParams::new(2).with_beta(0.0).with_seed(2), &data);
+    let server = CloudServer::new(owner.outsource(&data));
+    let mut user = owner.authorize_user();
+    let out =
+        server.search(&user.encrypt_query(&[5.0, 5.0], 5), &SearchParams::from_ratio(5, 8, 40));
+    let mut got = out.ids.clone();
+    got.sort_unstable();
+    assert_eq!(got, vec![0, 1, 2, 3, 4], "all duplicates must be found");
+}
+
+#[test]
+fn extreme_coordinate_magnitudes_stay_exact() {
+    // The owner's normalization must keep DCE exact even for large inputs.
+    let mut rng = seeded_rng(3);
+    let data: Vec<Vec<f64>> = (0..100).map(|_| uniform_vec(&mut rng, 8, -1e6, 1e6)).collect();
+    let owner = DataOwner::setup(PpAnnParams::new(8).with_beta(0.0).with_seed(3), &data);
+    let server = CloudServer::new(owner.outsource(&data));
+    let mut user = owner.authorize_user();
+    let truth = brute_force_knn(&data, &data[..10].to_vec(), 5);
+    for (qi, t) in truth.iter().enumerate() {
+        let out = server
+            .search(&user.encrypt_query(&data[qi], 5), &SearchParams::from_ratio(5, 16, 80));
+        assert_eq!(&out.ids, t, "query {qi}");
+    }
+}
+
+#[test]
+fn dce_handles_zero_vectors() {
+    let mut rng = seeded_rng(4);
+    let sk = DceSecretKey::generate(6, &mut rng);
+    let zero = vec![0.0; 6];
+    let far = vec![1.0; 6];
+    let near = vec![0.1; 6];
+    let t = sk.trapdoor(&zero, &mut rng);
+    let z = distance_comp(&sk.encrypt(&near, &mut rng), &sk.encrypt(&far, &mut rng), &t);
+    assert!(z < 0.0, "near-zero vector must compare closer to the zero query");
+    // Zero query, zero data: reflexive comparison ~ 0.
+    let z = distance_comp(&sk.encrypt(&zero, &mut rng), &sk.encrypt(&zero, &mut rng), &t);
+    assert!(z.abs() < 1e-9);
+}
+
+#[test]
+fn hnsw_identical_points_and_tiny_ef() {
+    let pts = vec![vec![1.0, 1.0]; 10];
+    let index = Hnsw::build(2, HnswParams::default(), &pts);
+    let hits = index.search(&[1.0, 1.0], 3, 1);
+    assert_eq!(hits.len(), 3);
+    assert!(hits.iter().all(|h| h.dist == 0.0));
+}
+
+#[test]
+fn search_params_ratio_overflow_safe() {
+    let params = SearchParams::from_ratio(10, 1000, 50);
+    assert_eq!(params.k_prime, 10_000);
+    assert_eq!(params.ef_search, 50); // the server clamps ef >= k' at use
+}
+
+#[test]
+fn percentile_handles_singletons_and_extremes() {
+    assert_eq!(percentile(&[7.0], 0.5), 7.0);
+    assert_eq!(percentile(&[7.0], 0.0), 7.0);
+    assert_eq!(percentile(&[7.0], 1.0), 7.0);
+}
+
+#[test]
+fn normalization_is_order_preserving() {
+    // Normalizing by max|coordinate| must not change neighbor order —
+    // verified against the unnormalized brute force.
+    let mut rng = seeded_rng(5);
+    let data: Vec<Vec<f64>> = (0..200).map(|_| uniform_vec(&mut rng, 4, -77.0, 77.0)).collect();
+    let q = uniform_vec(&mut rng, 4, -77.0, 77.0);
+    let max_abs =
+        data.iter().map(|v| vector::max_abs(v)).fold(0.0f64, f64::max).max(vector::max_abs(&q));
+    let scale = 1.0 / max_abs;
+    let truth = brute_force_knn(&data, &[q.clone()], 10);
+    let scaled_data: Vec<Vec<f64>> = data.iter().map(|v| vector::scaled(v, scale)).collect();
+    let scaled_truth = brute_force_knn(&scaled_data, &[vector::scaled(&q, scale)], 10);
+    assert_eq!(truth, scaled_truth);
+}
+
+#[test]
+fn owner_rejects_wrong_dimension_queries() {
+    let data = vec![vec![1.0, 2.0, 3.0]];
+    let owner = DataOwner::setup(PpAnnParams::new(3).with_seed(6), &data);
+    let mut user = owner.authorize_user();
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        user.encrypt_query(&[1.0, 2.0], 1)
+    }));
+    assert!(result.is_err(), "dimension mismatch must be rejected loudly");
+}

@@ -1,0 +1,82 @@
+//! Contract tests between the filter and refine phases, pinning the
+//! interfaces that Algorithm 2 relies on.
+
+use ppanns::core::{CloudServer, DataOwner, PpAnnParams, SearchParams, SecureTopK};
+use ppanns::datasets::{DatasetProfile, Workload};
+use ppanns::dce::DceSecretKey;
+use ppanns::linalg::{seeded_rng, uniform_vec, vector};
+
+/// The refine phase must be a *pure reranking*: its output is a subset of
+/// the filter candidates.
+#[test]
+fn refine_output_is_subset_of_filter_candidates() {
+    let w = Workload::generate(DatasetProfile::GloveLike, 700, 8, 81);
+    let k = 10;
+    let owner = DataOwner::setup(PpAnnParams::new(w.dim()).with_beta(1.0).with_seed(5), w.base());
+    let server = CloudServer::new(owner.outsource(w.base()));
+    let mut user = owner.authorize_user();
+    for q in w.queries() {
+        let enc = user.encrypt_query(q, k);
+        let params = SearchParams::from_ratio(k, 8, 100);
+        let candidates = server.filter_candidates(&enc, &params);
+        let out = server.search(&enc, &params);
+        assert!(out.ids.iter().all(|id| candidates.contains(id)));
+    }
+}
+
+/// Among the filter's candidates, the refine phase must pick the *optimal*
+/// subset — the k candidates truly closest to the query (DCE is exact).
+#[test]
+fn refine_is_optimal_over_its_candidates() {
+    let d = 12;
+    let mut rng = seeded_rng(83);
+    let sk = DceSecretKey::generate(d, &mut rng);
+    let pts: Vec<Vec<f64>> = (0..200).map(|_| uniform_vec(&mut rng, d, -1.0, 1.0)).collect();
+    let cts = sk.encrypt_batch(&pts, 1);
+    let q = uniform_vec(&mut rng, d, -1.0, 1.0);
+    let t = sk.trapdoor(&q, &mut rng);
+
+    // Candidates: an arbitrary subset in arbitrary order.
+    let candidates: Vec<u32> = (0..200).step_by(3).map(|i| i as u32).collect();
+    let mut heap = SecureTopK::new(&t, &cts, 10);
+    for &c in &candidates {
+        heap.offer(c);
+    }
+    let got = heap.into_sorted_ids();
+
+    let mut expected = candidates.clone();
+    expected.sort_by(|&a, &b| {
+        vector::squared_euclidean(&pts[a as usize], &q)
+            .partial_cmp(&vector::squared_euclidean(&pts[b as usize], &q))
+            .unwrap()
+    });
+    assert_eq!(got, expected[..10].to_vec());
+}
+
+/// `k′ < k` requests are clamped: the server still returns k results when
+/// available (Algorithm 2 precondition `k′ > k`).
+#[test]
+fn k_prime_clamped_to_k() {
+    let w = Workload::generate(DatasetProfile::DeepLike, 300, 3, 87);
+    let k = 8;
+    let owner = DataOwner::setup(PpAnnParams::new(w.dim()).with_seed(6), w.base());
+    let server = CloudServer::new(owner.outsource(w.base()));
+    let mut user = owner.authorize_user();
+    let out = server.search(
+        &user.encrypt_query(&w.queries()[0], k),
+        &SearchParams { k_prime: 2, ef_search: 50 },
+    );
+    assert_eq!(out.ids.len(), k);
+}
+
+/// Filter-only mode must never report refine comparisons.
+#[test]
+fn filter_only_reports_zero_sdc() {
+    let w = Workload::generate(DatasetProfile::DeepLike, 300, 3, 89);
+    let owner = DataOwner::setup(PpAnnParams::new(w.dim()).with_seed(7), w.base());
+    let server = CloudServer::new(owner.outsource(w.base()));
+    let mut user = owner.authorize_user();
+    let out = server.search_filter_only(&user.encrypt_query(&w.queries()[0], 5), 60);
+    assert_eq!(out.cost.refine_sdc_comps, 0);
+    assert!(out.cost.filter_dist_comps > 0);
+}

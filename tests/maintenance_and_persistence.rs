@@ -1,0 +1,70 @@
+//! Integration tests for index maintenance (Section V-D) combined with
+//! persistence: churn the index, snapshot it, restore it, keep querying.
+
+use ppanns::core::{CloudServer, DataOwner, EncryptedDatabase, PpAnnParams, SearchParams};
+use ppanns::datasets::{DatasetProfile, Workload};
+
+#[test]
+fn churn_then_snapshot_then_query() {
+    let w = Workload::generate(DatasetProfile::DeepLike, 600, 8, 61);
+    let k = 5;
+    let owner = DataOwner::setup(PpAnnParams::new(w.dim()).with_beta(0.5).with_seed(7), w.base());
+    let mut server = CloudServer::new(owner.outsource(w.base()));
+
+    // Churn: delete every 10th vector, insert 30 fresh ones.
+    for id in (0..600u32).step_by(10) {
+        server.delete(id);
+    }
+    for i in 0..30u64 {
+        let v = w.base()[(i as usize * 7) % w.base().len()].clone();
+        let (c_sap, c_dce) = owner.encrypt_for_insert(&v, i);
+        server.insert(c_sap, c_dce);
+    }
+    assert_eq!(server.len(), 600 - 60 + 30);
+
+    // Snapshot + restore.
+    let db = server.into_database();
+    let restored = EncryptedDatabase::from_bytes(db.to_bytes()).expect("roundtrip");
+    assert_eq!(restored.len(), 570);
+    let server_a = CloudServer::new(db);
+    let server_b = CloudServer::new(restored);
+
+    let mut user = owner.authorize_user();
+    for q in w.queries() {
+        let enc = user.encrypt_query(q, k);
+        let params = SearchParams::from_ratio(k, 8, 80);
+        let a = server_a.search(&enc, &params);
+        let b = server_b.search(&enc, &params);
+        assert_eq!(a.ids, b.ids);
+        assert!(a.ids.iter().all(|id| id % 10 != 0 || *id >= 600));
+    }
+}
+
+#[test]
+fn insert_into_empty_database() {
+    let owner = DataOwner::setup(PpAnnParams::new(4).with_seed(8), &[vec![1.0, 2.0, 3.0, 4.0]]);
+    let mut server = CloudServer::new(owner.outsource(&[]));
+    assert!(server.is_empty());
+    let (c_sap, c_dce) = owner.encrypt_for_insert(&[0.5, 0.5, 0.5, 0.5], 0);
+    let id = server.insert(c_sap, c_dce);
+    let mut user = owner.authorize_user();
+    let out = server.search(
+        &user.encrypt_query(&[0.5, 0.5, 0.5, 0.5], 1),
+        &SearchParams::from_ratio(1, 4, 10),
+    );
+    assert_eq!(out.ids, vec![id]);
+}
+
+#[test]
+fn delete_everything_then_search_safely() {
+    let data: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64, 0.0]).collect();
+    let owner = DataOwner::setup(PpAnnParams::new(2).with_seed(9), &data);
+    let mut server = CloudServer::new(owner.outsource(&data));
+    for id in 0..20u32 {
+        server.delete(id);
+    }
+    assert!(server.is_empty());
+    let mut user = owner.authorize_user();
+    let out = server.search(&user.encrypt_query(&[1.0, 1.0], 3), &SearchParams::from_ratio(3, 4, 10));
+    assert!(out.ids.is_empty());
+}

@@ -1,0 +1,58 @@
+//! Operational round-trip spanning every persistence surface — the exact
+//! path the `ppanns-cli` drives: dataset to fvecs, outsource, key-file and
+//! database snapshots to disk, separate "process" (fresh objects) resumes
+//! service, tuner picks a configuration.
+
+use ppanns::core::tune::{grid_search, TuningGrid};
+use ppanns::core::{CloudServer, DataOwner, EncryptedDatabase, PpAnnParams, SearchParams};
+use ppanns::datasets::io::{read_fvecs, write_fvecs};
+use ppanns::datasets::{brute_force_knn, DatasetProfile, Workload};
+
+#[test]
+fn full_operational_cycle() {
+    let dir = std::env::temp_dir().join("ppanns_op_cycle");
+    std::fs::create_dir_all(&dir).unwrap();
+    let base_path = dir.join("base.fvecs");
+    let query_path = dir.join("queries.fvecs");
+    let db_path = dir.join("db.bin");
+    let key_path = dir.join("keys.bin");
+
+    // Phase 1 — "generation process": dataset to disk.
+    let w = Workload::generate(DatasetProfile::DeepLike, 600, 8, 91);
+    write_fvecs(&base_path, w.base()).unwrap();
+    write_fvecs(&query_path, w.queries()).unwrap();
+
+    // Phase 2 — "owner process": read data, outsource, persist everything.
+    {
+        let base = read_fvecs(&base_path, None).unwrap();
+        // fvecs stores f32; re-read so owner and truth share the quantized view.
+        let owner =
+            DataOwner::setup(PpAnnParams::new(96).with_beta(1.0).with_seed(17), &base);
+        let db = owner.outsource(&base);
+        db.save_to(&db_path).unwrap();
+        owner.save_keys(&key_path).unwrap();
+    }
+
+    // Phase 3 — "server + user processes": restore from disk only.
+    let base = read_fvecs(&base_path, None).unwrap();
+    let queries = read_fvecs(&query_path, None).unwrap();
+    let server = CloudServer::new(EncryptedDatabase::load_from(&db_path).unwrap());
+    let owner = DataOwner::load_keys(&key_path).unwrap();
+    let mut user = owner.authorize_user();
+
+    let truth = brute_force_knn(&base, &queries, 5);
+    let mut recall_hits = 0usize;
+    for (q, t) in queries.iter().zip(&truth) {
+        let out = server.search(&user.encrypt_query(q, 5), &SearchParams::from_ratio(5, 16, 100));
+        recall_hits += t.iter().filter(|x| out.ids.contains(x)).count();
+    }
+    let recall = recall_hits as f64 / (truth.len() * 5) as f64;
+    assert!(recall > 0.85, "post-restore recall {recall}");
+
+    // Phase 4 — tuner over the restored stack.
+    let grid = TuningGrid { ratios: vec![4, 16], ef_search: vec![80] };
+    let outcome = grid_search(&server, &mut user, &queries, &truth, 5, 0.8, &grid);
+    assert!(outcome.best.is_some(), "tuner must find a config at recall 0.8");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
