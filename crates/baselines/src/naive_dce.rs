@@ -111,6 +111,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // qi doubles as the query nonce
     fn top_k_matches_plaintext_graph_search() {
         let mut rng = seeded_rng(412);
         let data: Vec<Vec<f64>> = (0..250).map(|_| uniform_vec(&mut rng, 6, -1.0, 1.0)).collect();

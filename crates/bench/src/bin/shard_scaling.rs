@@ -1,0 +1,110 @@
+//! **Shard scaling** (extension experiment, not a paper figure): per-query
+//! latency as the `ShardedServer` fans the filter phase out over 1–8 shards,
+//! against the single-shard `CloudServer` baseline.
+//!
+//! Complements `throughput_scaling`: that harness parallelizes *across*
+//! queries (batch throughput), this one parallelizes *inside* each query
+//! (latency). Every shard count is asserted to reproduce the baseline's
+//! rank-by-rank distance profile (ids at exactly tied distances may swap —
+//! the strict id-parity contract lives in `crates/core/tests/shard_parity.rs`
+//! on tie-free workloads); the sharded filter + single exact DCE refine is
+//! a pure layout change (see DESIGN.md §4 and EXPERIMENTS.md).
+
+use ppann_bench::harness::build_scheme;
+use ppann_bench::{bench_scale, TableWriter};
+use ppann_core::{SearchParams, ShardedServer};
+use ppann_datasets::{DatasetProfile, Workload};
+use ppann_hnsw::HnswParams;
+use ppann_linalg::vector::squared_euclidean;
+use std::time::Instant;
+
+/// Checks rank-by-rank *distance* equality against the baseline. Ids at
+/// exactly tied distances may legitimately swap between server shapes (the
+/// refine heap breaks exact ties by arrival order, and shards change
+/// arrival order), so id-list equality is too strict; the returned distance
+/// profile must match exactly.
+fn assert_same_distance_profile(
+    base: &[Vec<f64>],
+    queries: &[Vec<f64>],
+    reference: &[Vec<u32>],
+    got: &[Vec<u32>],
+    label: &str,
+) {
+    assert_eq!(reference.len(), got.len(), "{label}: query count mismatch");
+    for (qi, ((r, g), q)) in reference.iter().zip(got).zip(queries).enumerate() {
+        assert_eq!(r.len(), g.len(), "{label}: query {qi} k mismatch");
+        for (rank, (ri, gi)) in r.iter().zip(g).enumerate() {
+            let rd = squared_euclidean(&base[*ri as usize], q);
+            let gd = squared_euclidean(&base[*gi as usize], q);
+            let tol = 1e-12 * rd.max(1.0);
+            assert!(
+                (rd - gd).abs() <= tol,
+                "{label}: query {qi} rank {rank}: id {gi} (d²={gd}) vs id {ri} (d²={rd})"
+            );
+        }
+    }
+}
+
+fn main() {
+    let scale = bench_scale();
+    let profile = DatasetProfile::SiftLike;
+    let k = 10;
+    let n = scale.scaled(10_000, 40_000);
+    let w = Workload::generate(profile, n, scale.scaled(200, 1_000), 2331);
+    let (owner, server, mut user) =
+        build_scheme(&w, profile.default_beta(), HnswParams::default(), 91);
+    let params = SearchParams::from_ratio(k, 16, 160);
+    let queries: Vec<_> = w.queries().iter().map(|q| user.encrypt_query(q, k)).collect();
+
+    // Single-shard baseline: sequential CloudServer queries.
+    let started = Instant::now();
+    let reference: Vec<Vec<u32>> =
+        queries.iter().map(|q| server.search(q, &params).ids).collect();
+    let base_latency_ms = started.elapsed().as_secs_f64() * 1e3 / queries.len() as f64;
+
+    let mut t = TableWriter::new(
+        &format!("Shard scaling ({}, n={n}, {} queries)", profile.name(), queries.len()),
+        &["shards", "build ms", "latency ms", "QPS", "speedup"],
+    );
+    t.row(&[
+        "baseline".into(),
+        "-".into(),
+        format!("{base_latency_ms:.3}"),
+        format!("{:.0}", 1e3 / base_latency_ms),
+        "1.00x".into(),
+    ]);
+
+    // Run every shard count regardless of the host's core count: the
+    // distance-profile assertion is the point; the speedup column only
+    // moves when cores are actually available.
+    for shards in [1usize, 2, 4, 8] {
+        let build_started = Instant::now();
+        let sharded = ShardedServer::from_database(owner.outsource(w.base()), shards);
+        let build_ms = build_started.elapsed().as_secs_f64() * 1e3;
+
+        let run_started = Instant::now();
+        let ids: Vec<Vec<u32>> =
+            queries.iter().map(|q| sharded.search(q, &params).ids).collect();
+        let latency_ms = run_started.elapsed().as_secs_f64() * 1e3 / queries.len() as f64;
+        assert_same_distance_profile(
+            w.base(),
+            w.queries(),
+            &reference,
+            &ids,
+            &format!("{shards} shards"),
+        );
+
+        t.row(&[
+            shards.to_string(),
+            format!("{build_ms:.0}"),
+            format!("{latency_ms:.3}"),
+            format!("{:.0}", 1e3 / latency_ms),
+            format!("{:.2}x", base_latency_ms / latency_ms),
+        ]);
+    }
+    t.print();
+    println!("\nResult distance profiles verified identical to the single-shard baseline at");
+    println!("every shard count (ids at exactly tied distances may swap ranks).");
+    println!("Note: per-shard beams keep the full k' width, so total filter work grows with");
+    println!("shard count while latency shrinks — the trade measured here.");
+}

@@ -1,0 +1,47 @@
+//! Server backend abstractions.
+//!
+//! The scheme has grown several server shapes — the paper's single-threaded
+//! [`CloudServer`](crate::CloudServer), the lock-wrapped
+//! [`SharedServer`](crate::SharedServer), and the multi-core
+//! [`ShardedServer`](crate::ShardedServer) — that all answer the same
+//! encrypted query message. These traits name the two capabilities the rest
+//! of the stack composes over: answering queries ([`QueryBackend`], what
+//! [`BatchExecutor`](crate::BatchExecutor) fans out over) and owner-driven
+//! index maintenance ([`MaintainableServer`], what
+//! [`SharedServer`](crate::SharedServer) serializes behind its write lock).
+
+use crate::query::EncryptedQuery;
+use crate::server::{SearchOutcome, SearchParams};
+use ppann_dce::DceCiphertext;
+
+/// Anything that can answer one encrypted k-ANN query.
+///
+/// `Sync` is a supertrait because every implementor is queried from
+/// concurrent workers ([`BatchExecutor`](crate::BatchExecutor) borrows one
+/// backend from all of its threads).
+pub trait QueryBackend: Sync {
+    /// Answers one query (paper Algorithm 2: filter then refine).
+    fn search(&self, query: &EncryptedQuery, params: &SearchParams) -> SearchOutcome;
+}
+
+impl<B: QueryBackend + ?Sized> QueryBackend for &B {
+    fn search(&self, query: &EncryptedQuery, params: &SearchParams) -> SearchOutcome {
+        (**self).search(query, params)
+    }
+}
+
+/// Server-side index maintenance (paper Section V-D): the owner encrypts,
+/// the server wires its structures.
+pub trait MaintainableServer {
+    /// Inserts a pre-encrypted vector, returning its assigned id.
+    fn insert(&mut self, c_sap: Vec<f64>, c_dce: DceCiphertext) -> u32;
+
+    /// Deletes a vector by id (graph repair runs server-side).
+    ///
+    /// Implementations panic on an out-of-range or already-deleted id, so
+    /// caller bugs surface identically across backends.
+    fn delete(&mut self, id: u32);
+
+    /// Number of live vectors served.
+    fn live_len(&self) -> usize;
+}

@@ -1,11 +1,17 @@
 //! Batched and multi-threaded query execution.
 //!
 //! The paper measures single-threaded search; a production deployment
-//! amortizes across cores. [`BatchExecutor`] fans a query batch out over a
-//! [`SharedServer`] with scoped worker threads, preserving result order and
-//! aggregating costs — the engine behind the `throughput_scaling` benchmark
-//! (an extension experiment, not a paper figure).
+//! amortizes across cores. [`BatchExecutor`] fans a query batch out over any
+//! [`QueryBackend`] with scoped worker threads, preserving result order and
+//! aggregating costs — the engine behind the `throughput_scaling` and
+//! `shard_scaling` benchmarks (extension experiments, not paper figures).
+//!
+//! The backend defaults to [`SharedServer`]. Driving a
+//! [`crate::ShardedServer`] composes inter-query parallelism (this module)
+//! with intra-query shard parallelism — size `threads × shards` against the
+//! machine's core count to avoid oversubscription.
 
+use crate::backend::QueryBackend;
 use crate::concurrent::SharedServer;
 use crate::cost::QueryCost;
 use crate::query::EncryptedQuery;
@@ -32,15 +38,15 @@ impl BatchOutcome {
     }
 }
 
-/// Runs query batches against a shared server with a fixed worker count.
-pub struct BatchExecutor {
-    server: SharedServer,
+/// Runs query batches against a query backend with a fixed worker count.
+pub struct BatchExecutor<B: QueryBackend = SharedServer> {
+    server: B,
     threads: usize,
 }
 
-impl BatchExecutor {
+impl<B: QueryBackend> BatchExecutor<B> {
     /// Creates an executor with `threads` workers (clamped to ≥ 1).
-    pub fn new(server: SharedServer, threads: usize) -> Self {
+    pub fn new(server: B, threads: usize) -> Self {
         Self { server, threads: threads.max(1) }
     }
 
@@ -58,7 +64,7 @@ impl BatchExecutor {
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(self.threads);
             for _ in 0..self.threads {
-                let server = self.server.clone();
+                let server = &self.server;
                 let cursor = &cursor;
                 handles.push(scope.spawn(move || {
                     let mut local: Vec<(usize, SearchOutcome)> = Vec::new();

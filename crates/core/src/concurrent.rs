@@ -2,32 +2,45 @@
 //!
 //! The paper evaluates single-threaded search, but a deployable service must
 //! answer queries while the owner occasionally inserts or deletes vectors.
-//! `SharedServer` wraps [`CloudServer`] in a `parking_lot::RwLock`: searches
-//! take the shared lock, maintenance takes the exclusive one.
+//! `SharedServer` wraps any server in a `parking_lot::RwLock`: searches take
+//! the shared lock, maintenance takes the exclusive one. It is generic over
+//! the backend, defaulting to the paper's [`CloudServer`]; wrap a
+//! [`crate::ShardedServer`] instead to combine intra-query shard parallelism
+//! with concurrent maintenance.
 
+use crate::backend::{MaintainableServer, QueryBackend};
 use crate::query::EncryptedQuery;
 use crate::server::{CloudServer, SearchOutcome, SearchParams};
 use parking_lot::RwLock;
 use ppann_dce::DceCiphertext;
 use std::sync::Arc;
 
-/// A cheaply clonable, thread-safe handle to a cloud server.
-#[derive(Clone)]
-pub struct SharedServer {
-    inner: Arc<RwLock<CloudServer>>,
+/// A cheaply clonable, thread-safe handle to a server backend.
+pub struct SharedServer<S = CloudServer> {
+    inner: Arc<RwLock<S>>,
 }
 
-impl SharedServer {
+impl<S> Clone for SharedServer<S> {
+    fn clone(&self) -> Self {
+        Self { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<S> SharedServer<S> {
     /// Wraps a server.
-    pub fn new(server: CloudServer) -> Self {
+    pub fn new(server: S) -> Self {
         Self { inner: Arc::new(RwLock::new(server)) }
     }
+}
 
+impl<S: QueryBackend> SharedServer<S> {
     /// Concurrent query path (shared lock).
     pub fn search(&self, query: &EncryptedQuery, params: &SearchParams) -> SearchOutcome {
         self.inner.read().search(query, params)
     }
+}
 
+impl<S: MaintainableServer> SharedServer<S> {
     /// Exclusive insertion (Section V-D).
     pub fn insert(&self, c_sap: Vec<f64>, c_dce: DceCiphertext) -> u32 {
         self.inner.write().insert(c_sap, c_dce)
@@ -40,7 +53,7 @@ impl SharedServer {
 
     /// Live vector count.
     pub fn len(&self) -> usize {
-        self.inner.read().len()
+        self.inner.read().live_len()
     }
 
     /// True when empty.
@@ -49,10 +62,17 @@ impl SharedServer {
     }
 }
 
+impl<S: QueryBackend + Send + Sync> QueryBackend for SharedServer<S> {
+    fn search(&self, query: &EncryptedQuery, params: &SearchParams) -> SearchOutcome {
+        SharedServer::search(self, query, params)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::owner::{DataOwner, PpAnnParams};
+    use crate::shard::ShardedServer;
     use ppann_linalg::{seeded_rng, uniform_vec};
 
     #[test]
@@ -83,5 +103,36 @@ mod tests {
             });
         });
         assert_eq!(shared.len(), 200);
+    }
+
+    #[test]
+    fn shared_sharded_server_composes() {
+        let mut rng = seeded_rng(162);
+        let data: Vec<Vec<f64>> = (0..150).map(|_| uniform_vec(&mut rng, 6, -1.0, 1.0)).collect();
+        let owner = DataOwner::setup(PpAnnParams::new(6).with_seed(10).with_beta(0.0), &data);
+        let shared =
+            SharedServer::new(ShardedServer::from_database(owner.outsource(&data), 3));
+        let mut user = owner.authorize_user();
+        let queries: Vec<_> = (0..8).map(|i| user.encrypt_query(&data[i], 3)).collect();
+
+        std::thread::scope(|scope| {
+            for chunk in queries.chunks(2) {
+                let shared = shared.clone();
+                scope.spawn(move || {
+                    for q in chunk {
+                        let out =
+                            shared.search(q, &SearchParams { k_prime: 15, ef_search: 30 });
+                        assert_eq!(out.ids.len(), 3);
+                    }
+                });
+            }
+            let shared2 = shared.clone();
+            let (c_sap, c_dce) = owner.encrypt_for_insert(&data[0], 7);
+            scope.spawn(move || {
+                let id = shared2.insert(c_sap, c_dce);
+                shared2.delete(id);
+            });
+        });
+        assert_eq!(shared.len(), 150);
     }
 }

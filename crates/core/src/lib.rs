@@ -16,6 +16,15 @@
 //!   HNSW-over-SAP index (cheap, approximate) followed by an exact top-k
 //!   refinement that orders candidates *only* through DCE's `DistanceComp`.
 //!
+//! ## Beyond the paper: scale-out server shapes
+//!
+//! The ROADMAP's production goals add three compositions over the same
+//! query message, abstracted by [`QueryBackend`] / [`MaintainableServer`]:
+//! [`ShardedServer`] (per-query multi-core fan-out with a single exact
+//! merge-refine), [`SharedServer`] (concurrent queries + exclusive
+//! maintenance over any backend), and [`BatchExecutor`] (work-stealing
+//! batch throughput over any backend).
+//!
 //! ## What the server learns
 //!
 //! Per the paper's threat model, the server sees SAP ciphertexts, DCE
@@ -40,6 +49,7 @@
 //! assert_eq!(outcome.ids[0], 0); // the query point itself is its own 1-NN
 //! ```
 
+mod backend;
 pub mod batch;
 mod concurrent;
 mod cost;
@@ -50,9 +60,11 @@ mod owner;
 mod persist;
 mod query;
 mod server;
+mod shard;
 pub mod tune;
 mod user;
 
+pub use backend::{MaintainableServer, QueryBackend};
 pub use batch::{BatchExecutor, BatchOutcome};
 pub use concurrent::SharedServer;
 pub use cost::{QueryCost, UserCost};
@@ -62,4 +74,5 @@ pub use owner::{DataOwner, OwnerSecretKey, PpAnnParams};
 pub use persist::PersistError;
 pub use query::EncryptedQuery;
 pub use server::{CloudServer, SearchOutcome, SearchParams};
+pub use shard::ShardedServer;
 pub use user::QueryUser;

@@ -70,12 +70,16 @@ impl CloudServer {
     pub fn search(&self, query: &EncryptedQuery, params: &SearchParams) -> SearchOutcome {
         let started = Instant::now();
         let hnsw = self.db.hnsw();
-        hnsw.reset_distance_computations();
+        // Cost is read as a counter delta, not reset-then-read: the counter
+        // is shared per index, and a reset would erase the work of queries
+        // running concurrently under [`crate::SharedServer`]. Per-query
+        // numbers are approximate under concurrency, exact sequentially.
+        let dist_before = hnsw.distance_computations();
 
         // Filter: k′ candidates ranked by approximate (SAP) distance.
         let k_prime = params.k_prime.max(query.k);
         let candidates = hnsw.search(&query.c_sap, k_prime, params.ef_search.max(k_prime));
-        let filter_dist_comps = hnsw.distance_computations();
+        let filter_dist_comps = hnsw.distance_computations().saturating_sub(dist_before);
 
         // Refine: exact top-k via DCE comparisons only.
         let mut heap = SecureTopK::new(&query.trapdoor, self.db.dce_ciphertexts(), query.k);
@@ -101,11 +105,11 @@ impl CloudServer {
     pub fn search_filter_only(&self, query: &EncryptedQuery, ef_search: usize) -> SearchOutcome {
         let started = Instant::now();
         let hnsw = self.db.hnsw();
-        hnsw.reset_distance_computations();
+        let dist_before = hnsw.distance_computations();
         let hits = hnsw.search(&query.c_sap, query.k, ef_search.max(query.k));
         let ids: Vec<u32> = hits.iter().map(|h| h.id).collect();
         let cost = QueryCost {
-            filter_dist_comps: hnsw.distance_computations(),
+            filter_dist_comps: hnsw.distance_computations().saturating_sub(dist_before),
             refine_sdc_comps: 0,
             server_time: started.elapsed(),
             bytes_up: query.upload_bytes(),
@@ -139,6 +143,26 @@ impl CloudServer {
     /// Consumes the server, returning the stored database (for persistence).
     pub fn into_database(self) -> EncryptedDatabase {
         self.db
+    }
+}
+
+impl crate::backend::QueryBackend for CloudServer {
+    fn search(&self, query: &EncryptedQuery, params: &SearchParams) -> SearchOutcome {
+        CloudServer::search(self, query, params)
+    }
+}
+
+impl crate::backend::MaintainableServer for CloudServer {
+    fn insert(&mut self, c_sap: Vec<f64>, c_dce: DceCiphertext) -> u32 {
+        CloudServer::insert(self, c_sap, c_dce)
+    }
+
+    fn delete(&mut self, id: u32) {
+        CloudServer::delete(self, id)
+    }
+
+    fn live_len(&self) -> usize {
+        self.len()
     }
 }
 

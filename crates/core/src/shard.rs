@@ -1,0 +1,369 @@
+//! The sharded multi-core query path.
+//!
+//! The paper evaluates a single-threaded server; this module is the
+//! scale-out extension the ROADMAP asks for. [`ShardedServer`] partitions an
+//! [`EncryptedDatabase`] into `N` shards, each holding its own HNSW index
+//! over its slice of the SAP ciphertexts. A query runs the **filter phase on
+//! every shard in parallel** (scoped threads, one per shard) and then merges
+//! all candidates through a **single exact DCE refine** — the same
+//! [`SecureTopK`] the single-shard server uses, over the same global DCE
+//! ciphertext list.
+//!
+//! ## Why results match the single-shard server
+//!
+//! The refine phase orders candidates *only* through exact DCE comparisons,
+//! so the returned top-k depends on the candidate **set**, not on how the
+//! filter produced it. Each shard returns its local top-`k′`, so the merged
+//! candidate pool can only be *richer* than one global index's `k′` beam
+//! (per-shard beams spend their full width on a fraction of the data). With
+//! the filter parameters that give the single-shard server its target
+//! recall, both servers surface the true top-k into refinement and return
+//! identical ids — asserted for shard counts {1, 2, 4} by the
+//! `shard_parity` integration tests.
+//!
+//! ## What the cloud learns
+//!
+//! Sharding is a server-side layout choice over data the server already
+//! holds: each shard sees the same SAP ciphertexts and comparison signs the
+//! single-shard server would see. No new information crosses the
+//! user/server boundary (the query message is unchanged).
+
+use crate::backend::{MaintainableServer, QueryBackend};
+use crate::cost::QueryCost;
+use crate::heap::SecureTopK;
+use crate::index::EncryptedDatabase;
+use crate::query::EncryptedQuery;
+use crate::server::{SearchOutcome, SearchParams};
+use ppann_dce::DceCiphertext;
+use ppann_hnsw::Hnsw;
+use std::time::Instant;
+
+/// One shard: a private HNSW index over a slice of the SAP ciphertexts,
+/// plus the local-id → global-id translation table.
+struct Shard {
+    hnsw: Hnsw,
+    /// `global_ids[local]` is the database-wide id of local slot `local`
+    /// (tombstoned slots keep their entry so ids never shift).
+    global_ids: Vec<u32>,
+}
+
+/// A cloud server that answers each query with `N` cooperating cores: one
+/// filter search per shard in parallel, one exact DCE refine over the merged
+/// candidates.
+pub struct ShardedServer {
+    shards: Vec<Shard>,
+    /// Global DCE ciphertext list, aligned with global ids (shared by the
+    /// refine phase exactly as in [`crate::CloudServer`]).
+    dce: Vec<DceCiphertext>,
+    /// `slots[global]` routes maintenance: `(shard, local)` for ids that
+    /// were live at partition time or inserted later, `None` for ids
+    /// already tombstoned when the database was sharded.
+    slots: Vec<Option<(u32, u32)>>,
+}
+
+impl ShardedServer {
+    /// Partitions an outsourced database into `num_shards` shards
+    /// (round-robin over live ids, so shard sizes differ by at most one)
+    /// and builds each shard's HNSW index, shards in parallel.
+    ///
+    /// The per-shard indexes are rebuilt with the same [`ppann_hnsw::HnswParams`]
+    /// the original index was built with; with one shard this reproduces the
+    /// original construction exactly.
+    pub fn from_database(db: EncryptedDatabase, num_shards: usize) -> Self {
+        let num_shards = num_shards.max(1);
+        let (hnsw, dce) = db.into_parts();
+        let dim = hnsw.dim();
+        let params = *hnsw.params();
+        let total = hnsw.capacity_slots();
+
+        let mut members: Vec<Vec<u32>> = vec![Vec::new(); num_shards];
+        let mut slots: Vec<Option<(u32, u32)>> = vec![None; total];
+        let mut next = 0usize;
+        for g in 0..total as u32 {
+            if hnsw.is_deleted(g) {
+                continue;
+            }
+            let s = next % num_shards;
+            slots[g as usize] = Some((s as u32, members[s].len() as u32));
+            members[s].push(g);
+            next += 1;
+        }
+
+        let store = hnsw.store();
+        let shards: Vec<Shard> = std::thread::scope(|scope| {
+            let handles: Vec<_> = members
+                .iter()
+                .map(|ids| {
+                    scope.spawn(move || {
+                        let vecs: Vec<Vec<f64>> =
+                            ids.iter().map(|&g| store.get(g).to_vec()).collect();
+                        Shard { hnsw: Hnsw::build(dim, params, &vecs), global_ids: ids.clone() }
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("shard build panicked")).collect()
+        });
+
+        Self { shards, dce, slots }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Live vector count per shard (for balance diagnostics).
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.hnsw.len()).collect()
+    }
+
+    /// Total live vectors served.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.hnsw.len()).sum()
+    }
+
+    /// True when no live vectors remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The global DCE ciphertext list (aligned with global ids).
+    pub fn dce_ciphertexts(&self) -> &[DceCiphertext] {
+        &self.dce
+    }
+
+    /// **Algorithm 2, sharded**: the filter phase runs on every shard in
+    /// parallel (each shard's HNSW beam search returns its local top-`k′`
+    /// as global ids), then one [`SecureTopK`] refines the merged candidate
+    /// pool with exact DCE comparisons.
+    pub fn search(&self, query: &EncryptedQuery, params: &SearchParams) -> SearchOutcome {
+        let started = Instant::now();
+        let k_prime = params.k_prime.max(query.k);
+        let ef = params.ef_search.max(k_prime);
+
+        // Filter, one scoped thread per shard. Results are collected in
+        // shard order so the merge below is deterministic.
+        let per_shard: Vec<(Vec<u32>, u64)> = if self.shards.len() == 1 {
+            vec![filter_shard(&self.shards[0], query, k_prime, ef)]
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .shards
+                    .iter()
+                    .map(|shard| scope.spawn(move || filter_shard(shard, query, k_prime, ef)))
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("shard worker panicked")).collect()
+            })
+        };
+
+        // Refine: one exact top-k over the union of all shard candidates.
+        let mut heap = SecureTopK::new(&query.trapdoor, &self.dce, query.k);
+        let mut filter_candidates = 0usize;
+        let mut filter_dist_comps = 0u64;
+        for (candidates, dist_comps) in &per_shard {
+            filter_candidates += candidates.len();
+            filter_dist_comps += dist_comps;
+            for &g in candidates {
+                heap.offer(g);
+            }
+        }
+        let refine_sdc_comps = heap.comparisons();
+        let ids = heap.into_sorted_ids();
+
+        let cost = QueryCost {
+            filter_dist_comps,
+            refine_sdc_comps,
+            server_time: started.elapsed(),
+            bytes_up: query.upload_bytes(),
+            bytes_down: 4 * ids.len() as u64,
+        };
+        SearchOutcome { ids, filter_candidates, cost }
+    }
+
+    /// Server-side insertion (Section V-D): the new vector joins the shard
+    /// chosen round-robin by global id, keeping shards balanced.
+    pub fn insert(&mut self, c_sap: Vec<f64>, c_dce: DceCiphertext) -> u32 {
+        let g = self.slots.len() as u32;
+        let s = g as usize % self.shards.len();
+        let shard = &mut self.shards[s];
+        let local = shard.hnsw.insert(&c_sap);
+        debug_assert_eq!(local as usize, shard.global_ids.len());
+        shard.global_ids.push(g);
+        self.slots.push(Some((s as u32, local)));
+        self.dce.push(c_dce);
+        g
+    }
+
+    /// Server-side deletion with per-shard graph repair (Section V-D). The
+    /// DCE slot is retained as a tombstone so global ids stay aligned,
+    /// exactly as in [`crate::CloudServer`].
+    ///
+    /// # Panics
+    /// Panics on an out-of-range or already-deleted id — the same contract
+    /// as [`crate::CloudServer::delete`], so [`MaintainableServer`] callers
+    /// see identical behavior across backends.
+    pub fn delete(&mut self, id: u32) {
+        let (s, local) = self
+            .slots
+            .get(id as usize)
+            .copied()
+            .flatten()
+            .unwrap_or_else(|| panic!("delete: id {id} out of range or already deleted"));
+        self.shards[s as usize].hnsw.delete(local);
+    }
+}
+
+/// One shard's filter phase: local top-`k_prime` beam search translated to
+/// global ids, plus the SAP distance computations spent.
+///
+/// The cost is read as a counter *delta* rather than reset-then-read: the
+/// counter is shared per index, and a reset would erase the work of other
+/// queries concurrently searching the same shard (e.g. under
+/// [`crate::BatchExecutor`]). Deltas never lose counts; under concurrency
+/// they can over-attribute a racing query's work, so treat per-query
+/// `filter_dist_comps` as approximate there (exact when queries run one at
+/// a time).
+fn filter_shard(
+    shard: &Shard,
+    query: &EncryptedQuery,
+    k_prime: usize,
+    ef: usize,
+) -> (Vec<u32>, u64) {
+    let before = shard.hnsw.distance_computations();
+    let hits = shard.hnsw.search(&query.c_sap, k_prime, ef);
+    let dist_comps = shard.hnsw.distance_computations().saturating_sub(before);
+    (hits.into_iter().map(|nb| shard.global_ids[nb.id as usize]).collect(), dist_comps)
+}
+
+impl QueryBackend for ShardedServer {
+    fn search(&self, query: &EncryptedQuery, params: &SearchParams) -> SearchOutcome {
+        ShardedServer::search(self, query, params)
+    }
+}
+
+impl MaintainableServer for ShardedServer {
+    fn insert(&mut self, c_sap: Vec<f64>, c_dce: DceCiphertext) -> u32 {
+        ShardedServer::insert(self, c_sap, c_dce)
+    }
+
+    fn delete(&mut self, id: u32) {
+        ShardedServer::delete(self, id)
+    }
+
+    fn live_len(&self) -> usize {
+        self.len()
+    }
+}
+
+impl std::fmt::Debug for ShardedServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedServer")
+            .field("shards", &self.num_shards())
+            .field("live", &self.len())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::owner::{DataOwner, PpAnnParams};
+    use crate::server::CloudServer;
+    use ppann_linalg::{seeded_rng, uniform_vec};
+
+    fn setup(
+        n: usize,
+        dim: usize,
+        seed: u64,
+    ) -> (Vec<Vec<f64>>, DataOwner) {
+        let mut rng = seeded_rng(seed);
+        let data: Vec<Vec<f64>> = (0..n).map(|_| uniform_vec(&mut rng, dim, -1.0, 1.0)).collect();
+        let owner = DataOwner::setup(PpAnnParams::new(dim).with_seed(seed).with_beta(0.0), &data);
+        (data, owner)
+    }
+
+    #[test]
+    fn round_robin_partition_is_balanced() {
+        let (data, owner) = setup(101, 4, 881);
+        let sharded = ShardedServer::from_database(owner.outsource(&data), 4);
+        let sizes = sharded.shard_sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 101);
+        assert!(sizes.iter().all(|&s| s == 25 || s == 26), "unbalanced: {sizes:?}");
+    }
+
+    #[test]
+    fn more_shards_than_vectors() {
+        let (data, owner) = setup(3, 4, 882);
+        let sharded = ShardedServer::from_database(owner.outsource(&data), 8);
+        assert_eq!(sharded.len(), 3);
+        let mut user = owner.authorize_user();
+        let enc = user.encrypt_query(&data[1], 2);
+        let out = sharded.search(&enc, &SearchParams { k_prime: 4, ef_search: 8 });
+        assert_eq!(out.ids.len(), 2);
+        assert_eq!(out.ids[0], 1);
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        let (data, owner) = setup(10, 4, 883);
+        let sharded = ShardedServer::from_database(owner.outsource(&data), 0);
+        assert_eq!(sharded.num_shards(), 1);
+        assert_eq!(sharded.len(), 10);
+    }
+
+    #[test]
+    fn maintenance_insert_then_find_and_delete() {
+        let (data, owner) = setup(60, 4, 884);
+        let mut sharded = ShardedServer::from_database(owner.outsource(&data), 3);
+        let novel = vec![7.0, 7.0, 7.0, 7.0];
+        let (c_sap, c_dce) = owner.encrypt_for_insert(&novel, 1);
+        let id = sharded.insert(c_sap, c_dce);
+        assert_eq!(id as usize, 60);
+        assert_eq!(sharded.len(), 61);
+
+        let mut user = owner.authorize_user();
+        let enc = user.encrypt_query(&novel, 1);
+        let out = sharded.search(&enc, &SearchParams { k_prime: 10, ef_search: 30 });
+        assert_eq!(out.ids, vec![id]);
+
+        sharded.delete(id);
+        assert_eq!(sharded.len(), 60);
+        let out = sharded.search(&enc, &SearchParams { k_prime: 10, ef_search: 30 });
+        assert!(!out.ids.contains(&id));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range or already deleted")]
+    fn delete_of_unknown_id_panics_like_cloud_server() {
+        let (data, owner) = setup(10, 4, 887);
+        let mut sharded = ShardedServer::from_database(owner.outsource(&data), 2);
+        sharded.delete(10);
+    }
+
+    #[test]
+    fn partition_skips_tombstones() {
+        let (data, owner) = setup(40, 4, 885);
+        let mut server = CloudServer::new(owner.outsource(&data));
+        server.delete(5);
+        server.delete(17);
+        let sharded = ShardedServer::from_database(server.into_database(), 2);
+        assert_eq!(sharded.len(), 38);
+        let mut user = owner.authorize_user();
+        let enc = user.encrypt_query(&data[5], 5);
+        let out = sharded.search(&enc, &SearchParams { k_prime: 20, ef_search: 40 });
+        assert!(!out.ids.contains(&5), "tombstoned id resurfaced");
+    }
+
+    #[test]
+    fn cost_meter_aggregates_across_shards() {
+        let (data, owner) = setup(200, 6, 886);
+        let sharded = ShardedServer::from_database(owner.outsource(&data), 4);
+        let mut user = owner.authorize_user();
+        let enc = user.encrypt_query(&data[0], 5);
+        let out = sharded.search(&enc, &SearchParams { k_prime: 20, ef_search: 40 });
+        assert!(out.cost.filter_dist_comps > 0);
+        assert!(out.cost.refine_sdc_comps > 0);
+        assert!(out.filter_candidates >= out.ids.len());
+        assert_eq!(out.cost.bytes_down, 4 * out.ids.len() as u64);
+    }
+}

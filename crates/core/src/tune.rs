@@ -82,7 +82,7 @@ pub fn grid_search(
             };
             evaluated.push(point);
             if point.recall >= target_recall
-                && best.map_or(true, |b| point.qps > b.qps)
+                && best.is_none_or(|b| point.qps > b.qps)
             {
                 best = Some(point);
             }

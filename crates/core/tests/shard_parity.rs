@@ -1,0 +1,136 @@
+//! Integration contracts for the scale-out server shapes:
+//!
+//! 1. **Shard parity** — [`ShardedServer`] returns *identical* ids to
+//!    [`CloudServer`] on a seeded workload for shard counts {1, 2, 4}
+//!    (the refine phase is exact, so once every true neighbor reaches the
+//!    merged candidate pool, the output is the true top-k in both cases).
+//! 2. **Batch ordering** — [`BatchExecutor`] preserves input order under
+//!    work-stealing, for any backend, even with more workers than queries
+//!    and with skewed per-query cost.
+
+use ppann_core::{
+    BatchExecutor, CloudServer, DataOwner, PpAnnParams, SearchParams, SharedServer, ShardedServer,
+};
+use ppann_linalg::{seeded_rng, uniform_vec};
+
+fn seeded_workload(
+    n: usize,
+    dim: usize,
+    seed: u64,
+    beta: f64,
+) -> (Vec<Vec<f64>>, DataOwner) {
+    let mut rng = seeded_rng(seed);
+    let data: Vec<Vec<f64>> = (0..n).map(|_| uniform_vec(&mut rng, dim, -1.0, 1.0)).collect();
+    let owner = DataOwner::setup(PpAnnParams::new(dim).with_seed(seed).with_beta(beta), &data);
+    (data, owner)
+}
+
+/// The acceptance contract: identical ids for shard counts {1, 2, 4}.
+#[test]
+fn sharded_search_matches_cloud_server_for_1_2_4_shards() {
+    let (data, owner) = seeded_workload(600, 8, 4451, 0.0);
+    let single = CloudServer::new(owner.outsource(&data));
+    let mut user = owner.authorize_user();
+    let params = SearchParams { k_prime: 60, ef_search: 120 };
+    let k = 10;
+
+    let queries: Vec<_> = (0..25).map(|i| user.encrypt_query(&data[i * 7], k)).collect();
+    let reference: Vec<Vec<u32>> =
+        queries.iter().map(|q| single.search(q, &params).ids).collect();
+
+    for shards in [1usize, 2, 4] {
+        let sharded = ShardedServer::from_database(owner.outsource(&data), shards);
+        assert_eq!(sharded.num_shards(), shards);
+        for (qi, (q, expect)) in queries.iter().zip(&reference).enumerate() {
+            let got = sharded.search(q, &params).ids;
+            assert_eq!(
+                &got, expect,
+                "shard-count {shards}, query {qi}: sharded ids diverge from CloudServer"
+            );
+        }
+    }
+}
+
+/// Parity must also hold with filter noise (β > 0): the SAP perturbation is
+/// baked into the ciphertexts both servers index, and the refine is exact,
+/// so generous filter parameters still surface the same top-k.
+#[test]
+fn sharded_parity_with_noisy_filter() {
+    let (data, owner) = seeded_workload(500, 10, 4452, 1.0);
+    let single = CloudServer::new(owner.outsource(&data));
+    let mut user = owner.authorize_user();
+    // Beam wide enough that every shard's candidate pool covers the true
+    // top-k even under SAP noise.
+    let params = SearchParams { k_prime: 250, ef_search: 500 };
+    let k = 5;
+
+    for shards in [2usize, 4] {
+        let sharded = ShardedServer::from_database(owner.outsource(&data), shards);
+        for qi in 0..15 {
+            let q = user.encrypt_query(&data[qi * 3], k);
+            let got = sharded.search(&q, &params).ids;
+            let expect = single.search(&q, &params).ids;
+            assert_eq!(got, expect, "shard-count {shards}, query {qi}");
+        }
+    }
+}
+
+/// BatchExecutor over a ShardedServer must agree with sequential sharded
+/// search, in input order.
+#[test]
+fn batch_over_sharded_backend_preserves_order() {
+    let (data, owner) = seeded_workload(400, 6, 4453, 0.5);
+    let sharded = ShardedServer::from_database(owner.outsource(&data), 3);
+    let mut user = owner.authorize_user();
+    let params = SearchParams::from_ratio(5, 8, 60);
+    let queries: Vec<_> = (0..30).map(|i| user.encrypt_query(&data[i], 5)).collect();
+
+    let sequential: Vec<Vec<u32>> =
+        queries.iter().map(|q| sharded.search(q, &params).ids).collect();
+    let exec = BatchExecutor::new(sharded, 4);
+    let batch = exec.run(&queries, &params);
+    assert_eq!(batch.outcomes.len(), 30);
+    for (i, (seq, out)) in sequential.iter().zip(&batch.outcomes).enumerate() {
+        assert_eq!(seq, &out.ids, "query {i}: order or content drift under threading");
+    }
+}
+
+/// Work-stealing with more workers than queries, and with heavily skewed
+/// per-query cost (k varies), must still fill every slot in input order.
+#[test]
+fn batch_ordering_survives_worker_skew() {
+    let (data, owner) = seeded_workload(300, 6, 4454, 0.5);
+    let shared = SharedServer::new(CloudServer::new(owner.outsource(&data)));
+    let mut user = owner.authorize_user();
+    let params = SearchParams { k_prime: 40, ef_search: 80 };
+
+    // Skew: query i asks for k = 1..=12, so per-query refine cost varies.
+    let queries: Vec<_> =
+        (0..12).map(|i| user.encrypt_query(&data[i * 5], 1 + (i % 12))).collect();
+    let sequential: Vec<Vec<u32>> =
+        queries.iter().map(|q| shared.search(q, &params).ids).collect();
+
+    for threads in [1usize, 3, 16, 64] {
+        let exec = BatchExecutor::new(shared.clone(), threads);
+        let batch = exec.run(&queries, &params);
+        assert_eq!(batch.threads, threads.max(1));
+        let got: Vec<Vec<u32>> = batch.outcomes.iter().map(|o| o.ids.clone()).collect();
+        assert_eq!(got, sequential, "{threads} workers reordered results");
+        // Costs aggregate across exactly the same work.
+        assert_eq!(
+            batch.total_cost.refine_sdc_comps,
+            batch.outcomes.iter().map(|o| o.cost.refine_sdc_comps).sum::<u64>()
+        );
+    }
+}
+
+/// An empty batch against a sharded backend is a no-op.
+#[test]
+fn empty_batch_on_sharded_backend() {
+    let (data, owner) = seeded_workload(20, 4, 4455, 0.0);
+    let sharded = ShardedServer::from_database(owner.outsource(&data), 2);
+    let exec = BatchExecutor::new(sharded, 3);
+    let out = exec.run(&[], &SearchParams::from_ratio(1, 1, 10));
+    assert!(out.outcomes.is_empty());
+    assert_eq!(out.total_cost.refine_sdc_comps, 0);
+}

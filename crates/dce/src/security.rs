@@ -178,6 +178,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // (i, j) index pairs mirror the matrix symmetry being checked
     fn transcript_is_antisymmetric_total_order() {
         let (_, cts, t) = real_view(8, 12, 301);
         let tr = transcript(&cts, &t);

@@ -308,18 +308,32 @@ fn greedy_pool(
     visited: &mut VisitedTable,
     mut record_visited: Option<&mut Vec<Neighbor>>,
 ) -> Vec<Neighbor> {
-    visited.reset(adjacency.len());
-    visited.insert(entry);
-    let entry_nb = Neighbor { id: entry, dist: squared_euclidean(store.get(entry), target) };
-    if let Some(rec) = record_visited.as_deref_mut() {
-        rec.push(entry_nb);
+    let n = adjacency.len();
+    visited.reset(n);
+    let mut pool: Vec<Neighbor> = Vec::with_capacity(l + 1);
+    // Seed the pool with the navigating node plus up to `l − 1` points
+    // spread evenly over the id space. The reference NSG implementation
+    // initializes its search pool with *random* points for the same reason:
+    // a single entry point strands greedy descent inside whichever region
+    // it reaches first, while a scattered initial pool gives every region a
+    // foothold (evenly-spaced ids keep it deterministic here).
+    let seeds = std::iter::once(entry)
+        .chain((0..l.saturating_sub(1).min(n)).map(|i| ((i * n) / l.max(1)) as u32));
+    for id in seeds {
+        if !visited.insert(id) {
+            continue;
+        }
+        let nb = Neighbor { id, dist: squared_euclidean(store.get(id), target) };
+        if let Some(rec) = record_visited.as_deref_mut() {
+            rec.push(nb);
+        }
+        let at = pool.partition_point(|x| x.dist <= nb.dist);
+        pool.insert(at, nb);
     }
-    let mut pool: Vec<Neighbor> = vec![entry_nb];
-    let mut expanded = vec![false; adjacency.len()];
+    let mut expanded = vec![false; n];
 
-    loop {
-        // Closest unexpanded pool member.
-        let Some(pos) = pool.iter().position(|nb| !expanded[nb.id as usize]) else { break };
+    // Expand the closest unexpanded pool member until none remain.
+    while let Some(pos) = pool.iter().position(|nb| !expanded[nb.id as usize]) {
         let current = pool[pos];
         expanded[current.id as usize] = true;
         for &nb in &adjacency[current.id as usize] {

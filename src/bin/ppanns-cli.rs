@@ -8,12 +8,15 @@
 //! ```text
 //! ppanns-cli gen       --profile sift --n 5000 --queries 50 --base base.fvecs --out-queries q.fvecs
 //! ppanns-cli outsource --base base.fvecs --beta 3.0 --seed 7 --db db.bin --keys keys.bin
-//! ppanns-cli query     --db db.bin --keys keys.bin --queries q.fvecs --k 10 --ratio 16
+//! ppanns-cli query     --db db.bin --keys keys.bin --queries q.fvecs --k 10 --ratio 16 --shards 4
 //! ppanns-cli tune      --db db.bin --keys keys.bin --base base.fvecs --queries q.fvecs --k 10 --target 0.9
 //! ```
 
 use ppanns::core::tune::{grid_search, TuningGrid};
-use ppanns::core::{CloudServer, DataOwner, EncryptedDatabase, PpAnnParams, SearchParams};
+use ppanns::core::{
+    CloudServer, DataOwner, EncryptedDatabase, PpAnnParams, QueryBackend, SearchParams,
+    ShardedServer,
+};
 use ppanns::datasets::io::{read_fvecs, write_fvecs};
 use ppanns::datasets::{brute_force_knn, Dataset, DatasetProfile};
 use std::collections::HashMap;
@@ -52,7 +55,7 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   ppanns-cli gen       --profile <sift|gist|glove|deep> --n <N> --queries <Q> --base <out.fvecs> --out-queries <out.fvecs> [--seed S]
   ppanns-cli outsource --base <in.fvecs> --db <out.bin> --keys <out.bin> [--beta B] [--seed S]
-  ppanns-cli query     --db <in.bin> --keys <in.bin> --queries <in.fvecs> [--k K] [--ratio R] [--ef E]
+  ppanns-cli query     --db <in.bin> --keys <in.bin> --queries <in.fvecs> [--k K] [--ratio R] [--ef E] [--shards S]
   ppanns-cli tune      --db <in.bin> --keys <in.bin> --base <in.fvecs> --queries <in.fvecs> [--k K] [--target T]";
 
 type Flags = HashMap<String, String>;
@@ -153,17 +156,30 @@ fn cmd_query(flags: &Flags) -> Result<(), String> {
     let k: usize = parse_or(flags, "k", 10)?;
     let ratio: usize = parse_or(flags, "ratio", 16)?;
     let ef: usize = parse_or(flags, "ef", 160)?;
+    let shards: usize = parse_or(flags, "shards", 1)?;
     let mut user = owner.authorize_user();
     let params = SearchParams::from_ratio(k, ratio, ef.max(k * ratio));
+
+    // With --shards > 1 the database is re-partitioned into a
+    // ShardedServer: the filter phase of every query then fans out across
+    // one thread per shard (results stay identical; see DESIGN.md §4).
+    let backend: Box<dyn QueryBackend> = if shards > 1 {
+        Box::new(ShardedServer::from_database(server.into_database(), shards))
+    } else {
+        Box::new(server)
+    };
+    let mode =
+        if shards > 1 { format!("{shards} shards") } else { "single-threaded".to_string() };
+
     let started = std::time::Instant::now();
     for (i, q) in queries.iter().enumerate() {
         let enc = user.encrypt_query(q, k);
-        let out = server.search(&enc, &params);
+        let out = backend.search(&enc, &params);
         println!("query {i}: {:?}", out.ids);
     }
     let secs = started.elapsed().as_secs_f64();
     println!(
-        "{} queries in {:.3}s ({:.1} QPS, single-threaded)",
+        "{} queries in {:.3}s ({:.1} QPS, {mode})",
         queries.len(),
         secs,
         queries.len() as f64 / secs.max(1e-12)

@@ -40,7 +40,7 @@ fn extreme_coordinate_magnitudes_stay_exact() {
     let owner = DataOwner::setup(PpAnnParams::new(8).with_beta(0.0).with_seed(3), &data);
     let server = CloudServer::new(owner.outsource(&data));
     let mut user = owner.authorize_user();
-    let truth = brute_force_knn(&data, &data[..10].to_vec(), 5);
+    let truth = brute_force_knn(&data, &data[..10], 5);
     for (qi, t) in truth.iter().enumerate() {
         let out = server
             .search(&user.encrypt_query(&data[qi], 5), &SearchParams::from_ratio(5, 16, 80));
@@ -96,7 +96,7 @@ fn normalization_is_order_preserving() {
     let max_abs =
         data.iter().map(|v| vector::max_abs(v)).fold(0.0f64, f64::max).max(vector::max_abs(&q));
     let scale = 1.0 / max_abs;
-    let truth = brute_force_knn(&data, &[q.clone()], 10);
+    let truth = brute_force_knn(&data, std::slice::from_ref(&q), 10);
     let scaled_data: Vec<Vec<f64>> = data.iter().map(|v| vector::scaled(v, scale)).collect();
     let scaled_truth = brute_force_knn(&scaled_data, &[vector::scaled(&q, scale)], 10);
     assert_eq!(truth, scaled_truth);

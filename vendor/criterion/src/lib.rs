@@ -1,0 +1,216 @@
+//! Vendored, API-compatible subset of the `criterion` benchmark harness.
+//!
+//! The build environment has no registry access, so the slice of criterion's
+//! API the bench crate uses is implemented here (DESIGN.md §3). Timing is a
+//! plain warm-up + timed-loop mean/median — none of criterion's outlier
+//! rejection, bootstrapping, or HTML reports — which is adequate for the
+//! relative comparisons the paper-figure binaries make. `cargo bench` runs
+//! every registered function and prints one line per benchmark.
+//!
+//! Implemented surface: [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`] with `warm_up_time` / `measurement_time` /
+//! `sample_size` / `bench_with_input` / `finish`, [`BenchmarkId`],
+//! [`black_box`], [`criterion_group!`], [`criterion_main!`].
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group (`name/parameter`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self { label: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// An id carrying only a parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self { label: parameter.to_string() }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Drives the timed loop of one benchmark.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, first warming up, then collecting samples until the
+    /// measurement budget is exhausted.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let warm_deadline = Instant::now() + self.warm_up;
+        let mut iters_per_sample = 1u64;
+        while Instant::now() < warm_deadline {
+            black_box(routine());
+            iters_per_sample += 1;
+        }
+        // Aim for ~100 samples over the measurement window.
+        iters_per_sample = iters_per_sample.div_ceil(100).max(1);
+
+        let deadline = Instant::now() + self.measurement;
+        while Instant::now() < deadline {
+            let started = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(started.elapsed() / iters_per_sample as u32);
+        }
+        if self.samples.is_empty() {
+            let started = Instant::now();
+            black_box(routine());
+            self.samples.push(started.elapsed());
+        }
+    }
+
+    fn report(&self, label: &str) {
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let median = sorted[sorted.len() / 2];
+        let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+        println!(
+            "bench {label:<48} median {median:>12.3?}  mean {mean:>12.3?}  ({} samples)",
+            sorted.len()
+        );
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { warm_up: Duration::from_millis(300), measurement: Duration::from_secs(2) }
+    }
+}
+
+impl Criterion {
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b =
+            Bencher { warm_up: self.warm_up, measurement: self.measurement, samples: Vec::new() };
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            _parent: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing timing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    warm_up: Duration,
+    measurement: Duration,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement duration.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Accepted for API compatibility; sampling here is time-budgeted, so
+    /// the requested sample count is not used.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one parameterized benchmark in this group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b =
+            Bencher { warm_up: self.warm_up, measurement: self.measurement, samples: Vec::new() };
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    /// Runs one named benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b =
+            Bencher { warm_up: self.warm_up, measurement: self.measurement, samples: Vec::new() };
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Declares a group function running each listed benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion { warm_up: Duration::from_millis(5), measurement: Duration::from_millis(20) };
+        let mut group = c.benchmark_group("smoke");
+        group.warm_up_time(Duration::from_millis(2)).measurement_time(Duration::from_millis(10));
+        group.bench_with_input(BenchmarkId::new("sum", 64), &64u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+}
