@@ -1,0 +1,100 @@
+//! **Remote throughput** (extension experiment, not a paper figure):
+//! loopback `ppann-service` QPS as concurrent client connections sweep
+//! 1–8, against the in-process baseline on the same seeded workload.
+//!
+//! Measures what the network layer costs and what the worker pool buys:
+//! every client runs on its own TCP connection through the full
+//! frame-encode → TCP → frame-decode → `SharedServer` search path
+//! (PROTOCOL.md), so the delta to the in-process baseline is the wire
+//! overhead, and the scaling across clients is the worker pool's
+//! concurrency under the shared read lock. Fidelity is asserted while
+//! measuring: every remote answer must match the in-process
+//! `CloudServer` bit-for-bit (ids and encrypted-space distances).
+
+use ppann_bench::harness::build_scheme;
+use ppann_bench::{bench_scale, TableWriter};
+use ppann_core::{SearchParams, SharedServer};
+use ppann_datasets::{DatasetProfile, Workload};
+use ppann_hnsw::HnswParams;
+use ppann_service::{serve, ServiceClient, ServiceConfig};
+use std::time::Instant;
+
+fn main() {
+    let scale = bench_scale();
+    let profile = DatasetProfile::SiftLike;
+    let k = 10;
+    let n = scale.scaled(10_000, 40_000);
+    let num_queries = scale.scaled(200, 1_000);
+    let w = Workload::generate(profile, n, num_queries, 7411);
+    // β = 0 keeps remote-vs-local parity assertable while we measure.
+    let (_owner, server, mut user) = build_scheme(&w, 0.0, HnswParams::default(), 41);
+    let params = SearchParams::from_ratio(k, 16, 160);
+    let queries: Vec<_> = w.queries().iter().map(|q| user.encrypt_query(q, k)).collect();
+
+    // In-process baseline (and the parity reference).
+    let started = Instant::now();
+    let reference: Vec<_> = queries.iter().map(|q| server.search(q, &params)).collect();
+    let base_secs = started.elapsed().as_secs_f64();
+    let base_qps = queries.len() as f64 / base_secs;
+
+    // One shared backend for the whole sweep; each sweep point gets its
+    // own `serve` so the per-row stats (and the p99 column) cover only
+    // that row's samples.
+    let workers = 8;
+    let shared = SharedServer::new(server);
+
+    let mut t = TableWriter::new(
+        &format!(
+            "Remote throughput ({}, n={n}, {} queries, {workers} workers)",
+            profile.name(),
+            queries.len()
+        ),
+        &["clients", "QPS", "vs in-process", "p99 us"],
+    );
+    t.row(&[
+        "in-process".into(),
+        format!("{base_qps:.0}"),
+        "1.00x".into(),
+        "-".into(),
+    ]);
+
+    let dim = w.dim();
+    for clients in [1usize, 2, 4, 8] {
+        let config = ServiceConfig::loopback(dim).with_workers(workers);
+        let handle = serve(shared.clone(), config).expect("bind loopback");
+        let addr = handle.local_addr();
+        let started = Instant::now();
+        std::thread::scope(|scope| {
+            for c in 0..clients {
+                let queries = &queries;
+                let reference = &reference;
+                scope.spawn(move || {
+                    let mut client =
+                        ServiceClient::connect(addr, Some(dim)).expect("connect");
+                    // Client c answers the query slice c, c+clients, ...
+                    for qi in (c..queries.len()).step_by(clients) {
+                        let out = client.search(&queries[qi], &params).expect("remote search");
+                        assert_eq!(out.ids, reference[qi].ids, "query {qi} ids diverge");
+                        let expect: Vec<u64> =
+                            reference[qi].sap_dists.iter().map(|d| d.to_bits()).collect();
+                        let got: Vec<u64> = out.sap_dists.iter().map(|d| d.to_bits()).collect();
+                        assert_eq!(got, expect, "query {qi} encrypted distances diverge");
+                    }
+                });
+            }
+        });
+        let secs = started.elapsed().as_secs_f64();
+        let qps = queries.len() as f64 / secs;
+        t.row(&[
+            format!("{clients}"),
+            format!("{qps:.0}"),
+            format!("{:.2}x", qps / base_qps),
+            format!("{}", handle.stats().percentile_micros(0.99)),
+        ]);
+        handle.request_stop();
+        handle.join();
+    }
+
+    t.print();
+    println!("\nRemote results matched the in-process baseline bit-for-bit at every sweep point.");
+}

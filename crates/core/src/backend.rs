@@ -39,8 +39,16 @@ pub trait MaintainableServer {
     /// Deletes a vector by id (graph repair runs server-side).
     ///
     /// Implementations panic on an out-of-range or already-deleted id, so
-    /// caller bugs surface identically across backends.
+    /// caller bugs surface identically across backends. Remote callers that
+    /// must not panic (the service layer answers bad ids with an error
+    /// frame) check [`Self::is_live`] first — see
+    /// [`SharedServer::try_delete`](crate::SharedServer::try_delete), which
+    /// does both under one exclusive lock.
     fn delete(&mut self, id: u32);
+
+    /// Whether `id` names a live (in-range, not yet deleted) vector, i.e.
+    /// whether [`Self::delete`] would succeed.
+    fn is_live(&self, id: u32) -> bool;
 
     /// Number of live vectors served.
     fn live_len(&self) -> usize;

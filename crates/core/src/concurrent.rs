@@ -51,6 +51,26 @@ impl<S: MaintainableServer> SharedServer<S> {
         self.inner.write().delete(id)
     }
 
+    /// Exclusive check-and-delete: returns `false` (leaving the backend
+    /// untouched) when `id` is out of range or already deleted, instead of
+    /// panicking like [`Self::delete`]. Check and removal happen under one
+    /// write lock, so concurrent deletes of the same id cannot race into
+    /// the panic path — this is the entry point the network service uses to
+    /// turn bad maintenance requests into error frames.
+    pub fn try_delete(&self, id: u32) -> bool {
+        let mut guard = self.inner.write();
+        if !guard.is_live(id) {
+            return false;
+        }
+        guard.delete(id);
+        true
+    }
+
+    /// Whether `id` is currently live (shared lock).
+    pub fn is_live(&self, id: u32) -> bool {
+        self.inner.read().is_live(id)
+    }
+
     /// Live vector count.
     pub fn len(&self) -> usize {
         self.inner.read().live_len()

@@ -3,6 +3,7 @@
 
 use ppann_dce::DceCiphertext;
 use ppann_hnsw::Hnsw;
+use ppann_linalg::vector;
 
 /// Everything the server holds: the HNSW graph whose `VecStore` contains the
 /// SAP ciphertexts, and one DCE ciphertext per vector, aligned by id.
@@ -41,6 +42,21 @@ impl EncryptedDatabase {
     /// The aligned DCE ciphertexts.
     pub fn dce_ciphertexts(&self) -> &[DceCiphertext] {
         &self.dce
+    }
+
+    /// Whether `id` names a live (in-range, not tombstoned) vector.
+    pub fn is_live(&self, id: u32) -> bool {
+        (id as usize) < self.hnsw.capacity_slots() && !self.hnsw.is_deleted(id)
+    }
+
+    /// Encrypted-space distances between a query's SAP ciphertext and the
+    /// stored SAP ciphertexts of `ids` (see
+    /// [`SearchOutcome::sap_dists`](crate::SearchOutcome::sap_dists)).
+    pub fn sap_distances(&self, c_sap_query: &[f64], ids: &[u32]) -> Vec<f64> {
+        let store = self.hnsw.store();
+        ids.iter()
+            .map(|&id| vector::squared_euclidean(c_sap_query, store.get(id)))
+            .collect()
     }
 
     /// Inserts a pre-encrypted vector (server-side half of the paper's

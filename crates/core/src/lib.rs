@@ -63,6 +63,7 @@ mod server;
 mod shard;
 pub mod tune;
 mod user;
+pub mod wire;
 
 pub use backend::{MaintainableServer, QueryBackend};
 pub use batch::{BatchExecutor, BatchOutcome};
@@ -76,3 +77,4 @@ pub use query::EncryptedQuery;
 pub use server::{CloudServer, SearchOutcome, SearchParams};
 pub use shard::ShardedServer;
 pub use user::QueryUser;
+pub use wire::WireError;

@@ -30,6 +30,14 @@ impl SearchParams {
 pub struct SearchOutcome {
     /// The k result ids, closest first.
     pub ids: Vec<u32>,
+    /// Per-id **encrypted-space** distance: the squared Euclidean distance
+    /// between the SAP ciphertext of the query and the stored SAP ciphertext
+    /// of each result (aligned with [`Self::ids`]). These are values the
+    /// server can already compute from what it stores — no plaintext
+    /// distance is revealed — and they are bit-identical across every
+    /// backend answering from the same outsourced database, which the
+    /// service layer's loopback parity tests rely on.
+    pub sap_dists: Vec<f64>,
     /// Number of candidates the filter phase produced (≤ k′).
     pub filter_candidates: usize,
     /// Cost breakdown for this query.
@@ -88,15 +96,16 @@ impl CloudServer {
         }
         let refine_sdc_comps = heap.comparisons();
         let ids = heap.into_sorted_ids();
+        let sap_dists = self.db.sap_distances(&query.c_sap, &ids);
 
         let cost = QueryCost {
             filter_dist_comps,
             refine_sdc_comps,
             server_time: started.elapsed(),
             bytes_up: query.upload_bytes(),
-            bytes_down: 4 * ids.len() as u64, // k result ids, u32 each
+            bytes_down: 4 * ids.len() as u64, // k result ids, u32 each (paper model)
         };
-        SearchOutcome { ids, filter_candidates: candidates.len(), cost }
+        SearchOutcome { ids, sap_dists, filter_candidates: candidates.len(), cost }
     }
 
     /// The filter phase alone (`HNSW(filter)` of Figure 6 and the β study of
@@ -108,6 +117,7 @@ impl CloudServer {
         let dist_before = hnsw.distance_computations();
         let hits = hnsw.search(&query.c_sap, query.k, ef_search.max(query.k));
         let ids: Vec<u32> = hits.iter().map(|h| h.id).collect();
+        let sap_dists = self.db.sap_distances(&query.c_sap, &ids);
         let cost = QueryCost {
             filter_dist_comps: hnsw.distance_computations().saturating_sub(dist_before),
             refine_sdc_comps: 0,
@@ -115,7 +125,7 @@ impl CloudServer {
             bytes_up: query.upload_bytes(),
             bytes_down: 4 * ids.len() as u64,
         };
-        SearchOutcome { filter_candidates: ids.len(), ids, cost }
+        SearchOutcome { filter_candidates: ids.len(), ids, sap_dists, cost }
     }
 
     /// Runs only the *filter* search but returns the raw candidate list
@@ -159,6 +169,10 @@ impl crate::backend::MaintainableServer for CloudServer {
 
     fn delete(&mut self, id: u32) {
         CloudServer::delete(self, id)
+    }
+
+    fn is_live(&self, id: u32) -> bool {
+        self.db.is_live(id)
     }
 
     fn live_len(&self) -> usize {

@@ -169,6 +169,7 @@ impl ShardedServer {
         }
         let refine_sdc_comps = heap.comparisons();
         let ids = heap.into_sorted_ids();
+        let sap_dists = self.sap_distances(&query.c_sap, &ids);
 
         let cost = QueryCost {
             filter_dist_comps,
@@ -177,7 +178,29 @@ impl ShardedServer {
             bytes_up: query.upload_bytes(),
             bytes_down: 4 * ids.len() as u64,
         };
-        SearchOutcome { ids, filter_candidates, cost }
+        SearchOutcome { ids, sap_dists, filter_candidates, cost }
+    }
+
+    /// Encrypted-space distances for result ids (the sharded twin of
+    /// [`crate::EncryptedDatabase::sap_distances`]): each global id routes
+    /// through its shard's vector store. Uses the exact same f64 expression,
+    /// so the values are bit-identical to the single-shard server's.
+    fn sap_distances(&self, c_sap_query: &[f64], ids: &[u32]) -> Vec<f64> {
+        ids.iter()
+            .map(|&g| {
+                let (s, local) = self.slots[g as usize].expect("result id must be live");
+                let store = self.shards[s as usize].hnsw.store();
+                ppann_linalg::vector::squared_euclidean(c_sap_query, store.get(local))
+            })
+            .collect()
+    }
+
+    /// Whether `id` names a live vector (in range, not tombstoned).
+    pub fn is_live(&self, id: u32) -> bool {
+        match self.slots.get(id as usize).copied().flatten() {
+            Some((s, local)) => !self.shards[s as usize].hnsw.is_deleted(local),
+            None => false,
+        }
     }
 
     /// Server-side insertion (Section V-D): the new vector joins the shard
@@ -248,6 +271,10 @@ impl MaintainableServer for ShardedServer {
 
     fn delete(&mut self, id: u32) {
         ShardedServer::delete(self, id)
+    }
+
+    fn is_live(&self, id: u32) -> bool {
+        ShardedServer::is_live(self, id)
     }
 
     fn live_len(&self) -> usize {

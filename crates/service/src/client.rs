@@ -1,0 +1,182 @@
+//! The blocking client library.
+//!
+//! [`ServiceClient`] speaks exactly one in-flight request per connection
+//! (the protocol is strict request/response); open several clients for
+//! concurrency — the `remote_throughput` bench does. The client is
+//! deliberately key-free: it ships pre-encrypted material produced by
+//! [`ppann_core::QueryUser`] / [`ppann_core::DataOwner`] and never sees
+//! key bundles, mirroring the trust split of the paper's Figure 1.
+
+use crate::io::{read_frame, write_frame, FrameReadError};
+use crate::stats::StatsSnapshot;
+use crate::wire::{ErrorCode, Frame, DEFAULT_MAX_FRAME};
+use ppann_core::{EncryptedQuery, SearchOutcome, SearchParams};
+use ppann_dce::DceCiphertext;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect, read, write, truncation).
+    Io(std::io::Error),
+    /// The server sent bytes that are not the expected protocol.
+    Protocol(String),
+    /// The server answered with an error frame.
+    Remote {
+        /// Error class reported by the server.
+        code: ErrorCode,
+        /// Human-readable detail from the server.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Protocol(msg) => write!(f, "protocol: {msg}"),
+            ClientError::Remote { code, message } => write!(f, "server: {code}: {message}"),
+        }
+    }
+}
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameReadError> for ClientError {
+    fn from(e: FrameReadError) -> Self {
+        match e {
+            FrameReadError::Io(e) => ClientError::Io(e),
+            FrameReadError::Protocol(p) => ClientError::Protocol(p.to_string()),
+            FrameReadError::Stopped | FrameReadError::TimedOut => {
+                ClientError::Protocol("read interrupted".into())
+            }
+        }
+    }
+}
+
+/// A blocking connection to a `ppann-service` server.
+pub struct ServiceClient {
+    stream: TcpStream,
+    max_frame: u32,
+    server_dim: u64,
+    server_live: u64,
+}
+
+impl ServiceClient {
+    /// Connects and performs the `Hello`/`HelloAck` handshake. Pass the
+    /// dimensionality you will query with — the server refuses mismatches
+    /// up front — or `None` to accept whatever the server serves.
+    pub fn connect<A: ToSocketAddrs>(addr: A, dim: Option<usize>) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let mut client = Self {
+            stream,
+            max_frame: DEFAULT_MAX_FRAME,
+            server_dim: 0,
+            server_live: 0,
+        };
+        let hello = Frame::Hello { dim: dim.map_or(0, |d| d as u64) };
+        match client.call(&hello)? {
+            Frame::HelloAck { dim, live } => {
+                client.server_dim = dim;
+                client.server_live = live;
+                Ok(client)
+            }
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// The dimensionality the server reported at handshake.
+    pub fn server_dim(&self) -> usize {
+        self.server_dim as usize
+    }
+
+    /// The live vector count the server reported at handshake.
+    pub fn server_live(&self) -> u64 {
+        self.server_live
+    }
+
+    /// Sends one encrypted query and returns the decoded outcome. The
+    /// `cost.server_time` field is the server's measurement rounded to
+    /// microseconds; ids and encrypted distances are bit-exact.
+    pub fn search(
+        &mut self,
+        query: &EncryptedQuery,
+        params: &SearchParams,
+    ) -> Result<SearchOutcome, ClientError> {
+        let frame = Frame::Search { params: *params, query: query.clone() };
+        match self.call(&frame)? {
+            Frame::SearchResult(outcome) => Ok(outcome),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Owner-authenticated insertion; returns the id the server assigned.
+    pub fn insert(
+        &mut self,
+        token: u64,
+        c_sap: Vec<f64>,
+        c_dce: DceCiphertext,
+    ) -> Result<u32, ClientError> {
+        match self.call(&Frame::Insert { token, c_sap, c_dce })? {
+            Frame::InsertAck { id } => Ok(id),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Owner-authenticated deletion by id.
+    pub fn delete(&mut self, token: u64, id: u32) -> Result<(), ClientError> {
+        match self.call(&Frame::Delete { token, id })? {
+            Frame::DeleteAck => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetches the service counters.
+    pub fn stats(&mut self) -> Result<StatsSnapshot, ClientError> {
+        match self.call(&Frame::Stats)? {
+            Frame::StatsReply(snap) => Ok(snap),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Owner-authenticated graceful shutdown. On `Ok` the server has
+    /// acknowledged and will stop accepting connections.
+    pub fn shutdown(&mut self, token: u64) -> Result<(), ClientError> {
+        match self.call(&Frame::Shutdown { token })? {
+            Frame::ShutdownAck => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// One request/response exchange. Error frames surface as
+    /// [`ClientError::Remote`].
+    fn call(&mut self, request: &Frame) -> Result<Frame, ClientError> {
+        write_frame(&mut self.stream, request)?;
+        match read_frame(&mut self.stream, self.max_frame, None, None)? {
+            Some((Frame::Error { code, message }, _)) => {
+                Err(ClientError::Remote { code, message })
+            }
+            Some((frame, _)) => Ok(frame),
+            None => Err(ClientError::Protocol("server closed the connection".into())),
+        }
+    }
+}
+
+impl std::fmt::Debug for ServiceClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceClient")
+            .field("server_dim", &self.server_dim)
+            .field("server_live", &self.server_live)
+            .finish_non_exhaustive()
+    }
+}
+
+fn unexpected(frame: &Frame) -> ClientError {
+    ClientError::Protocol(format!("unexpected reply frame tag {:#04x}", frame.tag()))
+}

@@ -1,0 +1,165 @@
+//! Blocking frame IO over byte streams.
+//!
+//! One frame in, one frame out — the protocol is strictly
+//! request/response per connection, so this module only needs two
+//! operations plus a poll-aware read for server workers that must notice a
+//! shutdown flag while parked on an idle connection.
+
+use crate::wire::{parse_header, Frame, ProtocolError, HEADER_LEN};
+use std::io::{ErrorKind, Read, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+/// Failures while reading one frame.
+#[derive(Debug)]
+pub enum FrameReadError {
+    /// Underlying transport failure (includes truncation mid-frame).
+    Io(std::io::Error),
+    /// The bytes arrived but do not form a valid frame.
+    Protocol(ProtocolError),
+    /// The stop flag was raised while waiting; the caller should close.
+    Stopped,
+    /// The deadline passed before a full frame arrived; the caller should
+    /// close (a server uses this to reclaim workers from silent peers).
+    TimedOut,
+}
+
+impl std::fmt::Display for FrameReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameReadError::Io(e) => write!(f, "io: {e}"),
+            FrameReadError::Protocol(e) => write!(f, "protocol: {e}"),
+            FrameReadError::Stopped => write!(f, "service stopping"),
+            FrameReadError::TimedOut => write!(f, "read deadline expired"),
+        }
+    }
+}
+impl std::error::Error for FrameReadError {}
+
+impl From<ProtocolError> for FrameReadError {
+    fn from(e: ProtocolError) -> Self {
+        FrameReadError::Protocol(e)
+    }
+}
+
+/// Encodes and writes one frame, returning the bytes put on the wire.
+pub fn write_frame<W: Write>(writer: &mut W, frame: &Frame) -> std::io::Result<usize> {
+    let bytes = frame.encode();
+    writer.write_all(&bytes)?;
+    writer.flush()?;
+    Ok(bytes.len())
+}
+
+enum ReadStatus {
+    Full,
+    /// Clean EOF before the first byte of the buffer.
+    CleanEof,
+    Stopped,
+    /// The deadline passed while waiting for bytes.
+    DeadlineExpired,
+}
+
+/// Fills `buf` completely, tolerating read timeouts. A timeout checks the
+/// stop flag and the deadline (when given) and otherwise retries without
+/// losing partially read bytes — essential with `TcpStream` read timeouts,
+/// where a plain `read_exact` would drop its partial progress on
+/// `WouldBlock`.
+fn read_full<R: Read>(
+    reader: &mut R,
+    buf: &mut [u8],
+    stop: Option<&AtomicBool>,
+    deadline: Option<Instant>,
+) -> Result<ReadStatus, std::io::Error> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 {
+                    Ok(ReadStatus::CleanEof)
+                } else {
+                    Err(std::io::Error::new(ErrorKind::UnexpectedEof, "truncated frame"))
+                };
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if stop.is_some_and(|s| s.load(Ordering::Relaxed)) {
+                    return Ok(ReadStatus::Stopped);
+                }
+                if deadline.is_some_and(|d| Instant::now() >= d) {
+                    return Ok(ReadStatus::DeadlineExpired);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(ReadStatus::Full)
+}
+
+/// Reads one frame. Returns `Ok(None)` on a clean EOF at a frame boundary
+/// (the peer closed between frames), `Err(FrameReadError::Stopped)` when
+/// the stop flag is raised while waiting, `Err(FrameReadError::TimedOut)`
+/// when `deadline` passes first. On success also returns the number of
+/// wire bytes consumed.
+pub fn read_frame<R: Read>(
+    reader: &mut R,
+    max_frame: u32,
+    stop: Option<&AtomicBool>,
+    deadline: Option<Instant>,
+) -> Result<Option<(Frame, usize)>, FrameReadError> {
+    let mut header = [0u8; HEADER_LEN];
+    match read_full(reader, &mut header, stop, deadline).map_err(FrameReadError::Io)? {
+        ReadStatus::CleanEof => return Ok(None),
+        ReadStatus::Stopped => return Err(FrameReadError::Stopped),
+        ReadStatus::DeadlineExpired => return Err(FrameReadError::TimedOut),
+        ReadStatus::Full => {}
+    }
+    let (tag, len) = parse_header(&header, max_frame)?;
+    let mut payload = vec![0u8; len as usize];
+    match read_full(reader, &mut payload, stop, deadline).map_err(FrameReadError::Io)? {
+        ReadStatus::CleanEof if len > 0 => {
+            return Err(FrameReadError::Io(std::io::Error::new(
+                ErrorKind::UnexpectedEof,
+                "truncated frame payload",
+            )));
+        }
+        ReadStatus::Stopped => return Err(FrameReadError::Stopped),
+        ReadStatus::DeadlineExpired => return Err(FrameReadError::TimedOut),
+        _ => {}
+    }
+    let frame = Frame::decode_payload(tag, bytes::Bytes::from(payload))?;
+    Ok(Some((frame, HEADER_LEN + len as usize)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::DEFAULT_MAX_FRAME;
+    use std::io::Cursor;
+
+    #[test]
+    fn stream_roundtrip() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Frame::Hello { dim: 3 }).unwrap();
+        write_frame(&mut wire, &Frame::Stats).unwrap();
+        let mut cursor = Cursor::new(wire);
+        let (a, n1) = read_frame(&mut cursor, DEFAULT_MAX_FRAME, None, None).unwrap().unwrap();
+        assert!(matches!(a, Frame::Hello { dim: 3 }));
+        assert_eq!(n1, HEADER_LEN + 8);
+        let (b, _) = read_frame(&mut cursor, DEFAULT_MAX_FRAME, None, None).unwrap().unwrap();
+        assert!(matches!(b, Frame::Stats));
+        assert!(read_frame(&mut cursor, DEFAULT_MAX_FRAME, None, None).unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_stream_is_io_error_not_clean_eof() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Frame::Hello { dim: 3 }).unwrap();
+        wire.truncate(wire.len() - 3);
+        let mut cursor = Cursor::new(wire);
+        match read_frame(&mut cursor, DEFAULT_MAX_FRAME, None, None) {
+            Err(FrameReadError::Io(e)) => assert_eq!(e.kind(), ErrorKind::UnexpectedEof),
+            other => panic!("expected truncation error, got {other:?}"),
+        }
+    }
+}

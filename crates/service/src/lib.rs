@@ -1,0 +1,71 @@
+//! # ppann-service
+//!
+//! The **networked query service** for the PP-ANNS scheme: everything
+//! needed to run the cloud server of the paper's Figure 1 as an actual
+//! server across a real network boundary, with the data owner, query
+//! users and the untrusted cloud in separate processes.
+//!
+//! Three layers:
+//!
+//! * [`wire`] — the versioned, length-prefixed binary framing (`PPNW`).
+//!   Byte-level spec with worked hex examples: `PROTOCOL.md` at the
+//!   repository root, rendered into these docs as the [`spec`] module.
+//! * [`server`] — a `TcpListener` accept loop feeding a fixed worker
+//!   thread pool over [`ppann_core::SharedServer`]: concurrent searches
+//!   under the shared lock, exclusive owner maintenance, bounded accept
+//!   queue for backpressure, graceful shutdown, atomic [`ServiceStats`].
+//! * [`client`] — the blocking [`ServiceClient`] used by the
+//!   `ppanns-cli serve`/`query`/`stats` subcommands, the
+//!   `secure_cloud_service` example and the loopback parity tests.
+//!
+//! ## The wire boundary (DESIGN.md §7)
+//!
+//! Only ciphertexts, ids and cost counters cross this boundary — SAP
+//! ciphertexts, DCE trapdoors and ciphertexts, result ids, encrypted-space
+//! distances and counters. Key bundles, plaintext vectors and plaintext
+//! distances have no codec, so they *cannot* be framed; the
+//! `frame_inspection` test enumerates every frame byte to verify it.
+//!
+//! ## Loopback quickstart
+//!
+//! ```
+//! use ppann_core::{CloudServer, DataOwner, PpAnnParams, SearchParams, SharedServer};
+//! use ppann_linalg::{seeded_rng, uniform_vec};
+//! use ppann_service::{serve, ServiceClient, ServiceConfig};
+//!
+//! // Owner side: encrypt and outsource.
+//! let mut rng = seeded_rng(5);
+//! let data: Vec<Vec<f64>> = (0..300).map(|_| uniform_vec(&mut rng, 8, -1.0, 1.0)).collect();
+//! let owner = DataOwner::setup(PpAnnParams::new(8).with_seed(2), &data);
+//! let shared = SharedServer::new(CloudServer::new(owner.outsource(&data)));
+//!
+//! // Cloud side: serve over TCP (port 0 = OS-assigned).
+//! let handle = serve(shared, ServiceConfig::loopback(8)).unwrap();
+//!
+//! // User side: encrypt locally, query remotely.
+//! let mut user = owner.authorize_user();
+//! let query = user.encrypt_query(&data[3], 5);
+//! let mut client = ServiceClient::connect(handle.local_addr(), Some(8)).unwrap();
+//! let outcome = client.search(&query, &SearchParams::from_ratio(5, 8, 60)).unwrap();
+//! assert_eq!(outcome.ids.len(), 5);
+//! assert!(outcome.ids.contains(&3));
+//!
+//! handle.request_stop();
+//! handle.join();
+//! ```
+
+pub mod client;
+pub mod io;
+pub mod server;
+pub mod stats;
+pub mod wire;
+
+/// The wire-protocol specification (`PROTOCOL.md`), rendered verbatim.
+pub mod spec {
+    #![doc = include_str!("../../../PROTOCOL.md")]
+}
+
+pub use client::{ClientError, ServiceClient};
+pub use server::{serve, ServiceConfig, ServiceHandle};
+pub use stats::{ServiceStats, StatsSnapshot};
+pub use wire::{ErrorCode, Frame, ProtocolError, DEFAULT_MAX_FRAME, PROTOCOL_VERSION};

@@ -1,0 +1,457 @@
+//! The thread-pooled TCP server.
+//!
+//! ```text
+//! TcpListener (accept loop, non-blocking + stop flag)
+//!      │  bounded crossbeam channel (backpressure: accept parks when the
+//!      │  queue is full, so a flood of connections cannot exhaust memory)
+//!      ▼
+//! N worker threads ── each owns one connection at a time ──► SharedServer<S>
+//!                      searches take the shared lock        (RwLock inside)
+//!                      maintenance takes the exclusive lock
+//! ```
+//!
+//! The backend is any [`SharedServer`] composition — the paper's
+//! single-threaded `CloudServer` or the multi-core `ShardedServer` — so
+//! concurrent `Search` frames run in parallel under the shared lock while
+//! `Insert`/`Delete` frames serialize on the exclusive path, exactly the
+//! concurrency contract `SharedServer` already guarantees in-process.
+//!
+//! Graceful shutdown: an owner-authenticated `Shutdown` frame (or
+//! [`ServiceHandle::request_stop`]) raises a flag; the accept loop stops
+//! admitting connections, workers finish the frame they are answering,
+//! notice the flag at their next idle read timeout, and exit.
+//!
+//! See `PROTOCOL.md` for the wire format and OPERATIONS.md for running
+//! this in production.
+
+use crate::io::{read_frame, write_frame, FrameReadError};
+use crate::stats::ServiceStats;
+use crate::wire::{ErrorCode, Frame, DEFAULT_MAX_FRAME};
+use crossbeam::channel;
+use parking_lot::Mutex;
+use ppann_core::{MaintainableServer, QueryBackend, SharedServer};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How long a worker parks on an idle connection before re-checking the
+/// stop flag. Bounds shutdown latency, not throughput.
+const IDLE_POLL: Duration = Duration::from_millis(50);
+
+/// How long the accept loop sleeps when no connection is pending.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// Server configuration.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Bind address; use port 0 for an OS-assigned port (tests do).
+    pub addr: String,
+    /// Worker threads, i.e. connections served concurrently.
+    pub workers: usize,
+    /// Maximum accepted frame payload in bytes; larger frames are refused
+    /// with an error frame before any allocation.
+    pub max_frame: u32,
+    /// Shared secret for `Insert`/`Delete`/`Shutdown` frames. `None`
+    /// disables remote maintenance and shutdown entirely. This stands in
+    /// for real channel authentication (mTLS etc. — DESIGN.md §7); it
+    /// gates *mutation*, not confidentiality, which the ciphertexts
+    /// provide on their own.
+    pub owner_token: Option<u64>,
+    /// Vector dimensionality served, echoed in `HelloAck` and enforced on
+    /// every query/insert.
+    pub dim: usize,
+    /// How long a fresh connection may take to send its `Hello`. Bounds
+    /// the cheapest worker-starvation attack (connect and say nothing).
+    pub handshake_timeout: Duration,
+    /// How long an established connection may sit idle between frames
+    /// before the worker reclaims itself. Generous by default — a parked
+    /// keep-alive client is legitimate, a worker held forever is not.
+    pub idle_timeout: Duration,
+}
+
+impl ServiceConfig {
+    /// Loopback defaults: OS-assigned port, 4 workers, maintenance off.
+    pub fn loopback(dim: usize) -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            max_frame: DEFAULT_MAX_FRAME,
+            owner_token: None,
+            dim,
+            handshake_timeout: Duration::from_secs(5),
+            idle_timeout: Duration::from_secs(120),
+        }
+    }
+
+    /// Replaces the bind address.
+    pub fn with_addr(mut self, addr: impl Into<String>) -> Self {
+        self.addr = addr.into();
+        self
+    }
+
+    /// Replaces the worker count (clamped to ≥ 1).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Enables owner maintenance under `token`.
+    pub fn with_owner_token(mut self, token: u64) -> Self {
+        self.owner_token = Some(token);
+        self
+    }
+
+    /// Replaces the frame size limit.
+    pub fn with_max_frame(mut self, max_frame: u32) -> Self {
+        self.max_frame = max_frame;
+        self
+    }
+
+    /// Replaces the handshake and idle deadlines.
+    pub fn with_timeouts(mut self, handshake: Duration, idle: Duration) -> Self {
+        self.handshake_timeout = handshake;
+        self.idle_timeout = idle;
+        self
+    }
+}
+
+/// A running service: bound address, shared counters, join/stop control.
+///
+/// Dropping the handle requests a stop and joins all threads, so a test
+/// (or a panicking caller) never leaks the listener.
+pub struct ServiceHandle {
+    addr: SocketAddr,
+    stats: Arc<ServiceStats>,
+    stop: Arc<AtomicBool>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ServiceHandle {
+    /// The address actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live service counters.
+    pub fn stats(&self) -> &ServiceStats {
+        &self.stats
+    }
+
+    /// Raises the stop flag: stop accepting, drain, exit. Returns
+    /// immediately; pair with [`Self::join`] to wait.
+    pub fn request_stop(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+    }
+
+    /// True once a stop was requested (locally or via a `Shutdown` frame).
+    pub fn stop_requested(&self) -> bool {
+        self.stop.load(Ordering::Relaxed)
+    }
+
+    /// Waits for the accept loop and every worker to exit.
+    pub fn join(mut self) {
+        self.join_inner();
+    }
+
+    fn join_inner(&mut self) {
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServiceHandle {
+    fn drop(&mut self) {
+        self.request_stop();
+        self.join_inner();
+    }
+}
+
+impl std::fmt::Debug for ServiceHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceHandle")
+            .field("addr", &self.addr)
+            .field("stopping", &self.stop_requested())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Binds the listener and spawns the accept loop plus worker pool over a
+/// shared backend. Returns once the socket is bound; serving continues in
+/// the background until a shutdown is requested.
+pub fn serve<S>(backend: SharedServer<S>, config: ServiceConfig) -> std::io::Result<ServiceHandle>
+where
+    S: QueryBackend + MaintainableServer + Send + Sync + 'static,
+{
+    let listener = TcpListener::bind(&config.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let stats = Arc::new(ServiceStats::new());
+    let stop = Arc::new(AtomicBool::new(false));
+    let workers = config.workers.max(1);
+
+    // Bounded hand-off queue: a small backlog per worker. When every
+    // worker is busy and the backlog is full, the accept loop parks —
+    // backpressure instead of unbounded buffering.
+    let (conn_tx, conn_rx) = channel::bounded::<TcpStream>(workers * 4);
+    let conn_rx = Arc::new(Mutex::new(conn_rx));
+
+    let mut threads = Vec::with_capacity(workers + 1);
+    for _ in 0..workers {
+        let rx = Arc::clone(&conn_rx);
+        let backend = backend.clone();
+        let stats = Arc::clone(&stats);
+        let stop = Arc::clone(&stop);
+        let config = config.clone();
+        threads.push(std::thread::spawn(move || loop {
+            // Take the next connection; the lock covers only the queue pop.
+            let next = rx.lock().try_recv();
+            match next {
+                Ok(conn) => {
+                    // A panic while serving one connection must not take the
+                    // worker down with it (the vendored lock recovers from
+                    // poisoning, so the backend stays serviceable too).
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        serve_connection(conn, &backend, &config, &stats, &stop);
+                    }));
+                    if result.is_err() {
+                        stats.record_error();
+                    }
+                }
+                Err(channel::TryRecvError::Empty) => {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+                Err(channel::TryRecvError::Disconnected) => break,
+            }
+        }));
+    }
+
+    {
+        let stop = Arc::clone(&stop);
+        threads.push(std::thread::spawn(move || {
+            loop {
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                match listener.accept() {
+                    Ok((conn, _peer)) => {
+                        // Accepted sockets are blocking with a short read
+                        // timeout: workers poll the stop flag while idle.
+                        let ok = conn.set_nonblocking(false).is_ok()
+                            && conn.set_read_timeout(Some(IDLE_POLL)).is_ok()
+                            && conn.set_nodelay(true).is_ok();
+                        if ok && conn_tx.send(conn).is_err() {
+                            break; // all workers gone
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(ACCEPT_POLL);
+                    }
+                    Err(_) => std::thread::sleep(ACCEPT_POLL),
+                }
+            }
+            // Dropping conn_tx disconnects the queue; idle workers exit.
+        }));
+    }
+
+    Ok(ServiceHandle { addr, stats, stop, threads })
+}
+
+/// Serves one connection to completion: handshake, then request/response
+/// frames until the peer closes, a framing error breaks stream sync, or a
+/// stop is requested.
+fn serve_connection<S>(
+    mut conn: TcpStream,
+    backend: &SharedServer<S>,
+    config: &ServiceConfig,
+    stats: &ServiceStats,
+    stop: &AtomicBool,
+) where
+    S: QueryBackend + MaintainableServer + Send + Sync,
+{
+    // --- Handshake: the first frame must be Hello with a compatible dim,
+    // and it must arrive before the handshake deadline — otherwise a
+    // silent peer would pin this worker indefinitely.
+    match next_frame(&mut conn, config, stats, stop, config.handshake_timeout) {
+        Some(Frame::Hello { dim }) => {
+            if dim != 0 && dim != config.dim as u64 {
+                send_error(
+                    &mut conn,
+                    stats,
+                    ErrorCode::DimMismatch,
+                    format!("server dim {}, client dim {dim}", config.dim),
+                );
+                return;
+            }
+            send(
+                &mut conn,
+                stats,
+                &Frame::HelloAck { dim: config.dim as u64, live: backend.len() as u64 },
+            );
+        }
+        Some(_) => {
+            send_error(&mut conn, stats, ErrorCode::BadRequest, "expected Hello first".into());
+            return;
+        }
+        None => return,
+    }
+
+    // --- Request/response loop.
+    loop {
+        let frame = match next_frame(&mut conn, config, stats, stop, config.idle_timeout) {
+            Some(f) => f,
+            None => return,
+        };
+        match frame {
+            Frame::Search { params, query } => {
+                if query.c_sap.len() != config.dim {
+                    send_error(
+                        &mut conn,
+                        stats,
+                        ErrorCode::BadRequest,
+                        format!("query dim {} != served dim {}", query.c_sap.len(), config.dim),
+                    );
+                    continue;
+                }
+                let expected = ppann_dce::ciphertext_dim(config.dim);
+                if query.trapdoor.dim() != expected {
+                    send_error(
+                        &mut conn,
+                        stats,
+                        ErrorCode::BadRequest,
+                        format!("trapdoor dim {} != expected {expected}", query.trapdoor.dim()),
+                    );
+                    continue;
+                }
+                let started = Instant::now();
+                let outcome = backend.search(&query, &params);
+                stats.record_query(started.elapsed());
+                send(&mut conn, stats, &Frame::SearchResult(outcome));
+            }
+            Frame::Insert { token, c_sap, c_dce } => {
+                if !authorized(config, token) {
+                    send_error(&mut conn, stats, ErrorCode::Unauthorized, "bad owner token".into());
+                    continue;
+                }
+                if c_sap.len() != config.dim {
+                    send_error(
+                        &mut conn,
+                        stats,
+                        ErrorCode::BadRequest,
+                        format!("insert dim {} != served dim {}", c_sap.len(), config.dim),
+                    );
+                    continue;
+                }
+                // A wrong-shape DCE ciphertext would be stored silently and
+                // poison every later refine that touches it — reject here.
+                let expected = ppann_dce::ciphertext_dim(config.dim);
+                if c_dce.component_dim() != expected {
+                    send_error(
+                        &mut conn,
+                        stats,
+                        ErrorCode::BadRequest,
+                        format!(
+                            "DCE component dim {} != expected {expected}",
+                            c_dce.component_dim()
+                        ),
+                    );
+                    continue;
+                }
+                let id = backend.insert(c_sap, c_dce);
+                stats.record_insert();
+                send(&mut conn, stats, &Frame::InsertAck { id });
+            }
+            Frame::Delete { token, id } => {
+                if !authorized(config, token) {
+                    send_error(&mut conn, stats, ErrorCode::Unauthorized, "bad owner token".into());
+                    continue;
+                }
+                if backend.try_delete(id) {
+                    stats.record_delete();
+                    send(&mut conn, stats, &Frame::DeleteAck);
+                } else {
+                    send_error(
+                        &mut conn,
+                        stats,
+                        ErrorCode::BadRequest,
+                        format!("id {id} out of range or already deleted"),
+                    );
+                }
+            }
+            Frame::Stats => {
+                let snap = stats.snapshot(backend.len() as u64);
+                send(&mut conn, stats, &Frame::StatsReply(snap));
+            }
+            Frame::Shutdown { token } => {
+                if !authorized(config, token) {
+                    send_error(&mut conn, stats, ErrorCode::Unauthorized, "bad owner token".into());
+                    continue;
+                }
+                send(&mut conn, stats, &Frame::ShutdownAck);
+                stop.store(true, Ordering::Relaxed);
+                return;
+            }
+            // Replies and a second Hello are protocol violations from a
+            // client; answer and keep the connection (stream sync intact).
+            Frame::Hello { .. }
+            | Frame::HelloAck { .. }
+            | Frame::SearchResult(_)
+            | Frame::InsertAck { .. }
+            | Frame::DeleteAck
+            | Frame::StatsReply(_)
+            | Frame::ShutdownAck
+            | Frame::Error { .. } => {
+                send_error(
+                    &mut conn,
+                    stats,
+                    ErrorCode::BadRequest,
+                    "unexpected frame direction".into(),
+                );
+            }
+        }
+    }
+}
+
+fn authorized(config: &ServiceConfig, token: u64) -> bool {
+    config.owner_token == Some(token)
+}
+
+/// Reads the next request frame. Framing errors are answered with an error
+/// frame and `None` (connection closes — stream sync is gone); clean EOF,
+/// stop and a blown deadline all yield `None`.
+fn next_frame(
+    conn: &mut TcpStream,
+    config: &ServiceConfig,
+    stats: &ServiceStats,
+    stop: &AtomicBool,
+    timeout: Duration,
+) -> Option<Frame> {
+    let deadline = Instant::now().checked_add(timeout);
+    match read_frame(conn, config.max_frame, Some(stop), deadline) {
+        Ok(Some((frame, n))) => {
+            stats.add_bytes_in(n as u64);
+            Some(frame)
+        }
+        Ok(None) | Err(FrameReadError::Stopped) | Err(FrameReadError::TimedOut) => None,
+        Err(FrameReadError::Protocol(e)) => {
+            send_error(conn, stats, e.error_code(), e.to_string());
+            None
+        }
+        Err(FrameReadError::Io(_)) => None,
+    }
+}
+
+fn send(conn: &mut TcpStream, stats: &ServiceStats, frame: &Frame) {
+    if let Ok(n) = write_frame(conn, frame) {
+        stats.add_bytes_out(n as u64);
+    }
+}
+
+fn send_error(conn: &mut TcpStream, stats: &ServiceStats, code: ErrorCode, message: String) {
+    stats.record_error();
+    send(conn, stats, &Frame::Error { code, message });
+}

@@ -1,0 +1,264 @@
+//! Atomic service counters with bucketed latency percentiles.
+//!
+//! Every worker thread updates one shared [`ServiceStats`] with relaxed
+//! atomics — no locking on the hot path. Latency is recorded into
+//! power-of-two microsecond buckets, so the reported p50/p99 are the upper
+//! bound of the bucket containing the percentile (within 2× of the true
+//! value), which is all an operational dashboard needs. OPERATIONS.md
+//! describes how to read these numbers in production.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use ppann_core::wire::WireError;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Number of latency buckets: bucket `i` holds samples whose microsecond
+/// value has bit length `i` (bucket 0 holds sub-microsecond samples), so 40
+/// buckets cover up to ~2^39 µs ≈ 6.4 days.
+const LATENCY_BUCKETS: usize = 40;
+
+/// Shared, lock-free service counters.
+#[derive(Debug)]
+pub struct ServiceStats {
+    started: Instant,
+    queries: AtomicU64,
+    inserts: AtomicU64,
+    deletes: AtomicU64,
+    errors: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    latency: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl Default for ServiceStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServiceStats {
+    /// Fresh counters; uptime starts now.
+    pub fn new() -> Self {
+        Self {
+            started: Instant::now(),
+            queries: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            deletes: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            bytes_in: AtomicU64::new(0),
+            bytes_out: AtomicU64::new(0),
+            latency: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Records one answered query and its server-side latency.
+    pub fn record_query(&self, latency: Duration) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        let micros = latency.as_micros() as u64;
+        let bucket = (64 - micros.leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
+        self.latency[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one completed insertion.
+    pub fn record_insert(&self) {
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one completed deletion.
+    pub fn record_delete(&self) {
+        self.deletes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one error frame sent.
+    pub fn record_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds received frame bytes.
+    pub fn add_bytes_in(&self, n: u64) {
+        self.bytes_in.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds sent frame bytes.
+    pub fn add_bytes_out(&self, n: u64) {
+        self.bytes_out.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Queries served so far.
+    pub fn queries(&self) -> u64 {
+        self.queries.load(Ordering::Relaxed)
+    }
+
+    /// The latency percentile `p` (in `0.0..=1.0`) in microseconds: the
+    /// upper bound of the bucket containing that percentile, or 0 when no
+    /// query has been recorded yet.
+    pub fn percentile_micros(&self, p: f64) -> u64 {
+        let counts: Vec<u64> = self.latency.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((total as f64) * p.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                // Bucket i holds values with bit length i: upper bound 2^i - 1.
+                return if i == 0 { 0 } else { (1u64 << i) - 1 };
+            }
+        }
+        (1u64 << (LATENCY_BUCKETS - 1)) - 1
+    }
+
+    /// A consistent-enough copy of all counters (each counter is read
+    /// atomically; the set is not a single atomic snapshot).
+    pub fn snapshot(&self, live: u64) -> StatsSnapshot {
+        StatsSnapshot {
+            queries: self.queries.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            deletes: self.deletes.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            live,
+            p50_micros: self.percentile_micros(0.50),
+            p99_micros: self.percentile_micros(0.99),
+            uptime_micros: self.started.elapsed().as_micros() as u64,
+        }
+    }
+}
+
+/// A point-in-time copy of the service counters, as carried by the
+/// `StatsReply` frame.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Queries answered.
+    pub queries: u64,
+    /// Insertions applied.
+    pub inserts: u64,
+    /// Deletions applied.
+    pub deletes: u64,
+    /// Error frames sent.
+    pub errors: u64,
+    /// Frame bytes received.
+    pub bytes_in: u64,
+    /// Frame bytes sent.
+    pub bytes_out: u64,
+    /// Live vectors currently served.
+    pub live: u64,
+    /// Median query latency (bucketed upper bound, µs).
+    pub p50_micros: u64,
+    /// 99th-percentile query latency (bucketed upper bound, µs).
+    pub p99_micros: u64,
+    /// Server uptime in microseconds.
+    pub uptime_micros: u64,
+}
+
+impl StatsSnapshot {
+    /// Appends the ten counters as little-endian `u64`s, in field order.
+    pub fn write_to(&self, buf: &mut BytesMut) {
+        for v in [
+            self.queries,
+            self.inserts,
+            self.deletes,
+            self.errors,
+            self.bytes_in,
+            self.bytes_out,
+            self.live,
+            self.p50_micros,
+            self.p99_micros,
+            self.uptime_micros,
+        ] {
+            buf.put_u64_le(v);
+        }
+    }
+
+    /// Reads a snapshot written by [`Self::write_to`].
+    pub fn read_from(data: &mut Bytes) -> Result<Self, WireError> {
+        if data.remaining() < 80 {
+            return Err(WireError::Truncated);
+        }
+        Ok(Self {
+            queries: data.get_u64_le(),
+            inserts: data.get_u64_le(),
+            deletes: data.get_u64_le(),
+            errors: data.get_u64_le(),
+            bytes_in: data.get_u64_le(),
+            bytes_out: data.get_u64_le(),
+            live: data.get_u64_le(),
+            p50_micros: data.get_u64_le(),
+            p99_micros: data.get_u64_le(),
+            uptime_micros: data.get_u64_le(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_over_known_distribution() {
+        let stats = ServiceStats::new();
+        // 99 fast queries (~100 µs) and one slow outlier (~100 ms).
+        for _ in 0..99 {
+            stats.record_query(Duration::from_micros(100));
+        }
+        stats.record_query(Duration::from_millis(100));
+        let p50 = stats.percentile_micros(0.50);
+        let p99 = stats.percentile_micros(0.99);
+        // 100 µs has bit length 7 → bucket upper bound 127 µs.
+        assert_eq!(p50, 127);
+        assert!(p99 <= 127, "p99 {p99} should still be in the fast bucket");
+        // The outlier dominates only the very top of the distribution.
+        assert!(stats.percentile_micros(1.0) >= 100_000 / 2);
+    }
+
+    #[test]
+    fn empty_stats_report_zero() {
+        let stats = ServiceStats::new();
+        assert_eq!(stats.percentile_micros(0.5), 0);
+        let snap = stats.snapshot(0);
+        assert_eq!(snap.queries, 0);
+        assert_eq!(snap.p99_micros, 0);
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let snap = StatsSnapshot {
+            queries: 1,
+            inserts: 2,
+            deletes: 3,
+            errors: 4,
+            bytes_in: 5,
+            bytes_out: 6,
+            live: 7,
+            p50_micros: 8,
+            p99_micros: 9,
+            uptime_micros: 10,
+        };
+        let mut buf = BytesMut::new();
+        snap.write_to(&mut buf);
+        assert_eq!(buf.len(), 80);
+        let mut data = buf.freeze();
+        assert_eq!(StatsSnapshot::read_from(&mut data).unwrap(), snap);
+        assert!(!data.has_remaining());
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let stats = ServiceStats::new();
+        stats.record_insert();
+        stats.record_delete();
+        stats.record_error();
+        stats.add_bytes_in(10);
+        stats.add_bytes_out(20);
+        let snap = stats.snapshot(5);
+        assert_eq!(snap.inserts, 1);
+        assert_eq!(snap.deletes, 1);
+        assert_eq!(snap.errors, 1);
+        assert_eq!(snap.bytes_in, 10);
+        assert_eq!(snap.bytes_out, 20);
+        assert_eq!(snap.live, 5);
+    }
+}

@@ -1,0 +1,627 @@
+//! The framed binary wire protocol (`PPNW`), message layer.
+//!
+//! Every message travels as one **frame**: a fixed 12-byte header followed
+//! by a message payload. The byte-level specification, including one worked
+//! hex example per message, is `PROTOCOL.md` at the repository root
+//! (rendered into this crate's docs as [`crate::spec`]); the
+//! `protocol_examples` integration test asserts those documented bytes
+//! decode and re-encode exactly.
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic "PPNW"
+//! 4       1     protocol version (currently 1)
+//! 5       1     message tag
+//! 6       2     reserved, must be zero (little-endian u16)
+//! 8       4     payload length in bytes (little-endian u32)
+//! 12      len   payload
+//! ```
+//!
+//! Payload codecs reuse the core serialization hooks
+//! ([`EncryptedQuery::write_to`], [`SearchOutcome::write_to`],
+//! [`SearchParams::write_to`] — `ppann_core::wire`), so the service layer
+//! adds framing and dispatch but no second serialization scheme.
+//!
+//! ## What may cross the wire
+//!
+//! Only ciphertext, id and cost material is representable: SAP ciphertexts,
+//! DCE trapdoors/ciphertexts, result ids, encrypted-space distances, cost
+//! counters and service statistics. There is deliberately no codec for
+//! plaintext vectors, plaintext distances or key material — see DESIGN.md
+//! §7 for the threat-model placement of this boundary.
+
+use crate::stats::StatsSnapshot;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use ppann_core::wire::{get_f64_slice, put_f64_slice, WireError};
+use ppann_core::{EncryptedQuery, SearchOutcome, SearchParams};
+use ppann_dce::DceCiphertext;
+
+/// Frame magic: the first four bytes of every frame.
+pub const MAGIC: [u8; 4] = *b"PPNW";
+
+/// Protocol version this build speaks (header byte 4).
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Size of the fixed frame header in bytes.
+pub const HEADER_LEN: usize = 12;
+
+/// Default maximum accepted payload size (32 MiB). Frames claiming more
+/// are rejected with [`ErrorCode::FrameTooLarge`] before any allocation.
+pub const DEFAULT_MAX_FRAME: u32 = 32 * 1024 * 1024;
+
+/// Message tags (header byte 5).
+pub mod tag {
+    pub const HELLO: u8 = 0x01;
+    pub const HELLO_ACK: u8 = 0x02;
+    pub const SEARCH: u8 = 0x10;
+    pub const SEARCH_RESULT: u8 = 0x11;
+    pub const INSERT: u8 = 0x20;
+    pub const INSERT_ACK: u8 = 0x21;
+    pub const DELETE: u8 = 0x22;
+    pub const DELETE_ACK: u8 = 0x23;
+    pub const STATS: u8 = 0x30;
+    pub const STATS_REPLY: u8 = 0x31;
+    pub const SHUTDOWN: u8 = 0x3E;
+    pub const SHUTDOWN_ACK: u8 = 0x3F;
+    pub const ERROR: u8 = 0x7F;
+}
+
+/// Error codes carried by [`Frame::Error`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u16)]
+pub enum ErrorCode {
+    /// The frame could not be parsed (bad magic, unknown tag, malformed
+    /// payload, trailing bytes). The connection is closed after this —
+    /// stream synchronization cannot be trusted anymore.
+    BadFrame = 1,
+    /// Header protocol version unsupported by this server.
+    UnsupportedVersion = 2,
+    /// Client and server disagree on the vector dimensionality.
+    DimMismatch = 3,
+    /// Maintenance/shutdown frame without the owner token.
+    Unauthorized = 4,
+    /// A well-formed request the backend refuses (e.g. deleting an id that
+    /// is out of range or already deleted). The connection stays open.
+    BadRequest = 5,
+    /// The frame header claims a payload above the server's limit.
+    FrameTooLarge = 6,
+    /// The server failed internally while answering.
+    Internal = 7,
+}
+
+impl ErrorCode {
+    /// Decodes a wire error code.
+    pub fn from_u16(v: u16) -> Option<Self> {
+        Some(match v {
+            1 => Self::BadFrame,
+            2 => Self::UnsupportedVersion,
+            3 => Self::DimMismatch,
+            4 => Self::Unauthorized,
+            5 => Self::BadRequest,
+            6 => Self::FrameTooLarge,
+            7 => Self::Internal,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Self::BadFrame => "bad frame",
+            Self::UnsupportedVersion => "unsupported protocol version",
+            Self::DimMismatch => "dimension mismatch",
+            Self::Unauthorized => "unauthorized",
+            Self::BadRequest => "bad request",
+            Self::FrameTooLarge => "frame too large",
+            Self::Internal => "internal server error",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Frame-layer failures (header or payload level).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// First four bytes are not `PPNW`.
+    BadMagic,
+    /// Header version byte differs from [`PROTOCOL_VERSION`].
+    BadVersion(u8),
+    /// Reserved header bytes are non-zero.
+    BadReserved,
+    /// Tag byte names no known message.
+    UnknownTag(u8),
+    /// Payload length exceeds the configured maximum.
+    TooLarge { claimed: u32, max: u32 },
+    /// Payload failed to decode.
+    Codec(WireError),
+    /// Payload decoded but left unconsumed bytes.
+    TrailingBytes(usize),
+}
+
+impl From<WireError> for ProtocolError {
+    fn from(e: WireError) -> Self {
+        ProtocolError::Codec(e)
+    }
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::BadMagic => write!(f, "bad frame magic"),
+            Self::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            Self::BadReserved => write!(f, "reserved header bytes must be zero"),
+            Self::UnknownTag(t) => write!(f, "unknown message tag {t:#04x}"),
+            Self::TooLarge { claimed, max } => {
+                write!(f, "payload of {claimed} bytes exceeds the {max}-byte limit")
+            }
+            Self::Codec(e) => write!(f, "payload codec: {e}"),
+            Self::TrailingBytes(n) => write!(f, "{n} trailing bytes after payload"),
+        }
+    }
+}
+impl std::error::Error for ProtocolError {}
+
+impl ProtocolError {
+    /// The error code a server reports for this failure.
+    pub fn error_code(&self) -> ErrorCode {
+        match self {
+            Self::BadVersion(_) => ErrorCode::UnsupportedVersion,
+            Self::TooLarge { .. } => ErrorCode::FrameTooLarge,
+            _ => ErrorCode::BadFrame,
+        }
+    }
+}
+
+/// One protocol message, ready to frame.
+#[derive(Clone, Debug)]
+pub enum Frame {
+    /// Connection opener (client → server, must be first). `dim` is the
+    /// dimensionality the client will query with; `0` means "unknown,
+    /// tell me" and always passes the server's check.
+    Hello { dim: u64 },
+    /// Handshake answer (server → client): the served dimensionality and
+    /// the current live vector count.
+    HelloAck { dim: u64, live: u64 },
+    /// One encrypted query with its public search knobs.
+    Search { params: SearchParams, query: EncryptedQuery },
+    /// Answer to [`Frame::Search`]: ids, encrypted-space distances, cost.
+    SearchResult(SearchOutcome),
+    /// Owner-authenticated insertion of a pre-encrypted vector.
+    Insert { token: u64, c_sap: Vec<f64>, c_dce: DceCiphertext },
+    /// Answer to [`Frame::Insert`]: the assigned id.
+    InsertAck { id: u32 },
+    /// Owner-authenticated deletion by id.
+    Delete { token: u64, id: u32 },
+    /// Answer to a successful [`Frame::Delete`].
+    DeleteAck,
+    /// Request for the service counters (unauthenticated, read-only).
+    Stats,
+    /// Answer to [`Frame::Stats`].
+    StatsReply(StatsSnapshot),
+    /// Owner-authenticated graceful shutdown request.
+    Shutdown { token: u64 },
+    /// Answer to [`Frame::Shutdown`]; the listener stops accepting and
+    /// drains in-flight connections after this is sent.
+    ShutdownAck,
+    /// Failure report. Depending on the code the server either keeps the
+    /// connection open (semantic errors) or closes it (framing errors).
+    Error { code: ErrorCode, message: String },
+}
+
+impl Frame {
+    /// The wire tag of this message.
+    pub fn tag(&self) -> u8 {
+        match self {
+            Frame::Hello { .. } => tag::HELLO,
+            Frame::HelloAck { .. } => tag::HELLO_ACK,
+            Frame::Search { .. } => tag::SEARCH,
+            Frame::SearchResult(_) => tag::SEARCH_RESULT,
+            Frame::Insert { .. } => tag::INSERT,
+            Frame::InsertAck { .. } => tag::INSERT_ACK,
+            Frame::Delete { .. } => tag::DELETE,
+            Frame::DeleteAck => tag::DELETE_ACK,
+            Frame::Stats => tag::STATS,
+            Frame::StatsReply(_) => tag::STATS_REPLY,
+            Frame::Shutdown { .. } => tag::SHUTDOWN,
+            Frame::ShutdownAck => tag::SHUTDOWN_ACK,
+            Frame::Error { .. } => tag::ERROR,
+        }
+    }
+
+    /// Encodes the complete frame: header plus payload.
+    pub fn encode(&self) -> Bytes {
+        let mut payload = BytesMut::new();
+        self.write_payload(&mut payload);
+        let mut out = BytesMut::with_capacity(HEADER_LEN + payload.len());
+        out.put_slice(&MAGIC);
+        out.put_u8(PROTOCOL_VERSION);
+        out.put_u8(self.tag());
+        out.put_u16_le(0); // reserved
+        out.put_u32_le(payload.len() as u32);
+        out.put_slice(&payload);
+        out.freeze()
+    }
+
+    fn write_payload(&self, buf: &mut BytesMut) {
+        match self {
+            Frame::Hello { dim } => buf.put_u64_le(*dim),
+            Frame::HelloAck { dim, live } => {
+                buf.put_u64_le(*dim);
+                buf.put_u64_le(*live);
+            }
+            Frame::Search { params, query } => {
+                params.write_to(buf);
+                query.write_to(buf);
+            }
+            Frame::SearchResult(outcome) => outcome.write_to(buf),
+            Frame::Insert { token, c_sap, c_dce } => {
+                buf.put_u64_le(*token);
+                put_f64_slice(buf, c_sap);
+                write_dce_ciphertext(buf, c_dce);
+            }
+            Frame::InsertAck { id } => buf.put_u32_le(*id),
+            Frame::Delete { token, id } => {
+                buf.put_u64_le(*token);
+                buf.put_u32_le(*id);
+            }
+            Frame::DeleteAck | Frame::Stats | Frame::ShutdownAck => {}
+            Frame::StatsReply(snap) => snap.write_to(buf),
+            Frame::Shutdown { token } => buf.put_u64_le(*token),
+            Frame::Error { code, message } => {
+                buf.put_u16_le(*code as u16);
+                let msg = message.as_bytes();
+                buf.put_u64_le(msg.len() as u64);
+                buf.put_slice(msg);
+            }
+        }
+    }
+
+    /// Decodes a payload for `tag`, requiring full consumption.
+    pub fn decode_payload(tag_byte: u8, mut data: Bytes) -> Result<Frame, ProtocolError> {
+        let frame = match tag_byte {
+            tag::HELLO => Frame::Hello { dim: get_u64(&mut data)? },
+            tag::HELLO_ACK => {
+                Frame::HelloAck { dim: get_u64(&mut data)?, live: get_u64(&mut data)? }
+            }
+            tag::SEARCH => {
+                let params = SearchParams::read_from(&mut data)?;
+                let query = EncryptedQuery::read_from(&mut data)?;
+                Frame::Search { params, query }
+            }
+            tag::SEARCH_RESULT => Frame::SearchResult(SearchOutcome::read_from(&mut data)?),
+            tag::INSERT => {
+                let token = get_u64(&mut data)?;
+                let c_sap = get_f64_slice(&mut data)?;
+                let c_dce = read_dce_ciphertext(&mut data)?;
+                Frame::Insert { token, c_sap, c_dce }
+            }
+            tag::INSERT_ACK => Frame::InsertAck { id: get_u32(&mut data)? },
+            tag::DELETE => Frame::Delete { token: get_u64(&mut data)?, id: get_u32(&mut data)? },
+            tag::DELETE_ACK => Frame::DeleteAck,
+            tag::STATS => Frame::Stats,
+            tag::STATS_REPLY => Frame::StatsReply(StatsSnapshot::read_from(&mut data)?),
+            tag::SHUTDOWN => Frame::Shutdown { token: get_u64(&mut data)? },
+            tag::SHUTDOWN_ACK => Frame::ShutdownAck,
+            tag::ERROR => {
+                if data.remaining() < 10 {
+                    return Err(WireError::Truncated.into());
+                }
+                let code_raw = data.get_u16_le();
+                let code = ErrorCode::from_u16(code_raw)
+                    .ok_or_else(|| WireError::Malformed(format!("error code {code_raw}")))?;
+                let len = data.get_u64_le() as usize;
+                if data.remaining() < len {
+                    return Err(WireError::Truncated.into());
+                }
+                let message = String::from_utf8(data.copy_to_bytes(len).to_vec())
+                    .map_err(|_| WireError::Malformed("error message not UTF-8".into()))?;
+                Frame::Error { code, message }
+            }
+            other => return Err(ProtocolError::UnknownTag(other)),
+        };
+        if data.has_remaining() {
+            return Err(ProtocolError::TrailingBytes(data.remaining()));
+        }
+        Ok(frame)
+    }
+}
+
+/// Parses and validates a frame header, returning `(tag, payload_len)`.
+pub fn parse_header(header: &[u8; HEADER_LEN], max_frame: u32) -> Result<(u8, u32), ProtocolError> {
+    if header[..4] != MAGIC {
+        return Err(ProtocolError::BadMagic);
+    }
+    if header[4] != PROTOCOL_VERSION {
+        return Err(ProtocolError::BadVersion(header[4]));
+    }
+    if header[6] != 0 || header[7] != 0 {
+        return Err(ProtocolError::BadReserved);
+    }
+    let len = u32::from_le_bytes([header[8], header[9], header[10], header[11]]);
+    if len > max_frame {
+        return Err(ProtocolError::TooLarge { claimed: len, max: max_frame });
+    }
+    Ok((header[5], len))
+}
+
+/// Decodes one complete frame from a contiguous buffer (header + payload).
+/// Used by tests and by callers that already hold whole frames; the
+/// streaming path lives in [`crate::io`].
+pub fn decode_frame(bytes: &[u8], max_frame: u32) -> Result<Frame, ProtocolError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(ProtocolError::Codec(WireError::Truncated));
+    }
+    let mut header = [0u8; HEADER_LEN];
+    header.copy_from_slice(&bytes[..HEADER_LEN]);
+    let (tag_byte, len) = parse_header(&header, max_frame)?;
+    let payload = &bytes[HEADER_LEN..];
+    if payload.len() != len as usize {
+        return Err(ProtocolError::Codec(WireError::Truncated));
+    }
+    Frame::decode_payload(tag_byte, Bytes::copy_from_slice(payload))
+}
+
+fn get_u64(data: &mut Bytes) -> Result<u64, WireError> {
+    if data.remaining() < 8 {
+        return Err(WireError::Truncated);
+    }
+    Ok(data.get_u64_le())
+}
+
+fn get_u32(data: &mut Bytes) -> Result<u32, WireError> {
+    if data.remaining() < 4 {
+        return Err(WireError::Truncated);
+    }
+    Ok(data.get_u32_le())
+}
+
+/// Appends `component_dim u64 | 4 × component_dim f64` (the four DCE
+/// ciphertext components in order).
+fn write_dce_ciphertext(buf: &mut BytesMut, ct: &DceCiphertext) {
+    buf.put_u64_le(ct.component_dim() as u64);
+    for comp in ct.components() {
+        for v in comp {
+            buf.put_f64_le(*v);
+        }
+    }
+}
+
+fn read_dce_ciphertext(data: &mut Bytes) -> Result<DceCiphertext, WireError> {
+    if data.remaining() < 8 {
+        return Err(WireError::Truncated);
+    }
+    let comp_dim = data.get_u64_le() as usize;
+    let need = comp_dim.checked_mul(4 * 8).ok_or(WireError::Truncated)?;
+    if data.remaining() < need {
+        return Err(WireError::Truncated);
+    }
+    let mut comps: [Vec<f64>; 4] = Default::default();
+    for comp in &mut comps {
+        comp.reserve(comp_dim);
+        for _ in 0..comp_dim {
+            comp.push(data.get_f64_le());
+        }
+    }
+    let [a, b, c, d] = comps;
+    Ok(DceCiphertext::from_components(a, b, c, d))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppann_core::QueryCost;
+    use ppann_dce::DceTrapdoor;
+    use std::time::Duration;
+
+    fn roundtrip(frame: &Frame) -> Frame {
+        let bytes = frame.encode();
+        let back = decode_frame(&bytes, DEFAULT_MAX_FRAME).unwrap();
+        // Re-encoding the decoded frame must reproduce the original bytes:
+        // the codec has exactly one representation per message.
+        assert_eq!(back.encode().as_slice(), bytes.as_slice(), "re-encode mismatch");
+        back
+    }
+
+    fn sample_query() -> EncryptedQuery {
+        EncryptedQuery {
+            c_sap: vec![1.5, -2.25, 0.0],
+            trapdoor: DceTrapdoor::from_vec(vec![3.5, 4.75, -0.125, 9.0]),
+            k: 2,
+        }
+    }
+
+    fn sample_outcome() -> SearchOutcome {
+        SearchOutcome {
+            ids: vec![7, 3],
+            sap_dists: vec![0.5, 1.25],
+            filter_candidates: 9,
+            cost: QueryCost {
+                filter_dist_comps: 11,
+                refine_sdc_comps: 13,
+                server_time: Duration::from_micros(17),
+                bytes_up: 19,
+                bytes_down: 8,
+            },
+        }
+    }
+
+    #[test]
+    fn hello_roundtrip() {
+        match roundtrip(&Frame::Hello { dim: 128 }) {
+            Frame::Hello { dim } => assert_eq!(dim, 128),
+            other => panic!("wrong frame {other:?}"),
+        }
+        match roundtrip(&Frame::HelloAck { dim: 128, live: 10_000 }) {
+            Frame::HelloAck { dim, live } => {
+                assert_eq!(dim, 128);
+                assert_eq!(live, 10_000);
+            }
+            other => panic!("wrong frame {other:?}"),
+        }
+    }
+
+    #[test]
+    fn search_roundtrip() {
+        let q = sample_query();
+        let p = SearchParams { k_prime: 20, ef_search: 40 };
+        match roundtrip(&Frame::Search { params: p, query: q.clone() }) {
+            Frame::Search { params, query } => {
+                assert_eq!(params, p);
+                assert_eq!(query.k, q.k);
+                assert_eq!(query.c_sap, q.c_sap);
+                assert_eq!(query.trapdoor.as_slice(), q.trapdoor.as_slice());
+            }
+            other => panic!("wrong frame {other:?}"),
+        }
+    }
+
+    #[test]
+    fn search_result_roundtrip() {
+        let out = sample_outcome();
+        match roundtrip(&Frame::SearchResult(out.clone())) {
+            Frame::SearchResult(back) => {
+                assert_eq!(back.ids, out.ids);
+                assert_eq!(back.sap_dists, out.sap_dists);
+                assert_eq!(back.filter_candidates, out.filter_candidates);
+                assert_eq!(back.cost.refine_sdc_comps, out.cost.refine_sdc_comps);
+            }
+            other => panic!("wrong frame {other:?}"),
+        }
+    }
+
+    #[test]
+    fn maintenance_roundtrips() {
+        let ct = DceCiphertext::from_components(
+            vec![1.0, 2.0],
+            vec![3.0, 4.0],
+            vec![5.0, 6.0],
+            vec![7.0, 8.0],
+        );
+        match roundtrip(&Frame::Insert { token: 42, c_sap: vec![0.5, 0.25], c_dce: ct.clone() }) {
+            Frame::Insert { token, c_sap, c_dce } => {
+                assert_eq!(token, 42);
+                assert_eq!(c_sap, vec![0.5, 0.25]);
+                assert_eq!(c_dce.components(), ct.components());
+            }
+            other => panic!("wrong frame {other:?}"),
+        }
+        match roundtrip(&Frame::InsertAck { id: 77 }) {
+            Frame::InsertAck { id } => assert_eq!(id, 77),
+            other => panic!("wrong frame {other:?}"),
+        }
+        match roundtrip(&Frame::Delete { token: 42, id: 3 }) {
+            Frame::Delete { token, id } => {
+                assert_eq!(token, 42);
+                assert_eq!(id, 3);
+            }
+            other => panic!("wrong frame {other:?}"),
+        }
+        assert!(matches!(roundtrip(&Frame::DeleteAck), Frame::DeleteAck));
+    }
+
+    #[test]
+    fn stats_and_shutdown_roundtrips() {
+        assert!(matches!(roundtrip(&Frame::Stats), Frame::Stats));
+        let snap = StatsSnapshot {
+            queries: 1,
+            inserts: 2,
+            deletes: 3,
+            errors: 4,
+            bytes_in: 5,
+            bytes_out: 6,
+            live: 7,
+            p50_micros: 8,
+            p99_micros: 9,
+            uptime_micros: 10,
+        };
+        match roundtrip(&Frame::StatsReply(snap)) {
+            Frame::StatsReply(back) => assert_eq!(back, snap),
+            other => panic!("wrong frame {other:?}"),
+        }
+        match roundtrip(&Frame::Shutdown { token: 9 }) {
+            Frame::Shutdown { token } => assert_eq!(token, 9),
+            other => panic!("wrong frame {other:?}"),
+        }
+        assert!(matches!(roundtrip(&Frame::ShutdownAck), Frame::ShutdownAck));
+    }
+
+    #[test]
+    fn error_roundtrip() {
+        match roundtrip(&Frame::Error { code: ErrorCode::Unauthorized, message: "no".into() }) {
+            Frame::Error { code, message } => {
+                assert_eq!(code, ErrorCode::Unauthorized);
+                assert_eq!(message, "no");
+            }
+            other => panic!("wrong frame {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = Frame::Hello { dim: 1 }.encode().to_vec();
+        bytes[0] = b'X';
+        assert_eq!(decode_frame(&bytes, DEFAULT_MAX_FRAME).unwrap_err(), ProtocolError::BadMagic);
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut bytes = Frame::Hello { dim: 1 }.encode().to_vec();
+        bytes[4] = 99;
+        assert_eq!(
+            decode_frame(&bytes, DEFAULT_MAX_FRAME).unwrap_err(),
+            ProtocolError::BadVersion(99)
+        );
+    }
+
+    #[test]
+    fn oversized_payload_rejected_at_header() {
+        let mut bytes = Frame::Hello { dim: 1 }.encode().to_vec();
+        bytes[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            decode_frame(&bytes, 1024).unwrap_err(),
+            ProtocolError::TooLarge { claimed: u32::MAX, max: 1024 }
+        );
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        let mut bytes = Frame::Stats.encode().to_vec();
+        bytes[5] = 0x66;
+        assert_eq!(
+            decode_frame(&bytes, DEFAULT_MAX_FRAME).unwrap_err(),
+            ProtocolError::UnknownTag(0x66)
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = Frame::Hello { dim: 1 }.encode().to_vec();
+        bytes.push(0);
+        let len = (bytes.len() - HEADER_LEN) as u32;
+        bytes[8..12].copy_from_slice(&len.to_le_bytes());
+        assert_eq!(
+            decode_frame(&bytes, DEFAULT_MAX_FRAME).unwrap_err(),
+            ProtocolError::TrailingBytes(1)
+        );
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let bytes = Frame::Search {
+            params: SearchParams { k_prime: 4, ef_search: 8 },
+            query: sample_query(),
+        }
+        .encode();
+        // Every strict prefix with a corrected header length must fail.
+        for cut in HEADER_LEN..bytes.len() {
+            let mut prefix = bytes[..cut].to_vec();
+            let len = (cut - HEADER_LEN) as u32;
+            prefix[8..12].copy_from_slice(&len.to_le_bytes());
+            assert!(
+                decode_frame(&prefix, DEFAULT_MAX_FRAME).is_err(),
+                "truncation at {cut} must not decode"
+            );
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! PROTOCOL.md and the codec cannot drift apart: this test parses every
+//! worked hex example out of the spec and asserts that (a) the bytes
+//! decode into the message the spec names and (b) re-encoding the decoded
+//! frame reproduces the documented bytes exactly.
+
+use ppann_service::wire::{decode_frame, tag, Frame, DEFAULT_MAX_FRAME};
+use std::collections::BTreeMap;
+
+/// Extracts `frame <Name>` hex blocks from PROTOCOL.md.
+fn documented_examples() -> BTreeMap<String, Vec<u8>> {
+    let spec = include_str!("../../../PROTOCOL.md");
+    let mut out = BTreeMap::new();
+    let mut lines = spec.lines().peekable();
+    while let Some(line) = lines.next() {
+        let Some(name) = line.trim().strip_prefix("frame ") else {
+            continue;
+        };
+        let mut bytes = Vec::new();
+        while let Some(next) = lines.peek() {
+            let toks: Vec<&str> = next.split_whitespace().collect();
+            if toks.is_empty() || toks.iter().any(|t| u8::from_str_radix(t, 16).is_err()) {
+                break;
+            }
+            bytes.extend(toks.iter().map(|t| u8::from_str_radix(t, 16).unwrap()));
+            lines.next();
+        }
+        assert!(
+            out.insert(name.trim().to_string(), bytes).is_none(),
+            "duplicate example for {name}"
+        );
+    }
+    out
+}
+
+fn expected_tag(name: &str) -> u8 {
+    match name {
+        "Hello" => tag::HELLO,
+        "HelloAck" => tag::HELLO_ACK,
+        "Search" => tag::SEARCH,
+        "SearchResult" => tag::SEARCH_RESULT,
+        "Insert" => tag::INSERT,
+        "InsertAck" => tag::INSERT_ACK,
+        "Delete" => tag::DELETE,
+        "DeleteAck" => tag::DELETE_ACK,
+        "Stats" => tag::STATS,
+        "StatsReply" => tag::STATS_REPLY,
+        "Shutdown" => tag::SHUTDOWN,
+        "ShutdownAck" => tag::SHUTDOWN_ACK,
+        "Error" => tag::ERROR,
+        other => panic!("PROTOCOL.md documents unknown message {other}"),
+    }
+}
+
+#[test]
+fn every_message_has_a_worked_example() {
+    let examples = documented_examples();
+    for name in [
+        "Hello",
+        "HelloAck",
+        "Search",
+        "SearchResult",
+        "Insert",
+        "InsertAck",
+        "Delete",
+        "DeleteAck",
+        "Stats",
+        "StatsReply",
+        "Shutdown",
+        "ShutdownAck",
+        "Error",
+    ] {
+        assert!(examples.contains_key(name), "PROTOCOL.md lacks a worked example for {name}");
+    }
+}
+
+#[test]
+fn documented_hex_decodes_and_reencodes_exactly() {
+    for (name, bytes) in documented_examples() {
+        let frame = decode_frame(&bytes, DEFAULT_MAX_FRAME)
+            .unwrap_or_else(|e| panic!("PROTOCOL.md example {name} does not decode: {e}"));
+        assert_eq!(
+            frame.tag(),
+            expected_tag(&name),
+            "example {name} decodes to the wrong message"
+        );
+        assert_eq!(
+            frame.encode().as_slice(),
+            &bytes[..],
+            "re-encoding the {name} example changes its bytes"
+        );
+    }
+}
+
+#[test]
+fn documented_field_values_match() {
+    let examples = documented_examples();
+    match decode_frame(&examples["Hello"], DEFAULT_MAX_FRAME).unwrap() {
+        Frame::Hello { dim } => assert_eq!(dim, 8),
+        other => panic!("wrong frame {other:?}"),
+    }
+    match decode_frame(&examples["HelloAck"], DEFAULT_MAX_FRAME).unwrap() {
+        Frame::HelloAck { dim, live } => {
+            assert_eq!(dim, 8);
+            assert_eq!(live, 1000);
+        }
+        other => panic!("wrong frame {other:?}"),
+    }
+    match decode_frame(&examples["Search"], DEFAULT_MAX_FRAME).unwrap() {
+        Frame::Search { params, query } => {
+            assert_eq!(params.k_prime, 4);
+            assert_eq!(params.ef_search, 8);
+            assert_eq!(query.k, 2);
+            assert_eq!(query.c_sap, vec![1.0, -0.5]);
+            assert_eq!(query.trapdoor.as_slice(), &[0.25, 2.0]);
+        }
+        other => panic!("wrong frame {other:?}"),
+    }
+    match decode_frame(&examples["SearchResult"], DEFAULT_MAX_FRAME).unwrap() {
+        Frame::SearchResult(out) => {
+            assert_eq!(out.ids, vec![3, 1]);
+            assert_eq!(out.sap_dists, vec![0.125, 2.0]);
+            assert_eq!(out.filter_candidates, 4);
+            assert_eq!(out.cost.filter_dist_comps, 5);
+            assert_eq!(out.cost.refine_sdc_comps, 7);
+            assert_eq!(out.cost.server_time.as_micros(), 42);
+            assert_eq!(out.cost.bytes_up, 120);
+            assert_eq!(out.cost.bytes_down, 8);
+        }
+        other => panic!("wrong frame {other:?}"),
+    }
+    match decode_frame(&examples["Insert"], DEFAULT_MAX_FRAME).unwrap() {
+        Frame::Insert { token, c_sap, c_dce } => {
+            assert_eq!(token, 7);
+            assert_eq!(c_sap, vec![0.5]);
+            assert_eq!(c_dce.component_dim(), 1);
+            assert_eq!(c_dce.components(), [&[1.0][..], &[2.0][..], &[3.0][..], &[4.0][..]]);
+        }
+        other => panic!("wrong frame {other:?}"),
+    }
+    match decode_frame(&examples["Error"], DEFAULT_MAX_FRAME).unwrap() {
+        Frame::Error { code, message } => {
+            assert_eq!(code as u16, 4);
+            assert_eq!(message, "no");
+        }
+        other => panic!("wrong frame {other:?}"),
+    }
+}

@@ -1,58 +1,45 @@
-//! Three-party deployment simulation: data owner, query users and the cloud
-//! server run on separate threads and communicate only through channels —
-//! exactly the message pattern of the paper's Figure 1 (one request up, one
-//! id list down, no other interaction).
+//! Three-party deployment over a **real network boundary**: the data owner
+//! outsources ciphertexts, the cloud runs `ppann-service` on a TCP socket,
+//! and two independent query users talk to it through `ServiceClient` —
+//! the message pattern of the paper's Figure 1, with actual frames on an
+//! actual socket instead of in-process channels (PROTOCOL.md documents
+//! every byte that crosses).
 //!
 //! ```text
 //! cargo run --release --example secure_cloud_service
 //! ```
 
-use crossbeam::channel;
-use ppanns::core::{
-    CloudServer, DataOwner, EncryptedQuery, PpAnnParams, SearchParams, SharedServer,
-};
+use ppanns::core::{CloudServer, DataOwner, PpAnnParams, SearchParams, SharedServer};
 use ppanns::datasets::{DatasetProfile, Workload};
+use ppanns::service::{serve, ServiceClient, ServiceConfig};
 use std::thread;
 
-/// What travels user → cloud: the encrypted query plus a reply channel.
-struct QueryRequest {
-    query: EncryptedQuery,
-    reply: channel::Sender<Vec<u32>>,
-}
+const OWNER_TOKEN: u64 = 0x0B5C;
 
 fn main() {
     let workload = Workload::generate(DatasetProfile::DeepLike, 3_000, 12, 11);
     let k = 5;
+    let params = SearchParams::from_ratio(k, 16, 120);
 
-    // --- Data owner (its own thread): encrypts and outsources.
-    let params = PpAnnParams::new(workload.dim())
+    // --- Data owner: generates keys, encrypts, outsources.
+    let scheme = PpAnnParams::new(workload.dim())
         .with_beta(DatasetProfile::DeepLike.default_beta())
         .with_seed(1);
-    let owner = DataOwner::setup(params, workload.base());
-    let encrypted_db = {
-        let base = workload.base().to_vec();
-        let owner_ref = &owner;
-        thread::scope(|s| s.spawn(move || owner_ref.outsource(&base)).join().unwrap())
-    };
+    let owner = DataOwner::setup(scheme, workload.base());
+    let encrypted_db = owner.outsource(workload.base());
     println!("[owner ] outsourced {} encrypted vectors", encrypted_db.len());
 
-    // --- Cloud server thread: serves queries from a channel.
+    // --- Cloud: serves the ciphertexts over TCP (port 0 = OS-assigned).
+    // The cloud process holds no keys — only what the owner shipped.
     let shared = SharedServer::new(CloudServer::new(encrypted_db));
-    let (tx, rx) = channel::unbounded::<QueryRequest>();
-    let server_handle = {
-        let shared = shared.clone();
-        thread::spawn(move || {
-            let mut served = 0usize;
-            while let Ok(req) = rx.recv() {
-                let out = shared.search(&req.query, &SearchParams::from_ratio(k, 16, 120));
-                req.reply.send(out.ids).expect("user hung up");
-                served += 1;
-            }
-            served
-        })
-    };
+    let config = ServiceConfig::loopback(workload.dim()).with_owner_token(OWNER_TOKEN);
+    let handle = serve(shared, config).expect("bind loopback");
+    let addr = handle.local_addr();
+    println!("[cloud ] listening on {addr}");
 
-    // --- Two independent users, each on its own thread.
+    // --- Two independent users, each with its own connection and its own
+    // forked key handle; queries are encrypted client-side, only
+    // ciphertext crosses the socket.
     let mut user_a = owner.authorize_user();
     let mut user_b = user_a.fork();
     let queries = workload.queries().to_vec();
@@ -61,25 +48,41 @@ fn main() {
         for (name, user, batch) in
             [("user-A", &mut user_a, half_a), ("user-B", &mut user_b, half_b)]
         {
-            let tx = tx.clone();
             s.spawn(move || {
+                let mut client =
+                    ServiceClient::connect(addr, None).expect("connect to cloud");
                 for q in batch {
-                    let (reply_tx, reply_rx) = channel::bounded(1);
                     let enc = user.encrypt_query(q, k);
                     let up_bytes = enc.upload_bytes();
-                    tx.send(QueryRequest { query: enc, reply: reply_tx }).unwrap();
-                    let ids = reply_rx.recv().unwrap();
+                    let out = client.search(&enc, &params).expect("remote search");
                     println!(
-                        "[{name}] sent {up_bytes} B up, got {} ids ({} B down)",
-                        ids.len(),
-                        4 * ids.len()
+                        "[{name}] sent {up_bytes} B of ciphertext, got {} ids back \
+                         ({} filter candidates, {} secure comparisons)",
+                        out.ids.len(),
+                        out.filter_candidates,
+                        out.cost.refine_sdc_comps
                     );
                 }
             });
         }
     });
-    drop(tx);
-    let served = server_handle.join().unwrap();
-    println!("[cloud ] served {served} queries; shutting down");
-    assert_eq!(served, queries.len());
+
+    // --- The owner performs remote maintenance on the live service...
+    let mut owner_client = ServiceClient::connect(addr, None).expect("owner connect");
+    let novel = vec![0.5; workload.dim()];
+    let (c_sap, c_dce) = owner.encrypt_for_insert(&novel, 99);
+    let id = owner_client.insert(OWNER_TOKEN, c_sap, c_dce).expect("remote insert");
+    owner_client.delete(OWNER_TOKEN, id).expect("remote delete");
+    println!("[owner ] inserted and deleted vector {id} over the wire");
+
+    // --- ...reads the service counters, and shuts the cloud down cleanly.
+    let stats = owner_client.stats().expect("stats");
+    println!(
+        "[cloud ] served {} queries (p50 {} us, p99 {} us bucketed), {} B in, {} B out",
+        stats.queries, stats.p50_micros, stats.p99_micros, stats.bytes_in, stats.bytes_out
+    );
+    assert_eq!(stats.queries, queries.len() as u64);
+    owner_client.shutdown(OWNER_TOKEN).expect("shutdown");
+    handle.join();
+    println!("[cloud ] shut down cleanly");
 }

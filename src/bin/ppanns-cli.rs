@@ -8,17 +8,25 @@
 //! ```text
 //! ppanns-cli gen       --profile sift --n 5000 --queries 50 --base base.fvecs --out-queries q.fvecs
 //! ppanns-cli outsource --base base.fvecs --beta 3.0 --seed 7 --db db.bin --keys keys.bin
+//! ppanns-cli serve     --db db.bin --addr 127.0.0.1:7070 --shards 4 --workers 8 --token 42
+//! ppanns-cli query     --remote 127.0.0.1:7070 --keys keys.bin --queries q.fvecs --k 10
 //! ppanns-cli query     --db db.bin --keys keys.bin --queries q.fvecs --k 10 --ratio 16 --shards 4
+//! ppanns-cli stats     --remote 127.0.0.1:7070
+//! ppanns-cli shutdown  --remote 127.0.0.1:7070 --token 42
 //! ppanns-cli tune      --db db.bin --keys keys.bin --base base.fvecs --queries q.fvecs --k 10 --target 0.9
 //! ```
+//!
+//! `serve` runs the cloud role of PROTOCOL.md over TCP; `query --remote`,
+//! `stats` and `shutdown` are its clients. OPERATIONS.md is the runbook.
 
 use ppanns::core::tune::{grid_search, TuningGrid};
 use ppanns::core::{
     CloudServer, DataOwner, EncryptedDatabase, PpAnnParams, QueryBackend, SearchParams,
-    ShardedServer,
+    SharedServer, ShardedServer,
 };
 use ppanns::datasets::io::{read_fvecs, write_fvecs};
 use ppanns::datasets::{brute_force_knn, Dataset, DatasetProfile};
+use ppanns::service::{serve, ServiceClient, ServiceConfig};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -39,7 +47,10 @@ fn main() -> ExitCode {
     let result = match command.as_str() {
         "gen" => cmd_gen(&flags),
         "outsource" => cmd_outsource(&flags),
+        "serve" => cmd_serve(&flags),
         "query" => cmd_query(&flags),
+        "stats" => cmd_stats(&flags),
+        "shutdown" => cmd_shutdown(&flags),
         "tune" => cmd_tune(&flags),
         other => Err(format!("unknown command `{other}`")),
     };
@@ -55,7 +66,11 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   ppanns-cli gen       --profile <sift|gist|glove|deep> --n <N> --queries <Q> --base <out.fvecs> --out-queries <out.fvecs> [--seed S]
   ppanns-cli outsource --base <in.fvecs> --db <out.bin> --keys <out.bin> [--beta B] [--seed S]
+  ppanns-cli serve     --db <in.bin> [--addr A] [--shards S] [--workers W] [--token T]
+  ppanns-cli query     --remote <addr> --keys <in.bin> --queries <in.fvecs> [--k K] [--ratio R] [--ef E]
   ppanns-cli query     --db <in.bin> --keys <in.bin> --queries <in.fvecs> [--k K] [--ratio R] [--ef E] [--shards S]
+  ppanns-cli stats     --remote <addr>
+  ppanns-cli shutdown  --remote <addr> --token <T>
   ppanns-cli tune      --db <in.bin> --keys <in.bin> --base <in.fvecs> --queries <in.fvecs> [--k K] [--target T]";
 
 type Flags = HashMap<String, String>;
@@ -149,7 +164,132 @@ fn load_server_and_owner(flags: &Flags) -> Result<(CloudServer, DataOwner), Stri
     Ok((CloudServer::new(db), owner))
 }
 
+fn cmd_serve(flags: &Flags) -> Result<(), String> {
+    let db_path = PathBuf::from(required(flags, "db")?);
+    let db = EncryptedDatabase::load_from(Path::new(&db_path)).map_err(|e| e.to_string())?;
+    let dim = db.hnsw().dim();
+    let live = db.len();
+    let addr: String = flags.get("addr").cloned().unwrap_or_else(|| "127.0.0.1:7070".into());
+    let shards: usize = parse_or(flags, "shards", 1)?;
+    let workers: usize = parse_or(flags, "workers", 4)?;
+    let token: Option<u64> = match flags.get("token") {
+        None => None,
+        Some(t) => Some(t.parse().map_err(|_| format!("--token: cannot parse `{t}`"))?),
+    };
+
+    let mut config = ServiceConfig::loopback(dim).with_addr(addr).with_workers(workers);
+    if let Some(t) = token {
+        config = config.with_owner_token(t);
+    }
+
+    // Same backend choice as local `query --shards`: one CloudServer, or a
+    // ShardedServer fanning each query's filter phase across N threads.
+    let handle = if shards > 1 {
+        serve(
+            SharedServer::new(ShardedServer::from_database(db, shards)),
+            config,
+        )
+    } else {
+        serve(SharedServer::new(CloudServer::new(db)), config)
+    }
+    .map_err(|e| format!("bind failed: {e}"))?;
+
+    println!(
+        "serving {live} vectors ({dim}d, {}) on {} with {workers} workers{}",
+        if shards > 1 { format!("{shards} shards") } else { "single index".into() },
+        handle.local_addr(),
+        if token.is_some() { ", owner maintenance enabled" } else { ", maintenance disabled" },
+    );
+    match token {
+        Some(t) => println!(
+            "stop with: ppanns-cli shutdown --remote {} --token {t}",
+            handle.local_addr()
+        ),
+        // Without a token no Shutdown frame is accepted; the process stops
+        // on SIGINT/SIGTERM like any foreground server.
+        None => println!("no --token given: remote shutdown disabled, stop with Ctrl-C"),
+    }
+
+    // Serve until a Shutdown frame raises the stop flag.
+    while !handle.stop_requested() {
+        std::thread::sleep(std::time::Duration::from_millis(200));
+    }
+    let snap = handle.stats().snapshot(0);
+    handle.join();
+    println!(
+        "shutdown: {} queries, {} inserts, {} deletes, {} errors, {} B in, {} B out",
+        snap.queries, snap.inserts, snap.deletes, snap.errors, snap.bytes_in, snap.bytes_out
+    );
+    Ok(())
+}
+
+fn cmd_query_remote(flags: &Flags) -> Result<(), String> {
+    let remote = required(flags, "remote")?;
+    let keys_path = PathBuf::from(required(flags, "keys")?);
+    let owner = DataOwner::load_keys(Path::new(&keys_path)).map_err(|e| e.to_string())?;
+    let queries_path = PathBuf::from(required(flags, "queries")?);
+    let queries = read_fvecs(&queries_path, None).map_err(|e| e.to_string())?;
+    let k: usize = parse_or(flags, "k", 10)?;
+    let ratio: usize = parse_or(flags, "ratio", 16)?;
+    let ef: usize = parse_or(flags, "ef", 160)?;
+    let params = SearchParams::from_ratio(k, ratio, ef.max(k * ratio));
+
+    let mut user = owner.authorize_user();
+    let mut client =
+        ServiceClient::connect(remote, None).map_err(|e| format!("{remote}: {e}"))?;
+    println!(
+        "connected to {remote}: serving {} vectors ({}d)",
+        client.server_live(),
+        client.server_dim()
+    );
+
+    let started = std::time::Instant::now();
+    for (i, q) in queries.iter().enumerate() {
+        let enc = user.encrypt_query(q, k);
+        let out = client.search(&enc, &params).map_err(|e| e.to_string())?;
+        println!("query {i}: {:?}", out.ids);
+    }
+    let secs = started.elapsed().as_secs_f64();
+    println!(
+        "{} queries in {:.3}s ({:.1} QPS, remote)",
+        queries.len(),
+        secs,
+        queries.len() as f64 / secs.max(1e-12)
+    );
+    Ok(())
+}
+
+fn cmd_stats(flags: &Flags) -> Result<(), String> {
+    let remote = required(flags, "remote")?;
+    let mut client =
+        ServiceClient::connect(remote, None).map_err(|e| format!("{remote}: {e}"))?;
+    let s = client.stats().map_err(|e| e.to_string())?;
+    println!("live vectors : {}", s.live);
+    println!("queries      : {}", s.queries);
+    println!("inserts      : {}", s.inserts);
+    println!("deletes      : {}", s.deletes);
+    println!("errors       : {}", s.errors);
+    println!("bytes in/out : {} / {}", s.bytes_in, s.bytes_out);
+    println!("latency p50  : {} us (bucketed)", s.p50_micros);
+    println!("latency p99  : {} us (bucketed)", s.p99_micros);
+    println!("uptime       : {:.1} s", s.uptime_micros as f64 / 1e6);
+    Ok(())
+}
+
+fn cmd_shutdown(flags: &Flags) -> Result<(), String> {
+    let remote = required(flags, "remote")?;
+    let token: u64 = parse_or(flags, "token", 0)?;
+    let mut client =
+        ServiceClient::connect(remote, None).map_err(|e| format!("{remote}: {e}"))?;
+    client.shutdown(token).map_err(|e| e.to_string())?;
+    println!("server at {remote} acknowledged shutdown");
+    Ok(())
+}
+
 fn cmd_query(flags: &Flags) -> Result<(), String> {
+    if flags.contains_key("remote") {
+        return cmd_query_remote(flags);
+    }
     let (server, owner) = load_server_and_owner(flags)?;
     let queries_path = PathBuf::from(required(flags, "queries")?);
     let queries = read_fvecs(&queries_path, None).map_err(|e| e.to_string())?;

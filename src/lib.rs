@@ -48,6 +48,7 @@
 //! | [`baselines`] | `ppann-baselines` | RS-SANN, PACM-ANN, PRI-ANN, HNSW-AME |
 //! | [`datasets`] | `ppann-datasets` | synthetic workloads, ground truth, metrics, fvecs IO |
 //! | [`linalg`] | `ppann-linalg` | dense linear algebra + RNG substrate |
+//! | [`service`] | `ppann-service` | networked query service: PPNW wire protocol, TCP server, client |
 
 pub use ppann_ame as ame;
 pub use ppann_aspe as aspe;
@@ -60,6 +61,7 @@ pub use ppann_hnsw as hnsw;
 pub use ppann_linalg as linalg;
 pub use ppann_lsh as lsh;
 pub use ppann_pir as pir;
+pub use ppann_service as service;
 pub use ppann_softaes as softaes;
 
 /// Crate version, exposed for diagnostics.

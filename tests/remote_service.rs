@@ -1,0 +1,140 @@
+//! Facade-level service tests: the acceptance path (`serve --shards 4`
+//! answering bit-identically to an in-process `CloudServer`) through the
+//! `ppanns::service` re-export, plus a full process-level exercise of the
+//! `ppanns-cli serve` / `query --remote` / `stats` / `shutdown` loop.
+
+use ppanns::core::{CloudServer, DataOwner, PpAnnParams, SearchParams, SharedServer, ShardedServer};
+use ppanns::linalg::{seeded_rng, uniform_vec};
+use ppanns::service::{serve, ServiceClient, ServiceConfig};
+use std::io::BufRead;
+use std::process::{Command, Stdio};
+
+#[test]
+fn facade_serve_shards4_matches_in_process_cloud_server() {
+    let dim = 6;
+    let mut rng = seeded_rng(77);
+    let data: Vec<Vec<f64>> = (0..300).map(|_| uniform_vec(&mut rng, dim, -1.0, 1.0)).collect();
+    let owner = DataOwner::setup(PpAnnParams::new(dim).with_seed(77).with_beta(0.0), &data);
+
+    let local = CloudServer::new(owner.outsource(&data));
+    let sharded = ShardedServer::from_database(owner.outsource(&data), 4);
+    let handle = serve(SharedServer::new(sharded), ServiceConfig::loopback(dim)).unwrap();
+    let mut client = ServiceClient::connect(handle.local_addr(), Some(dim)).unwrap();
+
+    let params = SearchParams { k_prime: 30, ef_search: 60 };
+    let mut local_user = owner.authorize_user();
+    let mut remote_user = owner.authorize_user();
+    for (qi, point) in data.iter().take(10).enumerate() {
+        let expect = local.search(&local_user.encrypt_query(point, 5), &params);
+        let got = client.search(&remote_user.encrypt_query(point, 5), &params).unwrap();
+        assert_eq!(got.ids, expect.ids, "query {qi}");
+        let expect_bits: Vec<u64> = expect.sap_dists.iter().map(|d| d.to_bits()).collect();
+        let got_bits: Vec<u64> = got.sap_dists.iter().map(|d| d.to_bits()).collect();
+        assert_eq!(got_bits, expect_bits, "query {qi} encrypted distances");
+    }
+    handle.request_stop();
+    handle.join();
+}
+
+#[test]
+fn cli_serve_query_stats_shutdown_loop() {
+    use ppanns::datasets::io::write_fvecs;
+    use ppanns::datasets::{Dataset, DatasetProfile};
+
+    let dir = std::env::temp_dir().join(format!("ppanns_cli_e2e_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let base = dir.join("base.fvecs");
+    let queries = dir.join("q.fvecs");
+    let db = dir.join("db.bin");
+    let keys = dir.join("keys.bin");
+
+    // gen + outsource through the library (same code paths as the CLI
+    // subcommands, which are covered by their own unit of this test:
+    // serve/query/stats/shutdown as real processes).
+    let ds = Dataset::generate(DatasetProfile::SiftLike, 400, 8, 5);
+    write_fvecs(&base, &ds.base).unwrap();
+    write_fvecs(&queries, &ds.queries).unwrap();
+    let bin = env!("CARGO_BIN_EXE_ppanns-cli");
+    let out = Command::new(bin)
+        .args([
+            "outsource",
+            "--base",
+            base.to_str().unwrap(),
+            "--db",
+            db.to_str().unwrap(),
+            "--keys",
+            keys.to_str().unwrap(),
+            "--beta",
+            "0",
+            "--seed",
+            "5",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "outsource failed: {}", String::from_utf8_lossy(&out.stderr));
+
+    // serve --shards 4 on an OS-assigned port; parse the bound address.
+    let mut server = Command::new(bin)
+        .args([
+            "serve",
+            "--db",
+            db.to_str().unwrap(),
+            "--addr",
+            "127.0.0.1:0",
+            "--shards",
+            "4",
+            "--workers",
+            "4",
+            "--token",
+            "99",
+        ])
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap();
+    let stdout = server.stdout.take().unwrap();
+    let mut reader = std::io::BufReader::new(stdout);
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let addr = line
+        .split(" on ")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .unwrap_or_else(|| panic!("cannot parse bound address from: {line}"))
+        .to_string();
+
+    // query --remote against the live server.
+    let out = Command::new(bin)
+        .args([
+            "query",
+            "--remote",
+            &addr,
+            "--keys",
+            keys.to_str().unwrap(),
+            "--queries",
+            queries.to_str().unwrap(),
+            "--k",
+            "5",
+        ])
+        .output()
+        .unwrap();
+    let stdout_text = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "remote query failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(stdout_text.contains("query 0:"), "no results in: {stdout_text}");
+    assert!(stdout_text.contains("QPS, remote"), "no throughput line in: {stdout_text}");
+
+    // stats over the wire.
+    let out = Command::new(bin).args(["stats", "--remote", &addr]).output().unwrap();
+    let stats_text = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success());
+    assert!(stats_text.contains("queries      : 8"), "unexpected stats: {stats_text}");
+    assert!(stats_text.contains("live vectors : 400"), "unexpected stats: {stats_text}");
+
+    // graceful shutdown; the server process must exit on its own.
+    let out =
+        Command::new(bin).args(["shutdown", "--remote", &addr, "--token", "99"]).output().unwrap();
+    assert!(out.status.success(), "shutdown failed: {}", String::from_utf8_lossy(&out.stderr));
+    let status = server.wait().unwrap();
+    assert!(status.success(), "server exited abnormally");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -51,6 +51,13 @@ pub trait Buf {
         b[0]
     }
 
+    /// Reads a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_le_bytes(b)
+    }
+
     /// Reads a little-endian `u32`.
     fn get_u32_le(&mut self) -> u32 {
         let mut b = [0u8; 4];
@@ -86,6 +93,11 @@ pub trait BufMut {
     /// Appends one byte.
     fn put_u8(&mut self, v: u8) {
         self.put_slice(&[v]);
+    }
+
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
     }
 
     /// Appends a little-endian `u32`.
@@ -291,6 +303,7 @@ mod tests {
     fn roundtrip_all_accessors() {
         let mut w = BytesMut::with_capacity(64);
         w.put_u8(7);
+        w.put_u16_le(0xBEEF);
         w.put_u32_le(0xDEAD_BEEF);
         w.put_u64_le(0x0123_4567_89AB_CDEF);
         w.put_u64(42);
@@ -298,6 +311,7 @@ mod tests {
         w.put_slice(b"tail");
         let mut r = w.freeze();
         assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u16_le(), 0xBEEF);
         assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
         assert_eq!(r.get_u64_le(), 0x0123_4567_89AB_CDEF);
         assert_eq!(r.get_u64(), 42);
