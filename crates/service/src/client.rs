@@ -13,6 +13,17 @@ use crate::wire::{ErrorCode, Frame, DEFAULT_MAX_FRAME};
 use ppann_core::{EncryptedQuery, SearchOutcome, SearchParams};
 use ppann_dce::DceCiphertext;
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// Default per-call deadline: how long [`ServiceClient`] waits for a
+/// complete reply before failing the call with a timed-out
+/// [`ClientError::Io`]. Without one, a hung server would block the
+/// client forever.
+pub const DEFAULT_CALL_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Socket read timeout granularity; each expiry re-checks the call
+/// deadline without losing partially read bytes.
+const READ_POLL: Duration = Duration::from_millis(100);
 
 /// Client-side failures.
 #[derive(Debug)]
@@ -52,9 +63,11 @@ impl From<FrameReadError> for ClientError {
         match e {
             FrameReadError::Io(e) => ClientError::Io(e),
             FrameReadError::Protocol(p) => ClientError::Protocol(p.to_string()),
-            FrameReadError::Stopped | FrameReadError::TimedOut => {
-                ClientError::Protocol("read interrupted".into())
-            }
+            FrameReadError::TimedOut => ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "call deadline expired waiting for the server's reply",
+            )),
+            FrameReadError::Stopped => ClientError::Protocol("read interrupted".into()),
         }
     }
 }
@@ -63,6 +76,12 @@ impl From<FrameReadError> for ClientError {
 pub struct ServiceClient {
     stream: TcpStream,
     max_frame: u32,
+    call_timeout: Duration,
+    /// Set when a call failed with the stream in an unknown state (timed
+    /// out, truncated, closed): a late reply could otherwise be consumed
+    /// as the answer to the *next* request. Poisoned clients refuse
+    /// further calls — reconnect.
+    poisoned: bool,
     server_dim: u64,
     server_live: u64,
 }
@@ -70,13 +89,64 @@ pub struct ServiceClient {
 impl ServiceClient {
     /// Connects and performs the `Hello`/`HelloAck` handshake. Pass the
     /// dimensionality you will query with — the server refuses mismatches
-    /// up front — or `None` to accept whatever the server serves.
+    /// up front — or `None` to accept whatever the server serves. Every
+    /// call (including the handshake) is bounded by
+    /// [`DEFAULT_CALL_TIMEOUT`]; use [`Self::connect_with_timeout`] to
+    /// choose your own.
     pub fn connect<A: ToSocketAddrs>(addr: A, dim: Option<usize>) -> Result<Self, ClientError> {
-        let stream = TcpStream::connect(addr)?;
+        Self::connect_with_timeout(addr, dim, DEFAULT_CALL_TIMEOUT)
+    }
+
+    /// [`Self::connect`] with an explicit per-call deadline: the TCP
+    /// connect and each request/response exchange that has not completed
+    /// within `call_timeout` fails with a timed-out [`ClientError::Io`]
+    /// (the connection is unusable afterwards — reconnect).
+    pub fn connect_with_timeout<A: ToSocketAddrs>(
+        addr: A,
+        dim: Option<usize>,
+        call_timeout: Duration,
+    ) -> Result<Self, ClientError> {
+        // TcpStream::connect has no deadline of its own (a black-holed
+        // address would block for the OS default, minutes on some
+        // systems) — try the resolved addresses under ONE shared call
+        // budget, handing each candidate only what remains of it.
+        let connect_deadline = Instant::now().checked_add(call_timeout);
+        let mut last_err: Option<std::io::Error> = None;
+        let mut connected = None;
+        for candidate in addr.to_socket_addrs()? {
+            let remaining = connect_deadline
+                .map(|d| d.saturating_duration_since(Instant::now()))
+                .unwrap_or(call_timeout);
+            if remaining.is_zero() {
+                last_err = Some(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    "call deadline expired while connecting",
+                ));
+                break;
+            }
+            match TcpStream::connect_timeout(&candidate, remaining) {
+                Ok(s) => {
+                    connected = Some(s);
+                    break;
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        let stream = connected.ok_or_else(|| {
+            ClientError::Io(last_err.unwrap_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::InvalidInput, "address resolved to nothing")
+            }))
+        })?;
         stream.set_nodelay(true)?;
+        // Short read timeout for deadline polling; writes get the full
+        // call budget per syscall.
+        stream.set_read_timeout(Some(READ_POLL))?;
+        stream.set_write_timeout(Some(call_timeout))?;
         let mut client = Self {
             stream,
             max_frame: DEFAULT_MAX_FRAME,
+            call_timeout,
+            poisoned: false,
             server_dim: 0,
             server_live: 0,
         };
@@ -154,16 +224,36 @@ impl ServiceClient {
         }
     }
 
-    /// One request/response exchange. Error frames surface as
-    /// [`ClientError::Remote`].
+    /// One request/response exchange, bounded by the call deadline.
+    /// Error frames surface as [`ClientError::Remote`]; any other
+    /// failure leaves the stream in an unknown state (a late reply could
+    /// be mistaken for the next call's answer), so it poisons the client
+    /// and every later call fails immediately — reconnect.
     fn call(&mut self, request: &Frame) -> Result<Frame, ClientError> {
-        write_frame(&mut self.stream, request)?;
-        match read_frame(&mut self.stream, self.max_frame, None, None)? {
-            Some((Frame::Error { code, message }, _)) => {
+        if self.poisoned {
+            return Err(ClientError::Protocol(
+                "connection poisoned by an earlier failed call — reconnect".into(),
+            ));
+        }
+        if let Err(e) = write_frame(&mut self.stream, request) {
+            self.poisoned = true;
+            return Err(e.into());
+        }
+        let deadline = Instant::now().checked_add(self.call_timeout);
+        match read_frame(&mut self.stream, self.max_frame, None, deadline) {
+            Ok(Some((Frame::Error { code, message }, _))) => {
+                // The exchange completed; the stream is still in sync.
                 Err(ClientError::Remote { code, message })
             }
-            Some((frame, _)) => Ok(frame),
-            None => Err(ClientError::Protocol("server closed the connection".into())),
+            Ok(Some((frame, _))) => Ok(frame),
+            Ok(None) => {
+                self.poisoned = true;
+                Err(ClientError::Protocol("server closed the connection".into()))
+            }
+            Err(e) => {
+                self.poisoned = true;
+                Err(e.into())
+            }
         }
     }
 }

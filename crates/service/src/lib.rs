@@ -11,9 +11,11 @@
 //!   Byte-level spec with worked hex examples: `PROTOCOL.md` at the
 //!   repository root, rendered into these docs as the [`spec`] module.
 //! * [`server`] — a `TcpListener` accept loop feeding a fixed worker
-//!   thread pool over [`ppann_core::SharedServer`]: concurrent searches
-//!   under the shared lock, exclusive owner maintenance, bounded accept
-//!   queue for backpressure, graceful shutdown, atomic [`ServiceStats`].
+//!   thread pool over [`ppann_core::SharedServer`]: connections
+//!   multiplexed across the pool (no worker is ever pinned to one peer),
+//!   concurrent searches under the shared lock, exclusive owner
+//!   maintenance, bounded accept queue for backpressure, validated
+//!   search knobs, graceful shutdown, atomic [`ServiceStats`].
 //! * [`client`] — the blocking [`ServiceClient`] used by the
 //!   `ppanns-cli serve`/`query`/`stats` subcommands, the
 //!   `secure_cloud_service` example and the loopback parity tests.
@@ -65,7 +67,7 @@ pub mod spec {
     #![doc = include_str!("../../../PROTOCOL.md")]
 }
 
-pub use client::{ClientError, ServiceClient};
+pub use client::{ClientError, ServiceClient, DEFAULT_CALL_TIMEOUT};
 pub use server::{serve, ServiceConfig, ServiceHandle};
 pub use stats::{ServiceStats, StatsSnapshot};
 pub use wire::{ErrorCode, Frame, ProtocolError, DEFAULT_MAX_FRAME, PROTOCOL_VERSION};

@@ -1,13 +1,16 @@
 //! The thread-pooled TCP server.
 //!
 //! ```text
-//! TcpListener (accept loop, non-blocking + stop flag)
+//! TcpListener (accept loop, non-blocking + stop flag, connection cap)
 //!      │  bounded crossbeam channel (backpressure: accept parks when the
 //!      │  queue is full, so a flood of connections cannot exhaust memory)
 //!      ▼
-//! N worker threads ── each owns one connection at a time ──► SharedServer<S>
-//!                      searches take the shared lock        (RwLock inside)
-//!                      maintenance takes the exclusive lock
+//! N worker threads ◄─────► parked-connection queue
+//!      │  pop a connection, probe it without blocking, answer at most
+//!      │  ONE frame, push it back — workers are never owned by a single
+//!      ▼  peer, so parked keep-alive clients cannot pin or slow them
+//! SharedServer<S>   searches: shared lock (concurrent)
+//!                   maintenance: exclusive lock (serialized)
 //! ```
 //!
 //! The backend is any [`SharedServer`] composition — the paper's
@@ -16,10 +19,23 @@
 //! `Insert`/`Delete` frames serialize on the exclusive path, exactly the
 //! concurrency contract `SharedServer` already guarantees in-process.
 //!
+//! Liveness guards, all configurable on [`ServiceConfig`]:
+//!
+//! * `handshake_timeout` — a fresh connection must deliver its `Hello`
+//!   within this deadline or it is dropped.
+//! * `idle_timeout` — an established connection idle this long is dropped
+//!   (reclaims the file descriptor; it never holds a worker, see above).
+//! * `frame_timeout` — once the first byte of a frame has arrived, the
+//!   whole frame must arrive within this deadline (bounds slow-loris
+//!   peers that drip one byte per poll); writes carry the same timeout.
+//! * `max_connections` — live-connection cap, enforced at accept time.
+//! * `max_search_k` — upper bound on the `Search` knobs `k`/`k_prime`/
+//!   `ef_search`, which size server-side allocations and work.
+//!
 //! Graceful shutdown: an owner-authenticated `Shutdown` frame (or
 //! [`ServiceHandle::request_stop`]) raises a flag; the accept loop stops
 //! admitting connections, workers finish the frame they are answering,
-//! notice the flag at their next idle read timeout, and exit.
+//! notice the flag at their next poll, and exit.
 //!
 //! See `PROTOCOL.md` for the wire format and OPERATIONS.md for running
 //! this in production.
@@ -30,16 +46,19 @@ use crate::wire::{ErrorCode, Frame, DEFAULT_MAX_FRAME};
 use crossbeam::channel;
 use parking_lot::Mutex;
 use ppann_core::{MaintainableServer, QueryBackend, SharedServer};
+use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// How long a worker parks on an idle connection before re-checking the
-/// stop flag. Bounds shutdown latency, not throughput.
-const IDLE_POLL: Duration = Duration::from_millis(50);
+/// Socket read timeout while a frame is being received: each expiry lets
+/// `read_full` re-check the stop flag and the frame deadline without
+/// losing partial progress. (Idle connections are probed with a
+/// *non-blocking* peek, so this never delays the rotation.)
+const POLL: Duration = Duration::from_millis(5);
 
-/// How long the accept loop sleeps when no connection is pending.
+/// How long a worker or the accept loop sleeps when nothing is pending.
 const ACCEPT_POLL: Duration = Duration::from_millis(5);
 
 /// Server configuration.
@@ -47,7 +66,9 @@ const ACCEPT_POLL: Duration = Duration::from_millis(5);
 pub struct ServiceConfig {
     /// Bind address; use port 0 for an OS-assigned port (tests do).
     pub addr: String,
-    /// Worker threads, i.e. connections served concurrently.
+    /// Worker threads, i.e. frames served concurrently. Connections are
+    /// multiplexed across the pool, so this does not cap how many clients
+    /// may stay connected — `max_connections` does.
     pub workers: usize,
     /// Maximum accepted frame payload in bytes; larger frames are refused
     /// with an error frame before any allocation.
@@ -61,13 +82,24 @@ pub struct ServiceConfig {
     /// Vector dimensionality served, echoed in `HelloAck` and enforced on
     /// every query/insert.
     pub dim: usize,
-    /// How long a fresh connection may take to send its `Hello`. Bounds
-    /// the cheapest worker-starvation attack (connect and say nothing).
+    /// How long a fresh connection may take to send its `Hello`.
     pub handshake_timeout: Duration,
     /// How long an established connection may sit idle between frames
-    /// before the worker reclaims itself. Generous by default — a parked
-    /// keep-alive client is legitimate, a worker held forever is not.
+    /// before it is dropped. Parked connections never hold a worker, so
+    /// this reclaims file descriptors, not threads — it can stay generous.
     pub idle_timeout: Duration,
+    /// Once a frame's first byte has arrived, the rest must arrive within
+    /// this deadline; replies are written under the same timeout. Bounds
+    /// how long one slow peer can occupy a worker per frame.
+    pub frame_timeout: Duration,
+    /// Live-connection cap; accepts beyond it are dropped immediately.
+    pub max_connections: usize,
+    /// Upper bound accepted for the `Search` knobs `k` (in
+    /// `EncryptedQuery`), `k_prime` and `ef_search` (in `SearchParams`).
+    /// All three size server-side allocations and work, and all three
+    /// arrive as attacker-controlled integers — requests exceeding the
+    /// bound get [`ErrorCode::BadRequest`].
+    pub max_search_k: usize,
 }
 
 impl ServiceConfig {
@@ -81,6 +113,9 @@ impl ServiceConfig {
             dim,
             handshake_timeout: Duration::from_secs(5),
             idle_timeout: Duration::from_secs(120),
+            frame_timeout: Duration::from_secs(30),
+            max_connections: 1024,
+            max_search_k: 1 << 16,
         }
     }
 
@@ -112,6 +147,24 @@ impl ServiceConfig {
     pub fn with_timeouts(mut self, handshake: Duration, idle: Duration) -> Self {
         self.handshake_timeout = handshake;
         self.idle_timeout = idle;
+        self
+    }
+
+    /// Replaces the per-frame receive/write deadline.
+    pub fn with_frame_timeout(mut self, frame_timeout: Duration) -> Self {
+        self.frame_timeout = frame_timeout;
+        self
+    }
+
+    /// Replaces the live-connection cap (clamped to ≥ 1).
+    pub fn with_max_connections(mut self, max_connections: usize) -> Self {
+        self.max_connections = max_connections.max(1);
+        self
+    }
+
+    /// Replaces the search-knob bound (clamped to ≥ 1).
+    pub fn with_max_search_k(mut self, max_search_k: usize) -> Self {
+        self.max_search_k = max_search_k.max(1);
         self
     }
 }
@@ -177,6 +230,52 @@ impl std::fmt::Debug for ServiceHandle {
     }
 }
 
+/// One live client connection as it moves between workers and the parked
+/// queue.
+struct Conn {
+    stream: TcpStream,
+    /// Completed the `Hello`/`HelloAck` handshake.
+    ready: bool,
+    /// Reclaim deadline: `Hello` arrival (before the handshake) or idle
+    /// limit (after), refreshed whenever a frame is served.
+    deadline: Instant,
+    /// Live-connection gauge behind `max_connections`; decremented when
+    /// the connection drops, however it dies.
+    live: Arc<AtomicUsize>,
+}
+
+impl Drop for Conn {
+    fn drop(&mut self) {
+        self.live.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// What to do with a connection after one poll step.
+enum ConnFate {
+    /// Still healthy: return it to the parked queue.
+    Keep,
+    /// Drop it: EOF, blown deadline, framing error, failed write, or
+    /// shutdown.
+    Close,
+}
+
+/// What one worker poll step accomplished.
+enum Poll {
+    /// A frame was read and answered; the connection goes back parked.
+    Served,
+    /// No bytes pending; the connection goes back parked.
+    Idle,
+    /// The connection was dropped.
+    Closed,
+}
+
+/// `now + d`, saturating far into the future instead of panicking when a
+/// caller configures an effectively-infinite timeout.
+fn deadline_after(d: Duration) -> Instant {
+    let now = Instant::now();
+    now.checked_add(d).unwrap_or_else(|| now + Duration::from_secs(365 * 24 * 3600))
+}
+
 /// Binds the listener and spawns the accept loop plus worker pool over a
 /// shared backend. Returns once the socket is bound; serving continues in
 /// the background until a shutdown is requested.
@@ -191,60 +290,130 @@ where
     let stop = Arc::new(AtomicBool::new(false));
     let workers = config.workers.max(1);
 
-    // Bounded hand-off queue: a small backlog per worker. When every
-    // worker is busy and the backlog is full, the accept loop parks —
-    // backpressure instead of unbounded buffering.
-    let (conn_tx, conn_rx) = channel::bounded::<TcpStream>(workers * 4);
+    // Fresh connections: a small bounded hand-off queue. When it fills,
+    // the accept loop parks — backpressure instead of unbounded buffering.
+    let (conn_tx, conn_rx) = channel::bounded::<Conn>(workers * 4);
     let conn_rx = Arc::new(Mutex::new(conn_rx));
+    // Established connections between frames. Workers pop one, poll it
+    // for a single frame, and push it back — no worker is pinned to a
+    // peer, so `workers` parked keep-alive clients cannot starve the
+    // pool. Bounded by `max_connections`, which the accept loop enforces.
+    let parked = Arc::new(Mutex::new(VecDeque::<Conn>::new()));
+    let live = Arc::new(AtomicUsize::new(0));
 
     let mut threads = Vec::with_capacity(workers + 1);
     for _ in 0..workers {
-        let rx = Arc::clone(&conn_rx);
+        let conn_rx = Arc::clone(&conn_rx);
+        let parked = Arc::clone(&parked);
         let backend = backend.clone();
         let stats = Arc::clone(&stats);
         let stop = Arc::clone(&stop);
         let config = config.clone();
-        threads.push(std::thread::spawn(move || loop {
-            // Take the next connection; the lock covers only the queue pop.
-            let next = rx.lock().try_recv();
-            match next {
-                Ok(conn) => {
-                    // A panic while serving one connection must not take the
-                    // worker down with it (the vendored lock recovers from
-                    // poisoning, so the backend stays serviceable too).
-                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        serve_connection(conn, &backend, &config, &stats, &stop);
-                    }));
-                    if result.is_err() {
-                        stats.record_error();
-                    }
+        threads.push(std::thread::spawn(move || {
+            // Consecutive polls that found nothing; once a full pass over
+            // the parked queue comes up dry, sleep instead of spinning.
+            let mut idle_streak = 0usize;
+            loop {
+                if stop.load(Ordering::Relaxed) {
+                    break;
                 }
-                Err(channel::TryRecvError::Empty) => {
-                    if stop.load(Ordering::Relaxed) {
-                        break;
-                    }
+                // Move one fresh accept (if any) into the shared FIFO,
+                // then poll the connection at its front: one queue means
+                // every connection — parked keep-alive peers and fresh
+                // handshakes alike — is served round-robin, and none can
+                // shut the others out. (Each lock covers only its queue
+                // operation.)
+                if let Ok(conn) = conn_rx.lock().try_recv() {
+                    parked.lock().push_back(conn);
+                }
+                let Some(mut conn) = parked.lock().pop_front() else {
+                    idle_streak = 0;
                     std::thread::sleep(ACCEPT_POLL);
+                    continue;
+                };
+                // A panic while serving one frame must not take the worker
+                // down with it (the vendored lock recovers from poisoning,
+                // so the backend stays serviceable too).
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    poll_connection(&mut conn, &backend, &config, &stats, &stop)
+                }));
+                match outcome {
+                    Ok(Poll::Served) => {
+                        idle_streak = 0;
+                        parked.lock().push_back(conn);
+                    }
+                    Ok(Poll::Idle) => {
+                        idle_streak += 1;
+                        let len = {
+                            let mut q = parked.lock();
+                            q.push_back(conn);
+                            q.len()
+                        };
+                        if idle_streak >= len {
+                            // A full pass found nothing. Sleep longer the
+                            // more idle connections there are, so a big
+                            // parked pool costs bounded CPU (~1 probe
+                            // syscall per connection per pass) at the
+                            // price of a little idle latency, capped at
+                            // 50 ms for the default 1024-connection pool.
+                            idle_streak = 0;
+                            let nap = ACCEPT_POLL + Duration::from_micros(len as u64 * 50);
+                            std::thread::sleep(nap.min(Duration::from_millis(50)));
+                        }
+                    }
+                    Ok(Poll::Closed) => idle_streak = 0,
+                    Err(_) => {
+                        // Panicked mid-frame: tell the peer it hit a
+                        // server bug (not a network failure) before the
+                        // connection drops.
+                        idle_streak = 0;
+                        send_error(
+                            &mut conn.stream,
+                            &stats,
+                            ErrorCode::Internal,
+                            "server failed while answering".into(),
+                        );
+                    }
                 }
-                Err(channel::TryRecvError::Disconnected) => break,
             }
         }));
     }
 
     {
         let stop = Arc::clone(&stop);
+        let config = config.clone();
+        let live = Arc::clone(&live);
         threads.push(std::thread::spawn(move || {
             loop {
                 if stop.load(Ordering::Relaxed) {
                     break;
                 }
                 match listener.accept() {
-                    Ok((conn, _peer)) => {
-                        // Accepted sockets are blocking with a short read
-                        // timeout: workers poll the stop flag while idle.
-                        let ok = conn.set_nonblocking(false).is_ok()
-                            && conn.set_read_timeout(Some(IDLE_POLL)).is_ok()
-                            && conn.set_nodelay(true).is_ok();
-                        if ok && conn_tx.send(conn).is_err() {
+                    Ok((stream, _peer)) => {
+                        // Live-connection cap: shed at accept time.
+                        if live.load(Ordering::Relaxed) >= config.max_connections {
+                            drop(stream);
+                            continue;
+                        }
+                        // Parked sockets live in non-blocking mode (one
+                        // cheap peek per rotation); workers flip them to
+                        // blocking — with the short read timeout below —
+                        // only while receiving a frame.
+                        let ok = stream.set_read_timeout(Some(POLL)).is_ok()
+                            && stream.set_write_timeout(Some(config.frame_timeout)).is_ok()
+                            && stream.set_nodelay(true).is_ok()
+                            && stream.set_nonblocking(true).is_ok();
+                        if !ok {
+                            continue;
+                        }
+                        live.fetch_add(1, Ordering::Relaxed);
+                        let conn = Conn {
+                            stream,
+                            ready: false,
+                            deadline: deadline_after(config.handshake_timeout),
+                            live: Arc::clone(&live),
+                        };
+                        if conn_tx.send(conn).is_err() {
                             break; // all workers gone
                         }
                     }
@@ -261,158 +430,267 @@ where
     Ok(ServiceHandle { addr, stats, stop, threads })
 }
 
-/// Serves one connection to completion: handshake, then request/response
-/// frames until the peer closes, a framing error breaks stream sync, or a
-/// stop is requested.
-fn serve_connection<S>(
-    mut conn: TcpStream,
+/// One multiplexing step: peek (without blocking) for pending bytes and,
+/// if a frame is waiting, read and answer exactly one. An idle parked
+/// connection costs each pass through the queue microseconds — not a
+/// worker — so the rotation stays fast no matter how many keep-alive
+/// peers are parked.
+fn poll_connection<S>(
+    conn: &mut Conn,
     backend: &SharedServer<S>,
     config: &ServiceConfig,
     stats: &ServiceStats,
     stop: &AtomicBool,
-) where
+) -> Poll
+where
     S: QueryBackend + MaintainableServer + Send + Sync,
 {
-    // --- Handshake: the first frame must be Hello with a compatible dim,
-    // and it must arrive before the handshake deadline — otherwise a
-    // silent peer would pin this worker indefinitely.
-    match next_frame(&mut conn, config, stats, stop, config.handshake_timeout) {
-        Some(Frame::Hello { dim }) => {
+    // Parked sockets are in non-blocking mode, so the probe is a single
+    // syscall; the socket flips to blocking-with-timeout only for the
+    // frame read below, and back before re-parking.
+    let mut probe = [0u8; 1];
+    match conn.stream.peek(&mut probe) {
+        Ok(0) => return Poll::Closed, // clean EOF
+        Ok(_) => {
+            if conn.stream.set_nonblocking(false).is_err() {
+                return Poll::Closed;
+            }
+        }
+        Err(e)
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ) =>
+        {
+            // Idle: requeue until its handshake/idle deadline passes.
+            return if Instant::now() >= conn.deadline { Poll::Closed } else { Poll::Idle };
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => return Poll::Idle,
+        Err(_) => return Poll::Closed,
+    }
+
+    // Bytes are pending: the whole frame must now arrive within
+    // frame_timeout (or the handshake deadline, before the Hello) — a
+    // peer dripping one byte per poll cannot hold the worker past that.
+    let read_deadline = if conn.ready { deadline_after(config.frame_timeout) } else { conn.deadline };
+    let frame =
+        match read_frame(&mut conn.stream, config.max_frame, Some(stop), Some(read_deadline)) {
+            Ok(Some((frame, n))) => {
+                stats.add_bytes_in(n as u64);
+                frame
+            }
+            Ok(None) | Err(FrameReadError::Stopped) | Err(FrameReadError::TimedOut) => {
+                return Poll::Closed
+            }
+            Err(FrameReadError::Protocol(e)) => {
+                // Framing error: answer, then close — stream sync is gone.
+                send_error(&mut conn.stream, stats, e.error_code(), e.to_string());
+                return Poll::Closed;
+            }
+            Err(FrameReadError::Io(_)) => return Poll::Closed,
+        };
+
+    let fate = if conn.ready {
+        serve_frame(conn, frame, backend, config, stats, stop)
+    } else {
+        serve_hello(conn, frame, backend, config, stats)
+    };
+    match fate {
+        ConnFate::Keep => {
+            // Back to non-blocking before re-parking (probe invariant).
+            if conn.stream.set_nonblocking(true).is_err() {
+                return Poll::Closed;
+            }
+            conn.deadline = deadline_after(config.idle_timeout);
+            Poll::Served
+        }
+        ConnFate::Close => Poll::Closed,
+    }
+}
+
+/// Handles the first frame of a connection, which must be a `Hello` with
+/// a compatible dimensionality.
+fn serve_hello<S>(
+    conn: &mut Conn,
+    frame: Frame,
+    backend: &SharedServer<S>,
+    config: &ServiceConfig,
+    stats: &ServiceStats,
+) -> ConnFate
+where
+    S: QueryBackend + MaintainableServer + Send + Sync,
+{
+    match frame {
+        Frame::Hello { dim } => {
             if dim != 0 && dim != config.dim as u64 {
                 send_error(
-                    &mut conn,
+                    &mut conn.stream,
                     stats,
                     ErrorCode::DimMismatch,
                     format!("server dim {}, client dim {dim}", config.dim),
                 );
-                return;
+                return ConnFate::Close;
             }
-            send(
-                &mut conn,
+            conn.ready = true;
+            if send(
+                &mut conn.stream,
                 stats,
                 &Frame::HelloAck { dim: config.dim as u64, live: backend.len() as u64 },
-            );
+            ) {
+                ConnFate::Keep
+            } else {
+                ConnFate::Close
+            }
         }
-        Some(_) => {
-            send_error(&mut conn, stats, ErrorCode::BadRequest, "expected Hello first".into());
-            return;
+        _ => {
+            send_error(&mut conn.stream, stats, ErrorCode::BadRequest, "expected Hello first".into());
+            ConnFate::Close
         }
-        None => return,
     }
+}
 
-    // --- Request/response loop.
-    loop {
-        let frame = match next_frame(&mut conn, config, stats, stop, config.idle_timeout) {
-            Some(f) => f,
-            None => return,
-        };
-        match frame {
-            Frame::Search { params, query } => {
-                if query.c_sap.len() != config.dim {
-                    send_error(
-                        &mut conn,
-                        stats,
-                        ErrorCode::BadRequest,
-                        format!("query dim {} != served dim {}", query.c_sap.len(), config.dim),
-                    );
-                    continue;
-                }
-                let expected = ppann_dce::ciphertext_dim(config.dim);
-                if query.trapdoor.dim() != expected {
-                    send_error(
-                        &mut conn,
-                        stats,
-                        ErrorCode::BadRequest,
-                        format!("trapdoor dim {} != expected {expected}", query.trapdoor.dim()),
-                    );
-                    continue;
-                }
-                let started = Instant::now();
-                let outcome = backend.search(&query, &params);
-                stats.record_query(started.elapsed());
-                send(&mut conn, stats, &Frame::SearchResult(outcome));
-            }
-            Frame::Insert { token, c_sap, c_dce } => {
-                if !authorized(config, token) {
-                    send_error(&mut conn, stats, ErrorCode::Unauthorized, "bad owner token".into());
-                    continue;
-                }
-                if c_sap.len() != config.dim {
-                    send_error(
-                        &mut conn,
-                        stats,
-                        ErrorCode::BadRequest,
-                        format!("insert dim {} != served dim {}", c_sap.len(), config.dim),
-                    );
-                    continue;
-                }
-                // A wrong-shape DCE ciphertext would be stored silently and
-                // poison every later refine that touches it — reject here.
-                let expected = ppann_dce::ciphertext_dim(config.dim);
-                if c_dce.component_dim() != expected {
-                    send_error(
-                        &mut conn,
-                        stats,
-                        ErrorCode::BadRequest,
-                        format!(
-                            "DCE component dim {} != expected {expected}",
-                            c_dce.component_dim()
-                        ),
-                    );
-                    continue;
-                }
-                let id = backend.insert(c_sap, c_dce);
-                stats.record_insert();
-                send(&mut conn, stats, &Frame::InsertAck { id });
-            }
-            Frame::Delete { token, id } => {
-                if !authorized(config, token) {
-                    send_error(&mut conn, stats, ErrorCode::Unauthorized, "bad owner token".into());
-                    continue;
-                }
-                if backend.try_delete(id) {
-                    stats.record_delete();
-                    send(&mut conn, stats, &Frame::DeleteAck);
-                } else {
-                    send_error(
-                        &mut conn,
-                        stats,
-                        ErrorCode::BadRequest,
-                        format!("id {id} out of range or already deleted"),
-                    );
-                }
-            }
-            Frame::Stats => {
-                let snap = stats.snapshot(backend.len() as u64);
-                send(&mut conn, stats, &Frame::StatsReply(snap));
-            }
-            Frame::Shutdown { token } => {
-                if !authorized(config, token) {
-                    send_error(&mut conn, stats, ErrorCode::Unauthorized, "bad owner token".into());
-                    continue;
-                }
-                send(&mut conn, stats, &Frame::ShutdownAck);
-                stop.store(true, Ordering::Relaxed);
-                return;
-            }
-            // Replies and a second Hello are protocol violations from a
-            // client; answer and keep the connection (stream sync intact).
-            Frame::Hello { .. }
-            | Frame::HelloAck { .. }
-            | Frame::SearchResult(_)
-            | Frame::InsertAck { .. }
-            | Frame::DeleteAck
-            | Frame::StatsReply(_)
-            | Frame::ShutdownAck
-            | Frame::Error { .. } => {
+/// Answers one post-handshake request frame.
+fn serve_frame<S>(
+    conn: &mut Conn,
+    frame: Frame,
+    backend: &SharedServer<S>,
+    config: &ServiceConfig,
+    stats: &ServiceStats,
+    stop: &AtomicBool,
+) -> ConnFate
+where
+    S: QueryBackend + MaintainableServer + Send + Sync,
+{
+    let conn = &mut conn.stream;
+    match frame {
+        Frame::Search { params, query } => {
+            if query.c_sap.len() != config.dim {
                 send_error(
-                    &mut conn,
+                    conn,
                     stats,
                     ErrorCode::BadRequest,
-                    "unexpected frame direction".into(),
+                    format!("query dim {} != served dim {}", query.c_sap.len(), config.dim),
                 );
+                return ConnFate::Keep;
+            }
+            let expected = ppann_dce::ciphertext_dim(config.dim);
+            if query.trapdoor.dim() != expected {
+                send_error(
+                    conn,
+                    stats,
+                    ErrorCode::BadRequest,
+                    format!("trapdoor dim {} != expected {expected}", query.trapdoor.dim()),
+                );
+                return ConnFate::Keep;
+            }
+            // The three search knobs size server-side allocations and
+            // work, and all arrive as attacker-controlled integers: a k
+            // of 2^50 would ask the top-k heap for a petabyte
+            // reservation, and the allocation failure aborts the whole
+            // process — bound them before they reach the backend. (k = 0
+            // never gets here: the payload codec rejects it as
+            // malformed; zero k'/ef are fine, the backend clamps them up
+            // to k.)
+            let max = config.max_search_k;
+            if query.k > max || params.k_prime > max || params.ef_search > max {
+                send_error(
+                    conn,
+                    stats,
+                    ErrorCode::BadRequest,
+                    format!(
+                        "search knobs k={} k'={} ef={} exceed the {max} limit",
+                        query.k, params.k_prime, params.ef_search
+                    ),
+                );
+                return ConnFate::Keep;
+            }
+            let started = Instant::now();
+            let outcome = backend.search(&query, &params);
+            stats.record_query(started.elapsed());
+            keep_if(send(conn, stats, &Frame::SearchResult(outcome)))
+        }
+        Frame::Insert { token, c_sap, c_dce } => {
+            if !authorized(config, token) {
+                send_error(conn, stats, ErrorCode::Unauthorized, "bad owner token".into());
+                return ConnFate::Keep;
+            }
+            if c_sap.len() != config.dim {
+                send_error(
+                    conn,
+                    stats,
+                    ErrorCode::BadRequest,
+                    format!("insert dim {} != served dim {}", c_sap.len(), config.dim),
+                );
+                return ConnFate::Keep;
+            }
+            // A wrong-shape DCE ciphertext would be stored silently and
+            // poison every later refine that touches it — reject here.
+            let expected = ppann_dce::ciphertext_dim(config.dim);
+            if c_dce.component_dim() != expected {
+                send_error(
+                    conn,
+                    stats,
+                    ErrorCode::BadRequest,
+                    format!("DCE component dim {} != expected {expected}", c_dce.component_dim()),
+                );
+                return ConnFate::Keep;
+            }
+            let id = backend.insert(c_sap, c_dce);
+            stats.record_insert();
+            keep_if(send(conn, stats, &Frame::InsertAck { id }))
+        }
+        Frame::Delete { token, id } => {
+            if !authorized(config, token) {
+                send_error(conn, stats, ErrorCode::Unauthorized, "bad owner token".into());
+                return ConnFate::Keep;
+            }
+            if backend.try_delete(id) {
+                stats.record_delete();
+                keep_if(send(conn, stats, &Frame::DeleteAck))
+            } else {
+                send_error(
+                    conn,
+                    stats,
+                    ErrorCode::BadRequest,
+                    format!("id {id} out of range or already deleted"),
+                );
+                ConnFate::Keep
             }
         }
+        Frame::Stats => {
+            let snap = stats.snapshot(backend.len() as u64);
+            keep_if(send(conn, stats, &Frame::StatsReply(snap)))
+        }
+        Frame::Shutdown { token } => {
+            if !authorized(config, token) {
+                send_error(conn, stats, ErrorCode::Unauthorized, "bad owner token".into());
+                return ConnFate::Keep;
+            }
+            send(conn, stats, &Frame::ShutdownAck);
+            stop.store(true, Ordering::Relaxed);
+            ConnFate::Close
+        }
+        // Replies and a second Hello are protocol violations from a
+        // client; answer and keep the connection (stream sync intact).
+        Frame::Hello { .. }
+        | Frame::HelloAck { .. }
+        | Frame::SearchResult(_)
+        | Frame::InsertAck { .. }
+        | Frame::DeleteAck
+        | Frame::StatsReply(_)
+        | Frame::ShutdownAck
+        | Frame::Error { .. } => {
+            send_error(conn, stats, ErrorCode::BadRequest, "unexpected frame direction".into());
+            ConnFate::Keep
+        }
+    }
+}
+
+fn keep_if(sent: bool) -> ConnFate {
+    if sent {
+        ConnFate::Keep
+    } else {
+        ConnFate::Close
     }
 }
 
@@ -420,34 +698,15 @@ fn authorized(config: &ServiceConfig, token: u64) -> bool {
     config.owner_token == Some(token)
 }
 
-/// Reads the next request frame. Framing errors are answered with an error
-/// frame and `None` (connection closes — stream sync is gone); clean EOF,
-/// stop and a blown deadline all yield `None`.
-fn next_frame(
-    conn: &mut TcpStream,
-    config: &ServiceConfig,
-    stats: &ServiceStats,
-    stop: &AtomicBool,
-    timeout: Duration,
-) -> Option<Frame> {
-    let deadline = Instant::now().checked_add(timeout);
-    match read_frame(conn, config.max_frame, Some(stop), deadline) {
-        Ok(Some((frame, n))) => {
-            stats.add_bytes_in(n as u64);
-            Some(frame)
+/// Writes one reply frame; `false` means the peer is unwritable (stalled
+/// past the write timeout or gone) and the connection should close.
+fn send(conn: &mut TcpStream, stats: &ServiceStats, frame: &Frame) -> bool {
+    match write_frame(conn, frame) {
+        Ok(n) => {
+            stats.add_bytes_out(n as u64);
+            true
         }
-        Ok(None) | Err(FrameReadError::Stopped) | Err(FrameReadError::TimedOut) => None,
-        Err(FrameReadError::Protocol(e)) => {
-            send_error(conn, stats, e.error_code(), e.to_string());
-            None
-        }
-        Err(FrameReadError::Io(_)) => None,
-    }
-}
-
-fn send(conn: &mut TcpStream, stats: &ServiceStats, frame: &Frame) {
-    if let Ok(n) = write_frame(conn, frame) {
-        stats.add_bytes_out(n as u64);
+        Err(_) => false,
     }
 }
 

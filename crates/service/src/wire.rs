@@ -230,9 +230,22 @@ impl Frame {
     }
 
     /// Encodes the complete frame: header plus payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload exceeds `u32::MAX` bytes: such a frame has
+    /// no representable length header, and silently truncating the `u32`
+    /// cast would put a corrupt frame on the wire. Receivers enforce far
+    /// smaller limits anyway ([`DEFAULT_MAX_FRAME`]); only an
+    /// owner-built `Insert` of absurd dimensionality can get here.
     pub fn encode(&self) -> Bytes {
         let mut payload = BytesMut::new();
         self.write_payload(&mut payload);
+        assert!(
+            payload.len() <= u32::MAX as usize,
+            "frame payload of {} bytes overflows the u32 length header",
+            payload.len()
+        );
         let mut out = BytesMut::with_capacity(HEADER_LEN + payload.len());
         out.put_slice(&MAGIC);
         out.put_u8(PROTOCOL_VERSION);

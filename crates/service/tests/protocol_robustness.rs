@@ -222,6 +222,78 @@ fn silent_connection_is_reclaimed_by_the_handshake_deadline() {
 }
 
 #[test]
+fn absurd_search_knobs_are_rejected_before_allocation() {
+    let (data, owner, handle) = spawn_service(512);
+    let mut client = ServiceClient::connect(handle.local_addr(), Some(DIM)).unwrap();
+    let mut user = owner.authorize_user();
+
+    // k is an attacker-controlled u64 on the wire; a huge value would be
+    // a multi-petabyte heap reservation in the top-k heap, and a failed
+    // allocation aborts the process — it must die as a BadRequest.
+    let mut q = user.encrypt_query(&data[0], 3);
+    q.k = 1 << 50;
+    let sane = SearchParams { k_prime: 15, ef_search: 30 };
+    match client.search(&q, &sane) {
+        Err(ClientError::Remote { code, .. }) => assert_eq!(code, ErrorCode::BadRequest),
+        other => panic!("expected BadRequest for huge k, got {other:?}"),
+    }
+
+    // The filter-phase knobs size allocations and work the same way.
+    q.k = 3;
+    for bad in [
+        SearchParams { k_prime: 1 << 50, ef_search: 30 },
+        SearchParams { k_prime: 15, ef_search: 1 << 50 },
+    ] {
+        match client.search(&q, &bad) {
+            Err(ClientError::Remote { code, .. }) => assert_eq!(code, ErrorCode::BadRequest),
+            other => panic!("expected BadRequest for {bad:?}, got {other:?}"),
+        }
+    }
+
+    // Same connection still answers sane queries; the server never died.
+    assert_eq!(client.search(&q, &sane).unwrap().ids.len(), 3);
+
+    // k = 0 (would panic the top-k heap's capacity assertion) is already
+    // malformed at the codec layer: BadFrame, and the connection closes.
+    q.k = 0;
+    match client.search(&q, &sane) {
+        Err(ClientError::Remote { code, .. }) => assert_eq!(code, ErrorCode::BadFrame),
+        other => panic!("expected BadFrame for k = 0, got {other:?}"),
+    }
+    assert_still_serves(&handle, &owner, &data);
+    handle.request_stop();
+    handle.join();
+}
+
+#[test]
+fn parked_keepalive_connections_do_not_starve_other_clients() {
+    let mut rng = seeded_rng(513);
+    let data: Vec<Vec<f64>> = (0..50).map(|_| uniform_vec(&mut rng, DIM, -1.0, 1.0)).collect();
+    let owner = DataOwner::setup(PpAnnParams::new(DIM).with_seed(513).with_beta(0.0), &data);
+    let shared = SharedServer::new(CloudServer::new(owner.outsource(&data)));
+    // A single worker, long idle timeout. If a worker were owned by one
+    // connection until close/idle (the old design), the parked client
+    // below would pin it for the full 120 s and starve everyone else.
+    let config = ServiceConfig::loopback(DIM).with_workers(1);
+    let handle = serve(shared, config).unwrap();
+
+    // Handshake fully, then go quiet — a legitimate keep-alive client.
+    let mut parked = ServiceClient::connect(handle.local_addr(), Some(DIM)).unwrap();
+
+    // New clients must still be served by the same single worker...
+    assert_still_serves(&handle, &owner, &data);
+    assert_still_serves(&handle, &owner, &data);
+
+    // ...and the parked connection is still usable afterwards.
+    let mut user = owner.authorize_user();
+    let q = user.encrypt_query(&data[7], 3);
+    let out = parked.search(&q, &SearchParams { k_prime: 15, ef_search: 30 }).unwrap();
+    assert_eq!(out.ids.len(), 3);
+    handle.request_stop();
+    handle.join();
+}
+
+#[test]
 fn insert_with_wrong_shape_dce_ciphertext_is_rejected() {
     let (data, owner, handle) = spawn_service(511);
     let mut client = ServiceClient::connect(handle.local_addr(), Some(DIM)).unwrap();
@@ -250,6 +322,27 @@ fn insert_with_wrong_shape_dce_ciphertext_is_rejected() {
     assert_eq!(snap.live, N as u64);
     handle.request_stop();
     handle.join();
+}
+
+#[test]
+fn client_call_deadline_expires_against_a_hung_server() {
+    // A "server" that accepts the connection and never says anything: the
+    // client's handshake call must fail with a timed-out Io error instead
+    // of blocking forever.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let hold = std::thread::spawn(move || listener.accept().map(|(s, _)| s));
+    let started = std::time::Instant::now();
+    let timeout = std::time::Duration::from_millis(300);
+    match ServiceClient::connect_with_timeout(addr, Some(DIM), timeout) {
+        Err(ClientError::Io(e)) => assert_eq!(e.kind(), std::io::ErrorKind::TimedOut),
+        other => panic!("expected a timed-out Io error, got {other:?}"),
+    }
+    assert!(
+        started.elapsed() < std::time::Duration::from_secs(5),
+        "deadline did not bound the wait"
+    );
+    drop(hold.join());
 }
 
 #[test]

@@ -278,7 +278,9 @@ fn cmd_stats(flags: &Flags) -> Result<(), String> {
 
 fn cmd_shutdown(flags: &Flags) -> Result<(), String> {
     let remote = required(flags, "remote")?;
-    let token: u64 = parse_or(flags, "token", 0)?;
+    let token: u64 = required(flags, "token")?
+        .parse()
+        .map_err(|_| "--token: cannot parse".to_string())?;
     let mut client =
         ServiceClient::connect(remote, None).map_err(|e| format!("{remote}: {e}"))?;
     client.shutdown(token).map_err(|e| e.to_string())?;
