@@ -76,10 +76,7 @@ pub fn recover_database_vector(
     observed: &[f64],
 ) -> Vec<f64> {
     let d = queries[0].0.len();
-    assert!(
-        queries.len() > d && observed.len() > d,
-        "need at least d+1 recovered queries"
-    );
+    assert!(queries.len() > d && observed.len() > d, "need at least d+1 recovered queries");
     let mut rows = Vec::with_capacity(d + 1);
     let mut b = Vec::with_capacity(d + 1);
     for ((q, r1, r2), &l) in queries.iter().zip(observed).take(d + 1) {
@@ -177,9 +174,7 @@ mod tests {
     #[test]
     fn theorem_1_recovers_queries_and_database() {
         let mut rng = seeded_rng(91);
-        for leak in
-            [DistanceLeak::Linear, DistanceLeak::Exponential, DistanceLeak::Logarithmic]
-        {
+        for leak in [DistanceLeak::Linear, DistanceLeak::Exponential, DistanceLeak::Logarithmic] {
             let d = 8;
             let key = AspeKey::generate(d, leak, &mut rng);
             let p_leak: Vec<Vec<f64>> =
@@ -221,10 +216,7 @@ mod tests {
         let tq = key.trapdoor(&q, &mut rng);
         let (_, ls) = leaks_for(&key, &p_leak, &tq);
         let q_hat = recover_query_square(&p_leak, &ls);
-        assert!(
-            max_abs_diff(&q_hat, &q) < 1e-5,
-            "square attack failed: {q_hat:?} vs {q:?}"
-        );
+        assert!(max_abs_diff(&q_hat, &q) < 1e-5, "square attack failed: {q_hat:?} vs {q:?}");
     }
 
     #[test]

@@ -136,7 +136,10 @@ impl AspeKey {
 
 impl std::fmt::Debug for AspeKey {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("AspeKey").field("dim", &self.dim).field("leak", &self.leak).finish_non_exhaustive()
+        f.debug_struct("AspeKey")
+            .field("dim", &self.dim)
+            .field("leak", &self.leak)
+            .finish_non_exhaustive()
     }
 }
 

@@ -88,7 +88,12 @@ impl HnswAme {
     }
 
     /// Filter-and-refine search: same filter as the main scheme, AME refine.
-    pub fn search(&self, query: &HnswAmeQuery, k_prime: usize, ef_search: usize) -> BaselineOutcome {
+    pub fn search(
+        &self,
+        query: &HnswAmeQuery,
+        k_prime: usize,
+        ef_search: usize,
+    ) -> BaselineOutcome {
         let started = Instant::now();
         let k_prime = k_prime.max(query.k);
         let candidates = self.hnsw.search(&query.c_sap, k_prime, ef_search.max(k_prime));

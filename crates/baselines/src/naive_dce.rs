@@ -101,10 +101,8 @@ mod tests {
     fn naive_search_is_accurate() {
         let mut rng = seeded_rng(411);
         let data: Vec<Vec<f64>> = (0..300).map(|_| uniform_vec(&mut rng, 8, -1.0, 1.0)).collect();
-        let sys = NaiveDce::setup(
-            NaiveDceParams { dim: 8, hnsw: HnswParams::default(), seed: 1 },
-            &data,
-        );
+        let sys =
+            NaiveDce::setup(NaiveDceParams { dim: 8, hnsw: HnswParams::default(), seed: 1 }, &data);
         let t = sys.encrypt_query(&data[42], 0);
         let out = sys.search(&t, 1, 40);
         assert_eq!(out.ids, vec![42]);
@@ -115,19 +113,18 @@ mod tests {
     fn top_k_matches_plaintext_graph_search() {
         let mut rng = seeded_rng(412);
         let data: Vec<Vec<f64>> = (0..250).map(|_| uniform_vec(&mut rng, 6, -1.0, 1.0)).collect();
-        let sys = NaiveDce::setup(
-            NaiveDceParams { dim: 6, hnsw: HnswParams::default(), seed: 2 },
-            &data,
-        );
+        let sys =
+            NaiveDce::setup(NaiveDceParams { dim: 6, hnsw: HnswParams::default(), seed: 2 }, &data);
         for qi in 0..5 {
             let t = sys.encrypt_query(&data[qi], qi as u64);
             let secure = sys.search(&t, 10, 50).ids;
             // Same graph, plaintext distances (normalization preserves order).
-            let plain: Vec<u32> =
-                sys.graph.search(&ppann_linalg::vector::scaled(&data[qi], sys.norm_scale), 10, 50)
-                    .iter()
-                    .map(|n| n.id)
-                    .collect();
+            let plain: Vec<u32> = sys
+                .graph
+                .search(&ppann_linalg::vector::scaled(&data[qi], sys.norm_scale), 10, 50)
+                .iter()
+                .map(|n| n.id)
+                .collect();
             assert_eq!(secure, plain, "query {qi}");
         }
     }

@@ -67,10 +67,8 @@ impl PacmAnn {
             })
             .collect();
         // Vector blocks: raw little-endian f64 coordinates.
-        let vec_blocks: Vec<Vec<u8>> = data
-            .iter()
-            .map(|v| v.iter().flat_map(|x| x.to_le_bytes()).collect())
-            .collect();
+        let vec_blocks: Vec<Vec<u8>> =
+            data.iter().map(|v| v.iter().flat_map(|x| x.to_le_bytes()).collect()).collect();
         let entry = graph.entry_point().expect("nonempty graph");
         Self {
             params,
@@ -196,13 +194,8 @@ mod tests {
                 c.iter().map(|x| x + rng.gen_range(-0.1..0.1)).collect()
             })
             .collect();
-        let params = PacmAnnParams {
-            dim,
-            graph: HnswParams::default(),
-            beam: 4,
-            max_rounds: 12,
-            seed,
-        };
+        let params =
+            PacmAnnParams { dim, graph: HnswParams::default(), beam: 4, max_rounds: 12, seed };
         let sys = PacmAnn::setup(params, &data);
         (data, sys)
     }
@@ -232,7 +225,13 @@ mod tests {
             &data,
         );
         let wide = PacmAnn::setup(
-            PacmAnnParams { dim: 6, graph: HnswParams::default(), beam: 8, max_rounds: 12, seed: 1 },
+            PacmAnnParams {
+                dim: 6,
+                graph: HnswParams::default(),
+                beam: 8,
+                max_rounds: 12,
+                seed: 1,
+            },
             &data,
         );
         let truth = |q: &[f64], k: usize| {
@@ -249,8 +248,10 @@ mod tests {
         let mut wide_hits = 0;
         for qi in 0..10 {
             let t = truth(&data[qi], 10);
-            narrow_hits +=
-                t.iter().filter(|x| narrow.search(&data[qi], 10, qi as u64).ids.contains(x)).count();
+            narrow_hits += t
+                .iter()
+                .filter(|x| narrow.search(&data[qi], 10, qi as u64).ids.contains(x))
+                .count();
             wide_hits +=
                 t.iter().filter(|x| wide.search(&data[qi], 10, qi as u64).ids.contains(x)).count();
         }

@@ -69,10 +69,8 @@ impl PriAnn {
             directory.insert((table, key), bucket_blocks.len());
             bucket_blocks.push(block);
         }
-        let vec_blocks: Vec<Vec<u8>> = data
-            .iter()
-            .map(|v| v.iter().flat_map(|x| x.to_le_bytes()).collect())
-            .collect();
+        let vec_blocks: Vec<Vec<u8>> =
+            data.iter().map(|v| v.iter().flat_map(|x| x.to_le_bytes()).collect()).collect();
         // An empty-but-valid bucket block keeps PIR well-defined on empty data.
         if bucket_blocks.is_empty() {
             bucket_blocks.push(vec![0u8; 4]);
@@ -163,8 +161,7 @@ impl PriAnn {
             })
             .collect();
         let mut heap = ComparatorTopK::new(k, |a: u32, b: u32| {
-            vector::squared_euclidean(&decoded[&a], q)
-                > vector::squared_euclidean(&decoded[&b], q)
+            vector::squared_euclidean(&decoded[&a], q) > vector::squared_euclidean(&decoded[&b], q)
         });
         for &id in &candidates {
             heap.offer(id);

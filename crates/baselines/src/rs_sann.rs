@@ -48,11 +48,8 @@ impl RsSann {
     /// the LSH index; both are shipped to the server.
     pub fn setup(params: RsSannParams, aes_key: [u8; 16], data: &[Vec<f64>]) -> Self {
         let aes = AesCtr::new(&aes_key);
-        let enc_vectors = data
-            .iter()
-            .enumerate()
-            .map(|(i, v)| encrypt_f64_vector(&aes, i as u64, v))
-            .collect();
+        let enc_vectors =
+            data.iter().enumerate().map(|(i, v)| encrypt_f64_vector(&aes, i as u64, v)).collect();
         let lsh = LshIndex::build(params.dim, params.lsh, data);
         Self { params, lsh, enc_vectors, aes }
     }
@@ -132,18 +129,16 @@ mod tests {
 
     fn system(n: usize, dim: usize, seed: u64) -> (Vec<Vec<f64>>, RsSann) {
         let mut rng = seeded_rng(seed);
-        let centers: Vec<Vec<f64>> = (0..10).map(|_| uniform_vec(&mut rng, dim, -1.0, 1.0)).collect();
+        let centers: Vec<Vec<f64>> =
+            (0..10).map(|_| uniform_vec(&mut rng, dim, -1.0, 1.0)).collect();
         let data: Vec<Vec<f64>> = (0..n)
             .map(|_| {
                 let c = &centers[rng.gen_range(0..centers.len())];
                 c.iter().map(|x| x + rng.gen_range(-0.05..0.05)).collect()
             })
             .collect();
-        let params = RsSannParams {
-            dim,
-            lsh: LshParams::tuned(6, 16, seed, &data),
-            max_candidates: 400,
-        };
+        let params =
+            RsSannParams { dim, lsh: LshParams::tuned(6, 16, seed, &data), max_candidates: 400 };
         let sys = RsSann::setup(params, [7u8; 16], &data);
         (data, sys)
     }

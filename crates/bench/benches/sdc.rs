@@ -19,9 +19,7 @@ fn bench_sdc(c: &mut Criterion) {
 
         group.bench_with_input(BenchmarkId::new("plaintext", d), &d, |b, _| {
             b.iter(|| {
-                black_box(
-                    vector::squared_euclidean(&o, &q) - vector::squared_euclidean(&p, &q),
-                )
+                black_box(vector::squared_euclidean(&o, &q) - vector::squared_euclidean(&p, &q))
             })
         });
 

@@ -52,12 +52,8 @@ fn ablation_naive_dce_measured(scale: ppann_bench::BenchScale) {
         NaiveDceParams { dim: w.dim(), hnsw: HnswParams::default(), seed: 5 },
         w.base(),
     );
-    let trapdoors: Vec<_> = w
-        .queries()
-        .iter()
-        .enumerate()
-        .map(|(i, q)| naive.encrypt_query(q, i as u64))
-        .collect();
+    let trapdoors: Vec<_> =
+        w.queries().iter().enumerate().map(|(i, q)| naive.encrypt_query(q, i as u64)).collect();
     let started = Instant::now();
     let mut naive_recall = 0.0;
     for (td, tr) in trapdoors.iter().zip(&truth) {
@@ -144,13 +140,18 @@ fn ablation_normalization() {
         for _ in 0..trials {
             let o = uniform_vec(&mut rng, d, -scale, scale);
             let p = uniform_vec(&mut rng, d, -scale, scale);
-            let z = ppann_dce::distance_comp(&sk.encrypt(&o, &mut rng), &sk.encrypt(&p, &mut rng), &tq);
+            let z =
+                ppann_dce::distance_comp(&sk.encrypt(&o, &mut rng), &sk.encrypt(&p, &mut rng), &tq);
             let truth = vector::squared_euclidean(&o, &q) - vector::squared_euclidean(&p, &q);
             if truth.abs() > 1e-9 && (z < 0.0) != (truth < 0.0) {
                 errors += 1;
             }
         }
-        t.row(&[label.into(), errors.to_string(), format!("{:.2e}", errors as f64 / trials as f64)]);
+        t.row(&[
+            label.into(),
+            errors.to_string(),
+            format!("{:.2e}", errors as f64 / trials as f64),
+        ]);
     }
     t.print();
     println!("shape: both tiny, but normalization keeps the comparison exact with a wide margin (DESIGN.md S6).");

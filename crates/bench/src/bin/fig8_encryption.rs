@@ -20,7 +20,8 @@ fn main() {
         let d = profile.dim();
         let reps = if d > 500 { scale.scaled(20, 100) } else { scale.scaled(200, 1000) };
         let mut rng = seeded_rng(88);
-        let vectors: Vec<Vec<f64>> = (0..reps).map(|_| uniform_vec(&mut rng, d, -1.0, 1.0)).collect();
+        let vectors: Vec<Vec<f64>> =
+            (0..reps).map(|_| uniform_vec(&mut rng, d, -1.0, 1.0)).collect();
 
         let sap = SapEncryptor::new(SapKey::new(1024.0, 1.0));
         let started = Instant::now();

@@ -66,14 +66,24 @@ fn main() {
 
     // --- Baselines at their ~0.9-recall configurations.
     let rs = RsSann::setup(
-        RsSannParams { dim: w.dim(), lsh: LshParams::tuned(8, 24, 1, w.base()), max_candidates: 1200 },
+        RsSannParams {
+            dim: w.dim(),
+            lsh: LshParams::tuned(8, 24, 1, w.base()),
+            max_candidates: 1200,
+        },
         [9u8; 16],
         w.base(),
     );
     report(&mut t, "RS-SANN", &truth, |qi| rs.search(&w.queries()[qi], k));
 
     let pacm = PacmAnn::setup(
-        PacmAnnParams { dim: w.dim(), graph: HnswParams::default(), beam: 6, max_rounds: 10, seed: 2 },
+        PacmAnnParams {
+            dim: w.dim(),
+            graph: HnswParams::default(),
+            beam: 6,
+            max_rounds: 10,
+            seed: 2,
+        },
         w.base(),
     );
     report(&mut t, "PACM-ANN", &truth, |qi| pacm.search(&w.queries()[qi], k, qi as u64));

@@ -35,7 +35,10 @@ fn main() {
             .collect();
 
         let mut t = TableWriter::new(
-            &format!("Graph substitution ({}, beta={beta}): filter index = HNSW vs NSG", profile.name()),
+            &format!(
+                "Graph substitution ({}, beta={beta}): filter index = HNSW vs NSG",
+                profile.name()
+            ),
             &["index", "pool/ef", "recall@10", "QPS"],
         );
 
@@ -48,7 +51,12 @@ fn main() {
                 acc.record(tr, &got);
             }
             let qps = enc_queries.len() as f64 / started.elapsed().as_secs_f64();
-            t.row(&["HNSW".into(), ef.to_string(), format!("{:.3}", acc.mean()), format!("{qps:.0}")]);
+            t.row(&[
+                "HNSW".into(),
+                ef.to_string(),
+                format!("{:.3}", acc.mean()),
+                format!("{qps:.0}"),
+            ]);
         }
 
         let nsg = Nsg::build(w.dim(), NsgParams::default(), &sap_base);
@@ -60,7 +68,12 @@ fn main() {
                 acc.record(tr, &got);
             }
             let qps = enc_queries.len() as f64 / started.elapsed().as_secs_f64();
-            t.row(&["NSG".into(), l.to_string(), format!("{:.3}", acc.mean()), format!("{qps:.0}")]);
+            t.row(&[
+                "NSG".into(),
+                l.to_string(),
+                format!("{:.3}", acc.mean()),
+                format!("{qps:.0}"),
+            ]);
         }
         t.print();
     }

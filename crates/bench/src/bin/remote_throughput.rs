@@ -1,23 +1,68 @@
 //! **Remote throughput** (extension experiment, not a paper figure):
-//! loopback `ppann-service` QPS as concurrent client connections sweep
-//! 1–8, against the in-process baseline on the same seeded workload.
+//! loopback `ppann-service` QPS across the protocol's three client
+//! shapes — sequential single-frame, pipelined single-frame, and whole
+//! `SearchBatch` frames — plus a concurrent-connection sweep, against the
+//! in-process baseline on the same seeded workload.
 //!
-//! Measures what the network layer costs and what the worker pool buys:
-//! every client runs on its own TCP connection through the full
-//! frame-encode → TCP → frame-decode → `SharedServer` search path
-//! (PROTOCOL.md), so the delta to the in-process baseline is the wire
-//! overhead, and the scaling across clients is the worker pool's
-//! concurrency under the shared read lock. Fidelity is asserted while
-//! measuring: every remote answer must match the in-process
+//! Measures what the network layer costs and what batching buys back:
+//! sequential mode pays one full round trip (frame encode → TCP → decode
+//! → search → reply) per query; pipelining hides the round trips behind a
+//! window of in-flight frames (PROTOCOL.md §4); batching additionally
+//! amortizes framing and hands the server whole batches to fan across its
+//! worker pool (`BatchExecutor`). Fidelity is asserted while measuring:
+//! every remote answer, in every mode, must match the in-process
 //! `CloudServer` bit-for-bit (ids and encrypted-space distances).
+//!
+//! Besides the printed table, the run writes `BENCH_remote_throughput.json`
+//! (see `ppann_bench::json`); CI uploads it and fails if batched loopback
+//! throughput falls below sequential — the sanity floor of the batching
+//! claim, not a machine-dependent absolute threshold.
 
 use ppann_bench::harness::build_scheme;
-use ppann_bench::{bench_scale, TableWriter};
-use ppann_core::{SearchParams, SharedServer};
+use ppann_bench::{bench_scale, write_bench_json, JsonObject, TableWriter};
+use ppann_core::{EncryptedQuery, SearchOutcome, SearchParams, SharedServer};
 use ppann_datasets::{DatasetProfile, Workload};
 use ppann_hnsw::HnswParams;
-use ppann_service::{serve, ServiceClient, ServiceConfig};
+use ppann_service::{serve, ServiceClient, ServiceConfig, DEFAULT_PIPELINE_WINDOW};
 use std::time::Instant;
+
+const BATCH_SIZE: usize = 64;
+
+/// Asserts one mode's remote answers match the in-process reference
+/// bit-for-bit.
+fn assert_parity(label: &str, got: &[SearchOutcome], reference: &[SearchOutcome]) {
+    assert_eq!(got.len(), reference.len(), "{label}: answer count diverges");
+    for (qi, (g, r)) in got.iter().zip(reference).enumerate() {
+        assert_eq!(g.ids, r.ids, "{label}: query {qi} ids diverge");
+        let expect: Vec<u64> = r.sap_dists.iter().map(|d| d.to_bits()).collect();
+        let bits: Vec<u64> = g.sap_dists.iter().map(|d| d.to_bits()).collect();
+        assert_eq!(bits, expect, "{label}: query {qi} encrypted distances diverge");
+    }
+}
+
+/// Serves a fresh loopback service, times `run` against it, and returns
+/// (QPS, bucketed p99 µs). A fresh service per mode keeps each row's
+/// stats covering only that row's samples.
+fn measure<F>(
+    shared: &SharedServer,
+    dim: usize,
+    workers: usize,
+    num_queries: usize,
+    run: F,
+) -> (f64, u64)
+where
+    F: FnOnce(std::net::SocketAddr),
+{
+    let config = ServiceConfig::loopback(dim).with_workers(workers);
+    let handle = serve(shared.clone(), config).expect("bind loopback");
+    let started = Instant::now();
+    run(handle.local_addr());
+    let secs = started.elapsed().as_secs_f64();
+    let p99 = handle.stats().percentile_micros(0.99);
+    handle.request_stop();
+    handle.join();
+    (num_queries as f64 / secs, p99)
+}
 
 fn main() {
     let scale = bench_scale();
@@ -29,19 +74,18 @@ fn main() {
     // β = 0 keeps remote-vs-local parity assertable while we measure.
     let (_owner, server, mut user) = build_scheme(&w, 0.0, HnswParams::default(), 41);
     let params = SearchParams::from_ratio(k, 16, 160);
-    let queries: Vec<_> = w.queries().iter().map(|q| user.encrypt_query(q, k)).collect();
+    let queries: Vec<EncryptedQuery> =
+        w.queries().iter().map(|q| user.encrypt_query(q, k)).collect();
 
     // In-process baseline (and the parity reference).
     let started = Instant::now();
-    let reference: Vec<_> = queries.iter().map(|q| server.search(q, &params)).collect();
+    let reference: Vec<SearchOutcome> = queries.iter().map(|q| server.search(q, &params)).collect();
     let base_secs = started.elapsed().as_secs_f64();
     let base_qps = queries.len() as f64 / base_secs;
 
-    // One shared backend for the whole sweep; each sweep point gets its
-    // own `serve` so the per-row stats (and the p99 column) cover only
-    // that row's samples.
     let workers = 8;
     let shared = SharedServer::new(server);
+    let dim = w.dim();
 
     let mut t = TableWriter::new(
         &format!(
@@ -49,52 +93,88 @@ fn main() {
             profile.name(),
             queries.len()
         ),
-        &["clients", "QPS", "vs in-process", "p99 us"],
+        &["mode", "QPS", "vs in-process", "p99 us"],
     );
-    t.row(&[
-        "in-process".into(),
-        format!("{base_qps:.0}"),
-        "1.00x".into(),
-        "-".into(),
-    ]);
+    t.row(&["in-process".into(), format!("{base_qps:.0}"), "1.00x".into(), "-".into()]);
+    let mut push_row = |mode: String, qps: f64, p99: u64| {
+        t.row(&[mode, format!("{qps:.0}"), format!("{:.2}x", qps / base_qps), p99.to_string()]);
+    };
 
-    let dim = w.dim();
-    for clients in [1usize, 2, 4, 8] {
-        let config = ServiceConfig::loopback(dim).with_workers(workers);
-        let handle = serve(shared.clone(), config).expect("bind loopback");
-        let addr = handle.local_addr();
-        let started = Instant::now();
-        std::thread::scope(|scope| {
-            for c in 0..clients {
-                let queries = &queries;
-                let reference = &reference;
-                scope.spawn(move || {
-                    let mut client =
-                        ServiceClient::connect(addr, Some(dim)).expect("connect");
-                    // Client c answers the query slice c, c+clients, ...
-                    for qi in (c..queries.len()).step_by(clients) {
-                        let out = client.search(&queries[qi], &params).expect("remote search");
-                        assert_eq!(out.ids, reference[qi].ids, "query {qi} ids diverge");
-                        let expect: Vec<u64> =
-                            reference[qi].sap_dists.iter().map(|d| d.to_bits()).collect();
-                        let got: Vec<u64> = out.sap_dists.iter().map(|d| d.to_bits()).collect();
-                        assert_eq!(got, expect, "query {qi} encrypted distances diverge");
-                    }
-                });
-            }
+    // Sequential: one Search frame per query, one connection, one full
+    // round trip each — the floor every other mode must beat.
+    let (sequential_qps, p99) = measure(&shared, dim, workers, queries.len(), |addr| {
+        let mut client = ServiceClient::connect(addr, Some(dim)).expect("connect");
+        let outs: Vec<SearchOutcome> =
+            queries.iter().map(|q| client.search(q, &params).expect("remote search")).collect();
+        assert_parity("sequential", &outs, &reference);
+    });
+    push_row("sequential".into(), sequential_qps, p99);
+
+    // Concurrent connections: the worker pool under connection-level
+    // parallelism (each client still strictly sequential).
+    for clients in [2usize, 4, 8] {
+        let (qps, p99) = measure(&shared, dim, workers, queries.len(), |addr| {
+            std::thread::scope(|scope| {
+                for c in 0..clients {
+                    let queries = &queries;
+                    let reference = &reference;
+                    let params = &params;
+                    scope.spawn(move || {
+                        let mut client = ServiceClient::connect(addr, Some(dim)).expect("connect");
+                        // Client c answers the query slice c, c+clients, ...
+                        for qi in (c..queries.len()).step_by(clients) {
+                            let out = client.search(&queries[qi], params).expect("remote search");
+                            assert_parity(
+                                &format!("{clients} clients"),
+                                std::slice::from_ref(&out),
+                                std::slice::from_ref(&reference[qi]),
+                            );
+                        }
+                    });
+                }
+            });
         });
-        let secs = started.elapsed().as_secs_f64();
-        let qps = queries.len() as f64 / secs;
-        t.row(&[
-            format!("{clients}"),
-            format!("{qps:.0}"),
-            format!("{:.2}x", qps / base_qps),
-            format!("{}", handle.stats().percentile_micros(0.99)),
-        ]);
-        handle.request_stop();
-        handle.join();
+        push_row(format!("{clients} clients"), qps, p99);
     }
 
+    // Pipelined: one connection, a window of Search frames in flight.
+    let window = DEFAULT_PIPELINE_WINDOW;
+    let (pipelined_qps, p99) = measure(&shared, dim, workers, queries.len(), |addr| {
+        let mut client = ServiceClient::connect(addr, Some(dim)).expect("connect");
+        let outs = client.search_pipelined(&queries, &params, window).expect("pipelined");
+        assert_parity("pipelined", &outs, &reference);
+    });
+    push_row(format!("pipelined w={window}"), pipelined_qps, p99);
+
+    // Batched: SearchBatch frames of BATCH_SIZE queries, each fanned
+    // across the server's pool by BatchExecutor.
+    let (batched_qps, p99) = measure(&shared, dim, workers, queries.len(), |addr| {
+        let mut client = ServiceClient::connect(addr, Some(dim)).expect("connect");
+        let mut outs = Vec::with_capacity(queries.len());
+        for chunk in queries.chunks(BATCH_SIZE) {
+            outs.extend(client.search_batch(chunk, &params).expect("batched search"));
+        }
+        assert_parity("batched", &outs, &reference);
+    });
+    push_row(format!("batched b={BATCH_SIZE}"), batched_qps, p99);
+
     t.print();
-    println!("\nRemote results matched the in-process baseline bit-for-bit at every sweep point.");
+    println!("\nRemote results matched the in-process baseline bit-for-bit in every mode.");
+
+    let json = JsonObject::new()
+        .str("bench", "remote_throughput")
+        .int("n", n as u64)
+        .int("queries", queries.len() as u64)
+        .int("workers", workers as u64)
+        .int("batch_size", BATCH_SIZE as u64)
+        .int("pipeline_window", window as u64)
+        .num("in_process_qps", base_qps)
+        .num("sequential_qps", sequential_qps)
+        .num("pipelined_qps", pipelined_qps)
+        .num("batched_qps", batched_qps)
+        .num("batched_vs_sequential", batched_qps / sequential_qps)
+        .num("pipelined_vs_sequential", pipelined_qps / sequential_qps)
+        .bool("parity", true);
+    let path = write_bench_json("remote_throughput", &json).expect("write bench json");
+    println!("machine-readable results -> {}", path.display());
 }

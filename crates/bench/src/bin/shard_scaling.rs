@@ -11,7 +11,7 @@
 //! a pure layout change (see DESIGN.md §4 and EXPERIMENTS.md).
 
 use ppann_bench::harness::build_scheme;
-use ppann_bench::{bench_scale, TableWriter};
+use ppann_bench::{bench_scale, write_bench_json, JsonObject, TableWriter};
 use ppann_core::{SearchParams, ShardedServer};
 use ppann_datasets::{DatasetProfile, Workload};
 use ppann_hnsw::HnswParams;
@@ -58,8 +58,7 @@ fn main() {
 
     // Single-shard baseline: sequential CloudServer queries.
     let started = Instant::now();
-    let reference: Vec<Vec<u32>> =
-        queries.iter().map(|q| server.search(q, &params).ids).collect();
+    let reference: Vec<Vec<u32>> = queries.iter().map(|q| server.search(q, &params).ids).collect();
     let base_latency_ms = started.elapsed().as_secs_f64() * 1e3 / queries.len() as f64;
 
     let mut t = TableWriter::new(
@@ -77,14 +76,14 @@ fn main() {
     // Run every shard count regardless of the host's core count: the
     // distance-profile assertion is the point; the speedup column only
     // moves when cores are actually available.
+    let mut json_rows = Vec::new();
     for shards in [1usize, 2, 4, 8] {
         let build_started = Instant::now();
         let sharded = ShardedServer::from_database(owner.outsource(w.base()), shards);
         let build_ms = build_started.elapsed().as_secs_f64() * 1e3;
 
         let run_started = Instant::now();
-        let ids: Vec<Vec<u32>> =
-            queries.iter().map(|q| sharded.search(q, &params).ids).collect();
+        let ids: Vec<Vec<u32>> = queries.iter().map(|q| sharded.search(q, &params).ids).collect();
         let latency_ms = run_started.elapsed().as_secs_f64() * 1e3 / queries.len() as f64;
         assert_same_distance_profile(
             w.base(),
@@ -101,10 +100,29 @@ fn main() {
             format!("{:.0}", 1e3 / latency_ms),
             format!("{:.2}x", base_latency_ms / latency_ms),
         ]);
+        json_rows.push(
+            JsonObject::new()
+                .int("shards", shards as u64)
+                .num("build_ms", build_ms)
+                .num("latency_ms", latency_ms)
+                .num("qps", 1e3 / latency_ms)
+                .num("speedup", base_latency_ms / latency_ms),
+        );
     }
     t.print();
     println!("\nResult distance profiles verified identical to the single-shard baseline at");
     println!("every shard count (ids at exactly tied distances may swap ranks).");
     println!("Note: per-shard beams keep the full k' width, so total filter work grows with");
     println!("shard count while latency shrinks — the trade measured here.");
+
+    let json = JsonObject::new()
+        .str("bench", "shard_scaling")
+        .int("n", n as u64)
+        .int("queries", queries.len() as u64)
+        .num("baseline_latency_ms", base_latency_ms)
+        .num("baseline_qps", 1e3 / base_latency_ms)
+        .array("rows", &json_rows)
+        .bool("distance_profile_parity", true);
+    let path = write_bench_json("shard_scaling", &json).expect("write bench json");
+    println!("machine-readable results -> {}", path.display());
 }

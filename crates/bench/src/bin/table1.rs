@@ -9,7 +9,15 @@ fn main() {
     let scale = bench_scale();
     let mut t = TableWriter::new(
         "Table I: statistics of datasets (paper corpus vs synthetic stand-in)",
-        &["dataset", "#dim", "paper #vectors", "paper #queries", "synth #vectors", "synth #queries", "max|coord|"],
+        &[
+            "dataset",
+            "#dim",
+            "paper #vectors",
+            "paper #queries",
+            "synth #vectors",
+            "synth #queries",
+            "max|coord|",
+        ],
     );
     for profile in DatasetProfile::ALL {
         let (paper_n, paper_q) = profile.paper_cardinality();

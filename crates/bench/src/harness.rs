@@ -58,8 +58,7 @@ pub fn measured_queries(
     params: &SearchParams,
     filter_only: bool,
 ) -> MeasuredSearch {
-    let queries: Vec<_> =
-        workload.queries().iter().map(|q| user.encrypt_query(q, k)).collect();
+    let queries: Vec<_> = workload.queries().iter().map(|q| user.encrypt_query(q, k)).collect();
     let mut recall_sum = 0.0;
     let mut filter_dist = 0u64;
     let mut refine_sdc = 0u64;

@@ -1,0 +1,137 @@
+//! Minimal machine-readable JSON emission for the bench binaries.
+//!
+//! CI smoke-runs parse these artifacts (`BENCH_<name>.json`) to archive
+//! bench output per commit and to enforce regression floors — see the
+//! "bench artifacts" steps in `.github/workflows/ci.yml`. The format is
+//! deliberately flat: one object of string / integer / float / bool
+//! fields, plus arrays of equally flat objects. Hand-rolled like every
+//! other byte format in the workspace — no serialization crate
+//! (DESIGN.md §3/S5).
+
+use std::path::{Path, PathBuf};
+
+/// An ordered JSON object under construction (builder style).
+#[derive(Clone, Debug, Default)]
+pub struct JsonObject {
+    /// Key → already-rendered JSON value.
+    fields: Vec<(String, String)>,
+}
+
+/// Renders a JSON string literal with the escapes the grammar requires.
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+impl JsonObject {
+    /// An empty object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn raw(mut self, key: &str, rendered: String) -> Self {
+        self.fields.push((key.to_string(), rendered));
+        self
+    }
+
+    /// Adds a string field.
+    pub fn str(self, key: &str, value: &str) -> Self {
+        let rendered = quote(value);
+        self.raw(key, rendered)
+    }
+
+    /// Adds an integer field.
+    pub fn int(self, key: &str, value: u64) -> Self {
+        self.raw(key, value.to_string())
+    }
+
+    /// Adds a float field. Rust's `Display` for `f64` is the shortest
+    /// round-trippable decimal, which is valid JSON for finite values;
+    /// non-finite values become `null` (JSON has no NaN/Inf).
+    pub fn num(self, key: &str, value: f64) -> Self {
+        let rendered = if value.is_finite() { format!("{value}") } else { "null".to_string() };
+        self.raw(key, rendered)
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(self, key: &str, value: bool) -> Self {
+        self.raw(key, value.to_string())
+    }
+
+    /// Adds an array-of-objects field.
+    pub fn array(self, key: &str, items: &[JsonObject]) -> Self {
+        let rendered =
+            format!("[{}]", items.iter().map(JsonObject::render).collect::<Vec<_>>().join(","));
+        self.raw(key, rendered)
+    }
+
+    /// Renders the object.
+    pub fn render(&self) -> String {
+        format!(
+            "{{{}}}",
+            self.fields
+                .iter()
+                .map(|(k, v)| format!("{}:{v}", quote(k)))
+                .collect::<Vec<_>>()
+                .join(",")
+        )
+    }
+}
+
+/// Writes `BENCH_<bench>.json` into `$PPANN_BENCH_JSON_DIR` (default: the
+/// current directory) and returns the path. Bench binaries call this
+/// unconditionally — the file is the machine-readable twin of the printed
+/// table, and CI uploads it as a workflow artifact.
+pub fn write_bench_json(bench: &str, obj: &JsonObject) -> std::io::Result<PathBuf> {
+    let dir = std::env::var("PPANN_BENCH_JSON_DIR").unwrap_or_else(|_| ".".to_string());
+    let path = Path::new(&dir).join(format!("BENCH_{bench}.json"));
+    std::fs::write(&path, format!("{}\n", obj.render()))?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_flat_object() {
+        let obj = JsonObject::new()
+            .str("bench", "demo")
+            .int("n", 3)
+            .num("qps", 1234.5)
+            .bool("parity", true);
+        assert_eq!(obj.render(), r#"{"bench":"demo","n":3,"qps":1234.5,"parity":true}"#);
+    }
+
+    #[test]
+    fn escapes_and_non_finite() {
+        let obj = JsonObject::new().str("s", "a\"b\\c\nd").num("bad", f64::NAN);
+        assert_eq!(obj.render(), r#"{"s":"a\"b\\c\nd","bad":null}"#);
+    }
+
+    #[test]
+    fn nested_rows() {
+        let rows = vec![
+            JsonObject::new().int("shards", 1).num("qps", 10.0),
+            JsonObject::new().int("shards", 2).num("qps", 20.0),
+        ];
+        let obj = JsonObject::new().str("bench", "rows").array("rows", &rows);
+        assert_eq!(
+            obj.render(),
+            r#"{"bench":"rows","rows":[{"shards":1,"qps":10},{"shards":2,"qps":20}]}"#
+        );
+    }
+}

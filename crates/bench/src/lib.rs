@@ -20,7 +20,9 @@
 //! operation-level costs (§IV-B analysis) live in `benches/`.
 
 pub mod harness;
+pub mod json;
 pub mod tables;
 
 pub use harness::{bench_scale, measured_queries, BenchScale, MeasuredSearch};
+pub use json::{write_bench_json, JsonObject};
 pub use tables::TableWriter;

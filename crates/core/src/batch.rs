@@ -52,9 +52,21 @@ impl<B: QueryBackend> BatchExecutor<B> {
 
     /// Executes all queries, work-stealing over an atomic cursor so skewed
     /// per-query latencies cannot idle a worker.
+    ///
+    /// The fan-out width is clamped to the batch size — a two-query batch
+    /// on an eight-thread executor spawns two workers, not eight — and a
+    /// single effective worker runs inline on the calling thread, so small
+    /// batches (the common case on the network path, where every
+    /// `SearchBatch` frame lands here) never pay thread-spawn overhead.
     pub fn run(&self, queries: &[EncryptedQuery], params: &SearchParams) -> BatchOutcome {
         let started = std::time::Instant::now();
         let n = queries.len();
+        let threads = self.threads.min(n.max(1));
+        if threads == 1 {
+            let outcomes: Vec<SearchOutcome> =
+                queries.iter().map(|q| self.server.search(q, params)).collect();
+            return Self::finish(outcomes, started, 1);
+        }
         let mut slots: Vec<Option<SearchOutcome>> = Vec::with_capacity(n);
         slots.resize_with(n, || None);
         let cursor = AtomicUsize::new(0);
@@ -62,8 +74,8 @@ impl<B: QueryBackend> BatchExecutor<B> {
         // Workers steal indices from a shared cursor, collect results
         // locally, and the merge below restores input order.
         std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(self.threads);
-            for _ in 0..self.threads {
+            let mut handles = Vec::with_capacity(threads);
+            for _ in 0..threads {
                 let server = &self.server;
                 let cursor = &cursor;
                 handles.push(scope.spawn(move || {
@@ -87,11 +99,19 @@ impl<B: QueryBackend> BatchExecutor<B> {
 
         let outcomes: Vec<SearchOutcome> =
             slots.into_iter().map(|s| s.expect("every slot filled")).collect();
+        Self::finish(outcomes, started, threads)
+    }
+
+    fn finish(
+        outcomes: Vec<SearchOutcome>,
+        started: std::time::Instant,
+        threads: usize,
+    ) -> BatchOutcome {
         let mut total_cost = QueryCost::default();
         for o in &outcomes {
             total_cost.absorb(&o.cost);
         }
-        BatchOutcome { outcomes, total_cost, wall_time: started.elapsed(), threads: self.threads }
+        BatchOutcome { outcomes, total_cost, wall_time: started.elapsed(), threads }
     }
 }
 
@@ -124,6 +144,26 @@ mod tests {
         }
         assert!(batch.qps() > 0.0);
         assert!(batch.total_cost.refine_sdc_comps > 0);
+    }
+
+    #[test]
+    fn fan_out_clamps_to_batch_size() {
+        let mut rng = seeded_rng(513);
+        let data: Vec<Vec<f64>> = (0..120).map(|_| uniform_vec(&mut rng, 4, -1.0, 1.0)).collect();
+        let owner = DataOwner::setup(PpAnnParams::new(4).with_seed(5), &data);
+        let shared = SharedServer::new(CloudServer::new(owner.outsource(&data)));
+        let mut user = owner.authorize_user();
+        let queries: Vec<_> = (0..2).map(|i| user.encrypt_query(&data[i], 3)).collect();
+        let exec = BatchExecutor::new(shared.clone(), 8);
+        let batch = exec.run(&queries, &SearchParams::from_ratio(3, 8, 40));
+        assert_eq!(batch.threads, 2, "two queries must not spawn eight workers");
+        // A one-query batch runs inline on the calling thread.
+        let single = exec.run(&queries[..1], &SearchParams::from_ratio(3, 8, 40));
+        assert_eq!(single.threads, 1);
+        assert_eq!(
+            single.outcomes[0].ids,
+            shared.search(&queries[0], &SearchParams::from_ratio(3, 8, 40)).ids
+        );
     }
 
     #[test]

@@ -109,8 +109,7 @@ mod tests {
                 let shared = shared.clone();
                 scope.spawn(move || {
                     for q in chunk {
-                        let out =
-                            shared.search(q, &SearchParams { k_prime: 20, ef_search: 40 });
+                        let out = shared.search(q, &SearchParams { k_prime: 20, ef_search: 40 });
                         assert_eq!(out.ids.len(), 5);
                     }
                 });
@@ -130,8 +129,7 @@ mod tests {
         let mut rng = seeded_rng(162);
         let data: Vec<Vec<f64>> = (0..150).map(|_| uniform_vec(&mut rng, 6, -1.0, 1.0)).collect();
         let owner = DataOwner::setup(PpAnnParams::new(6).with_seed(10).with_beta(0.0), &data);
-        let shared =
-            SharedServer::new(ShardedServer::from_database(owner.outsource(&data), 3));
+        let shared = SharedServer::new(ShardedServer::from_database(owner.outsource(&data), 3));
         let mut user = owner.authorize_user();
         let queries: Vec<_> = (0..8).map(|i| user.encrypt_query(&data[i], 3)).collect();
 
@@ -140,8 +138,7 @@ mod tests {
                 let shared = shared.clone();
                 scope.spawn(move || {
                     for q in chunk {
-                        let out =
-                            shared.search(q, &SearchParams { k_prime: 15, ef_search: 30 });
+                        let out = shared.search(q, &SearchParams { k_prime: 15, ef_search: 30 });
                         assert_eq!(out.ids.len(), 3);
                     }
                 });

@@ -19,9 +19,19 @@ pub struct SecureTopK<'a> {
 
 impl<'a> SecureTopK<'a> {
     /// Creates an empty heap of the given capacity (`k`).
-    pub fn new(trapdoor: &'a DceTrapdoor, ciphertexts: &'a [DceCiphertext], capacity: usize) -> Self {
+    pub fn new(
+        trapdoor: &'a DceTrapdoor,
+        ciphertexts: &'a [DceCiphertext],
+        capacity: usize,
+    ) -> Self {
         assert!(capacity > 0, "SecureTopK requires capacity ≥ 1");
-        Self { trapdoor, ciphertexts, capacity, heap: Vec::with_capacity(capacity + 1), comparisons: 0 }
+        Self {
+            trapdoor,
+            ciphertexts,
+            capacity,
+            heap: Vec::with_capacity(capacity + 1),
+            comparisons: 0,
+        }
     }
 
     /// Number of retained candidates.

@@ -54,9 +54,7 @@ impl EncryptedDatabase {
     /// [`SearchOutcome::sap_dists`](crate::SearchOutcome::sap_dists)).
     pub fn sap_distances(&self, c_sap_query: &[f64], ids: &[u32]) -> Vec<f64> {
         let store = self.hnsw.store();
-        ids.iter()
-            .map(|&id| vector::squared_euclidean(c_sap_query, store.get(id)))
-            .collect()
+        ids.iter().map(|&id| vector::squared_euclidean(c_sap_query, store.get(id))).collect()
     }
 
     /// Inserts a pre-encrypted vector (server-side half of the paper's

@@ -118,10 +118,8 @@ mod tests {
         // authorized by the RESTORED owner.
         let restored = DataOwner::from_key_bytes(owner.to_key_bytes()).unwrap();
         let mut user = restored.authorize_user();
-        let out = server.search(
-            &user.encrypt_query(&data[17], 3),
-            &SearchParams::from_ratio(3, 8, 60),
-        );
+        let out =
+            server.search(&user.encrypt_query(&data[17], 3), &SearchParams::from_ratio(3, 8, 60));
         assert_eq!(out.ids[0], 17);
 
         // And an insertion encrypted by the restored owner must land.
@@ -129,10 +127,8 @@ mod tests {
         let novel = vec![9.0; 6];
         let (c_sap, c_dce) = restored.encrypt_for_insert(&novel, 1);
         let id = server.insert(c_sap, c_dce);
-        let out = server.search(
-            &user.encrypt_query(&novel, 1),
-            &SearchParams::from_ratio(1, 8, 60),
-        );
+        let out =
+            server.search(&user.encrypt_query(&novel, 1), &SearchParams::from_ratio(1, 8, 60));
         assert_eq!(out.ids, vec![id]);
     }
 

@@ -127,17 +127,11 @@ impl DataOwner {
     pub fn setup(params: PpAnnParams, data: &[Vec<f64>]) -> Self {
         assert!(params.dim > 0, "dimension must be positive");
         let mut rng = seeded_rng(params.seed);
-        let max_abs = data
-            .iter()
-            .map(|v| vector::max_abs(v))
-            .fold(0.0f64, f64::max);
+        let max_abs = data.iter().map(|v| vector::max_abs(v)).fold(0.0f64, f64::max);
         let norm_scale = if max_abs > 0.0 { 1.0 / max_abs } else { 1.0 };
         let dce = DceSecretKey::generate(params.dim, &mut rng);
         let sap = SapEncryptor::new(SapKey::new(params.sap_s, params.sap_beta));
-        Self {
-            key: Arc::new(OwnerSecretKey { dce, sap, norm_scale, dim: params.dim }),
-            params,
-        }
+        Self { key: Arc::new(OwnerSecretKey { dce, sap, norm_scale, dim: params.dim }), params }
     }
 
     /// The scheme parameters.
@@ -173,7 +167,11 @@ impl DataOwner {
 
     /// Encrypts one additional vector for insertion (paper Section V-D): the
     /// owner produces `(C_u^SAP, C_u^DCE)` and ships them to the server.
-    pub fn encrypt_for_insert(&self, v: &[f64], nonce: u64) -> (Vec<f64>, ppann_dce::DceCiphertext) {
+    pub fn encrypt_for_insert(
+        &self,
+        v: &[f64],
+        nonce: u64,
+    ) -> (Vec<f64>, ppann_dce::DceCiphertext) {
         let normalized = self.key.normalize(v);
         let mut rng = seeded_rng(self.params.seed ^ 0x1235_4321 ^ nonce);
         let sap = self.key.sap.encrypt(&normalized, &mut rng);
@@ -198,10 +196,8 @@ mod tests {
         let mut rng = seeded_rng(131);
         let data: Vec<Vec<f64>> = (0..20).map(|_| uniform_vec(&mut rng, 4, -50.0, 50.0)).collect();
         let owner = DataOwner::setup(PpAnnParams::new(4), &data);
-        let max = data
-            .iter()
-            .map(|v| vector::max_abs(&owner.key.normalize(v)))
-            .fold(0.0f64, f64::max);
+        let max =
+            data.iter().map(|v| vector::max_abs(&owner.key.normalize(v))).fold(0.0f64, f64::max);
         assert!((max - 1.0).abs() < 1e-12);
     }
 

@@ -48,8 +48,7 @@ impl EncryptedDatabase {
         let hnsw_bytes = self.hnsw().to_bytes();
         let dce = self.dce_ciphertexts();
         let comp_dim = dce.first().map_or(0, |c| c.component_dim());
-        let mut buf =
-            BytesMut::with_capacity(32 + hnsw_bytes.len() + dce.len() * comp_dim * 4 * 8);
+        let mut buf = BytesMut::with_capacity(32 + hnsw_bytes.len() + dce.len() * comp_dim * 4 * 8);
         buf.put_slice(MAGIC);
         buf.put_u32_le(VERSION);
         buf.put_u64_le(hnsw_bytes.len() as u64);

@@ -195,7 +195,12 @@ mod tests {
     use ppann_hnsw::VecStore;
     use ppann_linalg::{seeded_rng, uniform_vec};
 
-    fn setup(n: usize, dim: usize, beta: f64, seed: u64) -> (Vec<Vec<f64>>, DataOwner, CloudServer) {
+    fn setup(
+        n: usize,
+        dim: usize,
+        beta: f64,
+        seed: u64,
+    ) -> (Vec<Vec<f64>>, DataOwner, CloudServer) {
         let mut rng = seeded_rng(seed);
         let data: Vec<Vec<f64>> = (0..n).map(|_| uniform_vec(&mut rng, dim, -1.0, 1.0)).collect();
         let owner = DataOwner::setup(PpAnnParams::new(dim).with_seed(seed).with_beta(beta), &data);

@@ -298,11 +298,7 @@ mod tests {
     use crate::server::CloudServer;
     use ppann_linalg::{seeded_rng, uniform_vec};
 
-    fn setup(
-        n: usize,
-        dim: usize,
-        seed: u64,
-    ) -> (Vec<Vec<f64>>, DataOwner) {
+    fn setup(n: usize, dim: usize, seed: u64) -> (Vec<Vec<f64>>, DataOwner) {
         let mut rng = seeded_rng(seed);
         let data: Vec<Vec<f64>> = (0..n).map(|_| uniform_vec(&mut rng, dim, -1.0, 1.0)).collect();
         let owner = DataOwner::setup(PpAnnParams::new(dim).with_seed(seed).with_beta(0.0), &data);

@@ -60,8 +60,7 @@ pub fn grid_search(
     grid: &TuningGrid,
 ) -> TuningOutcome {
     assert_eq!(queries.len(), truth.len(), "queries/truth length mismatch");
-    let encrypted: Vec<EncryptedQuery> =
-        queries.iter().map(|q| user.encrypt_query(q, k)).collect();
+    let encrypted: Vec<EncryptedQuery> = queries.iter().map(|q| user.encrypt_query(q, k)).collect();
 
     let mut evaluated = Vec::new();
     let mut best: Option<TuningPoint> = None;
@@ -81,9 +80,7 @@ pub fn grid_search(
                 qps: encrypted.len() as f64 / elapsed,
             };
             evaluated.push(point);
-            if point.recall >= target_recall
-                && best.is_none_or(|b| point.qps > b.qps)
-            {
+            if point.recall >= target_recall && best.is_none_or(|b| point.qps > b.qps) {
                 best = Some(point);
             }
         }
@@ -119,8 +116,7 @@ mod tests {
     fn grid_search_meets_target() {
         let mut rng = seeded_rng(501);
         let data: Vec<Vec<f64>> = (0..600).map(|_| uniform_vec(&mut rng, 8, -1.0, 1.0)).collect();
-        let owner =
-            DataOwner::setup(PpAnnParams::new(8).with_beta(1.5).with_seed(1), &data);
+        let owner = DataOwner::setup(PpAnnParams::new(8).with_beta(1.5).with_seed(1), &data);
         let server = CloudServer::new(owner.outsource(&data));
         let mut user = owner.authorize_user();
         let queries: Vec<Vec<f64>> = data[..10].to_vec();

@@ -1,8 +1,8 @@
 //! The query user: the only party besides the owner holding the key.
 
 use crate::cost::UserCost;
-use crate::query::EncryptedQuery;
 use crate::owner::OwnerSecretKey;
+use crate::query::EncryptedQuery;
 use ppann_linalg::seeded_rng;
 use rand::rngs::StdRng;
 use rand::Rng;

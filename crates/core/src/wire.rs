@@ -264,10 +264,7 @@ mod tests {
         buf.put_u64_le(5); // k
         buf.put_u64_le(u64::MAX); // c_sap length
         buf.put_f64_le(1.0);
-        assert_eq!(
-            EncryptedQuery::read_from(&mut buf.freeze()).unwrap_err(),
-            WireError::Truncated
-        );
+        assert_eq!(EncryptedQuery::read_from(&mut buf.freeze()).unwrap_err(), WireError::Truncated);
     }
 
     #[test]

@@ -9,16 +9,11 @@
 //!    and with skewed per-query cost.
 
 use ppann_core::{
-    BatchExecutor, CloudServer, DataOwner, PpAnnParams, SearchParams, SharedServer, ShardedServer,
+    BatchExecutor, CloudServer, DataOwner, PpAnnParams, SearchParams, ShardedServer, SharedServer,
 };
 use ppann_linalg::{seeded_rng, uniform_vec};
 
-fn seeded_workload(
-    n: usize,
-    dim: usize,
-    seed: u64,
-    beta: f64,
-) -> (Vec<Vec<f64>>, DataOwner) {
+fn seeded_workload(n: usize, dim: usize, seed: u64, beta: f64) -> (Vec<Vec<f64>>, DataOwner) {
     let mut rng = seeded_rng(seed);
     let data: Vec<Vec<f64>> = (0..n).map(|_| uniform_vec(&mut rng, dim, -1.0, 1.0)).collect();
     let owner = DataOwner::setup(PpAnnParams::new(dim).with_seed(seed).with_beta(beta), &data);
@@ -35,8 +30,7 @@ fn sharded_search_matches_cloud_server_for_1_2_4_shards() {
     let k = 10;
 
     let queries: Vec<_> = (0..25).map(|i| user.encrypt_query(&data[i * 7], k)).collect();
-    let reference: Vec<Vec<u32>> =
-        queries.iter().map(|q| single.search(q, &params).ids).collect();
+    let reference: Vec<Vec<u32>> = queries.iter().map(|q| single.search(q, &params).ids).collect();
 
     for shards in [1usize, 2, 4] {
         let sharded = ShardedServer::from_database(owner.outsource(&data), shards);
@@ -105,15 +99,15 @@ fn batch_ordering_survives_worker_skew() {
     let params = SearchParams { k_prime: 40, ef_search: 80 };
 
     // Skew: query i asks for k = 1..=12, so per-query refine cost varies.
-    let queries: Vec<_> =
-        (0..12).map(|i| user.encrypt_query(&data[i * 5], 1 + (i % 12))).collect();
-    let sequential: Vec<Vec<u32>> =
-        queries.iter().map(|q| shared.search(q, &params).ids).collect();
+    let queries: Vec<_> = (0..12).map(|i| user.encrypt_query(&data[i * 5], 1 + (i % 12))).collect();
+    let sequential: Vec<Vec<u32>> = queries.iter().map(|q| shared.search(q, &params).ids).collect();
 
     for threads in [1usize, 3, 16, 64] {
         let exec = BatchExecutor::new(shared.clone(), threads);
         let batch = exec.run(&queries, &params);
-        assert_eq!(batch.threads, threads.max(1));
+        // The fan-out clamps to the batch size: 64 configured workers on
+        // a 12-query batch spawn 12 threads.
+        assert_eq!(batch.threads, threads.clamp(1, queries.len()));
         let got: Vec<Vec<u32>> = batch.outcomes.iter().map(|o| o.ids.clone()).collect();
         assert_eq!(got, sequential, "{threads} workers reordered results");
         // Costs aggregate across exactly the same work.

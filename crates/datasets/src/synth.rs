@@ -172,10 +172,7 @@ mod tests {
                 .iter()
                 .map(|b| vector::squared_euclidean(q, b))
                 .fold(f64::INFINITY, f64::min);
-            let random = vector::squared_euclidean(
-                q,
-                &d.base[rng.gen_range(0..d.base.len())],
-            );
+            let random = vector::squared_euclidean(q, &d.base[rng.gen_range(0..d.base.len())]);
             assert!(nearest <= random);
         }
     }

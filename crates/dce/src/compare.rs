@@ -96,11 +96,7 @@ mod tests {
                 let z = distance_comp(&c_o, &c_p, &t);
                 let truth = squared_euclidean(&o, &q) - squared_euclidean(&p, &q);
                 if truth.abs() > 1e-9 {
-                    assert_eq!(
-                        z < 0.0,
-                        truth < 0.0,
-                        "d={d}: Z={z} disagrees with truth={truth}"
-                    );
+                    assert_eq!(z < 0.0, truth < 0.0, "d={d}: Z={z} disagrees with truth={truth}");
                 }
             }
         }
@@ -160,9 +156,7 @@ mod tests {
         idx.sort_by(|&a, &b| ord.cmp(&cts[a], &cts[b]));
         let mut expected: Vec<usize> = (0..pts.len()).collect();
         expected.sort_by(|&a, &b| {
-            squared_euclidean(&pts[a], &q)
-                .partial_cmp(&squared_euclidean(&pts[b], &q))
-                .unwrap()
+            squared_euclidean(&pts[a], &q).partial_cmp(&squared_euclidean(&pts[b], &q)).unwrap()
         });
         assert_eq!(idx, expected);
     }

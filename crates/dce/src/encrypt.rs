@@ -127,8 +127,8 @@ impl DceSecretKey {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ppann_linalg::{seeded_rng, uniform_vec};
     use crate::randomize::ciphertext_dim;
+    use ppann_linalg::{seeded_rng, uniform_vec};
 
     #[test]
     fn ciphertext_and_trapdoor_shapes() {

@@ -185,21 +185,7 @@ impl DceSecretKey {
             return None;
         }
         let kv24 = vector::hadamard(&kv[1], &kv[3]);
-        Some(Self {
-            dim,
-            m1,
-            m1_inv,
-            m2,
-            m2_inv,
-            pi1,
-            pi2,
-            r,
-            m_up,
-            m_down,
-            m3_inv,
-            kv,
-            kv24,
-        })
+        Some(Self { dim, m1, m1_inv, m2, m2_inv, pi1, pi2, r, m_up, m_down, m3_inv, kv, kv24 })
     }
 }
 

@@ -81,11 +81,7 @@ pub fn simulate_view(leakage: &[Vec<i8>], dim: usize, rng: &mut impl Rng) -> Sim
     ranked.sort_by_key(|&(_, wins)| std::cmp::Reverse(wins));
     // wins = n-1 ⇒ closest. Verify total-order consistency.
     for (rank, &(_, wins)) in ranked.iter().enumerate() {
-        assert_eq!(
-            wins,
-            n - 1 - rank,
-            "leakage transcript is not a total order"
-        );
+        assert_eq!(wins, n - 1 - rank, "leakage transcript is not a total order");
     }
 
     // Fabricate a query and points whose distances realize the order.
@@ -94,11 +90,7 @@ pub fn simulate_view(leakage: &[Vec<i8>], dim: usize, rng: &mut impl Rng) -> Sim
     for (rank, &(idx, _)) in ranked.iter().enumerate() {
         let radius = 0.1 + rank as f64 * 0.07;
         let dir = random_unit_vector(rng, dim);
-        fake_points[idx] = fake_query
-            .iter()
-            .zip(&dir)
-            .map(|(c, u)| c + radius * u)
-            .collect();
+        fake_points[idx] = fake_query.iter().zip(&dir).map(|(c, u)| c + radius * u).collect();
     }
 
     // Fresh random key: the simulator owns its own world.

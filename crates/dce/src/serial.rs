@@ -102,7 +102,8 @@ impl DceSecretKey {
         buf.put_slice(MAGIC);
         buf.put_u32_le(VERSION);
         buf.put_u64_le(parts.dim as u64);
-        for m in [parts.m1, parts.m1_inv, parts.m2, parts.m2_inv, parts.m_up, parts.m_down, parts.m3_inv]
+        for m in
+            [parts.m1, parts.m1_inv, parts.m2, parts.m2_inv, parts.m_up, parts.m_down, parts.m3_inv]
         {
             put_matrix(&mut buf, m);
         }
@@ -146,8 +147,21 @@ impl DceSecretKey {
         let kv2 = get_vec(&mut data)?;
         let kv3 = get_vec(&mut data)?;
         let kv4 = get_vec(&mut data)?;
-        DceSecretKey::from_raw_parts(dim, m1, m1_inv, m2, m2_inv, pi1, pi2, r, m_up, m_down, m3_inv, [kv1, kv2, kv3, kv4])
-            .ok_or(KeyCodecError::Truncated)
+        DceSecretKey::from_raw_parts(
+            dim,
+            m1,
+            m1_inv,
+            m2,
+            m2_inv,
+            pi1,
+            pi2,
+            r,
+            m_up,
+            m_down,
+            m3_inv,
+            [kv1, kv2, kv3, kv4],
+        )
+        .ok_or(KeyCodecError::Truncated)
     }
 }
 

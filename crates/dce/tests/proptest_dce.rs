@@ -2,8 +2,8 @@
 //! arbitrary vectors, dimensions (odd and even), keys and randomness.
 
 use ppann_dce::{distance_comp, DceSecretKey};
-use ppann_linalg::vector::squared_euclidean;
 use ppann_linalg::seeded_rng;
+use ppann_linalg::vector::squared_euclidean;
 use proptest::prelude::*;
 
 proptest! {

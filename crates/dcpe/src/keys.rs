@@ -48,10 +48,7 @@ impl SapKey {
 /// database (Section V-A / VII-A).
 pub fn beta_range(max_abs_coordinate: f64, dim: usize) -> (f64, f64) {
     assert!(max_abs_coordinate >= 0.0);
-    (
-        max_abs_coordinate.sqrt(),
-        2.0 * max_abs_coordinate * (dim as f64).sqrt(),
-    )
+    (max_abs_coordinate.sqrt(), 2.0 * max_abs_coordinate * (dim as f64).sqrt())
 }
 
 #[cfg(test)]

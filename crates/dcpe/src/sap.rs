@@ -48,7 +48,8 @@ impl SapEncryptor {
     /// item `i` uses an RNG derived from `seed ^ i`).
     pub fn encrypt_batch(&self, points: &[Vec<f64>], seed: u64) -> Vec<Vec<f64>> {
         ppann_linalg::parallel_map_indexed(points.len(), |i| {
-            let mut rng = ppann_linalg::seeded_rng(seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let mut rng =
+                ppann_linalg::seeded_rng(seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
             self.encrypt(&points[i], &mut rng)
         })
     }
@@ -91,9 +92,7 @@ mod tests {
         let enc = SapEncryptor::new(key());
         let mut rng = seeded_rng(13);
         let p = vec![0.0; 8];
-        let radii: Vec<f64> = (0..500)
-            .map(|_| vector::norm(&enc.encrypt(&p, &mut rng)))
-            .collect();
+        let radii: Vec<f64> = (0..500).map(|_| vector::norm(&enc.encrypt(&p, &mut rng))).collect();
         let max = radii.iter().cloned().fold(0.0, f64::max);
         let min = radii.iter().cloned().fold(f64::INFINITY, f64::min);
         let r = enc.key().noise_radius();

@@ -53,10 +53,8 @@ mod tests {
 
     #[test]
     fn finds_true_neighbors() {
-        let store = VecStore::from_vectors(
-            1,
-            &[vec![0.0], vec![10.0], vec![3.0], vec![-1.0], vec![7.0]],
-        );
+        let store =
+            VecStore::from_vectors(1, &[vec![0.0], vec![10.0], vec![3.0], vec![-1.0], vec![7.0]]);
         let ids = exact_knn_ids(&store, &[2.0], 3);
         assert_eq!(ids, vec![2, 0, 3]);
     }

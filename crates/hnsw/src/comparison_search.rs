@@ -113,8 +113,8 @@ impl Hnsw {
                 if !visited.insert(nb) {
                     continue;
                 }
-                let admit = results.len() < ef
-                    || results.worst().map(|w| closer(nb, w)).unwrap_or(true);
+                let admit =
+                    results.len() < ef || results.worst().map(|w| closer(nb, w)).unwrap_or(true);
                 if admit {
                     candidates.insert(nb, &mut closer);
                     if !self.is_deleted(nb) {

@@ -577,11 +577,7 @@ impl Hnsw {
 
     /// Iterator over live node ids.
     pub fn live_ids(&self) -> impl Iterator<Item = u32> + '_ {
-        self.nodes
-            .iter()
-            .enumerate()
-            .filter(|(_, n)| !n.deleted)
-            .map(|(i, _)| i as u32)
+        self.nodes.iter().enumerate().filter(|(_, n)| !n.deleted).map(|(i, _)| i as u32)
     }
 
     /// Graph introspection for tests and serialization: the neighbor list of
@@ -655,7 +651,8 @@ mod tests {
 
     fn clustered(n: usize, dim: usize, seed: u64) -> Vec<Vec<f64>> {
         let mut rng = seeded_rng(seed);
-        let centers: Vec<Vec<f64>> = (0..8).map(|_| uniform_vec(&mut rng, dim, -1.0, 1.0)).collect();
+        let centers: Vec<Vec<f64>> =
+            (0..8).map(|_| uniform_vec(&mut rng, dim, -1.0, 1.0)).collect();
         (0..n)
             .map(|_| {
                 let c = &centers[rng.gen_range(0..centers.len())];

@@ -32,8 +32,8 @@
 
 mod bruteforce;
 mod comparison_search;
-pub mod nsg;
 mod graph;
+pub mod nsg;
 mod params;
 mod serial;
 mod store;

@@ -61,11 +61,8 @@ impl Nsg {
         let n = vectors.len();
 
         // 1. Bootstrap kNN graph through HNSW (parallel-free, deterministic).
-        let boot = Hnsw::build(
-            dim,
-            HnswParams { seed: params.seed, ..HnswParams::default() },
-            vectors,
-        );
+        let boot =
+            Hnsw::build(dim, HnswParams { seed: params.seed, ..HnswParams::default() }, vectors);
         let knn: Vec<Vec<Neighbor>> = (0..n)
             .map(|i| {
                 boot.search(store.get(i as u32), params.k_graph + 1, params.l_build)
@@ -382,9 +379,7 @@ mod tests {
         let pts = clustered(400, 8, 601);
         let nsg = Nsg::build(8, NsgParams::default(), &pts);
         // MRNG selection respects R; connectivity grafting may add a few.
-        let over: usize = (0..400u32)
-            .filter(|&v| nsg.links(v).len() > nsg.params().r + 4)
-            .count();
+        let over: usize = (0..400u32).filter(|&v| nsg.links(v).len() > nsg.params().r + 4).count();
         assert_eq!(over, 0);
     }
 

@@ -147,7 +147,10 @@ mod tests {
 
     #[test]
     fn rejects_garbage() {
-        assert_eq!(Hnsw::from_bytes(Bytes::from_static(b"nope")).unwrap_err(), SnapshotError::BadHeader);
+        assert_eq!(
+            Hnsw::from_bytes(Bytes::from_static(b"nope")).unwrap_err(),
+            SnapshotError::BadHeader
+        );
         let mut good = Hnsw::build(2, HnswParams::default(), &[vec![0.0, 1.0]]).to_bytes().to_vec();
         good.truncate(good.len() - 3);
         assert_eq!(Hnsw::from_bytes(Bytes::from(good)).unwrap_err(), SnapshotError::Truncated);

@@ -165,10 +165,7 @@ mod tests {
             m.fill_with(|| rng.gen_range(-1.0..1.0));
             let inv = invert(&m).expect("random matrix should be invertible");
             let prod = m.matmul(&inv);
-            assert!(
-                prod.max_abs_diff(&Matrix::identity(n)) < 1e-8,
-                "residual too large for n={n}"
-            );
+            assert!(prod.max_abs_diff(&Matrix::identity(n)) < 1e-8, "residual too large for n={n}");
         }
     }
 
@@ -181,10 +178,7 @@ mod tests {
     #[test]
     fn non_square_rejected() {
         let a = Matrix::zeros(2, 3);
-        assert!(matches!(
-            LuDecomposition::factor(&a),
-            Err(LinalgError::DimensionMismatch { .. })
-        ));
+        assert!(matches!(LuDecomposition::factor(&a), Err(LinalgError::DimensionMismatch { .. })));
     }
 
     #[test]

@@ -152,10 +152,7 @@ impl Matrix {
     /// Largest absolute element-wise difference against `other`.
     pub fn max_abs_diff(&self, other: &Matrix) -> f64 {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols));
-        self.data
-            .iter()
-            .zip(&other.data)
-            .fold(0.0f64, |m, (a, b)| m.max((a - b).abs()))
+        self.data.iter().zip(&other.data).fold(0.0f64, |m, (a, b)| m.max((a - b).abs()))
     }
 
     /// Fills the matrix with samples from `f`.

@@ -134,9 +134,7 @@ pub fn max_abs(a: &[f64]) -> f64 {
 /// Maximum absolute element-wise difference between two vectors.
 pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "max_abs_diff: dimension mismatch");
-    a.iter()
-        .zip(b)
-        .fold(0.0f64, |m, (x, y)| m.max((x - y).abs()))
+    a.iter().zip(b).fold(0.0f64, |m, (x, y)| m.max((x - y).abs()))
 }
 
 #[cfg(test)]

@@ -1,8 +1,13 @@
 //! The blocking client library.
 //!
-//! [`ServiceClient`] speaks exactly one in-flight request per connection
-//! (the protocol is strict request/response); open several clients for
-//! concurrency — the `remote_throughput` bench does. The client is
+//! [`ServiceClient`] speaks one in-flight request per connection by
+//! default (strict request/response); for throughput it also offers
+//! [`ServiceClient::search_batch`] — many queries in one `SearchBatch`
+//! frame, answered as a unit by the server's worker pool — and
+//! [`ServiceClient::search_pipelined`] — up to a window of single-query
+//! frames in flight, paired with replies positionally (PROTOCOL.md §4).
+//! Open several clients for connection-level concurrency on top — the
+//! `remote_throughput` bench does. The client is
 //! deliberately key-free: it ships pre-encrypted material produced by
 //! [`ppann_core::QueryUser`] / [`ppann_core::DataOwner`] and never sees
 //! key bundles, mirroring the trust split of the paper's Figure 1.
@@ -24,6 +29,12 @@ pub const DEFAULT_CALL_TIMEOUT: Duration = Duration::from_secs(30);
 /// Socket read timeout granularity; each expiry re-checks the call
 /// deadline without losing partially read bytes.
 const READ_POLL: Duration = Duration::from_millis(100);
+
+/// Default in-flight window for [`ServiceClient::search_pipelined`]: deep
+/// enough to hide the per-frame round trip, shallow enough that the
+/// un-read replies queueing in the two TCP buffers stay far from filling
+/// them (which would stall the server's writes — see PROTOCOL.md §4).
+pub const DEFAULT_PIPELINE_WINDOW: usize = 32;
 
 /// Client-side failures.
 #[derive(Debug)]
@@ -184,6 +195,106 @@ impl ServiceClient {
             Frame::SearchResult(outcome) => Ok(outcome),
             other => Err(unexpected(&other)),
         }
+    }
+
+    /// Sends one `SearchBatch` frame and returns the decoded outcomes, in
+    /// query order. The server answers the whole batch as a unit, fanning
+    /// it across its worker pool — one round trip and one frame pair for
+    /// the lot, which is what amortizes the wire cost (PROTOCOL.md §3.14).
+    ///
+    /// An empty slice returns `Ok(vec![])` without touching the wire
+    /// (servers refuse empty batches). Batches above the server's
+    /// configured limit (default 1024) come back as a
+    /// [`ClientError::Remote`] with [`ErrorCode::BadRequest`]; chunk large
+    /// query sets client-side.
+    pub fn search_batch(
+        &mut self,
+        queries: &[EncryptedQuery],
+        params: &SearchParams,
+    ) -> Result<Vec<SearchOutcome>, ClientError> {
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
+        let frame = Frame::SearchBatch { params: *params, queries: queries.to_vec() };
+        match self.call(&frame)? {
+            Frame::SearchBatchResult(outcomes) => {
+                if outcomes.len() != queries.len() {
+                    self.poisoned = true;
+                    return Err(ClientError::Protocol(format!(
+                        "batch of {} queries answered with {} outcomes",
+                        queries.len(),
+                        outcomes.len()
+                    )));
+                }
+                Ok(outcomes)
+            }
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Runs many single-query `Search` exchanges with up to `window`
+    /// frames in flight, returning the outcomes in query order. The
+    /// server answers frames on one connection strictly in arrival order
+    /// (PROTOCOL.md §4), so replies pair with requests positionally.
+    ///
+    /// Compared to [`Self::search_batch`] this keeps per-query framing
+    /// (useful when queries carry different `k`, or to smooth latency
+    /// rather than maximize throughput) while still hiding the round-trip
+    /// stalls of the strict one-at-a-time loop. `window` is clamped to
+    /// ≥ 1; [`DEFAULT_PIPELINE_WINDOW`] is a good default.
+    ///
+    /// Any failure mid-pipeline — including a server `Error` reply —
+    /// poisons the client: with several requests in flight the stream
+    /// position is no longer provably aligned, so the connection must be
+    /// re-established. Validate knobs against the server's limits before
+    /// pipelining.
+    pub fn search_pipelined(
+        &mut self,
+        queries: &[EncryptedQuery],
+        params: &SearchParams,
+        window: usize,
+    ) -> Result<Vec<SearchOutcome>, ClientError> {
+        if self.poisoned {
+            return Err(ClientError::Protocol(
+                "connection poisoned by an earlier failed call — reconnect".into(),
+            ));
+        }
+        let window = window.max(1);
+        let mut outcomes = Vec::with_capacity(queries.len());
+        let mut next = 0usize;
+        while outcomes.len() < queries.len() {
+            // Top up the window, then block on the oldest reply. Each
+            // reply read gets the full per-call budget.
+            while next < queries.len() && next - outcomes.len() < window {
+                let frame = Frame::Search { params: *params, query: queries[next].clone() };
+                if let Err(e) = write_frame(&mut self.stream, &frame) {
+                    self.poisoned = true;
+                    return Err(e.into());
+                }
+                next += 1;
+            }
+            let deadline = Instant::now().checked_add(self.call_timeout);
+            match read_frame(&mut self.stream, self.max_frame, None, deadline) {
+                Ok(Some((Frame::SearchResult(outcome), _))) => outcomes.push(outcome),
+                Ok(Some((Frame::Error { code, message }, _))) => {
+                    self.poisoned = true;
+                    return Err(ClientError::Remote { code, message });
+                }
+                Ok(Some((frame, _))) => {
+                    self.poisoned = true;
+                    return Err(unexpected(&frame));
+                }
+                Ok(None) => {
+                    self.poisoned = true;
+                    return Err(ClientError::Protocol("server closed the connection".into()));
+                }
+                Err(e) => {
+                    self.poisoned = true;
+                    return Err(e.into());
+                }
+            }
+        }
+        Ok(outcomes)
     }
 
     /// Owner-authenticated insertion; returns the id the server assigned.

@@ -13,12 +13,15 @@
 //! * [`server`] — a `TcpListener` accept loop feeding a fixed worker
 //!   thread pool over [`ppann_core::SharedServer`]: connections
 //!   multiplexed across the pool (no worker is ever pinned to one peer),
-//!   concurrent searches under the shared lock, exclusive owner
+//!   concurrent searches under the shared lock, whole-`SearchBatch`
+//!   frames fanned across [`ppann_core::BatchExecutor`], exclusive owner
 //!   maintenance, bounded accept queue for backpressure, validated
-//!   search knobs, graceful shutdown, atomic [`ServiceStats`].
-//! * [`client`] — the blocking [`ServiceClient`] used by the
-//!   `ppanns-cli serve`/`query`/`stats` subcommands, the
-//!   `secure_cloud_service` example and the loopback parity tests.
+//!   search knobs and batch sizes, graceful shutdown, atomic
+//!   [`ServiceStats`].
+//! * [`client`] — the blocking [`ServiceClient`] (single-frame, batched
+//!   and pipelined search) used by the `ppanns-cli`
+//!   `serve`/`query`/`stats` subcommands, the `secure_cloud_service`
+//!   example and the loopback parity tests.
 //!
 //! ## The wire boundary (DESIGN.md §7)
 //!
@@ -67,7 +70,7 @@ pub mod spec {
     #![doc = include_str!("../../../PROTOCOL.md")]
 }
 
-pub use client::{ClientError, ServiceClient, DEFAULT_CALL_TIMEOUT};
+pub use client::{ClientError, ServiceClient, DEFAULT_CALL_TIMEOUT, DEFAULT_PIPELINE_WINDOW};
 pub use server::{serve, ServiceConfig, ServiceHandle};
 pub use stats::{ServiceStats, StatsSnapshot};
 pub use wire::{ErrorCode, Frame, ProtocolError, DEFAULT_MAX_FRAME, PROTOCOL_VERSION};

@@ -10,6 +10,7 @@
 //!      │  ONE frame, push it back — workers are never owned by a single
 //!      ▼  peer, so parked keep-alive clients cannot pin or slow them
 //! SharedServer<S>   searches: shared lock (concurrent)
+//!                   batches: `BatchExecutor` fan-out over `batch_threads`
 //!                   maintenance: exclusive lock (serialized)
 //! ```
 //!
@@ -31,6 +32,10 @@
 //! * `max_connections` — live-connection cap, enforced at accept time.
 //! * `max_search_k` — upper bound on the `Search` knobs `k`/`k_prime`/
 //!   `ef_search`, which size server-side allocations and work.
+//! * `max_batch` — upper bound on queries per `SearchBatch` frame; with
+//!   `max_search_k` it caps the total work one frame can demand, and it
+//!   bounds how long one batch holds the worker answering it (the FIFO
+//!   rotation keeps serving everyone else meanwhile).
 //!
 //! Graceful shutdown: an owner-authenticated `Shutdown` frame (or
 //! [`ServiceHandle::request_stop`]) raises a flag; the accept loop stops
@@ -45,7 +50,9 @@ use crate::stats::ServiceStats;
 use crate::wire::{ErrorCode, Frame, DEFAULT_MAX_FRAME};
 use crossbeam::channel;
 use parking_lot::Mutex;
-use ppann_core::{MaintainableServer, QueryBackend, SharedServer};
+use ppann_core::{
+    BatchExecutor, EncryptedQuery, MaintainableServer, QueryBackend, SearchParams, SharedServer,
+};
 use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -100,6 +107,22 @@ pub struct ServiceConfig {
     /// arrive as attacker-controlled integers — requests exceeding the
     /// bound get [`ErrorCode::BadRequest`].
     pub max_search_k: usize,
+    /// Upper bound on queries per `SearchBatch` frame. Together with
+    /// `max_search_k` this caps the total work one frame can demand
+    /// (`max_batch × max_search_k` knob-sized searches); a batch above the
+    /// bound — or an empty one — gets [`ErrorCode::BadRequest`]. It also
+    /// bounds how long one batch occupies the worker answering it, which
+    /// is what keeps the FIFO connection rotation fair: other workers keep
+    /// rotating the parked queue while one serves a full batch.
+    pub max_batch: usize,
+    /// Worker threads a `SearchBatch` fans out over (clamped to the batch
+    /// size by `BatchExecutor`). `0` means **auto**: the worker count
+    /// capped at the host's available parallelism — fanning one batch
+    /// wider than the physical cores only adds context-switching, which
+    /// on a small host makes batches *slower* than sequential frames.
+    /// Lower it explicitly when several clients batch concurrently
+    /// (OPERATIONS.md §7).
+    pub batch_threads: usize,
 }
 
 impl ServiceConfig {
@@ -116,6 +139,8 @@ impl ServiceConfig {
             frame_timeout: Duration::from_secs(30),
             max_connections: 1024,
             max_search_k: 1 << 16,
+            max_batch: 1024,
+            batch_threads: 0,
         }
     }
 
@@ -128,6 +153,30 @@ impl ServiceConfig {
     /// Replaces the worker count (clamped to ≥ 1).
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers.max(1);
+        self
+    }
+
+    /// Replaces the `SearchBatch` fan-out width; `0` restores auto
+    /// (see [`Self::batch_threads`]).
+    pub fn with_batch_threads(mut self, batch_threads: usize) -> Self {
+        self.batch_threads = batch_threads;
+        self
+    }
+
+    /// The effective `SearchBatch` fan-out width: `batch_threads`, or —
+    /// when 0, "auto" — the worker count capped at the host's available
+    /// parallelism.
+    pub fn effective_batch_threads(&self) -> usize {
+        if self.batch_threads != 0 {
+            return self.batch_threads;
+        }
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        self.workers.min(cores).max(1)
+    }
+
+    /// Replaces the per-frame batch size bound (clamped to ≥ 1).
+    pub fn with_max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch.max(1);
         self
     }
 
@@ -472,7 +521,8 @@ where
     // Bytes are pending: the whole frame must now arrive within
     // frame_timeout (or the handshake deadline, before the Hello) — a
     // peer dripping one byte per poll cannot hold the worker past that.
-    let read_deadline = if conn.ready { deadline_after(config.frame_timeout) } else { conn.deadline };
+    let read_deadline =
+        if conn.ready { deadline_after(config.frame_timeout) } else { conn.deadline };
     let frame =
         match read_frame(&mut conn.stream, config.max_frame, Some(stop), Some(read_deadline)) {
             Ok(Some((frame, n))) => {
@@ -543,7 +593,12 @@ where
             }
         }
         _ => {
-            send_error(&mut conn.stream, stats, ErrorCode::BadRequest, "expected Hello first".into());
+            send_error(
+                &mut conn.stream,
+                stats,
+                ErrorCode::BadRequest,
+                "expected Hello first".into(),
+            );
             ConnFate::Close
         }
     }
@@ -564,50 +619,89 @@ where
     let conn = &mut conn.stream;
     match frame {
         Frame::Search { params, query } => {
-            if query.c_sap.len() != config.dim {
-                send_error(
-                    conn,
-                    stats,
-                    ErrorCode::BadRequest,
-                    format!("query dim {} != served dim {}", query.c_sap.len(), config.dim),
-                );
-                return ConnFate::Keep;
-            }
-            let expected = ppann_dce::ciphertext_dim(config.dim);
-            if query.trapdoor.dim() != expected {
-                send_error(
-                    conn,
-                    stats,
-                    ErrorCode::BadRequest,
-                    format!("trapdoor dim {} != expected {expected}", query.trapdoor.dim()),
-                );
-                return ConnFate::Keep;
-            }
-            // The three search knobs size server-side allocations and
-            // work, and all arrive as attacker-controlled integers: a k
-            // of 2^50 would ask the top-k heap for a petabyte
-            // reservation, and the allocation failure aborts the whole
-            // process — bound them before they reach the backend. (k = 0
-            // never gets here: the payload codec rejects it as
-            // malformed; zero k'/ef are fine, the backend clamps them up
-            // to k.)
-            let max = config.max_search_k;
-            if query.k > max || params.k_prime > max || params.ef_search > max {
-                send_error(
-                    conn,
-                    stats,
-                    ErrorCode::BadRequest,
-                    format!(
-                        "search knobs k={} k'={} ef={} exceed the {max} limit",
-                        query.k, params.k_prime, params.ef_search
-                    ),
-                );
+            if let Some(msg) = validate_query(&query, &params, config) {
+                send_error(conn, stats, ErrorCode::BadRequest, msg);
                 return ConnFate::Keep;
             }
             let started = Instant::now();
             let outcome = backend.search(&query, &params);
             stats.record_query(started.elapsed());
             keep_if(send(conn, stats, &Frame::SearchResult(outcome)))
+        }
+        Frame::SearchBatch { params, queries } => {
+            // An empty batch is well-formed on the wire but answers
+            // nothing — refuse it rather than invent an empty reply a
+            // buggy client would silently accept.
+            if queries.is_empty() {
+                send_error(conn, stats, ErrorCode::BadRequest, "empty batch".into());
+                return ConnFate::Keep;
+            }
+            // The batch bound caps the total work one frame can demand
+            // (max_batch × max_search_k knob-sized searches) and bounds
+            // how long this worker is occupied — the other workers keep
+            // rotating the parked-connection FIFO meanwhile, so a giant
+            // batch cannot starve keep-alive peers.
+            if queries.len() > config.max_batch {
+                send_error(
+                    conn,
+                    stats,
+                    ErrorCode::BadRequest,
+                    format!(
+                        "batch of {} queries exceeds the {} limit",
+                        queries.len(),
+                        config.max_batch
+                    ),
+                );
+                return ConnFate::Keep;
+            }
+            for (qi, query) in queries.iter().enumerate() {
+                if let Some(msg) = validate_query(query, &params, config) {
+                    send_error(
+                        conn,
+                        stats,
+                        ErrorCode::BadRequest,
+                        format!("batch query {qi}: {msg}"),
+                    );
+                    return ConnFate::Keep;
+                }
+            }
+            // The reply must also be deliverable: each result encodes to
+            // at most 56 + 12·k bytes, so a batch whose summed k would
+            // overflow the frame-size limit is refused *before* the
+            // searches run — otherwise the server would burn the whole
+            // batch of work (or, past u32::MAX, panic in the encoder) on
+            // a frame no peer with the same limit could accept.
+            let reply_bound: u64 = 8 + queries.iter().map(|q| 56 + 12 * q.k as u64).sum::<u64>();
+            if reply_bound > config.max_frame as u64 {
+                send_error(
+                    conn,
+                    stats,
+                    ErrorCode::BadRequest,
+                    format!(
+                        "batch reply could reach {reply_bound} bytes, above the {} frame limit — \
+                         lower the batch size or k",
+                        config.max_frame
+                    ),
+                );
+                return ConnFate::Keep;
+            }
+            // Hand the whole batch to the in-process executor: it fans
+            // the queries across `batch_threads` scoped workers (clamped
+            // to the batch size), each searching under the shared lock.
+            let started = Instant::now();
+            let exec = BatchExecutor::new(backend.clone(), config.effective_batch_threads());
+            let batch = exec.run(&queries, &params);
+            // Every query in the batch completes when its frame's reply
+            // does, so each records the frame's service-layer wall time —
+            // the same arrival-to-answer quantity the single-Search path
+            // records, keeping one histogram comparable across both paths
+            // (per-query backend times still travel in each outcome's
+            // `cost.server_time`).
+            let elapsed = started.elapsed();
+            for _ in &batch.outcomes {
+                stats.record_query(elapsed);
+            }
+            keep_if(send(conn, stats, &Frame::SearchBatchResult(batch.outcomes)))
         }
         Frame::Insert { token, c_sap, c_dce } => {
             if !authorized(config, token) {
@@ -675,6 +769,7 @@ where
         Frame::Hello { .. }
         | Frame::HelloAck { .. }
         | Frame::SearchResult(_)
+        | Frame::SearchBatchResult(_)
         | Frame::InsertAck { .. }
         | Frame::DeleteAck
         | Frame::StatsReply(_)
@@ -684,6 +779,36 @@ where
             ConnFate::Keep
         }
     }
+}
+
+/// Validates one query's shape and knobs against the served configuration;
+/// `Some` is the `BadRequest` message to answer with. The three search
+/// knobs size server-side allocations and work, and all arrive as
+/// attacker-controlled integers: a `k` of 2^50 would ask the top-k heap
+/// for a petabyte reservation, and the allocation failure aborts the whole
+/// process — bound them before they reach the backend. (`k = 0` never gets
+/// here: the payload codec rejects it as malformed; zero `k'`/`ef` are
+/// fine, the backend clamps them up to `k`.)
+fn validate_query(
+    query: &EncryptedQuery,
+    params: &SearchParams,
+    config: &ServiceConfig,
+) -> Option<String> {
+    if query.c_sap.len() != config.dim {
+        return Some(format!("query dim {} != served dim {}", query.c_sap.len(), config.dim));
+    }
+    let expected = ppann_dce::ciphertext_dim(config.dim);
+    if query.trapdoor.dim() != expected {
+        return Some(format!("trapdoor dim {} != expected {expected}", query.trapdoor.dim()));
+    }
+    let max = config.max_search_k;
+    if query.k > max || params.k_prime > max || params.ef_search > max {
+        return Some(format!(
+            "search knobs k={} k'={} ef={} exceed the {max} limit",
+            query.k, params.k_prime, params.ef_search
+        ));
+    }
+    None
 }
 
 fn keep_if(sent: bool) -> ConnFate {

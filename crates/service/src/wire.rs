@@ -55,6 +55,8 @@ pub mod tag {
     pub const HELLO_ACK: u8 = 0x02;
     pub const SEARCH: u8 = 0x10;
     pub const SEARCH_RESULT: u8 = 0x11;
+    pub const SEARCH_BATCH: u8 = 0x12;
+    pub const SEARCH_BATCH_RESULT: u8 = 0x13;
     pub const INSERT: u8 = 0x20;
     pub const INSERT_ACK: u8 = 0x21;
     pub const DELETE: u8 = 0x22;
@@ -187,6 +189,15 @@ pub enum Frame {
     Search { params: SearchParams, query: EncryptedQuery },
     /// Answer to [`Frame::Search`]: ids, encrypted-space distances, cost.
     SearchResult(SearchOutcome),
+    /// Many encrypted queries under one set of public search knobs,
+    /// answered as a unit so the server can fan the whole batch across its
+    /// worker pool (`BatchExecutor`). An empty batch is well-formed on the
+    /// wire but refused by servers with [`ErrorCode::BadRequest`], as is a
+    /// batch above the server's configured size limit.
+    SearchBatch { params: SearchParams, queries: Vec<EncryptedQuery> },
+    /// Answer to [`Frame::SearchBatch`]: one [`SearchOutcome`] per query,
+    /// in request order.
+    SearchBatchResult(Vec<SearchOutcome>),
     /// Owner-authenticated insertion of a pre-encrypted vector.
     Insert { token: u64, c_sap: Vec<f64>, c_dce: DceCiphertext },
     /// Answer to [`Frame::Insert`]: the assigned id.
@@ -217,6 +228,8 @@ impl Frame {
             Frame::HelloAck { .. } => tag::HELLO_ACK,
             Frame::Search { .. } => tag::SEARCH,
             Frame::SearchResult(_) => tag::SEARCH_RESULT,
+            Frame::SearchBatch { .. } => tag::SEARCH_BATCH,
+            Frame::SearchBatchResult(_) => tag::SEARCH_BATCH_RESULT,
             Frame::Insert { .. } => tag::INSERT,
             Frame::InsertAck { .. } => tag::INSERT_ACK,
             Frame::Delete { .. } => tag::DELETE,
@@ -268,6 +281,19 @@ impl Frame {
                 query.write_to(buf);
             }
             Frame::SearchResult(outcome) => outcome.write_to(buf),
+            Frame::SearchBatch { params, queries } => {
+                params.write_to(buf);
+                buf.put_u64_le(queries.len() as u64);
+                for query in queries {
+                    query.write_to(buf);
+                }
+            }
+            Frame::SearchBatchResult(outcomes) => {
+                buf.put_u64_le(outcomes.len() as u64);
+                for outcome in outcomes {
+                    outcome.write_to(buf);
+                }
+            }
             Frame::Insert { token, c_sap, c_dce } => {
                 buf.put_u64_le(*token);
                 put_f64_slice(buf, c_sap);
@@ -303,6 +329,27 @@ impl Frame {
                 Frame::Search { params, query }
             }
             tag::SEARCH_RESULT => Frame::SearchResult(SearchOutcome::read_from(&mut data)?),
+            tag::SEARCH_BATCH => {
+                let params = SearchParams::read_from(&mut data)?;
+                // Every query needs at least 24 bytes (k + two empty
+                // lists), so an absurd claimed count is refused before any
+                // allocation sized by it.
+                let count = get_counted(&mut data, 24)?;
+                let mut queries = Vec::with_capacity(count);
+                for _ in 0..count {
+                    queries.push(EncryptedQuery::read_from(&mut data)?);
+                }
+                Frame::SearchBatch { params, queries }
+            }
+            tag::SEARCH_BATCH_RESULT => {
+                // Every outcome needs at least 56 bytes (count + counters).
+                let count = get_counted(&mut data, 56)?;
+                let mut outcomes = Vec::with_capacity(count);
+                for _ in 0..count {
+                    outcomes.push(SearchOutcome::read_from(&mut data)?);
+                }
+                Frame::SearchBatchResult(outcomes)
+            }
             tag::INSERT => {
                 let token = get_u64(&mut data)?;
                 let c_sap = get_f64_slice(&mut data)?;
@@ -373,6 +420,19 @@ pub fn decode_frame(bytes: &[u8], max_frame: u32) -> Result<Frame, ProtocolError
         return Err(ProtocolError::Codec(WireError::Truncated));
     }
     Frame::decode_payload(tag_byte, Bytes::copy_from_slice(payload))
+}
+
+/// Reads a `u64` element count and validates it against the bytes actually
+/// remaining, given a conservative minimum encoded size per element — the
+/// guard that makes `Vec::with_capacity(count)` safe against a frame whose
+/// count field claims the moon.
+fn get_counted(data: &mut Bytes, min_element_len: usize) -> Result<usize, WireError> {
+    let count = get_u64(data)? as usize;
+    let need = count.checked_mul(min_element_len).ok_or(WireError::Truncated)?;
+    if data.remaining() < need {
+        return Err(WireError::Truncated);
+    }
+    Ok(count)
 }
 
 fn get_u64(data: &mut Bytes) -> Result<u64, WireError> {
@@ -500,6 +560,90 @@ mod tests {
                 assert_eq!(back.cost.refine_sdc_comps, out.cost.refine_sdc_comps);
             }
             other => panic!("wrong frame {other:?}"),
+        }
+    }
+
+    #[test]
+    fn search_batch_roundtrip() {
+        let q1 = sample_query();
+        let q2 = EncryptedQuery {
+            c_sap: vec![0.5, 0.5],
+            trapdoor: DceTrapdoor::from_vec(vec![-1.0, 4.0]),
+            k: 1,
+        };
+        let p = SearchParams { k_prime: 4, ef_search: 8 };
+        match roundtrip(&Frame::SearchBatch { params: p, queries: vec![q1.clone(), q2.clone()] }) {
+            Frame::SearchBatch { params, queries } => {
+                assert_eq!(params, p);
+                assert_eq!(queries.len(), 2);
+                assert_eq!(queries[0].c_sap, q1.c_sap);
+                assert_eq!(queries[1].k, q2.k);
+                assert_eq!(queries[1].trapdoor.as_slice(), q2.trapdoor.as_slice());
+            }
+            other => panic!("wrong frame {other:?}"),
+        }
+        // The empty batch is representable on the wire (servers refuse it
+        // at the request layer, not the codec layer).
+        match roundtrip(&Frame::SearchBatch { params: p, queries: vec![] }) {
+            Frame::SearchBatch { queries, .. } => assert!(queries.is_empty()),
+            other => panic!("wrong frame {other:?}"),
+        }
+    }
+
+    #[test]
+    fn search_batch_result_roundtrip() {
+        let out = sample_outcome();
+        let mut short = sample_outcome();
+        short.ids = vec![2];
+        short.sap_dists = vec![0.5];
+        match roundtrip(&Frame::SearchBatchResult(vec![out.clone(), short.clone()])) {
+            Frame::SearchBatchResult(back) => {
+                assert_eq!(back.len(), 2);
+                assert_eq!(back[0].ids, out.ids);
+                assert_eq!(back[0].sap_dists, out.sap_dists);
+                assert_eq!(back[1].ids, short.ids);
+                assert_eq!(back[1].cost.refine_sdc_comps, short.cost.refine_sdc_comps);
+            }
+            other => panic!("wrong frame {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_count_is_validated_before_allocation() {
+        // A SearchBatch whose count field claims 2^56 queries but carries
+        // none must be rejected as truncated, without allocating.
+        let mut buf = BytesMut::new();
+        SearchParams { k_prime: 4, ef_search: 8 }.write_to(&mut buf);
+        buf.put_u64_le(1u64 << 56);
+        let payload = buf.freeze();
+        let mut bytes = BytesMut::new();
+        bytes.put_slice(&MAGIC);
+        bytes.put_u8(PROTOCOL_VERSION);
+        bytes.put_u8(tag::SEARCH_BATCH);
+        bytes.put_u16_le(0);
+        bytes.put_u32_le(payload.len() as u32);
+        bytes.put_slice(&payload);
+        assert_eq!(
+            decode_frame(&bytes, DEFAULT_MAX_FRAME).unwrap_err(),
+            ProtocolError::Codec(WireError::Truncated)
+        );
+    }
+
+    #[test]
+    fn truncated_batch_payload_rejected() {
+        let bytes = Frame::SearchBatch {
+            params: SearchParams { k_prime: 4, ef_search: 8 },
+            queries: vec![sample_query(), sample_query()],
+        }
+        .encode();
+        for cut in HEADER_LEN..bytes.len() {
+            let mut prefix = bytes[..cut].to_vec();
+            let len = (cut - HEADER_LEN) as u32;
+            prefix[8..12].copy_from_slice(&len.to_le_bytes());
+            assert!(
+                decode_frame(&prefix, DEFAULT_MAX_FRAME).is_err(),
+                "truncation at {cut} must not decode"
+            );
         }
     }
 

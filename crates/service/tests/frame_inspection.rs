@@ -54,11 +54,7 @@ fn captured_search_frame_holds_only_ciphertext_and_knobs() {
     let owner = DataOwner::setup(PpAnnParams::new(DIM).with_seed(11), &data);
     let mut user = owner.authorize_user();
     let plaintext_query = data[3].clone();
-    let norm_scale = 1.0
-        / data
-            .iter()
-            .flat_map(|v| v.iter())
-            .fold(0.0f64, |m, x| m.max(x.abs()));
+    let norm_scale = 1.0 / data.iter().flat_map(|v| v.iter()).fold(0.0f64, |m, x| m.max(x.abs()));
     let normalized_query: Vec<f64> = plaintext_query.iter().map(|x| x * norm_scale).collect();
     let query = user.encrypt_query(&plaintext_query, 5);
     let params = SearchParams { k_prime: 20, ef_search: 40 };
@@ -84,8 +80,7 @@ fn captured_search_frame_holds_only_ciphertext_and_knobs() {
     // --- The Search frame: every byte accounted for.
     // Header (12) + params (16) + k (8) + c_sap (8 + 8·dim) + trapdoor
     // (8 + 8·trapdoor_dim). Nothing else fits, so nothing else travels.
-    let expected_len =
-        HEADER_LEN + 16 + 8 + (8 + 8 * DIM) + (8 + 8 * query.trapdoor.dim());
+    let expected_len = HEADER_LEN + 16 + 8 + (8 + 8 * DIM) + (8 + 8 * query.trapdoor.dim());
     assert_eq!(search_bytes.len(), expected_len, "unaccounted bytes in the Search frame");
 
     // --- Decoding yields exactly the ciphertext fields we sent...
@@ -106,10 +101,7 @@ fn captured_search_frame_holds_only_ciphertext_and_knobs() {
     // meaningful only if its ciphertext counterpart does appear.
     let mut c_sap_bytes = bytes::BytesMut::new();
     put_f64_slice(&mut c_sap_bytes, &query.c_sap);
-    assert!(
-        contains_bytes(&search_bytes, &c_sap_bytes),
-        "the SAP ciphertext must be on the wire"
-    );
+    assert!(contains_bytes(&search_bytes, &c_sap_bytes), "the SAP ciphertext must be on the wire");
 }
 
 #[test]
@@ -131,9 +123,7 @@ fn search_result_frame_holds_only_ids_distances_and_cost() {
     let mut user = owner.authorize_user();
     let query = user.encrypt_query(&data[7], 4);
     let params = SearchParams { k_prime: 16, ef_search: 32 };
-    stream
-        .write_all(&Frame::Search { params, query: query.clone() }.encode())
-        .unwrap();
+    stream.write_all(&Frame::Search { params, query: query.clone() }.encode()).unwrap();
     let reply = read_raw_frame(&mut stream);
 
     // Size accounting: header + n + n ids + n dists + 6 counters.

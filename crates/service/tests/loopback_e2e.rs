@@ -3,9 +3,7 @@
 //! encrypted-space distances on a seeded workload, for both the paper's
 //! `CloudServer` and the multi-core `ShardedServer` behind the service.
 
-use ppann_core::{
-    CloudServer, DataOwner, PpAnnParams, SearchParams, SharedServer, ShardedServer,
-};
+use ppann_core::{CloudServer, DataOwner, PpAnnParams, SearchParams, ShardedServer, SharedServer};
 use ppann_linalg::{seeded_rng, uniform_vec};
 use ppann_service::{serve, ClientError, ServiceClient, ServiceConfig};
 
@@ -136,6 +134,130 @@ fn stats_and_graceful_shutdown_over_the_wire() {
         ServiceClient::connect(addr, Some(DIM)).is_err(),
         "listener must be gone after shutdown"
     );
+}
+
+/// One `SearchBatch` frame must answer exactly like the same queries sent
+/// one `Search` frame at a time — same ids, bit-identical encrypted
+/// distances, request order preserved — for both server shapes, including
+/// a batch wider than the server's fan-out and one smaller than it.
+#[test]
+fn batched_search_matches_sequential_remote() {
+    let (data, owner) = setup(9006);
+    let shared = SharedServer::new(CloudServer::new(owner.outsource(&data)));
+    let handle = serve(shared, ServiceConfig::loopback(DIM).with_workers(3)).unwrap();
+    let mut client = ServiceClient::connect(handle.local_addr(), Some(DIM)).unwrap();
+
+    let mut user = owner.authorize_user();
+    // Varying k per query: the batch layout carries k per query.
+    let queries: Vec<_> = (0..17).map(|i| user.encrypt_query(&data[i * 7], 1 + (i % K))).collect();
+    let sequential: Vec<_> = queries.iter().map(|q| client.search(q, &params()).unwrap()).collect();
+
+    for width in [1usize, 4, queries.len()] {
+        let mut batched = Vec::new();
+        for chunk in queries.chunks(width) {
+            batched.extend(client.search_batch(chunk, &params()).unwrap());
+        }
+        assert_eq!(batched.len(), sequential.len());
+        for (qi, (b, s)) in batched.iter().zip(&sequential).enumerate() {
+            assert_eq!(b.ids, s.ids, "width {width}, query {qi}: ids diverge");
+            let expect: Vec<u64> = s.sap_dists.iter().map(|d| d.to_bits()).collect();
+            let got: Vec<u64> = b.sap_dists.iter().map(|d| d.to_bits()).collect();
+            assert_eq!(got, expect, "width {width}, query {qi}: distances diverge");
+        }
+    }
+
+    // Batch queries count toward the same stats as single-frame ones.
+    let snap = client.stats().unwrap();
+    assert_eq!(snap.queries as usize, queries.len() * 4);
+    handle.request_stop();
+    handle.join();
+}
+
+/// The sharded backend behind a `SearchBatch` frame composes batch-level
+/// and intra-query parallelism and still answers bit-identically.
+#[test]
+fn batched_search_on_sharded_backend() {
+    let (data, owner) = setup(9007);
+    let local = CloudServer::new(owner.outsource(&data));
+    let sharded = ShardedServer::from_database(owner.outsource(&data), 3);
+    let handle = serve(SharedServer::new(sharded), ServiceConfig::loopback(DIM)).unwrap();
+    let mut client = ServiceClient::connect(handle.local_addr(), Some(DIM)).unwrap();
+
+    let mut local_user = owner.authorize_user();
+    let mut remote_user = owner.authorize_user();
+    let local_queries: Vec<_> =
+        (0..10).map(|i| local_user.encrypt_query(&data[i * 3], K)).collect();
+    let remote_queries: Vec<_> =
+        (0..10).map(|i| remote_user.encrypt_query(&data[i * 3], K)).collect();
+    let outs = client.search_batch(&remote_queries, &params()).unwrap();
+    for (qi, (got, q)) in outs.iter().zip(&local_queries).enumerate() {
+        let expect = local.search(q, &params());
+        assert_eq!(got.ids, expect.ids, "query {qi}: ids diverge");
+    }
+    handle.request_stop();
+    handle.join();
+}
+
+/// Pipelined single-frame search pairs replies with requests
+/// positionally; outcomes must match the lockstep loop exactly for any
+/// window, including windows larger than the query count.
+#[test]
+fn pipelined_search_matches_sequential_remote() {
+    let (data, owner) = setup(9008);
+    let shared = SharedServer::new(CloudServer::new(owner.outsource(&data)));
+    let handle = serve(shared, ServiceConfig::loopback(DIM).with_workers(2)).unwrap();
+    let mut client = ServiceClient::connect(handle.local_addr(), Some(DIM)).unwrap();
+
+    let mut user = owner.authorize_user();
+    let queries: Vec<_> = (0..23).map(|i| user.encrypt_query(&data[i * 11], 1 + (i % K))).collect();
+    let sequential: Vec<_> = queries.iter().map(|q| client.search(q, &params()).unwrap()).collect();
+
+    for window in [1usize, 3, 8, 64] {
+        let piped = client.search_pipelined(&queries, &params(), window).unwrap();
+        assert_eq!(piped.len(), sequential.len());
+        for (qi, (p, s)) in piped.iter().zip(&sequential).enumerate() {
+            assert_eq!(p.ids, s.ids, "window {window}, query {qi}: ids diverge");
+            let expect: Vec<u64> = s.sap_dists.iter().map(|d| d.to_bits()).collect();
+            let got: Vec<u64> = p.sap_dists.iter().map(|d| d.to_bits()).collect();
+            assert_eq!(got, expect, "window {window}, query {qi}: distances diverge");
+        }
+    }
+    handle.request_stop();
+    handle.join();
+}
+
+/// A server error mid-pipeline (here: a knob above the server's bound on
+/// the 6th query) surfaces as `Remote` and poisons the client, while the
+/// service keeps serving fresh connections.
+#[test]
+fn pipelined_error_poisons_but_server_survives() {
+    let (data, owner) = setup(9009);
+    let shared = SharedServer::new(CloudServer::new(owner.outsource(&data)));
+    // High enough for params() (ef_search 80), far below the bad frame's.
+    let config = ServiceConfig::loopback(DIM).with_max_search_k(256);
+    let handle = serve(shared, config).unwrap();
+    let mut client = ServiceClient::connect(handle.local_addr(), Some(DIM)).unwrap();
+
+    let mut user = owner.authorize_user();
+    let queries: Vec<_> = (0..10).map(|i| user.encrypt_query(&data[i], K)).collect();
+    let mut bad = params();
+    // Per-frame params are shared, so poison via one oversized frame mix:
+    // send good params but an ef_search beyond the bound on the whole
+    // pipeline — every reply is an Error, the first of which aborts it.
+    bad.ef_search = 1 << 20;
+    match client.search_pipelined(&queries, &bad, 4) {
+        Err(ClientError::Remote { code, .. }) => {
+            assert_eq!(code, ppann_service::ErrorCode::BadRequest);
+        }
+        other => panic!("expected BadRequest, got {other:?}"),
+    }
+    // Poisoned: even a well-formed call is refused now.
+    assert!(client.search(&queries[0], &params()).is_err(), "poisoned client must refuse");
+    // A fresh connection works.
+    let mut fresh = ServiceClient::connect(handle.local_addr(), Some(DIM)).unwrap();
+    assert_eq!(fresh.search(&queries[0], &params()).unwrap().ids.len(), K);
+    handle.request_stop();
+    handle.join();
 }
 
 #[test]

@@ -1,0 +1,162 @@
+//! Property-based round-trip tests for the batched wire codecs: any
+//! `SearchBatch`/`SearchBatchResult` the types can represent must encode
+//! to a frame that decodes back bit-identically and re-encodes to the
+//! same bytes (one canonical representation per message), and no strict
+//! payload prefix may decode.
+
+use ppann_core::{EncryptedQuery, QueryCost, SearchOutcome, SearchParams};
+use ppann_dce::DceTrapdoor;
+use ppann_service::wire::{decode_frame, Frame, DEFAULT_MAX_FRAME, HEADER_LEN};
+use proptest::prelude::*;
+use std::time::Duration;
+
+/// Builds `count` queries out of flat generated pools, so every query in
+/// the batch gets distinct `k`/ciphertext/trapdoor material.
+fn build_queries(count: usize, ks: &[usize], dims: &[usize], pool: &[f64]) -> Vec<EncryptedQuery> {
+    let mut cursor = 0usize;
+    (0..count)
+        .map(|i| {
+            let dim = dims[i % dims.len()];
+            let take = |cursor: &mut usize, n: usize| -> Vec<f64> {
+                let s: Vec<f64> = pool.iter().cycle().skip(*cursor).take(n).copied().collect();
+                *cursor += n;
+                s
+            };
+            EncryptedQuery {
+                c_sap: take(&mut cursor, dim),
+                trapdoor: DceTrapdoor::from_vec(take(&mut cursor, dim + 2)),
+                k: ks[i % ks.len()].max(1),
+            }
+        })
+        .collect()
+}
+
+fn build_outcomes(count: usize, lens: &[usize], pool: &[f64], ints: &[u64]) -> Vec<SearchOutcome> {
+    (0..count)
+        .map(|i| {
+            let n = lens[i % lens.len()];
+            let ids: Vec<u32> = (0..n).map(|j| ints[(i + j) % ints.len()] as u32).collect();
+            let sap_dists: Vec<f64> = pool.iter().cycle().skip(i * 3).take(n).copied().collect();
+            SearchOutcome {
+                ids,
+                sap_dists,
+                filter_candidates: ints[i % ints.len()] as usize,
+                cost: QueryCost {
+                    filter_dist_comps: ints[(i + 1) % ints.len()],
+                    refine_sdc_comps: ints[(i + 2) % ints.len()],
+                    server_time: Duration::from_micros(ints[(i + 3) % ints.len()] % (1 << 40)),
+                    bytes_up: ints[(i + 4) % ints.len()],
+                    bytes_down: ints[(i + 5) % ints.len()],
+                },
+            }
+        })
+        .collect()
+}
+
+/// Round-trips a frame, asserting the decode re-encodes byte-identically,
+/// and that every strict prefix (with a corrected length header) fails.
+fn roundtrip_and_prefixes(frame: &Frame) -> Frame {
+    let bytes = frame.encode();
+    let back = decode_frame(&bytes, DEFAULT_MAX_FRAME).expect("encoded frame must decode");
+    assert_eq!(back.encode().as_slice(), bytes.as_slice(), "re-encode mismatch");
+    for cut in HEADER_LEN..bytes.len() {
+        let mut prefix = bytes[..cut].to_vec();
+        let len = (cut - HEADER_LEN) as u32;
+        prefix[8..12].copy_from_slice(&len.to_le_bytes());
+        assert!(
+            decode_frame(&prefix, DEFAULT_MAX_FRAME).is_err(),
+            "payload prefix of {cut} bytes must not decode"
+        );
+    }
+    back
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// SearchBatch frames survive the wire bit-exactly, for any mix of
+    /// per-query k, dimensionality and float payloads (including
+    /// negative zero and subnormal-ish magnitudes from the pool range).
+    #[test]
+    fn search_batch_roundtrips(
+        count in 1usize..6,
+        k_prime in 0usize..1000,
+        ef_search in 0usize..1000,
+        ks in proptest::collection::vec(1usize..200, 6),
+        dims in proptest::collection::vec(1usize..9, 6),
+        pool in proptest::collection::vec(-1e12f64..1e12, 64),
+    ) {
+        let params = SearchParams { k_prime, ef_search };
+        let queries = build_queries(count, &ks, &dims, &pool);
+        let frame = Frame::SearchBatch { params, queries: queries.clone() };
+        match roundtrip_and_prefixes(&frame) {
+            Frame::SearchBatch { params: p, queries: back } => {
+                prop_assert_eq!(p, params);
+                prop_assert_eq!(back.len(), queries.len());
+                for (b, q) in back.iter().zip(&queries) {
+                    prop_assert_eq!(b.k, q.k);
+                    let back_bits: Vec<u64> = b.c_sap.iter().map(|x| x.to_bits()).collect();
+                    let orig_bits: Vec<u64> = q.c_sap.iter().map(|x| x.to_bits()).collect();
+                    prop_assert_eq!(back_bits, orig_bits);
+                    prop_assert_eq!(b.trapdoor.as_slice(), q.trapdoor.as_slice());
+                }
+            }
+            other => prop_assert!(false, "decoded to the wrong frame: {:?}", other),
+        }
+    }
+
+    /// SearchBatchResult frames survive the wire bit-exactly for any mix
+    /// of result sizes and counter values.
+    #[test]
+    fn search_batch_result_roundtrips(
+        count in 1usize..6,
+        lens in proptest::collection::vec(0usize..12, 6),
+        pool in proptest::collection::vec(-1e9f64..1e9, 48),
+        ints in proptest::collection::vec(any::<u64>(), 12),
+    ) {
+        let outcomes = build_outcomes(count, &lens, &pool, &ints);
+        let frame = Frame::SearchBatchResult(outcomes.clone());
+        match roundtrip_and_prefixes(&frame) {
+            Frame::SearchBatchResult(back) => {
+                prop_assert_eq!(back.len(), outcomes.len());
+                for (b, o) in back.iter().zip(&outcomes) {
+                    prop_assert_eq!(&b.ids, &o.ids);
+                    let back_bits: Vec<u64> = b.sap_dists.iter().map(|x| x.to_bits()).collect();
+                    let orig_bits: Vec<u64> = o.sap_dists.iter().map(|x| x.to_bits()).collect();
+                    prop_assert_eq!(back_bits, orig_bits);
+                    prop_assert_eq!(b.filter_candidates, o.filter_candidates);
+                    prop_assert_eq!(b.cost.filter_dist_comps, o.cost.filter_dist_comps);
+                    prop_assert_eq!(b.cost.refine_sdc_comps, o.cost.refine_sdc_comps);
+                    prop_assert_eq!(b.cost.server_time, o.cost.server_time);
+                    prop_assert_eq!(b.cost.bytes_up, o.cost.bytes_up);
+                    prop_assert_eq!(b.cost.bytes_down, o.cost.bytes_down);
+                }
+            }
+            other => prop_assert!(false, "decoded to the wrong frame: {:?}", other),
+        }
+    }
+
+    /// A batch whose count field claims more queries than the payload
+    /// carries is rejected without decoding (or allocating for) anything.
+    #[test]
+    fn inflated_batch_count_rejected(
+        count in 1usize..6,
+        inflate in 1u64..1_000_000,
+        ks in proptest::collection::vec(1usize..50, 6),
+        dims in proptest::collection::vec(1usize..6, 6),
+        pool in proptest::collection::vec(-10.0f64..10.0, 64),
+    ) {
+        let queries = build_queries(count, &ks, &dims, &pool);
+        let frame = Frame::SearchBatch {
+            params: SearchParams { k_prime: 4, ef_search: 8 },
+            queries,
+        };
+        let mut bytes = frame.encode().to_vec();
+        // The count u64 sits right after the 16-byte params block.
+        let off = HEADER_LEN + 16;
+        let claimed = u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap());
+        bytes[off..off + 8]
+            .copy_from_slice(&claimed.saturating_add(inflate).to_le_bytes());
+        prop_assert!(decode_frame(&bytes, DEFAULT_MAX_FRAME).is_err());
+    }
+}

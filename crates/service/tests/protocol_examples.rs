@@ -38,6 +38,8 @@ fn expected_tag(name: &str) -> u8 {
         "HelloAck" => tag::HELLO_ACK,
         "Search" => tag::SEARCH,
         "SearchResult" => tag::SEARCH_RESULT,
+        "SearchBatch" => tag::SEARCH_BATCH,
+        "SearchBatchResult" => tag::SEARCH_BATCH_RESULT,
         "Insert" => tag::INSERT,
         "InsertAck" => tag::INSERT_ACK,
         "Delete" => tag::DELETE,
@@ -59,6 +61,8 @@ fn every_message_has_a_worked_example() {
         "HelloAck",
         "Search",
         "SearchResult",
+        "SearchBatch",
+        "SearchBatchResult",
         "Insert",
         "InsertAck",
         "Delete",
@@ -78,11 +82,7 @@ fn documented_hex_decodes_and_reencodes_exactly() {
     for (name, bytes) in documented_examples() {
         let frame = decode_frame(&bytes, DEFAULT_MAX_FRAME)
             .unwrap_or_else(|e| panic!("PROTOCOL.md example {name} does not decode: {e}"));
-        assert_eq!(
-            frame.tag(),
-            expected_tag(&name),
-            "example {name} decodes to the wrong message"
-        );
+        assert_eq!(frame.tag(), expected_tag(&name), "example {name} decodes to the wrong message");
         assert_eq!(
             frame.encode().as_slice(),
             &bytes[..],
@@ -112,6 +112,33 @@ fn documented_field_values_match() {
             assert_eq!(query.k, 2);
             assert_eq!(query.c_sap, vec![1.0, -0.5]);
             assert_eq!(query.trapdoor.as_slice(), &[0.25, 2.0]);
+        }
+        other => panic!("wrong frame {other:?}"),
+    }
+    match decode_frame(&examples["SearchBatch"], DEFAULT_MAX_FRAME).unwrap() {
+        Frame::SearchBatch { params, queries } => {
+            assert_eq!(params.k_prime, 4);
+            assert_eq!(params.ef_search, 8);
+            assert_eq!(queries.len(), 2);
+            assert_eq!(queries[0].k, 2);
+            assert_eq!(queries[0].c_sap, vec![1.0, -0.5]);
+            assert_eq!(queries[0].trapdoor.as_slice(), &[0.25, 2.0]);
+            assert_eq!(queries[1].k, 1);
+            assert_eq!(queries[1].c_sap, vec![0.5, 0.5]);
+            assert_eq!(queries[1].trapdoor.as_slice(), &[-1.0, 4.0]);
+        }
+        other => panic!("wrong frame {other:?}"),
+    }
+    match decode_frame(&examples["SearchBatchResult"], DEFAULT_MAX_FRAME).unwrap() {
+        Frame::SearchBatchResult(outs) => {
+            assert_eq!(outs.len(), 2);
+            assert_eq!(outs[0].ids, vec![3, 1]);
+            assert_eq!(outs[0].sap_dists, vec![0.125, 2.0]);
+            assert_eq!(outs[0].cost.server_time.as_micros(), 42);
+            assert_eq!(outs[1].ids, vec![2]);
+            assert_eq!(outs[1].sap_dists, vec![0.5]);
+            assert_eq!(outs[1].filter_candidates, 3);
+            assert_eq!(outs[1].cost.bytes_down, 8);
         }
         other => panic!("wrong frame {other:?}"),
     }

@@ -168,7 +168,10 @@ fn wrong_token_and_dead_id_keep_the_connection_usable() {
     // Same connection still answers queries.
     let mut user = owner.authorize_user();
     let q = user.encrypt_query(&data[1], 3);
-    assert_eq!(client.search(&q, &SearchParams { k_prime: 15, ef_search: 30 }).unwrap().ids.len(), 3);
+    assert_eq!(
+        client.search(&q, &SearchParams { k_prime: 15, ef_search: 30 }).unwrap().ids.len(),
+        3
+    );
 
     // Double delete: first succeeds, second is BadRequest.
     client.delete(TOKEN, 5).unwrap();
@@ -192,7 +195,10 @@ fn wrong_dim_query_is_bad_request_not_poison() {
         other => panic!("expected BadRequest, got {other:?}"),
     }
     let q = user.encrypt_query(&data[0], 3);
-    assert_eq!(client.search(&q, &SearchParams { k_prime: 15, ef_search: 30 }).unwrap().ids.len(), 3);
+    assert_eq!(
+        client.search(&q, &SearchParams { k_prime: 15, ef_search: 30 }).unwrap().ids.len(),
+        3
+    );
     handle.request_stop();
     handle.join();
 }
@@ -387,6 +393,123 @@ fn concurrent_searches_with_maintenance_interleaved() {
     assert_eq!(snap.queries, 60);
     assert_eq!(snap.inserts, 10);
     assert_eq!(snap.deletes, 10);
+    handle.request_stop();
+    handle.join();
+}
+
+/// Malformed and out-of-policy `SearchBatch` frames: an empty batch and a
+/// batch above the server's limit are semantic `BadRequest`s that leave
+/// the connection usable; a count field claiming more queries than the
+/// payload carries is a framing error that closes it. None of it may
+/// wedge the service.
+#[test]
+fn malformed_batches_are_rejected() {
+    let (data, owner, handle) = spawn_service(513);
+    let mut user = owner.authorize_user();
+    let params = SearchParams { k_prime: 15, ef_search: 30 };
+
+    // Zero-length batch: well-formed on the wire, refused as BadRequest
+    // with the connection kept open. (ServiceClient::search_batch never
+    // sends one, so speak the raw protocol.)
+    let mut stream = TcpStream::connect(handle.local_addr()).unwrap();
+    stream.write_all(&Frame::Hello { dim: DIM as u64 }.encode()).unwrap();
+    read_raw_reply(&mut stream).expect("HelloAck");
+    stream.write_all(&Frame::SearchBatch { params, queries: Vec::new() }.encode()).unwrap();
+    let (reply_tag, payload) = read_raw_reply(&mut stream).expect("error reply");
+    assert_eq!(reply_tag, tag::ERROR, "empty batch: expected an Error frame");
+    let code = u16::from_le_bytes([payload[0], payload[1]]);
+    assert_eq!(code, ErrorCode::BadRequest as u16, "empty batch: wrong code");
+    // Same connection still answers: a one-query batch works.
+    let q = user.encrypt_query(&data[0], 3);
+    stream.write_all(&Frame::SearchBatch { params, queries: vec![q.clone()] }.encode()).unwrap();
+    let (reply_tag, _) = read_raw_reply(&mut stream).expect("batch reply");
+    assert_eq!(reply_tag, tag::SEARCH_BATCH_RESULT, "connection must stay usable");
+
+    // Truncated count: the count field claims one query more than the
+    // payload carries — a framing error, answered and then closed.
+    let mut stream = TcpStream::connect(handle.local_addr()).unwrap();
+    stream.write_all(&Frame::Hello { dim: DIM as u64 }.encode()).unwrap();
+    read_raw_reply(&mut stream).expect("HelloAck");
+    let mut bytes = Frame::SearchBatch { params, queries: vec![q.clone()] }.encode().to_vec();
+    let count_off = HEADER_LEN + 16; // count u64 sits after the params block
+    bytes[count_off..count_off + 8].copy_from_slice(&2u64.to_le_bytes());
+    stream.write_all(&bytes).unwrap();
+    expect_error_then_close(stream, ErrorCode::BadFrame as u16, "truncated batch count");
+
+    assert_still_serves(&handle, &owner, &data);
+    handle.request_stop();
+    handle.join();
+}
+
+/// A batch above the server's configured size limit is refused before any
+/// query runs, and the client connection survives to retry with smaller
+/// chunks.
+#[test]
+fn over_limit_batch_is_bad_request() {
+    let mut rng = seeded_rng(514);
+    let data: Vec<Vec<f64>> = (0..N).map(|_| uniform_vec(&mut rng, DIM, -1.0, 1.0)).collect();
+    let owner = DataOwner::setup(PpAnnParams::new(DIM).with_seed(514).with_beta(0.0), &data);
+    let shared = SharedServer::new(CloudServer::new(owner.outsource(&data)));
+    let config = ServiceConfig::loopback(DIM).with_max_batch(4);
+    let handle = serve(shared, config).unwrap();
+    let mut client = ServiceClient::connect(handle.local_addr(), Some(DIM)).unwrap();
+
+    let mut user = owner.authorize_user();
+    let queries: Vec<_> = (0..5).map(|i| user.encrypt_query(&data[i], 3)).collect();
+    let params = SearchParams { k_prime: 15, ef_search: 30 };
+    match client.search_batch(&queries, &params) {
+        Err(ClientError::Remote { code, .. }) => assert_eq!(code, ErrorCode::BadRequest),
+        other => panic!("expected BadRequest for a 5-query batch over a limit of 4, got {other:?}"),
+    }
+    // At the limit it works, and order is preserved.
+    let outs = client.search_batch(&queries[..4], &params).unwrap();
+    assert_eq!(outs.len(), 4);
+    for (out, q) in outs.iter().zip(&queries) {
+        assert_eq!(out.ids.len(), q.k.min(3));
+    }
+    // A batch with one bad query (wrong dim) names the query and keeps
+    // the connection.
+    let mut bad = queries[..3].to_vec();
+    bad[1].c_sap.push(0.0);
+    match client.search_batch(&bad, &params) {
+        Err(ClientError::Remote { code, message }) => {
+            assert_eq!(code, ErrorCode::BadRequest);
+            assert!(message.contains("batch query 1"), "message should name the query: {message}");
+        }
+        other => panic!("expected BadRequest for a bad in-batch query, got {other:?}"),
+    }
+    assert_eq!(client.search_batch(&queries[..2], &params).unwrap().len(), 2);
+    handle.request_stop();
+    handle.join();
+}
+
+/// A batch whose *reply* could not fit the frame-size limit (summed k) is
+/// refused before any search runs — otherwise the server would burn the
+/// whole batch of work on an undeliverable frame.
+#[test]
+fn batch_with_oversized_reply_is_refused_before_searching() {
+    let mut rng = seeded_rng(515);
+    let data: Vec<Vec<f64>> = (0..N).map(|_| uniform_vec(&mut rng, DIM, -1.0, 1.0)).collect();
+    let owner = DataOwner::setup(PpAnnParams::new(DIM).with_seed(515).with_beta(0.0), &data);
+    let shared = SharedServer::new(CloudServer::new(owner.outsource(&data)));
+    // Request frames stay small; replies of 3 × k=200 results would not.
+    let config = ServiceConfig::loopback(DIM).with_max_frame(4096);
+    let handle = serve(shared, config).unwrap();
+    let mut client = ServiceClient::connect(handle.local_addr(), Some(DIM)).unwrap();
+
+    let mut user = owner.authorize_user();
+    let params = SearchParams { k_prime: 15, ef_search: 30 };
+    let queries: Vec<_> = (0..3).map(|i| user.encrypt_query(&data[i], 200)).collect();
+    match client.search_batch(&queries, &params) {
+        Err(ClientError::Remote { code, message }) => {
+            assert_eq!(code, ErrorCode::BadRequest);
+            assert!(message.contains("frame limit"), "should name the bound: {message}");
+        }
+        other => panic!("expected BadRequest for an oversized reply, got {other:?}"),
+    }
+    // The connection survives, and a small-k batch of the same width works.
+    let small: Vec<_> = (0..3).map(|i| user.encrypt_query(&data[i], 3)).collect();
+    assert_eq!(client.search_batch(&small, &params).unwrap().len(), 3);
     handle.request_stop();
     handle.join();
 }

@@ -43,7 +43,11 @@ fn main() {
 
     // RS-SANN.
     let rs = RsSann::setup(
-        RsSannParams { dim: w.dim(), lsh: LshParams::tuned(8, 16, 1, w.base()), max_candidates: 600 },
+        RsSannParams {
+            dim: w.dim(),
+            lsh: LshParams::tuned(8, 16, 1, w.base()),
+            max_candidates: 600,
+        },
         [7u8; 16],
         w.base(),
     );
@@ -58,7 +62,13 @@ fn main() {
 
     // PACM-ANN.
     let pacm = PacmAnn::setup(
-        PacmAnnParams { dim: w.dim(), graph: HnswParams::default(), beam: 4, max_rounds: 8, seed: 2 },
+        PacmAnnParams {
+            dim: w.dim(),
+            graph: HnswParams::default(),
+            beam: 4,
+            max_rounds: 8,
+            seed: 2,
+        },
         w.base(),
     );
     let started = Instant::now();
@@ -90,7 +100,9 @@ fn main() {
     }
     print_row("PRI-ANN", recall, &truth, started, comm);
 
-    println!("\n(the gap mirrors the paper's Figure 7: PIR scans and bulk downloads vs one cheap round)");
+    println!(
+        "\n(the gap mirrors the paper's Figure 7: PIR scans and bulk downloads vs one cheap round)"
+    );
 }
 
 fn print_row(name: &str, recall_sum: f64, truth: &[Vec<u32>], started: Instant, comm: u64) {

@@ -19,7 +19,12 @@ fn main() {
     let path = std::env::temp_dir().join("ppanns_example_snapshot.bin");
     db.save_to(&path).expect("snapshot write");
     let bytes = std::fs::metadata(&path).expect("stat").len();
-    println!("snapshot: {} vectors -> {:.1} MiB at {}", db.len(), bytes as f64 / (1 << 20) as f64, path.display());
+    println!(
+        "snapshot: {} vectors -> {:.1} MiB at {}",
+        db.len(),
+        bytes as f64 / (1 << 20) as f64,
+        path.display()
+    );
 
     let restored = EncryptedDatabase::load_from(&path).expect("snapshot read");
     let server_a = CloudServer::new(db);

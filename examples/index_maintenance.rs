@@ -21,7 +21,8 @@ fn main() {
 
     // Baseline query.
     let probe = workload.queries()[0].clone();
-    let before = server.search(&user.encrypt_query(&probe, k), &SearchParams::from_ratio(k, 16, 120));
+    let before =
+        server.search(&user.encrypt_query(&probe, k), &SearchParams::from_ratio(k, 16, 120));
     println!("before maintenance: top-{k} = {:?}", before.ids);
 
     // Insert: the owner encrypts a vector very close to the probe; the

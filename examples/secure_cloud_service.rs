@@ -49,8 +49,7 @@ fn main() {
             [("user-A", &mut user_a, half_a), ("user-B", &mut user_b, half_b)]
         {
             s.spawn(move || {
-                let mut client =
-                    ServiceClient::connect(addr, None).expect("connect to cloud");
+                let mut client = ServiceClient::connect(addr, None).expect("connect to cloud");
                 for q in batch {
                     let enc = user.encrypt_query(q, k);
                     let up_bytes = enc.upload_bytes();

@@ -10,6 +10,7 @@
 //! ppanns-cli outsource --base base.fvecs --beta 3.0 --seed 7 --db db.bin --keys keys.bin
 //! ppanns-cli serve     --db db.bin --addr 127.0.0.1:7070 --shards 4 --workers 8 --token 42
 //! ppanns-cli query     --remote 127.0.0.1:7070 --keys keys.bin --queries q.fvecs --k 10
+//! ppanns-cli query     --remote 127.0.0.1:7070 --keys keys.bin --batch-file q.fvecs --batch-size 64
 //! ppanns-cli query     --db db.bin --keys keys.bin --queries q.fvecs --k 10 --ratio 16 --shards 4
 //! ppanns-cli stats     --remote 127.0.0.1:7070
 //! ppanns-cli shutdown  --remote 127.0.0.1:7070 --token 42
@@ -22,7 +23,7 @@
 use ppanns::core::tune::{grid_search, TuningGrid};
 use ppanns::core::{
     CloudServer, DataOwner, EncryptedDatabase, PpAnnParams, QueryBackend, SearchParams,
-    SharedServer, ShardedServer,
+    ShardedServer, SharedServer,
 };
 use ppanns::datasets::io::{read_fvecs, write_fvecs};
 use ppanns::datasets::{brute_force_knn, Dataset, DatasetProfile};
@@ -68,6 +69,7 @@ const USAGE: &str = "usage:
   ppanns-cli outsource --base <in.fvecs> --db <out.bin> --keys <out.bin> [--beta B] [--seed S]
   ppanns-cli serve     --db <in.bin> [--addr A] [--shards S] [--workers W] [--token T]
   ppanns-cli query     --remote <addr> --keys <in.bin> --queries <in.fvecs> [--k K] [--ratio R] [--ef E]
+  ppanns-cli query     --remote <addr> --keys <in.bin> --batch-file <in.fvecs> [--batch-size B] [--k K] [--ratio R] [--ef E]
   ppanns-cli query     --db <in.bin> --keys <in.bin> --queries <in.fvecs> [--k K] [--ratio R] [--ef E] [--shards S]
   ppanns-cli stats     --remote <addr>
   ppanns-cli shutdown  --remote <addr> --token <T>
@@ -185,10 +187,7 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     // Same backend choice as local `query --shards`: one CloudServer, or a
     // ShardedServer fanning each query's filter phase across N threads.
     let handle = if shards > 1 {
-        serve(
-            SharedServer::new(ShardedServer::from_database(db, shards)),
-            config,
-        )
+        serve(SharedServer::new(ShardedServer::from_database(db, shards)), config)
     } else {
         serve(SharedServer::new(CloudServer::new(db)), config)
     }
@@ -201,10 +200,9 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         if token.is_some() { ", owner maintenance enabled" } else { ", maintenance disabled" },
     );
     match token {
-        Some(t) => println!(
-            "stop with: ppanns-cli shutdown --remote {} --token {t}",
-            handle.local_addr()
-        ),
+        Some(t) => {
+            println!("stop with: ppanns-cli shutdown --remote {} --token {t}", handle.local_addr())
+        }
         // Without a token no Shutdown frame is accepted; the process stops
         // on SIGINT/SIGTERM like any foreground server.
         None => println!("no --token given: remote shutdown disabled, stop with Ctrl-C"),
@@ -227,16 +225,30 @@ fn cmd_query_remote(flags: &Flags) -> Result<(), String> {
     let remote = required(flags, "remote")?;
     let keys_path = PathBuf::from(required(flags, "keys")?);
     let owner = DataOwner::load_keys(Path::new(&keys_path)).map_err(|e| e.to_string())?;
-    let queries_path = PathBuf::from(required(flags, "queries")?);
+    // --queries sends one Search frame per query (one round trip each);
+    // --batch-file ships the same fvecs content as SearchBatch frames of
+    // --batch-size queries, amortizing framing and round trips across the
+    // server's worker pool (PROTOCOL.md §3.14, OPERATIONS.md §7).
+    let (queries_path, batched) = match (flags.get("queries"), flags.get("batch-file")) {
+        (Some(p), None) => (PathBuf::from(p), false),
+        (None, Some(p)) => (PathBuf::from(p), true),
+        (Some(_), Some(_)) => {
+            return Err("--queries and --batch-file are mutually exclusive".into())
+        }
+        (None, None) => return Err("missing --queries (or --batch-file)".into()),
+    };
     let queries = read_fvecs(&queries_path, None).map_err(|e| e.to_string())?;
     let k: usize = parse_or(flags, "k", 10)?;
     let ratio: usize = parse_or(flags, "ratio", 16)?;
     let ef: usize = parse_or(flags, "ef", 160)?;
+    let batch_size: usize = parse_or(flags, "batch-size", 64)?;
+    if batch_size == 0 {
+        return Err("--batch-size must be at least 1".into());
+    }
     let params = SearchParams::from_ratio(k, ratio, ef.max(k * ratio));
 
     let mut user = owner.authorize_user();
-    let mut client =
-        ServiceClient::connect(remote, None).map_err(|e| format!("{remote}: {e}"))?;
+    let mut client = ServiceClient::connect(remote, None).map_err(|e| format!("{remote}: {e}"))?;
     println!(
         "connected to {remote}: serving {} vectors ({}d)",
         client.server_live(),
@@ -244,25 +256,37 @@ fn cmd_query_remote(flags: &Flags) -> Result<(), String> {
     );
 
     let started = std::time::Instant::now();
-    for (i, q) in queries.iter().enumerate() {
-        let enc = user.encrypt_query(q, k);
-        let out = client.search(&enc, &params).map_err(|e| e.to_string())?;
-        println!("query {i}: {:?}", out.ids);
+    if batched {
+        let encrypted: Vec<_> = queries.iter().map(|q| user.encrypt_query(q, k)).collect();
+        let mut qi = 0usize;
+        for chunk in encrypted.chunks(batch_size) {
+            let outs = client.search_batch(chunk, &params).map_err(|e| e.to_string())?;
+            for out in outs {
+                println!("query {qi}: {:?}", out.ids);
+                qi += 1;
+            }
+        }
+    } else {
+        for (i, q) in queries.iter().enumerate() {
+            let enc = user.encrypt_query(q, k);
+            let out = client.search(&enc, &params).map_err(|e| e.to_string())?;
+            println!("query {i}: {:?}", out.ids);
+        }
     }
     let secs = started.elapsed().as_secs_f64();
     println!(
-        "{} queries in {:.3}s ({:.1} QPS, remote)",
+        "{} queries in {:.3}s ({:.1} QPS, remote{})",
         queries.len(),
         secs,
-        queries.len() as f64 / secs.max(1e-12)
+        queries.len() as f64 / secs.max(1e-12),
+        if batched { format!(", batches of {batch_size}") } else { String::new() }
     );
     Ok(())
 }
 
 fn cmd_stats(flags: &Flags) -> Result<(), String> {
     let remote = required(flags, "remote")?;
-    let mut client =
-        ServiceClient::connect(remote, None).map_err(|e| format!("{remote}: {e}"))?;
+    let mut client = ServiceClient::connect(remote, None).map_err(|e| format!("{remote}: {e}"))?;
     let s = client.stats().map_err(|e| e.to_string())?;
     println!("live vectors : {}", s.live);
     println!("queries      : {}", s.queries);
@@ -278,11 +302,9 @@ fn cmd_stats(flags: &Flags) -> Result<(), String> {
 
 fn cmd_shutdown(flags: &Flags) -> Result<(), String> {
     let remote = required(flags, "remote")?;
-    let token: u64 = required(flags, "token")?
-        .parse()
-        .map_err(|_| "--token: cannot parse".to_string())?;
-    let mut client =
-        ServiceClient::connect(remote, None).map_err(|e| format!("{remote}: {e}"))?;
+    let token: u64 =
+        required(flags, "token")?.parse().map_err(|_| "--token: cannot parse".to_string())?;
+    let mut client = ServiceClient::connect(remote, None).map_err(|e| format!("{remote}: {e}"))?;
     client.shutdown(token).map_err(|e| e.to_string())?;
     println!("server at {remote} acknowledged shutdown");
     Ok(())
@@ -310,8 +332,7 @@ fn cmd_query(flags: &Flags) -> Result<(), String> {
     } else {
         Box::new(server)
     };
-    let mode =
-        if shards > 1 { format!("{shards} shards") } else { "single-threaded".to_string() };
+    let mode = if shards > 1 { format!("{shards} shards") } else { "single-threaded".to_string() };
 
     let started = std::time::Instant::now();
     for (i, q) in queries.iter().enumerate() {

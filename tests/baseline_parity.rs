@@ -39,7 +39,11 @@ fn all_systems_reach_reasonable_recall() {
 
     // RS-SANN.
     let rs = RsSann::setup(
-        RsSannParams { dim: w.dim(), lsh: LshParams::tuned(8, 24, 1, w.base()), max_candidates: 500 },
+        RsSannParams {
+            dim: w.dim(),
+            lsh: LshParams::tuned(8, 24, 1, w.base()),
+            max_candidates: 500,
+        },
         [1u8; 16],
         w.base(),
     );
@@ -51,7 +55,13 @@ fn all_systems_reach_reasonable_recall() {
 
     // PACM-ANN.
     let pacm = PacmAnn::setup(
-        PacmAnnParams { dim: w.dim(), graph: HnswParams::default(), beam: 6, max_rounds: 10, seed: 2 },
+        PacmAnnParams {
+            dim: w.dim(),
+            graph: HnswParams::default(),
+            beam: 6,
+            max_rounds: 10,
+            seed: 2,
+        },
         w.base(),
     );
     let mut pacm_recall = 0.0;
@@ -112,7 +122,11 @@ fn pir_baselines_pay_linear_server_scans() {
 fn rs_sann_downloads_dwarf_ours() {
     let (w, _) = workload();
     let rs = RsSann::setup(
-        RsSannParams { dim: w.dim(), lsh: LshParams::tuned(8, 16, 1, w.base()), max_candidates: 400 },
+        RsSannParams {
+            dim: w.dim(),
+            lsh: LshParams::tuned(8, 16, 1, w.base()),
+            max_candidates: 400,
+        },
         [1u8; 16],
         w.base(),
     );

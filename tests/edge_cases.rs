@@ -42,8 +42,8 @@ fn extreme_coordinate_magnitudes_stay_exact() {
     let mut user = owner.authorize_user();
     let truth = brute_force_knn(&data, &data[..10], 5);
     for (qi, t) in truth.iter().enumerate() {
-        let out = server
-            .search(&user.encrypt_query(&data[qi], 5), &SearchParams::from_ratio(5, 16, 80));
+        let out =
+            server.search(&user.encrypt_query(&data[qi], 5), &SearchParams::from_ratio(5, 16, 80));
         assert_eq!(&out.ids, t, "query {qi}");
     }
 }

@@ -48,10 +48,8 @@ fn insert_into_empty_database() {
     let (c_sap, c_dce) = owner.encrypt_for_insert(&[0.5, 0.5, 0.5, 0.5], 0);
     let id = server.insert(c_sap, c_dce);
     let mut user = owner.authorize_user();
-    let out = server.search(
-        &user.encrypt_query(&[0.5, 0.5, 0.5, 0.5], 1),
-        &SearchParams::from_ratio(1, 4, 10),
-    );
+    let out = server
+        .search(&user.encrypt_query(&[0.5, 0.5, 0.5, 0.5], 1), &SearchParams::from_ratio(1, 4, 10));
     assert_eq!(out.ids, vec![id]);
 }
 
@@ -65,6 +63,7 @@ fn delete_everything_then_search_safely() {
     }
     assert!(server.is_empty());
     let mut user = owner.authorize_user();
-    let out = server.search(&user.encrypt_query(&[1.0, 1.0], 3), &SearchParams::from_ratio(3, 4, 10));
+    let out =
+        server.search(&user.encrypt_query(&[1.0, 1.0], 3), &SearchParams::from_ratio(3, 4, 10));
     assert!(out.ids.is_empty());
 }

@@ -26,8 +26,7 @@ fn full_operational_cycle() {
     {
         let base = read_fvecs(&base_path, None).unwrap();
         // fvecs stores f32; re-read so owner and truth share the quantized view.
-        let owner =
-            DataOwner::setup(PpAnnParams::new(96).with_beta(1.0).with_seed(17), &base);
+        let owner = DataOwner::setup(PpAnnParams::new(96).with_beta(1.0).with_seed(17), &base);
         let db = owner.outsource(&base);
         db.save_to(&db_path).unwrap();
         owner.save_keys(&key_path).unwrap();

@@ -3,7 +3,9 @@
 //! `ppanns::service` re-export, plus a full process-level exercise of the
 //! `ppanns-cli serve` / `query --remote` / `stats` / `shutdown` loop.
 
-use ppanns::core::{CloudServer, DataOwner, PpAnnParams, SearchParams, SharedServer, ShardedServer};
+use ppanns::core::{
+    CloudServer, DataOwner, PpAnnParams, SearchParams, ShardedServer, SharedServer,
+};
 use ppanns::linalg::{seeded_rng, uniform_vec};
 use ppanns::service::{serve, ServiceClient, ServiceConfig};
 use std::io::BufRead;

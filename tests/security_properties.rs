@@ -89,8 +89,8 @@ fn sign_leakage_does_not_identify_the_query() {
         let o = uniform_vec(&mut rng, d, -1.0, 1.0);
         let p = uniform_vec(&mut rng, d, -1.0, 1.0);
         let z = distance_comp(&sk.encrypt(&o, &mut rng), &sk.encrypt(&p, &mut rng), &t);
-        let decoy_sign = vector::squared_euclidean(&o, &decoy)
-            < vector::squared_euclidean(&p, &decoy);
+        let decoy_sign =
+            vector::squared_euclidean(&o, &decoy) < vector::squared_euclidean(&p, &decoy);
         if (z < 0.0) == decoy_sign {
             consistent += 1;
         }
@@ -112,8 +112,7 @@ fn aes_ciphertexts_destroy_distance_structure() {
     let b = vec![1.0000001f64; 32]; // nearly identical
     let ca = encrypt_f64_vector(&ctr, 1, &a);
     let cb = encrypt_f64_vector(&ctr, 2, &b);
-    let differing_bits: u32 =
-        ca.iter().zip(&cb).map(|(x, y)| (x ^ y).count_ones()).sum();
+    let differing_bits: u32 = ca.iter().zip(&cb).map(|(x, y)| (x ^ y).count_ones()).sum();
     let total_bits = (ca.len() * 8) as f64;
     let fraction = differing_bits as f64 / total_bits;
     assert!((0.4..0.6).contains(&fraction), "bit-difference fraction {fraction}");

@@ -205,7 +205,8 @@ mod tests {
 
     #[test]
     fn bencher_collects_samples() {
-        let mut c = Criterion { warm_up: Duration::from_millis(5), measurement: Duration::from_millis(20) };
+        let mut c =
+            Criterion { warm_up: Duration::from_millis(5), measurement: Duration::from_millis(20) };
         let mut group = c.benchmark_group("smoke");
         group.warm_up_time(Duration::from_millis(2)).measurement_time(Duration::from_millis(10));
         group.bench_with_input(BenchmarkId::new("sum", 64), &64u64, |b, &n| {

@@ -309,7 +309,8 @@ macro_rules! prop_assert_ne {
         let (__l, __r) = (&$left, &$right);
         if *__l == *__r {
             return ::core::result::Result::Err(::std::format!(
-                "prop_assert_ne failed: both sides are {:?}", __l
+                "prop_assert_ne failed: both sides are {:?}",
+                __l
             ));
         }
     }};
