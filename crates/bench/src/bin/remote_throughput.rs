@@ -1,8 +1,16 @@
 //! **Remote throughput** (extension experiment, not a paper figure):
 //! loopback `ppann-service` QPS across the protocol's three client
 //! shapes — sequential single-frame, pipelined single-frame, and whole
-//! `SearchBatch` frames — plus a concurrent-connection sweep, against the
-//! in-process baseline on the same seeded workload.
+//! `SearchBatch` frames — plus a concurrent-connection sweep and a
+//! two-collection interleaved workload, against the in-process baseline
+//! on the same seeded workload.
+//!
+//! The two-collection row serves a catalog of two collections holding the
+//! same data ("default" plus a "mirror") and alternates every query
+//! between a legacy nameless frame and a namespaced one: it isolates what
+//! the multi-collection routing layer (name decode, catalog lookup,
+//! per-collection stats) costs per query. CI gates it at ≥ 0.9× the
+//! single-index sequential path.
 //!
 //! Measures what the network layer costs and what batching buys back:
 //! sequential mode pays one full round trip (frame encode → TCP → decode
@@ -20,10 +28,12 @@
 
 use ppann_bench::harness::build_scheme;
 use ppann_bench::{bench_scale, write_bench_json, JsonObject, TableWriter};
-use ppann_core::{EncryptedQuery, SearchOutcome, SearchParams, SharedServer};
+use ppann_core::catalog::Catalog;
+use ppann_core::{EncryptedQuery, SearchOutcome, SearchParams, SharedServer, DEFAULT_COLLECTION};
 use ppann_datasets::{DatasetProfile, Workload};
 use ppann_hnsw::HnswParams;
-use ppann_service::{serve, ServiceClient, ServiceConfig, DEFAULT_PIPELINE_WINDOW};
+use ppann_service::{serve_catalog, ServiceClient, ServiceConfig, DEFAULT_PIPELINE_WINDOW};
+use std::sync::Arc;
 use std::time::Instant;
 
 const BATCH_SIZE: usize = 64;
@@ -43,9 +53,23 @@ fn assert_parity(label: &str, got: &[SearchOutcome], reference: &[SearchOutcome]
 /// Serves a fresh loopback service, times `run` against it, and returns
 /// (QPS, bucketed p99 µs). A fresh service per mode keeps each row's
 /// stats covering only that row's samples.
-fn measure<F>(
-    shared: &SharedServer,
-    dim: usize,
+fn measure<F>(shared: &SharedServer, workers: usize, num_queries: usize, run: F) -> (f64, u64)
+where
+    F: FnOnce(std::net::SocketAddr),
+{
+    // `serve` itself is exactly a one-collection catalog, so measuring
+    // through `measure_catalog` keeps the timing protocol identical
+    // across the single-backend and catalog rows.
+    let catalog = Catalog::new();
+    catalog
+        .create(DEFAULT_COLLECTION, Box::new(shared.clone()))
+        .expect("register default collection");
+    measure_catalog(&Arc::new(catalog), workers, num_queries, run)
+}
+
+/// [`measure`] over a whole catalog instead of a single backend.
+fn measure_catalog<F>(
+    catalog: &Arc<Catalog>,
     workers: usize,
     num_queries: usize,
     run: F,
@@ -53,8 +77,8 @@ fn measure<F>(
 where
     F: FnOnce(std::net::SocketAddr),
 {
-    let config = ServiceConfig::loopback(dim).with_workers(workers);
-    let handle = serve(shared.clone(), config).expect("bind loopback");
+    let config = ServiceConfig::loopback().with_workers(workers);
+    let handle = serve_catalog(Arc::clone(catalog), config).expect("bind loopback");
     let started = Instant::now();
     run(handle.local_addr());
     let secs = started.elapsed().as_secs_f64();
@@ -102,7 +126,7 @@ fn main() {
 
     // Sequential: one Search frame per query, one connection, one full
     // round trip each — the floor every other mode must beat.
-    let (sequential_qps, p99) = measure(&shared, dim, workers, queries.len(), |addr| {
+    let (sequential_qps, p99) = measure(&shared, workers, queries.len(), |addr| {
         let mut client = ServiceClient::connect(addr, Some(dim)).expect("connect");
         let outs: Vec<SearchOutcome> =
             queries.iter().map(|q| client.search(q, &params).expect("remote search")).collect();
@@ -113,7 +137,7 @@ fn main() {
     // Concurrent connections: the worker pool under connection-level
     // parallelism (each client still strictly sequential).
     for clients in [2usize, 4, 8] {
-        let (qps, p99) = measure(&shared, dim, workers, queries.len(), |addr| {
+        let (qps, p99) = measure(&shared, workers, queries.len(), |addr| {
             std::thread::scope(|scope| {
                 for c in 0..clients {
                     let queries = &queries;
@@ -139,7 +163,7 @@ fn main() {
 
     // Pipelined: one connection, a window of Search frames in flight.
     let window = DEFAULT_PIPELINE_WINDOW;
-    let (pipelined_qps, p99) = measure(&shared, dim, workers, queries.len(), |addr| {
+    let (pipelined_qps, p99) = measure(&shared, workers, queries.len(), |addr| {
         let mut client = ServiceClient::connect(addr, Some(dim)).expect("connect");
         let outs = client.search_pipelined(&queries, &params, window).expect("pipelined");
         assert_parity("pipelined", &outs, &reference);
@@ -148,7 +172,7 @@ fn main() {
 
     // Batched: SearchBatch frames of BATCH_SIZE queries, each fanned
     // across the server's pool by BatchExecutor.
-    let (batched_qps, p99) = measure(&shared, dim, workers, queries.len(), |addr| {
+    let (batched_qps, p99) = measure(&shared, workers, queries.len(), |addr| {
         let mut client = ServiceClient::connect(addr, Some(dim)).expect("connect");
         let mut outs = Vec::with_capacity(queries.len());
         for chunk in queries.chunks(BATCH_SIZE) {
@@ -157,6 +181,36 @@ fn main() {
         assert_parity("batched", &outs, &reference);
     });
     push_row(format!("batched b={BATCH_SIZE}"), batched_qps, p99);
+
+    // Two collections, interleaved: the catalog registers the SAME
+    // backend twice — as "default" and as "mirror" — and every query
+    // alternates between a legacy nameless frame and a namespaced one.
+    // Identical physical work per query to the sequential row, so the
+    // delta IS the multi-collection routing layer (per-frame version
+    // handling, name decode, catalog lookup, per-collection stats); CI
+    // gates it at ≥ 0.9× sequential. (Two *distinct* indexes would
+    // additionally pay cache-locality costs that no routing layer can
+    // remove — the `multi_collection` smoke bin covers that shape,
+    // heterogeneous dims included, without a throughput gate.)
+    let catalog = Arc::new(Catalog::new());
+    catalog.create("default", Box::new(shared.clone())).expect("default collection");
+    catalog.create("mirror", Box::new(shared.clone())).expect("mirror collection");
+    let (two_coll_qps, p99) = measure_catalog(&catalog, workers, queries.len(), |addr| {
+        let mut client = ServiceClient::connect(addr, Some(dim)).expect("connect");
+        let outs: Vec<SearchOutcome> = queries
+            .iter()
+            .enumerate()
+            .map(|(qi, q)| {
+                if qi % 2 == 0 {
+                    client.search(q, &params).expect("legacy search")
+                } else {
+                    client.search_in("mirror", q, &params).expect("namespaced search")
+                }
+            })
+            .collect();
+        assert_parity("two collections", &outs, &reference);
+    });
+    push_row("2 collections".into(), two_coll_qps, p99);
 
     t.print();
     println!("\nRemote results matched the in-process baseline bit-for-bit in every mode.");
@@ -174,6 +228,8 @@ fn main() {
         .num("batched_qps", batched_qps)
         .num("batched_vs_sequential", batched_qps / sequential_qps)
         .num("pipelined_vs_sequential", pipelined_qps / sequential_qps)
+        .num("two_collection_qps", two_coll_qps)
+        .num("two_collection_vs_sequential", two_coll_qps / sequential_qps)
         .bool("parity", true);
     let path = write_bench_json("remote_throughput", &json).expect("write bench json");
     println!("machine-readable results -> {}", path.display());

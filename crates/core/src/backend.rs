@@ -4,11 +4,27 @@
 //! [`CloudServer`](crate::CloudServer), the lock-wrapped
 //! [`SharedServer`](crate::SharedServer), and the multi-core
 //! [`ShardedServer`](crate::ShardedServer) — that all answer the same
-//! encrypted query message. These traits name the two capabilities the rest
+//! encrypted query message. These traits name the capabilities the rest
 //! of the stack composes over: answering queries ([`QueryBackend`], what
-//! [`BatchExecutor`](crate::BatchExecutor) fans out over) and owner-driven
+//! [`BatchExecutor`](crate::BatchExecutor) fans out over), owner-driven
 //! index maintenance ([`MaintainableServer`], what
-//! [`SharedServer`](crate::SharedServer) serializes behind its write lock).
+//! [`SharedServer`](crate::SharedServer) serializes behind its write lock),
+//! and self-description ([`BackendInfo`], what the multi-collection
+//! [`Catalog`](crate::Catalog) reports per collection).
+//!
+//! ## Compile-time generics vs type erasure
+//!
+//! `SharedServer<S>`, `BatchExecutor<B>` and the generic `serve<S>` entry
+//! points are monomorphized per backend — the right call for a process
+//! hosting exactly one index, where the shape is a compile-time fact. A
+//! multi-collection process cannot be: one catalog holds a `CloudServer`
+//! collection next to a `ShardedServer` one, so the request path needs one
+//! runtime type for "any backend". [`ErasedBackend`] is that type — the
+//! full per-collection capability set (search, batched search,
+//! maintenance, stats inputs) behind one vtable, implemented once for
+//! every `SharedServer<S>` composition so erasure inherits the locking
+//! discipline instead of re-implementing it. DESIGN.md §4 discusses the
+//! trade-off.
 
 use crate::query::EncryptedQuery;
 use crate::server::{SearchOutcome, SearchParams};
@@ -52,4 +68,105 @@ pub trait MaintainableServer {
 
     /// Number of live vectors served.
     fn live_len(&self) -> usize;
+}
+
+/// The shape of a server backend, as reported per collection by the
+/// [`Catalog`](crate::Catalog) and the service's `ListCollections` frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BackendKind {
+    /// The paper's single-index [`CloudServer`](crate::CloudServer).
+    Cloud,
+    /// A [`ShardedServer`](crate::ShardedServer) fanning each query's
+    /// filter phase across `shards` threads.
+    Sharded {
+        /// Number of shards the database is partitioned into.
+        shards: u16,
+    },
+}
+
+impl BackendKind {
+    /// Human-readable shape name (`"cloud"` / `"sharded"`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            BackendKind::Cloud => "cloud",
+            BackendKind::Sharded { .. } => "sharded",
+        }
+    }
+
+    /// Shard count: 1 for [`BackendKind::Cloud`].
+    pub fn shards(&self) -> u16 {
+        match self {
+            BackendKind::Cloud => 1,
+            BackendKind::Sharded { shards } => *shards,
+        }
+    }
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BackendKind::Cloud => f.write_str("cloud"),
+            BackendKind::Sharded { shards } => write!(f, "sharded({shards})"),
+        }
+    }
+}
+
+/// Static facts about a server backend: the dimensionality it serves and
+/// its shape. What a [`Catalog`](crate::Catalog) needs to describe a
+/// collection and what the service layer needs to validate queries
+/// per-collection instead of per-process.
+pub trait BackendInfo {
+    /// Vector dimensionality served (SAP-ciphertext width).
+    fn dim(&self) -> usize;
+
+    /// The backend's shape.
+    fn kind(&self) -> BackendKind;
+}
+
+/// One type for "any collection backend": the full per-collection
+/// capability set — search, batched search, owner maintenance, liveness,
+/// self-description — behind a single vtable, so a
+/// [`Catalog`](crate::Catalog) can hold a `CloudServer` collection next to
+/// a `ShardedServer` one in the same map.
+///
+/// All methods take `&self`, including the mutating ones: the one blanket
+/// implementation is over [`SharedServer<S>`](crate::SharedServer), whose
+/// interior `RwLock` already serializes maintenance against concurrent
+/// searches — erasure inherits that locking discipline rather than
+/// inventing a second one.
+pub trait ErasedBackend: Send + Sync {
+    /// Answers one query (paper Algorithm 2: filter then refine).
+    fn search(&self, query: &EncryptedQuery, params: &SearchParams) -> SearchOutcome;
+
+    /// Answers a batch of queries, fanning across up to `threads` workers
+    /// ([`BatchExecutor`](crate::BatchExecutor) semantics: result order
+    /// preserved, fan-out clamped to the batch size, single-thread batches
+    /// run inline). Outcomes are in input order.
+    fn search_many(
+        &self,
+        queries: &[EncryptedQuery],
+        params: &SearchParams,
+        threads: usize,
+    ) -> Vec<SearchOutcome>;
+
+    /// Inserts a pre-encrypted vector under the exclusive lock, returning
+    /// its assigned id.
+    fn insert(&self, c_sap: Vec<f64>, c_dce: DceCiphertext) -> u32;
+
+    /// Check-and-delete under one exclusive lock: `false` (backend
+    /// untouched) when `id` is out of range or already deleted — the
+    /// panic-free entry point remote callers need.
+    fn try_delete(&self, id: u32) -> bool;
+
+    /// Whether `id` names a live vector.
+    fn is_live(&self, id: u32) -> bool;
+
+    /// Number of live vectors served.
+    fn live_len(&self) -> usize;
+
+    /// Vector dimensionality served.
+    fn dim(&self) -> usize;
+
+    /// The backend's shape.
+    fn kind(&self) -> BackendKind;
 }

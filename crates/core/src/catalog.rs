@@ -1,0 +1,562 @@
+//! The multi-collection catalog: many named encrypted indexes in one
+//! process.
+//!
+//! A production deployment rarely hosts one dataset — each owner ships its
+//! own encrypted database, with its own dimensionality and its own privacy
+//! / accuracy trade-off (the paper tunes β per dataset). [`Catalog`] owns
+//! any number of named **collections**, each a type-erased
+//! [`ErasedBackend`] — so a `CloudServer` collection lives next to a
+//! `ShardedServer` one behind the same map — and hands out cheaply
+//! clonable [`Collection`] handles the service layer routes requests
+//! through.
+//!
+//! ## Concurrency
+//!
+//! The map itself sits behind one `RwLock`, held only for
+//! lookup/insert/remove — never across a search. Handles are `Arc`s, so a
+//! collection dropped mid-query finishes the queries already routed to it
+//! and is freed when the last handle goes away; new requests get an
+//! unknown-collection error.
+//!
+//! ## Names
+//!
+//! Collection names double as file stems in a `--data-dir` deployment
+//! (`<name>.ppdb`), so [`validate_collection_name`] is deliberately
+//! strict: 1–[`MAX_COLLECTION_NAME_LEN`] bytes of lowercase ASCII
+//! alphanumerics, `_` and `-` (lowercase-only so names can never
+//! case-collide onto one file on a case-insensitive filesystem). The
+//! wire protocol carries names as raw bytes precisely so a malformed
+//! name can travel to this check and be answered as a semantic error
+//! (PROTOCOL.md §4 "Collections").
+
+use crate::backend::{BackendKind, ErasedBackend};
+use crate::concurrent::SharedServer;
+use crate::index::EncryptedDatabase;
+use crate::persist::{load_snapshot, PersistError, SNAPSHOT_EXT};
+use crate::query::EncryptedQuery;
+use crate::server::{CloudServer, SearchOutcome, SearchParams};
+use crate::shard::ShardedServer;
+use parking_lot::RwLock;
+use ppann_dce::DceCiphertext;
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::Arc;
+
+/// The collection legacy (v1, nameless) protocol frames route to.
+pub const DEFAULT_COLLECTION: &str = "default";
+
+/// Maximum collection-name length in bytes.
+pub const MAX_COLLECTION_NAME_LEN: usize = 64;
+
+/// Maximum shard fan-out a collection may declare, whether it arrives
+/// over the wire (`CreateCollection`, PROTOCOL.md §3.17) or embedded in
+/// a v2 snapshot ([`Catalog::load_dir`]). Each shard builds its own
+/// index on its own thread, so an unbounded count is a resource bomb —
+/// a corrupt snapshot demanding 65535 shards must fail as
+/// [`PersistError::Corrupt`], not abort startup mid-thread-spawn.
+pub const MAX_SHARDS: usize = 64;
+
+/// Catalog failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CatalogError {
+    /// The name violates [`validate_collection_name`] (reason attached).
+    InvalidName(String),
+    /// A collection with this name already exists.
+    Duplicate(String),
+    /// No collection with this name exists.
+    Unknown(String),
+}
+
+impl std::fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CatalogError::InvalidName(msg) => write!(f, "invalid collection name: {msg}"),
+            CatalogError::Duplicate(name) => write!(f, "collection `{name}` already exists"),
+            CatalogError::Unknown(name) => write!(f, "unknown collection `{name}`"),
+        }
+    }
+}
+impl std::error::Error for CatalogError {}
+
+/// Validates a collection name: 1–[`MAX_COLLECTION_NAME_LEN`] bytes,
+/// *lowercase* ASCII alphanumerics plus `_` and `-` only. Strict because
+/// names double as snapshot file stems (`<name>.ppdb`) — no separators,
+/// no dots, and lowercase-only so two distinct catalog entries can never
+/// case-collide onto one file on a case-insensitive filesystem (where
+/// `Docs.ppdb` and `docs.ppdb` are the same file and each create would
+/// truncate the other's snapshot).
+pub fn validate_collection_name(name: &str) -> Result<(), CatalogError> {
+    if name.is_empty() {
+        return Err(CatalogError::InvalidName("name is empty".into()));
+    }
+    if name.len() > MAX_COLLECTION_NAME_LEN {
+        return Err(CatalogError::InvalidName(format!(
+            "name of {} bytes exceeds the {MAX_COLLECTION_NAME_LEN}-byte limit",
+            name.len()
+        )));
+    }
+    if let Some(bad) = name
+        .chars()
+        .find(|c| !c.is_ascii_lowercase() && !c.is_ascii_digit() && *c != '_' && *c != '-')
+    {
+        return Err(CatalogError::InvalidName(format!(
+            "character {bad:?} not allowed (lowercase ASCII alphanumerics, `_` and `-` only)"
+        )));
+    }
+    Ok(())
+}
+
+/// One named collection: a validated name plus its type-erased backend.
+pub struct Collection {
+    name: String,
+    /// Cached at registration: a backend's dimensionality never changes
+    /// (inserts are dim-checked against it), so the hot request path
+    /// reads a field instead of taking the backend's lock per frame.
+    dim: usize,
+    /// Cached at registration, immutable for the collection's lifetime.
+    kind: BackendKind,
+    backend: Box<dyn ErasedBackend>,
+}
+
+impl Collection {
+    /// The collection's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Vector dimensionality served.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The backend's shape.
+    pub fn kind(&self) -> BackendKind {
+        self.kind
+    }
+
+    /// Live vector count.
+    pub fn live_len(&self) -> usize {
+        self.backend.live_len()
+    }
+
+    /// Answers one query.
+    pub fn search(&self, query: &EncryptedQuery, params: &SearchParams) -> SearchOutcome {
+        self.backend.search(query, params)
+    }
+
+    /// Answers a batch, fanning across up to `threads` workers
+    /// (input order preserved).
+    pub fn search_many(
+        &self,
+        queries: &[EncryptedQuery],
+        params: &SearchParams,
+        threads: usize,
+    ) -> Vec<SearchOutcome> {
+        self.backend.search_many(queries, params, threads)
+    }
+
+    /// Inserts a pre-encrypted vector, returning its assigned id.
+    pub fn insert(&self, c_sap: Vec<f64>, c_dce: DceCiphertext) -> u32 {
+        self.backend.insert(c_sap, c_dce)
+    }
+
+    /// Check-and-delete under one exclusive lock; `false` leaves the
+    /// backend untouched.
+    pub fn try_delete(&self, id: u32) -> bool {
+        self.backend.try_delete(id)
+    }
+
+    /// Whether `id` names a live vector.
+    pub fn is_live(&self, id: u32) -> bool {
+        self.backend.is_live(id)
+    }
+}
+
+impl crate::backend::QueryBackend for Collection {
+    fn search(&self, query: &EncryptedQuery, params: &SearchParams) -> SearchOutcome {
+        Collection::search(self, query, params)
+    }
+}
+
+impl std::fmt::Debug for Collection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Collection")
+            .field("name", &self.name)
+            .field("dim", &self.dim())
+            .field("kind", &self.kind())
+            .field("live", &self.live_len())
+            .finish()
+    }
+}
+
+/// A point-in-time description of one collection, as listed by
+/// [`Catalog::list`] and shipped in the service's `ListCollectionsReply`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CollectionInfo {
+    /// Collection name.
+    pub name: String,
+    /// Vector dimensionality served.
+    pub dim: usize,
+    /// Live vector count at listing time.
+    pub live: usize,
+    /// Backend shape.
+    pub kind: BackendKind,
+}
+
+/// Many named collections behind one lock (see the module docs).
+#[derive(Default)]
+pub struct Catalog {
+    inner: RwLock<BTreeMap<String, Arc<Collection>>>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a collection under `name`. Fails on an invalid or
+    /// already-taken name; name reservation is atomic, so two concurrent
+    /// creates of the same name cannot both succeed.
+    pub fn create(
+        &self,
+        name: &str,
+        backend: Box<dyn ErasedBackend>,
+    ) -> Result<Arc<Collection>, CatalogError> {
+        validate_collection_name(name)?;
+        let mut map = self.inner.write();
+        if map.contains_key(name) {
+            return Err(CatalogError::Duplicate(name.to_string()));
+        }
+        let coll = Arc::new(Collection {
+            name: name.to_string(),
+            dim: backend.dim(),
+            kind: backend.kind(),
+            backend,
+        });
+        map.insert(name.to_string(), Arc::clone(&coll));
+        Ok(coll)
+    }
+
+    /// Registers `db` as a single-index [`CloudServer`] collection.
+    pub fn create_cloud(
+        &self,
+        name: &str,
+        db: EncryptedDatabase,
+    ) -> Result<Arc<Collection>, CatalogError> {
+        self.create(name, Box::new(SharedServer::new(CloudServer::new(db))))
+    }
+
+    /// Registers `db` re-partitioned into a [`ShardedServer`] collection
+    /// of `shards` shards (clamped to ≥ 1; 1 shard builds a `CloudServer`
+    /// instead, the cheaper identical-result shape).
+    pub fn create_sharded(
+        &self,
+        name: &str,
+        db: EncryptedDatabase,
+        shards: usize,
+    ) -> Result<Arc<Collection>, CatalogError> {
+        if shards <= 1 {
+            return self.create_cloud(name, db);
+        }
+        self.create(name, Box::new(SharedServer::new(ShardedServer::from_database(db, shards))))
+    }
+
+    /// Removes and returns the collection named `name`. In-flight queries
+    /// holding the handle finish normally; the backend is freed when the
+    /// last handle drops.
+    pub fn drop_collection(&self, name: &str) -> Result<Arc<Collection>, CatalogError> {
+        validate_collection_name(name)?;
+        self.inner.write().remove(name).ok_or_else(|| CatalogError::Unknown(name.to_string()))
+    }
+
+    /// The collection named `name`, if any.
+    pub fn get(&self, name: &str) -> Option<Arc<Collection>> {
+        self.inner.read().get(name).cloned()
+    }
+
+    /// The collection legacy nameless frames route to
+    /// ([`DEFAULT_COLLECTION`]).
+    pub fn default_collection(&self) -> Option<Arc<Collection>> {
+        self.get(DEFAULT_COLLECTION)
+    }
+
+    /// All collections, sorted by name.
+    pub fn list(&self) -> Vec<CollectionInfo> {
+        self.inner
+            .read()
+            .values()
+            .map(|c| CollectionInfo {
+                name: c.name().to_string(),
+                dim: c.dim(),
+                live: c.live_len(),
+                kind: c.kind(),
+            })
+            .collect()
+    }
+
+    /// Number of collections.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// True when no collection is registered.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+
+    /// Total live vectors across every collection.
+    pub fn total_live(&self) -> usize {
+        self.inner.read().values().map(|c| c.live_len()).sum()
+    }
+
+    /// Builds a catalog from a snapshot directory: every `*.ppdb` file
+    /// becomes one collection named after its file stem, loaded in sorted
+    /// order. v2 snapshots must embed the same name as their stem (a
+    /// renamed file is refused rather than silently re-labeled) and carry
+    /// their shard count; v1 snapshots load as single-index `CloudServer`
+    /// collections — the back-compat path for databases written before
+    /// collections existed.
+    pub fn load_dir(dir: &Path) -> Result<Self, PersistError> {
+        let catalog = Self::new();
+        let mut paths: Vec<_> = std::fs::read_dir(dir)?
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .filter(|p| p.is_file() && p.extension().and_then(|e| e.to_str()) == Some(SNAPSHOT_EXT))
+            .collect();
+        paths.sort();
+        for path in paths {
+            let corrupt = |msg: String| PersistError::Corrupt(format!("{}: {msg}", path.display()));
+            let stem = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .ok_or_else(|| corrupt("file stem is not UTF-8".into()))?
+                .to_string();
+            validate_collection_name(&stem).map_err(|e| corrupt(e.to_string()))?;
+            let (meta, db) = load_snapshot(&path).map_err(|e| corrupt(e.to_string()))?;
+            let shards = match meta {
+                Some(meta) => {
+                    if meta.name != stem {
+                        return Err(corrupt(format!(
+                            "embedded collection name `{}` does not match the file stem",
+                            meta.name
+                        )));
+                    }
+                    if meta.shards == 0 || meta.shards as usize > MAX_SHARDS {
+                        return Err(corrupt(format!(
+                            "shard count {} outside 1..={MAX_SHARDS}",
+                            meta.shards
+                        )));
+                    }
+                    meta.shards as usize
+                }
+                None => 1,
+            };
+            catalog.create_sharded(&stem, db, shards).map_err(|e| corrupt(e.to_string()))?;
+        }
+        Ok(catalog)
+    }
+}
+
+impl std::fmt::Debug for Catalog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let map = self.inner.read();
+        f.debug_struct("Catalog").field("collections", &map.keys().collect::<Vec<_>>()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::owner::{DataOwner, PpAnnParams};
+    use crate::persist::{save_collection_snapshot, CollectionMeta};
+    use ppann_linalg::{seeded_rng, uniform_vec};
+
+    fn make_db(n: usize, dim: usize, seed: u64) -> (Vec<Vec<f64>>, DataOwner, EncryptedDatabase) {
+        let mut rng = seeded_rng(seed);
+        let data: Vec<Vec<f64>> = (0..n).map(|_| uniform_vec(&mut rng, dim, -1.0, 1.0)).collect();
+        let owner = DataOwner::setup(PpAnnParams::new(dim).with_seed(seed).with_beta(0.0), &data);
+        let db = owner.outsource(&data);
+        (data, owner, db)
+    }
+
+    #[test]
+    fn name_validation() {
+        for ok in ["default", "a", "a-1_b", &"x".repeat(MAX_COLLECTION_NAME_LEN)] {
+            assert!(validate_collection_name(ok).is_ok(), "{ok} should be valid");
+        }
+        // "Docs" is refused: on a case-insensitive filesystem it would
+        // share `docs.ppdb` with a lowercase sibling.
+        for bad in
+            ["", "a/b", "a.b", "a b", "naïve", "Docs", &"x".repeat(MAX_COLLECTION_NAME_LEN + 1)]
+        {
+            assert!(validate_collection_name(bad).is_err(), "{bad:?} should be invalid");
+        }
+    }
+
+    #[test]
+    fn heterogeneous_collections_coexist_and_answer() {
+        let (data_a, owner_a, db_a) = make_db(120, 4, 31);
+        let (data_b, owner_b, db_b) = make_db(150, 6, 32);
+        let catalog = Catalog::new();
+        catalog.create_cloud("products", db_a).unwrap();
+        catalog.create_sharded("docs", db_b, 3).unwrap();
+
+        assert_eq!(catalog.len(), 2);
+        assert_eq!(catalog.total_live(), 270);
+        let infos = catalog.list();
+        assert_eq!(infos[0].name, "docs");
+        assert_eq!(infos[0].dim, 6);
+        assert_eq!(infos[0].kind, BackendKind::Sharded { shards: 3 });
+        assert_eq!(infos[1].name, "products");
+        assert_eq!(infos[1].kind, BackendKind::Cloud);
+
+        let products = catalog.get("products").unwrap();
+        let docs = catalog.get("docs").unwrap();
+        let params = SearchParams { k_prime: 15, ef_search: 30 };
+        let mut user_a = owner_a.authorize_user();
+        let out = products.search(&user_a.encrypt_query(&data_a[0], 3), &params);
+        assert_eq!(out.ids.len(), 3);
+        assert_eq!(out.ids[0], 0);
+        let mut user_b = owner_b.authorize_user();
+        let outs = docs.search_many(
+            &[user_b.encrypt_query(&data_b[1], 2), user_b.encrypt_query(&data_b[2], 2)],
+            &params,
+            2,
+        );
+        assert_eq!(outs.len(), 2);
+        assert_eq!(outs[0].ids[0], 1);
+        assert_eq!(outs[1].ids[0], 2);
+    }
+
+    #[test]
+    fn duplicate_and_unknown_names_are_errors() {
+        let (_, _, db) = make_db(30, 4, 33);
+        let catalog = Catalog::new();
+        catalog.create_cloud("default", db).unwrap();
+        let (_, _, db2) = make_db(30, 4, 34);
+        assert_eq!(
+            catalog.create_cloud("default", db2).unwrap_err(),
+            CatalogError::Duplicate("default".into())
+        );
+        assert_eq!(
+            catalog.drop_collection("nope").unwrap_err(),
+            CatalogError::Unknown("nope".into())
+        );
+        assert!(matches!(
+            catalog.drop_collection("no/pe").unwrap_err(),
+            CatalogError::InvalidName(_)
+        ));
+        catalog.drop_collection("default").unwrap();
+        assert!(catalog.is_empty());
+    }
+
+    #[test]
+    fn dropped_collection_handle_stays_usable() {
+        let (data, owner, db) = make_db(80, 4, 35);
+        let catalog = Catalog::new();
+        let handle = catalog.create_cloud("ephemeral", db).unwrap();
+        catalog.drop_collection("ephemeral").unwrap();
+        assert!(catalog.get("ephemeral").is_none());
+        // The held Arc still answers: in-flight queries never race a drop.
+        let mut user = owner.authorize_user();
+        let out = handle
+            .search(&user.encrypt_query(&data[5], 2), &SearchParams { k_prime: 10, ef_search: 20 });
+        assert_eq!(out.ids[0], 5);
+    }
+
+    #[test]
+    fn maintenance_through_the_erased_handle() {
+        let (_, owner, db) = make_db(40, 4, 36);
+        let catalog = Catalog::new();
+        let coll = catalog.create_sharded("m", db, 2).unwrap();
+        let novel = vec![6.0, 6.0, 6.0, 6.0];
+        let (c_sap, c_dce) = owner.encrypt_for_insert(&novel, 1);
+        let id = coll.insert(c_sap, c_dce);
+        assert_eq!(id, 40);
+        assert!(coll.is_live(id));
+        assert_eq!(coll.live_len(), 41);
+        assert!(coll.try_delete(id));
+        assert!(!coll.try_delete(id), "second delete must refuse");
+        assert_eq!(coll.live_len(), 40);
+    }
+
+    #[test]
+    fn load_dir_mixes_v1_and_v2_snapshots() {
+        let dir = std::env::temp_dir().join(format!("ppanns_catalog_dir_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let (_, _, db_v1) = make_db(25, 4, 37);
+        db_v1.save_to(&dir.join("legacy.ppdb")).unwrap();
+        let (_, _, db_v2) = make_db(35, 6, 38);
+        save_collection_snapshot(
+            &dir.join("wide.ppdb"),
+            &CollectionMeta { name: "wide".into(), shards: 2 },
+            &db_v2,
+        )
+        .unwrap();
+        // Non-snapshot files are ignored.
+        std::fs::write(dir.join("notes.txt"), b"not a snapshot").unwrap();
+
+        let catalog = Catalog::load_dir(&dir).unwrap();
+        assert_eq!(catalog.len(), 2);
+        let legacy = catalog.get("legacy").unwrap();
+        assert_eq!(legacy.dim(), 4);
+        assert_eq!(legacy.live_len(), 25);
+        assert_eq!(legacy.kind(), BackendKind::Cloud);
+        let wide = catalog.get("wide").unwrap();
+        assert_eq!(wide.dim(), 6);
+        assert_eq!(wide.kind(), BackendKind::Sharded { shards: 2 });
+
+        // A v2 snapshot renamed away from its embedded name is refused.
+        std::fs::rename(dir.join("wide.ppdb"), dir.join("renamed.ppdb")).unwrap();
+        assert!(Catalog::load_dir(&dir).is_err(), "renamed v2 snapshot must be refused");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_dir_refuses_absurd_shard_counts() {
+        // A corrupt (or hand-crafted) v2 snapshot demanding u16::MAX
+        // shards must surface as PersistError::Corrupt, not spawn 65535
+        // index-build threads at startup. The wire CreateCollection path
+        // enforces the same MAX_SHARDS bound.
+        let dir =
+            std::env::temp_dir().join(format!("ppanns_catalog_shards_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let (_, _, db) = make_db(10, 4, 40);
+        for bad in [0u16, (MAX_SHARDS + 1) as u16, u16::MAX] {
+            save_collection_snapshot(
+                &dir.join("bomb.ppdb"),
+                &CollectionMeta { name: "bomb".into(), shards: bad },
+                &db,
+            )
+            .unwrap();
+            let err = Catalog::load_dir(&dir).unwrap_err();
+            assert!(
+                matches!(&err, PersistError::Corrupt(msg) if msg.contains("shard count")),
+                "shards={bad}: expected Corrupt shard-count error, got {err:?}"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_database_collections_accept_inserts() {
+        let catalog = Catalog::new();
+        let coll = catalog.create_sharded("fresh", EncryptedDatabase::empty(4), 2).unwrap();
+        assert_eq!(coll.live_len(), 0);
+        assert_eq!(coll.dim(), 4);
+        // Populate through the erased handle, then search.
+        let data = vec![vec![0.1, 0.2, 0.3, 0.4], vec![0.9, 0.8, 0.7, 0.6]];
+        let owner = DataOwner::setup(PpAnnParams::new(4).with_seed(39).with_beta(0.0), &data);
+        for v in &data {
+            let (c_sap, c_dce) = owner.encrypt_for_insert(v, 1);
+            coll.insert(c_sap, c_dce);
+        }
+        assert_eq!(coll.live_len(), 2);
+        let mut user = owner.authorize_user();
+        let out = coll
+            .search(&user.encrypt_query(&data[1], 1), &SearchParams { k_prime: 4, ef_search: 8 });
+        assert_eq!(out.ids, vec![1]);
+    }
+}

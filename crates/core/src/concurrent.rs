@@ -8,7 +8,8 @@
 //! [`crate::ShardedServer`] instead to combine intra-query shard parallelism
 //! with concurrent maintenance.
 
-use crate::backend::{MaintainableServer, QueryBackend};
+use crate::backend::{BackendInfo, BackendKind, ErasedBackend, MaintainableServer, QueryBackend};
+use crate::batch::BatchExecutor;
 use crate::query::EncryptedQuery;
 use crate::server::{CloudServer, SearchOutcome, SearchParams};
 use parking_lot::RwLock;
@@ -82,9 +83,69 @@ impl<S: MaintainableServer> SharedServer<S> {
     }
 }
 
+impl<S: BackendInfo> SharedServer<S> {
+    /// Vector dimensionality served (shared lock).
+    pub fn dim(&self) -> usize {
+        self.inner.read().dim()
+    }
+
+    /// The wrapped backend's shape (shared lock).
+    pub fn backend_kind(&self) -> BackendKind {
+        self.inner.read().kind()
+    }
+}
+
 impl<S: QueryBackend + Send + Sync> QueryBackend for SharedServer<S> {
     fn search(&self, query: &EncryptedQuery, params: &SearchParams) -> SearchOutcome {
         SharedServer::search(self, query, params)
+    }
+}
+
+/// The one blanket erasure: every `SharedServer` composition — the paper's
+/// `CloudServer`, the multi-core `ShardedServer`, anything implementing
+/// the three capability traits — becomes a `Box<dyn ErasedBackend>` a
+/// [`Catalog`](crate::Catalog) can hold next to differently-shaped
+/// collections. The `RwLock` inside `SharedServer` is what makes the
+/// `&self` maintenance methods of the erased trait sound.
+impl<S> ErasedBackend for SharedServer<S>
+where
+    S: QueryBackend + MaintainableServer + BackendInfo + Send + Sync,
+{
+    fn search(&self, query: &EncryptedQuery, params: &SearchParams) -> SearchOutcome {
+        SharedServer::search(self, query, params)
+    }
+
+    fn search_many(
+        &self,
+        queries: &[EncryptedQuery],
+        params: &SearchParams,
+        threads: usize,
+    ) -> Vec<SearchOutcome> {
+        BatchExecutor::new(self.clone(), threads).run(queries, params).outcomes
+    }
+
+    fn insert(&self, c_sap: Vec<f64>, c_dce: DceCiphertext) -> u32 {
+        SharedServer::insert(self, c_sap, c_dce)
+    }
+
+    fn try_delete(&self, id: u32) -> bool {
+        SharedServer::try_delete(self, id)
+    }
+
+    fn is_live(&self, id: u32) -> bool {
+        SharedServer::is_live(self, id)
+    }
+
+    fn live_len(&self) -> usize {
+        self.len()
+    }
+
+    fn dim(&self) -> usize {
+        SharedServer::dim(self)
+    }
+
+    fn kind(&self) -> BackendKind {
+        self.backend_kind()
     }
 }
 

@@ -24,9 +24,22 @@ impl EncryptedDatabase {
         Self { hnsw, dce }
     }
 
+    /// An empty database of dimensionality `dim` (default HNSW build
+    /// parameters): the starting point of a collection created over the
+    /// wire, which the owner then populates with pre-encrypted
+    /// [`Self::insert`]s.
+    pub fn empty(dim: usize) -> Self {
+        Self::new(Hnsw::build(dim, ppann_hnsw::HnswParams::default(), &[]), Vec::new())
+    }
+
     /// Number of live vectors.
     pub fn len(&self) -> usize {
         self.hnsw.len()
+    }
+
+    /// Vector dimensionality stored (SAP-ciphertext width).
+    pub fn dim(&self) -> usize {
+        self.hnsw.dim()
     }
 
     /// True when the database holds no live vectors.

@@ -23,7 +23,11 @@
 //! [`ShardedServer`] (per-query multi-core fan-out with a single exact
 //! merge-refine), [`SharedServer`] (concurrent queries + exclusive
 //! maintenance over any backend), and [`BatchExecutor`] (work-stealing
-//! batch throughput over any backend).
+//! batch throughput over any backend). On top of them the [`Catalog`]
+//! hosts many *named collections* in one process — each a type-erased
+//! [`ErasedBackend`], so differently-shaped and differently-sized indexes
+//! coexist — which is what the network service namespaces its requests
+//! over.
 //!
 //! ## What the server learns
 //!
@@ -51,6 +55,7 @@
 
 mod backend;
 pub mod batch;
+pub mod catalog;
 mod concurrent;
 mod cost;
 mod heap;
@@ -65,14 +70,21 @@ pub mod tune;
 mod user;
 pub mod wire;
 
-pub use backend::{MaintainableServer, QueryBackend};
+pub use backend::{BackendInfo, BackendKind, ErasedBackend, MaintainableServer, QueryBackend};
 pub use batch::{BatchExecutor, BatchOutcome};
+pub use catalog::{
+    validate_collection_name, Catalog, CatalogError, Collection, CollectionInfo,
+    DEFAULT_COLLECTION, MAX_COLLECTION_NAME_LEN,
+};
 pub use concurrent::SharedServer;
 pub use cost::{QueryCost, UserCost};
 pub use heap::SecureTopK;
 pub use index::EncryptedDatabase;
 pub use owner::{DataOwner, OwnerSecretKey, PpAnnParams};
-pub use persist::PersistError;
+pub use persist::{
+    collection_snapshot_bytes, load_snapshot, load_snapshot_bytes, save_collection_snapshot,
+    CollectionMeta, PersistError, SNAPSHOT_EXT,
+};
 pub use query::EncryptedQuery;
 pub use server::{CloudServer, SearchOutcome, SearchParams};
 pub use shard::ShardedServer;

@@ -1,12 +1,32 @@
 //! Binary persistence of the encrypted database (server snapshots).
 //!
-//! Layout (little endian, hand-rolled over `bytes` — see DESIGN.md §5 for
-//! why no serialization crate is used):
+//! Two container versions, both little endian and hand-rolled over
+//! `bytes` (see DESIGN.md §5 for why no serialization crate is used):
+//!
+//! **v1** — one anonymous single-index database, what
+//! [`EncryptedDatabase::to_bytes`] writes and `ppanns-cli outsource`
+//! produces:
 //!
 //! ```text
-//! magic "PPDB" | version u32 | hnsw_len u64 | hnsw snapshot bytes
+//! magic "PPDB" | version=1 u32 | hnsw_len u64 | hnsw snapshot bytes
 //! | n_dce u64 | component_dim u64 | 4·dim f64 per ciphertext
 //! ```
+//!
+//! **v2** — one *named collection*: catalog metadata wrapped around the
+//! complete v1 image, what a multi-collection `--data-dir` deployment
+//! stores one file per collection of:
+//!
+//! ```text
+//! magic "PPDB" | version=2 u32 | name_len u16 | name (UTF-8)
+//! | shards u16 | inner_len u64 | complete v1 snapshot bytes
+//! ```
+//!
+//! [`load_snapshot`] reads either: a v1 file loads as an anonymous
+//! database (the catalog layer wraps it as collection `"default"`, or
+//! names it after its file stem in a `--data-dir`), so every `db.bin`
+//! written before collections existed keeps working. The
+//! `v1_*`-prefixed tests below pin the v1 byte layout so the container
+//! cannot drift under existing snapshots.
 
 use crate::index::EncryptedDatabase;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
@@ -17,6 +37,11 @@ use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"PPDB";
 const VERSION: u32 = 1;
+const VERSION_COLLECTION: u32 = 2;
+
+/// File extension of collection snapshots discovered by a `--data-dir`
+/// deployment (`<name>.ppdb`).
+pub const SNAPSHOT_EXT: &str = "ppdb";
 
 /// Persistence failures.
 #[derive(Debug)]
@@ -125,6 +150,100 @@ impl EncryptedDatabase {
     }
 }
 
+/// Catalog metadata a v2 collection snapshot carries around its database
+/// image.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CollectionMeta {
+    /// Collection name (must satisfy
+    /// [`validate_collection_name`](crate::catalog::validate_collection_name)).
+    pub name: String,
+    /// Shard count the serving backend is built with (1 = `CloudServer`,
+    /// more = `ShardedServer`).
+    pub shards: u16,
+}
+
+/// Serializes one named collection as a v2 `PPDB` container: metadata
+/// header, then the complete v1 image of `db`.
+pub fn collection_snapshot_bytes(meta: &CollectionMeta, db: &EncryptedDatabase) -> Bytes {
+    let inner = db.to_bytes();
+    let name = meta.name.as_bytes();
+    assert!(name.len() <= u16::MAX as usize, "collection name too long to snapshot");
+    let mut buf = BytesMut::with_capacity(8 + 2 + name.len() + 2 + 8 + inner.len());
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION_COLLECTION);
+    buf.put_u16_le(name.len() as u16);
+    buf.put_slice(name);
+    buf.put_u16_le(meta.shards);
+    buf.put_u64_le(inner.len() as u64);
+    buf.put_slice(&inner);
+    buf.freeze()
+}
+
+/// Writes a v2 collection snapshot to `path`.
+pub fn save_collection_snapshot(
+    path: &Path,
+    meta: &CollectionMeta,
+    db: &EncryptedDatabase,
+) -> Result<(), PersistError> {
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    f.write_all(&collection_snapshot_bytes(meta, db))?;
+    f.flush()?;
+    Ok(())
+}
+
+/// Decodes either container version: a v2 snapshot yields its embedded
+/// [`CollectionMeta`]; a v1 snapshot yields `None` (anonymous database —
+/// the caller decides the collection name, `"default"` for a single
+/// `--db` file or the file stem in a `--data-dir`).
+pub fn load_snapshot_bytes(
+    mut data: Bytes,
+) -> Result<(Option<CollectionMeta>, EncryptedDatabase), PersistError> {
+    let err = |msg: &str| PersistError::Corrupt(msg.to_string());
+    if data.remaining() < 8 {
+        return Err(err("truncated header"));
+    }
+    // Peek magic + version without consuming: v1 parsing re-reads both.
+    if &data[..4] != MAGIC {
+        return Err(err("bad magic"));
+    }
+    let version = u32::from_le_bytes([data[4], data[5], data[6], data[7]]);
+    match version {
+        VERSION => Ok((None, EncryptedDatabase::from_bytes(data)?)),
+        VERSION_COLLECTION => {
+            data.advance(8);
+            if data.remaining() < 2 {
+                return Err(err("truncated collection name length"));
+            }
+            let name_len = data.get_u16_le() as usize;
+            if data.remaining() < name_len {
+                return Err(err("truncated collection name"));
+            }
+            let name = String::from_utf8(data.copy_to_bytes(name_len).to_vec())
+                .map_err(|_| err("collection name is not UTF-8"))?;
+            if data.remaining() < 10 {
+                return Err(err("truncated collection header"));
+            }
+            let shards = data.get_u16_le();
+            let inner_len = data.get_u64_le() as usize;
+            if data.remaining() != inner_len {
+                return Err(err("collection payload length mismatch"));
+            }
+            let db = EncryptedDatabase::from_bytes(data)?;
+            Ok((Some(CollectionMeta { name, shards }), db))
+        }
+        _ => Err(err("unsupported version")),
+    }
+}
+
+/// Loads either container version from a file (see [`load_snapshot_bytes`]).
+pub fn load_snapshot(
+    path: &Path,
+) -> Result<(Option<CollectionMeta>, EncryptedDatabase), PersistError> {
+    let mut buf = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut buf)?;
+    load_snapshot_bytes(Bytes::from(buf))
+}
+
 #[cfg(test)]
 #[allow(clippy::needless_range_loop)]
 mod tests {
@@ -168,5 +287,142 @@ mod tests {
     #[test]
     fn garbage_rejected() {
         assert!(EncryptedDatabase::from_bytes(Bytes::from_static(b"garbage!")).is_err());
+        assert!(load_snapshot_bytes(Bytes::from_static(b"garbage!")).is_err());
+    }
+
+    /// Byte-for-byte pin of the v1 container: the expected image is built
+    /// here field by field, independently of the production writer, so any
+    /// drift in the layout (field order, widths, endianness, the header)
+    /// fails this test before it can orphan existing `db.bin` snapshots.
+    #[test]
+    fn v1_layout_is_pinned() {
+        let db = EncryptedDatabase::empty(2);
+        let bytes = db.to_bytes();
+
+        let mut expect = BytesMut::new();
+        expect.put_slice(b"PPDB"); // magic
+        expect.put_u32_le(1); // container version
+        expect.put_u64_le(74); // hnsw snapshot length (below)
+                               // Embedded HNSW snapshot of an empty dim-2 index, default params.
+        expect.put_slice(b"HNSW"); // index magic
+        expect.put_u32_le(1); // index version
+        expect.put_u64_le(2); // dim
+        expect.put_u64_le(16); // params.m
+        expect.put_u64_le(32); // params.m0
+        expect.put_u64_le(200); // params.ef_construction
+        expect.put_u8(0); // params.extend_candidates
+        expect.put_u8(1); // params.keep_pruned
+        expect.put_u64_le(0x5EED); // params.seed
+        expect.put_u64_le(u64::MAX); // entry point: none
+        expect.put_u64_le(0); // live count
+        expect.put_u64_le(0); // node count
+                              // Back at the container: the DCE ciphertext section.
+        expect.put_u64_le(0); // n_dce
+        expect.put_u64_le(0); // component_dim
+
+        assert_eq!(bytes.as_slice(), expect.freeze().as_slice(), "v1 byte layout drifted");
+    }
+
+    /// The v1 container of a *populated* database is pinned structurally:
+    /// every header field, section length and trailing ciphertext byte is
+    /// re-derived here from the database contents and checked against the
+    /// produced image.
+    #[test]
+    fn v1_populated_layout_accounts_for_every_byte() {
+        let mut rng = seeded_rng(174);
+        let data: Vec<Vec<f64>> = (0..20).map(|_| uniform_vec(&mut rng, 3, -1.0, 1.0)).collect();
+        let owner = DataOwner::setup(PpAnnParams::new(3).with_seed(9), &data);
+        let db = owner.outsource(&data);
+        let bytes = db.to_bytes().to_vec();
+
+        assert_eq!(&bytes[..4], b"PPDB");
+        assert_eq!(u32::from_le_bytes(bytes[4..8].try_into().unwrap()), 1);
+        let hnsw_len = u64::from_le_bytes(bytes[8..16].try_into().unwrap()) as usize;
+        let hnsw_end = 16 + hnsw_len;
+        assert_eq!(db.hnsw().to_bytes().as_slice(), &bytes[16..hnsw_end], "index section");
+        let n = u64::from_le_bytes(bytes[hnsw_end..hnsw_end + 8].try_into().unwrap()) as usize;
+        assert_eq!(n, db.dce_ciphertexts().len());
+        let comp_dim =
+            u64::from_le_bytes(bytes[hnsw_end + 8..hnsw_end + 16].try_into().unwrap()) as usize;
+        assert_eq!(comp_dim, db.dce_ciphertexts()[0].component_dim());
+        // The ciphertext section is exactly n × 4 components × comp_dim
+        // little-endian f64s, then the container ends.
+        let mut off = hnsw_end + 16;
+        for ct in db.dce_ciphertexts() {
+            for comp in ct.components() {
+                for v in comp {
+                    let got = f64::from_le_bytes(bytes[off..off + 8].try_into().unwrap());
+                    assert_eq!(got.to_bits(), v.to_bits());
+                    off += 8;
+                }
+            }
+        }
+        assert_eq!(off, bytes.len(), "unaccounted trailing bytes in the v1 container");
+    }
+
+    /// A v1 snapshot loads through the collection-aware entry point as an
+    /// anonymous database (no embedded metadata) with identical answers —
+    /// the auto-wrap-as-`"default"` back-compat contract.
+    #[test]
+    fn v1_snapshot_loads_as_anonymous_database() {
+        let mut rng = seeded_rng(175);
+        let data: Vec<Vec<f64>> = (0..80).map(|_| uniform_vec(&mut rng, 4, -1.0, 1.0)).collect();
+        let owner = DataOwner::setup(PpAnnParams::new(4).with_seed(6), &data);
+        let db = owner.outsource(&data);
+        let (meta, restored) = load_snapshot_bytes(db.to_bytes()).unwrap();
+        assert_eq!(meta, None, "v1 snapshots carry no collection metadata");
+        let a = CloudServer::new(db);
+        let b = CloudServer::new(restored);
+        let mut user = owner.authorize_user();
+        for i in 0..5 {
+            let q = user.encrypt_query(&data[i], 3);
+            let p = SearchParams { k_prime: 12, ef_search: 24 };
+            assert_eq!(a.search(&q, &p).ids, b.search(&q, &p).ids);
+        }
+    }
+
+    #[test]
+    fn v2_collection_snapshot_roundtrip() {
+        let mut rng = seeded_rng(176);
+        let data: Vec<Vec<f64>> = (0..40).map(|_| uniform_vec(&mut rng, 5, -1.0, 1.0)).collect();
+        let owner = DataOwner::setup(PpAnnParams::new(5).with_seed(8), &data);
+        let db = owner.outsource(&data);
+        let meta = CollectionMeta { name: "products".into(), shards: 3 };
+        let bytes = collection_snapshot_bytes(&meta, &db);
+        // v2 header: magic, version 2, then the metadata fields.
+        assert_eq!(&bytes[..4], b"PPDB");
+        assert_eq!(u32::from_le_bytes(bytes[4..8].try_into().unwrap()), 2);
+        let (back_meta, back_db) = load_snapshot_bytes(bytes).unwrap();
+        assert_eq!(back_meta, Some(meta.clone()));
+        assert_eq!(back_db.len(), 40);
+
+        // File roundtrip too.
+        let path = std::env::temp_dir().join("ppanns_v2_snapshot_test.ppdb");
+        save_collection_snapshot(&path, &meta, &db).unwrap();
+        let (file_meta, file_db) = load_snapshot(&path).unwrap();
+        assert_eq!(file_meta, Some(meta));
+        assert_eq!(file_db.len(), 40);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v2_truncations_and_mismatches_rejected() {
+        let db = EncryptedDatabase::empty(2);
+        let meta = CollectionMeta { name: "t".into(), shards: 1 };
+        let full = collection_snapshot_bytes(&meta, &db).to_vec();
+        for cut in 0..full.len() {
+            assert!(
+                load_snapshot_bytes(Bytes::from(full[..cut].to_vec())).is_err(),
+                "prefix of {cut} bytes must not load"
+            );
+        }
+        // Non-UTF-8 name bytes are corrupt, not a panic.
+        let mut bad = full.clone();
+        bad[10] = 0xFF; // first name byte
+        assert!(load_snapshot_bytes(Bytes::from(bad)).is_err());
+        // A future container version is refused.
+        let mut v3 = full;
+        v3[4] = 3;
+        assert!(load_snapshot_bytes(Bytes::from(v3)).is_err());
     }
 }

@@ -67,6 +67,11 @@ impl CloudServer {
         self.db.len()
     }
 
+    /// Vector dimensionality served (SAP-ciphertext width).
+    pub fn dim(&self) -> usize {
+        self.db.hnsw().dim()
+    }
+
     /// True when the store is empty.
     pub fn is_empty(&self) -> bool {
         self.db.is_empty()
@@ -159,6 +164,16 @@ impl CloudServer {
 impl crate::backend::QueryBackend for CloudServer {
     fn search(&self, query: &EncryptedQuery, params: &SearchParams) -> SearchOutcome {
         CloudServer::search(self, query, params)
+    }
+}
+
+impl crate::backend::BackendInfo for CloudServer {
+    fn dim(&self) -> usize {
+        CloudServer::dim(self)
+    }
+
+    fn kind(&self) -> crate::backend::BackendKind {
+        crate::backend::BackendKind::Cloud
     }
 }
 

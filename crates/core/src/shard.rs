@@ -112,6 +112,11 @@ impl ShardedServer {
         self.shards.len()
     }
 
+    /// Vector dimensionality served (every shard indexes the same width).
+    pub fn dim(&self) -> usize {
+        self.shards[0].hnsw.dim()
+    }
+
     /// Live vector count per shard (for balance diagnostics).
     pub fn shard_sizes(&self) -> Vec<usize> {
         self.shards.iter().map(|s| s.hnsw.len()).collect()
@@ -261,6 +266,18 @@ fn filter_shard(
 impl QueryBackend for ShardedServer {
     fn search(&self, query: &EncryptedQuery, params: &SearchParams) -> SearchOutcome {
         ShardedServer::search(self, query, params)
+    }
+}
+
+impl crate::backend::BackendInfo for ShardedServer {
+    fn dim(&self) -> usize {
+        ShardedServer::dim(self)
+    }
+
+    fn kind(&self) -> crate::backend::BackendKind {
+        crate::backend::BackendKind::Sharded {
+            shards: self.num_shards().min(u16::MAX as usize) as u16,
+        }
     }
 }
 

@@ -14,11 +14,17 @@
 
 use crate::io::{read_frame, write_frame, FrameReadError};
 use crate::stats::StatsSnapshot;
-use crate::wire::{ErrorCode, Frame, DEFAULT_MAX_FRAME};
+use crate::wire::{CollectionEntry, ErrorCode, Frame, WireName, DEFAULT_MAX_FRAME};
 use ppann_core::{EncryptedQuery, SearchOutcome, SearchParams};
 use ppann_dce::DceCiphertext;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
+
+/// Turns an optional collection name into its wire form. `None` selects
+/// the legacy version-1 frames, which servers route to `"default"`.
+fn wire_name(collection: Option<&str>) -> Option<WireName> {
+    collection.map(|name| name.as_bytes().to_vec())
+}
 
 /// Default per-call deadline: how long [`ServiceClient`] waits for a
 /// complete reply before failing the call with a timed-out
@@ -185,12 +191,39 @@ impl ServiceClient {
     /// Sends one encrypted query and returns the decoded outcome. The
     /// `cost.server_time` field is the server's measurement rounded to
     /// microseconds; ids and encrypted distances are bit-exact.
+    ///
+    /// Sent as a legacy (version-1) frame, answered from the server's
+    /// `"default"` collection; use [`Self::search_in`] to target a named
+    /// collection.
     pub fn search(
         &mut self,
         query: &EncryptedQuery,
         params: &SearchParams,
     ) -> Result<SearchOutcome, ClientError> {
-        let frame = Frame::Search { params: *params, query: query.clone() };
+        self.search_opt(None, query, params)
+    }
+
+    /// [`Self::search`] against the named collection (version-2 frame).
+    pub fn search_in(
+        &mut self,
+        collection: &str,
+        query: &EncryptedQuery,
+        params: &SearchParams,
+    ) -> Result<SearchOutcome, ClientError> {
+        self.search_opt(Some(collection), query, params)
+    }
+
+    fn search_opt(
+        &mut self,
+        collection: Option<&str>,
+        query: &EncryptedQuery,
+        params: &SearchParams,
+    ) -> Result<SearchOutcome, ClientError> {
+        let frame = Frame::Search {
+            collection: wire_name(collection),
+            params: *params,
+            query: query.clone(),
+        };
         match self.call(&frame)? {
             Frame::SearchResult(outcome) => Ok(outcome),
             other => Err(unexpected(&other)),
@@ -212,10 +245,34 @@ impl ServiceClient {
         queries: &[EncryptedQuery],
         params: &SearchParams,
     ) -> Result<Vec<SearchOutcome>, ClientError> {
+        self.search_batch_opt(None, queries, params)
+    }
+
+    /// [`Self::search_batch`] against the named collection (version-2
+    /// frame).
+    pub fn search_batch_in(
+        &mut self,
+        collection: &str,
+        queries: &[EncryptedQuery],
+        params: &SearchParams,
+    ) -> Result<Vec<SearchOutcome>, ClientError> {
+        self.search_batch_opt(Some(collection), queries, params)
+    }
+
+    fn search_batch_opt(
+        &mut self,
+        collection: Option<&str>,
+        queries: &[EncryptedQuery],
+        params: &SearchParams,
+    ) -> Result<Vec<SearchOutcome>, ClientError> {
         if queries.is_empty() {
             return Ok(Vec::new());
         }
-        let frame = Frame::SearchBatch { params: *params, queries: queries.to_vec() };
+        let frame = Frame::SearchBatch {
+            collection: wire_name(collection),
+            params: *params,
+            queries: queries.to_vec(),
+        };
         match self.call(&frame)? {
             Frame::SearchBatchResult(outcomes) => {
                 if outcomes.len() != queries.len() {
@@ -254,11 +311,34 @@ impl ServiceClient {
         params: &SearchParams,
         window: usize,
     ) -> Result<Vec<SearchOutcome>, ClientError> {
+        self.search_pipelined_opt(None, queries, params, window)
+    }
+
+    /// [`Self::search_pipelined`] against the named collection
+    /// (version-2 frames).
+    pub fn search_pipelined_in(
+        &mut self,
+        collection: &str,
+        queries: &[EncryptedQuery],
+        params: &SearchParams,
+        window: usize,
+    ) -> Result<Vec<SearchOutcome>, ClientError> {
+        self.search_pipelined_opt(Some(collection), queries, params, window)
+    }
+
+    fn search_pipelined_opt(
+        &mut self,
+        collection: Option<&str>,
+        queries: &[EncryptedQuery],
+        params: &SearchParams,
+        window: usize,
+    ) -> Result<Vec<SearchOutcome>, ClientError> {
         if self.poisoned {
             return Err(ClientError::Protocol(
                 "connection poisoned by an earlier failed call — reconnect".into(),
             ));
         }
+        let collection = wire_name(collection);
         let window = window.max(1);
         let mut outcomes = Vec::with_capacity(queries.len());
         let mut next = 0usize;
@@ -266,7 +346,11 @@ impl ServiceClient {
             // Top up the window, then block on the oldest reply. Each
             // reply read gets the full per-call budget.
             while next < queries.len() && next - outcomes.len() < window {
-                let frame = Frame::Search { params: *params, query: queries[next].clone() };
+                let frame = Frame::Search {
+                    collection: collection.clone(),
+                    params: *params,
+                    query: queries[next].clone(),
+                };
                 if let Err(e) = write_frame(&mut self.stream, &frame) {
                     self.poisoned = true;
                     return Err(e.into());
@@ -297,31 +381,118 @@ impl ServiceClient {
         Ok(outcomes)
     }
 
-    /// Owner-authenticated insertion; returns the id the server assigned.
+    /// Owner-authenticated insertion into the `"default"` collection;
+    /// returns the id the server assigned.
     pub fn insert(
         &mut self,
         token: u64,
         c_sap: Vec<f64>,
         c_dce: DceCiphertext,
     ) -> Result<u32, ClientError> {
-        match self.call(&Frame::Insert { token, c_sap, c_dce })? {
+        self.insert_opt(None, token, c_sap, c_dce)
+    }
+
+    /// [`Self::insert`] into the named collection (version-2 frame).
+    pub fn insert_in(
+        &mut self,
+        collection: &str,
+        token: u64,
+        c_sap: Vec<f64>,
+        c_dce: DceCiphertext,
+    ) -> Result<u32, ClientError> {
+        self.insert_opt(Some(collection), token, c_sap, c_dce)
+    }
+
+    fn insert_opt(
+        &mut self,
+        collection: Option<&str>,
+        token: u64,
+        c_sap: Vec<f64>,
+        c_dce: DceCiphertext,
+    ) -> Result<u32, ClientError> {
+        let frame = Frame::Insert { collection: wire_name(collection), token, c_sap, c_dce };
+        match self.call(&frame)? {
             Frame::InsertAck { id } => Ok(id),
             other => Err(unexpected(&other)),
         }
     }
 
-    /// Owner-authenticated deletion by id.
+    /// Owner-authenticated deletion by id from the `"default"` collection.
     pub fn delete(&mut self, token: u64, id: u32) -> Result<(), ClientError> {
-        match self.call(&Frame::Delete { token, id })? {
+        self.delete_opt(None, token, id)
+    }
+
+    /// [`Self::delete`] from the named collection (version-2 frame).
+    pub fn delete_in(&mut self, collection: &str, token: u64, id: u32) -> Result<(), ClientError> {
+        self.delete_opt(Some(collection), token, id)
+    }
+
+    fn delete_opt(
+        &mut self,
+        collection: Option<&str>,
+        token: u64,
+        id: u32,
+    ) -> Result<(), ClientError> {
+        match self.call(&Frame::Delete { collection: wire_name(collection), token, id })? {
             Frame::DeleteAck => Ok(()),
             other => Err(unexpected(&other)),
         }
     }
 
-    /// Fetches the service counters.
+    /// Fetches the aggregate (process-wide) service counters.
     pub fn stats(&mut self) -> Result<StatsSnapshot, ClientError> {
-        match self.call(&Frame::Stats)? {
+        self.stats_opt(None)
+    }
+
+    /// Fetches one collection's counters (version-2 frame): the frames
+    /// routed to that collection plus its own live count and uptime.
+    pub fn stats_in(&mut self, collection: &str) -> Result<StatsSnapshot, ClientError> {
+        self.stats_opt(Some(collection))
+    }
+
+    fn stats_opt(&mut self, collection: Option<&str>) -> Result<StatsSnapshot, ClientError> {
+        match self.call(&Frame::Stats { collection: wire_name(collection) })? {
             Frame::StatsReply(snap) => Ok(snap),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Lists every collection the server holds, sorted by name.
+    pub fn list_collections(&mut self) -> Result<Vec<CollectionEntry>, ClientError> {
+        match self.call(&Frame::ListCollections)? {
+            Frame::ListCollectionsReply(entries) => Ok(entries),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Owner-authenticated creation of a fresh, empty collection of the
+    /// given dimensionality, served by `shards` shards (1 = single-index).
+    /// On a `--data-dir` server the snapshot file is written before this
+    /// returns. Populate it with [`Self::insert_in`].
+    pub fn create_collection(
+        &mut self,
+        token: u64,
+        name: &str,
+        dim: usize,
+        shards: u16,
+    ) -> Result<(), ClientError> {
+        let frame = Frame::CreateCollection {
+            token,
+            name: name.as_bytes().to_vec(),
+            dim: dim as u64,
+            shards,
+        };
+        match self.call(&frame)? {
+            Frame::CreateCollectionAck => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Owner-authenticated removal of a collection (and of its snapshot
+    /// file on a `--data-dir` server).
+    pub fn drop_collection(&mut self, token: u64, name: &str) -> Result<(), ClientError> {
+        match self.call(&Frame::DropCollection { token, name: name.as_bytes().to_vec() })? {
+            Frame::DropCollectionAck => Ok(()),
             other => Err(unexpected(&other)),
         }
     }

@@ -114,7 +114,7 @@ pub fn read_frame<R: Read>(
         ReadStatus::DeadlineExpired => return Err(FrameReadError::TimedOut),
         ReadStatus::Full => {}
     }
-    let (tag, len) = parse_header(&header, max_frame)?;
+    let (version, tag, len) = parse_header(&header, max_frame)?;
     let mut payload = vec![0u8; len as usize];
     match read_full(reader, &mut payload, stop, deadline).map_err(FrameReadError::Io)? {
         ReadStatus::CleanEof if len > 0 => {
@@ -127,7 +127,7 @@ pub fn read_frame<R: Read>(
         ReadStatus::DeadlineExpired => return Err(FrameReadError::TimedOut),
         _ => {}
     }
-    let frame = Frame::decode_payload(tag, bytes::Bytes::from(payload))?;
+    let frame = Frame::decode_payload(version, tag, bytes::Bytes::from(payload))?;
     Ok(Some((frame, HEADER_LEN + len as usize)))
 }
 
@@ -141,13 +141,13 @@ mod tests {
     fn stream_roundtrip() {
         let mut wire = Vec::new();
         write_frame(&mut wire, &Frame::Hello { dim: 3 }).unwrap();
-        write_frame(&mut wire, &Frame::Stats).unwrap();
+        write_frame(&mut wire, &Frame::Stats { collection: None }).unwrap();
         let mut cursor = Cursor::new(wire);
         let (a, n1) = read_frame(&mut cursor, DEFAULT_MAX_FRAME, None, None).unwrap().unwrap();
         assert!(matches!(a, Frame::Hello { dim: 3 }));
         assert_eq!(n1, HEADER_LEN + 8);
         let (b, _) = read_frame(&mut cursor, DEFAULT_MAX_FRAME, None, None).unwrap().unwrap();
-        assert!(matches!(b, Frame::Stats));
+        assert!(matches!(b, Frame::Stats { collection: None }));
         assert!(read_frame(&mut cursor, DEFAULT_MAX_FRAME, None, None).unwrap().is_none());
     }
 

@@ -11,17 +11,23 @@
 //!   Byte-level spec with worked hex examples: `PROTOCOL.md` at the
 //!   repository root, rendered into these docs as the [`spec`] module.
 //! * [`server`] — a `TcpListener` accept loop feeding a fixed worker
-//!   thread pool over [`ppann_core::SharedServer`]: connections
-//!   multiplexed across the pool (no worker is ever pinned to one peer),
-//!   concurrent searches under the shared lock, whole-`SearchBatch`
-//!   frames fanned across [`ppann_core::BatchExecutor`], exclusive owner
-//!   maintenance, bounded accept queue for backpressure, validated
-//!   search knobs and batch sizes, graceful shutdown, atomic
-//!   [`ServiceStats`].
+//!   thread pool over a whole [`ppann_core::Catalog`] of named
+//!   collections (the single-backend [`serve`] entry point is a
+//!   one-collection catalog): connections multiplexed across the pool
+//!   (no worker is ever pinned to one peer), every request frame routed
+//!   to its collection's type-erased backend, concurrent searches under
+//!   the shared lock, whole-`SearchBatch` frames fanned across the
+//!   backend's batch executor, exclusive owner maintenance, a
+//!   disk-backed collection lifecycle (`--data-dir`), bounded accept
+//!   queue for backpressure, validated search knobs and batch sizes,
+//!   graceful shutdown, atomic [`ServiceStats`] both process-wide and
+//!   per collection.
 //! * [`client`] — the blocking [`ServiceClient`] (single-frame, batched
-//!   and pipelined search) used by the `ppanns-cli`
-//!   `serve`/`query`/`stats` subcommands, the `secure_cloud_service`
-//!   example and the loopback parity tests.
+//!   and pipelined search; each with a `_in` variant targeting a named
+//!   collection, plus `list_collections`/`create_collection`/
+//!   `drop_collection`) used by the `ppanns-cli`
+//!   `serve`/`query`/`stats`/`collections` subcommands, the
+//!   `secure_cloud_service` example and the loopback parity tests.
 //!
 //! ## The wire boundary (DESIGN.md §7)
 //!
@@ -45,7 +51,7 @@
 //! let shared = SharedServer::new(CloudServer::new(owner.outsource(&data)));
 //!
 //! // Cloud side: serve over TCP (port 0 = OS-assigned).
-//! let handle = serve(shared, ServiceConfig::loopback(8)).unwrap();
+//! let handle = serve(shared, ServiceConfig::loopback()).unwrap();
 //!
 //! // User side: encrypt locally, query remotely.
 //! let mut user = owner.authorize_user();
@@ -71,6 +77,9 @@ pub mod spec {
 }
 
 pub use client::{ClientError, ServiceClient, DEFAULT_CALL_TIMEOUT, DEFAULT_PIPELINE_WINDOW};
-pub use server::{serve, ServiceConfig, ServiceHandle};
+pub use server::{serve, serve_catalog, ServiceConfig, ServiceHandle};
 pub use stats::{ServiceStats, StatsSnapshot};
-pub use wire::{ErrorCode, Frame, ProtocolError, DEFAULT_MAX_FRAME, PROTOCOL_VERSION};
+pub use wire::{
+    CollectionEntry, ErrorCode, Frame, ProtocolError, WireName, COLLECTION_KIND_CLOUD,
+    COLLECTION_KIND_SHARDED, DEFAULT_MAX_FRAME, PROTOCOL_VERSION, PROTOCOL_VERSION_LEGACY,
+};

@@ -9,16 +9,29 @@
 //!      │  pop a connection, probe it without blocking, answer at most
 //!      │  ONE frame, push it back — workers are never owned by a single
 //!      ▼  peer, so parked keep-alive clients cannot pin or slow them
-//! SharedServer<S>   searches: shared lock (concurrent)
-//!                   batches: `BatchExecutor` fan-out over `batch_threads`
-//!                   maintenance: exclusive lock (serialized)
+//! Catalog ── "default"  → collection (type-erased backend)
+//!        ├── "products" → collection      searches: shared lock
+//!        └── "docs"     → collection      batches: backend fan-out
+//!                                         maintenance: exclusive lock
 //! ```
 //!
-//! The backend is any [`SharedServer`] composition — the paper's
-//! single-threaded `CloudServer` or the multi-core `ShardedServer` — so
-//! concurrent `Search` frames run in parallel under the shared lock while
-//! `Insert`/`Delete` frames serialize on the exclusive path, exactly the
-//! concurrency contract `SharedServer` already guarantees in-process.
+//! One process serves a whole [`Catalog`] of named collections: every
+//! request frame routes to one collection — a legacy nameless (version-1)
+//! frame to `"default"`, a version-2 frame to the collection it names —
+//! and each collection is a type-erased
+//! [`ErasedBackend`](ppann_core::ErasedBackend), so a `CloudServer`
+//! collection serves next to a `ShardedServer` one with different
+//! dimensionalities. Per collection, the concurrency contract is the
+//! `SharedServer` one unchanged: concurrent `Search` frames under the
+//! shared lock, `Insert`/`Delete` serialized on the exclusive path.
+//! The single-backend [`serve`] entry point is a one-collection catalog.
+//!
+//! With [`ServiceConfig::data_dir`] set, the catalog is disk-backed:
+//! `CreateCollection` writes an empty `<name>.ppdb` snapshot before the
+//! collection goes live and `DropCollection` deletes the file, so a
+//! restart (`ppanns-cli serve --data-dir`) rediscovers the same
+//! collection set. Vector maintenance stays in-memory-only, exactly like
+//! the single-index server (OPERATIONS.md §4).
 //!
 //! Liveness guards, all configurable on [`ServiceConfig`]:
 //!
@@ -47,14 +60,21 @@
 
 use crate::io::{read_frame, write_frame, FrameReadError};
 use crate::stats::ServiceStats;
-use crate::wire::{ErrorCode, Frame, DEFAULT_MAX_FRAME};
-use crossbeam::channel;
-use parking_lot::Mutex;
-use ppann_core::{
-    BatchExecutor, EncryptedQuery, MaintainableServer, QueryBackend, SearchParams, SharedServer,
+use crate::wire::{
+    CollectionEntry, ErrorCode, Frame, WireName, COLLECTION_KIND_CLOUD, COLLECTION_KIND_SHARDED,
+    DEFAULT_MAX_FRAME,
 };
-use std::collections::VecDeque;
+use crossbeam::channel;
+use parking_lot::{Mutex, RwLock};
+use ppann_core::catalog::{validate_collection_name, Catalog, Collection};
+use ppann_core::{
+    collection_snapshot_bytes, BackendInfo, BackendKind, CollectionMeta, EncryptedDatabase,
+    EncryptedQuery, MaintainableServer, QueryBackend, SearchParams, SharedServer,
+    DEFAULT_COLLECTION, SNAPSHOT_EXT,
+};
+use std::collections::{HashMap, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -80,15 +100,18 @@ pub struct ServiceConfig {
     /// Maximum accepted frame payload in bytes; larger frames are refused
     /// with an error frame before any allocation.
     pub max_frame: u32,
-    /// Shared secret for `Insert`/`Delete`/`Shutdown` frames. `None`
-    /// disables remote maintenance and shutdown entirely. This stands in
-    /// for real channel authentication (mTLS etc. — DESIGN.md §7); it
-    /// gates *mutation*, not confidentiality, which the ciphertexts
-    /// provide on their own.
+    /// Shared secret for `Insert`/`Delete`/`Shutdown` and the
+    /// collection-management frames (`CreateCollection`/`DropCollection`).
+    /// `None` disables remote maintenance, catalog changes and shutdown
+    /// entirely. This stands in for real channel authentication (mTLS
+    /// etc. — DESIGN.md §7); it gates *mutation*, not confidentiality,
+    /// which the ciphertexts provide on their own.
     pub owner_token: Option<u64>,
-    /// Vector dimensionality served, echoed in `HelloAck` and enforced on
-    /// every query/insert.
-    pub dim: usize,
+    /// Snapshot directory backing the catalog lifecycle: when set,
+    /// `CreateCollection` persists an empty `<name>.ppdb` before the
+    /// collection goes live and `DropCollection` removes the file. `None`
+    /// keeps collection create/drop in-memory-only.
+    pub data_dir: Option<PathBuf>,
     /// How long a fresh connection may take to send its `Hello`.
     pub handshake_timeout: Duration,
     /// How long an established connection may sit idle between frames
@@ -127,13 +150,13 @@ pub struct ServiceConfig {
 
 impl ServiceConfig {
     /// Loopback defaults: OS-assigned port, 4 workers, maintenance off.
-    pub fn loopback(dim: usize) -> Self {
+    pub fn loopback() -> Self {
         Self {
             addr: "127.0.0.1:0".to_string(),
             workers: 4,
             max_frame: DEFAULT_MAX_FRAME,
             owner_token: None,
-            dim,
+            data_dir: None,
             handshake_timeout: Duration::from_secs(5),
             idle_timeout: Duration::from_secs(120),
             frame_timeout: Duration::from_secs(30),
@@ -186,6 +209,13 @@ impl ServiceConfig {
         self
     }
 
+    /// Backs the catalog lifecycle with a snapshot directory (see
+    /// [`Self::data_dir`]).
+    pub fn with_data_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.data_dir = Some(dir.into());
+        self
+    }
+
     /// Replaces the frame size limit.
     pub fn with_max_frame(mut self, max_frame: u32) -> Self {
         self.max_frame = max_frame;
@@ -218,6 +248,48 @@ impl ServiceConfig {
     }
 }
 
+/// Per-collection service counters plus the catalog lifecycle guard.
+///
+/// Each collection's `ServiceStats` counts the frames routed to it —
+/// queries, maintenance, routed bytes, latency buckets — while the
+/// process-wide `ServiceStats` keeps aggregating everything, so the
+/// legacy nameless `Stats` frame still reports whole-process counters.
+///
+/// Slots are registered *before* a collection becomes visible in the
+/// catalog and removed when it is dropped, so a routed frame that
+/// resolves its collection always finds a slot — a miss means the
+/// collection was concurrently dropped. The map is a `RwLock` because
+/// every routed frame reads it: only lifecycle operations take the
+/// write lock.
+#[derive(Default)]
+struct PerCollectionStats {
+    map: RwLock<HashMap<String, Arc<ServiceStats>>>,
+    /// Serializes create/drop sequences — catalog mutation, snapshot
+    /// file I/O, and slot registration — against each other. Without
+    /// it, a drop can interleave between a create's name reservation
+    /// and its snapshot write, tolerating the not-yet-written file and
+    /// then being undone by it: an orphan snapshot that resurrects the
+    /// dropped collection on the next `--data-dir` restart. Routed
+    /// frames never touch this lock.
+    lifecycle: Mutex<()>,
+}
+
+impl PerCollectionStats {
+    /// The stats slot for `name`, if the collection is (still) live.
+    fn get(&self, name: &str) -> Option<Arc<ServiceStats>> {
+        self.map.read().get(name).cloned()
+    }
+
+    /// Registers (or returns) the slot for `name`; uptime starts here.
+    fn insert(&self, name: &str) -> Arc<ServiceStats> {
+        Arc::clone(self.map.write().entry(name.to_string()).or_default())
+    }
+
+    fn remove(&self, name: &str) {
+        self.map.write().remove(name);
+    }
+}
+
 /// A running service: bound address, shared counters, join/stop control.
 ///
 /// Dropping the handle requests a stop and joins all threads, so a test
@@ -225,6 +297,7 @@ impl ServiceConfig {
 pub struct ServiceHandle {
     addr: SocketAddr,
     stats: Arc<ServiceStats>,
+    catalog: Arc<Catalog>,
     stop: Arc<AtomicBool>,
     threads: Vec<std::thread::JoinHandle<()>>,
 }
@@ -238,6 +311,23 @@ impl ServiceHandle {
     /// Live service counters.
     pub fn stats(&self) -> &ServiceStats {
         &self.stats
+    }
+
+    /// The served catalog (shared with the workers: collections created
+    /// or dropped over the wire are visible here immediately).
+    ///
+    /// The reverse direction is not routable: a collection registered
+    /// directly on this catalog after the service started has no stats
+    /// slot, and frames naming it are answered `UnknownCollection`.
+    /// Register collections before calling [`serve_catalog`], or over
+    /// the wire with `CreateCollection`.
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
+    }
+
+    /// Total live vectors across every served collection.
+    pub fn live(&self) -> u64 {
+        self.catalog.total_live() as u64
     }
 
     /// Raises the stop flag: stop accepting, drain, exit. Returns
@@ -326,16 +416,39 @@ fn deadline_after(d: Duration) -> Instant {
 }
 
 /// Binds the listener and spawns the accept loop plus worker pool over a
-/// shared backend. Returns once the socket is bound; serving continues in
-/// the background until a shutdown is requested.
+/// single shared backend, served as the one-collection catalog
+/// `{"default"}` — the legacy entry point, byte-compatible with version-1
+/// clients. Returns once the socket is bound; serving continues in the
+/// background until a shutdown is requested.
 pub fn serve<S>(backend: SharedServer<S>, config: ServiceConfig) -> std::io::Result<ServiceHandle>
 where
-    S: QueryBackend + MaintainableServer + Send + Sync + 'static,
+    S: QueryBackend + MaintainableServer + BackendInfo + Send + Sync + 'static,
 {
+    let catalog = Catalog::new();
+    catalog
+        .create(DEFAULT_COLLECTION, Box::new(backend))
+        .expect("fresh catalog cannot refuse the default collection");
+    serve_catalog(Arc::new(catalog), config)
+}
+
+/// Binds the listener and spawns the accept loop plus worker pool over a
+/// whole [`Catalog`]: one process, many named collections, heterogeneous
+/// dimensionalities and backend shapes. Nameless (version-1) frames route
+/// to the `"default"` collection when the catalog holds one.
+pub fn serve_catalog(
+    catalog: Arc<Catalog>,
+    config: ServiceConfig,
+) -> std::io::Result<ServiceHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
     let stats = Arc::new(ServiceStats::new());
+    let coll_stats = Arc::new(PerCollectionStats::default());
+    // Register stats slots up front so a collection's uptime starts at
+    // service start, not at its first frame.
+    for info in catalog.list() {
+        coll_stats.insert(&info.name);
+    }
     let stop = Arc::new(AtomicBool::new(false));
     let workers = config.workers.max(1);
 
@@ -354,7 +467,8 @@ where
     for _ in 0..workers {
         let conn_rx = Arc::clone(&conn_rx);
         let parked = Arc::clone(&parked);
-        let backend = backend.clone();
+        let catalog = Arc::clone(&catalog);
+        let coll_stats = Arc::clone(&coll_stats);
         let stats = Arc::clone(&stats);
         let stop = Arc::clone(&stop);
         let config = config.clone();
@@ -384,7 +498,7 @@ where
                 // down with it (the vendored lock recovers from poisoning,
                 // so the backend stays serviceable too).
                 let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    poll_connection(&mut conn, &backend, &config, &stats, &stop)
+                    poll_connection(&mut conn, &catalog, &coll_stats, &config, &stats, &stop)
                 }));
                 match outcome {
                     Ok(Poll::Served) => {
@@ -476,7 +590,7 @@ where
         }));
     }
 
-    Ok(ServiceHandle { addr, stats, stop, threads })
+    Ok(ServiceHandle { addr, stats, catalog, stop, threads })
 }
 
 /// One multiplexing step: peek (without blocking) for pending bytes and,
@@ -484,16 +598,14 @@ where
 /// connection costs each pass through the queue microseconds — not a
 /// worker — so the rotation stays fast no matter how many keep-alive
 /// peers are parked.
-fn poll_connection<S>(
+fn poll_connection(
     conn: &mut Conn,
-    backend: &SharedServer<S>,
+    catalog: &Catalog,
+    coll_stats: &PerCollectionStats,
     config: &ServiceConfig,
     stats: &ServiceStats,
     stop: &AtomicBool,
-) -> Poll
-where
-    S: QueryBackend + MaintainableServer + Send + Sync,
-{
+) -> Poll {
     // Parked sockets are in non-blocking mode, so the probe is a single
     // syscall; the socket flips to blocking-with-timeout only for the
     // frame read below, and back before re-parking.
@@ -523,11 +635,11 @@ where
     // peer dripping one byte per poll cannot hold the worker past that.
     let read_deadline =
         if conn.ready { deadline_after(config.frame_timeout) } else { conn.deadline };
-    let frame =
+    let (frame, frame_bytes) =
         match read_frame(&mut conn.stream, config.max_frame, Some(stop), Some(read_deadline)) {
             Ok(Some((frame, n))) => {
                 stats.add_bytes_in(n as u64);
-                frame
+                (frame, n as u64)
             }
             Ok(None) | Err(FrameReadError::Stopped) | Err(FrameReadError::TimedOut) => {
                 return Poll::Closed
@@ -541,9 +653,9 @@ where
         };
 
     let fate = if conn.ready {
-        serve_frame(conn, frame, backend, config, stats, stop)
+        serve_frame(conn, frame, frame_bytes, catalog, coll_stats, config, stats, stop)
     } else {
-        serve_hello(conn, frame, backend, config, stats)
+        serve_hello(conn, frame, catalog, stats)
     };
     match fate {
         ConnFate::Keep => {
@@ -559,34 +671,32 @@ where
 }
 
 /// Handles the first frame of a connection, which must be a `Hello` with
-/// a compatible dimensionality.
-fn serve_hello<S>(
-    conn: &mut Conn,
-    frame: Frame,
-    backend: &SharedServer<S>,
-    config: &ServiceConfig,
-    stats: &ServiceStats,
-) -> ConnFate
-where
-    S: QueryBackend + MaintainableServer + Send + Sync,
-{
+/// a compatible dimensionality. The handshake describes the `"default"`
+/// collection — the one nameless frames route to; against a catalog with
+/// no default collection the ack reports `dim = 0` (heterogeneous; use
+/// `ListCollections`) and the catalog-wide live total, and only a
+/// `dim = 0` Hello passes.
+fn serve_hello(conn: &mut Conn, frame: Frame, catalog: &Catalog, stats: &ServiceStats) -> ConnFate {
     match frame {
         Frame::Hello { dim } => {
-            if dim != 0 && dim != config.dim as u64 {
-                send_error(
-                    &mut conn.stream,
-                    stats,
-                    ErrorCode::DimMismatch,
-                    format!("server dim {}, client dim {dim}", config.dim),
-                );
+            let default = catalog.default_collection();
+            let (served_dim, live) = match &default {
+                Some(coll) => (coll.dim() as u64, coll.live_len() as u64),
+                None => (0, catalog.total_live() as u64),
+            };
+            if dim != 0 && dim != served_dim {
+                let detail = match default {
+                    Some(_) => format!("server dim {served_dim}, client dim {dim}"),
+                    None => format!(
+                        "no default collection to check dim {dim} against — \
+                         send dim 0 and pick a collection by name"
+                    ),
+                };
+                send_error(&mut conn.stream, stats, ErrorCode::DimMismatch, detail);
                 return ConnFate::Close;
             }
             conn.ready = true;
-            if send(
-                &mut conn.stream,
-                stats,
-                &Frame::HelloAck { dim: config.dim as u64, live: backend.len() as u64 },
-            ) {
+            if send(&mut conn.stream, stats, &Frame::HelloAck { dim: served_dim, live }) {
                 ConnFate::Keep
             } else {
                 ConnFate::Close
@@ -604,36 +714,193 @@ where
     }
 }
 
+/// Resolves a request's collection reference: the raw wire name (or the
+/// implicit `"default"` of a nameless legacy frame) to a live collection
+/// handle plus its stats slot. `Err` carries the error frame to answer —
+/// malformed names are `BadRequest`, well-formed-but-absent ones
+/// `UnknownCollection`; both keep the connection open.
+fn resolve_collection(
+    collection: &Option<WireName>,
+    catalog: &Catalog,
+    coll_stats: &PerCollectionStats,
+) -> Result<(Arc<Collection>, Arc<ServiceStats>), (ErrorCode, String)> {
+    let name = match collection {
+        None => DEFAULT_COLLECTION,
+        Some(bytes) => decode_name(bytes)?,
+    };
+    let coll = catalog
+        .get(name)
+        .ok_or_else(|| (ErrorCode::UnknownCollection, format!("unknown collection `{name}`")))?;
+    // Slots are registered before a collection becomes visible, so a
+    // miss here means the collection was dropped between the two
+    // lookups — answer as if the catalog lookup had already missed,
+    // rather than resurrecting a stale slot a later re-create of the
+    // same name would inherit.
+    let stats = coll_stats
+        .get(name)
+        .ok_or_else(|| (ErrorCode::UnknownCollection, format!("unknown collection `{name}`")))?;
+    Ok((coll, stats))
+}
+
+/// Decodes and validates an owner-supplied collection name for the
+/// catalog-management frames (stricter than [`resolve_collection`]: no
+/// default fallback, existence is checked by the caller).
+fn decode_name(name: &[u8]) -> Result<&str, (ErrorCode, String)> {
+    let name = std::str::from_utf8(name)
+        .map_err(|_| (ErrorCode::BadRequest, "collection name is not UTF-8".to_string()))?;
+    validate_collection_name(name).map_err(|e| (ErrorCode::BadRequest, e.to_string()))?;
+    Ok(name)
+}
+
+/// Bounds on owner-supplied `CreateCollection` parameters: both arrive as
+/// attacker-reachable integers (behind the owner token) and both size
+/// server-side structures, so both are checked before anything is built.
+const MAX_CREATE_DIM: u64 = 1 << 16;
+const MAX_CREATE_SHARDS: u16 = ppann_core::catalog::MAX_SHARDS as u16;
+
+/// The snapshot path of a collection in the data directory.
+fn snapshot_path(dir: &std::path::Path, name: &str) -> PathBuf {
+    dir.join(format!("{name}.{SNAPSHOT_EXT}"))
+}
+
+/// The guarded body of `CreateCollection` — name reservation, snapshot
+/// write, stats-slot registration. The caller holds the lifecycle lock
+/// (see `PerCollectionStats::lifecycle`) so a concurrent drop of the
+/// same name cannot interleave, and sends the reply only after
+/// releasing it. `Err` is the error frame to answer with.
+fn create_collection_locked(
+    catalog: &Catalog,
+    coll_stats: &PerCollectionStats,
+    config: &ServiceConfig,
+    name: &str,
+    dim: u64,
+    shards: u16,
+) -> Result<(), (ErrorCode, String)> {
+    // Stats slot first: a collection visible in the catalog must always
+    // have one (`resolve_collection` treats a missing slot as a
+    // concurrent drop). On a duplicate create this returns the live
+    // collection's slot, untouched.
+    coll_stats.insert(name); // uptime starts at creation
+    let db = EncryptedDatabase::empty(dim as usize);
+    // Serialize the snapshot image from the same database the catalog
+    // will serve, so the on-disk and in-memory states are identical by
+    // construction.
+    let snapshot = config.data_dir.as_ref().map(|dir| {
+        let meta = CollectionMeta { name: name.to_string(), shards };
+        (snapshot_path(dir, name), collection_snapshot_bytes(&meta, &db))
+    });
+    // Reserve the name in the catalog (atomic): a duplicate create must
+    // fail before it can touch the snapshot file — the write truncates,
+    // and the existing collection's populated snapshot must never be
+    // replaced by an empty one. Only then persist; a write failure
+    // rolls the reservation back. A crash between reservation and
+    // write loses an un-acked collection on restart, which is the safe
+    // direction (the owner never saw an ack).
+    if let Err(e) = catalog.create_sharded(name, db, shards as usize) {
+        // Duplicate name — nothing was built, no file was touched, and
+        // the slot belongs to the live collection.
+        return Err((ErrorCode::BadRequest, e.to_string()));
+    }
+    if let Some((path, bytes)) = snapshot {
+        if let Err(e) = std::fs::write(&path, &bytes) {
+            let _ = catalog.drop_collection(name);
+            // The name was free (create succeeded), so the slot is the
+            // one registered above — roll it back too.
+            coll_stats.remove(name);
+            return Err((ErrorCode::Internal, format!("snapshot write failed: {e}")));
+        }
+    }
+    Ok(())
+}
+
+/// The guarded body of `DropCollection`. The caller holds the lifecycle
+/// lock, so a create of this name is either fully persisted before we
+/// look or starts after we are done — its snapshot can never
+/// materialize behind our back.
+fn drop_collection_locked(
+    catalog: &Catalog,
+    coll_stats: &PerCollectionStats,
+    config: &ServiceConfig,
+    name: &str,
+) -> Result<(), (ErrorCode, String)> {
+    if catalog.get(name).is_none() {
+        return Err((ErrorCode::UnknownCollection, format!("unknown collection `{name}`")));
+    }
+    // Delete the snapshot before the in-memory drop: if the file cannot
+    // go away the collection must not either, or a restart would
+    // resurrect it.
+    if let Some(dir) = &config.data_dir {
+        match std::fs::remove_file(snapshot_path(dir, name)) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err((ErrorCode::Internal, format!("snapshot delete failed: {e}"))),
+        }
+    }
+    match catalog.drop_collection(name) {
+        Ok(_) => {
+            coll_stats.remove(name);
+            Ok(())
+        }
+        // Unreachable while every wire-driven drop holds the lifecycle
+        // lock; kept defensive for non-wire callers mutating the shared
+        // catalog.
+        Err(e) => Err((ErrorCode::UnknownCollection, e.to_string())),
+    }
+}
+
 /// Answers one post-handshake request frame.
-fn serve_frame<S>(
+#[allow(clippy::too_many_arguments)]
+fn serve_frame(
     conn: &mut Conn,
     frame: Frame,
-    backend: &SharedServer<S>,
+    frame_bytes: u64,
+    catalog: &Catalog,
+    coll_stats: &PerCollectionStats,
     config: &ServiceConfig,
     stats: &ServiceStats,
     stop: &AtomicBool,
-) -> ConnFate
-where
-    S: QueryBackend + MaintainableServer + Send + Sync,
-{
+) -> ConnFate {
     let conn = &mut conn.stream;
     match frame {
-        Frame::Search { params, query } => {
-            if let Some(msg) = validate_query(&query, &params, config) {
-                send_error(conn, stats, ErrorCode::BadRequest, msg);
+        Frame::Search { collection, params, query } => {
+            let (coll, cstats) = match resolve_collection(&collection, catalog, coll_stats) {
+                Ok(found) => found,
+                Err((code, msg)) => {
+                    send_error(conn, stats, code, msg);
+                    return ConnFate::Keep;
+                }
+            };
+            cstats.add_bytes_in(frame_bytes);
+            if let Some(msg) = validate_query(&query, &params, coll.dim(), config) {
+                send_error_counted(conn, &[stats, &cstats], ErrorCode::BadRequest, msg);
                 return ConnFate::Keep;
             }
             let started = Instant::now();
-            let outcome = backend.search(&query, &params);
-            stats.record_query(started.elapsed());
-            keep_if(send(conn, stats, &Frame::SearchResult(outcome)))
+            let outcome = coll.search(&query, &params);
+            let elapsed = started.elapsed();
+            stats.record_query(elapsed);
+            cstats.record_query(elapsed);
+            keep_if(send_counted(conn, &[stats, &cstats], &Frame::SearchResult(outcome)))
         }
-        Frame::SearchBatch { params, queries } => {
+        Frame::SearchBatch { collection, params, queries } => {
+            let (coll, cstats) = match resolve_collection(&collection, catalog, coll_stats) {
+                Ok(found) => found,
+                Err((code, msg)) => {
+                    send_error(conn, stats, code, msg);
+                    return ConnFate::Keep;
+                }
+            };
+            cstats.add_bytes_in(frame_bytes);
             // An empty batch is well-formed on the wire but answers
             // nothing — refuse it rather than invent an empty reply a
             // buggy client would silently accept.
             if queries.is_empty() {
-                send_error(conn, stats, ErrorCode::BadRequest, "empty batch".into());
+                send_error_counted(
+                    conn,
+                    &[stats, &cstats],
+                    ErrorCode::BadRequest,
+                    "empty batch".into(),
+                );
                 return ConnFate::Keep;
             }
             // The batch bound caps the total work one frame can demand
@@ -642,9 +909,9 @@ where
             // rotating the parked-connection FIFO meanwhile, so a giant
             // batch cannot starve keep-alive peers.
             if queries.len() > config.max_batch {
-                send_error(
+                send_error_counted(
                     conn,
-                    stats,
+                    &[stats, &cstats],
                     ErrorCode::BadRequest,
                     format!(
                         "batch of {} queries exceeds the {} limit",
@@ -654,11 +921,12 @@ where
                 );
                 return ConnFate::Keep;
             }
+            let dim = coll.dim();
             for (qi, query) in queries.iter().enumerate() {
-                if let Some(msg) = validate_query(query, &params, config) {
-                    send_error(
+                if let Some(msg) = validate_query(query, &params, dim, config) {
+                    send_error_counted(
                         conn,
-                        stats,
+                        &[stats, &cstats],
                         ErrorCode::BadRequest,
                         format!("batch query {qi}: {msg}"),
                     );
@@ -673,9 +941,9 @@ where
             // a frame no peer with the same limit could accept.
             let reply_bound: u64 = 8 + queries.iter().map(|q| 56 + 12 * q.k as u64).sum::<u64>();
             if reply_bound > config.max_frame as u64 {
-                send_error(
+                send_error_counted(
                     conn,
-                    stats,
+                    &[stats, &cstats],
                     ErrorCode::BadRequest,
                     format!(
                         "batch reply could reach {reply_bound} bytes, above the {} frame limit — \
@@ -685,12 +953,12 @@ where
                 );
                 return ConnFate::Keep;
             }
-            // Hand the whole batch to the in-process executor: it fans
-            // the queries across `batch_threads` scoped workers (clamped
-            // to the batch size), each searching under the shared lock.
+            // Hand the whole batch to the collection's erased backend: it
+            // fans the queries across `batch_threads` scoped workers
+            // (clamped to the batch size), each searching under the
+            // shared lock.
             let started = Instant::now();
-            let exec = BatchExecutor::new(backend.clone(), config.effective_batch_threads());
-            let batch = exec.run(&queries, &params);
+            let outcomes = coll.search_many(&queries, &params, config.effective_batch_threads());
             // Every query in the batch completes when its frame's reply
             // does, so each records the frame's service-layer wall time —
             // the same arrival-to-answer quantity the single-Search path
@@ -698,62 +966,184 @@ where
             // (per-query backend times still travel in each outcome's
             // `cost.server_time`).
             let elapsed = started.elapsed();
-            for _ in &batch.outcomes {
+            for _ in &outcomes {
                 stats.record_query(elapsed);
+                cstats.record_query(elapsed);
             }
-            keep_if(send(conn, stats, &Frame::SearchBatchResult(batch.outcomes)))
+            keep_if(send_counted(conn, &[stats, &cstats], &Frame::SearchBatchResult(outcomes)))
         }
-        Frame::Insert { token, c_sap, c_dce } => {
+        Frame::Insert { collection, token, c_sap, c_dce } => {
             if !authorized(config, token) {
                 send_error(conn, stats, ErrorCode::Unauthorized, "bad owner token".into());
                 return ConnFate::Keep;
             }
-            if c_sap.len() != config.dim {
-                send_error(
+            let (coll, cstats) = match resolve_collection(&collection, catalog, coll_stats) {
+                Ok(found) => found,
+                Err((code, msg)) => {
+                    send_error(conn, stats, code, msg);
+                    return ConnFate::Keep;
+                }
+            };
+            cstats.add_bytes_in(frame_bytes);
+            let dim = coll.dim();
+            if c_sap.len() != dim {
+                send_error_counted(
                     conn,
-                    stats,
+                    &[stats, &cstats],
                     ErrorCode::BadRequest,
-                    format!("insert dim {} != served dim {}", c_sap.len(), config.dim),
+                    format!("insert dim {} != served dim {dim}", c_sap.len()),
                 );
                 return ConnFate::Keep;
             }
             // A wrong-shape DCE ciphertext would be stored silently and
             // poison every later refine that touches it — reject here.
-            let expected = ppann_dce::ciphertext_dim(config.dim);
+            let expected = ppann_dce::ciphertext_dim(dim);
             if c_dce.component_dim() != expected {
-                send_error(
+                send_error_counted(
                     conn,
-                    stats,
+                    &[stats, &cstats],
                     ErrorCode::BadRequest,
                     format!("DCE component dim {} != expected {expected}", c_dce.component_dim()),
                 );
                 return ConnFate::Keep;
             }
-            let id = backend.insert(c_sap, c_dce);
+            let id = coll.insert(c_sap, c_dce);
             stats.record_insert();
-            keep_if(send(conn, stats, &Frame::InsertAck { id }))
+            cstats.record_insert();
+            keep_if(send_counted(conn, &[stats, &cstats], &Frame::InsertAck { id }))
         }
-        Frame::Delete { token, id } => {
+        Frame::Delete { collection, token, id } => {
             if !authorized(config, token) {
                 send_error(conn, stats, ErrorCode::Unauthorized, "bad owner token".into());
                 return ConnFate::Keep;
             }
-            if backend.try_delete(id) {
+            let (coll, cstats) = match resolve_collection(&collection, catalog, coll_stats) {
+                Ok(found) => found,
+                Err((code, msg)) => {
+                    send_error(conn, stats, code, msg);
+                    return ConnFate::Keep;
+                }
+            };
+            cstats.add_bytes_in(frame_bytes);
+            if coll.try_delete(id) {
                 stats.record_delete();
-                keep_if(send(conn, stats, &Frame::DeleteAck))
+                cstats.record_delete();
+                keep_if(send_counted(conn, &[stats, &cstats], &Frame::DeleteAck))
             } else {
-                send_error(
+                send_error_counted(
                     conn,
-                    stats,
+                    &[stats, &cstats],
                     ErrorCode::BadRequest,
                     format!("id {id} out of range or already deleted"),
                 );
                 ConnFate::Keep
             }
         }
-        Frame::Stats => {
-            let snap = stats.snapshot(backend.len() as u64);
+        Frame::Stats { collection: None } => {
+            // Aggregate view: process-wide counters, catalog-wide live.
+            let snap = stats.snapshot(catalog.total_live() as u64);
             keep_if(send(conn, stats, &Frame::StatsReply(snap)))
+        }
+        Frame::Stats { collection: collection @ Some(_) } => {
+            let (coll, cstats) = match resolve_collection(&collection, catalog, coll_stats) {
+                Ok(found) => found,
+                Err((code, msg)) => {
+                    send_error(conn, stats, code, msg);
+                    return ConnFate::Keep;
+                }
+            };
+            cstats.add_bytes_in(frame_bytes);
+            let snap = cstats.snapshot(coll.live_len() as u64);
+            keep_if(send_counted(conn, &[stats, &cstats], &Frame::StatsReply(snap)))
+        }
+        Frame::ListCollections => {
+            let entries: Vec<CollectionEntry> = catalog
+                .list()
+                .into_iter()
+                .map(|info| CollectionEntry {
+                    name: info.name,
+                    dim: info.dim as u64,
+                    live: info.live as u64,
+                    kind: match info.kind {
+                        BackendKind::Cloud => COLLECTION_KIND_CLOUD,
+                        BackendKind::Sharded { .. } => COLLECTION_KIND_SHARDED,
+                    },
+                    shards: info.kind.shards(),
+                })
+                .collect();
+            keep_if(send(conn, stats, &Frame::ListCollectionsReply(entries)))
+        }
+        Frame::CreateCollection { token, name, dim, shards } => {
+            if !authorized(config, token) {
+                send_error(conn, stats, ErrorCode::Unauthorized, "bad owner token".into());
+                return ConnFate::Keep;
+            }
+            let name = match decode_name(&name) {
+                Ok(name) => name.to_string(),
+                Err((code, msg)) => {
+                    send_error(conn, stats, code, msg);
+                    return ConnFate::Keep;
+                }
+            };
+            if dim == 0 || dim > MAX_CREATE_DIM {
+                send_error(
+                    conn,
+                    stats,
+                    ErrorCode::BadRequest,
+                    format!("collection dim must be in 1..={MAX_CREATE_DIM}, got {dim}"),
+                );
+                return ConnFate::Keep;
+            }
+            if shards == 0 || shards > MAX_CREATE_SHARDS {
+                send_error(
+                    conn,
+                    stats,
+                    ErrorCode::BadRequest,
+                    format!("shards must be in 1..={MAX_CREATE_SHARDS}, got {shards}"),
+                );
+                return ConnFate::Keep;
+            }
+            // The mutation runs under the lifecycle lock; the lock is
+            // released before the reply is written, so an owner
+            // connection that stops reading cannot stall other
+            // lifecycle frames for up to the write timeout.
+            let outcome = {
+                let _lifecycle = coll_stats.lifecycle.lock();
+                create_collection_locked(catalog, coll_stats, config, &name, dim, shards)
+            };
+            match outcome {
+                Ok(()) => keep_if(send(conn, stats, &Frame::CreateCollectionAck)),
+                Err((code, msg)) => {
+                    send_error(conn, stats, code, msg);
+                    ConnFate::Keep
+                }
+            }
+        }
+        Frame::DropCollection { token, name } => {
+            if !authorized(config, token) {
+                send_error(conn, stats, ErrorCode::Unauthorized, "bad owner token".into());
+                return ConnFate::Keep;
+            }
+            let name = match decode_name(&name) {
+                Ok(name) => name.to_string(),
+                Err((code, msg)) => {
+                    send_error(conn, stats, code, msg);
+                    return ConnFate::Keep;
+                }
+            };
+            // Same locking discipline as CreateCollection: mutate under
+            // the lifecycle lock, reply after releasing it.
+            let outcome = {
+                let _lifecycle = coll_stats.lifecycle.lock();
+                drop_collection_locked(catalog, coll_stats, config, &name)
+            };
+            match outcome {
+                Ok(()) => keep_if(send(conn, stats, &Frame::DropCollectionAck)),
+                Err((code, msg)) => {
+                    send_error(conn, stats, code, msg);
+                    ConnFate::Keep
+                }
+            }
         }
         Frame::Shutdown { token } => {
             if !authorized(config, token) {
@@ -774,6 +1164,9 @@ where
         | Frame::DeleteAck
         | Frame::StatsReply(_)
         | Frame::ShutdownAck
+        | Frame::CreateCollectionAck
+        | Frame::DropCollectionAck
+        | Frame::ListCollectionsReply(_)
         | Frame::Error { .. } => {
             send_error(conn, stats, ErrorCode::BadRequest, "unexpected frame direction".into());
             ConnFate::Keep
@@ -792,12 +1185,13 @@ where
 fn validate_query(
     query: &EncryptedQuery,
     params: &SearchParams,
+    dim: usize,
     config: &ServiceConfig,
 ) -> Option<String> {
-    if query.c_sap.len() != config.dim {
-        return Some(format!("query dim {} != served dim {}", query.c_sap.len(), config.dim));
+    if query.c_sap.len() != dim {
+        return Some(format!("query dim {} != served dim {dim}", query.c_sap.len()));
     }
-    let expected = ppann_dce::ciphertext_dim(config.dim);
+    let expected = ppann_dce::ciphertext_dim(dim);
     if query.trapdoor.dim() != expected {
         return Some(format!("trapdoor dim {} != expected {expected}", query.trapdoor.dim()));
     }
@@ -823,19 +1217,44 @@ fn authorized(config: &ServiceConfig, token: u64) -> bool {
     config.owner_token == Some(token)
 }
 
-/// Writes one reply frame; `false` means the peer is unwritable (stalled
-/// past the write timeout or gone) and the connection should close.
-fn send(conn: &mut TcpStream, stats: &ServiceStats, frame: &Frame) -> bool {
+/// Writes one reply frame, crediting the bytes to every stats sink (the
+/// process-wide counters plus, on collection-routed replies, the
+/// collection's); `false` means the peer is unwritable (stalled past the
+/// write timeout or gone) and the connection should close.
+fn send_counted(conn: &mut TcpStream, sinks: &[&ServiceStats], frame: &Frame) -> bool {
     match write_frame(conn, frame) {
         Ok(n) => {
-            stats.add_bytes_out(n as u64);
+            for stats in sinks {
+                stats.add_bytes_out(n as u64);
+            }
             true
         }
         Err(_) => false,
     }
 }
 
+/// [`send_counted`] into the process-wide counters only.
+fn send(conn: &mut TcpStream, stats: &ServiceStats, frame: &Frame) -> bool {
+    send_counted(conn, &[stats], frame)
+}
+
 fn send_error(conn: &mut TcpStream, stats: &ServiceStats, code: ErrorCode, message: String) {
     stats.record_error();
     send(conn, stats, &Frame::Error { code, message });
+}
+
+/// [`send_error`] for a failure on a frame already routed to a
+/// collection: the error (and the reply bytes) count against the
+/// collection's stats as well as the process-wide ones, so per-collection
+/// error rates actually locate the misbehaving tenant.
+fn send_error_counted(
+    conn: &mut TcpStream,
+    sinks: &[&ServiceStats],
+    code: ErrorCode,
+    message: String,
+) {
+    for stats in sinks {
+        stats.record_error();
+    }
+    send_counted(conn, sinks, &Frame::Error { code, message });
 }

@@ -10,12 +10,32 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic "PPNW"
-//! 4       1     protocol version (currently 1)
+//! 4       1     protocol version (1 = legacy single-index, 2 = namespaced)
 //! 5       1     message tag
 //! 6       2     reserved, must be zero (little-endian u16)
 //! 8       4     payload length in bytes (little-endian u32)
 //! 12      len   payload
 //! ```
+//!
+//! ## Versioning (multi-collection namespacing)
+//!
+//! Version is a **per-frame** property, and both ends accept both
+//! versions. Version 2 prefixes a collection name to the request payloads
+//! that route to a collection (`Search`, `SearchBatch`, `Insert`,
+//! `Delete`, `Stats`) and adds the catalog-management tags
+//! (`CreateCollection`, `DropCollection`, `ListCollections` and their
+//! replies). The encoder is canonical: a nameless message encodes as a
+//! version-1 frame (byte-identical to the legacy protocol), a named or
+//! catalog message as version 2 — so a legacy v1-only peer interoperates
+//! unchanged (its requests carry no names and are routed to the
+//! `"default"` collection; every reply it can receive is a nameless
+//! frame, i.e. version 1 on the wire).
+//!
+//! Collection names travel as **raw length-prefixed bytes**, not
+//! `String`s: name validation (UTF-8, charset, length) is a *semantic*
+//! check answered with a keep-open `BadRequest`, so the codec must be able
+//! to carry a malformed name up to the request layer instead of killing
+//! the connection with a framing error.
 //!
 //! Payload codecs reuse the core serialization hooks
 //! ([`EncryptedQuery::write_to`], [`SearchOutcome::write_to`],
@@ -39,8 +59,20 @@ use ppann_dce::DceCiphertext;
 /// Frame magic: the first four bytes of every frame.
 pub const MAGIC: [u8; 4] = *b"PPNW";
 
-/// Protocol version this build speaks (header byte 4).
-pub const PROTOCOL_VERSION: u8 = 1;
+/// Highest protocol version this build speaks (header byte 4): version 2,
+/// the namespaced multi-collection protocol.
+pub const PROTOCOL_VERSION: u8 = 2;
+
+/// The legacy single-index protocol version, still fully supported:
+/// nameless messages encode as version-1 frames byte-identical to the
+/// pre-collection protocol.
+pub const PROTOCOL_VERSION_LEGACY: u8 = 1;
+
+/// A collection name as carried on the wire: raw bytes (see the module
+/// docs for why this is not a `String`). `None` on a namespaced-capable
+/// message selects the legacy version-1 encoding, which servers route to
+/// the `"default"` collection.
+pub type WireName = Vec<u8>;
 
 /// Size of the fixed frame header in bytes.
 pub const HEADER_LEN: usize = 12;
@@ -65,6 +97,13 @@ pub mod tag {
     pub const STATS_REPLY: u8 = 0x31;
     pub const SHUTDOWN: u8 = 0x3E;
     pub const SHUTDOWN_ACK: u8 = 0x3F;
+    // Catalog management (version 2 only).
+    pub const CREATE_COLLECTION: u8 = 0x40;
+    pub const CREATE_COLLECTION_ACK: u8 = 0x41;
+    pub const DROP_COLLECTION: u8 = 0x42;
+    pub const DROP_COLLECTION_ACK: u8 = 0x43;
+    pub const LIST_COLLECTIONS: u8 = 0x44;
+    pub const LIST_COLLECTIONS_REPLY: u8 = 0x45;
     pub const ERROR: u8 = 0x7F;
 }
 
@@ -89,6 +128,10 @@ pub enum ErrorCode {
     FrameTooLarge = 6,
     /// The server failed internally while answering.
     Internal = 7,
+    /// The request names a collection the catalog does not hold (the name
+    /// itself is well-formed — malformed names are [`Self::BadRequest`]).
+    /// The connection stays open.
+    UnknownCollection = 8,
 }
 
 impl ErrorCode {
@@ -102,6 +145,7 @@ impl ErrorCode {
             5 => Self::BadRequest,
             6 => Self::FrameTooLarge,
             7 => Self::Internal,
+            8 => Self::UnknownCollection,
             _ => return None,
         })
     }
@@ -117,6 +161,7 @@ impl std::fmt::Display for ErrorCode {
             Self::BadRequest => "bad request",
             Self::FrameTooLarge => "frame too large",
             Self::Internal => "internal server error",
+            Self::UnknownCollection => "unknown collection",
         };
         f.write_str(name)
     }
@@ -127,7 +172,8 @@ impl std::fmt::Display for ErrorCode {
 pub enum ProtocolError {
     /// First four bytes are not `PPNW`.
     BadMagic,
-    /// Header version byte differs from [`PROTOCOL_VERSION`].
+    /// Header version byte is neither [`PROTOCOL_VERSION_LEGACY`] nor
+    /// [`PROTOCOL_VERSION`].
     BadVersion(u8),
     /// Reserved header bytes are non-zero.
     BadReserved,
@@ -175,18 +221,47 @@ impl ProtocolError {
     }
 }
 
+/// One collection as described by [`Frame::ListCollectionsReply`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CollectionEntry {
+    /// Collection name (reply direction only, so UTF-8 is enforced by the
+    /// codec — a server never emits a malformed name).
+    pub name: String,
+    /// Vector dimensionality the collection serves.
+    pub dim: u64,
+    /// Live vector count at listing time.
+    pub live: u64,
+    /// Backend shape code: 0 = single-index `CloudServer`, 1 =
+    /// `ShardedServer`. Other values are reserved (carried opaquely).
+    pub kind: u8,
+    /// Shard count (1 for a single-index backend).
+    pub shards: u16,
+}
+
+/// [`CollectionEntry::kind`] for a single-index `CloudServer` backend.
+pub const COLLECTION_KIND_CLOUD: u8 = 0;
+/// [`CollectionEntry::kind`] for a `ShardedServer` backend.
+pub const COLLECTION_KIND_SHARDED: u8 = 1;
+
 /// One protocol message, ready to frame.
+///
+/// Messages that route to a collection carry `collection:
+/// Option<WireName>`: `None` selects the legacy version-1 encoding (no
+/// name on the wire; servers route to `"default"`), `Some(name)` the
+/// version-2 encoding with the name prefixed to the payload.
 #[derive(Clone, Debug)]
 pub enum Frame {
     /// Connection opener (client → server, must be first). `dim` is the
     /// dimensionality the client will query with; `0` means "unknown,
-    /// tell me" and always passes the server's check.
+    /// tell me" and always passes the server's check (the only choice
+    /// that makes sense against a heterogeneous catalog).
     Hello { dim: u64 },
     /// Handshake answer (server → client): the served dimensionality and
-    /// the current live vector count.
+    /// live vector count of the `"default"` collection — or `dim = 0` and
+    /// the catalog-wide live total when no default collection exists.
     HelloAck { dim: u64, live: u64 },
     /// One encrypted query with its public search knobs.
-    Search { params: SearchParams, query: EncryptedQuery },
+    Search { collection: Option<WireName>, params: SearchParams, query: EncryptedQuery },
     /// Answer to [`Frame::Search`]: ids, encrypted-space distances, cost.
     SearchResult(SearchOutcome),
     /// Many encrypted queries under one set of public search knobs,
@@ -194,20 +269,22 @@ pub enum Frame {
     /// worker pool (`BatchExecutor`). An empty batch is well-formed on the
     /// wire but refused by servers with [`ErrorCode::BadRequest`], as is a
     /// batch above the server's configured size limit.
-    SearchBatch { params: SearchParams, queries: Vec<EncryptedQuery> },
+    SearchBatch { collection: Option<WireName>, params: SearchParams, queries: Vec<EncryptedQuery> },
     /// Answer to [`Frame::SearchBatch`]: one [`SearchOutcome`] per query,
     /// in request order.
     SearchBatchResult(Vec<SearchOutcome>),
     /// Owner-authenticated insertion of a pre-encrypted vector.
-    Insert { token: u64, c_sap: Vec<f64>, c_dce: DceCiphertext },
+    Insert { collection: Option<WireName>, token: u64, c_sap: Vec<f64>, c_dce: DceCiphertext },
     /// Answer to [`Frame::Insert`]: the assigned id.
     InsertAck { id: u32 },
     /// Owner-authenticated deletion by id.
-    Delete { token: u64, id: u32 },
+    Delete { collection: Option<WireName>, token: u64, id: u32 },
     /// Answer to a successful [`Frame::Delete`].
     DeleteAck,
-    /// Request for the service counters (unauthenticated, read-only).
-    Stats,
+    /// Request for service counters (unauthenticated, read-only):
+    /// aggregate process-wide counters when nameless, one collection's
+    /// counters when named.
+    Stats { collection: Option<WireName> },
     /// Answer to [`Frame::Stats`].
     StatsReply(StatsSnapshot),
     /// Owner-authenticated graceful shutdown request.
@@ -215,6 +292,22 @@ pub enum Frame {
     /// Answer to [`Frame::Shutdown`]; the listener stops accepting and
     /// drains in-flight connections after this is sent.
     ShutdownAck,
+    /// Owner-authenticated creation of a fresh, empty collection of the
+    /// given dimensionality, served by `shards` shards (1 = single-index
+    /// `CloudServer`). The owner then populates it with [`Frame::Insert`]s.
+    CreateCollection { token: u64, name: WireName, dim: u64, shards: u16 },
+    /// Answer to a successful [`Frame::CreateCollection`].
+    CreateCollectionAck,
+    /// Owner-authenticated removal of a collection (and of its snapshot
+    /// file in a `--data-dir` deployment).
+    DropCollection { token: u64, name: WireName },
+    /// Answer to a successful [`Frame::DropCollection`].
+    DropCollectionAck,
+    /// Request for the collection listing (unauthenticated, read-only).
+    ListCollections,
+    /// Answer to [`Frame::ListCollections`]: every collection, sorted by
+    /// name.
+    ListCollectionsReply(Vec<CollectionEntry>),
     /// Failure report. Depending on the code the server either keeps the
     /// connection open (semantic errors) or closes it (framing errors).
     Error { code: ErrorCode, message: String },
@@ -234,11 +327,37 @@ impl Frame {
             Frame::InsertAck { .. } => tag::INSERT_ACK,
             Frame::Delete { .. } => tag::DELETE,
             Frame::DeleteAck => tag::DELETE_ACK,
-            Frame::Stats => tag::STATS,
+            Frame::Stats { .. } => tag::STATS,
             Frame::StatsReply(_) => tag::STATS_REPLY,
             Frame::Shutdown { .. } => tag::SHUTDOWN,
             Frame::ShutdownAck => tag::SHUTDOWN_ACK,
+            Frame::CreateCollection { .. } => tag::CREATE_COLLECTION,
+            Frame::CreateCollectionAck => tag::CREATE_COLLECTION_ACK,
+            Frame::DropCollection { .. } => tag::DROP_COLLECTION,
+            Frame::DropCollectionAck => tag::DROP_COLLECTION_ACK,
+            Frame::ListCollections => tag::LIST_COLLECTIONS,
+            Frame::ListCollectionsReply(_) => tag::LIST_COLLECTIONS_REPLY,
             Frame::Error { .. } => tag::ERROR,
+        }
+    }
+
+    /// The header version this message encodes with — the canonical rule
+    /// of the module docs: nameless messages are version 1 (legacy bytes),
+    /// named and catalog messages are version 2.
+    pub fn wire_version(&self) -> u8 {
+        match self {
+            Frame::Search { collection: Some(_), .. }
+            | Frame::SearchBatch { collection: Some(_), .. }
+            | Frame::Insert { collection: Some(_), .. }
+            | Frame::Delete { collection: Some(_), .. }
+            | Frame::Stats { collection: Some(_) }
+            | Frame::CreateCollection { .. }
+            | Frame::CreateCollectionAck
+            | Frame::DropCollection { .. }
+            | Frame::DropCollectionAck
+            | Frame::ListCollections
+            | Frame::ListCollectionsReply(_) => PROTOCOL_VERSION,
+            _ => PROTOCOL_VERSION_LEGACY,
         }
     }
 
@@ -251,6 +370,8 @@ impl Frame {
     /// cast would put a corrupt frame on the wire. Receivers enforce far
     /// smaller limits anyway ([`DEFAULT_MAX_FRAME`]); only an
     /// owner-built `Insert` of absurd dimensionality can get here.
+    /// Also panics on a collection name above `u16::MAX` bytes (the name
+    /// length field's width; servers bound names far lower).
     pub fn encode(&self) -> Bytes {
         let mut payload = BytesMut::new();
         self.write_payload(&mut payload);
@@ -261,7 +382,7 @@ impl Frame {
         );
         let mut out = BytesMut::with_capacity(HEADER_LEN + payload.len());
         out.put_slice(&MAGIC);
-        out.put_u8(PROTOCOL_VERSION);
+        out.put_u8(self.wire_version());
         out.put_u8(self.tag());
         out.put_u16_le(0); // reserved
         out.put_u32_le(payload.len() as u32);
@@ -276,12 +397,14 @@ impl Frame {
                 buf.put_u64_le(*dim);
                 buf.put_u64_le(*live);
             }
-            Frame::Search { params, query } => {
+            Frame::Search { collection, params, query } => {
+                put_opt_name(buf, collection);
                 params.write_to(buf);
                 query.write_to(buf);
             }
             Frame::SearchResult(outcome) => outcome.write_to(buf),
-            Frame::SearchBatch { params, queries } => {
+            Frame::SearchBatch { collection, params, queries } => {
+                put_opt_name(buf, collection);
                 params.write_to(buf);
                 buf.put_u64_le(queries.len() as u64);
                 for query in queries {
@@ -294,19 +417,46 @@ impl Frame {
                     outcome.write_to(buf);
                 }
             }
-            Frame::Insert { token, c_sap, c_dce } => {
+            Frame::Insert { collection, token, c_sap, c_dce } => {
+                put_opt_name(buf, collection);
                 buf.put_u64_le(*token);
                 put_f64_slice(buf, c_sap);
                 write_dce_ciphertext(buf, c_dce);
             }
             Frame::InsertAck { id } => buf.put_u32_le(*id),
-            Frame::Delete { token, id } => {
+            Frame::Delete { collection, token, id } => {
+                put_opt_name(buf, collection);
                 buf.put_u64_le(*token);
                 buf.put_u32_le(*id);
             }
-            Frame::DeleteAck | Frame::Stats | Frame::ShutdownAck => {}
+            Frame::Stats { collection } => put_opt_name(buf, collection),
+            Frame::DeleteAck
+            | Frame::ShutdownAck
+            | Frame::CreateCollectionAck
+            | Frame::DropCollectionAck
+            | Frame::ListCollections => {}
             Frame::StatsReply(snap) => snap.write_to(buf),
             Frame::Shutdown { token } => buf.put_u64_le(*token),
+            Frame::CreateCollection { token, name, dim, shards } => {
+                buf.put_u64_le(*token);
+                put_name(buf, name);
+                buf.put_u64_le(*dim);
+                buf.put_u16_le(*shards);
+            }
+            Frame::DropCollection { token, name } => {
+                buf.put_u64_le(*token);
+                put_name(buf, name);
+            }
+            Frame::ListCollectionsReply(entries) => {
+                buf.put_u64_le(entries.len() as u64);
+                for e in entries {
+                    put_name(buf, e.name.as_bytes());
+                    buf.put_u64_le(e.dim);
+                    buf.put_u64_le(e.live);
+                    buf.put_u8(e.kind);
+                    buf.put_u16_le(e.shards);
+                }
+            }
             Frame::Error { code, message } => {
                 buf.put_u16_le(*code as u16);
                 let msg = message.as_bytes();
@@ -316,20 +466,31 @@ impl Frame {
         }
     }
 
-    /// Decodes a payload for `tag`, requiring full consumption.
-    pub fn decode_payload(tag_byte: u8, mut data: Bytes) -> Result<Frame, ProtocolError> {
+    /// Decodes a payload for `tag` under `version`, requiring full
+    /// consumption. Version 2 payloads of namespaced-capable tags carry
+    /// the collection-name prefix; version 1 payloads never do, and the
+    /// catalog tags do not exist under version 1 (they decode as
+    /// [`ProtocolError::UnknownTag`]).
+    pub fn decode_payload(
+        version: u8,
+        tag_byte: u8,
+        mut data: Bytes,
+    ) -> Result<Frame, ProtocolError> {
+        let namespaced = version >= PROTOCOL_VERSION;
         let frame = match tag_byte {
             tag::HELLO => Frame::Hello { dim: get_u64(&mut data)? },
             tag::HELLO_ACK => {
                 Frame::HelloAck { dim: get_u64(&mut data)?, live: get_u64(&mut data)? }
             }
             tag::SEARCH => {
+                let collection = get_opt_name(&mut data, namespaced)?;
                 let params = SearchParams::read_from(&mut data)?;
                 let query = EncryptedQuery::read_from(&mut data)?;
-                Frame::Search { params, query }
+                Frame::Search { collection, params, query }
             }
             tag::SEARCH_RESULT => Frame::SearchResult(SearchOutcome::read_from(&mut data)?),
             tag::SEARCH_BATCH => {
+                let collection = get_opt_name(&mut data, namespaced)?;
                 let params = SearchParams::read_from(&mut data)?;
                 // Every query needs at least 24 bytes (k + two empty
                 // lists), so an absurd claimed count is refused before any
@@ -339,7 +500,7 @@ impl Frame {
                 for _ in 0..count {
                     queries.push(EncryptedQuery::read_from(&mut data)?);
                 }
-                Frame::SearchBatch { params, queries }
+                Frame::SearchBatch { collection, params, queries }
             }
             tag::SEARCH_BATCH_RESULT => {
                 // Every outcome needs at least 56 bytes (count + counters).
@@ -351,18 +512,58 @@ impl Frame {
                 Frame::SearchBatchResult(outcomes)
             }
             tag::INSERT => {
+                let collection = get_opt_name(&mut data, namespaced)?;
                 let token = get_u64(&mut data)?;
                 let c_sap = get_f64_slice(&mut data)?;
                 let c_dce = read_dce_ciphertext(&mut data)?;
-                Frame::Insert { token, c_sap, c_dce }
+                Frame::Insert { collection, token, c_sap, c_dce }
             }
             tag::INSERT_ACK => Frame::InsertAck { id: get_u32(&mut data)? },
-            tag::DELETE => Frame::Delete { token: get_u64(&mut data)?, id: get_u32(&mut data)? },
+            tag::DELETE => {
+                let collection = get_opt_name(&mut data, namespaced)?;
+                Frame::Delete { collection, token: get_u64(&mut data)?, id: get_u32(&mut data)? }
+            }
             tag::DELETE_ACK => Frame::DeleteAck,
-            tag::STATS => Frame::Stats,
+            tag::STATS => Frame::Stats { collection: get_opt_name(&mut data, namespaced)? },
             tag::STATS_REPLY => Frame::StatsReply(StatsSnapshot::read_from(&mut data)?),
             tag::SHUTDOWN => Frame::Shutdown { token: get_u64(&mut data)? },
             tag::SHUTDOWN_ACK => Frame::ShutdownAck,
+            tag::CREATE_COLLECTION if namespaced => {
+                let token = get_u64(&mut data)?;
+                let name = get_name(&mut data)?;
+                let dim = get_u64(&mut data)?;
+                if data.remaining() < 2 {
+                    return Err(WireError::Truncated.into());
+                }
+                let shards = data.get_u16_le();
+                Frame::CreateCollection { token, name, dim, shards }
+            }
+            tag::DROP_COLLECTION if namespaced => {
+                Frame::DropCollection { token: get_u64(&mut data)?, name: get_name(&mut data)? }
+            }
+            tag::CREATE_COLLECTION_ACK if namespaced => Frame::CreateCollectionAck,
+            tag::DROP_COLLECTION_ACK if namespaced => Frame::DropCollectionAck,
+            tag::LIST_COLLECTIONS if namespaced => Frame::ListCollections,
+            tag::LIST_COLLECTIONS_REPLY if namespaced => {
+                // Every entry needs at least 21 bytes (empty name + the
+                // fixed fields).
+                let count = get_counted(&mut data, 21)?;
+                let mut entries = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let name_bytes = get_name(&mut data)?;
+                    let name = String::from_utf8(name_bytes)
+                        .map_err(|_| WireError::Malformed("collection name not UTF-8".into()))?;
+                    let dim = get_u64(&mut data)?;
+                    let live = get_u64(&mut data)?;
+                    if data.remaining() < 3 {
+                        return Err(WireError::Truncated.into());
+                    }
+                    let kind = data.get_u8();
+                    let shards = data.get_u16_le();
+                    entries.push(CollectionEntry { name, dim, live, kind, shards });
+                }
+                Frame::ListCollectionsReply(entries)
+            }
             tag::ERROR => {
                 if data.remaining() < 10 {
                     return Err(WireError::Truncated.into());
@@ -387,12 +588,17 @@ impl Frame {
     }
 }
 
-/// Parses and validates a frame header, returning `(tag, payload_len)`.
-pub fn parse_header(header: &[u8; HEADER_LEN], max_frame: u32) -> Result<(u8, u32), ProtocolError> {
+/// Parses and validates a frame header, returning
+/// `(version, tag, payload_len)`. Both protocol versions are accepted —
+/// the returned version selects how the payload is decoded.
+pub fn parse_header(
+    header: &[u8; HEADER_LEN],
+    max_frame: u32,
+) -> Result<(u8, u8, u32), ProtocolError> {
     if header[..4] != MAGIC {
         return Err(ProtocolError::BadMagic);
     }
-    if header[4] != PROTOCOL_VERSION {
+    if header[4] != PROTOCOL_VERSION_LEGACY && header[4] != PROTOCOL_VERSION {
         return Err(ProtocolError::BadVersion(header[4]));
     }
     if header[6] != 0 || header[7] != 0 {
@@ -402,7 +608,7 @@ pub fn parse_header(header: &[u8; HEADER_LEN], max_frame: u32) -> Result<(u8, u3
     if len > max_frame {
         return Err(ProtocolError::TooLarge { claimed: len, max: max_frame });
     }
-    Ok((header[5], len))
+    Ok((header[4], header[5], len))
 }
 
 /// Decodes one complete frame from a contiguous buffer (header + payload).
@@ -414,12 +620,52 @@ pub fn decode_frame(bytes: &[u8], max_frame: u32) -> Result<Frame, ProtocolError
     }
     let mut header = [0u8; HEADER_LEN];
     header.copy_from_slice(&bytes[..HEADER_LEN]);
-    let (tag_byte, len) = parse_header(&header, max_frame)?;
+    let (version, tag_byte, len) = parse_header(&header, max_frame)?;
     let payload = &bytes[HEADER_LEN..];
     if payload.len() != len as usize {
         return Err(ProtocolError::Codec(WireError::Truncated));
     }
-    Frame::decode_payload(tag_byte, Bytes::copy_from_slice(payload))
+    Frame::decode_payload(version, tag_byte, Bytes::copy_from_slice(payload))
+}
+
+/// Appends a collection name: `u16 length | bytes`.
+fn put_name(buf: &mut BytesMut, name: &[u8]) {
+    assert!(name.len() <= u16::MAX as usize, "collection name overflows the u16 length field");
+    buf.put_u16_le(name.len() as u16);
+    buf.put_slice(name);
+}
+
+/// Optional-name prefix of namespaced-capable payloads: written only when
+/// the frame carries a name (version-2 encoding).
+fn put_opt_name(buf: &mut BytesMut, name: &Option<WireName>) {
+    if let Some(name) = name {
+        put_name(buf, name);
+    }
+}
+
+/// Reads a name written by [`put_name`], validating the claimed length
+/// against the bytes remaining. The bytes are *not* checked for UTF-8 or
+/// charset here — that is the server's semantic check (keep-open
+/// `BadRequest`), not the codec's.
+fn get_name(data: &mut Bytes) -> Result<WireName, WireError> {
+    if data.remaining() < 2 {
+        return Err(WireError::Truncated);
+    }
+    let len = data.get_u16_le() as usize;
+    if data.remaining() < len {
+        return Err(WireError::Truncated);
+    }
+    Ok(data.copy_to_bytes(len).to_vec())
+}
+
+/// Reads the optional name prefix: present exactly when the frame's
+/// header said version 2.
+fn get_opt_name(data: &mut Bytes, namespaced: bool) -> Result<Option<WireName>, WireError> {
+    if namespaced {
+        Ok(Some(get_name(data)?))
+    } else {
+        Ok(None)
+    }
 }
 
 /// Reads a `u64` element count and validates it against the bytes actually
@@ -538,14 +784,117 @@ mod tests {
     fn search_roundtrip() {
         let q = sample_query();
         let p = SearchParams { k_prime: 20, ef_search: 40 };
-        match roundtrip(&Frame::Search { params: p, query: q.clone() }) {
-            Frame::Search { params, query } => {
+        match roundtrip(&Frame::Search { collection: None, params: p, query: q.clone() }) {
+            Frame::Search { collection, params, query } => {
+                assert_eq!(collection, None);
                 assert_eq!(params, p);
                 assert_eq!(query.k, q.k);
                 assert_eq!(query.c_sap, q.c_sap);
                 assert_eq!(query.trapdoor.as_slice(), q.trapdoor.as_slice());
             }
             other => panic!("wrong frame {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nameless_frames_encode_as_version_1_named_as_version_2() {
+        let q = sample_query();
+        let p = SearchParams { k_prime: 20, ef_search: 40 };
+        let legacy = Frame::Search { collection: None, params: p, query: q.clone() };
+        assert_eq!(legacy.encode()[4], PROTOCOL_VERSION_LEGACY);
+        let named = Frame::Search { collection: Some(b"vault".to_vec()), params: p, query: q };
+        assert_eq!(named.encode()[4], PROTOCOL_VERSION);
+        assert_eq!(Frame::Stats { collection: None }.encode()[4], PROTOCOL_VERSION_LEGACY);
+        assert_eq!(Frame::ListCollections.encode()[4], PROTOCOL_VERSION);
+        // Replies are nameless, so a legacy peer only ever receives v1.
+        assert_eq!(Frame::SearchResult(sample_outcome()).encode()[4], PROTOCOL_VERSION_LEGACY);
+    }
+
+    #[test]
+    fn named_search_roundtrip_preserves_raw_name_bytes() {
+        let q = sample_query();
+        let p = SearchParams { k_prime: 20, ef_search: 40 };
+        // Names are raw bytes on the wire: even a non-UTF-8 name must
+        // survive the codec so the server can answer it as a semantic
+        // BadRequest instead of a connection-closing framing error.
+        for name in [b"vault".to_vec(), vec![], vec![0xFF, 0xFE, b'x']] {
+            let frame =
+                Frame::Search { collection: Some(name.clone()), params: p, query: q.clone() };
+            match roundtrip(&frame) {
+                Frame::Search { collection, params, query } => {
+                    assert_eq!(collection, Some(name));
+                    assert_eq!(params, p);
+                    assert_eq!(query.c_sap, q.c_sap);
+                }
+                other => panic!("wrong frame {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn catalog_frames_roundtrip() {
+        match roundtrip(&Frame::CreateCollection {
+            token: 9,
+            name: b"fresh".to_vec(),
+            dim: 128,
+            shards: 4,
+        }) {
+            Frame::CreateCollection { token, name, dim, shards } => {
+                assert_eq!(token, 9);
+                assert_eq!(name, b"fresh".to_vec());
+                assert_eq!(dim, 128);
+                assert_eq!(shards, 4);
+            }
+            other => panic!("wrong frame {other:?}"),
+        }
+        assert!(matches!(roundtrip(&Frame::CreateCollectionAck), Frame::CreateCollectionAck));
+        match roundtrip(&Frame::DropCollection { token: 9, name: b"fresh".to_vec() }) {
+            Frame::DropCollection { token, name } => {
+                assert_eq!(token, 9);
+                assert_eq!(name, b"fresh".to_vec());
+            }
+            other => panic!("wrong frame {other:?}"),
+        }
+        assert!(matches!(roundtrip(&Frame::DropCollectionAck), Frame::DropCollectionAck));
+        assert!(matches!(roundtrip(&Frame::ListCollections), Frame::ListCollections));
+        let entries = vec![
+            CollectionEntry {
+                name: "default".into(),
+                dim: 8,
+                live: 1000,
+                kind: COLLECTION_KIND_CLOUD,
+                shards: 1,
+            },
+            CollectionEntry {
+                name: "docs".into(),
+                dim: 960,
+                live: 5,
+                kind: COLLECTION_KIND_SHARDED,
+                shards: 4,
+            },
+        ];
+        match roundtrip(&Frame::ListCollectionsReply(entries.clone())) {
+            Frame::ListCollectionsReply(back) => assert_eq!(back, entries),
+            other => panic!("wrong frame {other:?}"),
+        }
+    }
+
+    #[test]
+    fn catalog_tags_do_not_exist_under_version_1() {
+        for frame in [
+            Frame::ListCollections,
+            Frame::CreateCollection { token: 1, name: b"a".to_vec(), dim: 2, shards: 1 },
+            Frame::DropCollection { token: 1, name: b"a".to_vec() },
+        ] {
+            let mut bytes = frame.encode().to_vec();
+            bytes[4] = PROTOCOL_VERSION_LEGACY;
+            assert!(
+                matches!(
+                    decode_frame(&bytes, DEFAULT_MAX_FRAME).unwrap_err(),
+                    ProtocolError::UnknownTag(_)
+                ),
+                "catalog tag must be unknown under v1"
+            );
         }
     }
 
@@ -572,8 +921,14 @@ mod tests {
             k: 1,
         };
         let p = SearchParams { k_prime: 4, ef_search: 8 };
-        match roundtrip(&Frame::SearchBatch { params: p, queries: vec![q1.clone(), q2.clone()] }) {
-            Frame::SearchBatch { params, queries } => {
+        let batch = Frame::SearchBatch {
+            collection: None,
+            params: p,
+            queries: vec![q1.clone(), q2.clone()],
+        };
+        match roundtrip(&batch) {
+            Frame::SearchBatch { collection, params, queries } => {
+                assert_eq!(collection, None);
                 assert_eq!(params, p);
                 assert_eq!(queries.len(), 2);
                 assert_eq!(queries[0].c_sap, q1.c_sap);
@@ -584,8 +939,21 @@ mod tests {
         }
         // The empty batch is representable on the wire (servers refuse it
         // at the request layer, not the codec layer).
-        match roundtrip(&Frame::SearchBatch { params: p, queries: vec![] }) {
+        match roundtrip(&Frame::SearchBatch { collection: None, params: p, queries: vec![] }) {
             Frame::SearchBatch { queries, .. } => assert!(queries.is_empty()),
+            other => panic!("wrong frame {other:?}"),
+        }
+        // Named batches carry the prefix and keep every query intact.
+        let named = Frame::SearchBatch {
+            collection: Some(b"vault".to_vec()),
+            params: p,
+            queries: vec![q1.clone()],
+        };
+        match roundtrip(&named) {
+            Frame::SearchBatch { collection, queries, .. } => {
+                assert_eq!(collection, Some(b"vault".to_vec()));
+                assert_eq!(queries[0].c_sap, q1.c_sap);
+            }
             other => panic!("wrong frame {other:?}"),
         }
     }
@@ -618,7 +986,7 @@ mod tests {
         let payload = buf.freeze();
         let mut bytes = BytesMut::new();
         bytes.put_slice(&MAGIC);
-        bytes.put_u8(PROTOCOL_VERSION);
+        bytes.put_u8(PROTOCOL_VERSION_LEGACY);
         bytes.put_u8(tag::SEARCH_BATCH);
         bytes.put_u16_le(0);
         bytes.put_u32_le(payload.len() as u32);
@@ -632,6 +1000,7 @@ mod tests {
     #[test]
     fn truncated_batch_payload_rejected() {
         let bytes = Frame::SearchBatch {
+            collection: None,
             params: SearchParams { k_prime: 4, ef_search: 8 },
             queries: vec![sample_query(), sample_query()],
         }
@@ -655,8 +1024,15 @@ mod tests {
             vec![5.0, 6.0],
             vec![7.0, 8.0],
         );
-        match roundtrip(&Frame::Insert { token: 42, c_sap: vec![0.5, 0.25], c_dce: ct.clone() }) {
-            Frame::Insert { token, c_sap, c_dce } => {
+        let insert = Frame::Insert {
+            collection: None,
+            token: 42,
+            c_sap: vec![0.5, 0.25],
+            c_dce: ct.clone(),
+        };
+        match roundtrip(&insert) {
+            Frame::Insert { collection, token, c_sap, c_dce } => {
+                assert_eq!(collection, None);
                 assert_eq!(token, 42);
                 assert_eq!(c_sap, vec![0.5, 0.25]);
                 assert_eq!(c_dce.components(), ct.components());
@@ -667,11 +1043,16 @@ mod tests {
             Frame::InsertAck { id } => assert_eq!(id, 77),
             other => panic!("wrong frame {other:?}"),
         }
-        match roundtrip(&Frame::Delete { token: 42, id: 3 }) {
-            Frame::Delete { token, id } => {
+        match roundtrip(&Frame::Delete { collection: None, token: 42, id: 3 }) {
+            Frame::Delete { collection, token, id } => {
+                assert_eq!(collection, None);
                 assert_eq!(token, 42);
                 assert_eq!(id, 3);
             }
+            other => panic!("wrong frame {other:?}"),
+        }
+        match roundtrip(&Frame::Delete { collection: Some(b"vault".to_vec()), token: 1, id: 2 }) {
+            Frame::Delete { collection, .. } => assert_eq!(collection, Some(b"vault".to_vec())),
             other => panic!("wrong frame {other:?}"),
         }
         assert!(matches!(roundtrip(&Frame::DeleteAck), Frame::DeleteAck));
@@ -679,7 +1060,14 @@ mod tests {
 
     #[test]
     fn stats_and_shutdown_roundtrips() {
-        assert!(matches!(roundtrip(&Frame::Stats), Frame::Stats));
+        assert!(matches!(
+            roundtrip(&Frame::Stats { collection: None }),
+            Frame::Stats { collection: None }
+        ));
+        match roundtrip(&Frame::Stats { collection: Some(b"docs".to_vec()) }) {
+            Frame::Stats { collection } => assert_eq!(collection, Some(b"docs".to_vec())),
+            other => panic!("wrong frame {other:?}"),
+        }
         let snap = StatsSnapshot {
             queries: 1,
             inserts: 2,
@@ -743,7 +1131,7 @@ mod tests {
 
     #[test]
     fn unknown_tag_rejected() {
-        let mut bytes = Frame::Stats.encode().to_vec();
+        let mut bytes = Frame::Stats { collection: None }.encode().to_vec();
         bytes[5] = 0x66;
         assert_eq!(
             decode_frame(&bytes, DEFAULT_MAX_FRAME).unwrap_err(),
@@ -766,6 +1154,7 @@ mod tests {
     #[test]
     fn truncated_payload_rejected() {
         let bytes = Frame::Search {
+            collection: None,
             params: SearchParams { k_prime: 4, ef_search: 8 },
             query: sample_query(),
         }

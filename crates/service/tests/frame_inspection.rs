@@ -85,7 +85,7 @@ fn captured_search_frame_holds_only_ciphertext_and_knobs() {
 
     // --- Decoding yields exactly the ciphertext fields we sent...
     match decode_frame(&search_bytes, DEFAULT_MAX_FRAME).unwrap() {
-        Frame::Search { params: p, query: q } => {
+        Frame::Search { collection: None, params: p, query: q } => {
             assert_eq!(p, params);
             assert_eq!(q.k, 5);
             assert_eq!(q.c_sap, query.c_sap);
@@ -113,7 +113,7 @@ fn search_result_frame_holds_only_ids_distances_and_cost() {
     let data: Vec<Vec<f64>> = (0..80).map(|_| uniform_vec(&mut rng, DIM, -1.0, 1.0)).collect();
     let owner = DataOwner::setup(PpAnnParams::new(DIM).with_seed(12).with_beta(0.0), &data);
     let shared = SharedServer::new(CloudServer::new(owner.outsource(&data)));
-    let handle = serve(shared, ServiceConfig::loopback(DIM)).unwrap();
+    let handle = serve(shared, ServiceConfig::loopback()).unwrap();
 
     // Speak the protocol manually so the reply bytes can be inspected.
     let mut stream = std::net::TcpStream::connect(handle.local_addr()).unwrap();
@@ -123,7 +123,9 @@ fn search_result_frame_holds_only_ids_distances_and_cost() {
     let mut user = owner.authorize_user();
     let query = user.encrypt_query(&data[7], 4);
     let params = SearchParams { k_prime: 16, ef_search: 32 };
-    stream.write_all(&Frame::Search { params, query: query.clone() }.encode()).unwrap();
+    stream
+        .write_all(&Frame::Search { collection: None, params, query: query.clone() }.encode())
+        .unwrap();
     let reply = read_raw_frame(&mut stream);
 
     // Size accounting: header + n + n ids + n dists + 6 counters.

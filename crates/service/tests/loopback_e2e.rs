@@ -51,7 +51,7 @@ fn assert_remote_matches_local(client: &mut ServiceClient, owner: &DataOwner, da
 fn remote_cloud_server_matches_in_process() {
     let (data, owner) = setup(9001);
     let shared = SharedServer::new(CloudServer::new(owner.outsource(&data)));
-    let handle = serve(shared, ServiceConfig::loopback(DIM)).unwrap();
+    let handle = serve(shared, ServiceConfig::loopback()).unwrap();
     let mut client = ServiceClient::connect(handle.local_addr(), Some(DIM)).unwrap();
     assert_eq!(client.server_dim(), DIM);
     assert_eq!(client.server_live(), N as u64);
@@ -65,7 +65,7 @@ fn remote_sharded_server_matches_in_process_cloud_server() {
     let (data, owner) = setup(9002);
     // The acceptance configuration: four shards behind the service.
     let sharded = ShardedServer::from_database(owner.outsource(&data), 4);
-    let handle = serve(SharedServer::new(sharded), ServiceConfig::loopback(DIM)).unwrap();
+    let handle = serve(SharedServer::new(sharded), ServiceConfig::loopback()).unwrap();
     let mut client = ServiceClient::connect(handle.local_addr(), Some(DIM)).unwrap();
     assert_remote_matches_local(&mut client, &owner, &data);
     handle.request_stop();
@@ -76,7 +76,7 @@ fn remote_sharded_server_matches_in_process_cloud_server() {
 fn remote_maintenance_roundtrip() {
     let (data, owner) = setup(9003);
     let shared = SharedServer::new(CloudServer::new(owner.outsource(&data)));
-    let config = ServiceConfig::loopback(DIM).with_owner_token(TOKEN);
+    let config = ServiceConfig::loopback().with_owner_token(TOKEN);
     let handle = serve(shared, config).unwrap();
     let mut client = ServiceClient::connect(handle.local_addr(), None).unwrap();
 
@@ -109,7 +109,7 @@ fn remote_maintenance_roundtrip() {
 fn stats_and_graceful_shutdown_over_the_wire() {
     let (data, owner) = setup(9004);
     let shared = SharedServer::new(CloudServer::new(owner.outsource(&data)));
-    let config = ServiceConfig::loopback(DIM).with_owner_token(TOKEN);
+    let config = ServiceConfig::loopback().with_owner_token(TOKEN);
     let handle = serve(shared, config).unwrap();
     let addr = handle.local_addr();
 
@@ -144,7 +144,7 @@ fn stats_and_graceful_shutdown_over_the_wire() {
 fn batched_search_matches_sequential_remote() {
     let (data, owner) = setup(9006);
     let shared = SharedServer::new(CloudServer::new(owner.outsource(&data)));
-    let handle = serve(shared, ServiceConfig::loopback(DIM).with_workers(3)).unwrap();
+    let handle = serve(shared, ServiceConfig::loopback().with_workers(3)).unwrap();
     let mut client = ServiceClient::connect(handle.local_addr(), Some(DIM)).unwrap();
 
     let mut user = owner.authorize_user();
@@ -180,7 +180,7 @@ fn batched_search_on_sharded_backend() {
     let (data, owner) = setup(9007);
     let local = CloudServer::new(owner.outsource(&data));
     let sharded = ShardedServer::from_database(owner.outsource(&data), 3);
-    let handle = serve(SharedServer::new(sharded), ServiceConfig::loopback(DIM)).unwrap();
+    let handle = serve(SharedServer::new(sharded), ServiceConfig::loopback()).unwrap();
     let mut client = ServiceClient::connect(handle.local_addr(), Some(DIM)).unwrap();
 
     let mut local_user = owner.authorize_user();
@@ -205,7 +205,7 @@ fn batched_search_on_sharded_backend() {
 fn pipelined_search_matches_sequential_remote() {
     let (data, owner) = setup(9008);
     let shared = SharedServer::new(CloudServer::new(owner.outsource(&data)));
-    let handle = serve(shared, ServiceConfig::loopback(DIM).with_workers(2)).unwrap();
+    let handle = serve(shared, ServiceConfig::loopback().with_workers(2)).unwrap();
     let mut client = ServiceClient::connect(handle.local_addr(), Some(DIM)).unwrap();
 
     let mut user = owner.authorize_user();
@@ -234,7 +234,7 @@ fn pipelined_error_poisons_but_server_survives() {
     let (data, owner) = setup(9009);
     let shared = SharedServer::new(CloudServer::new(owner.outsource(&data)));
     // High enough for params() (ef_search 80), far below the bad frame's.
-    let config = ServiceConfig::loopback(DIM).with_max_search_k(256);
+    let config = ServiceConfig::loopback().with_max_search_k(256);
     let handle = serve(shared, config).unwrap();
     let mut client = ServiceClient::connect(handle.local_addr(), Some(DIM)).unwrap();
 
@@ -265,7 +265,7 @@ fn shutdown_without_token_is_refused() {
     let (data, owner) = setup(9005);
     let shared = SharedServer::new(CloudServer::new(owner.outsource(&data)));
     // No owner token configured: maintenance and shutdown are disabled.
-    let handle = serve(shared, ServiceConfig::loopback(DIM)).unwrap();
+    let handle = serve(shared, ServiceConfig::loopback()).unwrap();
     let mut client = ServiceClient::connect(handle.local_addr(), None).unwrap();
     match client.shutdown(0) {
         Err(ClientError::Remote { code, .. }) => {

@@ -1,12 +1,18 @@
-//! Property-based round-trip tests for the batched wire codecs: any
-//! `SearchBatch`/`SearchBatchResult` the types can represent must encode
-//! to a frame that decodes back bit-identically and re-encodes to the
-//! same bytes (one canonical representation per message), and no strict
-//! payload prefix may decode.
+//! Property-based round-trip tests for the batched and namespaced wire
+//! codecs: any `SearchBatch`/`SearchBatchResult`, named request or
+//! catalog-management frame the types can represent must encode to a
+//! frame that decodes back bit-identically and re-encodes to the same
+//! bytes (one canonical representation per message), and no strict
+//! payload prefix may decode. Collection names are exercised as *raw
+//! bytes* — including non-UTF-8 — because that is what the codec must
+//! carry for the server's semantic name validation to be reachable.
 
 use ppann_core::{EncryptedQuery, QueryCost, SearchOutcome, SearchParams};
 use ppann_dce::DceTrapdoor;
-use ppann_service::wire::{decode_frame, Frame, DEFAULT_MAX_FRAME, HEADER_LEN};
+use ppann_service::wire::{
+    decode_frame, CollectionEntry, Frame, DEFAULT_MAX_FRAME, HEADER_LEN, PROTOCOL_VERSION,
+    PROTOCOL_VERSION_LEGACY,
+};
 use proptest::prelude::*;
 use std::time::Duration;
 
@@ -88,9 +94,10 @@ proptest! {
     ) {
         let params = SearchParams { k_prime, ef_search };
         let queries = build_queries(count, &ks, &dims, &pool);
-        let frame = Frame::SearchBatch { params, queries: queries.clone() };
+        let frame = Frame::SearchBatch { collection: None, params, queries: queries.clone() };
         match roundtrip_and_prefixes(&frame) {
-            Frame::SearchBatch { params: p, queries: back } => {
+            Frame::SearchBatch { collection, params: p, queries: back } => {
+                prop_assert_eq!(collection, None);
                 prop_assert_eq!(p, params);
                 prop_assert_eq!(back.len(), queries.len());
                 for (b, q) in back.iter().zip(&queries) {
@@ -148,6 +155,7 @@ proptest! {
     ) {
         let queries = build_queries(count, &ks, &dims, &pool);
         let frame = Frame::SearchBatch {
+            collection: None,
             params: SearchParams { k_prime: 4, ef_search: 8 },
             queries,
         };
@@ -158,5 +166,107 @@ proptest! {
         bytes[off..off + 8]
             .copy_from_slice(&claimed.saturating_add(inflate).to_le_bytes());
         prop_assert!(decode_frame(&bytes, DEFAULT_MAX_FRAME).is_err());
+    }
+
+    /// Namespaced requests — Search, SearchBatch, Insert, Delete, Stats
+    /// with a collection name of arbitrary raw bytes — round-trip
+    /// bit-exactly as version-2 frames; the nameless twins stay
+    /// byte-identical version-1 frames.
+    #[test]
+    fn named_frames_roundtrip(
+        name in proptest::collection::vec(any::<u8>(), 0..80),
+        k in 1usize..100,
+        dim in 1usize..8,
+        token in any::<u64>(),
+        id in any::<u32>(),
+        pool in proptest::collection::vec(-1e9f64..1e9, 32),
+    ) {
+        let query = build_queries(1, &[k], &[dim], &pool).pop().unwrap();
+        let params = SearchParams { k_prime: 4, ef_search: 8 };
+        let c_dce = ppann_dce::DceCiphertext::from_components(
+            pool[..dim].to_vec(),
+            pool[dim..2 * dim].to_vec(),
+            pool[2 * dim..3 * dim].to_vec(),
+            pool[3 * dim..4 * dim].to_vec(),
+        );
+        let frames = [
+            Frame::Search { collection: Some(name.clone()), params, query: query.clone() },
+            Frame::SearchBatch {
+                collection: Some(name.clone()),
+                params,
+                queries: vec![query.clone()],
+            },
+            Frame::Insert {
+                collection: Some(name.clone()),
+                token,
+                c_sap: pool[..dim].to_vec(),
+                c_dce,
+            },
+            Frame::Delete { collection: Some(name.clone()), token, id },
+            Frame::Stats { collection: Some(name.clone()) },
+        ];
+        for frame in frames {
+            let encoded = frame.encode();
+            prop_assert_eq!(encoded[4], PROTOCOL_VERSION, "named frames must be version 2");
+            let back = roundtrip_and_prefixes(&frame);
+            let got = match &back {
+                Frame::Search { collection, .. }
+                | Frame::SearchBatch { collection, .. }
+                | Frame::Insert { collection, .. }
+                | Frame::Delete { collection, .. }
+                | Frame::Stats { collection } => collection.clone(),
+                other => { prop_assert!(false, "wrong frame {:?}", other); None }
+            };
+            prop_assert_eq!(got, Some(name.clone()));
+        }
+        // The nameless twin of the simplest frame stays version 1.
+        let legacy = Frame::Stats { collection: None }.encode();
+        prop_assert_eq!(legacy[4], PROTOCOL_VERSION_LEGACY);
+    }
+
+    /// Catalog-management frames round-trip bit-exactly for arbitrary
+    /// names, dims, shard counts and listing entries.
+    #[test]
+    fn catalog_frames_roundtrip(
+        name in proptest::collection::vec(any::<u8>(), 0..80),
+        token in any::<u64>(),
+        dim in any::<u64>(),
+        shards in any::<u16>(),
+        entry_seeds in proptest::collection::vec(any::<u32>(), 0..5),
+        ints in proptest::collection::vec(any::<u64>(), 12),
+    ) {
+        match roundtrip_and_prefixes(
+            &Frame::CreateCollection { token, name: name.clone(), dim, shards },
+        ) {
+            Frame::CreateCollection { token: t, name: n, dim: d, shards: s } => {
+                prop_assert_eq!(t, token);
+                prop_assert_eq!(n, name.clone());
+                prop_assert_eq!(d, dim);
+                prop_assert_eq!(s, shards);
+            }
+            other => prop_assert!(false, "wrong frame {:?}", other),
+        }
+        match roundtrip_and_prefixes(&Frame::DropCollection { token, name: name.clone() }) {
+            Frame::DropCollection { token: t, name: n } => {
+                prop_assert_eq!(t, token);
+                prop_assert_eq!(n, name.clone());
+            }
+            other => prop_assert!(false, "wrong frame {:?}", other),
+        }
+        let entries: Vec<CollectionEntry> = entry_seeds
+            .iter()
+            .enumerate()
+            .map(|(i, seed)| CollectionEntry {
+                name: format!("col-{seed}"),
+                dim: ints[i % ints.len()],
+                live: ints[(i + 1) % ints.len()],
+                kind: (ints[(i + 2) % ints.len()] % 2) as u8,
+                shards: (ints[(i + 3) % ints.len()] % 64) as u16,
+            })
+            .collect();
+        match roundtrip_and_prefixes(&Frame::ListCollectionsReply(entries.clone())) {
+            Frame::ListCollectionsReply(back) => prop_assert_eq!(back, entries),
+            other => prop_assert!(false, "wrong frame {:?}", other),
+        }
     }
 }

@@ -36,18 +36,24 @@ fn expected_tag(name: &str) -> u8 {
     match name {
         "Hello" => tag::HELLO,
         "HelloAck" => tag::HELLO_ACK,
-        "Search" => tag::SEARCH,
+        "Search" | "SearchNamed" => tag::SEARCH,
         "SearchResult" => tag::SEARCH_RESULT,
-        "SearchBatch" => tag::SEARCH_BATCH,
+        "SearchBatch" | "SearchBatchNamed" => tag::SEARCH_BATCH,
         "SearchBatchResult" => tag::SEARCH_BATCH_RESULT,
-        "Insert" => tag::INSERT,
+        "Insert" | "InsertNamed" => tag::INSERT,
         "InsertAck" => tag::INSERT_ACK,
-        "Delete" => tag::DELETE,
+        "Delete" | "DeleteNamed" => tag::DELETE,
         "DeleteAck" => tag::DELETE_ACK,
-        "Stats" => tag::STATS,
+        "Stats" | "StatsNamed" => tag::STATS,
         "StatsReply" => tag::STATS_REPLY,
         "Shutdown" => tag::SHUTDOWN,
         "ShutdownAck" => tag::SHUTDOWN_ACK,
+        "CreateCollection" => tag::CREATE_COLLECTION,
+        "CreateCollectionAck" => tag::CREATE_COLLECTION_ACK,
+        "DropCollection" => tag::DROP_COLLECTION,
+        "DropCollectionAck" => tag::DROP_COLLECTION_ACK,
+        "ListCollections" => tag::LIST_COLLECTIONS,
+        "ListCollectionsReply" => tag::LIST_COLLECTIONS_REPLY,
         "Error" => tag::ERROR,
         other => panic!("PROTOCOL.md documents unknown message {other}"),
     }
@@ -60,20 +66,41 @@ fn every_message_has_a_worked_example() {
         "Hello",
         "HelloAck",
         "Search",
+        "SearchNamed",
         "SearchResult",
         "SearchBatch",
+        "SearchBatchNamed",
         "SearchBatchResult",
         "Insert",
+        "InsertNamed",
         "InsertAck",
         "Delete",
+        "DeleteNamed",
         "DeleteAck",
         "Stats",
+        "StatsNamed",
         "StatsReply",
         "Shutdown",
         "ShutdownAck",
+        "CreateCollection",
+        "CreateCollectionAck",
+        "DropCollection",
+        "DropCollectionAck",
+        "ListCollections",
+        "ListCollectionsReply",
         "Error",
     ] {
         assert!(examples.contains_key(name), "PROTOCOL.md lacks a worked example for {name}");
+    }
+}
+
+/// The documented version bytes follow the canonical encoding rule:
+/// nameless messages are version 1, named and catalog messages version 2.
+#[test]
+fn documented_version_bytes_follow_the_canonical_rule() {
+    for (name, bytes) in documented_examples() {
+        let expect = if name.ends_with("Named") || name.contains("Collection") { 2 } else { 1 };
+        assert_eq!(bytes[4], expect, "example {name} has the wrong version byte");
     }
 }
 
@@ -106,7 +133,7 @@ fn documented_field_values_match() {
         other => panic!("wrong frame {other:?}"),
     }
     match decode_frame(&examples["Search"], DEFAULT_MAX_FRAME).unwrap() {
-        Frame::Search { params, query } => {
+        Frame::Search { collection: None, params, query } => {
             assert_eq!(params.k_prime, 4);
             assert_eq!(params.ef_search, 8);
             assert_eq!(query.k, 2);
@@ -116,7 +143,7 @@ fn documented_field_values_match() {
         other => panic!("wrong frame {other:?}"),
     }
     match decode_frame(&examples["SearchBatch"], DEFAULT_MAX_FRAME).unwrap() {
-        Frame::SearchBatch { params, queries } => {
+        Frame::SearchBatch { collection: None, params, queries } => {
             assert_eq!(params.k_prime, 4);
             assert_eq!(params.ef_search, 8);
             assert_eq!(queries.len(), 2);
@@ -156,7 +183,7 @@ fn documented_field_values_match() {
         other => panic!("wrong frame {other:?}"),
     }
     match decode_frame(&examples["Insert"], DEFAULT_MAX_FRAME).unwrap() {
-        Frame::Insert { token, c_sap, c_dce } => {
+        Frame::Insert { collection: None, token, c_sap, c_dce } => {
             assert_eq!(token, 7);
             assert_eq!(c_sap, vec![0.5]);
             assert_eq!(c_dce.component_dim(), 1);
@@ -168,6 +195,77 @@ fn documented_field_values_match() {
         Frame::Error { code, message } => {
             assert_eq!(code as u16, 4);
             assert_eq!(message, "no");
+        }
+        other => panic!("wrong frame {other:?}"),
+    }
+    // Named variants: same fields as their nameless twins plus the name.
+    match decode_frame(&examples["SearchNamed"], DEFAULT_MAX_FRAME).unwrap() {
+        Frame::Search { collection, params, query } => {
+            assert_eq!(collection, Some(b"vault".to_vec()));
+            assert_eq!(params.k_prime, 4);
+            assert_eq!(query.k, 2);
+            assert_eq!(query.c_sap, vec![1.0, -0.5]);
+        }
+        other => panic!("wrong frame {other:?}"),
+    }
+    match decode_frame(&examples["SearchBatchNamed"], DEFAULT_MAX_FRAME).unwrap() {
+        Frame::SearchBatch { collection, queries, .. } => {
+            assert_eq!(collection, Some(b"vault".to_vec()));
+            assert_eq!(queries.len(), 2);
+            assert_eq!(queries[1].c_sap, vec![0.5, 0.5]);
+        }
+        other => panic!("wrong frame {other:?}"),
+    }
+    match decode_frame(&examples["InsertNamed"], DEFAULT_MAX_FRAME).unwrap() {
+        Frame::Insert { collection, token, c_sap, .. } => {
+            assert_eq!(collection, Some(b"vault".to_vec()));
+            assert_eq!(token, 7);
+            assert_eq!(c_sap, vec![0.5]);
+        }
+        other => panic!("wrong frame {other:?}"),
+    }
+    match decode_frame(&examples["DeleteNamed"], DEFAULT_MAX_FRAME).unwrap() {
+        Frame::Delete { collection, token, id } => {
+            assert_eq!(collection, Some(b"vault".to_vec()));
+            assert_eq!(token, 7);
+            assert_eq!(id, 3);
+        }
+        other => panic!("wrong frame {other:?}"),
+    }
+    match decode_frame(&examples["StatsNamed"], DEFAULT_MAX_FRAME).unwrap() {
+        Frame::Stats { collection } => assert_eq!(collection, Some(b"vault".to_vec())),
+        other => panic!("wrong frame {other:?}"),
+    }
+    // Catalog-management frames.
+    match decode_frame(&examples["CreateCollection"], DEFAULT_MAX_FRAME).unwrap() {
+        Frame::CreateCollection { token, name, dim, shards } => {
+            assert_eq!(token, 7);
+            assert_eq!(name, b"vault".to_vec());
+            assert_eq!(dim, 128);
+            assert_eq!(shards, 4);
+        }
+        other => panic!("wrong frame {other:?}"),
+    }
+    match decode_frame(&examples["DropCollection"], DEFAULT_MAX_FRAME).unwrap() {
+        Frame::DropCollection { token, name } => {
+            assert_eq!(token, 7);
+            assert_eq!(name, b"vault".to_vec());
+        }
+        other => panic!("wrong frame {other:?}"),
+    }
+    match decode_frame(&examples["ListCollectionsReply"], DEFAULT_MAX_FRAME).unwrap() {
+        Frame::ListCollectionsReply(entries) => {
+            assert_eq!(entries.len(), 2);
+            assert_eq!(entries[0].name, "default");
+            assert_eq!(entries[0].dim, 8);
+            assert_eq!(entries[0].live, 1000);
+            assert_eq!(entries[0].kind, 0);
+            assert_eq!(entries[0].shards, 1);
+            assert_eq!(entries[1].name, "vault");
+            assert_eq!(entries[1].dim, 128);
+            assert_eq!(entries[1].live, 42);
+            assert_eq!(entries[1].kind, 1);
+            assert_eq!(entries[1].shards, 4);
         }
         other => panic!("wrong frame {other:?}"),
     }

@@ -20,7 +20,7 @@ fn spawn_service(seed: u64) -> (Vec<Vec<f64>>, DataOwner, ServiceHandle) {
     let data: Vec<Vec<f64>> = (0..N).map(|_| uniform_vec(&mut rng, DIM, -1.0, 1.0)).collect();
     let owner = DataOwner::setup(PpAnnParams::new(DIM).with_seed(seed).with_beta(0.0), &data);
     let shared = SharedServer::new(CloudServer::new(owner.outsource(&data)));
-    let config = ServiceConfig::loopback(DIM).with_owner_token(TOKEN).with_max_frame(64 * 1024);
+    let config = ServiceConfig::loopback().with_owner_token(TOKEN).with_max_frame(64 * 1024);
     let handle = serve(shared, config).unwrap();
     (data, owner, handle)
 }
@@ -128,7 +128,7 @@ fn oversized_frame_is_rejected_before_allocation() {
 fn first_frame_must_be_hello() {
     let (data, owner, handle) = spawn_service(505);
     let mut stream = TcpStream::connect(handle.local_addr()).unwrap();
-    stream.write_all(&Frame::Stats.encode()).unwrap();
+    stream.write_all(&Frame::Stats { collection: None }.encode()).unwrap();
     expect_error_then_close(stream, ErrorCode::BadRequest as u16, "handshake skip");
     assert_still_serves(&handle, &owner, &data);
     handle.request_stop();
@@ -211,7 +211,7 @@ fn silent_connection_is_reclaimed_by_the_handshake_deadline() {
     let shared = SharedServer::new(CloudServer::new(owner.outsource(&data)));
     // One worker and a tight handshake deadline: a silent peer would own
     // the whole service if the deadline did not reclaim the worker.
-    let config = ServiceConfig::loopback(DIM)
+    let config = ServiceConfig::loopback()
         .with_workers(1)
         .with_timeouts(std::time::Duration::from_millis(200), std::time::Duration::from_secs(120));
     let handle = serve(shared, config).unwrap();
@@ -280,7 +280,7 @@ fn parked_keepalive_connections_do_not_starve_other_clients() {
     // A single worker, long idle timeout. If a worker were owned by one
     // connection until close/idle (the old design), the parked client
     // below would pin it for the full 120 s and starve everyone else.
-    let config = ServiceConfig::loopback(DIM).with_workers(1);
+    let config = ServiceConfig::loopback().with_workers(1);
     let handle = serve(shared, config).unwrap();
 
     // Handshake fully, then go quiet — a legitimate keep-alive client.
@@ -414,14 +414,20 @@ fn malformed_batches_are_rejected() {
     let mut stream = TcpStream::connect(handle.local_addr()).unwrap();
     stream.write_all(&Frame::Hello { dim: DIM as u64 }.encode()).unwrap();
     read_raw_reply(&mut stream).expect("HelloAck");
-    stream.write_all(&Frame::SearchBatch { params, queries: Vec::new() }.encode()).unwrap();
+    stream
+        .write_all(&Frame::SearchBatch { collection: None, params, queries: Vec::new() }.encode())
+        .unwrap();
     let (reply_tag, payload) = read_raw_reply(&mut stream).expect("error reply");
     assert_eq!(reply_tag, tag::ERROR, "empty batch: expected an Error frame");
     let code = u16::from_le_bytes([payload[0], payload[1]]);
     assert_eq!(code, ErrorCode::BadRequest as u16, "empty batch: wrong code");
     // Same connection still answers: a one-query batch works.
     let q = user.encrypt_query(&data[0], 3);
-    stream.write_all(&Frame::SearchBatch { params, queries: vec![q.clone()] }.encode()).unwrap();
+    stream
+        .write_all(
+            &Frame::SearchBatch { collection: None, params, queries: vec![q.clone()] }.encode(),
+        )
+        .unwrap();
     let (reply_tag, _) = read_raw_reply(&mut stream).expect("batch reply");
     assert_eq!(reply_tag, tag::SEARCH_BATCH_RESULT, "connection must stay usable");
 
@@ -430,7 +436,8 @@ fn malformed_batches_are_rejected() {
     let mut stream = TcpStream::connect(handle.local_addr()).unwrap();
     stream.write_all(&Frame::Hello { dim: DIM as u64 }.encode()).unwrap();
     read_raw_reply(&mut stream).expect("HelloAck");
-    let mut bytes = Frame::SearchBatch { params, queries: vec![q.clone()] }.encode().to_vec();
+    let mut bytes =
+        Frame::SearchBatch { collection: None, params, queries: vec![q.clone()] }.encode().to_vec();
     let count_off = HEADER_LEN + 16; // count u64 sits after the params block
     bytes[count_off..count_off + 8].copy_from_slice(&2u64.to_le_bytes());
     stream.write_all(&bytes).unwrap();
@@ -450,7 +457,7 @@ fn over_limit_batch_is_bad_request() {
     let data: Vec<Vec<f64>> = (0..N).map(|_| uniform_vec(&mut rng, DIM, -1.0, 1.0)).collect();
     let owner = DataOwner::setup(PpAnnParams::new(DIM).with_seed(514).with_beta(0.0), &data);
     let shared = SharedServer::new(CloudServer::new(owner.outsource(&data)));
-    let config = ServiceConfig::loopback(DIM).with_max_batch(4);
+    let config = ServiceConfig::loopback().with_max_batch(4);
     let handle = serve(shared, config).unwrap();
     let mut client = ServiceClient::connect(handle.local_addr(), Some(DIM)).unwrap();
 
@@ -493,7 +500,7 @@ fn batch_with_oversized_reply_is_refused_before_searching() {
     let owner = DataOwner::setup(PpAnnParams::new(DIM).with_seed(515).with_beta(0.0), &data);
     let shared = SharedServer::new(CloudServer::new(owner.outsource(&data)));
     // Request frames stay small; replies of 3 × k=200 results would not.
-    let config = ServiceConfig::loopback(DIM).with_max_frame(4096);
+    let config = ServiceConfig::loopback().with_max_frame(4096);
     let handle = serve(shared, config).unwrap();
     let mut client = ServiceClient::connect(handle.local_addr(), Some(DIM)).unwrap();
 

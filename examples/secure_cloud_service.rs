@@ -32,7 +32,7 @@ fn main() {
     // --- Cloud: serves the ciphertexts over TCP (port 0 = OS-assigned).
     // The cloud process holds no keys — only what the owner shipped.
     let shared = SharedServer::new(CloudServer::new(encrypted_db));
-    let config = ServiceConfig::loopback(workload.dim()).with_owner_token(OWNER_TOKEN);
+    let config = ServiceConfig::loopback().with_owner_token(OWNER_TOKEN);
     let handle = serve(shared, config).expect("bind loopback");
     let addr = handle.local_addr();
     println!("[cloud ] listening on {addr}");
@@ -73,6 +73,26 @@ fn main() {
     let id = owner_client.insert(OWNER_TOKEN, c_sap, c_dce).expect("remote insert");
     owner_client.delete(OWNER_TOKEN, id).expect("remote delete");
     println!("[owner ] inserted and deleted vector {id} over the wire");
+
+    // --- ...provisions a second, empty collection on the live service,
+    // populates it with a pre-encrypted vector, and retires it — the
+    // multi-collection catalog lifecycle (PROTOCOL.md §3.17–§3.22).
+    owner_client
+        .create_collection(OWNER_TOKEN, "staging", workload.dim(), 1)
+        .expect("create collection");
+    let (c_sap, c_dce) = owner.encrypt_for_insert(&novel, 100);
+    let staged =
+        owner_client.insert_in("staging", OWNER_TOKEN, c_sap, c_dce).expect("staged insert");
+    let listing = owner_client.list_collections().expect("list collections");
+    println!(
+        "[owner ] staged vector {staged}; catalog now holds {}",
+        listing
+            .iter()
+            .map(|e| format!("`{}` ({} live)", e.name, e.live))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    owner_client.drop_collection(OWNER_TOKEN, "staging").expect("drop collection");
 
     // --- ...reads the service counters, and shuts the cloud down cleanly.
     let stats = owner_client.stats().expect("stats");

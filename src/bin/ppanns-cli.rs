@@ -9,28 +9,39 @@
 //! ppanns-cli gen       --profile sift --n 5000 --queries 50 --base base.fvecs --out-queries q.fvecs
 //! ppanns-cli outsource --base base.fvecs --beta 3.0 --seed 7 --db db.bin --keys keys.bin
 //! ppanns-cli serve     --db db.bin --addr 127.0.0.1:7070 --shards 4 --workers 8 --token 42
+//! ppanns-cli serve     --data-dir ./collections --addr 127.0.0.1:7070 --workers 8 --token 42
 //! ppanns-cli query     --remote 127.0.0.1:7070 --keys keys.bin --queries q.fvecs --k 10
+//! ppanns-cli query     --remote 127.0.0.1:7070 --keys keys.bin --queries q.fvecs --collection docs
 //! ppanns-cli query     --remote 127.0.0.1:7070 --keys keys.bin --batch-file q.fvecs --batch-size 64
 //! ppanns-cli query     --db db.bin --keys keys.bin --queries q.fvecs --k 10 --ratio 16 --shards 4
-//! ppanns-cli stats     --remote 127.0.0.1:7070
+//! ppanns-cli collections --remote 127.0.0.1:7070
+//! ppanns-cli create    --remote 127.0.0.1:7070 --token 42 --name docs --dim 960 --shards 4
+//! ppanns-cli drop      --remote 127.0.0.1:7070 --token 42 --name docs
+//! ppanns-cli stats     --remote 127.0.0.1:7070 [--collection docs]
 //! ppanns-cli shutdown  --remote 127.0.0.1:7070 --token 42
 //! ppanns-cli tune      --db db.bin --keys keys.bin --base base.fvecs --queries q.fvecs --k 10 --target 0.9
 //! ```
 //!
-//! `serve` runs the cloud role of PROTOCOL.md over TCP; `query --remote`,
-//! `stats` and `shutdown` are its clients. OPERATIONS.md is the runbook.
+//! `serve` runs the cloud role of PROTOCOL.md over TCP — one index
+//! (`--db`, served as collection `"default"`) or a whole snapshot
+//! directory (`--data-dir`, one collection per `*.ppdb` file, with
+//! remote create/drop persisted back). `query --remote`, `collections`,
+//! `create`, `drop`, `stats` and `shutdown` are its clients.
+//! OPERATIONS.md is the runbook.
 
+use ppanns::core::catalog::Catalog;
 use ppanns::core::tune::{grid_search, TuningGrid};
 use ppanns::core::{
     CloudServer, DataOwner, EncryptedDatabase, PpAnnParams, QueryBackend, SearchParams,
-    ShardedServer, SharedServer,
+    ShardedServer,
 };
 use ppanns::datasets::io::{read_fvecs, write_fvecs};
 use ppanns::datasets::{brute_force_knn, Dataset, DatasetProfile};
-use ppanns::service::{serve, ServiceClient, ServiceConfig};
+use ppanns::service::{serve_catalog, ServiceClient, ServiceConfig, COLLECTION_KIND_SHARDED};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -50,6 +61,9 @@ fn main() -> ExitCode {
         "outsource" => cmd_outsource(&flags),
         "serve" => cmd_serve(&flags),
         "query" => cmd_query(&flags),
+        "collections" => cmd_collections(&flags),
+        "create" => cmd_create(&flags),
+        "drop" => cmd_drop(&flags),
         "stats" => cmd_stats(&flags),
         "shutdown" => cmd_shutdown(&flags),
         "tune" => cmd_tune(&flags),
@@ -68,10 +82,14 @@ const USAGE: &str = "usage:
   ppanns-cli gen       --profile <sift|gist|glove|deep> --n <N> --queries <Q> --base <out.fvecs> --out-queries <out.fvecs> [--seed S]
   ppanns-cli outsource --base <in.fvecs> --db <out.bin> --keys <out.bin> [--beta B] [--seed S]
   ppanns-cli serve     --db <in.bin> [--addr A] [--shards S] [--workers W] [--token T]
-  ppanns-cli query     --remote <addr> --keys <in.bin> --queries <in.fvecs> [--k K] [--ratio R] [--ef E]
-  ppanns-cli query     --remote <addr> --keys <in.bin> --batch-file <in.fvecs> [--batch-size B] [--k K] [--ratio R] [--ef E]
+  ppanns-cli serve     --data-dir <dir> [--addr A] [--workers W] [--token T]
+  ppanns-cli query     --remote <addr> --keys <in.bin> --queries <in.fvecs> [--collection C] [--k K] [--ratio R] [--ef E]
+  ppanns-cli query     --remote <addr> --keys <in.bin> --batch-file <in.fvecs> [--collection C] [--batch-size B] [--k K] [--ratio R] [--ef E]
   ppanns-cli query     --db <in.bin> --keys <in.bin> --queries <in.fvecs> [--k K] [--ratio R] [--ef E] [--shards S]
-  ppanns-cli stats     --remote <addr>
+  ppanns-cli collections --remote <addr>
+  ppanns-cli create    --remote <addr> --token <T> --name <N> --dim <D> [--shards S]
+  ppanns-cli drop      --remote <addr> --token <T> --name <N>
+  ppanns-cli stats     --remote <addr> [--collection C]
   ppanns-cli shutdown  --remote <addr> --token <T>
   ppanns-cli tune      --db <in.bin> --keys <in.bin> --base <in.fvecs> --queries <in.fvecs> [--k K] [--target T]";
 
@@ -167,38 +185,60 @@ fn load_server_and_owner(flags: &Flags) -> Result<(CloudServer, DataOwner), Stri
 }
 
 fn cmd_serve(flags: &Flags) -> Result<(), String> {
-    let db_path = PathBuf::from(required(flags, "db")?);
-    let db = EncryptedDatabase::load_from(Path::new(&db_path)).map_err(|e| e.to_string())?;
-    let dim = db.hnsw().dim();
-    let live = db.len();
     let addr: String = flags.get("addr").cloned().unwrap_or_else(|| "127.0.0.1:7070".into());
-    let shards: usize = parse_or(flags, "shards", 1)?;
     let workers: usize = parse_or(flags, "workers", 4)?;
     let token: Option<u64> = match flags.get("token") {
         None => None,
         Some(t) => Some(t.parse().map_err(|_| format!("--token: cannot parse `{t}`"))?),
     };
 
-    let mut config = ServiceConfig::loopback(dim).with_addr(addr).with_workers(workers);
+    let mut config = ServiceConfig::loopback().with_addr(addr).with_workers(workers);
     if let Some(t) = token {
         config = config.with_owner_token(t);
     }
 
-    // Same backend choice as local `query --shards`: one CloudServer, or a
-    // ShardedServer fanning each query's filter phase across N threads.
-    let handle = if shards > 1 {
-        serve(SharedServer::new(ShardedServer::from_database(db, shards)), config)
-    } else {
-        serve(SharedServer::new(CloudServer::new(db)), config)
-    }
-    .map_err(|e| format!("bind failed: {e}"))?;
+    // Two boot modes: one snapshot served as collection "default"
+    // (--db, the legacy deployment), or a whole snapshot directory —
+    // one collection per *.ppdb file, with remote create/drop persisted
+    // back into the directory.
+    let catalog = match (flags.get("db"), flags.get("data-dir")) {
+        (Some(_), Some(_)) => return Err("--db and --data-dir are mutually exclusive".into()),
+        (Some(db_path), None) => {
+            let db = EncryptedDatabase::load_from(Path::new(db_path)).map_err(|e| e.to_string())?;
+            let shards: usize = parse_or(flags, "shards", 1)?;
+            let catalog = Catalog::new();
+            // Same backend choice as local `query --shards`: one
+            // CloudServer, or a ShardedServer fanning each query's filter
+            // phase across N threads.
+            catalog.create_sharded("default", db, shards).map_err(|e| e.to_string())?;
+            catalog
+        }
+        (None, Some(dir)) => {
+            let dir = PathBuf::from(dir);
+            let catalog = Catalog::load_dir(&dir).map_err(|e| e.to_string())?;
+            if catalog.is_empty() {
+                println!("note: {} holds no *.ppdb snapshots yet", dir.display());
+            }
+            config = config.with_data_dir(dir);
+            catalog
+        }
+        (None, None) => return Err("missing --db (or --data-dir)".into()),
+    };
+
+    let collections = catalog.list();
+    let handle =
+        serve_catalog(Arc::new(catalog), config).map_err(|e| format!("bind failed: {e}"))?;
 
     println!(
-        "serving {live} vectors ({dim}d, {}) on {} with {workers} workers{}",
-        if shards > 1 { format!("{shards} shards") } else { "single index".into() },
+        "serving {} collections ({} vectors) on {} with {workers} workers{}",
+        collections.len(),
+        handle.live(),
         handle.local_addr(),
         if token.is_some() { ", owner maintenance enabled" } else { ", maintenance disabled" },
     );
+    for c in &collections {
+        println!("  {:<20} {:>8} vectors  {:>5}d  {}", c.name, c.live, c.dim, c.kind);
+    }
     match token {
         Some(t) => {
             println!("stop with: ppanns-cli shutdown --remote {} --token {t}", handle.local_addr())
@@ -212,12 +252,54 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     while !handle.stop_requested() {
         std::thread::sleep(std::time::Duration::from_millis(200));
     }
-    let snap = handle.stats().snapshot(0);
+    let snap = handle.stats().snapshot(handle.live());
     handle.join();
     println!(
-        "shutdown: {} queries, {} inserts, {} deletes, {} errors, {} B in, {} B out",
-        snap.queries, snap.inserts, snap.deletes, snap.errors, snap.bytes_in, snap.bytes_out
+        "shutdown: {} live vectors, {} queries, {} inserts, {} deletes, {} errors, {} B in, {} B out",
+        snap.live, snap.queries, snap.inserts, snap.deletes, snap.errors, snap.bytes_in,
+        snap.bytes_out
     );
+    Ok(())
+}
+
+fn cmd_collections(flags: &Flags) -> Result<(), String> {
+    let remote = required(flags, "remote")?;
+    let mut client = ServiceClient::connect(remote, None).map_err(|e| format!("{remote}: {e}"))?;
+    let entries = client.list_collections().map_err(|e| e.to_string())?;
+    println!("{} collections on {remote}:", entries.len());
+    for e in &entries {
+        let shape = if e.kind == COLLECTION_KIND_SHARDED {
+            format!("sharded({})", e.shards)
+        } else {
+            "cloud".into()
+        };
+        println!("  {:<20} {:>8} vectors  {:>5}d  {shape}", e.name, e.live, e.dim);
+    }
+    Ok(())
+}
+
+fn cmd_create(flags: &Flags) -> Result<(), String> {
+    let remote = required(flags, "remote")?;
+    let token: u64 =
+        required(flags, "token")?.parse().map_err(|_| "--token: cannot parse".to_string())?;
+    let name = required(flags, "name")?;
+    let dim: usize =
+        required(flags, "dim")?.parse().map_err(|_| "--dim: cannot parse".to_string())?;
+    let shards: u16 = parse_or(flags, "shards", 1)?;
+    let mut client = ServiceClient::connect(remote, None).map_err(|e| format!("{remote}: {e}"))?;
+    client.create_collection(token, name, dim, shards).map_err(|e| e.to_string())?;
+    println!("created empty collection `{name}` ({dim}d, {shards} shard(s)) on {remote}");
+    Ok(())
+}
+
+fn cmd_drop(flags: &Flags) -> Result<(), String> {
+    let remote = required(flags, "remote")?;
+    let token: u64 =
+        required(flags, "token")?.parse().map_err(|_| "--token: cannot parse".to_string())?;
+    let name = required(flags, "name")?;
+    let mut client = ServiceClient::connect(remote, None).map_err(|e| format!("{remote}: {e}"))?;
+    client.drop_collection(token, name).map_err(|e| e.to_string())?;
+    println!("dropped collection `{name}` on {remote}");
     Ok(())
 }
 
@@ -247,12 +329,18 @@ fn cmd_query_remote(flags: &Flags) -> Result<(), String> {
     }
     let params = SearchParams::from_ratio(k, ratio, ef.max(k * ratio));
 
+    // --collection routes every frame to the named collection
+    // (version-2 frames); without it the legacy nameless frames target
+    // the server's "default" collection.
+    let collection = flags.get("collection").map(String::as_str);
+
     let mut user = owner.authorize_user();
     let mut client = ServiceClient::connect(remote, None).map_err(|e| format!("{remote}: {e}"))?;
     println!(
-        "connected to {remote}: serving {} vectors ({}d)",
+        "connected to {remote}: serving {} vectors ({}d){}",
         client.server_live(),
-        client.server_dim()
+        client.server_dim(),
+        collection.map(|c| format!(", targeting collection `{c}`")).unwrap_or_default()
     );
 
     let started = std::time::Instant::now();
@@ -260,7 +348,11 @@ fn cmd_query_remote(flags: &Flags) -> Result<(), String> {
         let encrypted: Vec<_> = queries.iter().map(|q| user.encrypt_query(q, k)).collect();
         let mut qi = 0usize;
         for chunk in encrypted.chunks(batch_size) {
-            let outs = client.search_batch(chunk, &params).map_err(|e| e.to_string())?;
+            let outs = match collection {
+                Some(c) => client.search_batch_in(c, chunk, &params),
+                None => client.search_batch(chunk, &params),
+            }
+            .map_err(|e| e.to_string())?;
             for out in outs {
                 println!("query {qi}: {:?}", out.ids);
                 qi += 1;
@@ -269,7 +361,11 @@ fn cmd_query_remote(flags: &Flags) -> Result<(), String> {
     } else {
         for (i, q) in queries.iter().enumerate() {
             let enc = user.encrypt_query(q, k);
-            let out = client.search(&enc, &params).map_err(|e| e.to_string())?;
+            let out = match collection {
+                Some(c) => client.search_in(c, &enc, &params),
+                None => client.search(&enc, &params),
+            }
+            .map_err(|e| e.to_string())?;
             println!("query {i}: {:?}", out.ids);
         }
     }
@@ -287,7 +383,14 @@ fn cmd_query_remote(flags: &Flags) -> Result<(), String> {
 fn cmd_stats(flags: &Flags) -> Result<(), String> {
     let remote = required(flags, "remote")?;
     let mut client = ServiceClient::connect(remote, None).map_err(|e| format!("{remote}: {e}"))?;
-    let s = client.stats().map_err(|e| e.to_string())?;
+    let s = match flags.get("collection") {
+        Some(c) => {
+            println!("collection   : {c}");
+            client.stats_in(c)
+        }
+        None => client.stats(),
+    }
+    .map_err(|e| e.to_string())?;
     println!("live vectors : {}", s.live);
     println!("queries      : {}", s.queries);
     println!("inserts      : {}", s.inserts);

@@ -20,7 +20,7 @@ fn facade_serve_shards4_matches_in_process_cloud_server() {
 
     let local = CloudServer::new(owner.outsource(&data));
     let sharded = ShardedServer::from_database(owner.outsource(&data), 4);
-    let handle = serve(SharedServer::new(sharded), ServiceConfig::loopback(dim)).unwrap();
+    let handle = serve(SharedServer::new(sharded), ServiceConfig::loopback()).unwrap();
     let mut client = ServiceClient::connect(handle.local_addr(), Some(dim)).unwrap();
 
     let params = SearchParams { k_prime: 30, ef_search: 60 };
@@ -131,12 +131,161 @@ fn cli_serve_query_stats_shutdown_loop() {
     assert!(stats_text.contains("queries      : 8"), "unexpected stats: {stats_text}");
     assert!(stats_text.contains("live vectors : 400"), "unexpected stats: {stats_text}");
 
-    // graceful shutdown; the server process must exit on its own.
+    // graceful shutdown; the server process must exit on its own, and its
+    // final counter line must report the real live count (regression:
+    // this used to print a hardcoded live=0).
     let out =
         Command::new(bin).args(["shutdown", "--remote", &addr, "--token", "99"]).output().unwrap();
     assert!(out.status.success(), "shutdown failed: {}", String::from_utf8_lossy(&out.stderr));
     let status = server.wait().unwrap();
     assert!(status.success(), "server exited abnormally");
+    let mut rest = String::new();
+    std::io::Read::read_to_string(&mut reader, &mut rest).unwrap();
+    assert!(
+        rest.contains("shutdown: 400 live vectors"),
+        "final counter line must report the real live count, got: {rest}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The multi-collection CLI loop as real processes: serve --data-dir over
+/// a directory holding one legacy v1 snapshot, then create/list/query
+/// /drop collections remotely and restart to verify the directory is the
+/// source of truth.
+#[test]
+fn cli_data_dir_collections_loop() {
+    use ppanns::core::{CollectionMeta, DataOwner, PpAnnParams};
+    use ppanns::datasets::io::write_fvecs;
+    use ppanns::datasets::{Dataset, DatasetProfile};
+
+    let dir = std::env::temp_dir().join(format!("ppanns_cli_datadir_{}", std::process::id()));
+    let store = dir.join("collections");
+    std::fs::create_dir_all(&store).unwrap();
+    let base = dir.join("base.fvecs");
+    let queries = dir.join("q.fvecs");
+    let keys = dir.join("keys.bin");
+
+    let ds = Dataset::generate(DatasetProfile::SiftLike, 300, 4, 6);
+    write_fvecs(&base, &ds.base).unwrap();
+    write_fvecs(&queries, &ds.queries).unwrap();
+
+    // Owner side (library): outsource into the data dir twice — a v1
+    // snapshot (loads as its file stem) and a v2 sharded snapshot.
+    let owner =
+        DataOwner::setup(PpAnnParams::new(ds.base[0].len()).with_beta(0.0).with_seed(6), &ds.base);
+    owner.save_keys(&keys).unwrap();
+    let db = owner.outsource(&ds.base);
+    db.save_to(&store.join("legacy.ppdb")).unwrap();
+    ppanns::core::save_collection_snapshot(
+        &store.join("wide.ppdb"),
+        &CollectionMeta { name: "wide".into(), shards: 2 },
+        &owner.outsource(&ds.base),
+    )
+    .unwrap();
+
+    let bin = env!("CARGO_BIN_EXE_ppanns-cli");
+    // The returned reader must stay alive for the server's lifetime:
+    // dropping it closes the stdout pipe, and the server's next println
+    // would die on the closed pipe.
+    let spawn_server = || {
+        let mut server = Command::new(bin)
+            .args([
+                "serve",
+                "--data-dir",
+                store.to_str().unwrap(),
+                "--addr",
+                "127.0.0.1:0",
+                "--token",
+                "55",
+            ])
+            .stdout(Stdio::piped())
+            .spawn()
+            .unwrap();
+        let stdout = server.stdout.take().unwrap();
+        let mut reader = std::io::BufReader::new(stdout);
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let addr = line
+            .split(" on ")
+            .nth(1)
+            .and_then(|rest| rest.split_whitespace().next())
+            .unwrap_or_else(|| panic!("cannot parse bound address from: {line}"))
+            .to_string();
+        (server, addr, reader)
+    };
+
+    let (mut server, addr, _reader) = spawn_server();
+
+    // collections lists both snapshots with their shapes.
+    let out = Command::new(bin).args(["collections", "--remote", &addr]).output().unwrap();
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success());
+    assert!(text.contains("2 collections"), "unexpected listing: {text}");
+    assert!(text.contains("legacy") && text.contains("cloud"), "unexpected listing: {text}");
+    assert!(text.contains("wide") && text.contains("sharded(2)"), "unexpected listing: {text}");
+
+    // query --collection targets the named collection.
+    let out = Command::new(bin)
+        .args([
+            "query",
+            "--remote",
+            &addr,
+            "--keys",
+            keys.to_str().unwrap(),
+            "--queries",
+            queries.to_str().unwrap(),
+            "--k",
+            "3",
+            "--collection",
+            "wide",
+        ])
+        .output()
+        .unwrap();
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "remote query failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(text.contains("targeting collection `wide`"), "no targeting note: {text}");
+    assert!(text.contains("query 0:"), "no results: {text}");
+
+    // create persists a snapshot; drop removes one.
+    let out = Command::new(bin)
+        .args(["create", "--remote", &addr, "--token", "55", "--name", "scratch", "--dim", "4"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "create failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(store.join("scratch.ppdb").exists(), "create must write the snapshot");
+    let out = Command::new(bin)
+        .args(["drop", "--remote", &addr, "--token", "55", "--name", "legacy"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "drop failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(!store.join("legacy.ppdb").exists(), "drop must delete the snapshot");
+
+    // stats --collection answers per collection.
+    let out = Command::new(bin)
+        .args(["stats", "--remote", &addr, "--collection", "wide"])
+        .output()
+        .unwrap();
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success());
+    assert!(text.contains("collection   : wide"), "unexpected stats: {text}");
+    assert!(text.contains("live vectors : 300"), "unexpected stats: {text}");
+
+    let out =
+        Command::new(bin).args(["shutdown", "--remote", &addr, "--token", "55"]).output().unwrap();
+    assert!(out.status.success(), "shutdown failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(server.wait().unwrap().success(), "server exited abnormally");
+
+    // Restart: the directory is the source of truth — scratch and wide.
+    let (mut server, addr, _reader) = spawn_server();
+    let out = Command::new(bin).args(["collections", "--remote", &addr]).output().unwrap();
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("scratch") && text.contains("wide"), "unexpected listing: {text}");
+    assert!(!text.contains("legacy"), "dropped collection resurfaced: {text}");
+    let out =
+        Command::new(bin).args(["shutdown", "--remote", &addr, "--token", "55"]).output().unwrap();
+    assert!(out.status.success());
+    assert!(server.wait().unwrap().success());
 
     std::fs::remove_dir_all(&dir).ok();
 }
