@@ -31,4 +31,6 @@ mod key;
 mod scheme;
 
 pub use key::AmeSecretKey;
-pub use scheme::{distance_comp, sdc_mac_ops, AmeCiphertext, AmeTrapdoor, COMPONENTS};
+pub use scheme::{
+    distance_comp, distance_comp_with, sdc_mac_ops, AmeCiphertext, AmeTrapdoor, COMPONENTS,
+};

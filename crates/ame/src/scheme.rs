@@ -1,7 +1,8 @@
 //! AME encryption, trapdoor generation and secure comparison.
 
 use crate::key::{AmeSecretKey, PAIRS};
-use ppann_linalg::vector::{dot, norm_sq};
+use ppann_linalg::kernels::{self, Kernels};
+use ppann_linalg::vector::norm_sq;
 use ppann_linalg::Matrix;
 use rand::Rng;
 
@@ -148,12 +149,33 @@ impl AmeSecretKey {
 
 /// The AME secure comparison: `Z = Σⱼ a_{o,j}ᵀ·W_j·b_{p,j}`, equal to
 /// `s_o·s_p·r_q·(dist(o,q) − dist(p,q))` — same sign semantics as DCE's
-/// `DistanceComp`, at 16 mat-vec + 16 inner products.
+/// `DistanceComp`, at 16 fused bilinear forms (no `W·b` temporary; the
+/// `aᵀ·W·b` kernel dispatches through [`ppann_linalg::kernels`]).
 pub fn distance_comp(c_o: &AmeCiphertext, c_p: &AmeCiphertext, t_q: &AmeTrapdoor) -> f64 {
+    distance_comp_with(kernels::active(), c_o, c_p, t_q)
+}
+
+/// [`distance_comp`] against an explicit kernel table — the hook the parity
+/// tests use to pin sign agreement to both dispatch paths.
+pub fn distance_comp_with(
+    k: &Kernels,
+    c_o: &AmeCiphertext,
+    c_p: &AmeCiphertext,
+    t_q: &AmeTrapdoor,
+) -> f64 {
+    // Every component of both ciphertexts feeds the fused kernel, so every
+    // component's shape is checked against its trapdoor matrix (the DCE
+    // comparison enforces the same full-operand contract).
+    assert_eq!(c_o.left.len(), PAIRS, "distance_comp: c_o component count mismatch");
+    assert_eq!(c_p.right.len(), PAIRS, "distance_comp: c_p component count mismatch");
+    assert_eq!(t_q.w.len(), PAIRS, "distance_comp: trapdoor component count mismatch");
     let mut z = 0.0;
     for j in 0..PAIRS {
-        let wb = t_q.w[j].matvec(&c_p.right[j]);
-        z += dot(&c_o.left[j], &wb);
+        let w = &t_q.w[j];
+        let (a, b) = (&c_o.left[j], &c_p.right[j]);
+        assert_eq!(a.len(), w.rows(), "distance_comp: c_o.left/trapdoor dim mismatch");
+        assert_eq!(b.len(), w.cols(), "distance_comp: c_p.right/trapdoor dim mismatch");
+        z += (k.mat_vec_dot)(a, w.data(), w.cols(), b);
     }
     z
 }
@@ -161,23 +183,32 @@ pub fn distance_comp(c_o: &AmeCiphertext, c_p: &AmeCiphertext, t_q: &AmeTrapdoor
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ppann_linalg::vector::squared_euclidean;
+    use ppann_linalg::vector::{dot, squared_euclidean};
     use ppann_linalg::{seeded_rng, uniform_vec};
 
+    /// Pinned to every kernel table the host can run — the encrypted-domain
+    /// correctness claim must hold on the SIMD kernels, not just the oracle.
     #[test]
     fn sign_agreement_with_plaintext() {
-        let mut rng = seeded_rng(111);
-        for d in [2usize, 5, 10] {
-            let sk = AmeSecretKey::generate(d, &mut rng);
-            let q = uniform_vec(&mut rng, d, -1.0, 1.0);
-            let t = sk.trapdoor(&q, &mut rng);
-            for _ in 0..25 {
-                let o = uniform_vec(&mut rng, d, -1.0, 1.0);
-                let p = uniform_vec(&mut rng, d, -1.0, 1.0);
-                let z = distance_comp(&sk.encrypt(&o, &mut rng), &sk.encrypt(&p, &mut rng), &t);
-                let truth = squared_euclidean(&o, &q) - squared_euclidean(&p, &q);
-                if truth.abs() > 1e-9 {
-                    assert_eq!(z < 0.0, truth < 0.0, "d={d}");
+        for k in kernels::all() {
+            let mut rng = seeded_rng(111);
+            for d in [2usize, 5, 10] {
+                let sk = AmeSecretKey::generate(d, &mut rng);
+                let q = uniform_vec(&mut rng, d, -1.0, 1.0);
+                let t = sk.trapdoor(&q, &mut rng);
+                for _ in 0..25 {
+                    let o = uniform_vec(&mut rng, d, -1.0, 1.0);
+                    let p = uniform_vec(&mut rng, d, -1.0, 1.0);
+                    let z = distance_comp_with(
+                        k,
+                        &sk.encrypt(&o, &mut rng),
+                        &sk.encrypt(&p, &mut rng),
+                        &t,
+                    );
+                    let truth = squared_euclidean(&o, &q) - squared_euclidean(&p, &q);
+                    if truth.abs() > 1e-9 {
+                        assert_eq!(z < 0.0, truth < 0.0, "kernel={} d={d}", k.name);
+                    }
                 }
             }
         }

@@ -1,0 +1,57 @@
+//! Distance-kernel microbenchmark: the dispatched SIMD kernels against the
+//! scalar parity oracle, single-pair vs batched, across the dimension sweep
+//! d ∈ {8, 32, 128, 512, 960}.
+//!
+//! Criterion twin of the `distance_kernels` bin (which writes the
+//! machine-readable `BENCH_distance_kernels.json` CI gates on); this
+//! harness is for interactive exploration with proper warm-up/statistics.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppann_linalg::kernels;
+use ppann_linalg::{seeded_rng, uniform_vec};
+use std::hint::black_box;
+use std::time::Duration;
+
+const BATCH: usize = 64;
+
+fn bench_distance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distance");
+    group.warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1));
+    for d in [8usize, 32, 128, 512, 960] {
+        let mut rng = seeded_rng(0x5eed ^ d as u64);
+        let q = uniform_vec(&mut rng, d, -1.0, 1.0);
+        let cands: Vec<Vec<f64>> =
+            (0..BATCH).map(|_| uniform_vec(&mut rng, d, -1.0, 1.0)).collect();
+        let refs: Vec<&[f64]> = cands.iter().map(Vec::as_slice).collect();
+        let mut out = vec![0.0; BATCH];
+
+        // Table × mode sweep: each id reads `<kernel>/single/<d>` or
+        // `<kernel>/batched/<d>`; every iteration scores BATCH pairs so
+        // modes are directly comparable.
+        for k in kernels::all() {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{}/single", k.name), d),
+                &d,
+                |b, _| {
+                    b.iter(|| {
+                        black_box(refs.iter().map(|c| (k.squared_euclidean)(&q, c)).sum::<f64>())
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("{}/batched", k.name), d),
+                &d,
+                |b, _| {
+                    b.iter(|| {
+                        (k.squared_euclidean_many)(&q, &refs, &mut out);
+                        black_box(out[BATCH - 1])
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_distance);
+criterion_main!(benches);

@@ -1,0 +1,232 @@
+//! **Distance kernel micro-bench**: per-pair cost of the dispatched SIMD
+//! kernels against the scalar parity oracle, single-pair vs batched, across
+//! the dimension sweep d ∈ {8, 32, 128, 512, 960}.
+//!
+//! This is the raw-speed floor under every other bench row — HNSW filter,
+//! DCE refine, remote throughput all bottom out in these loops (ROADMAP
+//! open item 2). Two ratios matter and CI gates both (d=128):
+//!
+//! * `sqeuc_simd_vs_scalar_d128` ≥ 1.5 when a SIMD table is detected;
+//! * `sqeuc_batched_vs_single_d128` ≥ 1.2 on any host (the batched kernel
+//!   shares query loads and amortizes dispatch overhead even in scalar).
+//!
+//! Every SIMD measurement doubles as a parity check against the oracle
+//! (tolerances per DESIGN.md §6; the exhaustive sweep lives in
+//! `crates/linalg/tests/proptest_kernels.rs`).
+
+use ppann_bench::{write_bench_json, JsonObject, TableWriter};
+use ppann_linalg::kernels::{self, Kernels};
+use ppann_linalg::{seeded_rng, uniform_vec, vector};
+use std::hint::black_box;
+use std::time::Instant;
+
+const DIMS: [usize; 5] = [8, 32, 128, 512, 960];
+/// Candidates scored per batched call — sized like an HNSW adjacency list
+/// plus a refine chunk, and large enough to amortize call overhead.
+const BATCH: usize = 64;
+
+/// Runs `f` (which performs `pairs_per_iter` kernel evaluations) in a timed
+/// loop and returns the best-observed nanoseconds per pair. Median-of-mins
+/// is overkill at these loop lengths; the min of several generously sized
+/// passes is stable on an idle core.
+fn time_ns_per_pair(pairs_per_iter: usize, mut f: impl FnMut() -> f64) -> f64 {
+    // Calibrate the iteration count to ~10ms per pass.
+    let started = Instant::now();
+    black_box(f());
+    let once = started.elapsed().as_secs_f64().max(1e-9);
+    let iters = ((10e-3 / once) as usize).clamp(1, 2_000_000);
+    let mut best = f64::INFINITY;
+    let mut sink = 0.0;
+    for _ in 0..5 {
+        let started = Instant::now();
+        for _ in 0..iters {
+            sink += black_box(f());
+        }
+        let per_pair = started.elapsed().as_secs_f64() * 1e9 / (iters * pairs_per_iter) as f64;
+        best = best.min(per_pair);
+    }
+    black_box(sink);
+    best
+}
+
+struct Row {
+    op: &'static str,
+    d: usize,
+    kernel: &'static str,
+    mode: &'static str,
+    ns_per_pair: f64,
+}
+
+/// The batched-vs-single gate ratio at d=128, measured through the public
+/// dispatching API — exactly what call sites pay: a dispatch load plus an
+/// indirect call *per pair* on the single path, once *per batch* on the
+/// batched path.
+fn gate_batched_vs_single() -> f64 {
+    let d = 128;
+    let mut rng = seeded_rng(0xba7c4);
+    let q = uniform_vec(&mut rng, d, -1.0, 1.0);
+    let cands: Vec<Vec<f64>> = (0..BATCH).map(|_| uniform_vec(&mut rng, d, -1.0, 1.0)).collect();
+    let cand_refs: Vec<&[f64]> = cands.iter().map(Vec::as_slice).collect();
+    let mut out = vec![0.0; BATCH];
+    let single = time_ns_per_pair(BATCH, || {
+        cand_refs.iter().map(|c| vector::squared_euclidean(&q, c)).sum()
+    });
+    let batched = time_ns_per_pair(BATCH, || {
+        vector::squared_euclidean_many(&q, &cand_refs, &mut out);
+        out[BATCH - 1]
+    });
+    single / batched
+}
+
+/// Measures one kernel table at one dimension; pushes rows for each
+/// (op, mode) and returns the `(single, batched)` ns/pair for
+/// `squared_euclidean` so `main` can form the gate ratios.
+fn measure(k: &'static Kernels, d: usize, rows: &mut Vec<Row>) -> (f64, f64) {
+    let mut rng = seeded_rng(0x5eed ^ d as u64);
+    let q = uniform_vec(&mut rng, d, -1.0, 1.0);
+    let cands: Vec<Vec<f64>> = (0..BATCH).map(|_| uniform_vec(&mut rng, d, -1.0, 1.0)).collect();
+    let cand_refs: Vec<&[f64]> = cands.iter().map(Vec::as_slice).collect();
+    let mut out = vec![0.0; BATCH];
+
+    // dot, single-pair.
+    let ns = time_ns_per_pair(BATCH, || cand_refs.iter().map(|c| (k.dot)(&q, c)).sum());
+    rows.push(Row { op: "dot", d, kernel: k.name, mode: "single", ns_per_pair: ns });
+
+    // squared_euclidean, single-pair and batched.
+    let single =
+        time_ns_per_pair(BATCH, || cand_refs.iter().map(|c| (k.squared_euclidean)(&q, c)).sum());
+    rows.push(Row {
+        op: "squared_euclidean",
+        d,
+        kernel: k.name,
+        mode: "single",
+        ns_per_pair: single,
+    });
+    let batched = time_ns_per_pair(BATCH, || {
+        (k.squared_euclidean_many)(&q, &cand_refs, &mut out);
+        out[BATCH - 1]
+    });
+    rows.push(Row {
+        op: "squared_euclidean",
+        d,
+        kernel: k.name,
+        mode: "batched",
+        ns_per_pair: batched,
+    });
+
+    // The DCE fused comparison works in R^{2d+16} (paper §IV-B).
+    let n = 2 * d + 16;
+    let o1 = uniform_vec(&mut rng, n, -1.0, 1.0);
+    let o2 = uniform_vec(&mut rng, n, -1.0, 1.0);
+    let t = uniform_vec(&mut rng, n, 0.1, 1.0);
+    let ps: Vec<(Vec<f64>, Vec<f64>)> = (0..BATCH)
+        .map(|_| (uniform_vec(&mut rng, n, -1.0, 1.0), uniform_vec(&mut rng, n, -1.0, 1.0)))
+        .collect();
+    let pair_refs: Vec<(&[f64], &[f64])> =
+        ps.iter().map(|(p3, p4)| (p3.as_slice(), p4.as_slice())).collect();
+    let mut zs = vec![0.0; BATCH];
+
+    let ns = time_ns_per_pair(BATCH, || {
+        pair_refs.iter().map(|&(p3, p4)| (k.dce_comp)(&o1, &o2, p3, p4, &t)).sum()
+    });
+    rows.push(Row { op: "dce_comp", d, kernel: k.name, mode: "single", ns_per_pair: ns });
+    let ns = time_ns_per_pair(BATCH, || {
+        (k.dce_comp_many)(&o1, &o2, &pair_refs, &t, &mut zs);
+        zs[BATCH - 1]
+    });
+    rows.push(Row { op: "dce_comp", d, kernel: k.name, mode: "batched", ns_per_pair: ns });
+
+    (single, batched)
+}
+
+/// SIMD-vs-scalar parity spot check at one dimension (the exhaustive sweep
+/// is the proptest suite); relative tolerance per DESIGN.md §6.
+fn parity_ok(simd: &'static Kernels, d: usize) -> bool {
+    let mut rng = seeded_rng(0xace ^ d as u64);
+    let scalar = kernels::scalar();
+    let a = uniform_vec(&mut rng, d, -1.0, 1.0);
+    let b = uniform_vec(&mut rng, d, -1.0, 1.0);
+    let sq_s = (scalar.squared_euclidean)(&a, &b);
+    let sq_v = (simd.squared_euclidean)(&a, &b);
+    let dot_s = (scalar.dot)(&a, &b);
+    let dot_v = (simd.dot)(&a, &b);
+    let dot_scale: f64 = a.iter().zip(&b).map(|(x, y)| (x * y).abs()).sum::<f64>().max(1.0);
+    (sq_s - sq_v).abs() <= 1e-12 * sq_s.max(1.0) && (dot_s - dot_v).abs() <= 1e-12 * dot_scale
+}
+
+fn main() {
+    let active = kernels::active();
+    let simd = kernels::simd();
+    println!(
+        "active kernel: {} (simd {}, PPANN_FORCE_SCALAR={})",
+        active.name,
+        simd.map_or("unavailable", |k| k.name),
+        if kernels::force_scalar_requested() { "set" } else { "unset" },
+    );
+
+    let mut rows = Vec::new();
+    let mut sqeuc_d128 = Vec::new(); // (kernel name, single ns, batched ns)
+    let mut parity = true;
+    for k in kernels::all() {
+        for d in DIMS {
+            let (single, batched) = measure(k, d, &mut rows);
+            if d == 128 {
+                sqeuc_d128.push((k.name, single, batched));
+            }
+        }
+        if !std::ptr::eq(k, kernels::scalar()) {
+            parity &= DIMS.iter().all(|&d| parity_ok(k, d));
+        }
+    }
+
+    let mut t = TableWriter::new(
+        &format!("Distance kernels (batch={BATCH}, best-of-5 ns/pair)"),
+        &["op", "d", "kernel", "mode", "ns/pair"],
+    );
+    for r in &rows {
+        t.row(&[
+            r.op.into(),
+            r.d.to_string(),
+            r.kernel.into(),
+            r.mode.into(),
+            format!("{:.2}", r.ns_per_pair),
+        ]);
+    }
+    t.print();
+
+    let scalar_single =
+        sqeuc_d128.iter().find(|(n, _, _)| *n == "scalar").map(|&(_, s, _)| s).unwrap();
+    let simd_vs_scalar =
+        sqeuc_d128.iter().find(|(n, _, _)| *n != "scalar").map(|&(_, s, _)| scalar_single / s);
+    let batched_vs_single = gate_batched_vs_single();
+
+    println!("\nsqeuc d=128: simd/scalar = {:?}x, batched/single ({}) = {batched_vs_single:.2}x, parity = {parity}",
+        simd_vs_scalar.map(|r| (r * 100.0).round() / 100.0), active.name);
+
+    let json_rows: Vec<JsonObject> = rows
+        .iter()
+        .map(|r| {
+            JsonObject::new()
+                .str("op", r.op)
+                .int("d", r.d as u64)
+                .str("kernel", r.kernel)
+                .str("mode", r.mode)
+                .num("ns_per_pair", r.ns_per_pair)
+        })
+        .collect();
+    let mut json = JsonObject::new()
+        .str("bench", "distance_kernels")
+        .str("kernel_detected", simd.map_or("none", |k| k.name))
+        .str("kernel_active", active.name)
+        .int("batch", BATCH as u64)
+        .array("rows", &json_rows)
+        .num("sqeuc_batched_vs_single_d128", batched_vs_single)
+        .bool("parity", parity);
+    if let Some(r) = simd_vs_scalar {
+        json = json.num("sqeuc_simd_vs_scalar_d128", r);
+    }
+    let path = write_bench_json("distance_kernels", &json).expect("write bench json");
+    println!("machine-readable results -> {}", path.display());
+
+    assert!(parity, "SIMD kernels diverged from the scalar oracle beyond tolerance");
+}

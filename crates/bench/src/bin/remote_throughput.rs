@@ -217,6 +217,7 @@ fn main() {
 
     let json = JsonObject::new()
         .str("bench", "remote_throughput")
+        .str("kernel", ppann_linalg::kernels::active().name)
         .int("n", n as u64)
         .int("queries", queries.len() as u64)
         .int("workers", workers as u64)

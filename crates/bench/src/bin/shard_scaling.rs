@@ -117,6 +117,7 @@ fn main() {
 
     let json = JsonObject::new()
         .str("bench", "shard_scaling")
+        .str("kernel", ppann_linalg::kernels::active().name)
         .int("n", n as u64)
         .int("queries", queries.len() as u64)
         .num("baseline_latency_ms", base_latency_ms)

@@ -5,7 +5,7 @@
 //! only comparison signs. Each insertion costs O(log k) secure comparisons,
 //! giving the paper's refine complexity O(k′·d·log k).
 
-use ppann_dce::{distance_comp, DceCiphertext, DceTrapdoor};
+use ppann_dce::{distance_comp, distance_comp_many, DceCiphertext, DceTrapdoor};
 
 /// A bounded secure max-heap: retains the `k` candidates closest to the
 /// query, with the *farthest* retained candidate on top.
@@ -69,6 +69,45 @@ impl<'a> SecureTopK<'a> {
             if self.farther(top, id) {
                 self.heap[0] = id;
                 self.sift_down(0);
+            }
+        }
+    }
+
+    /// Offers a whole candidate list, retaining exactly what offering each
+    /// id in order with [`Self::offer`] would retain.
+    ///
+    /// After the heap fills, the remaining candidates are screened with one
+    /// *batched* `DistanceComp` call against the batch-start top: the top's
+    /// distance only ever shrinks as offers are accepted, so any candidate
+    /// the batch-start top beats would also lose to every later top —
+    /// rejecting it on the batched sign alone is exactly the sequential
+    /// decision (one comparison, as in Algorithm 2 line 8). Survivors are
+    /// re-offered one by one against the live top, which re-verifies them;
+    /// each survivor therefore costs one extra comparison versus the
+    /// sequential loop, while the bulk of the candidate set is rejected at
+    /// batched-kernel speed with the trapdoor and the top's ciphertext
+    /// halves loaded once.
+    pub fn offer_many(&mut self, ids: &[u32]) {
+        let mut idx = 0;
+        while self.heap.len() < self.capacity && idx < ids.len() {
+            self.offer(ids[idx]);
+            idx += 1;
+        }
+        let rest = &ids[idx..];
+        if rest.is_empty() {
+            return;
+        }
+        let top = self.heap[0];
+        let c_ps: Vec<&DceCiphertext> =
+            rest.iter().map(|&id| &self.ciphertexts[id as usize]).collect();
+        let zs = distance_comp_many(&self.ciphertexts[top as usize], &c_ps, self.trapdoor);
+        self.comparisons += rest.len() as u64;
+        for (&id, &z) in rest.iter().zip(&zs) {
+            // z > 0 ⇔ the batch-start top is farther ⇒ the candidate may
+            // still belong in the heap: run the normal offer against the
+            // live top.
+            if z > 0.0 {
+                self.offer(id);
             }
         }
     }
@@ -169,6 +208,35 @@ mod tests {
         let ids = heap.into_sorted_ids();
         assert_eq!(ids.len(), 3);
         assert_eq!(ids[0], 0);
+    }
+
+    /// Batched offering retains exactly the sequential result — the screen
+    /// is a pure execution-shape change (tie-free data, so comparison
+    /// consistency is exact).
+    #[test]
+    fn offer_many_matches_sequential_offers() {
+        let mut rng = seeded_rng(124);
+        let d = 8;
+        let sk = DceSecretKey::generate(d, &mut rng);
+        let pts: Vec<Vec<f64>> = (0..80).map(|_| uniform_vec(&mut rng, d, -1.0, 1.0)).collect();
+        let cts: Vec<_> = pts.iter().map(|p| sk.encrypt(p, &mut rng)).collect();
+        let q = uniform_vec(&mut rng, d, -1.0, 1.0);
+        let t = sk.trapdoor(&q, &mut rng);
+        let ids: Vec<u32> = (0..pts.len() as u32).collect();
+
+        for k in [1usize, 3, 10, 79, 100] {
+            let mut sequential = SecureTopK::new(&t, &cts, k);
+            for &id in &ids {
+                sequential.offer(id);
+            }
+            let mut batched = SecureTopK::new(&t, &cts, k);
+            batched.offer_many(&ids);
+            assert_eq!(
+                batched.into_sorted_ids(),
+                sequential.into_sorted_ids(),
+                "k={k}: batched refine diverged from sequential offers"
+            );
+        }
     }
 
     #[test]

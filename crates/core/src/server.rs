@@ -94,11 +94,12 @@ impl CloudServer {
         let candidates = hnsw.search(&query.c_sap, k_prime, params.ef_search.max(k_prime));
         let filter_dist_comps = hnsw.distance_computations().saturating_sub(dist_before);
 
-        // Refine: exact top-k via DCE comparisons only.
+        // Refine: exact top-k via DCE comparisons only, offered as one
+        // batch so the at-capacity screen scores the candidate set with a
+        // single `DistanceComp` kernel call per trapdoor load.
         let mut heap = SecureTopK::new(&query.trapdoor, self.db.dce_ciphertexts(), query.k);
-        for cand in &candidates {
-            heap.offer(cand.id);
-        }
+        let cand_ids: Vec<u32> = candidates.iter().map(|c| c.id).collect();
+        heap.offer_many(&cand_ids);
         let refine_sdc_comps = heap.comparisons();
         let ids = heap.into_sorted_ids();
         let sap_dists = self.db.sap_distances(&query.c_sap, &ids);

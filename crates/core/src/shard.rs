@@ -161,16 +161,15 @@ impl ShardedServer {
             })
         };
 
-        // Refine: one exact top-k over the union of all shard candidates.
+        // Refine: one exact top-k over the union of all shard candidates,
+        // offered per shard batch (batched `DistanceComp` screen).
         let mut heap = SecureTopK::new(&query.trapdoor, &self.dce, query.k);
         let mut filter_candidates = 0usize;
         let mut filter_dist_comps = 0u64;
         for (candidates, dist_comps) in &per_shard {
             filter_candidates += candidates.len();
             filter_dist_comps += dist_comps;
-            for &g in candidates {
-                heap.offer(g);
-            }
+            heap.offer_many(candidates);
         }
         let refine_sdc_comps = heap.comparisons();
         let ids = heap.into_sorted_ids();

@@ -1,12 +1,33 @@
 //! `DistanceComp`: the secure distance comparison (paper Theorem 3).
+//!
+//! The fused `(ō′₁◦p̄′₃ − ō′₂◦p̄′₄)ᵀ·q̄′` pass dispatches through
+//! [`ppann_linalg::kernels`]: AVX2/NEON when the CPU supports it, the scalar
+//! oracle otherwise (or when `PPANN_FORCE_SCALAR` is set). The batched entry
+//! point [`distance_comp_many`] scores one challenger against N incumbents
+//! per trapdoor/challenger load — the shape of the refine phase's heap
+//! screen in `ppann-core`.
 
 use crate::encrypt::{DceCiphertext, DceTrapdoor};
+use ppann_linalg::kernels::{self, Kernels};
 
 /// Number of multiply-accumulate operations per secure comparison: `4d + 32`
 /// (paper Section IV-B). `d` is the original vector dimension (rounded up to
 /// even internally).
 pub const fn sdc_mac_ops(d: usize) -> usize {
     4 * crate::randomize::even_dim(d) + 32
+}
+
+/// Checks every component of both ciphertexts against the trapdoor length.
+/// All four operand vectors feed the fused kernel, so all four must agree —
+/// load-bearing now that the kernels do pointer-width SIMD loads.
+#[inline]
+fn assert_dims(c_o: &DceCiphertext, c_p: &DceCiphertext, t_q: &DceTrapdoor) -> usize {
+    let n = t_q.t.len();
+    assert_eq!(c_o.c1.len(), n, "distance_comp: c_o.c1/trapdoor dim mismatch");
+    assert_eq!(c_o.c2.len(), n, "distance_comp: c_o.c2/trapdoor dim mismatch");
+    assert_eq!(c_p.c3.len(), n, "distance_comp: c_p.c3/trapdoor dim mismatch");
+    assert_eq!(c_p.c4.len(), n, "distance_comp: c_p.c4/trapdoor dim mismatch");
+    n
 }
 
 /// `DistanceComp(C_o, C_p, T_q)` — returns
@@ -20,25 +41,51 @@ pub const fn sdc_mac_ops(d: usize) -> usize {
 /// `(ō′₁◦p̄′₃ − ō′₂◦p̄′₄)ᵀ·q̄′` — `4d + 32` MACs, O(d).
 #[inline]
 pub fn distance_comp(c_o: &DceCiphertext, c_p: &DceCiphertext, t_q: &DceTrapdoor) -> f64 {
-    let n = t_q.t.len();
-    assert_eq!(c_o.c1.len(), n, "distance_comp: ciphertext/trapdoor dim mismatch");
-    assert_eq!(c_p.c3.len(), n, "distance_comp: ciphertext/trapdoor dim mismatch");
-    let (o1, o2) = (&c_o.c1, &c_o.c2);
-    let (p3, p4) = (&c_p.c3, &c_p.c4);
-    let t = &t_q.t;
-    let mut acc0 = 0.0;
-    let mut acc1 = 0.0;
-    let mut i = 0;
-    // Two-way unrolled fused loop: (o1*p3 - o2*p4) * t.
-    while i + 1 < n {
-        acc0 += (o1[i] * p3[i] - o2[i] * p4[i]) * t[i];
-        acc1 += (o1[i + 1] * p3[i + 1] - o2[i + 1] * p4[i + 1]) * t[i + 1];
-        i += 2;
-    }
-    if i < n {
-        acc0 += (o1[i] * p3[i] - o2[i] * p4[i]) * t[i];
-    }
-    acc0 + acc1
+    distance_comp_with(kernels::active(), c_o, c_p, t_q)
+}
+
+/// [`distance_comp`] against an explicit kernel table — the hook the parity
+/// tests use to pin Theorem 3 to both dispatch paths.
+#[inline]
+pub fn distance_comp_with(
+    k: &Kernels,
+    c_o: &DceCiphertext,
+    c_p: &DceCiphertext,
+    t_q: &DceTrapdoor,
+) -> f64 {
+    assert_dims(c_o, c_p, t_q);
+    (k.dce_comp)(&c_o.c1, &c_o.c2, &c_p.c3, &c_p.c4, &t_q.t)
+}
+
+/// Batched `DistanceComp`: scores one challenger `C_o` against every
+/// incumbent in `c_ps`, returning each blinded `Z`. The challenger halves
+/// and the trapdoor are loaded once and stay cache-resident across the
+/// batch; per-incumbent results are bit-identical to [`distance_comp`].
+pub fn distance_comp_many(
+    c_o: &DceCiphertext,
+    c_ps: &[&DceCiphertext],
+    t_q: &DceTrapdoor,
+) -> Vec<f64> {
+    distance_comp_many_with(kernels::active(), c_o, c_ps, t_q)
+}
+
+/// [`distance_comp_many`] against an explicit kernel table.
+pub fn distance_comp_many_with(
+    k: &Kernels,
+    c_o: &DceCiphertext,
+    c_ps: &[&DceCiphertext],
+    t_q: &DceTrapdoor,
+) -> Vec<f64> {
+    let pairs: Vec<(&[f64], &[f64])> = c_ps
+        .iter()
+        .map(|c_p| {
+            assert_dims(c_o, c_p, t_q);
+            (c_p.c3.as_slice(), c_p.c4.as_slice())
+        })
+        .collect();
+    let mut out = vec![0.0; pairs.len()];
+    (k.dce_comp_many)(&c_o.c1, &c_o.c2, &pairs, &t_q.t, &mut out);
+    out
 }
 
 /// Convenience predicate: is `o` strictly closer to the query than `p`?
@@ -52,17 +99,24 @@ pub fn is_closer(c_o: &DceCiphertext, c_p: &DceCiphertext, t_q: &DceTrapdoor) ->
 /// refine phase of the PP-ANNS scheme is allowed to observe.
 pub struct SecureOrd<'a> {
     trapdoor: &'a DceTrapdoor,
+    kernels: &'static Kernels,
 }
 
 impl<'a> SecureOrd<'a> {
-    /// Wraps a trapdoor.
+    /// Wraps a trapdoor, comparing through the process-wide dispatch.
     pub fn new(trapdoor: &'a DceTrapdoor) -> Self {
-        Self { trapdoor }
+        Self::with_kernels(trapdoor, kernels::active())
+    }
+
+    /// Wraps a trapdoor with an explicit kernel table (total-order tests
+    /// run the same ordering through every table the host supports).
+    pub fn with_kernels(trapdoor: &'a DceTrapdoor, kernels: &'static Kernels) -> Self {
+        Self { trapdoor, kernels }
     }
 
     /// `Ordering::Less` iff `dist(o, q) < dist(p, q)`.
     pub fn cmp(&self, c_o: &DceCiphertext, c_p: &DceCiphertext) -> std::cmp::Ordering {
-        let z = distance_comp(c_o, c_p, self.trapdoor);
+        let z = distance_comp_with(self.kernels, c_o, c_p, self.trapdoor);
         if z < 0.0 {
             std::cmp::Ordering::Less
         } else if z > 0.0 {
@@ -80,23 +134,33 @@ mod tests {
     use ppann_linalg::vector::squared_euclidean;
     use ppann_linalg::{seeded_rng, uniform_vec};
 
-    /// Exhaustive sign-agreement check across dimensions and random triples.
+    /// Exhaustive sign-agreement check across dimensions and random triples,
+    /// pinned to every kernel table this host can run (scalar oracle plus
+    /// SIMD when detected) — encrypted-domain correctness must hold on the
+    /// dispatched kernels, not just the oracle.
     #[test]
     fn theorem_3_sign_agreement() {
-        let mut rng = seeded_rng(61);
-        for d in [2usize, 3, 8, 20, 50, 128] {
-            let sk = DceSecretKey::generate(d, &mut rng);
-            let q = uniform_vec(&mut rng, d, -1.0, 1.0);
-            let t = sk.trapdoor(&q, &mut rng);
-            for _ in 0..50 {
-                let o = uniform_vec(&mut rng, d, -1.0, 1.0);
-                let p = uniform_vec(&mut rng, d, -1.0, 1.0);
-                let c_o = sk.encrypt(&o, &mut rng);
-                let c_p = sk.encrypt(&p, &mut rng);
-                let z = distance_comp(&c_o, &c_p, &t);
-                let truth = squared_euclidean(&o, &q) - squared_euclidean(&p, &q);
-                if truth.abs() > 1e-9 {
-                    assert_eq!(z < 0.0, truth < 0.0, "d={d}: Z={z} disagrees with truth={truth}");
+        for k in kernels::all() {
+            let mut rng = seeded_rng(61);
+            for d in [2usize, 3, 8, 20, 50, 128] {
+                let sk = DceSecretKey::generate(d, &mut rng);
+                let q = uniform_vec(&mut rng, d, -1.0, 1.0);
+                let t = sk.trapdoor(&q, &mut rng);
+                for _ in 0..50 {
+                    let o = uniform_vec(&mut rng, d, -1.0, 1.0);
+                    let p = uniform_vec(&mut rng, d, -1.0, 1.0);
+                    let c_o = sk.encrypt(&o, &mut rng);
+                    let c_p = sk.encrypt(&p, &mut rng);
+                    let z = distance_comp_with(k, &c_o, &c_p, &t);
+                    let truth = squared_euclidean(&o, &q) - squared_euclidean(&p, &q);
+                    if truth.abs() > 1e-9 {
+                        assert_eq!(
+                            z < 0.0,
+                            truth < 0.0,
+                            "kernel={} d={d}: Z={z} disagrees with truth={truth}",
+                            k.name
+                        );
+                    }
                 }
             }
         }
@@ -106,59 +170,104 @@ mod tests {
     /// per-triple positive factor 2·r_o·r_p·r_q ∈ [2·0.5³, 2·2³).
     #[test]
     fn blinding_factor_is_bounded_positive() {
-        let mut rng = seeded_rng(62);
-        let d = 16;
-        let sk = DceSecretKey::generate(d, &mut rng);
-        let q = uniform_vec(&mut rng, d, -1.0, 1.0);
-        let t = sk.trapdoor(&q, &mut rng);
-        for _ in 0..50 {
-            let o = uniform_vec(&mut rng, d, -1.0, 1.0);
-            let p = uniform_vec(&mut rng, d, -1.0, 1.0);
-            let truth = squared_euclidean(&o, &q) - squared_euclidean(&p, &q);
-            if truth.abs() < 1e-6 {
-                continue;
+        for k in kernels::all() {
+            let mut rng = seeded_rng(62);
+            let d = 16;
+            let sk = DceSecretKey::generate(d, &mut rng);
+            let q = uniform_vec(&mut rng, d, -1.0, 1.0);
+            let t = sk.trapdoor(&q, &mut rng);
+            for _ in 0..50 {
+                let o = uniform_vec(&mut rng, d, -1.0, 1.0);
+                let p = uniform_vec(&mut rng, d, -1.0, 1.0);
+                let truth = squared_euclidean(&o, &q) - squared_euclidean(&p, &q);
+                if truth.abs() < 1e-6 {
+                    continue;
+                }
+                let z =
+                    distance_comp_with(k, &sk.encrypt(&o, &mut rng), &sk.encrypt(&p, &mut rng), &t);
+                let factor = z / truth;
+                assert!(
+                    factor > 0.2 && factor < 16.5,
+                    "kernel={}: blinding factor {factor} outside (2·0.5³, 2·2³)",
+                    k.name
+                );
             }
-            let z = distance_comp(&sk.encrypt(&o, &mut rng), &sk.encrypt(&p, &mut rng), &t);
-            let factor = z / truth;
-            assert!(
-                factor > 0.2 && factor < 16.5,
-                "blinding factor {factor} outside (2·0.5³, 2·2³)"
-            );
         }
     }
 
     #[test]
     fn reflexive_comparison_is_near_zero() {
-        let mut rng = seeded_rng(63);
-        let d = 10;
-        let sk = DceSecretKey::generate(d, &mut rng);
-        let q = uniform_vec(&mut rng, d, -1.0, 1.0);
-        let t = sk.trapdoor(&q, &mut rng);
-        let p = uniform_vec(&mut rng, d, -1.0, 1.0);
-        let c_a = sk.encrypt(&p, &mut rng);
-        let c_b = sk.encrypt(&p, &mut rng); // fresh encryption of the same vector
-        let z = distance_comp(&c_a, &c_b, &t).abs();
-        assert!(z < 1e-6, "self comparison |Z| = {z}");
+        for k in kernels::all() {
+            let mut rng = seeded_rng(63);
+            let d = 10;
+            let sk = DceSecretKey::generate(d, &mut rng);
+            let q = uniform_vec(&mut rng, d, -1.0, 1.0);
+            let t = sk.trapdoor(&q, &mut rng);
+            let p = uniform_vec(&mut rng, d, -1.0, 1.0);
+            let c_a = sk.encrypt(&p, &mut rng);
+            let c_b = sk.encrypt(&p, &mut rng); // fresh encryption of the same vector
+            let z = distance_comp_with(k, &c_a, &c_b, &t).abs();
+            assert!(z < 1e-6, "kernel={}: self comparison |Z| = {z}", k.name);
+        }
     }
 
     #[test]
     fn secure_ord_is_antisymmetric_and_transitive() {
-        let mut rng = seeded_rng(64);
-        let d = 8;
-        let sk = DceSecretKey::generate(d, &mut rng);
-        let q = uniform_vec(&mut rng, d, -1.0, 1.0);
+        for k in kernels::all() {
+            let mut rng = seeded_rng(64);
+            let d = 8;
+            let sk = DceSecretKey::generate(d, &mut rng);
+            let q = uniform_vec(&mut rng, d, -1.0, 1.0);
+            let t = sk.trapdoor(&q, &mut rng);
+            let ord = SecureOrd::with_kernels(&t, k);
+            let pts: Vec<Vec<f64>> = (0..6).map(|_| uniform_vec(&mut rng, d, -1.0, 1.0)).collect();
+            let cts: Vec<_> = pts.iter().map(|p| sk.encrypt(p, &mut rng)).collect();
+            // Sort indices by secure order and verify against plaintext order.
+            let mut idx: Vec<usize> = (0..pts.len()).collect();
+            idx.sort_by(|&a, &b| ord.cmp(&cts[a], &cts[b]));
+            let mut expected: Vec<usize> = (0..pts.len()).collect();
+            expected.sort_by(|&a, &b| {
+                squared_euclidean(&pts[a], &q).partial_cmp(&squared_euclidean(&pts[b], &q)).unwrap()
+            });
+            assert_eq!(idx, expected, "kernel={}", k.name);
+        }
+    }
+
+    /// Batched scoring is the same comparison: bit-identical to one
+    /// [`distance_comp`] per incumbent, on every dispatch path.
+    #[test]
+    fn batched_comparison_matches_single_calls_bitwise() {
+        for k in kernels::all() {
+            let mut rng = seeded_rng(65);
+            for d in [2usize, 7, 16, 33] {
+                let sk = DceSecretKey::generate(d, &mut rng);
+                let q = uniform_vec(&mut rng, d, -1.0, 1.0);
+                let t = sk.trapdoor(&q, &mut rng);
+                let c_o = sk.encrypt(&uniform_vec(&mut rng, d, -1.0, 1.0), &mut rng);
+                let cts: Vec<_> = (0..9)
+                    .map(|_| sk.encrypt(&uniform_vec(&mut rng, d, -1.0, 1.0), &mut rng))
+                    .collect();
+                let refs: Vec<&DceCiphertext> = cts.iter().collect();
+                let zs = distance_comp_many_with(k, &c_o, &refs, &t);
+                for (z, c_p) in zs.iter().zip(&cts) {
+                    let single = distance_comp_with(k, &c_o, c_p, &t);
+                    assert_eq!(z.to_bits(), single.to_bits(), "kernel={} d={d}", k.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "c_o.c2/trapdoor dim mismatch")]
+    fn rejects_component_dim_mismatch() {
+        let mut rng = seeded_rng(66);
+        let sk = DceSecretKey::generate(8, &mut rng);
+        let q = uniform_vec(&mut rng, 8, -1.0, 1.0);
         let t = sk.trapdoor(&q, &mut rng);
-        let ord = SecureOrd::new(&t);
-        let pts: Vec<Vec<f64>> = (0..6).map(|_| uniform_vec(&mut rng, d, -1.0, 1.0)).collect();
-        let cts: Vec<_> = pts.iter().map(|p| sk.encrypt(p, &mut rng)).collect();
-        // Sort indices by secure order and verify against plaintext order.
-        let mut idx: Vec<usize> = (0..pts.len()).collect();
-        idx.sort_by(|&a, &b| ord.cmp(&cts[a], &cts[b]));
-        let mut expected: Vec<usize> = (0..pts.len()).collect();
-        expected.sort_by(|&a, &b| {
-            squared_euclidean(&pts[a], &q).partial_cmp(&squared_euclidean(&pts[b], &q)).unwrap()
-        });
-        assert_eq!(idx, expected);
+        let mut c_o = sk.encrypt(&uniform_vec(&mut rng, 8, -1.0, 1.0), &mut rng);
+        let c_p = sk.encrypt(&uniform_vec(&mut rng, 8, -1.0, 1.0), &mut rng);
+        c_o.c2.pop(); // corrupt one of the previously-unchecked components
+        distance_comp(&c_o, &c_p, &t);
     }
 
     #[test]

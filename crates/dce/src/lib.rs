@@ -53,7 +53,10 @@ mod randomize;
 pub mod security;
 mod serial;
 
-pub use compare::{distance_comp, is_closer, sdc_mac_ops, SecureOrd};
+pub use compare::{
+    distance_comp, distance_comp_many, distance_comp_many_with, distance_comp_with, is_closer,
+    sdc_mac_ops, SecureOrd,
+};
 pub use encrypt::{DceCiphertext, DceTrapdoor};
 pub use key::DceSecretKey;
 pub use randomize::{ciphertext_dim, even_dim, randomized_dim};

@@ -2,8 +2,11 @@
 
 use crate::graph::Neighbor;
 use crate::store::VecStore;
-use ppann_linalg::vector::squared_euclidean;
+use ppann_linalg::vector::squared_euclidean_many;
 use std::collections::BinaryHeap;
+
+/// Rows scored per batched kernel call during the scan.
+const CHUNK: usize = 64;
 
 struct MaxByDist(Neighbor);
 impl PartialEq for MaxByDist {
@@ -24,18 +27,34 @@ impl PartialOrd for MaxByDist {
 }
 
 /// Exact k-nearest neighbors of `query` in `store`, closest first.
+///
+/// The scan runs in batched kernel calls of `CHUNK` (64) rows (bit-identical
+/// per row to single-pair calls), offering each distance to the top-k heap
+/// in id order exactly as the per-row loop did.
 pub fn exact_knn(store: &VecStore, query: &[f64], k: usize) -> Vec<Neighbor> {
     let mut heap: BinaryHeap<MaxByDist> = BinaryHeap::with_capacity(k + 1);
-    for (id, v) in store.iter() {
-        let dist = squared_euclidean(query, v);
-        if heap.len() < k {
-            heap.push(MaxByDist(Neighbor { id, dist }));
-        } else if let Some(top) = heap.peek() {
-            if dist < top.0.dist {
-                heap.pop();
+    let mut rows: Vec<&[f64]> = Vec::with_capacity(CHUNK);
+    let mut dists = [0.0f64; CHUNK];
+    let mut base = 0u32;
+    let n = store.len() as u32;
+    while base < n {
+        let end = (base + CHUNK as u32).min(n);
+        rows.clear();
+        rows.extend((base..end).map(|id| store.get(id)));
+        let out = &mut dists[..rows.len()];
+        squared_euclidean_many(query, &rows, out);
+        for (off, &dist) in out.iter().enumerate() {
+            let id = base + off as u32;
+            if heap.len() < k {
                 heap.push(MaxByDist(Neighbor { id, dist }));
+            } else if let Some(top) = heap.peek() {
+                if dist < top.0.dist {
+                    heap.pop();
+                    heap.push(MaxByDist(Neighbor { id, dist }));
+                }
             }
         }
+        base = end;
     }
     let mut out: Vec<Neighbor> = heap.into_iter().map(|m| m.0).collect();
     out.sort_by(|a, b| a.dist.partial_cmp(&b.dist).unwrap());

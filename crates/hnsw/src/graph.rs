@@ -3,7 +3,7 @@
 use crate::params::HnswParams;
 use crate::store::VecStore;
 use crate::visited::VisitedTable;
-use ppann_linalg::vector::squared_euclidean;
+use ppann_linalg::vector::{squared_euclidean, squared_euclidean_many};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BinaryHeap;
@@ -279,6 +279,19 @@ impl Hnsw {
         squared_euclidean(a, self.store.get(id))
     }
 
+    /// Batched counterpart of [`Self::dist`]: scores `query` against every
+    /// id in `ids` with one kernel call, so the query stays resident in
+    /// registers across a whole adjacency list. Per-id results are
+    /// bit-identical to [`Self::dist`], and the counter advances by the
+    /// same amount — batching is a pure execution-shape change.
+    fn dist_many(&self, query: &[f64], ids: &[u32], out: &mut Vec<f64>) {
+        self.dist_comps.fetch_add(ids.len() as u64, Ordering::Relaxed);
+        let rows: Vec<&[f64]> = ids.iter().map(|&id| self.store.get(id)).collect();
+        out.clear();
+        out.resize(ids.len(), 0.0);
+        squared_euclidean_many(query, &rows, out);
+    }
+
     /// Samples a level with the exponential decay `⌊−ln(U)·mL⌋`.
     fn sample_level(&mut self) -> usize {
         let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
@@ -286,13 +299,20 @@ impl Hnsw {
     }
 
     /// Greedy descent on one layer with beam width 1 (used above the
-    /// insertion/search level).
+    /// insertion/search level). Each round scores the whole adjacency list
+    /// with one batched call; keeping the first strict improvement in list
+    /// order reproduces the sequential scan's choice exactly.
     fn greedy_closest(&self, query: &[f64], mut ep: u32, layer: usize) -> u32 {
         let mut best = self.dist(query, ep);
+        let mut dists = Vec::new();
         loop {
+            let links = &self.nodes[ep as usize].links[layer];
+            if links.is_empty() {
+                return ep;
+            }
+            self.dist_many(query, links, &mut dists);
             let mut improved = false;
-            for &nb in &self.nodes[ep as usize].links[layer] {
-                let d = self.dist(query, nb);
+            for (&nb, &d) in links.iter().zip(&dists) {
                 if d < best {
                     best = d;
                     ep = nb;
@@ -333,16 +353,30 @@ impl Hnsw {
                 results.push(FarthestFirst(n));
             }
         }
+        let mut fresh: Vec<u32> = Vec::new();
+        let mut dists: Vec<f64> = Vec::new();
         while let Some(ClosestFirst(c)) = candidates.pop() {
             let worst = results.peek().map_or(f64::INFINITY, |f| f.0.dist);
             if c.dist > worst && results.len() >= ef {
                 break;
             }
-            for &nb in &self.nodes[c.id as usize].links[layer] {
-                if !visited.insert(nb) {
-                    continue;
-                }
-                let d = self.dist(query, nb);
+            // Batched expansion: score every unvisited neighbor of `c` in
+            // one kernel call. The sequential loop also computed a distance
+            // for each unvisited neighbor before its beam check, so the
+            // work, the counter, and (per-row bit-identity) the results are
+            // exactly those of per-neighbor calls.
+            fresh.clear();
+            fresh.extend(
+                self.nodes[c.id as usize].links[layer]
+                    .iter()
+                    .copied()
+                    .filter(|&nb| visited.insert(nb)),
+            );
+            if fresh.is_empty() {
+                continue;
+            }
+            self.dist_many(query, &fresh, &mut dists);
+            for (&nb, &d) in fresh.iter().zip(&dists) {
                 let worst = results.peek().map_or(f64::INFINITY, |f| f.0.dist);
                 if results.len() < ef || d < worst {
                     candidates.push(ClosestFirst(Neighbor { id: nb, dist: d }));
@@ -455,10 +489,11 @@ impl Hnsw {
             return;
         }
         let base = self.store.get(node).to_vec();
-        let cands: Vec<Neighbor> = self.nodes[node as usize].links[layer]
-            .iter()
-            .map(|&nb| Neighbor { id: nb, dist: self.dist(&base, nb) })
-            .collect();
+        let links = &self.nodes[node as usize].links[layer];
+        let mut dists = Vec::new();
+        self.dist_many(&base, links, &mut dists);
+        let cands: Vec<Neighbor> =
+            links.iter().zip(&dists).map(|(&nb, &d)| Neighbor { id: nb, dist: d }).collect();
         let chosen = self.select_neighbors(&base, &cands, m);
         self.nodes[node as usize].links[layer] = chosen.into_iter().map(|n| n.id).collect();
     }

@@ -21,6 +21,7 @@
 //! assert!(prod.max_abs_diff(&Matrix::identity(8)) < 1e-8);
 //! ```
 
+pub mod kernels;
 mod lu;
 mod matrix;
 mod parallel;

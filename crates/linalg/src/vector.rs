@@ -4,6 +4,14 @@
 //! thousands of [`squared_euclidean`] calls and every DCE secure comparison
 //! reduces to three fused element-wise passes. All kernels take plain slices
 //! so callers can keep their data in flat, cache-friendly buffers.
+//!
+//! The reduction kernels ([`dot`], [`squared_euclidean`], [`norm_sq`],
+//! [`squared_euclidean_many`]) dispatch through [`crate::kernels`]: the best
+//! SIMD implementation the CPU supports (AVX2+FMA or NEON), resolved once
+//! per process, with the original scalar loops as the fallback and parity
+//! oracle. Set `PPANN_FORCE_SCALAR=1` to pin the scalar path.
+
+use crate::kernels;
 
 /// Inner product `a · b`.
 ///
@@ -12,53 +20,35 @@
 #[inline]
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len(), "dot: dimension mismatch");
-    // Four independent accumulators let LLVM keep the loop vectorized even
-    // though floating point addition is not associative.
-    let chunks = a.len() / 4;
-    let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
-    for i in 0..chunks {
-        let j = i * 4;
-        s0 += a[j] * b[j];
-        s1 += a[j + 1] * b[j + 1];
-        s2 += a[j + 2] * b[j + 2];
-        s3 += a[j + 3] * b[j + 3];
-    }
-    let mut tail = 0.0;
-    for j in chunks * 4..a.len() {
-        tail += a[j] * b[j];
-    }
-    s0 + s1 + s2 + s3 + tail
+    (kernels::active().dot)(a, b)
 }
 
 /// Squared Euclidean distance `‖a − b‖²` — the `dist(p, q)` of the paper.
 #[inline]
 pub fn squared_euclidean(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len(), "squared_euclidean: dimension mismatch");
-    let chunks = a.len() / 4;
-    let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
-    for i in 0..chunks {
-        let j = i * 4;
-        let d0 = a[j] - b[j];
-        let d1 = a[j + 1] - b[j + 1];
-        let d2 = a[j + 2] - b[j + 2];
-        let d3 = a[j + 3] - b[j + 3];
-        s0 += d0 * d0;
-        s1 += d1 * d1;
-        s2 += d2 * d2;
-        s3 += d3 * d3;
-    }
-    let mut tail = 0.0;
-    for j in chunks * 4..a.len() {
-        let d = a[j] - b[j];
-        tail += d * d;
-    }
-    s0 + s1 + s2 + s3 + tail
+    (kernels::active().squared_euclidean)(a, b)
 }
 
 /// Squared L2 norm `‖a‖²`.
 #[inline]
 pub fn norm_sq(a: &[f64]) -> f64 {
-    dot(a, a)
+    (kernels::active().norm_sq)(a)
+}
+
+/// Batched squared Euclidean distances: `out[i] = ‖query − rows[i]‖²`.
+///
+/// One call scores a query against a whole candidate list, keeping the query
+/// resident in registers across candidates. Per-row results are bit-identical
+/// to calling [`squared_euclidean`] on each row.
+///
+/// # Panics
+/// Panics if `out.len() != rows.len()` or (in debug builds) if any row's
+/// length differs from the query's.
+#[inline]
+pub fn squared_euclidean_many(query: &[f64], rows: &[&[f64]], out: &mut [f64]) {
+    assert_eq!(rows.len(), out.len(), "squared_euclidean_many: out length mismatch");
+    (kernels::active().squared_euclidean_many)(query, rows, out)
 }
 
 /// L2 norm `‖a‖`.

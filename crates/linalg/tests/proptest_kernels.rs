@@ -1,0 +1,200 @@
+//! Parity suite for the runtime-dispatched distance kernels.
+//!
+//! Three contracts, each checked on every kernel table the host can run
+//! (the scalar oracle always; AVX2/NEON when detected):
+//!
+//! 1. **SIMD-vs-scalar parity.** SIMD kernels reassociate sums (wider
+//!    accumulator fans + FMA), so they are not bit-identical to the oracle;
+//!    DESIGN.md §6 bounds the divergence by condition-scaled summation
+//!    error. The tolerances here are that bound: relative to `Σ|termᵢ|`,
+//!    never to the (possibly cancelled) result for sign-indefinite sums.
+//! 2. **Batched = N singles, bitwise.** Batched kernels keep each row's
+//!    accumulation order identical to the same table's single-pair kernel,
+//!    so equality is exact, not approximate.
+//! 3. **Dispatch policy.** Scalar, SIMD and batched paths are exercised
+//!    explicitly regardless of what `active()` resolved to; hosts without
+//!    a SIMD table skip that half with a note instead of passing silently.
+
+use ppann_linalg::kernels::{self, Kernels};
+use proptest::prelude::*;
+
+/// Dimension edge cases: empty, one, odd, around vector-width multiples,
+/// around 4k, and large-enough-to-stream. Proptest picks among these.
+const DIMS: [usize; 14] = [0, 1, 2, 3, 5, 7, 8, 15, 16, 17, 63, 4095, 4097, 10_000];
+
+fn fill(seed: u64, n: usize, lo: f64, hi: f64) -> Vec<f64> {
+    use rand::Rng;
+    let mut rng = ppann_linalg::seeded_rng(seed);
+    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+/// `|simd − scalar| ≤ tol`, with `tol` scaled by the magnitude sum of the
+/// contributing terms (the DESIGN.md §6 reassociation bound).
+fn assert_close(simd: f64, scalar: f64, term_magnitude_sum: f64, what: &str) {
+    let tol = 1e-12 * term_magnitude_sum.max(1.0);
+    assert!(
+        (simd - scalar).abs() <= tol,
+        "{what}: simd={simd} scalar={scalar} diff={} tol={tol}",
+        (simd - scalar).abs()
+    );
+}
+
+fn check_parity(k: &'static Kernels, n: usize, seed: u64) {
+    let scalar = kernels::scalar();
+    let a = fill(seed, n, -10.0, 10.0);
+    let b = fill(seed ^ 0xb, n, -10.0, 10.0);
+
+    let dot_terms: f64 = a.iter().zip(&b).map(|(x, y)| (x * y).abs()).sum();
+    assert_close((k.dot)(&a, &b), (scalar.dot)(&a, &b), dot_terms, &format!("dot n={n}"));
+    let norm_terms: f64 = a.iter().map(|x| x * x).sum();
+    assert_close((k.norm_sq)(&a), (scalar.norm_sq)(&a), norm_terms, &format!("norm_sq n={n}"));
+    // Squared distance is a sum of nonnegative terms: the scalar result is
+    // itself the term-magnitude sum.
+    let sq_scalar = (scalar.squared_euclidean)(&a, &b);
+    assert_close((k.squared_euclidean)(&a, &b), sq_scalar, sq_scalar, &format!("sqeuc n={n}"));
+
+    let o1 = fill(seed ^ 0x1, n, -2.0, 2.0);
+    let o2 = fill(seed ^ 0x2, n, -2.0, 2.0);
+    let p3 = fill(seed ^ 0x3, n, -2.0, 2.0);
+    let p4 = fill(seed ^ 0x4, n, -2.0, 2.0);
+    let t = fill(seed ^ 0x5, n, 0.1, 2.0);
+    let dce_terms: f64 =
+        (0..n).map(|i| ((o1[i] * p3[i]).abs() + (o2[i] * p4[i]).abs()) * t[i].abs()).sum();
+    assert_close(
+        (k.dce_comp)(&o1, &o2, &p3, &p4, &t),
+        (scalar.dce_comp)(&o1, &o2, &p3, &p4, &t),
+        dce_terms,
+        &format!("dce_comp n={n}"),
+    );
+
+    // Bilinear form aᵀ·W·b against a naive double loop.
+    let rows = n.min(24);
+    let cols = (n / 2).clamp(1, 17);
+    let av = fill(seed ^ 0x6, rows, -3.0, 3.0);
+    let w = fill(seed ^ 0x7, rows * cols, -3.0, 3.0);
+    let bv = fill(seed ^ 0x8, cols, -3.0, 3.0);
+    let mut naive = 0.0;
+    let mut naive_terms = 0.0;
+    for (i, ai) in av.iter().enumerate() {
+        for (j, bj) in bv.iter().enumerate() {
+            naive += ai * w[i * cols + j] * bj;
+            naive_terms += (ai * w[i * cols + j] * bj).abs();
+        }
+    }
+    // Naive is itself reassociated relative to the kernels; same bound.
+    assert_close(
+        (k.mat_vec_dot)(&av, &w, cols, &bv),
+        naive,
+        naive_terms,
+        &format!("mat_vec_dot {rows}x{cols}"),
+    );
+}
+
+fn check_batched_bitwise(k: &'static Kernels, n: usize, batch: usize, seed: u64) {
+    let q = fill(seed, n, -10.0, 10.0);
+    let rows: Vec<Vec<f64>> =
+        (0..batch).map(|i| fill(seed ^ (i as u64 + 100), n, -10.0, 10.0)).collect();
+    let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+    let mut out = vec![0.0; batch];
+    (k.squared_euclidean_many)(&q, &refs, &mut out);
+    for (row, &got) in refs.iter().zip(&out) {
+        let single = (k.squared_euclidean)(&q, row);
+        assert_eq!(
+            got.to_bits(),
+            single.to_bits(),
+            "{}: sqeuc batched != single at n={n} batch={batch}",
+            k.name
+        );
+    }
+
+    let o1 = fill(seed ^ 0x11, n, -2.0, 2.0);
+    let o2 = fill(seed ^ 0x12, n, -2.0, 2.0);
+    let t = fill(seed ^ 0x13, n, 0.1, 2.0);
+    let ps: Vec<(Vec<f64>, Vec<f64>)> = (0..batch)
+        .map(|i| {
+            (
+                fill(seed ^ (i as u64 + 200), n, -2.0, 2.0),
+                fill(seed ^ (i as u64 + 300), n, -2.0, 2.0),
+            )
+        })
+        .collect();
+    let pair_refs: Vec<(&[f64], &[f64])> =
+        ps.iter().map(|(p3, p4)| (p3.as_slice(), p4.as_slice())).collect();
+    let mut zs = vec![0.0; batch];
+    (k.dce_comp_many)(&o1, &o2, &pair_refs, &t, &mut zs);
+    for (&(p3, p4), &z) in pair_refs.iter().zip(&zs) {
+        let single = (k.dce_comp)(&o1, &o2, p3, p4, &t);
+        assert_eq!(
+            z.to_bits(),
+            single.to_bits(),
+            "{}: dce_comp batched != single at n={n} batch={batch}",
+            k.name
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every kernel of every runnable table agrees with the scalar oracle
+    /// within the documented reassociation bound, across edge-case dims.
+    #[test]
+    fn simd_matches_scalar_within_ulp_bound(dim_idx in 0usize..DIMS.len(), seed in 0u64..1_000_000) {
+        for k in kernels::all() {
+            check_parity(k, DIMS[dim_idx], seed);
+        }
+    }
+
+    /// Batched kernels equal N single-pair calls bit-for-bit, including
+    /// odd batch sizes (the 2-row blocking has a remainder row) and the
+    /// empty batch.
+    #[test]
+    fn batched_equals_singles_bitwise(dim_idx in 0usize..DIMS.len(), batch in 0usize..9, seed in 0u64..1_000_000) {
+        for k in kernels::all() {
+            check_batched_bitwise(k, DIMS[dim_idx], batch, seed);
+        }
+    }
+}
+
+/// Forced-dispatch coverage: the scalar table, the SIMD table, and both
+/// tables' batched paths run regardless of what `active()` resolved to for
+/// this process. On hosts without a SIMD table the SIMD half is skipped
+/// with an explicit note — a silent pass must not masquerade as coverage.
+#[test]
+fn forced_dispatch_exercises_scalar_simd_and_batched() {
+    let scalar = kernels::scalar();
+    assert_eq!(scalar.name, "scalar");
+    check_parity(scalar, 129, 7);
+    check_batched_bitwise(scalar, 129, 5, 7);
+
+    match kernels::simd() {
+        Some(simd) => {
+            assert_ne!(simd.name, "scalar");
+            check_parity(simd, 129, 7);
+            check_batched_bitwise(simd, 129, 5, 7);
+        }
+        None => {
+            eprintln!(
+                "note: no SIMD kernel table on this host \
+                 ({}); parity checked scalar-only",
+                std::env::consts::ARCH
+            );
+        }
+    }
+
+    // `all()` is exactly the set the two branches above covered.
+    let names: Vec<&str> = kernels::all().iter().map(|k| k.name).collect();
+    assert_eq!(names.len(), 1 + kernels::simd().is_some() as usize);
+}
+
+/// The big-dimension sweep (4k±1 and beyond) kept out of proptest so its
+/// cost is paid once, not per case.
+#[test]
+fn parity_at_large_dims() {
+    for k in kernels::all() {
+        for n in [4095usize, 4096, 4097, 16_384] {
+            check_parity(k, n, 42);
+            check_batched_bitwise(k, n, 3, 42);
+        }
+    }
+}
