@@ -68,6 +68,20 @@ pub trait MaintainableServer {
 
     /// Number of live vectors served.
     fn live_len(&self) -> usize;
+
+    /// Total id slots allocated, live or tombstoned — equivalently, the
+    /// id the *next* [`Self::insert`] will assign. The write-ahead log
+    /// uses this to record an insert's id before applying it.
+    fn slots(&self) -> usize;
+}
+
+/// A backend that can serialize its complete current state as a v1
+/// `PPDB` database image (`persist` module) — what WAL compaction
+/// wraps into a fresh collection snapshot.
+pub trait SnapshotSource {
+    /// The full database image, bit-equal to what loading the snapshot
+    /// and re-applying every logged mutation would produce.
+    fn database_image(&self) -> bytes::Bytes;
 }
 
 /// The shape of a server backend, as reported per collection by the
@@ -163,6 +177,15 @@ pub trait ErasedBackend: Send + Sync {
 
     /// Number of live vectors served.
     fn live_len(&self) -> usize;
+
+    /// Total id slots allocated ([`MaintainableServer::slots`]): the id
+    /// the next insert will assign.
+    fn slots(&self) -> usize;
+
+    /// Serializes the backend's complete state as a v1 `PPDB` database
+    /// image ([`SnapshotSource::database_image`]), under the shared
+    /// lock — what compaction folds into a fresh snapshot.
+    fn database_image(&self) -> bytes::Bytes;
 
     /// Vector dimensionality served.
     fn dim(&self) -> usize;

@@ -32,14 +32,21 @@
 use crate::backend::{BackendKind, ErasedBackend};
 use crate::concurrent::SharedServer;
 use crate::index::EncryptedDatabase;
-use crate::persist::{load_snapshot, PersistError, SNAPSHOT_EXT};
+use crate::persist::{
+    atomic_write, collection_container_bytes, collection_snapshot_bytes, load_snapshot_bytes,
+    CollectionMeta, PersistError, SNAPSHOT_EXT,
+};
 use crate::query::EncryptedQuery;
 use crate::server::{CloudServer, SearchOutcome, SearchParams};
 use crate::shard::ShardedServer;
-use parking_lot::RwLock;
+use crate::wal::{
+    replay, snapshot_id, wal_path_for, DurabilityOptions, SnapshotId, WalRecord, WalWriter,
+};
+use bytes::Bytes;
+use parking_lot::{Mutex, RwLock};
 use ppann_dce::DceCiphertext;
 use std::collections::BTreeMap;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 /// The collection legacy (v1, nameless) protocol frames route to.
@@ -106,6 +113,48 @@ pub fn validate_collection_name(name: &str) -> Result<(), CatalogError> {
     Ok(())
 }
 
+/// The durable state of one collection: its open write-ahead log plus
+/// the snapshot path compaction rewrites. Serialized by the collection's
+/// WAL mutex, which is the *outer* lock of every durable mutation (the
+/// backend's own `RwLock` is taken inside it, never the other way
+/// around — searches take only the backend lock and are unaffected).
+struct CollectionWal {
+    writer: WalWriter,
+    snapshot_path: PathBuf,
+    opts: DurabilityOptions,
+    compactions: u64,
+}
+
+impl CollectionWal {
+    /// Writes a fresh sealed log for the snapshot identity `base`.
+    fn new_sealed(
+        snapshot_path: &Path,
+        base: SnapshotId,
+        opts: DurabilityOptions,
+    ) -> std::io::Result<Self> {
+        let writer = WalWriter::create_sealed(&wal_path_for(snapshot_path), base, opts.fsync)?;
+        Ok(Self { writer, snapshot_path: snapshot_path.to_path_buf(), opts, compactions: 0 })
+    }
+
+    /// Opens an existing (already replayed and repaired) log for append.
+    fn open_existing(snapshot_path: &Path, opts: DurabilityOptions) -> std::io::Result<Self> {
+        let writer = WalWriter::open_append(&wal_path_for(snapshot_path), opts.fsync)?;
+        Ok(Self { writer, snapshot_path: snapshot_path.to_path_buf(), opts, compactions: 0 })
+    }
+}
+
+/// A point-in-time view of a collection's durability state (diagnostics
+/// and the log-bounded-restart assertions in the persistence tests).
+#[derive(Clone, Copy, Debug)]
+pub struct WalStatus {
+    /// Current log length in bytes (header + checkpoint + records).
+    pub log_bytes: u64,
+    /// Compactions performed since this process attached the log.
+    pub compactions: u64,
+    /// The byte threshold that triggers the next compaction.
+    pub compact_bytes: u64,
+}
+
 /// One named collection: a validated name plus its type-erased backend.
 pub struct Collection {
     name: String,
@@ -116,6 +165,10 @@ pub struct Collection {
     /// Cached at registration, immutable for the collection's lifetime.
     kind: BackendKind,
     backend: Box<dyn ErasedBackend>,
+    /// `Some` on a durable (`--data-dir`) collection: every mutation is
+    /// logged before it is applied. `None` keeps the collection
+    /// in-memory-only with infallible mutations.
+    wal: Option<Mutex<CollectionWal>>,
 }
 
 impl Collection {
@@ -156,19 +209,127 @@ impl Collection {
     }
 
     /// Inserts a pre-encrypted vector, returning its assigned id.
-    pub fn insert(&self, c_sap: Vec<f64>, c_dce: DceCiphertext) -> u32 {
-        self.backend.insert(c_sap, c_dce)
+    ///
+    /// On a durable collection this is **write-ahead**: the record is
+    /// appended to the log (and fsynced per policy) *before* the
+    /// backend is touched, so an `Ok` id is exactly as durable as the
+    /// policy promises and an `Err` guarantees the backend did not
+    /// change — the caller must not acknowledge. The id is predicted
+    /// from the backend's slot count; the WAL mutex serializes every
+    /// mutation, so the prediction cannot race.
+    pub fn insert(&self, c_sap: Vec<f64>, c_dce: DceCiphertext) -> Result<u32, PersistError> {
+        let Some(wal) = &self.wal else {
+            return Ok(self.backend.insert(c_sap, c_dce));
+        };
+        let mut wal = wal.lock();
+        let id = self.backend.slots() as u32;
+        wal.writer.append_insert(id, &c_sap, &c_dce)?;
+        let assigned = self.backend.insert(c_sap, c_dce);
+        debug_assert_eq!(assigned, id, "WAL id prediction diverged from the backend");
+        self.maybe_compact(&mut wal);
+        Ok(id)
     }
 
-    /// Check-and-delete under one exclusive lock; `false` leaves the
-    /// backend untouched.
-    pub fn try_delete(&self, id: u32) -> bool {
-        self.backend.try_delete(id)
+    /// Check-and-delete under one exclusive lock; `Ok(false)` leaves
+    /// the backend untouched. Durable collections log the delete before
+    /// applying it (see [`Self::insert`] for the contract).
+    pub fn try_delete(&self, id: u32) -> Result<bool, PersistError> {
+        let Some(wal) = &self.wal else {
+            return Ok(self.backend.try_delete(id));
+        };
+        let mut wal = wal.lock();
+        if !self.backend.is_live(id) {
+            return Ok(false);
+        }
+        wal.writer.append_delete(id)?;
+        let deleted = self.backend.try_delete(id);
+        debug_assert!(deleted, "liveness cannot change under the WAL mutex");
+        self.maybe_compact(&mut wal);
+        Ok(deleted)
     }
 
     /// Whether `id` names a live vector.
     pub fn is_live(&self, id: u32) -> bool {
         self.backend.is_live(id)
+    }
+
+    /// Total id slots allocated (live + tombstoned): the id the next
+    /// insert will assign.
+    pub fn slots(&self) -> usize {
+        self.backend.slots()
+    }
+
+    /// Whether mutations are written ahead to a log (a `--data-dir`
+    /// collection).
+    pub fn is_durable(&self) -> bool {
+        self.wal.is_some()
+    }
+
+    /// Durability diagnostics; `None` on an in-memory-only collection.
+    pub fn wal_status(&self) -> Option<WalStatus> {
+        self.wal.as_ref().map(|wal| {
+            let wal = wal.lock();
+            WalStatus {
+                log_bytes: wal.writer.log_len(),
+                compactions: wal.compactions,
+                compact_bytes: wal.opts.compact_bytes,
+            }
+        })
+    }
+
+    /// Compacts now regardless of the byte threshold: rewrites the
+    /// snapshot from the backend's current state and starts a fresh
+    /// sealed log. Returns `false` (a no-op) on a non-durable
+    /// collection.
+    pub fn compact(&self) -> Result<bool, PersistError> {
+        match &self.wal {
+            None => Ok(false),
+            Some(wal) => {
+                let mut wal = wal.lock();
+                self.compact_locked(&mut wal)?;
+                Ok(true)
+            }
+        }
+    }
+
+    /// Compacts once the log crosses its threshold. Failure is logged
+    /// and *swallowed*: the collection keeps serving from the (intact)
+    /// old snapshot + growing log, and the next mutation retries — a
+    /// full disk must degrade restart time, not lose acknowledged
+    /// writes.
+    fn maybe_compact(&self, wal: &mut CollectionWal) {
+        if wal.writer.log_len() < wal.opts.compact_bytes {
+            return;
+        }
+        if let Err(e) = self.compact_locked(wal) {
+            eprintln!("ppanns: WAL compaction of `{}` failed (will retry): {e}", self.name);
+        }
+    }
+
+    /// The compaction sequence, under the WAL mutex. Crash-safe by
+    /// ordering alone:
+    ///
+    /// 1. Serialize the backend (every logged record is now in the image
+    ///    — the mutex guarantees no mutation slips in between).
+    /// 2. Atomically replace the snapshot. A crash before this rename
+    ///    leaves old snapshot + old log (nothing happened); a crash
+    ///    after it leaves *new* snapshot + old log, whose checkpoint no
+    ///    longer matches — replay discards the stale log, losing nothing
+    ///    because step 1 folded all of it into the snapshot.
+    /// 3. Atomically replace the log with a fresh one sealed to the new
+    ///    snapshot's identity.
+    fn compact_locked(&self, wal: &mut CollectionWal) -> Result<(), PersistError> {
+        let image = self.backend.database_image();
+        let meta = CollectionMeta { name: self.name.clone(), shards: self.kind.shards() };
+        let container = collection_container_bytes(&meta, &image);
+        atomic_write(&wal.snapshot_path, &container)?;
+        wal.writer = WalWriter::create_sealed(
+            &wal_path_for(&wal.snapshot_path),
+            snapshot_id(&container),
+            wal.opts.fsync,
+        )?;
+        wal.compactions += 1;
+        Ok(())
     }
 }
 
@@ -225,6 +386,17 @@ impl Catalog {
     ) -> Result<Arc<Collection>, CatalogError> {
         validate_collection_name(name)?;
         let mut map = self.inner.write();
+        Self::register_locked(&mut map, name, backend, None)
+    }
+
+    /// The shared tail of every create: builds the handle and inserts it
+    /// under the already-held map lock.
+    fn register_locked(
+        map: &mut BTreeMap<String, Arc<Collection>>,
+        name: &str,
+        backend: Box<dyn ErasedBackend>,
+        wal: Option<CollectionWal>,
+    ) -> Result<Arc<Collection>, CatalogError> {
         if map.contains_key(name) {
             return Err(CatalogError::Duplicate(name.to_string()));
         }
@@ -233,9 +405,21 @@ impl Catalog {
             dim: backend.dim(),
             kind: backend.kind(),
             backend,
+            wal: wal.map(Mutex::new),
         });
         map.insert(name.to_string(), Arc::clone(&coll));
         Ok(coll)
+    }
+
+    /// The backend a database + shard count pair builds: 1 shard is a
+    /// `CloudServer` (the cheaper identical-result shape), more is a
+    /// `ShardedServer`.
+    fn backend_for(db: EncryptedDatabase, shards: usize) -> Box<dyn ErasedBackend> {
+        if shards <= 1 {
+            Box::new(SharedServer::new(CloudServer::new(db)))
+        } else {
+            Box::new(SharedServer::new(ShardedServer::from_database(db, shards)))
+        }
     }
 
     /// Registers `db` as a single-index [`CloudServer`] collection.
@@ -244,7 +428,7 @@ impl Catalog {
         name: &str,
         db: EncryptedDatabase,
     ) -> Result<Arc<Collection>, CatalogError> {
-        self.create(name, Box::new(SharedServer::new(CloudServer::new(db))))
+        self.create(name, Self::backend_for(db, 1))
     }
 
     /// Registers `db` re-partitioned into a [`ShardedServer`] collection
@@ -256,10 +440,50 @@ impl Catalog {
         db: EncryptedDatabase,
         shards: usize,
     ) -> Result<Arc<Collection>, CatalogError> {
-        if shards <= 1 {
-            return self.create_cloud(name, db);
+        self.create(name, Self::backend_for(db, shards))
+    }
+
+    /// Registers `db` as a **durable** collection in `dir`: writes its
+    /// `<name>.ppdb` snapshot (atomically), seals a fresh `<name>.wal`
+    /// to that snapshot's identity, and only then makes the collection
+    /// visible — all under the catalog's write lock, so the files on
+    /// disk always belong to the registered collection. On any failure
+    /// both files are removed and nothing is registered.
+    ///
+    /// Concurrent `create_durable` calls for the *same* name must be
+    /// serialized by the caller (the service's lifecycle lock does);
+    /// the map lock makes the registration itself atomic regardless.
+    pub fn create_durable(
+        &self,
+        name: &str,
+        db: EncryptedDatabase,
+        shards: usize,
+        dir: &Path,
+        opts: DurabilityOptions,
+    ) -> Result<Arc<Collection>, DurableCatalogError> {
+        validate_collection_name(name).map_err(DurableCatalogError::Catalog)?;
+        let mut map = self.inner.write();
+        if map.contains_key(name) {
+            return Err(DurableCatalogError::Catalog(CatalogError::Duplicate(name.to_string())));
         }
-        self.create(name, Box::new(SharedServer::new(ShardedServer::from_database(db, shards))))
+        let meta =
+            CollectionMeta { name: name.to_string(), shards: shards.clamp(1, MAX_SHARDS) as u16 };
+        let container = collection_snapshot_bytes(&meta, &db);
+        let path = dir.join(format!("{name}.{SNAPSHOT_EXT}"));
+        let cleanup = || {
+            std::fs::remove_file(&path).ok();
+            std::fs::remove_file(wal_path_for(&path)).ok();
+        };
+        atomic_write(&path, &container).map_err(|e| {
+            cleanup();
+            DurableCatalogError::Persist(e)
+        })?;
+        let wal = CollectionWal::new_sealed(&path, snapshot_id(&container), opts).map_err(|e| {
+            cleanup();
+            DurableCatalogError::Persist(e.into())
+        })?;
+        Self::register_locked(&mut map, name, Self::backend_for(db, shards), Some(wal))
+            .map_err(DurableCatalogError::Catalog)
     }
 
     /// Removes and returns the collection named `name`. In-flight queries
@@ -317,8 +541,36 @@ impl Catalog {
     /// their shard count; v1 snapshots load as single-index `CloudServer`
     /// collections — the back-compat path for databases written before
     /// collections existed.
+    ///
+    /// A collection with a `<name>.wal` next to its snapshot gets the
+    /// log **replayed** over the snapshot, recovering every mutation
+    /// logged since the last compaction. Damage never fails the load: a
+    /// torn or corrupt tail is truncated away (keeping the longest
+    /// cleanly-applying prefix), and a log sealed to a different
+    /// snapshot — the leftover of a crash inside a compaction — is
+    /// discarded wholesale, which is lossless by construction (see
+    /// [`crate::wal`]).
     pub fn load_dir(dir: &Path) -> Result<Self, PersistError> {
+        Self::load_dir_inner(dir, None).map(|(catalog, _)| catalog)
+    }
+
+    /// [`Self::load_dir`] for a serving deployment: additionally attaches
+    /// a WAL writer to every collection (continuing the replayed log, or
+    /// sealing a fresh one where none exists) so all later mutations are
+    /// durable under `opts`. Returns one recovery report per collection.
+    pub fn load_dir_durable(
+        dir: &Path,
+        opts: DurabilityOptions,
+    ) -> Result<(Self, Vec<WalRecoveryReport>), PersistError> {
+        Self::load_dir_inner(dir, Some(opts))
+    }
+
+    fn load_dir_inner(
+        dir: &Path,
+        durability: Option<DurabilityOptions>,
+    ) -> Result<(Self, Vec<WalRecoveryReport>), PersistError> {
         let catalog = Self::new();
+        let mut reports = Vec::new();
         let mut paths: Vec<_> = std::fs::read_dir(dir)?
             .collect::<Result<Vec<_>, _>>()?
             .into_iter()
@@ -334,7 +586,10 @@ impl Catalog {
                 .ok_or_else(|| corrupt("file stem is not UTF-8".into()))?
                 .to_string();
             validate_collection_name(&stem).map_err(|e| corrupt(e.to_string()))?;
-            let (meta, db) = load_snapshot(&path).map_err(|e| corrupt(e.to_string()))?;
+            let raw = std::fs::read(&path)?;
+            let base = snapshot_id(&raw);
+            let (meta, mut db) =
+                load_snapshot_bytes(Bytes::from(raw)).map_err(|e| corrupt(e.to_string()))?;
             let shards = match meta {
                 Some(meta) => {
                     if meta.name != stem {
@@ -353,11 +608,142 @@ impl Catalog {
                 }
                 None => 1,
             };
-            catalog.create_sharded(&stem, db, shards).map_err(|e| corrupt(e.to_string()))?;
+            let (report, log_usable) = replay_wal_over(&mut db, &path, base, &stem)?;
+            reports.push(report);
+            let wal = match durability {
+                None => None,
+                Some(opts) => Some(if log_usable {
+                    CollectionWal::open_existing(&path, opts)?
+                } else {
+                    CollectionWal::new_sealed(&path, base, opts)?
+                }),
+            };
+            let mut map = catalog.inner.write();
+            Self::register_locked(&mut map, &stem, Self::backend_for(db, shards), wal)
+                .map_err(|e| corrupt(e.to_string()))?;
         }
-        Ok(catalog)
+        Ok((catalog, reports))
     }
 }
+
+/// What [`Catalog::load_dir_durable`] recovered for one collection.
+#[derive(Clone, Debug)]
+pub struct WalRecoveryReport {
+    /// Collection name.
+    pub collection: String,
+    /// Mutation records replayed over the snapshot.
+    pub replayed: usize,
+    /// Torn/corrupt tail bytes truncated away (0 on a clean log).
+    pub truncated_bytes: u64,
+    /// The whole log was discarded: it was sealed to a different
+    /// snapshot (crashed-compaction leftover; lossless) or its own
+    /// header was unusable.
+    pub discarded: bool,
+}
+
+/// Replays `<path>`'s WAL (if any) into `db` and repairs the file:
+/// truncates at the first record that fails to decode *or* to apply,
+/// removes the file entirely when its header/checkpoint is unusable or
+/// stale. Returns the report plus whether a usable log file remains on
+/// disk. IO errors during repair are real errors; damage itself never
+/// is.
+fn replay_wal_over(
+    db: &mut EncryptedDatabase,
+    snapshot_path: &Path,
+    base: SnapshotId,
+    name: &str,
+) -> Result<(WalRecoveryReport, bool), PersistError> {
+    let wal_path = wal_path_for(snapshot_path);
+    let mut report = WalRecoveryReport {
+        collection: name.to_string(),
+        replayed: 0,
+        truncated_bytes: 0,
+        discarded: false,
+    };
+    let bytes = match std::fs::read(&wal_path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok((report, false)),
+        Err(e) => return Err(e.into()),
+    };
+    let decoded = replay(&bytes, base);
+    if decoded.valid_len == 0 {
+        // Unusable header or stale checkpoint: no record has a defined
+        // base to apply over. Remove the file; the caller reseals.
+        report.discarded = true;
+        report.truncated_bytes = bytes.len() as u64;
+        std::fs::remove_file(&wal_path)?;
+        return Ok((report, false));
+    }
+    // Apply records in order; the first that does not fit the database
+    // state marks the log corrupt from there on (same handling as a bad
+    // checksum — replay is "longest valid prefix", where valid means
+    // *applies*, not merely *decodes*).
+    let mut end = decoded.sealed_len;
+    for (record, record_end) in &decoded.records {
+        if apply_wal_record(db, record).is_err() {
+            break;
+        }
+        report.replayed += 1;
+        end = *record_end;
+    }
+    if end < bytes.len() as u64 {
+        report.truncated_bytes = bytes.len() as u64 - end;
+        crate::wal::truncate_to(&wal_path, end)?;
+    }
+    Ok((report, true))
+}
+
+/// Applies one replayed record to the database being restored; `Err`
+/// means the record contradicts the database state (wrong next id,
+/// wrong dimensionality, delete of a dead id) and the log must be
+/// truncated at the *previous* record.
+fn apply_wal_record(db: &mut EncryptedDatabase, record: &WalRecord) -> Result<(), ()> {
+    match record {
+        WalRecord::Insert { id, c_sap, c_dce } => {
+            let next = db.hnsw().capacity_slots() as u32;
+            if *id != next || c_sap.len() != db.dim() {
+                return Err(());
+            }
+            if let Some(first) = db.dce_ciphertexts().first() {
+                if first.component_dim() != c_dce.component_dim() {
+                    return Err(());
+                }
+            }
+            db.insert(c_sap.clone(), c_dce.clone());
+            Ok(())
+        }
+        WalRecord::Delete { id } => {
+            if !db.is_live(*id) {
+                return Err(());
+            }
+            db.delete(*id);
+            Ok(())
+        }
+        // replay() never yields a mid-log checkpoint; defensive.
+        WalRecord::Checkpoint { .. } => Err(()),
+    }
+}
+
+/// A durable-catalog failure: either a naming/registration problem
+/// (answerable as a bad request) or an IO/persistence problem
+/// (answerable as an internal error).
+#[derive(Debug)]
+pub enum DurableCatalogError {
+    /// Name validation or registration failed.
+    Catalog(CatalogError),
+    /// Snapshot or log IO failed.
+    Persist(PersistError),
+}
+
+impl std::fmt::Display for DurableCatalogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DurableCatalogError::Catalog(e) => e.fmt(f),
+            DurableCatalogError::Persist(e) => e.fmt(f),
+        }
+    }
+}
+impl std::error::Error for DurableCatalogError {}
 
 impl std::fmt::Debug for Catalog {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -473,12 +859,12 @@ mod tests {
         let coll = catalog.create_sharded("m", db, 2).unwrap();
         let novel = vec![6.0, 6.0, 6.0, 6.0];
         let (c_sap, c_dce) = owner.encrypt_for_insert(&novel, 1);
-        let id = coll.insert(c_sap, c_dce);
+        let id = coll.insert(c_sap, c_dce).unwrap();
         assert_eq!(id, 40);
         assert!(coll.is_live(id));
         assert_eq!(coll.live_len(), 41);
-        assert!(coll.try_delete(id));
-        assert!(!coll.try_delete(id), "second delete must refuse");
+        assert!(coll.try_delete(id).unwrap());
+        assert!(!coll.try_delete(id).unwrap(), "second delete must refuse");
         assert_eq!(coll.live_len(), 40);
     }
 
@@ -540,6 +926,133 @@ mod tests {
         std::fs::remove_dir_all(&dir).ok();
     }
 
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("ppanns_catalog_{tag}_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// Durable mutations survive a "crash" simulated the honest way: the
+    /// catalog (and its open WAL writers) is dropped without any
+    /// snapshot rewrite, and a fresh load must reconstruct the exact
+    /// live set from snapshot + log.
+    #[test]
+    fn durable_mutations_replay_after_reload() {
+        let dir = temp_dir("durable");
+        let (data, owner, db) = make_db(30, 4, 50);
+        let catalog = Catalog::new();
+        let opts = DurabilityOptions::default();
+        let coll = catalog.create_durable("docs", db, 1, &dir, opts).unwrap();
+        assert!(coll.is_durable());
+
+        let mut inserted = Vec::new();
+        for v in data.iter().take(6) {
+            let (c_sap, c_dce) = owner.encrypt_for_insert(v, 1);
+            inserted.push(coll.insert(c_sap, c_dce).unwrap());
+        }
+        assert!(coll.try_delete(3).unwrap());
+        assert!(coll.try_delete(inserted[0]).unwrap());
+        assert!(!coll.try_delete(inserted[0]).unwrap(), "dead id refused, not re-logged");
+        let live_before: Vec<bool> = (0..coll.slots() as u32).map(|id| coll.is_live(id)).collect();
+        drop(coll);
+        drop(catalog);
+
+        let (reloaded, reports) = Catalog::load_dir_durable(&dir, opts).unwrap();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].replayed, 8, "6 inserts + 2 deletes");
+        assert_eq!(reports[0].truncated_bytes, 0);
+        let coll = reloaded.get("docs").unwrap();
+        let live_after: Vec<bool> = (0..coll.slots() as u32).map(|id| coll.is_live(id)).collect();
+        assert_eq!(live_after, live_before, "replayed liveness diverged");
+
+        // The replayed index answers: a query for a replayed insert
+        // finds it.
+        let mut user = owner.authorize_user();
+        let out = coll
+            .search(&user.encrypt_query(&data[4], 1), &SearchParams { k_prime: 10, ef_search: 20 });
+        assert_eq!(out.ids, vec![inserted[4]]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Crossing the byte threshold compacts: the snapshot absorbs the
+    /// log, the log restarts near-empty, and a reload replays only the
+    /// post-compaction suffix — restart cost is log-bounded.
+    #[test]
+    fn compaction_bounds_the_log_and_reload_replays_the_suffix() {
+        let dir = temp_dir("compact");
+        let (data, owner, db) = make_db(20, 4, 51);
+        let catalog = Catalog::new();
+        // Tiny threshold: a handful of dim-4 inserts (~200 bytes each)
+        // crosses it quickly.
+        let opts = DurabilityOptions { compact_bytes: 1024, ..DurabilityOptions::default() };
+        let coll = catalog.create_durable("churn", db, 2, &dir, opts).unwrap();
+        for round in 0..30 {
+            let (c_sap, c_dce) = owner.encrypt_for_insert(&data[round % data.len()], 1);
+            coll.insert(c_sap, c_dce).unwrap();
+            let status = coll.wal_status().unwrap();
+            // One oversized record may land before the threshold check,
+            // but the log can never *stay* above threshold + one record.
+            assert!(
+                status.log_bytes < opts.compact_bytes + 512,
+                "log grew unbounded: {} bytes after round {round}",
+                status.log_bytes
+            );
+        }
+        let status = coll.wal_status().unwrap();
+        assert!(status.compactions > 0, "threshold never triggered");
+        let live: Vec<bool> = (0..coll.slots() as u32).map(|id| coll.is_live(id)).collect();
+        drop(coll);
+        drop(catalog);
+
+        let (reloaded, reports) = Catalog::load_dir_durable(&dir, opts).unwrap();
+        assert!(
+            reports[0].replayed < 30,
+            "reload replayed the full history ({}) — compaction did not absorb it",
+            reports[0].replayed
+        );
+        let coll = reloaded.get("churn").unwrap();
+        assert_eq!(
+            (0..coll.slots() as u32).map(|id| coll.is_live(id)).collect::<Vec<_>>(),
+            live,
+            "post-compaction reload diverged"
+        );
+        assert_eq!(coll.kind(), BackendKind::Sharded { shards: 2 }, "shape survives compaction");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A WAL sealed against an older snapshot (the crashed-compaction
+    /// window: new snapshot renamed, new log not yet) is discarded on
+    /// load instead of being half-applied to the wrong base.
+    #[test]
+    fn stale_wal_is_discarded_not_misapplied() {
+        let dir = temp_dir("stale");
+        let (data, owner, db) = make_db(10, 4, 52);
+        let opts = DurabilityOptions::default();
+        {
+            let catalog = Catalog::new();
+            let coll = catalog.create_durable("c", db, 1, &dir, opts).unwrap();
+            let (c_sap, c_dce) = owner.encrypt_for_insert(&data[0], 1);
+            coll.insert(c_sap, c_dce).unwrap();
+            // Simulate the crash window: the snapshot is rewritten (as
+            // compaction's step 2 does) but the log is NOT resealed.
+            let image = crate::backend::ErasedBackend::database_image(
+                catalog.get("c").unwrap().backend.as_ref(),
+            );
+            let meta = CollectionMeta { name: "c".into(), shards: 1 };
+            atomic_write(&dir.join("c.ppdb"), &collection_container_bytes(&meta, &image)).unwrap();
+        }
+        let (reloaded, reports) = Catalog::load_dir_durable(&dir, opts).unwrap();
+        assert!(reports[0].discarded, "stale log must be discarded");
+        assert_eq!(reports[0].replayed, 0);
+        let coll = reloaded.get("c").unwrap();
+        // Nothing lost: the rewritten snapshot already contains the
+        // logged insert.
+        assert_eq!(coll.slots(), 11);
+        assert!(coll.is_live(10));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
     #[test]
     fn empty_database_collections_accept_inserts() {
         let catalog = Catalog::new();
@@ -551,7 +1064,7 @@ mod tests {
         let owner = DataOwner::setup(PpAnnParams::new(4).with_seed(39).with_beta(0.0), &data);
         for v in &data {
             let (c_sap, c_dce) = owner.encrypt_for_insert(v, 1);
-            coll.insert(c_sap, c_dce);
+            coll.insert(c_sap, c_dce).unwrap();
         }
         assert_eq!(coll.live_len(), 2);
         let mut user = owner.authorize_user();

@@ -8,7 +8,9 @@
 //! [`crate::ShardedServer`] instead to combine intra-query shard parallelism
 //! with concurrent maintenance.
 
-use crate::backend::{BackendInfo, BackendKind, ErasedBackend, MaintainableServer, QueryBackend};
+use crate::backend::{
+    BackendInfo, BackendKind, ErasedBackend, MaintainableServer, QueryBackend, SnapshotSource,
+};
 use crate::batch::BatchExecutor;
 use crate::query::EncryptedQuery;
 use crate::server::{CloudServer, SearchOutcome, SearchParams};
@@ -77,6 +79,12 @@ impl<S: MaintainableServer> SharedServer<S> {
         self.inner.read().live_len()
     }
 
+    /// Total id slots allocated — the id the next insert will assign
+    /// (shared lock).
+    pub fn slots(&self) -> usize {
+        self.inner.read().slots()
+    }
+
     /// True when empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
@@ -109,7 +117,7 @@ impl<S: QueryBackend + Send + Sync> QueryBackend for SharedServer<S> {
 /// `&self` maintenance methods of the erased trait sound.
 impl<S> ErasedBackend for SharedServer<S>
 where
-    S: QueryBackend + MaintainableServer + BackendInfo + Send + Sync,
+    S: QueryBackend + MaintainableServer + BackendInfo + SnapshotSource + Send + Sync,
 {
     fn search(&self, query: &EncryptedQuery, params: &SearchParams) -> SearchOutcome {
         SharedServer::search(self, query, params)
@@ -138,6 +146,14 @@ where
 
     fn live_len(&self) -> usize {
         self.len()
+    }
+
+    fn slots(&self) -> usize {
+        SharedServer::slots(self)
+    }
+
+    fn database_image(&self) -> bytes::Bytes {
+        self.inner.read().database_image()
     }
 
     fn dim(&self) -> usize {

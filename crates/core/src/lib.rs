@@ -68,13 +68,16 @@ mod server;
 mod shard;
 pub mod tune;
 mod user;
+pub mod wal;
 pub mod wire;
 
-pub use backend::{BackendInfo, BackendKind, ErasedBackend, MaintainableServer, QueryBackend};
+pub use backend::{
+    BackendInfo, BackendKind, ErasedBackend, MaintainableServer, QueryBackend, SnapshotSource,
+};
 pub use batch::{BatchExecutor, BatchOutcome};
 pub use catalog::{
     validate_collection_name, Catalog, CatalogError, Collection, CollectionInfo,
-    DEFAULT_COLLECTION, MAX_COLLECTION_NAME_LEN,
+    DurableCatalogError, WalRecoveryReport, WalStatus, DEFAULT_COLLECTION, MAX_COLLECTION_NAME_LEN,
 };
 pub use concurrent::SharedServer;
 pub use cost::{QueryCost, UserCost};
@@ -82,11 +85,12 @@ pub use heap::SecureTopK;
 pub use index::EncryptedDatabase;
 pub use owner::{DataOwner, OwnerSecretKey, PpAnnParams};
 pub use persist::{
-    collection_snapshot_bytes, load_snapshot, load_snapshot_bytes, save_collection_snapshot,
-    CollectionMeta, PersistError, SNAPSHOT_EXT,
+    atomic_write, collection_container_bytes, collection_snapshot_bytes, load_snapshot,
+    load_snapshot_bytes, save_collection_snapshot, CollectionMeta, PersistError, SNAPSHOT_EXT,
 };
 pub use query::EncryptedQuery;
 pub use server::{CloudServer, SearchOutcome, SearchParams};
 pub use shard::ShardedServer;
 pub use user::QueryUser;
+pub use wal::{DurabilityOptions, FsyncPolicy, DEFAULT_COMPACT_BYTES};
 pub use wire::WireError;

@@ -134,12 +134,9 @@ impl EncryptedDatabase {
         Ok(EncryptedDatabase::new(hnsw, dce))
     }
 
-    /// Writes the snapshot to a file.
+    /// Writes the snapshot to a file (atomically — see [`atomic_write`]).
     pub fn save_to(&self, path: &Path) -> Result<(), PersistError> {
-        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
-        f.write_all(&self.to_bytes())?;
-        f.flush()?;
-        Ok(())
+        atomic_write(path, &self.to_bytes())
     }
 
     /// Loads a snapshot from a file.
@@ -165,7 +162,14 @@ pub struct CollectionMeta {
 /// Serializes one named collection as a v2 `PPDB` container: metadata
 /// header, then the complete v1 image of `db`.
 pub fn collection_snapshot_bytes(meta: &CollectionMeta, db: &EncryptedDatabase) -> Bytes {
-    let inner = db.to_bytes();
+    collection_container_bytes(meta, &db.to_bytes())
+}
+
+/// [`collection_snapshot_bytes`] over a pre-serialized v1 database
+/// image — what WAL compaction uses, which gets the inner image from
+/// the backend (`ErasedBackend::database_image`) rather than from an
+/// owned [`EncryptedDatabase`].
+pub fn collection_container_bytes(meta: &CollectionMeta, inner: &[u8]) -> Bytes {
     let name = meta.name.as_bytes();
     assert!(name.len() <= u16::MAX as usize, "collection name too long to snapshot");
     let mut buf = BytesMut::with_capacity(8 + 2 + name.len() + 2 + 8 + inner.len());
@@ -175,19 +179,40 @@ pub fn collection_snapshot_bytes(meta: &CollectionMeta, db: &EncryptedDatabase) 
     buf.put_slice(name);
     buf.put_u16_le(meta.shards);
     buf.put_u64_le(inner.len() as u64);
-    buf.put_slice(&inner);
+    buf.put_slice(inner);
     buf.freeze()
 }
 
-/// Writes a v2 collection snapshot to `path`.
+/// Writes a v2 collection snapshot to `path` (atomically — see
+/// [`atomic_write`]).
 pub fn save_collection_snapshot(
     path: &Path,
     meta: &CollectionMeta,
     db: &EncryptedDatabase,
 ) -> Result<(), PersistError> {
-    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
-    f.write_all(&collection_snapshot_bytes(meta, db))?;
-    f.flush()?;
+    atomic_write(path, &collection_snapshot_bytes(meta, db))
+}
+
+/// Replaces the file at `path` with `bytes` atomically: the image is
+/// written to `<file>.tmp` in the same directory, flushed and fsynced,
+/// renamed over `path`, and the directory fsynced. A crash at any
+/// instant leaves either the previous file or the complete new one —
+/// never a half-written snapshot destroying the last good state (the
+/// in-place `File::create` this replaces truncated the old snapshot
+/// before the first new byte landed). Leftover `.tmp` files from a
+/// crashed attempt are invisible to `Catalog::load_dir` (which filters
+/// on the `.ppdb` extension) and simply overwritten next time.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), PersistError> {
+    let tmp = crate::wal::tmp_sibling(path);
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        crate::wal::sync_dir(dir)?;
+    }
     Ok(())
 }
 
@@ -403,6 +428,49 @@ mod tests {
         assert_eq!(file_meta, Some(meta));
         assert_eq!(file_db.len(), 40);
         std::fs::remove_file(&path).ok();
+    }
+
+    /// Regression for the in-place snapshot write: rewriting an
+    /// existing snapshot must go through write-to-temp + rename, so a
+    /// failed (or crashed) rewrite can never destroy the previous good
+    /// snapshot. The failure is injected by blocking the temp path with
+    /// a directory — `File::create` fails before a single byte of the
+    /// old snapshot could have been touched.
+    #[test]
+    fn failed_snapshot_rewrite_preserves_previous_good_snapshot() {
+        let dir = std::env::temp_dir().join(format!("ppanns_atomic_snap_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("keep.ppdb");
+        let meta = CollectionMeta { name: "keep".into(), shards: 1 };
+
+        let mut rng = seeded_rng(177);
+        let data: Vec<Vec<f64>> = (0..10).map(|_| uniform_vec(&mut rng, 3, -1.0, 1.0)).collect();
+        let owner = DataOwner::setup(PpAnnParams::new(3).with_seed(11), &data);
+        let db = owner.outsource(&data);
+        save_collection_snapshot(&path, &meta, &db).unwrap();
+        let good = std::fs::read(&path).unwrap();
+
+        // Block the temp sibling with a directory: the rewrite fails...
+        let tmp = crate::wal::tmp_sibling(&path);
+        std::fs::create_dir(&tmp).unwrap();
+        let bigger = {
+            let mut db2 = owner.outsource(&data);
+            let (c_sap, c_dce) = owner.encrypt_for_insert(&data[0], 1);
+            db2.insert(c_sap, c_dce);
+            db2
+        };
+        assert!(save_collection_snapshot(&path, &meta, &bigger).is_err());
+        // ...and the previous snapshot is byte-identical, still loadable.
+        assert_eq!(std::fs::read(&path).unwrap(), good, "old snapshot was damaged");
+        assert!(load_snapshot(&path).is_ok());
+
+        // Unblock: the rewrite lands atomically and the temp is gone.
+        std::fs::remove_dir(&tmp).unwrap();
+        save_collection_snapshot(&path, &meta, &bigger).unwrap();
+        assert!(!tmp.exists(), "temp file must not outlive the rename");
+        let (_, reloaded) = load_snapshot(&path).unwrap();
+        assert_eq!(reloaded.len(), 11);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

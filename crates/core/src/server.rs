@@ -194,6 +194,16 @@ impl crate::backend::MaintainableServer for CloudServer {
     fn live_len(&self) -> usize {
         self.len()
     }
+
+    fn slots(&self) -> usize {
+        self.db.hnsw().capacity_slots()
+    }
+}
+
+impl crate::backend::SnapshotSource for CloudServer {
+    fn database_image(&self) -> bytes::Bytes {
+        self.db.to_bytes()
+    }
 }
 
 impl std::fmt::Debug for CloudServer {

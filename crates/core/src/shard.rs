@@ -221,6 +221,42 @@ impl ShardedServer {
         g
     }
 
+    /// Total id slots allocated (live + tombstoned): the id the next
+    /// [`Self::insert`] will assign.
+    pub fn slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Reassembles one global [`EncryptedDatabase`] equivalent to this
+    /// sharded server's state — the inverse of [`Self::from_database`],
+    /// used by WAL compaction to serialize a snapshot. Live vectors are
+    /// re-inserted into a fresh global index in global-id order;
+    /// tombstoned slots are filled with a zero vector and immediately
+    /// deleted, so global ids (and the DCE alignment invariant) are
+    /// preserved exactly. O(n log n) — compaction cost, not query cost.
+    pub fn export_database(&self) -> EncryptedDatabase {
+        let dim = self.dim();
+        let params = *self.shards[0].hnsw.params();
+        let mut hnsw = Hnsw::build(dim, params, &[]);
+        let zeros = vec![0.0; dim];
+        for g in 0..self.slots.len() as u32 {
+            let live = self.slots[g as usize]
+                .map(|(s, local)| !self.shards[s as usize].hnsw.is_deleted(local))
+                .unwrap_or(false);
+            if live {
+                let (s, local) = self.slots[g as usize].expect("checked live above");
+                let v = self.shards[s as usize].hnsw.store().get(local).to_vec();
+                let id = hnsw.insert(&v);
+                debug_assert_eq!(id, g);
+            } else {
+                let id = hnsw.insert(&zeros);
+                debug_assert_eq!(id, g);
+                hnsw.delete(id);
+            }
+        }
+        EncryptedDatabase::new(hnsw, self.dce.clone())
+    }
+
     /// Server-side deletion with per-shard graph repair (Section V-D). The
     /// DCE slot is retained as a tombstone so global ids stay aligned,
     /// exactly as in [`crate::CloudServer`].
@@ -295,6 +331,16 @@ impl MaintainableServer for ShardedServer {
 
     fn live_len(&self) -> usize {
         self.len()
+    }
+
+    fn slots(&self) -> usize {
+        ShardedServer::slots(self)
+    }
+}
+
+impl crate::backend::SnapshotSource for ShardedServer {
+    fn database_image(&self) -> bytes::Bytes {
+        self.export_database().to_bytes()
     }
 }
 
@@ -391,6 +437,43 @@ mod tests {
         let enc = user.encrypt_query(&data[5], 5);
         let out = sharded.search(&enc, &SearchParams { k_prime: 20, ef_search: 40 });
         assert!(!out.ids.contains(&5), "tombstoned id resurfaced");
+    }
+
+    #[test]
+    fn export_database_preserves_ids_tombstones_and_answers() {
+        let (data, owner) = setup(50, 4, 888);
+        let mut sharded = ShardedServer::from_database(owner.outsource(&data), 3);
+        // A novel vector (not a duplicate of any stored one: equal exact
+        // distances would make the top-k tie-break order backend-dependent).
+        let (c_sap, c_dce) = owner.encrypt_for_insert(&[7.0, -7.0, 7.0, -7.0], 2);
+        let novel = sharded.insert(c_sap, c_dce);
+        sharded.delete(7);
+        sharded.delete(23);
+
+        let exported = sharded.export_database();
+        assert_eq!(exported.hnsw().capacity_slots(), sharded.slots());
+        assert_eq!(exported.len(), sharded.len());
+        for id in 0..sharded.slots() as u32 {
+            assert_eq!(exported.is_live(id), sharded.is_live(id), "liveness of id {id}");
+        }
+        assert_eq!(exported.dce_ciphertexts().len(), sharded.slots());
+
+        // The exported database answers like the sharded server it came
+        // from: with the filter wide enough to surface every live vector
+        // on both sides, the exact DCE refine makes the answers equal by
+        // construction (the candidate *sets* coincide).
+        let single = CloudServer::new(exported);
+        let mut user = owner.authorize_user();
+        let p = SearchParams { k_prime: 60, ef_search: 120 };
+        for i in [0usize, 7, 30] {
+            let q = user.encrypt_query(&data[i], 5);
+            assert_eq!(single.search(&q, &p).ids, sharded.search(&q, &p).ids, "query {i}");
+        }
+        assert!(
+            single.search(&user.encrypt_query(&data[7], 1), &p).ids.iter().all(|&id| id != 7),
+            "tombstone resurfaced in the export"
+        );
+        let _ = novel;
     }
 
     #[test]

@@ -1,0 +1,779 @@
+//! The per-collection write-ahead log (crash durability).
+//!
+//! A `--data-dir` deployment stores each collection as a full `.ppdb`
+//! snapshot (the `persist` module), rewritten only at creation and at
+//! compaction time — so without a log, every insert/delete since the
+//! last rewrite would vanish on a crash. This module adds the classic
+//! complement (LevelDB's recipe, adapted to our hand-rolled
+//! little-endian codec style — DESIGN.md §5): an append-only
+//! `<name>.wal` file next to `<name>.ppdb` holding one checksummed,
+//! length-prefixed record per acknowledged mutation. Restart loads the
+//! snapshot and replays the log over it; compaction rewrites the
+//! snapshot and starts a fresh log.
+//!
+//! ## File layout
+//!
+//! ```text
+//! magic "PPWL" | version=1 u32 | record*
+//! record  := len u32 | crc32 u32 | body          (len = body length)
+//! body    := tag u8 | payload
+//! tag 1 Insert     payload: id u32 | sap_len u64 | sap_len·f64
+//!                           | comp_dim u64 | 4·comp_dim f64
+//! tag 2 Delete     payload: id u32
+//! tag 3 Checkpoint payload: base_len u64 | base_crc u32
+//! ```
+//!
+//! All integers and floats are little endian; `crc32` is the IEEE
+//! polynomial (the one zlib/LevelDB use) over `body`. The layout is
+//! pinned byte-for-byte by `wal_layout_is_pinned` below, exactly as
+//! `v1_layout_is_pinned` pins the snapshot container.
+//!
+//! ## The sealing checkpoint
+//!
+//! The first record of every log is a [`WalRecord::Checkpoint`] naming
+//! the **identity** `(len, crc32)` of the snapshot file bytes the log
+//! extends. This is what makes compaction crash-safe without any
+//! multi-file atomic rename: compaction writes the new snapshot
+//! (atomically, temp + rename), then a fresh sealed log (atomically,
+//! temp + rename). A crash between the two renames leaves the *new*
+//! snapshot next to the *old* log — and replay detects the mismatch via
+//! the checkpoint, discarding the stale log. That discard loses
+//! nothing: compaction runs under the collection's WAL mutex, so every
+//! record of the old log is already folded into the new snapshot.
+//!
+//! ## Torn tails
+//!
+//! [`replay`] never fails a load over a damaged log: it decodes the
+//! longest valid prefix and reports where the damage starts, so the
+//! caller truncates the file there and keeps serving. Only the
+//! unfsynced suffix can be torn (see [`FsyncPolicy`] for what
+//! "acknowledged" buys per policy — OPERATIONS.md §9).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use ppann_dce::DceCiphertext;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::Path;
+
+/// Magic bytes opening every WAL file.
+pub const WAL_MAGIC: &[u8; 4] = b"PPWL";
+
+/// Current WAL format version.
+pub const WAL_VERSION: u32 = 1;
+
+/// File extension of a collection's log (`<name>.wal` next to
+/// `<name>.ppdb`).
+pub const WAL_EXT: &str = "wal";
+
+/// Byte length of the file header (magic + version).
+pub const WAL_HEADER_LEN: usize = 8;
+
+/// Byte length of a record's frame prefix (`len u32 | crc32 u32`).
+pub const WAL_FRAME_LEN: usize = 8;
+
+/// Upper bound on one record's body. A single insert is ~`5·dim`
+/// doubles, so even 100k-dimensional vectors fit with orders of
+/// magnitude to spare; anything larger is a corrupt length field, and
+/// bounding it here keeps a flipped bit in `len` from triggering a
+/// giant allocation during replay.
+pub const MAX_WAL_RECORD: usize = 64 << 20;
+
+const TAG_INSERT: u8 = 1;
+const TAG_DELETE: u8 = 2;
+const TAG_CHECKPOINT: u8 = 3;
+
+/// CRC-32 (IEEE 802.3, the zlib polynomial), hand-rolled because the
+/// workspace is dependency-free by policy (DESIGN.md §3): reflected
+/// table-driven implementation, byte at a time.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = crc32_table();
+    let mut state = !0u32;
+    for &b in bytes {
+        state = (state >> 8) ^ TABLE[((state ^ b as u32) & 0xFF) as usize];
+    }
+    !state
+}
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// The identity of a snapshot file's exact bytes: length plus CRC-32.
+/// A log's sealing [`WalRecord::Checkpoint`] carries the identity of
+/// the snapshot it extends, so replay can tell a current log from a
+/// stale one left behind by a crashed compaction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SnapshotId {
+    /// Snapshot file length in bytes.
+    pub len: u64,
+    /// CRC-32 of the snapshot file bytes.
+    pub crc: u32,
+}
+
+/// Computes the [`SnapshotId`] of a snapshot image.
+pub fn snapshot_id(bytes: &[u8]) -> SnapshotId {
+    SnapshotId { len: bytes.len() as u64, crc: crc32(bytes) }
+}
+
+/// When an acknowledged mutation is guaranteed to be on disk
+/// (OPERATIONS.md §9 discusses the trade-offs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fsync` after every record: an acknowledged mutation survives
+    /// SIGKILL *and* power loss. The default.
+    Always,
+    /// `fsync` once per `n` records: bounded data loss (at most the
+    /// last `n-1` acknowledged mutations) at a fraction of the fsync
+    /// cost.
+    EveryN(u32),
+    /// Never `fsync` from the hot path: the OS flushes when it
+    /// pleases. Survives a process SIGKILL (the records are in the
+    /// page cache) but not power loss.
+    Never,
+}
+
+impl FsyncPolicy {
+    /// Parses the CLI/user spelling: `always`, `never`, or `every=N`
+    /// with `N ≥ 1`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "always" => Ok(FsyncPolicy::Always),
+            "never" => Ok(FsyncPolicy::Never),
+            _ => match s.strip_prefix("every=").and_then(|n| n.parse::<u32>().ok()) {
+                Some(n) if n >= 1 => Ok(FsyncPolicy::EveryN(n)),
+                _ => Err(format!("bad fsync policy `{s}` (want always, never, or every=N)")),
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for FsyncPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FsyncPolicy::Always => f.write_str("always"),
+            FsyncPolicy::EveryN(n) => write!(f, "every={n}"),
+            FsyncPolicy::Never => f.write_str("never"),
+        }
+    }
+}
+
+/// Durability knobs a `--data-dir` deployment attaches to every
+/// collection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DurabilityOptions {
+    /// When appended records reach disk (see [`FsyncPolicy`]).
+    pub fsync: FsyncPolicy,
+    /// Once the log exceeds this many bytes, the next mutation
+    /// compacts: the snapshot is rewritten and a fresh sealed log
+    /// started. Bounds both disk usage and replay-on-restart cost.
+    pub compact_bytes: u64,
+}
+
+/// Default [`DurabilityOptions::compact_bytes`]: a few thousand typical
+/// records — large enough that compaction (a full snapshot rewrite) is
+/// rare, small enough that replay stays far cheaper than a cold index
+/// rebuild.
+pub const DEFAULT_COMPACT_BYTES: u64 = 4 << 20;
+
+impl Default for DurabilityOptions {
+    fn default() -> Self {
+        Self { fsync: FsyncPolicy::Always, compact_bytes: DEFAULT_COMPACT_BYTES }
+    }
+}
+
+/// One logged mutation (or the sealing checkpoint).
+#[derive(Clone, Debug, PartialEq)]
+pub enum WalRecord {
+    /// An acknowledged insert: the id the backend assigned plus the
+    /// full pre-encrypted row (SAP ciphertext for the index, DCE
+    /// ciphertext for refinement).
+    Insert {
+        /// Assigned global id (must equal the next free slot at replay
+        /// time — a mismatch marks the log corrupt from that record on).
+        id: u32,
+        /// SAP ciphertext (the indexed vector).
+        c_sap: Vec<f64>,
+        /// DCE ciphertext (the exact-comparison row).
+        c_dce: DceCiphertext,
+    },
+    /// An acknowledged delete of a live id.
+    Delete {
+        /// The tombstoned global id.
+        id: u32,
+    },
+    /// The log's first record: the identity of the snapshot these
+    /// records extend.
+    Checkpoint {
+        /// Identity of the snapshot file bytes.
+        base: SnapshotId,
+    },
+}
+
+impl WalRecord {
+    /// Encodes the record as one framed WAL entry
+    /// (`len | crc | tag | payload`).
+    pub fn encode(&self) -> Bytes {
+        let mut body = BytesMut::new();
+        match self {
+            WalRecord::Insert { id, c_sap, c_dce } => {
+                body.put_u8(TAG_INSERT);
+                put_insert_payload(&mut body, *id, c_sap, c_dce);
+            }
+            WalRecord::Delete { id } => {
+                body.put_u8(TAG_DELETE);
+                body.put_u32_le(*id);
+            }
+            WalRecord::Checkpoint { base } => {
+                body.put_u8(TAG_CHECKPOINT);
+                body.put_u64_le(base.len);
+                body.put_u32_le(base.crc);
+            }
+        }
+        frame(&body)
+    }
+}
+
+fn put_insert_payload(body: &mut BytesMut, id: u32, c_sap: &[f64], c_dce: &DceCiphertext) {
+    body.put_u32_le(id);
+    crate::wire::put_f64_slice(body, c_sap);
+    let comps = c_dce.components();
+    body.put_u64_le(c_dce.component_dim() as u64);
+    for comp in comps {
+        for v in comp {
+            body.put_f64_le(*v);
+        }
+    }
+}
+
+/// Wraps a record body in the `len | crc32 | body` frame.
+fn frame(body: &[u8]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(WAL_FRAME_LEN + body.len());
+    buf.put_u32_le(body.len() as u32);
+    buf.put_u32_le(crc32(body));
+    buf.put_slice(body);
+    buf.freeze()
+}
+
+/// The WAL file header (`magic | version`).
+pub fn wal_header() -> Bytes {
+    let mut buf = BytesMut::with_capacity(WAL_HEADER_LEN);
+    buf.put_slice(WAL_MAGIC);
+    buf.put_u32_le(WAL_VERSION);
+    buf.freeze()
+}
+
+/// Decodes one record body (everything after the frame prefix, CRC
+/// already verified). `None` means the body is malformed — an unknown
+/// tag, a truncated payload, or trailing garbage.
+fn decode_body(body: &[u8]) -> Option<WalRecord> {
+    let mut data = Bytes::copy_from_slice(body);
+    if data.remaining() < 1 {
+        return None;
+    }
+    let tag = data.get_u8();
+    let record = match tag {
+        TAG_INSERT => {
+            if data.remaining() < 4 {
+                return None;
+            }
+            let id = data.get_u32_le();
+            let c_sap = crate::wire::get_f64_slice(&mut data).ok()?;
+            if data.remaining() < 8 {
+                return None;
+            }
+            let comp_dim = data.get_u64_le() as usize;
+            if data.remaining() < comp_dim.checked_mul(4 * 8)? {
+                return None;
+            }
+            let mut comps: [Vec<f64>; 4] = Default::default();
+            for comp in &mut comps {
+                comp.reserve(comp_dim);
+                for _ in 0..comp_dim {
+                    comp.push(data.get_f64_le());
+                }
+            }
+            let [a, b, c, d] = comps;
+            WalRecord::Insert { id, c_sap, c_dce: DceCiphertext::from_components(a, b, c, d) }
+        }
+        TAG_DELETE => {
+            if data.remaining() < 4 {
+                return None;
+            }
+            WalRecord::Delete { id: data.get_u32_le() }
+        }
+        TAG_CHECKPOINT => {
+            if data.remaining() < 12 {
+                return None;
+            }
+            let len = data.get_u64_le();
+            let crc = data.get_u32_le();
+            WalRecord::Checkpoint { base: SnapshotId { len, crc } }
+        }
+        _ => return None,
+    };
+    if data.has_remaining() {
+        return None; // trailing garbage inside a checksummed frame
+    }
+    Some(record)
+}
+
+/// What [`replay`] recovered from a log image.
+#[derive(Debug)]
+pub struct WalReplay {
+    /// The decoded mutation records after the sealing checkpoint, each
+    /// paired with the file offset one past its last byte — so a caller
+    /// that fails to *apply* record `i` can truncate the file at record
+    /// `i-1`'s end offset.
+    pub records: Vec<(WalRecord, u64)>,
+    /// Length of the longest cleanly-decoding file prefix (header,
+    /// checkpoint and records). Zero when the header or the sealing
+    /// checkpoint itself is unusable — the caller should then discard
+    /// the whole file.
+    pub valid_len: u64,
+    /// End offset of the sealing checkpoint: the truncation target when
+    /// *no* record applies cleanly.
+    pub sealed_len: u64,
+    /// True when a torn or corrupt tail was dropped (the file is longer
+    /// than `valid_len`).
+    pub truncated: bool,
+    /// True when the log's checkpoint names a *different* snapshot than
+    /// the one on disk: a stale log from a crashed compaction window.
+    /// Discarding it is lossless (see the module docs).
+    pub stale: bool,
+}
+
+/// Decodes the longest valid prefix of a WAL image against the snapshot
+/// identity `base`. Never fails and never panics: damage is reported
+/// via `truncated`/`stale` and the shortened `valid_len`, not an error
+/// — a half-written log must degrade to "fewer replayed records", not
+/// to an unloadable collection.
+pub fn replay(bytes: &[u8], base: SnapshotId) -> WalReplay {
+    let empty = |stale: bool, truncated: bool| WalReplay {
+        records: Vec::new(),
+        valid_len: 0,
+        sealed_len: 0,
+        truncated,
+        stale,
+    };
+    if bytes.len() < WAL_HEADER_LEN
+        || &bytes[..4] != WAL_MAGIC
+        || u32::from_le_bytes(bytes[4..8].try_into().unwrap()) != WAL_VERSION
+    {
+        return empty(false, !bytes.is_empty());
+    }
+
+    // The sealing checkpoint must decode and must name `base`; anything
+    // else invalidates the whole file (records without a checkpoint
+    // have no defined base state to replay over).
+    let mut off = WAL_HEADER_LEN;
+    let (first, first_end) = match decode_record_at(bytes, off) {
+        Some(ok) => ok,
+        None => return empty(false, true),
+    };
+    match first {
+        WalRecord::Checkpoint { base: sealed } if sealed == base => {}
+        WalRecord::Checkpoint { .. } => return empty(true, false),
+        _ => return empty(false, true),
+    }
+    off = first_end;
+    let sealed_len = off as u64;
+
+    let mut records = Vec::new();
+    let mut truncated = false;
+    while off < bytes.len() {
+        match decode_record_at(bytes, off) {
+            // A second checkpoint mid-log is as corrupt as a bad CRC:
+            // checkpoints only ever open a file.
+            Some((WalRecord::Checkpoint { .. }, _)) | None => {
+                truncated = true;
+                break;
+            }
+            Some((record, end)) => {
+                records.push((record, end as u64));
+                off = end;
+            }
+        }
+    }
+    WalReplay { records, valid_len: off as u64, sealed_len, truncated, stale: false }
+}
+
+/// Decodes the framed record starting at `off`; `None` on a torn or
+/// corrupt frame. On success returns the record and the offset one past
+/// it.
+fn decode_record_at(bytes: &[u8], off: usize) -> Option<(WalRecord, usize)> {
+    let frame = bytes.get(off..off + WAL_FRAME_LEN)?;
+    let len = u32::from_le_bytes(frame[..4].try_into().unwrap()) as usize;
+    let crc = u32::from_le_bytes(frame[4..8].try_into().unwrap());
+    if len > MAX_WAL_RECORD {
+        return None;
+    }
+    let body = bytes.get(off + WAL_FRAME_LEN..off + WAL_FRAME_LEN + len)?;
+    if crc32(body) != crc {
+        return None;
+    }
+    Some((decode_body(body)?, off + WAL_FRAME_LEN + len))
+}
+
+/// `fsync` on a directory, making a just-renamed file durable. Errors
+/// are surfaced: a deployment whose filesystem refuses directory fsync
+/// should hear about it once at startup rather than find out after a
+/// power cut.
+pub fn sync_dir(dir: &Path) -> std::io::Result<()> {
+    File::open(dir)?.sync_all()
+}
+
+/// Truncates the file at `path` to `len` bytes and fsyncs — how a torn
+/// tail reported by [`replay`] is actually removed.
+pub fn truncate_to(path: &Path, len: u64) -> std::io::Result<()> {
+    let f = OpenOptions::new().write(true).open(path)?;
+    f.set_len(len)?;
+    f.sync_all()
+}
+
+/// An open, append-only WAL file plus its fsync bookkeeping.
+///
+/// Writers are created in exactly two ways — [`WalWriter::create_sealed`]
+/// (fresh log, written atomically with its header and checkpoint) and
+/// [`WalWriter::open_append`] (continue a replayed log) — and serialized
+/// externally by the collection's WAL mutex.
+#[derive(Debug)]
+pub struct WalWriter {
+    file: File,
+    len: u64,
+    policy: FsyncPolicy,
+    /// Records appended since the last fsync (drives [`FsyncPolicy::EveryN`]).
+    unsynced: u32,
+}
+
+impl WalWriter {
+    /// Creates a fresh log sealed to snapshot identity `base`,
+    /// atomically: header + checkpoint are written to `<path>.tmp`,
+    /// fsynced, renamed over `path`, and the directory fsynced — so the
+    /// log either exists complete or not at all.
+    pub fn create_sealed(
+        path: &Path,
+        base: SnapshotId,
+        policy: FsyncPolicy,
+    ) -> std::io::Result<Self> {
+        let tmp = tmp_sibling(path);
+        let mut image = BytesMut::new();
+        image.put_slice(&wal_header());
+        image.put_slice(&WalRecord::Checkpoint { base }.encode());
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&image)?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        if let Some(dir) = path.parent() {
+            sync_dir(dir)?;
+        }
+        let file = OpenOptions::new().append(true).open(path)?;
+        Ok(Self { file, len: image.len() as u64, policy, unsynced: 0 })
+    }
+
+    /// Opens an existing (already replayed and repaired) log for
+    /// appending.
+    pub fn open_append(path: &Path, policy: FsyncPolicy) -> std::io::Result<Self> {
+        let file = OpenOptions::new().append(true).open(path)?;
+        let len = file.metadata()?.len();
+        Ok(Self { file, len, policy, unsynced: 0 })
+    }
+
+    /// Current log length in bytes (what compaction thresholds compare
+    /// against).
+    pub fn log_len(&self) -> u64 {
+        self.len
+    }
+
+    /// Appends one record, fsyncing per policy. On `Ok`, the record is
+    /// as durable as the policy promises — the caller may acknowledge.
+    pub fn append(&mut self, record: &WalRecord) -> std::io::Result<()> {
+        self.append_bytes(&record.encode())
+    }
+
+    /// [`Self::append`] of an [`WalRecord::Insert`], encoding straight
+    /// from borrowed ciphertexts (the hot path avoids cloning a
+    /// `5·dim`-double row just to log it).
+    pub fn append_insert(
+        &mut self,
+        id: u32,
+        c_sap: &[f64],
+        c_dce: &DceCiphertext,
+    ) -> std::io::Result<()> {
+        let mut body = BytesMut::new();
+        body.put_u8(TAG_INSERT);
+        put_insert_payload(&mut body, id, c_sap, c_dce);
+        self.append_bytes(&frame(&body))
+    }
+
+    /// [`Self::append`] of a [`WalRecord::Delete`].
+    pub fn append_delete(&mut self, id: u32) -> std::io::Result<()> {
+        self.append_bytes(&WalRecord::Delete { id }.encode())
+    }
+
+    fn append_bytes(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.file.write_all(bytes)?;
+        self.len += bytes.len() as u64;
+        self.unsynced += 1;
+        match self.policy {
+            FsyncPolicy::Always => self.sync()?,
+            FsyncPolicy::EveryN(n) => {
+                if self.unsynced >= n {
+                    self.sync()?;
+                }
+            }
+            FsyncPolicy::Never => {}
+        }
+        Ok(())
+    }
+
+    /// Forces everything appended so far to disk regardless of policy.
+    pub fn sync(&mut self) -> std::io::Result<()> {
+        self.file.sync_data()?;
+        self.unsynced = 0;
+        Ok(())
+    }
+}
+
+/// `<file>.tmp` next to `path` — same directory, so the final rename
+/// never crosses a filesystem boundary. The `tmp` extension keeps
+/// `Catalog::load_dir` (which filters on `.ppdb`) and the WAL lookup
+/// (exact `<name>.wal`) blind to leftovers from a crashed write.
+pub(crate) fn tmp_sibling(path: &Path) -> std::path::PathBuf {
+    let mut name = path.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// The WAL path of a collection snapshot path (`x/docs.ppdb` →
+/// `x/docs.wal`).
+pub fn wal_path_for(snapshot_path: &Path) -> std::path::PathBuf {
+    snapshot_path.with_extension(WAL_EXT)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dce(vals: [f64; 4]) -> DceCiphertext {
+        DceCiphertext::from_components(vec![vals[0]], vec![vals[1]], vec![vals[2]], vec![vals[3]])
+    }
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("ppanns_wal_{tag}_{}.wal", std::process::id()))
+    }
+
+    /// The standard CRC-32 check value: any deviation in polynomial,
+    /// reflection, or init/final XOR breaks this long before it can
+    /// corrupt a log undetected.
+    #[test]
+    fn crc32_matches_the_ieee_reference() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    /// Byte-for-byte pin of the WAL layout (the log twin of
+    /// `v1_layout_is_pinned`): header, framing, every payload field of
+    /// all three record types, built here independently of the
+    /// production encoder. DESIGN.md §5 documents this layout.
+    #[test]
+    fn wal_layout_is_pinned() {
+        let base = SnapshotId { len: 0x1122, crc: 0xAABBCCDD };
+        let insert =
+            WalRecord::Insert { id: 7, c_sap: vec![1.5, -2.0], c_dce: dce([0.25, 0.5, 1.0, 2.0]) };
+        let delete = WalRecord::Delete { id: 3 };
+        let checkpoint = WalRecord::Checkpoint { base };
+
+        let mut image = BytesMut::new();
+        image.put_slice(&wal_header());
+        image.put_slice(&checkpoint.encode());
+        image.put_slice(&insert.encode());
+        image.put_slice(&delete.encode());
+
+        let mut expect = BytesMut::new();
+        expect.put_slice(b"PPWL"); // magic
+        expect.put_u32_le(1); // wal format version
+
+        // Checkpoint: tag 3 | base_len u64 | base_crc u32.
+        let mut body = BytesMut::new();
+        body.put_u8(3);
+        body.put_u64_le(0x1122);
+        body.put_u32_le(0xAABBCCDD);
+        expect.put_u32_le(body.len() as u32); // frame: body length...
+        expect.put_u32_le(crc32(&body)); // ...and body checksum
+        expect.put_slice(&body);
+
+        // Insert: tag 1 | id u32 | sap_len u64 | sap f64s
+        //         | comp_dim u64 | 4·comp_dim f64s.
+        let mut body = BytesMut::new();
+        body.put_u8(1);
+        body.put_u32_le(7);
+        body.put_u64_le(2); // sap length
+        body.put_f64_le(1.5);
+        body.put_f64_le(-2.0);
+        body.put_u64_le(1); // dce component_dim
+        body.put_f64_le(0.25);
+        body.put_f64_le(0.5);
+        body.put_f64_le(1.0);
+        body.put_f64_le(2.0);
+        expect.put_u32_le(body.len() as u32);
+        expect.put_u32_le(crc32(&body));
+        expect.put_slice(&body);
+
+        // Delete: tag 2 | id u32.
+        let mut body = BytesMut::new();
+        body.put_u8(2);
+        body.put_u32_le(3);
+        expect.put_u32_le(body.len() as u32);
+        expect.put_u32_le(crc32(&body));
+        expect.put_slice(&body);
+
+        assert_eq!(image.as_ref(), expect.as_ref(), "WAL byte layout drifted");
+
+        // And the pinned image replays to exactly the two mutations.
+        let out = replay(&image, base);
+        assert!(!out.truncated && !out.stale);
+        assert_eq!(out.valid_len, image.len() as u64);
+        assert_eq!(
+            out.records.iter().map(|(r, _)| r.clone()).collect::<Vec<_>>(),
+            vec![insert, delete]
+        );
+    }
+
+    #[test]
+    fn fsync_policy_parsing() {
+        assert_eq!(FsyncPolicy::parse("always"), Ok(FsyncPolicy::Always));
+        assert_eq!(FsyncPolicy::parse("never"), Ok(FsyncPolicy::Never));
+        assert_eq!(FsyncPolicy::parse("every=128"), Ok(FsyncPolicy::EveryN(128)));
+        for bad in ["", "Always", "every=0", "every=", "every=x", "fsync"] {
+            assert!(FsyncPolicy::parse(bad).is_err(), "{bad:?} must not parse");
+        }
+        for p in [FsyncPolicy::Always, FsyncPolicy::Never, FsyncPolicy::EveryN(7)] {
+            assert_eq!(FsyncPolicy::parse(&p.to_string()), Ok(p), "display/parse roundtrip");
+        }
+    }
+
+    #[test]
+    fn writer_roundtrips_through_replay() {
+        let path = temp_path("roundtrip");
+        let base = snapshot_id(b"some snapshot image");
+        let mut w = WalWriter::create_sealed(&path, base, FsyncPolicy::Always).unwrap();
+        w.append_insert(0, &[1.0, 2.0], &dce([1.0, 2.0, 3.0, 4.0])).unwrap();
+        w.append_delete(0).unwrap();
+        w.append(&WalRecord::Insert { id: 1, c_sap: vec![5.0], c_dce: dce([9.0, 8.0, 7.0, 6.0]) })
+            .unwrap();
+        assert_eq!(w.log_len(), std::fs::metadata(&path).unwrap().len());
+        drop(w);
+
+        let bytes = std::fs::read(&path).unwrap();
+        let out = replay(&bytes, base);
+        assert!(!out.truncated && !out.stale);
+        assert_eq!(out.records.len(), 3);
+        assert_eq!(
+            out.records[0].0,
+            WalRecord::Insert { id: 0, c_sap: vec![1.0, 2.0], c_dce: dce([1.0, 2.0, 3.0, 4.0]) }
+        );
+        assert_eq!(out.records[1].0, WalRecord::Delete { id: 0 });
+
+        // Reopen for append and extend; replay sees all four.
+        let mut w = WalWriter::open_append(&path, FsyncPolicy::Never).unwrap();
+        w.append_delete(1).unwrap();
+        w.sync().unwrap();
+        drop(w);
+        let out = replay(&std::fs::read(&path).unwrap(), base);
+        assert_eq!(out.records.len(), 4);
+        assert_eq!(out.records[3].0, WalRecord::Delete { id: 1 });
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn stale_checkpoint_is_reported_not_replayed() {
+        let path = temp_path("stale");
+        let old_base = snapshot_id(b"old snapshot");
+        let mut w = WalWriter::create_sealed(&path, old_base, FsyncPolicy::Always).unwrap();
+        w.append_delete(0).unwrap();
+        drop(w);
+        let bytes = std::fs::read(&path).unwrap();
+        // Same file, replayed against the *new* snapshot's identity: a
+        // crashed compaction left this log behind — it must be ignored
+        // wholesale, not half-applied.
+        let out = replay(&bytes, snapshot_id(b"new snapshot"));
+        assert!(out.stale);
+        assert!(out.records.is_empty());
+        assert_eq!(out.valid_len, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_recovers_longest_prefix() {
+        let base = snapshot_id(b"snap");
+        let mut image = BytesMut::new();
+        image.put_slice(&wal_header());
+        image.put_slice(&WalRecord::Checkpoint { base }.encode());
+        let mut ends = Vec::new();
+        for id in 0..5u32 {
+            image.put_slice(
+                &WalRecord::Insert { id, c_sap: vec![id as f64], c_dce: dce([1.0, 2.0, 3.0, 4.0]) }
+                    .encode(),
+            );
+            ends.push(image.len());
+        }
+        let full = image.freeze();
+
+        // Truncation at every possible byte position: replay recovers
+        // exactly the records whose frames fit in the prefix.
+        for cut in 0..full.len() {
+            let out = replay(&full[..cut], base);
+            let want = ends.iter().filter(|&&e| e <= cut).count();
+            assert_eq!(out.records.len(), want, "cut at {cut}");
+            assert!(out.valid_len <= cut as u64);
+        }
+        // And the intact image replays in full.
+        let out = replay(&full, base);
+        assert_eq!(out.records.len(), 5);
+        assert!(!out.truncated);
+    }
+
+    #[test]
+    fn absurd_length_field_cannot_trigger_giant_allocation() {
+        let base = snapshot_id(b"snap");
+        let mut image = BytesMut::new();
+        image.put_slice(&wal_header());
+        image.put_slice(&WalRecord::Checkpoint { base }.encode());
+        // A frame whose length field claims 4 GiB.
+        image.put_u32_le(u32::MAX);
+        image.put_u32_le(0);
+        let out = replay(&image, base);
+        assert!(out.truncated);
+        assert!(out.records.is_empty());
+    }
+
+    #[test]
+    fn mid_log_checkpoint_is_corrupt() {
+        let base = snapshot_id(b"snap");
+        let mut image = BytesMut::new();
+        image.put_slice(&wal_header());
+        image.put_slice(&WalRecord::Checkpoint { base }.encode());
+        image.put_slice(&WalRecord::Delete { id: 0 }.encode());
+        let keep = image.len() as u64;
+        image.put_slice(&WalRecord::Checkpoint { base }.encode());
+        image.put_slice(&WalRecord::Delete { id: 1 }.encode());
+        let out = replay(&image, base);
+        assert!(out.truncated);
+        assert_eq!(out.records.len(), 1);
+        assert_eq!(out.valid_len, keep);
+    }
+}

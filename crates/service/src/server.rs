@@ -26,12 +26,16 @@
 //! shared lock, `Insert`/`Delete` serialized on the exclusive path.
 //! The single-backend [`serve`] entry point is a one-collection catalog.
 //!
-//! With [`ServiceConfig::data_dir`] set, the catalog is disk-backed:
-//! `CreateCollection` writes an empty `<name>.ppdb` snapshot before the
-//! collection goes live and `DropCollection` deletes the file, so a
-//! restart (`ppanns-cli serve --data-dir`) rediscovers the same
-//! collection set. Vector maintenance stays in-memory-only, exactly like
-//! the single-index server (OPERATIONS.md §4).
+//! With [`ServiceConfig::data_dir`] set, the catalog is disk-backed and
+//! crash-safe: `CreateCollection` writes an empty `<name>.ppdb` snapshot
+//! plus a sealed `<name>.wal` write-ahead log before the collection goes
+//! live, every acknowledged `Insert`/`Delete` is appended to the log
+//! (synced per [`ServiceConfig::fsync`]) *before* it is applied, and
+//! `DropCollection` deletes both files. A restart
+//! (`ppanns-cli serve --data-dir`) reloads each snapshot and replays its
+//! log, so no acknowledged mutation is lost to a crash — see DESIGN.md
+//! §5 for the recovery protocol and OPERATIONS.md §9 for the durability
+//! knobs.
 //!
 //! Liveness guards, all configurable on [`ServiceConfig`]:
 //!
@@ -67,10 +71,11 @@ use crate::wire::{
 use crossbeam::channel;
 use parking_lot::{Mutex, RwLock};
 use ppann_core::catalog::{validate_collection_name, Catalog, Collection};
+use ppann_core::wal::wal_path_for;
 use ppann_core::{
-    collection_snapshot_bytes, BackendInfo, BackendKind, CollectionMeta, EncryptedDatabase,
-    EncryptedQuery, MaintainableServer, QueryBackend, SearchParams, SharedServer,
-    DEFAULT_COLLECTION, SNAPSHOT_EXT,
+    BackendInfo, BackendKind, DurabilityOptions, DurableCatalogError, EncryptedDatabase,
+    EncryptedQuery, FsyncPolicy, MaintainableServer, QueryBackend, SearchParams, SharedServer,
+    DEFAULT_COLLECTION, DEFAULT_COMPACT_BYTES, SNAPSHOT_EXT,
 };
 use std::collections::{HashMap, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -108,10 +113,24 @@ pub struct ServiceConfig {
     /// which the ciphertexts provide on their own.
     pub owner_token: Option<u64>,
     /// Snapshot directory backing the catalog lifecycle: when set,
-    /// `CreateCollection` persists an empty `<name>.ppdb` before the
-    /// collection goes live and `DropCollection` removes the file. `None`
-    /// keeps collection create/drop in-memory-only.
+    /// `CreateCollection` persists an empty `<name>.ppdb` snapshot plus a
+    /// sealed `<name>.wal` write-ahead log before the collection goes
+    /// live, every acknowledged `Insert`/`Delete` is appended to the log
+    /// before it is applied, and `DropCollection` removes both files.
+    /// `None` keeps the whole catalog in-memory-only.
     pub data_dir: Option<PathBuf>,
+    /// When the WAL is synced to stable storage (only meaningful with
+    /// `data_dir` set). `Always` fsyncs before every mutation ack — an
+    /// acked mutation survives power loss. `EveryN(n)` fsyncs every n-th
+    /// append — an ack means "logged", and up to n-1 tail mutations may
+    /// vanish on power loss (not on process crash: the OS still has the
+    /// write). `Never` leaves flushing entirely to the OS. See
+    /// OPERATIONS.md §9 for the tradeoffs.
+    pub fsync: FsyncPolicy,
+    /// WAL size that triggers a compaction: once a collection's log
+    /// exceeds this many bytes after a mutation, the collection is
+    /// re-snapshotted and the log restarts empty (OPERATIONS.md §9).
+    pub compact_bytes: u64,
     /// How long a fresh connection may take to send its `Hello`.
     pub handshake_timeout: Duration,
     /// How long an established connection may sit idle between frames
@@ -157,6 +176,8 @@ impl ServiceConfig {
             max_frame: DEFAULT_MAX_FRAME,
             owner_token: None,
             data_dir: None,
+            fsync: FsyncPolicy::Always,
+            compact_bytes: DEFAULT_COMPACT_BYTES,
             handshake_timeout: Duration::from_secs(5),
             idle_timeout: Duration::from_secs(120),
             frame_timeout: Duration::from_secs(30),
@@ -214,6 +235,24 @@ impl ServiceConfig {
     pub fn with_data_dir(mut self, dir: impl Into<PathBuf>) -> Self {
         self.data_dir = Some(dir.into());
         self
+    }
+
+    /// Replaces the WAL fsync policy (see [`Self::fsync`]).
+    pub fn with_fsync(mut self, fsync: FsyncPolicy) -> Self {
+        self.fsync = fsync;
+        self
+    }
+
+    /// Replaces the WAL compaction threshold (see [`Self::compact_bytes`],
+    /// clamped to ≥ 1 so compaction can never be armed on every append).
+    pub fn with_compact_bytes(mut self, compact_bytes: u64) -> Self {
+        self.compact_bytes = compact_bytes.max(1);
+        self
+    }
+
+    /// The durability knobs bundled the way the catalog takes them.
+    pub fn durability(&self) -> DurabilityOptions {
+        DurabilityOptions { fsync: self.fsync, compact_bytes: self.compact_bytes }
     }
 
     /// Replaces the frame size limit.
@@ -422,7 +461,13 @@ fn deadline_after(d: Duration) -> Instant {
 /// background until a shutdown is requested.
 pub fn serve<S>(backend: SharedServer<S>, config: ServiceConfig) -> std::io::Result<ServiceHandle>
 where
-    S: QueryBackend + MaintainableServer + BackendInfo + Send + Sync + 'static,
+    S: QueryBackend
+        + MaintainableServer
+        + BackendInfo
+        + ppann_core::SnapshotSource
+        + Send
+        + Sync
+        + 'static,
 {
     let catalog = Catalog::new();
     catalog
@@ -782,35 +827,31 @@ fn create_collection_locked(
     // collection's slot, untouched.
     coll_stats.insert(name); // uptime starts at creation
     let db = EncryptedDatabase::empty(dim as usize);
-    // Serialize the snapshot image from the same database the catalog
-    // will serve, so the on-disk and in-memory states are identical by
-    // construction.
-    let snapshot = config.data_dir.as_ref().map(|dir| {
-        let meta = CollectionMeta { name: name.to_string(), shards };
-        (snapshot_path(dir, name), collection_snapshot_bytes(&meta, &db))
-    });
-    // Reserve the name in the catalog (atomic): a duplicate create must
-    // fail before it can touch the snapshot file — the write truncates,
-    // and the existing collection's populated snapshot must never be
-    // replaced by an empty one. Only then persist; a write failure
-    // rolls the reservation back. A crash between reservation and
-    // write loses an un-acked collection on restart, which is the safe
-    // direction (the owner never saw an ack).
-    if let Err(e) = catalog.create_sharded(name, db, shards as usize) {
+    let Some(dir) = &config.data_dir else {
+        // In-memory-only catalog: reserve the name, nothing to persist.
+        return catalog
+            .create_sharded(name, db, shards as usize)
+            .map(|_| ())
+            .map_err(|e| (ErrorCode::BadRequest, e.to_string()));
+    };
+    // Disk-backed catalog: `create_durable` reserves the name, then
+    // writes the empty snapshot and its sealed WAL atomically (temp +
+    // rename) before the collection becomes visible, rolling both files
+    // back on any failure. A crash mid-create loses an un-acked
+    // collection on restart, which is the safe direction (the owner
+    // never saw an ack).
+    match catalog.create_durable(name, db, shards as usize, dir, config.durability()) {
+        Ok(_) => Ok(()),
         // Duplicate name — nothing was built, no file was touched, and
         // the slot belongs to the live collection.
-        return Err((ErrorCode::BadRequest, e.to_string()));
-    }
-    if let Some((path, bytes)) = snapshot {
-        if let Err(e) = std::fs::write(&path, &bytes) {
-            let _ = catalog.drop_collection(name);
-            // The name was free (create succeeded), so the slot is the
-            // one registered above — roll it back too.
+        Err(DurableCatalogError::Catalog(e)) => Err((ErrorCode::BadRequest, e.to_string())),
+        Err(DurableCatalogError::Persist(e)) => {
+            // The name was free but persistence failed, so the slot is
+            // the one registered above — roll it back.
             coll_stats.remove(name);
-            return Err((ErrorCode::Internal, format!("snapshot write failed: {e}")));
+            Err((ErrorCode::Internal, format!("collection persist failed: {e}")))
         }
     }
-    Ok(())
 }
 
 /// The guarded body of `DropCollection`. The caller holds the lifecycle
@@ -826,14 +867,25 @@ fn drop_collection_locked(
     if catalog.get(name).is_none() {
         return Err((ErrorCode::UnknownCollection, format!("unknown collection `{name}`")));
     }
-    // Delete the snapshot before the in-memory drop: if the file cannot
-    // go away the collection must not either, or a restart would
-    // resurrect it.
+    // Delete the snapshot (and its WAL) before the in-memory drop: if
+    // the files cannot go away the collection must not either, or a
+    // restart would resurrect it. Snapshot first — a crash in between
+    // leaves an orphan `.wal` that the loader ignores without its
+    // snapshot, while the reverse order would leave a snapshot that
+    // resurrects the collection minus its logged tail.
     if let Some(dir) = &config.data_dir {
-        match std::fs::remove_file(snapshot_path(dir, name)) {
-            Ok(()) => {}
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
-            Err(e) => return Err((ErrorCode::Internal, format!("snapshot delete failed: {e}"))),
+        let snapshot = snapshot_path(dir, name);
+        for path in [snapshot.clone(), wal_path_for(&snapshot)] {
+            match std::fs::remove_file(&path) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => {
+                    return Err((
+                        ErrorCode::Internal,
+                        format!("delete of {} failed: {e}", path.display()),
+                    ))
+                }
+            }
         }
     }
     match catalog.drop_collection(name) {
@@ -1007,7 +1059,23 @@ fn serve_frame(
                 );
                 return ConnFate::Keep;
             }
-            let id = coll.insert(c_sap, c_dce);
+            // WAL-first: the mutation is logged (and synced per the
+            // fsync policy) before it is applied, and the ack is sent
+            // only after both. A log append failure leaves the backend
+            // untouched — the client gets an error, not an ack for a
+            // mutation that would vanish on restart.
+            let id = match coll.insert(c_sap, c_dce) {
+                Ok(id) => id,
+                Err(e) => {
+                    send_error_counted(
+                        conn,
+                        &[stats, &cstats],
+                        ErrorCode::Internal,
+                        format!("write-ahead log append failed: {e}"),
+                    );
+                    return ConnFate::Keep;
+                }
+            };
             stats.record_insert();
             cstats.record_insert();
             keep_if(send_counted(conn, &[stats, &cstats], &Frame::InsertAck { id }))
@@ -1025,18 +1093,32 @@ fn serve_frame(
                 }
             };
             cstats.add_bytes_in(frame_bytes);
-            if coll.try_delete(id) {
-                stats.record_delete();
-                cstats.record_delete();
-                keep_if(send_counted(conn, &[stats, &cstats], &Frame::DeleteAck))
-            } else {
-                send_error_counted(
-                    conn,
-                    &[stats, &cstats],
-                    ErrorCode::BadRequest,
-                    format!("id {id} out of range or already deleted"),
-                );
-                ConnFate::Keep
+            // Same WAL-first discipline as Insert: logged before applied,
+            // acked only after both.
+            match coll.try_delete(id) {
+                Ok(true) => {
+                    stats.record_delete();
+                    cstats.record_delete();
+                    keep_if(send_counted(conn, &[stats, &cstats], &Frame::DeleteAck))
+                }
+                Ok(false) => {
+                    send_error_counted(
+                        conn,
+                        &[stats, &cstats],
+                        ErrorCode::BadRequest,
+                        format!("id {id} out of range or already deleted"),
+                    );
+                    ConnFate::Keep
+                }
+                Err(e) => {
+                    send_error_counted(
+                        conn,
+                        &[stats, &cstats],
+                        ErrorCode::Internal,
+                        format!("write-ahead log append failed: {e}"),
+                    );
+                    ConnFate::Keep
+                }
             }
         }
         Frame::Stats { collection: None } => {

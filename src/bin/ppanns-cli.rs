@@ -32,8 +32,8 @@
 use ppanns::core::catalog::Catalog;
 use ppanns::core::tune::{grid_search, TuningGrid};
 use ppanns::core::{
-    CloudServer, DataOwner, EncryptedDatabase, PpAnnParams, QueryBackend, SearchParams,
-    ShardedServer,
+    CloudServer, DataOwner, DurabilityOptions, EncryptedDatabase, FsyncPolicy, PpAnnParams,
+    QueryBackend, SearchParams, ShardedServer, DEFAULT_COMPACT_BYTES,
 };
 use ppanns::datasets::io::{read_fvecs, write_fvecs};
 use ppanns::datasets::{brute_force_knn, Dataset, DatasetProfile};
@@ -82,7 +82,7 @@ const USAGE: &str = "usage:
   ppanns-cli gen       --profile <sift|gist|glove|deep> --n <N> --queries <Q> --base <out.fvecs> --out-queries <out.fvecs> [--seed S]
   ppanns-cli outsource --base <in.fvecs> --db <out.bin> --keys <out.bin> [--beta B] [--seed S]
   ppanns-cli serve     --db <in.bin> [--addr A] [--shards S] [--workers W] [--token T]
-  ppanns-cli serve     --data-dir <dir> [--addr A] [--workers W] [--token T]
+  ppanns-cli serve     --data-dir <dir> [--addr A] [--workers W] [--token T] [--fsync always|never|every=N] [--compact-bytes B]
   ppanns-cli query     --remote <addr> --keys <in.bin> --queries <in.fvecs> [--collection C] [--k K] [--ratio R] [--ef E]
   ppanns-cli query     --remote <addr> --keys <in.bin> --batch-file <in.fvecs> [--collection C] [--batch-size B] [--k K] [--ratio R] [--ef E]
   ppanns-cli query     --db <in.bin> --keys <in.bin> --queries <in.fvecs> [--k K] [--ratio R] [--ef E] [--shards S]
@@ -215,11 +215,39 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         }
         (None, Some(dir)) => {
             let dir = PathBuf::from(dir);
-            let catalog = Catalog::load_dir(&dir).map_err(|e| e.to_string())?;
+            let fsync = match flags.get("fsync") {
+                None => FsyncPolicy::Always,
+                Some(v) => FsyncPolicy::parse(v).map_err(|e| format!("--fsync: {e}"))?,
+            };
+            let compact_bytes: u64 = parse_or(flags, "compact-bytes", DEFAULT_COMPACT_BYTES)?;
+            let opts = DurabilityOptions { fsync, compact_bytes: compact_bytes.max(1) };
+            // Load every snapshot and replay its write-ahead log over it;
+            // a torn or corrupt log tail is truncated, never fatal.
+            let (catalog, reports) =
+                Catalog::load_dir_durable(&dir, opts).map_err(|e| e.to_string())?;
+            for r in &reports {
+                if r.discarded {
+                    println!(
+                        "recovery: collection `{}`: discarded a stale write-ahead log",
+                        r.collection
+                    );
+                } else if r.replayed > 0 || r.truncated_bytes > 0 {
+                    println!(
+                        "recovery: collection `{}`: replayed {} logged mutation(s){}",
+                        r.collection,
+                        r.replayed,
+                        if r.truncated_bytes > 0 {
+                            format!(", truncated {} torn byte(s)", r.truncated_bytes)
+                        } else {
+                            String::new()
+                        }
+                    );
+                }
+            }
             if catalog.is_empty() {
                 println!("note: {} holds no *.ppdb snapshots yet", dir.display());
             }
-            config = config.with_data_dir(dir);
+            config = config.with_data_dir(dir).with_fsync(fsync).with_compact_bytes(compact_bytes);
             catalog
         }
         (None, None) => return Err("missing --db (or --data-dir)".into()),

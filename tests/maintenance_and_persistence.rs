@@ -67,3 +67,78 @@ fn delete_everything_then_search_safely() {
         server.search(&user.encrypt_query(&[1.0, 1.0], 3), &SearchParams::from_ratio(3, 4, 10));
     assert!(out.ids.is_empty());
 }
+
+/// Restart cost after heavy churn is log-bounded: automatic compaction
+/// keeps the write-ahead log near its byte threshold, so a reload
+/// replays only the short post-compaction suffix — not the full
+/// mutation history — and still restores the exact live set.
+#[test]
+fn heavy_churn_keeps_the_wal_bounded_and_restart_log_bounded() {
+    use ppanns::core::{Catalog, DurabilityOptions, FsyncPolicy};
+
+    let dir = std::env::temp_dir().join(format!("ppanns_wal_bounded_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let w = Workload::generate(DatasetProfile::DeepLike, 40, 4, 71);
+    let owner = DataOwner::setup(PpAnnParams::new(w.dim()).with_seed(17), w.base());
+    const COMPACT: u64 = 2 * 1024;
+    let opts = DurabilityOptions { fsync: FsyncPolicy::Never, compact_bytes: COMPACT };
+
+    const OPS: usize = 120;
+    let mut vectors: Vec<Vec<f64>> = w.base().to_vec();
+    let mut live: Vec<bool> = vec![true; vectors.len()];
+    {
+        let catalog = Catalog::new();
+        let coll = catalog.create_durable("c", owner.outsource(w.base()), 2, &dir, opts).unwrap();
+        for i in 0..OPS {
+            if i % 3 == 2 {
+                // Delete the oldest still-live id.
+                let victim = live.iter().position(|&a| a).unwrap() as u32;
+                assert!(coll.try_delete(victim).unwrap());
+                live[victim as usize] = false;
+            } else {
+                let v: Vec<f64> =
+                    w.base()[i % w.base().len()].iter().map(|x| x + 0.01 * i as f64).collect();
+                let (c_sap, c_dce) = owner.encrypt_for_insert(&v, 1000 + i as u64);
+                let id = coll.insert(c_sap, c_dce).unwrap();
+                assert_eq!(id as usize, vectors.len());
+                vectors.push(v);
+                live.push(true);
+            }
+        }
+        let status = coll.wal_status().unwrap();
+        assert!(status.compactions > 0, "churn never crossed the compaction threshold");
+        assert!(
+            status.log_bytes < COMPACT + 2048,
+            "log grew unboundedly: {} bytes",
+            status.log_bytes
+        );
+    }
+
+    // Restart: only the post-compaction suffix is replayed.
+    let (catalog, reports) = Catalog::load_dir_durable(&dir, opts).unwrap();
+    assert_eq!(reports.len(), 1);
+    assert!(!reports[0].discarded);
+    assert_eq!(reports[0].truncated_bytes, 0);
+    assert!(
+        reports[0].replayed < OPS / 4,
+        "reload replayed {} of {OPS} ops — restart is not log-bounded",
+        reports[0].replayed
+    );
+
+    // The restored collection is exactly the churned live set.
+    let coll = catalog.get("c").unwrap();
+    assert_eq!(coll.slots(), vectors.len());
+    assert_eq!(coll.live_len(), live.iter().filter(|&&a| a).count());
+    for (id, &alive) in live.iter().enumerate() {
+        assert_eq!(coll.is_live(id as u32), alive, "id {id} liveness diverged after restart");
+    }
+    let mut user = owner.authorize_user();
+    for id in (0..vectors.len()).filter(|&id| live[id]).step_by(9) {
+        let q = user.encrypt_query(&vectors[id], 1);
+        let out = coll.search(&q, &SearchParams { k_prime: 10, ef_search: 32 });
+        assert_eq!(out.ids[0], id as u32, "vector {id} is not its own nearest neighbor");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
