@@ -119,10 +119,28 @@ pub fn validate_collection_name(name: &str) -> Result<(), CatalogError> {
 /// backend's own `RwLock` is taken inside it, never the other way
 /// around — searches take only the backend lock and are unaffected).
 struct CollectionWal {
-    writer: WalWriter,
+    state: WalState,
     snapshot_path: PathBuf,
     opts: DurabilityOptions,
     compactions: u64,
+}
+
+/// Where a collection's log currently is. Only `Open` can acknowledge
+/// mutations; the other two states make every durable mutation fail,
+/// because an ack they issued could not be honored after a restart.
+enum WalState {
+    /// A log sealed to the on-disk snapshot, accepting appends.
+    Open(WalWriter),
+    /// Compaction replaced the snapshot but could not seal a fresh log:
+    /// the on-disk log's checkpoint now names the *replaced* snapshot,
+    /// so replay would discard it wholesale — appending (= acking) to it
+    /// would silently lose those mutations on restart. Mutations fail
+    /// until a reseal to this snapshot identity succeeds; each mutation
+    /// retries the reseal first.
+    NeedsReseal(SnapshotId),
+    /// The collection was dropped: its files are gone and must never be
+    /// recreated by a mutation or compaction racing the drop.
+    Dropped,
 }
 
 impl CollectionWal {
@@ -133,13 +151,65 @@ impl CollectionWal {
         opts: DurabilityOptions,
     ) -> std::io::Result<Self> {
         let writer = WalWriter::create_sealed(&wal_path_for(snapshot_path), base, opts.fsync)?;
-        Ok(Self { writer, snapshot_path: snapshot_path.to_path_buf(), opts, compactions: 0 })
+        Ok(Self {
+            state: WalState::Open(writer),
+            snapshot_path: snapshot_path.to_path_buf(),
+            opts,
+            compactions: 0,
+        })
     }
 
     /// Opens an existing (already replayed and repaired) log for append.
     fn open_existing(snapshot_path: &Path, opts: DurabilityOptions) -> std::io::Result<Self> {
         let writer = WalWriter::open_append(&wal_path_for(snapshot_path), opts.fsync)?;
-        Ok(Self { writer, snapshot_path: snapshot_path.to_path_buf(), opts, compactions: 0 })
+        Ok(Self {
+            state: WalState::Open(writer),
+            snapshot_path: snapshot_path.to_path_buf(),
+            opts,
+            compactions: 0,
+        })
+    }
+
+    /// The writer every durable mutation appends through. A pending
+    /// reseal (failed compaction) is retried here first, so one full
+    /// disk does not strand the collection forever; `Err` — reseal
+    /// still failing, or the collection dropped — means the mutation
+    /// must fail unacknowledged.
+    fn writer(&mut self) -> std::io::Result<&mut WalWriter> {
+        match self.state {
+            WalState::NeedsReseal(base) => {
+                let writer = WalWriter::create_sealed(
+                    &wal_path_for(&self.snapshot_path),
+                    base,
+                    self.opts.fsync,
+                )?;
+                self.state = WalState::Open(writer);
+                // The compaction that stranded us is now complete.
+                self.compactions += 1;
+            }
+            WalState::Dropped => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::NotFound,
+                    "collection was dropped",
+                ));
+            }
+            WalState::Open(_) => {}
+        }
+        match &mut self.state {
+            WalState::Open(writer) => Ok(writer),
+            _ => unreachable!("writer(): state is Open after a successful reseal"),
+        }
+    }
+
+    /// Current log length; 0 while no appendable log exists (the stale
+    /// log of a pending reseal is about to be replaced, a dropped
+    /// collection has no log at all) so the compaction threshold cannot
+    /// fire in either state.
+    fn log_len(&self) -> u64 {
+        match &self.state {
+            WalState::Open(writer) => writer.log_len(),
+            WalState::NeedsReseal(_) | WalState::Dropped => 0,
+        }
     }
 }
 
@@ -223,7 +293,7 @@ impl Collection {
         };
         let mut wal = wal.lock();
         let id = self.backend.slots() as u32;
-        wal.writer.append_insert(id, &c_sap, &c_dce)?;
+        wal.writer()?.append_insert(id, &c_sap, &c_dce)?;
         let assigned = self.backend.insert(c_sap, c_dce);
         debug_assert_eq!(assigned, id, "WAL id prediction diverged from the backend");
         self.maybe_compact(&mut wal);
@@ -241,7 +311,7 @@ impl Collection {
         if !self.backend.is_live(id) {
             return Ok(false);
         }
-        wal.writer.append_delete(id)?;
+        wal.writer()?.append_delete(id)?;
         let deleted = self.backend.try_delete(id);
         debug_assert!(deleted, "liveness cannot change under the WAL mutex");
         self.maybe_compact(&mut wal);
@@ -270,7 +340,7 @@ impl Collection {
         self.wal.as_ref().map(|wal| {
             let wal = wal.lock();
             WalStatus {
-                log_bytes: wal.writer.log_len(),
+                log_bytes: wal.log_len(),
                 compactions: wal.compactions,
                 compact_bytes: wal.opts.compact_bytes,
             }
@@ -293,12 +363,16 @@ impl Collection {
     }
 
     /// Compacts once the log crosses its threshold. Failure is logged
-    /// and *swallowed*: the collection keeps serving from the (intact)
-    /// old snapshot + growing log, and the next mutation retries — a
-    /// full disk must degrade restart time, not lose acknowledged
-    /// writes.
+    /// and *swallowed* — but what the next mutation does depends on
+    /// where it failed. Before the snapshot rename: the collection keeps
+    /// serving from the (intact) old snapshot + growing log, and the
+    /// next mutation retries the compaction — a full disk must degrade
+    /// restart time, not lose acknowledged writes. After the rename
+    /// (the log reseal failed): the old log is stale, so the wal enters
+    /// [`WalState::NeedsReseal`] and mutations fail unacknowledged
+    /// until a reseal succeeds (each mutation retries it).
     fn maybe_compact(&self, wal: &mut CollectionWal) {
-        if wal.writer.log_len() < wal.opts.compact_bytes {
+        if wal.log_len() < wal.opts.compact_bytes {
             return;
         }
         if let Err(e) = self.compact_locked(wal) {
@@ -317,18 +391,53 @@ impl Collection {
     ///    longer matches — replay discards the stale log, losing nothing
     ///    because step 1 folded all of it into the snapshot.
     /// 3. Atomically replace the log with a fresh one sealed to the new
-    ///    snapshot's identity.
+    ///    snapshot's identity. The state moves to
+    ///    [`WalState::NeedsReseal`] *before* this step is attempted: if
+    ///    the reseal fails, the old log (now stale — replay would
+    ///    discard it) must never take another acknowledged append, so
+    ///    mutations fail until a retry of the reseal succeeds.
     fn compact_locked(&self, wal: &mut CollectionWal) -> Result<(), PersistError> {
+        if matches!(wal.state, WalState::Dropped) {
+            return Err(PersistError::from(std::io::Error::new(
+                std::io::ErrorKind::NotFound,
+                "collection was dropped",
+            )));
+        }
         let image = self.backend.database_image();
         let meta = CollectionMeta { name: self.name.clone(), shards: self.kind.shards() };
         let container = collection_container_bytes(&meta, &image);
         atomic_write(&wal.snapshot_path, &container)?;
-        wal.writer = WalWriter::create_sealed(
-            &wal_path_for(&wal.snapshot_path),
-            snapshot_id(&container),
-            wal.opts.fsync,
-        )?;
-        wal.compactions += 1;
+        wal.state = WalState::NeedsReseal(snapshot_id(&container));
+        wal.writer()?;
+        Ok(())
+    }
+
+    /// Retires a durable collection at drop time: under the WAL mutex,
+    /// removes its snapshot and log files and marks the log
+    /// [`WalState::Dropped`] — so a mutation racing the drop (already
+    /// holding this handle) can neither append to the deleted log nor
+    /// recreate the files through compaction, and a restart cannot
+    /// resurrect the collection. Files already gone are fine; on any
+    /// other IO failure nothing is marked and the collection stays
+    /// fully serviceable (the caller must then keep it registered).
+    /// No-op on an in-memory collection.
+    pub fn retire_durable(&self) -> std::io::Result<()> {
+        let Some(wal) = &self.wal else {
+            return Ok(());
+        };
+        let mut wal = wal.lock();
+        // Snapshot first: a crash in between leaves an orphan `.wal`
+        // that the loader ignores without its snapshot, while the
+        // reverse order would leave a snapshot that resurrects the
+        // collection minus its logged tail.
+        for path in [wal.snapshot_path.clone(), wal_path_for(&wal.snapshot_path)] {
+            match std::fs::remove_file(&path) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e),
+            }
+        }
+        wal.state = WalState::Dropped;
         Ok(())
     }
 }
@@ -1050,6 +1159,92 @@ mod tests {
         // logged insert.
         assert_eq!(coll.slots(), 11);
         assert!(coll.is_live(10));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The failed-compaction window the reviewer of PR 6 flagged: the
+    /// snapshot rename succeeded but the fresh log could not be sealed.
+    /// The old log is now stale (replay would discard it), so mutations
+    /// must FAIL — an ack appended there would silently vanish on
+    /// restart — until a retried reseal succeeds.
+    #[test]
+    fn failed_reseal_refuses_acks_until_it_succeeds() {
+        let dir = temp_dir("reseal");
+        let (data, owner, db) = make_db(10, 4, 53);
+        let catalog = Catalog::new();
+        let opts = DurabilityOptions::default();
+        let coll = catalog.create_durable("p", db, 1, &dir, opts).unwrap();
+        let (c_sap, c_dce) = owner.encrypt_for_insert(&data[0], 1);
+        let first = coll.insert(c_sap, c_dce).unwrap();
+
+        // Block the reseal only: `create_sealed` stages the new log at
+        // `p.wal.tmp`, so a directory squatting on that path makes it
+        // fail while the snapshot rewrite (staged at `p.ppdb.tmp`)
+        // succeeds — exactly the half-failed compaction.
+        let block = dir.join("p.wal.tmp");
+        std::fs::create_dir(&block).unwrap();
+        assert!(coll.compact().is_err(), "compaction must surface the reseal failure");
+
+        // Poisoned: the mutation may not be acknowledged (its append
+        // would land in the stale log and be discarded on restart).
+        let (c_sap, c_dce) = owner.encrypt_for_insert(&data[1], 1);
+        assert!(coll.insert(c_sap, c_dce).is_err(), "ack against a stale log");
+        assert!(coll.try_delete(first).is_err(), "delete ack against a stale log");
+        assert!(coll.is_live(first), "failed delete must not touch the backend");
+
+        // Unblock: the next mutation retries the reseal and acks again.
+        std::fs::remove_dir(&block).unwrap();
+        let (c_sap, c_dce) = owner.encrypt_for_insert(&data[1], 1);
+        let second = coll.insert(c_sap, c_dce).unwrap();
+        assert!(coll.wal_status().unwrap().compactions > 0, "retried reseal completes compaction");
+        let live: Vec<bool> = (0..coll.slots() as u32).map(|id| coll.is_live(id)).collect();
+        drop(coll);
+        drop(catalog);
+
+        // Restart: everything acknowledged is there, nothing else.
+        let (reloaded, _) = Catalog::load_dir_durable(&dir, opts).unwrap();
+        let coll = reloaded.get("p").unwrap();
+        assert!(coll.is_live(second));
+        assert_eq!(
+            (0..coll.slots() as u32).map(|id| coll.is_live(id)).collect::<Vec<_>>(),
+            live,
+            "acknowledged state lost across the failed-compaction window"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A drop racing a mutation that still holds the collection handle:
+    /// once retired, the handle can neither ack nor — via a
+    /// threshold-crossing compaction — recreate the deleted files, so a
+    /// restart cannot resurrect the dropped collection.
+    #[test]
+    fn retired_collection_cannot_resurrect_through_compaction() {
+        let dir = temp_dir("retire");
+        let (data, owner, db) = make_db(10, 4, 54);
+        let catalog = Catalog::new();
+        // Threshold of 1 byte: every mutation would trigger compaction.
+        let opts = DurabilityOptions { compact_bytes: 1, ..DurabilityOptions::default() };
+        let coll = catalog.create_durable("r", db, 1, &dir, opts).unwrap();
+        let (c_sap, c_dce) = owner.encrypt_for_insert(&data[0], 1);
+        coll.insert(c_sap, c_dce).unwrap();
+
+        coll.retire_durable().unwrap();
+        catalog.drop_collection("r").unwrap();
+        assert!(!dir.join("r.ppdb").exists() && !dir.join("r.wal").exists());
+
+        // The stale handle: mutations fail unacknowledged, explicit
+        // compaction fails, and neither recreates a file.
+        let (c_sap, c_dce) = owner.encrypt_for_insert(&data[1], 1);
+        assert!(coll.insert(c_sap, c_dce).is_err());
+        assert!(coll.try_delete(0).is_err());
+        assert!(coll.compact().is_err());
+        assert!(
+            !dir.join("r.ppdb").exists() && !dir.join("r.wal").exists(),
+            "dropped collection's files resurrected"
+        );
+
+        let (reloaded, _) = Catalog::load_dir_durable(&dir, opts).unwrap();
+        assert!(reloaded.is_empty(), "dropped collection came back on restart");
         std::fs::remove_dir_all(&dir).ok();
     }
 

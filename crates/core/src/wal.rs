@@ -451,10 +451,22 @@ pub fn truncate_to(path: &Path, len: u64) -> std::io::Result<()> {
 #[derive(Debug)]
 pub struct WalWriter {
     file: File,
+    /// Length of the last known-good log prefix: every byte below it was
+    /// written by a fully successful append (and is covered by the ack
+    /// the caller issued). Bytes past it, if any, are the leftovers of a
+    /// failed append — see `dirty`.
     len: u64,
     policy: FsyncPolicy,
     /// Records appended since the last fsync (drives [`FsyncPolicy::EveryN`]).
     unsynced: u32,
+    /// A previous append failed partway: the file may hold bytes past
+    /// `len` — a torn frame from a partial `write_all`, or a complete
+    /// record whose fsync failed and which was therefore never
+    /// acknowledged or applied. Appending over it would bury a poisoned
+    /// frame under acknowledged records (replay truncates at the first
+    /// bad or non-applying frame, discarding everything behind it), so
+    /// the file must be rolled back to `len` before anything new lands.
+    dirty: bool,
 }
 
 impl WalWriter {
@@ -481,7 +493,7 @@ impl WalWriter {
             sync_dir(dir)?;
         }
         let file = OpenOptions::new().append(true).open(path)?;
-        Ok(Self { file, len: image.len() as u64, policy, unsynced: 0 })
+        Ok(Self { file, len: image.len() as u64, policy, unsynced: 0, dirty: false })
     }
 
     /// Opens an existing (already replayed and repaired) log for
@@ -489,7 +501,7 @@ impl WalWriter {
     pub fn open_append(path: &Path, policy: FsyncPolicy) -> std::io::Result<Self> {
         let file = OpenOptions::new().append(true).open(path)?;
         let len = file.metadata()?.len();
-        Ok(Self { file, len, policy, unsynced: 0 })
+        Ok(Self { file, len, policy, unsynced: 0, dirty: false })
     }
 
     /// Current log length in bytes (what compaction thresholds compare
@@ -525,8 +537,15 @@ impl WalWriter {
     }
 
     fn append_bytes(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        if self.dirty {
+            self.repair()?;
+        }
+        // Pessimistically dirty until both the write and any
+        // policy-required fsync succeed: a failure at either step means
+        // the file tail no longer matches the acknowledged history and
+        // must be repaired before the next record.
+        self.dirty = true;
         self.file.write_all(bytes)?;
-        self.len += bytes.len() as u64;
         self.unsynced += 1;
         match self.policy {
             FsyncPolicy::Always => self.sync()?,
@@ -537,6 +556,21 @@ impl WalWriter {
             }
             FsyncPolicy::Never => {}
         }
+        self.len += bytes.len() as u64;
+        self.dirty = false;
+        Ok(())
+    }
+
+    /// Rolls the file back to the last known-good length after a failed
+    /// append: truncates the torn / never-acknowledged suffix away and
+    /// fsyncs, so the next record lands exactly where replay expects it.
+    /// (A failed `sync_data` may have dropped dirty pages — truncating
+    /// rather than re-syncing means nothing depends on those bytes.)
+    fn repair(&mut self) -> std::io::Result<()> {
+        self.file.set_len(self.len)?;
+        self.file.sync_all()?;
+        self.unsynced = 0;
+        self.dirty = false;
         Ok(())
     }
 
@@ -545,6 +579,16 @@ impl WalWriter {
         self.file.sync_data()?;
         self.unsynced = 0;
         Ok(())
+    }
+
+    /// Plants the aftermath of a failed append — garbage bytes past the
+    /// known-good length with the writer marked dirty — without needing
+    /// a fault-injecting filesystem. Tests only.
+    #[cfg(test)]
+    pub(crate) fn simulate_failed_append(&mut self, garbage: &[u8]) {
+        self.file.write_all(garbage).unwrap();
+        self.file.sync_data().unwrap();
+        self.dirty = true;
     }
 }
 
@@ -696,6 +740,39 @@ mod tests {
         let out = replay(&std::fs::read(&path).unwrap(), base);
         assert_eq!(out.records.len(), 4);
         assert_eq!(out.records[3].0, WalRecord::Delete { id: 1 });
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// After a failed append (torn bytes on disk, no ack), the writer
+    /// repairs the file before the next record: the poisoned suffix is
+    /// truncated away, so later acknowledged records replay cleanly
+    /// instead of being discarded behind a bad frame.
+    #[test]
+    fn failed_append_is_repaired_before_the_next_record() {
+        let path = temp_path("repair");
+        let base = snapshot_id(b"snap");
+        let mut w = WalWriter::create_sealed(&path, base, FsyncPolicy::Always).unwrap();
+        w.append_insert(0, &[1.0], &dce([1.0, 2.0, 3.0, 4.0])).unwrap();
+        let good_len = w.log_len();
+        // A torn frame: plausible length prefix, then garbage that never
+        // got finished. Also covers the full-frame-but-fsync-failed case
+        // — either way the suffix was never acknowledged.
+        w.simulate_failed_append(&[0xFF; 13]);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), good_len + 13);
+        // The next append first rolls the file back to `good_len`, then
+        // lands cleanly right after the last acknowledged record.
+        w.append_delete(0).unwrap();
+        assert_eq!(w.log_len(), std::fs::metadata(&path).unwrap().len());
+        drop(w);
+        let out = replay(&std::fs::read(&path).unwrap(), base);
+        assert!(!out.truncated && !out.stale, "repair left damage behind");
+        assert_eq!(
+            out.records.iter().map(|(r, _)| r.clone()).collect::<Vec<_>>(),
+            vec![
+                WalRecord::Insert { id: 0, c_sap: vec![1.0], c_dce: dce([1.0, 2.0, 3.0, 4.0]) },
+                WalRecord::Delete { id: 0 },
+            ]
+        );
         std::fs::remove_file(&path).ok();
     }
 

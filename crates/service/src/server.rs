@@ -803,11 +803,6 @@ fn decode_name(name: &[u8]) -> Result<&str, (ErrorCode, String)> {
 const MAX_CREATE_DIM: u64 = 1 << 16;
 const MAX_CREATE_SHARDS: u16 = ppann_core::catalog::MAX_SHARDS as u16;
 
-/// The snapshot path of a collection in the data directory.
-fn snapshot_path(dir: &std::path::Path, name: &str) -> PathBuf {
-    dir.join(format!("{name}.{SNAPSHOT_EXT}"))
-}
-
 /// The guarded body of `CreateCollection` — name reservation, snapshot
 /// write, stats-slot registration. The caller holds the lifecycle lock
 /// (see `PerCollectionStats::lifecycle`) so a concurrent drop of the
@@ -864,17 +859,31 @@ fn drop_collection_locked(
     config: &ServiceConfig,
     name: &str,
 ) -> Result<(), (ErrorCode, String)> {
-    if catalog.get(name).is_none() {
+    let Some(coll) = catalog.get(name) else {
         return Err((ErrorCode::UnknownCollection, format!("unknown collection `{name}`")));
-    }
+    };
     // Delete the snapshot (and its WAL) before the in-memory drop: if
     // the files cannot go away the collection must not either, or a
-    // restart would resurrect it. Snapshot first — a crash in between
-    // leaves an orphan `.wal` that the loader ignores without its
-    // snapshot, while the reverse order would leave a snapshot that
-    // resurrects the collection minus its logged tail.
-    if let Some(dir) = &config.data_dir {
-        let snapshot = snapshot_path(dir, name);
+    // restart would resurrect it.
+    if coll.is_durable() {
+        // The deletion runs through the collection handle, under its
+        // WAL mutex, and marks the collection dropped — so a concurrent
+        // Insert that already resolved the handle (and could otherwise
+        // cross the compaction threshold and recreate both files after
+        // our delete) either finishes entirely before the files go away
+        // or fails unacknowledged after.
+        if let Err(e) = coll.retire_durable() {
+            return Err((ErrorCode::Internal, format!("delete of collection files failed: {e}")));
+        }
+    } else if let Some(dir) = &config.data_dir {
+        // A non-durable collection (booted via `Catalog::load_dir`
+        // without WAL attachment) may still have a snapshot in the data
+        // directory. It never writes files itself — no log, no
+        // compaction — so path-based removal has no recreate race.
+        // Snapshot first: a crash in between leaves an orphan `.wal`
+        // the loader ignores, while the reverse order would leave a
+        // snapshot that resurrects the collection minus its logged tail.
+        let snapshot = dir.join(format!("{name}.{SNAPSHOT_EXT}"));
         for path in [snapshot.clone(), wal_path_for(&snapshot)] {
             match std::fs::remove_file(&path) {
                 Ok(()) => {}
