@@ -414,7 +414,7 @@ impl Collection {
 
     /// Retires a durable collection at drop time: under the WAL mutex,
     /// removes its snapshot and log files and marks the log
-    /// [`WalState::Dropped`] — so a mutation racing the drop (already
+    /// `WalState::Dropped` — so a mutation racing the drop (already
     /// holding this handle) can neither append to the deleted log nor
     /// recreate the files through compaction, and a restart cannot
     /// resurrect the collection. Files already gone are fine; on any

@@ -1,11 +1,16 @@
-//! Blocking frame IO over byte streams.
+//! Frame IO over byte streams: blocking single-frame read/write for the
+//! client, plus the incremental [`FrameAssembler`] the server's epoll
+//! reactor feeds from edge-triggered reads.
 //!
-//! One frame in, one frame out — the protocol is strictly
-//! request/response per connection, so this module only needs two
-//! operations plus a poll-aware read for server workers that must notice a
-//! shutdown flag while parked on an idle connection.
+//! The blocking pair ([`read_frame`]/[`write_frame`]) serves the strictly
+//! request/response client side. The server side cannot block per frame —
+//! a non-blocking read delivers whatever the kernel has, which may be a
+//! partial header, a partial payload, or several pipelined frames at
+//! once — so it appends every chunk to a per-connection assembler and
+//! polls complete frames out of it, one at a time.
 
 use crate::wire::{parse_header, Frame, ProtocolError, HEADER_LEN};
+use bytes::Bytes;
 use std::io::{ErrorKind, Read, Write};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
@@ -131,11 +136,163 @@ pub fn read_frame<R: Read>(
     Ok(Some((frame, HEADER_LEN + len as usize)))
 }
 
+/// Incremental frame reassembly for non-blocking reads.
+///
+/// Bytes go in via [`Self::extend`] in whatever chunking the transport
+/// delivered them; complete frames come out via [`Self::poll_frame`] in
+/// wire order, byte-identical to what a blocking [`read_frame`] over the
+/// same stream would have produced (the `proptest_reassembly` test pins
+/// this equivalence under arbitrary chunkings).
+///
+/// Memory stays bounded without copies per chunk: the header's length
+/// field is validated against `max_frame` as soon as the 12 header bytes
+/// are in, so the buffer never grows past one maximal frame plus one
+/// transport read of pipelined successors.
+#[derive(Debug)]
+pub struct FrameAssembler {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf`: frames are drained by advancing this
+    /// cursor, and the buffer is compacted when it empties (the common
+    /// case) or when the dead prefix outgrows a page.
+    start: usize,
+    max_frame: u32,
+}
+
+/// Dead-prefix size past which [`FrameAssembler`] compacts eagerly
+/// instead of waiting for the buffer to empty.
+const COMPACT_THRESHOLD: usize = 4096;
+
+impl FrameAssembler {
+    /// An empty assembler enforcing `max_frame` on every header.
+    pub fn new(max_frame: u32) -> Self {
+        Self { buf: Vec::new(), start: 0, max_frame }
+    }
+
+    /// Appends one received chunk.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        } else if self.start > COMPACT_THRESHOLD {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed by a decoded frame.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// True when a frame has started arriving but is not yet complete —
+    /// the state the server's `frame_timeout` bounds (a slow-loris peer
+    /// sits here forever; DESIGN.md §7).
+    pub fn has_partial(&self) -> bool {
+        let pending = &self.buf[self.start..];
+        if pending.is_empty() {
+            return false;
+        }
+        match self.frame_len(pending) {
+            // A malformed or complete prefix is not "partial": the next
+            // `poll_frame` resolves it without further bytes.
+            Err(_) => false,
+            Ok(Some(total)) => pending.len() < total,
+            Ok(None) => true,
+        }
+    }
+
+    /// True when the next [`Self::poll_frame`] will return without more
+    /// input — a complete frame is buffered, or the buffered prefix is
+    /// already malformed and will surface as the error.
+    pub fn frame_pending(&self) -> bool {
+        let pending = &self.buf[self.start..];
+        match self.frame_len(pending) {
+            Err(_) => true,
+            Ok(Some(total)) => pending.len() >= total,
+            Ok(None) => false,
+        }
+    }
+
+    /// Total wire length of the frame starting at `pending[0]`, once the
+    /// header is in; `Ok(None)` while the header itself is incomplete.
+    fn frame_len(&self, pending: &[u8]) -> Result<Option<usize>, ProtocolError> {
+        if pending.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        let header: &[u8; HEADER_LEN] =
+            pending[..HEADER_LEN].try_into().expect("length checked above");
+        let (_, _, len) = parse_header(header, self.max_frame)?;
+        Ok(Some(HEADER_LEN + len as usize))
+    }
+
+    /// Decodes and consumes the next complete frame, returning it with
+    /// its wire size. `Ok(None)` means more bytes are needed; an error
+    /// means the stream is unrecoverable (framing is byte-positional, so
+    /// after a bad header or payload there is no resynchronization) and
+    /// the connection must close after the error reply.
+    pub fn poll_frame(&mut self) -> Result<Option<(Frame, usize)>, ProtocolError> {
+        let pending = &self.buf[self.start..];
+        if pending.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        let header: &[u8; HEADER_LEN] =
+            pending[..HEADER_LEN].try_into().expect("length checked above");
+        let (version, tag, len) = parse_header(header, self.max_frame)?;
+        let total = HEADER_LEN + len as usize;
+        if pending.len() < total {
+            return Ok(None);
+        }
+        let payload = Bytes::copy_from_slice(&pending[HEADER_LEN..total]);
+        let frame = Frame::decode_payload(version, tag, payload)?;
+        self.start += total;
+        Ok(Some((frame, total)))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::wire::DEFAULT_MAX_FRAME;
     use std::io::Cursor;
+
+    #[test]
+    fn assembler_handles_split_and_pipelined_chunks() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Frame::Hello { dim: 3 }).unwrap();
+        write_frame(&mut wire, &Frame::Stats { collection: None }).unwrap();
+
+        let mut asm = FrameAssembler::new(DEFAULT_MAX_FRAME);
+        // Byte-at-a-time delivery of the first frame...
+        let first_len = HEADER_LEN + 8;
+        for &b in &wire[..first_len - 1] {
+            asm.extend(&[b]);
+            assert!(asm.poll_frame().unwrap().is_none());
+            assert!(asm.has_partial());
+        }
+        // ...then the final byte of frame 1 coalesced with all of frame 2.
+        asm.extend(&wire[first_len - 1..]);
+        let (a, n1) = asm.poll_frame().unwrap().unwrap();
+        assert!(matches!(a, Frame::Hello { dim: 3 }));
+        assert_eq!(n1, first_len);
+        assert!(asm.frame_pending());
+        let (b, _) = asm.poll_frame().unwrap().unwrap();
+        assert!(matches!(b, Frame::Stats { collection: None }));
+        assert!(asm.poll_frame().unwrap().is_none());
+        assert_eq!(asm.buffered(), 0);
+        assert!(!asm.has_partial());
+    }
+
+    #[test]
+    fn assembler_rejects_bad_header_once_complete() {
+        let mut asm = FrameAssembler::new(DEFAULT_MAX_FRAME);
+        asm.extend(b"XXXX");
+        // Wrong magic, but the header is not complete yet: no verdict.
+        assert!(asm.poll_frame().unwrap().is_none());
+        asm.extend(&[0u8; 8]);
+        assert!(asm.frame_pending());
+        assert!(asm.poll_frame().is_err());
+    }
 
     #[test]
     fn stream_roundtrip() {

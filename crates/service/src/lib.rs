@@ -10,18 +10,22 @@
 //! * [`wire`] — the versioned, length-prefixed binary framing (`PPNW`).
 //!   Byte-level spec with worked hex examples: `PROTOCOL.md` at the
 //!   repository root, rendered into these docs as the [`spec`] module.
-//! * [`server`] — a `TcpListener` accept loop feeding a fixed worker
-//!   thread pool over a whole [`ppann_core::Catalog`] of named
-//!   collections (the single-backend [`serve`] entry point is a
-//!   one-collection catalog): connections multiplexed across the pool
-//!   (no worker is ever pinned to one peer), every request frame routed
-//!   to its collection's type-erased backend, concurrent searches under
-//!   the shared lock, whole-`SearchBatch` frames fanned across the
-//!   backend's batch executor, exclusive owner maintenance, a
-//!   disk-backed collection lifecycle (`--data-dir`), bounded accept
-//!   queue for backpressure, validated search knobs and batch sizes,
-//!   graceful shutdown, atomic [`ServiceStats`] both process-wide and
-//!   per collection.
+//! * [`server`] — a readiness-driven service core over a whole
+//!   [`ppann_core::Catalog`] of named collections (the single-backend
+//!   [`serve`] entry point is a one-collection catalog): one reactor
+//!   thread owns the listener, an edge-triggered one-shot `epoll` set,
+//!   and every connection's registration and deadline; a fixed worker
+//!   pool consumes ready connections from a queue, reassembles frames
+//!   incrementally, answers one request per wake and never blocks on a
+//!   peer (partial writes are buffered and flushed on writability).
+//!   Idle keep-alive connections park in the kernel at zero cost. Every
+//!   request frame routes to its collection's type-erased backend:
+//!   concurrent searches under the shared lock, whole-`SearchBatch`
+//!   frames fanned across the backend's batch executor, exclusive owner
+//!   maintenance, a disk-backed collection lifecycle (`--data-dir`),
+//!   validated search knobs and batch sizes, graceful shutdown, atomic
+//!   [`ServiceStats`] both process-wide and per collection (including
+//!   the reactor's parked/active/ready-queue gauges).
 //! * [`client`] — the blocking [`ServiceClient`] (single-frame, batched
 //!   and pipelined search; each with a `_in` variant targeting a named
 //!   collection, plus `list_collections`/`create_collection`/
@@ -67,8 +71,10 @@
 
 pub mod client;
 pub mod io;
+mod reactor;
 pub mod server;
 pub mod stats;
+mod sys;
 pub mod wire;
 
 /// The wire-protocol specification (`PROTOCOL.md`), rendered verbatim.

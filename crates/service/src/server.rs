@@ -1,19 +1,32 @@
-//! The thread-pooled TCP server.
+//! The readiness-driven TCP server: one epoll reactor, N workers.
 //!
 //! ```text
-//! TcpListener (accept loop, non-blocking + stop flag, connection cap)
-//!      │  bounded crossbeam channel (backpressure: accept parks when the
-//!      │  queue is full, so a flood of connections cannot exhaust memory)
+//! reactor thread ── owns: TcpListener · epoll set · eventfd waker
+//!      │                  token→conn registry · deadline heap
+//!      │   accept → register (EPOLLIN | EPOLLET | EPOLLONESHOT)
+//!      │   readiness event → push conn onto the ready queue
 //!      ▼
-//! N worker threads ◄─────► parked-connection queue
-//!      │  pop a connection, probe it without blocking, answer at most
-//!      │  ONE frame, push it back — workers are never owned by a single
-//!      ▼  peer, so parked keep-alive clients cannot pin or slow them
+//! ReadyQueue ◄──────────── requeue (more frames already buffered)
+//!      │
+//! N worker threads: pop a ready connection, flush its buffered
+//!      │  replies, reassemble frames from non-blocking reads, answer
+//!      ▼  at most ONE request, hand the connection back
 //! Catalog ── "default"  → collection (type-erased backend)
 //!        ├── "products" → collection      searches: shared lock
 //!        └── "docs"     → collection      batches: backend fan-out
 //!                                         maintenance: exclusive lock
 //! ```
+//!
+//! An idle parked connection costs *nothing*: it sits armed in the epoll
+//! set and is never visited until bytes arrive or its deadline passes —
+//! unlike the previous peek-rotation pool, where every worker paid one
+//! probe syscall per parked connection per pass. Workers only ever touch
+//! connections the kernel reported ready, answer exactly one request per
+//! wake (so a chatty pipelining peer cannot starve the rest), and never
+//! block on a peer: partial frames accumulate in a per-connection
+//! [`FrameAssembler`](crate::io::FrameAssembler), partial replies in a
+//! write buffer flushed on writability. See DESIGN.md §7 for why
+//! edge-triggered + one-shot rearm is the storm-free discipline.
 //!
 //! One process serves a whole [`Catalog`] of named collections: every
 //! request frame routes to one collection — a legacy nameless (version-1)
@@ -37,38 +50,39 @@
 //! §5 for the recovery protocol and OPERATIONS.md §9 for the durability
 //! knobs.
 //!
-//! Liveness guards, all configurable on [`ServiceConfig`]:
+//! Liveness guards, all configurable on [`ServiceConfig`] and all
+//! enforced by the reactor's deadline heap (they bind *parked*
+//! connections; a checked-out connection never blocks its worker):
 //!
 //! * `handshake_timeout` — a fresh connection must deliver its `Hello`
 //!   within this deadline or it is dropped.
-//! * `idle_timeout` — an established connection idle this long is dropped
-//!   (reclaims the file descriptor; it never holds a worker, see above).
+//! * `idle_timeout` — an established connection idle this long is
+//!   dropped (reclaims the file descriptor; it never holds a worker).
 //! * `frame_timeout` — once the first byte of a frame has arrived, the
 //!   whole frame must arrive within this deadline (bounds slow-loris
-//!   peers that drip one byte per poll); writes carry the same timeout.
+//!   peers that drip one byte per poll); a peer that stops reading its
+//!   buffered replies is dropped by the same deadline.
 //! * `max_connections` — live-connection cap, enforced at accept time.
 //! * `max_search_k` — upper bound on the `Search` knobs `k`/`k_prime`/
 //!   `ef_search`, which size server-side allocations and work.
 //! * `max_batch` — upper bound on queries per `SearchBatch` frame; with
 //!   `max_search_k` it caps the total work one frame can demand, and it
-//!   bounds how long one batch holds the worker answering it (the FIFO
-//!   rotation keeps serving everyone else meanwhile).
+//!   bounds how long one batch holds the worker answering it.
 //!
 //! Graceful shutdown: an owner-authenticated `Shutdown` frame (or
-//! [`ServiceHandle::request_stop`]) raises a flag; the accept loop stops
-//! admitting connections, workers finish the frame they are answering,
-//! notice the flag at their next poll, and exit.
+//! [`ServiceHandle::request_stop`]) raises a flag and wakes the reactor;
+//! the reactor stops accepting, closes every parked socket, and releases
+//! the workers, which finish the request they are answering and exit.
 //!
-//! See `PROTOCOL.md` for the wire format and OPERATIONS.md for running
-//! this in production.
+//! See `PROTOCOL.md` for the wire format and OPERATIONS.md §2 for
+//! sizing the reactor + worker deployment.
 
-use crate::io::{read_frame, write_frame, FrameReadError};
+use crate::reactor::{deadline_after, Command, Conn, ConnState, Interest, Reactor, Shared};
 use crate::stats::ServiceStats;
 use crate::wire::{
     CollectionEntry, ErrorCode, Frame, WireName, COLLECTION_KIND_CLOUD, COLLECTION_KIND_SHARDED,
     DEFAULT_MAX_FRAME,
 };
-use crossbeam::channel;
 use parking_lot::{Mutex, RwLock};
 use ppann_core::catalog::{validate_collection_name, Catalog, Collection};
 use ppann_core::wal::wal_path_for;
@@ -77,30 +91,29 @@ use ppann_core::{
     EncryptedQuery, FsyncPolicy, MaintainableServer, QueryBackend, SearchParams, SharedServer,
     DEFAULT_COLLECTION, DEFAULT_COMPACT_BYTES, SNAPSHOT_EXT,
 };
-use std::collections::{HashMap, VecDeque};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Socket read timeout while a frame is being received: each expiry lets
-/// `read_full` re-check the stop flag and the frame deadline without
-/// losing partial progress. (Idle connections are probed with a
-/// *non-blocking* peek, so this never delays the rotation.)
-const POLL: Duration = Duration::from_millis(5);
+/// Read-chunk size for draining a ready socket into its assembler.
+const READ_CHUNK: usize = 64 * 1024;
 
-/// How long a worker or the accept loop sleeps when nothing is pending.
-const ACCEPT_POLL: Duration = Duration::from_millis(5);
+/// Cap on bytes pulled off one connection per wake. A peer streaming
+/// pipelined requests faster than they are served is requeued behind
+/// everyone else instead of monopolizing its worker's read loop.
+const MAX_READ_PER_WAKE: usize = 1 << 20;
 
 /// Server configuration.
 #[derive(Clone, Debug)]
 pub struct ServiceConfig {
     /// Bind address; use port 0 for an OS-assigned port (tests do).
     pub addr: String,
-    /// Worker threads, i.e. frames served concurrently. Connections are
-    /// multiplexed across the pool, so this does not cap how many clients
-    /// may stay connected — `max_connections` does.
+    /// Worker threads, i.e. requests served concurrently. Connections
+    /// are parked in the reactor's epoll set, so this does not cap how
+    /// many clients may stay connected — `max_connections` does.
     pub workers: usize,
     /// Maximum accepted frame payload in bytes; larger frames are refused
     /// with an error frame before any allocation.
@@ -134,12 +147,14 @@ pub struct ServiceConfig {
     /// How long a fresh connection may take to send its `Hello`.
     pub handshake_timeout: Duration,
     /// How long an established connection may sit idle between frames
-    /// before it is dropped. Parked connections never hold a worker, so
-    /// this reclaims file descriptors, not threads — it can stay generous.
+    /// before it is dropped. Parked connections cost no CPU at all under
+    /// the reactor, so this reclaims file descriptors, not threads — it
+    /// can stay generous.
     pub idle_timeout: Duration,
     /// Once a frame's first byte has arrived, the rest must arrive within
-    /// this deadline; replies are written under the same timeout. Bounds
-    /// how long one slow peer can occupy a worker per frame.
+    /// this deadline; a peer that stops draining its buffered replies is
+    /// dropped under the same deadline. Bounds slow-loris senders and
+    /// never-reading receivers alike.
     pub frame_timeout: Duration,
     /// Live-connection cap; accepts beyond it are dropped immediately.
     pub max_connections: usize,
@@ -153,9 +168,9 @@ pub struct ServiceConfig {
     /// `max_search_k` this caps the total work one frame can demand
     /// (`max_batch × max_search_k` knob-sized searches); a batch above the
     /// bound — or an empty one — gets [`ErrorCode::BadRequest`]. It also
-    /// bounds how long one batch occupies the worker answering it, which
-    /// is what keeps the FIFO connection rotation fair: other workers keep
-    /// rotating the parked queue while one serves a full batch.
+    /// bounds how long one batch occupies the worker answering it — the
+    /// other workers keep consuming the ready queue meanwhile, so a giant
+    /// batch cannot starve keep-alive peers.
     pub max_batch: usize,
     /// Worker threads a `SearchBatch` fans out over (clamped to the batch
     /// size by `BatchExecutor`). `0` means **auto**: the worker count
@@ -337,7 +352,7 @@ pub struct ServiceHandle {
     addr: SocketAddr,
     stats: Arc<ServiceStats>,
     catalog: Arc<Catalog>,
-    stop: Arc<AtomicBool>,
+    shared: Arc<Shared>,
     threads: Vec<std::thread::JoinHandle<()>>,
 }
 
@@ -369,18 +384,19 @@ impl ServiceHandle {
         self.catalog.total_live() as u64
     }
 
-    /// Raises the stop flag: stop accepting, drain, exit. Returns
-    /// immediately; pair with [`Self::join`] to wait.
+    /// Raises the stop flag and wakes the reactor: stop accepting, close
+    /// parked connections, drain, exit. Returns immediately; pair with
+    /// [`Self::join`] to wait.
     pub fn request_stop(&self) {
-        self.stop.store(true, Ordering::Relaxed);
+        self.shared.request_stop();
     }
 
     /// True once a stop was requested (locally or via a `Shutdown` frame).
     pub fn stop_requested(&self) -> bool {
-        self.stop.load(Ordering::Relaxed)
+        self.shared.stopping()
     }
 
-    /// Waits for the accept loop and every worker to exit.
+    /// Waits for the reactor and every worker to exit.
     pub fn join(mut self) {
         self.join_inner();
     }
@@ -408,53 +424,29 @@ impl std::fmt::Debug for ServiceHandle {
     }
 }
 
-/// One live client connection as it moves between workers and the parked
-/// queue.
-struct Conn {
-    stream: TcpStream,
-    /// Completed the `Hello`/`HelloAck` handshake.
-    ready: bool,
-    /// Reclaim deadline: `Hello` arrival (before the handshake) or idle
-    /// limit (after), refreshed whenever a frame is served.
-    deadline: Instant,
-    /// Live-connection gauge behind `max_connections`; decremented when
-    /// the connection drops, however it dies.
-    live: Arc<AtomicUsize>,
-}
-
-impl Drop for Conn {
-    fn drop(&mut self) {
-        self.live.fetch_sub(1, Ordering::Relaxed);
-    }
-}
-
-/// What to do with a connection after one poll step.
+/// What to do with a connection after one answered request.
 enum ConnFate {
-    /// Still healthy: return it to the parked queue.
+    /// Still healthy: keep serving it.
     Keep,
-    /// Drop it: EOF, blown deadline, framing error, failed write, or
-    /// shutdown.
+    /// Finish up: flush buffered replies, then close.
     Close,
 }
 
-/// What one worker poll step accomplished.
-enum Poll {
-    /// A frame was read and answered; the connection goes back parked.
-    Served,
-    /// No bytes pending; the connection goes back parked.
-    Idle,
-    /// The connection was dropped.
-    Closed,
+/// The verdict of one worker wake.
+enum Wake {
+    /// More complete frames (or possibly-unread bytes) are pending:
+    /// hand the connection straight back to the ready queue, *without*
+    /// rearming epoll — it is still checked out, so no second worker
+    /// can race us, and peers already waiting get served in between.
+    Requeue,
+    /// Nothing serveable until the kernel reports readiness again: park
+    /// via the reactor with this interest and deadline.
+    Park(Interest, Instant),
+    /// Done: deregister and drop.
+    Close,
 }
 
-/// `now + d`, saturating far into the future instead of panicking when a
-/// caller configures an effectively-infinite timeout.
-fn deadline_after(d: Duration) -> Instant {
-    let now = Instant::now();
-    now.checked_add(d).unwrap_or_else(|| now + Duration::from_secs(365 * 24 * 3600))
-}
-
-/// Binds the listener and spawns the accept loop plus worker pool over a
+/// Binds the listener and spawns the reactor plus worker pool over a
 /// single shared backend, served as the one-collection catalog
 /// `{"default"}` — the legacy entry point, byte-compatible with version-1
 /// clients. Returns once the socket is bound; serving continues in the
@@ -476,7 +468,7 @@ where
     serve_catalog(Arc::new(catalog), config)
 }
 
-/// Binds the listener and spawns the accept loop plus worker pool over a
+/// Binds the listener and spawns the reactor plus worker pool over a
 /// whole [`Catalog`]: one process, many named collections, heterogeneous
 /// dimensionalities and backend shapes. Nameless (version-1) frames route
 /// to the `"default"` collection when the catalog holds one.
@@ -494,225 +486,286 @@ pub fn serve_catalog(
     for info in catalog.list() {
         coll_stats.insert(&info.name);
     }
-    let stop = Arc::new(AtomicBool::new(false));
+    let shared = Arc::new(Shared::new(Arc::clone(&stats))?);
     let workers = config.workers.max(1);
-
-    // Fresh connections: a small bounded hand-off queue. When it fills,
-    // the accept loop parks — backpressure instead of unbounded buffering.
-    let (conn_tx, conn_rx) = channel::bounded::<Conn>(workers * 4);
-    let conn_rx = Arc::new(Mutex::new(conn_rx));
-    // Established connections between frames. Workers pop one, poll it
-    // for a single frame, and push it back — no worker is pinned to a
-    // peer, so `workers` parked keep-alive clients cannot starve the
-    // pool. Bounded by `max_connections`, which the accept loop enforces.
-    let parked = Arc::new(Mutex::new(VecDeque::<Conn>::new()));
-    let live = Arc::new(AtomicUsize::new(0));
 
     let mut threads = Vec::with_capacity(workers + 1);
     for _ in 0..workers {
-        let conn_rx = Arc::clone(&conn_rx);
-        let parked = Arc::clone(&parked);
+        let shared = Arc::clone(&shared);
         let catalog = Arc::clone(&catalog);
         let coll_stats = Arc::clone(&coll_stats);
         let stats = Arc::clone(&stats);
-        let stop = Arc::clone(&stop);
         let config = config.clone();
         threads.push(std::thread::spawn(move || {
-            // Consecutive polls that found nothing; once a full pass over
-            // the parked queue comes up dry, sleep instead of spinning.
-            let mut idle_streak = 0usize;
-            loop {
-                if stop.load(Ordering::Relaxed) {
-                    break;
-                }
-                // Move one fresh accept (if any) into the shared FIFO,
-                // then poll the connection at its front: one queue means
-                // every connection — parked keep-alive peers and fresh
-                // handshakes alike — is served round-robin, and none can
-                // shut the others out. (Each lock covers only its queue
-                // operation.)
-                if let Ok(conn) = conn_rx.lock().try_recv() {
-                    parked.lock().push_back(conn);
-                }
-                let Some(mut conn) = parked.lock().pop_front() else {
-                    idle_streak = 0;
-                    std::thread::sleep(ACCEPT_POLL);
-                    continue;
-                };
-                // A panic while serving one frame must not take the worker
-                // down with it (the vendored lock recovers from poisoning,
-                // so the backend stays serviceable too).
-                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    poll_connection(&mut conn, &catalog, &coll_stats, &config, &stats, &stop)
-                }));
-                match outcome {
-                    Ok(Poll::Served) => {
-                        idle_streak = 0;
-                        parked.lock().push_back(conn);
-                    }
-                    Ok(Poll::Idle) => {
-                        idle_streak += 1;
-                        let len = {
-                            let mut q = parked.lock();
-                            q.push_back(conn);
-                            q.len()
-                        };
-                        if idle_streak >= len {
-                            // A full pass found nothing. Sleep longer the
-                            // more idle connections there are, so a big
-                            // parked pool costs bounded CPU (~1 probe
-                            // syscall per connection per pass) at the
-                            // price of a little idle latency, capped at
-                            // 50 ms for the default 1024-connection pool.
-                            idle_streak = 0;
-                            let nap = ACCEPT_POLL + Duration::from_micros(len as u64 * 50);
-                            std::thread::sleep(nap.min(Duration::from_millis(50)));
-                        }
-                    }
-                    Ok(Poll::Closed) => idle_streak = 0,
-                    Err(_) => {
-                        // Panicked mid-frame: tell the peer it hit a
-                        // server bug (not a network failure) before the
-                        // connection drops.
-                        idle_streak = 0;
-                        send_error(
-                            &mut conn.stream,
-                            &stats,
-                            ErrorCode::Internal,
-                            "server failed while answering".into(),
-                        );
-                    }
-                }
+            while let Some(conn) = shared.ready.pop(&stats) {
+                serve_wake(&conn, &catalog, &coll_stats, &config, &stats, &shared);
             }
         }));
     }
 
-    {
-        let stop = Arc::clone(&stop);
-        let config = config.clone();
-        let live = Arc::clone(&live);
-        threads.push(std::thread::spawn(move || {
-            loop {
-                if stop.load(Ordering::Relaxed) {
-                    break;
-                }
-                match listener.accept() {
-                    Ok((stream, _peer)) => {
-                        // Live-connection cap: shed at accept time.
-                        if live.load(Ordering::Relaxed) >= config.max_connections {
-                            drop(stream);
-                            continue;
-                        }
-                        // Parked sockets live in non-blocking mode (one
-                        // cheap peek per rotation); workers flip them to
-                        // blocking — with the short read timeout below —
-                        // only while receiving a frame.
-                        let ok = stream.set_read_timeout(Some(POLL)).is_ok()
-                            && stream.set_write_timeout(Some(config.frame_timeout)).is_ok()
-                            && stream.set_nodelay(true).is_ok()
-                            && stream.set_nonblocking(true).is_ok();
-                        if !ok {
-                            continue;
-                        }
-                        live.fetch_add(1, Ordering::Relaxed);
-                        let conn = Conn {
-                            stream,
-                            ready: false,
-                            deadline: deadline_after(config.handshake_timeout),
-                            live: Arc::clone(&live),
-                        };
-                        if conn_tx.send(conn).is_err() {
-                            break; // all workers gone
-                        }
-                    }
-                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(ACCEPT_POLL);
-                    }
-                    Err(_) => std::thread::sleep(ACCEPT_POLL),
-                }
-            }
-            // Dropping conn_tx disconnects the queue; idle workers exit.
-        }));
-    }
+    let reactor = Reactor::new(
+        listener,
+        Arc::clone(&shared),
+        config.max_connections,
+        config.max_frame,
+        config.handshake_timeout,
+    )?;
+    threads.push(std::thread::spawn(move || reactor.run()));
 
-    Ok(ServiceHandle { addr, stats, catalog, stop, threads })
+    Ok(ServiceHandle { addr, stats, catalog, shared, threads })
 }
 
-/// One multiplexing step: peek (without blocking) for pending bytes and,
-/// if a frame is waiting, read and answer exactly one. An idle parked
-/// connection costs each pass through the queue microseconds — not a
-/// worker — so the rotation stays fast no matter how many keep-alive
-/// peers are parked.
-fn poll_connection(
-    conn: &mut Conn,
+/// One worker wake: drive the connection as far as one answered request
+/// allows, then hand it back — to the ready queue, to the reactor, or to
+/// the grave.
+fn serve_wake(
+    conn: &Arc<Conn>,
     catalog: &Catalog,
     coll_stats: &PerCollectionStats,
     config: &ServiceConfig,
     stats: &ServiceStats,
-    stop: &AtomicBool,
-) -> Poll {
-    // Parked sockets are in non-blocking mode, so the probe is a single
-    // syscall; the socket flips to blocking-with-timeout only for the
-    // frame read below, and back before re-parking.
-    let mut probe = [0u8; 1];
-    match conn.stream.peek(&mut probe) {
-        Ok(0) => return Poll::Closed, // clean EOF
-        Ok(_) => {
-            if conn.stream.set_nonblocking(false).is_err() {
-                return Poll::Closed;
-            }
-        }
-        Err(e)
-            if matches!(
-                e.kind(),
-                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-            ) =>
-        {
-            // Idle: requeue until its handshake/idle deadline passes.
-            return if Instant::now() >= conn.deadline { Poll::Closed } else { Poll::Idle };
-        }
-        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => return Poll::Idle,
-        Err(_) => return Poll::Closed,
-    }
-
-    // Bytes are pending: the whole frame must now arrive within
-    // frame_timeout (or the handshake deadline, before the Hello) — a
-    // peer dripping one byte per poll cannot hold the worker past that.
-    let read_deadline =
-        if conn.ready { deadline_after(config.frame_timeout) } else { conn.deadline };
-    let (frame, frame_bytes) =
-        match read_frame(&mut conn.stream, config.max_frame, Some(stop), Some(read_deadline)) {
-            Ok(Some((frame, n))) => {
-                stats.add_bytes_in(n as u64);
-                (frame, n as u64)
-            }
-            Ok(None) | Err(FrameReadError::Stopped) | Err(FrameReadError::TimedOut) => {
-                return Poll::Closed
-            }
-            Err(FrameReadError::Protocol(e)) => {
-                // Framing error: answer, then close — stream sync is gone.
-                send_error(&mut conn.stream, stats, e.error_code(), e.to_string());
-                return Poll::Closed;
-            }
-            Err(FrameReadError::Io(_)) => return Poll::Closed,
-        };
-
-    let fate = if conn.ready {
-        serve_frame(conn, frame, frame_bytes, catalog, coll_stats, config, stats, stop)
-    } else {
-        serve_hello(conn, frame, catalog, stats)
+    shared: &Shared,
+) {
+    let verdict = {
+        let mut state = conn.state.lock();
+        drive(conn, &mut state, catalog, coll_stats, config, stats, shared)
     };
-    match fate {
-        ConnFate::Keep => {
-            // Back to non-blocking before re-parking (probe invariant).
-            if conn.stream.set_nonblocking(true).is_err() {
-                return Poll::Closed;
+    match verdict {
+        Wake::Requeue => {
+            if let Err(conn) = shared.ready.push(Arc::clone(conn), stats) {
+                // Queue closed for shutdown: dispose of our checkout.
+                stats.conns_active_sub(1);
+                drop(conn);
             }
-            conn.deadline = deadline_after(config.idle_timeout);
-            Poll::Served
         }
-        ConnFate::Close => Poll::Closed,
+        Wake::Park(interest, deadline) => {
+            shared.send(Command::Rearm { conn: Arc::clone(conn), interest, deadline });
+        }
+        Wake::Close => {
+            shared.send(Command::Close { conn: Arc::clone(conn) });
+        }
     }
+}
+
+/// The per-wake state machine, run under the connection's state lock.
+fn drive(
+    conn: &Conn,
+    st: &mut ConnState,
+    catalog: &Catalog,
+    coll_stats: &PerCollectionStats,
+    config: &ServiceConfig,
+    stats: &ServiceStats,
+    shared: &Shared,
+) -> Wake {
+    // Step 1: move buffered reply bytes toward the kernel. A connection
+    // with replies still pending after the flush serves nothing new —
+    // that is the backpressure that stops a peer from pipelining fresh
+    // work while refusing to take answers.
+    if flush(conn, st).is_err() {
+        return Wake::Close;
+    }
+    if st.closing {
+        return finish_closing(conn, st, config, shared);
+    }
+    if st.pending_write() > 0 {
+        return Wake::Park(Interest::Write, write_deadline(st, config));
+    }
+
+    // Step 2: obtain the next complete frame, reading edge-triggered
+    // chunks into the assembler as needed. The loop ends this wake with
+    // a frame, a park (nothing serveable), or a close (EOF/error).
+    let mut saw_wouldblock = false;
+    let mut saw_eof = false;
+    let mut read_total = 0usize;
+    let (frame, wire_bytes) = loop {
+        match st.assembler.poll_frame() {
+            Ok(Some(pair)) => break pair,
+            Ok(None) => {}
+            Err(e) => {
+                // Framing violation: answer, then close — byte-positional
+                // framing has no resynchronization point.
+                send_error(&mut st.write_buf, stats, e.error_code(), e.to_string());
+                st.closing = true;
+                return finish_closing(conn, st, config, shared);
+            }
+        }
+        if saw_eof {
+            // Peer closed with no complete frame left: a clean boundary
+            // closes cleanly, a torn partial is abandoned the same way
+            // (there is nobody left to answer).
+            return Wake::Close;
+        }
+        if read_total >= MAX_READ_PER_WAKE {
+            // Yield to other ready connections; bytes still in the
+            // kernel re-surface on the next wake because the connection
+            // is requeued, not rearmed.
+            note_partial(st);
+            return Wake::Requeue;
+        }
+        if saw_wouldblock {
+            // Kernel drained, frame incomplete: park for more bytes.
+            note_partial(st);
+            return Wake::Park(Interest::Read, read_deadline(st, config));
+        }
+        let mut buf = [0u8; READ_CHUNK];
+        match (&conn.stream).read(&mut buf) {
+            Ok(0) => saw_eof = true,
+            Ok(n) => {
+                st.assembler.extend(&buf[..n]);
+                read_total += n;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => saw_wouldblock = true,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return Wake::Close,
+        }
+    };
+    st.partial_since = None;
+    stats.add_bytes_in(wire_bytes as u64);
+
+    // Step 3: answer exactly one request. A panic while serving must not
+    // take the worker down with it (the vendored lock recovers from
+    // poisoning, so the backend stays serviceable too); tell the peer it
+    // hit a server bug, not a network failure.
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if st.ready {
+            serve_frame(st, frame, wire_bytes as u64, catalog, coll_stats, config, stats, shared)
+        } else {
+            serve_hello(st, frame, catalog, stats)
+        }
+    }));
+    let fate = match outcome {
+        Ok(fate) => fate,
+        Err(_) => {
+            send_error(
+                &mut st.write_buf,
+                stats,
+                ErrorCode::Internal,
+                "server failed while answering".into(),
+            );
+            ConnFate::Close
+        }
+    };
+
+    // Step 4: flush the reply and decide the connection's next home.
+    if flush(conn, st).is_err() {
+        return Wake::Close;
+    }
+    match fate {
+        ConnFate::Close => {
+            st.closing = true;
+            finish_closing(conn, st, config, shared)
+        }
+        ConnFate::Keep => {
+            if st.pending_write() > 0 {
+                // Reply partially buffered: wait for writability, and do
+                // not serve pipelined successors until the peer drains.
+                Wake::Park(Interest::Write, write_deadline(st, config))
+            } else if st.assembler.frame_pending() || !saw_wouldblock {
+                // One request per wake: the next buffered frame (or the
+                // bytes still sitting in the kernel) waits its turn
+                // behind every other ready connection.
+                Wake::Requeue
+            } else {
+                note_partial(st);
+                Wake::Park(Interest::Read, read_deadline(st, config))
+            }
+        }
+    }
+}
+
+/// Starts the slow-loris clock when a partial frame is buffered, stops
+/// it when the buffer is at a frame boundary.
+fn note_partial(st: &mut ConnState) {
+    if st.assembler.has_partial() {
+        if st.partial_since.is_none() {
+            st.partial_since = Some(Instant::now());
+        }
+    } else {
+        st.partial_since = None;
+    }
+}
+
+/// The deadline for a read-parked connection: `Hello` arrival before the
+/// handshake, frame completion while one is partially received, idle
+/// reclamation otherwise.
+fn read_deadline(st: &ConnState, config: &ServiceConfig) -> Instant {
+    if !st.ready {
+        return st.handshake_deadline;
+    }
+    if let Some(since) = st.partial_since {
+        return since
+            .checked_add(config.frame_timeout)
+            .unwrap_or_else(|| deadline_after(config.frame_timeout));
+    }
+    deadline_after(config.idle_timeout)
+}
+
+/// The deadline for a write-parked connection: `frame_timeout` from the
+/// moment the reply bytes first failed to flush — a peer that never
+/// reads loses the connection, without ever blocking a worker.
+fn write_deadline(st: &mut ConnState, config: &ServiceConfig) -> Instant {
+    let since = *st.write_since.get_or_insert_with(Instant::now);
+    since.checked_add(config.frame_timeout).unwrap_or_else(|| deadline_after(config.frame_timeout))
+}
+
+/// Drives a closing connection: flush the goodbye, then close. During
+/// service shutdown the reactor may already be gone, so the flush happens
+/// here, bounded and blocking-by-retry, instead of through a rearm.
+fn finish_closing(
+    conn: &Conn,
+    st: &mut ConnState,
+    config: &ServiceConfig,
+    shared: &Shared,
+) -> Wake {
+    if flush(conn, st).is_err() {
+        return Wake::Close;
+    }
+    if st.pending_write() == 0 {
+        return Wake::Close;
+    }
+    if shared.stopping() {
+        let deadline = deadline_after(config.frame_timeout.min(Duration::from_secs(2)));
+        while st.pending_write() > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+            if flush(conn, st).is_err() {
+                break;
+            }
+        }
+        return Wake::Close;
+    }
+    Wake::Park(Interest::Write, write_deadline(st, config))
+}
+
+/// Non-blocking flush of the reply buffer; the buffer is compacted when
+/// it drains (common case) or when the dead prefix grows large. `Err`
+/// means the peer is unwritable and the connection should close.
+fn flush(conn: &Conn, st: &mut ConnState) -> std::io::Result<()> {
+    while st.write_pos < st.write_buf.len() {
+        match (&conn.stream).write(&st.write_buf[st.write_pos..]) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    "peer accepted zero bytes",
+                ))
+            }
+            Ok(n) => st.write_pos += n,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    if st.write_pos == st.write_buf.len() {
+        st.write_buf.clear();
+        st.write_pos = 0;
+        st.write_since = None;
+    } else {
+        if st.write_pos >= READ_CHUNK {
+            st.write_buf.drain(..st.write_pos);
+            st.write_pos = 0;
+        }
+        st.write_since.get_or_insert_with(Instant::now);
+    }
+    Ok(())
 }
 
 /// Handles the first frame of a connection, which must be a `Hello` with
@@ -721,7 +774,12 @@ fn poll_connection(
 /// no default collection the ack reports `dim = 0` (heterogeneous; use
 /// `ListCollections`) and the catalog-wide live total, and only a
 /// `dim = 0` Hello passes.
-fn serve_hello(conn: &mut Conn, frame: Frame, catalog: &Catalog, stats: &ServiceStats) -> ConnFate {
+fn serve_hello(
+    st: &mut ConnState,
+    frame: Frame,
+    catalog: &Catalog,
+    stats: &ServiceStats,
+) -> ConnFate {
     match frame {
         Frame::Hello { dim } => {
             let default = catalog.default_collection();
@@ -737,19 +795,16 @@ fn serve_hello(conn: &mut Conn, frame: Frame, catalog: &Catalog, stats: &Service
                          send dim 0 and pick a collection by name"
                     ),
                 };
-                send_error(&mut conn.stream, stats, ErrorCode::DimMismatch, detail);
+                send_error(&mut st.write_buf, stats, ErrorCode::DimMismatch, detail);
                 return ConnFate::Close;
             }
-            conn.ready = true;
-            if send(&mut conn.stream, stats, &Frame::HelloAck { dim: served_dim, live }) {
-                ConnFate::Keep
-            } else {
-                ConnFate::Close
-            }
+            st.ready = true;
+            send(&mut st.write_buf, stats, &Frame::HelloAck { dim: served_dim, live });
+            ConnFate::Keep
         }
         _ => {
             send_error(
-                &mut conn.stream,
+                &mut st.write_buf,
                 stats,
                 ErrorCode::BadRequest,
                 "expected Hello first".into(),
@@ -909,31 +964,33 @@ fn drop_collection_locked(
     }
 }
 
-/// Answers one post-handshake request frame.
+/// Answers one post-handshake request frame into the connection's write
+/// buffer. `ConnFate::Close` means flush-then-close (the reply — if any —
+/// still reaches the peer).
 #[allow(clippy::too_many_arguments)]
 fn serve_frame(
-    conn: &mut Conn,
+    st: &mut ConnState,
     frame: Frame,
     frame_bytes: u64,
     catalog: &Catalog,
     coll_stats: &PerCollectionStats,
     config: &ServiceConfig,
     stats: &ServiceStats,
-    stop: &AtomicBool,
+    shared: &Shared,
 ) -> ConnFate {
-    let conn = &mut conn.stream;
+    let out = &mut st.write_buf;
     match frame {
         Frame::Search { collection, params, query } => {
             let (coll, cstats) = match resolve_collection(&collection, catalog, coll_stats) {
                 Ok(found) => found,
                 Err((code, msg)) => {
-                    send_error(conn, stats, code, msg);
+                    send_error(out, stats, code, msg);
                     return ConnFate::Keep;
                 }
             };
             cstats.add_bytes_in(frame_bytes);
             if let Some(msg) = validate_query(&query, &params, coll.dim(), config) {
-                send_error_counted(conn, &[stats, &cstats], ErrorCode::BadRequest, msg);
+                send_error_counted(out, &[stats, &cstats], ErrorCode::BadRequest, msg);
                 return ConnFate::Keep;
             }
             let started = Instant::now();
@@ -941,13 +998,14 @@ fn serve_frame(
             let elapsed = started.elapsed();
             stats.record_query(elapsed);
             cstats.record_query(elapsed);
-            keep_if(send_counted(conn, &[stats, &cstats], &Frame::SearchResult(outcome)))
+            send_counted(out, &[stats, &cstats], &Frame::SearchResult(outcome));
+            ConnFate::Keep
         }
         Frame::SearchBatch { collection, params, queries } => {
             let (coll, cstats) = match resolve_collection(&collection, catalog, coll_stats) {
                 Ok(found) => found,
                 Err((code, msg)) => {
-                    send_error(conn, stats, code, msg);
+                    send_error(out, stats, code, msg);
                     return ConnFate::Keep;
                 }
             };
@@ -957,7 +1015,7 @@ fn serve_frame(
             // buggy client would silently accept.
             if queries.is_empty() {
                 send_error_counted(
-                    conn,
+                    out,
                     &[stats, &cstats],
                     ErrorCode::BadRequest,
                     "empty batch".into(),
@@ -967,11 +1025,11 @@ fn serve_frame(
             // The batch bound caps the total work one frame can demand
             // (max_batch × max_search_k knob-sized searches) and bounds
             // how long this worker is occupied — the other workers keep
-            // rotating the parked-connection FIFO meanwhile, so a giant
-            // batch cannot starve keep-alive peers.
+            // consuming the ready queue meanwhile, so a giant batch
+            // cannot starve keep-alive peers.
             if queries.len() > config.max_batch {
                 send_error_counted(
-                    conn,
+                    out,
                     &[stats, &cstats],
                     ErrorCode::BadRequest,
                     format!(
@@ -986,7 +1044,7 @@ fn serve_frame(
             for (qi, query) in queries.iter().enumerate() {
                 if let Some(msg) = validate_query(query, &params, dim, config) {
                     send_error_counted(
-                        conn,
+                        out,
                         &[stats, &cstats],
                         ErrorCode::BadRequest,
                         format!("batch query {qi}: {msg}"),
@@ -1003,7 +1061,7 @@ fn serve_frame(
             let reply_bound: u64 = 8 + queries.iter().map(|q| 56 + 12 * q.k as u64).sum::<u64>();
             if reply_bound > config.max_frame as u64 {
                 send_error_counted(
-                    conn,
+                    out,
                     &[stats, &cstats],
                     ErrorCode::BadRequest,
                     format!(
@@ -1031,17 +1089,18 @@ fn serve_frame(
                 stats.record_query(elapsed);
                 cstats.record_query(elapsed);
             }
-            keep_if(send_counted(conn, &[stats, &cstats], &Frame::SearchBatchResult(outcomes)))
+            send_counted(out, &[stats, &cstats], &Frame::SearchBatchResult(outcomes));
+            ConnFate::Keep
         }
         Frame::Insert { collection, token, c_sap, c_dce } => {
             if !authorized(config, token) {
-                send_error(conn, stats, ErrorCode::Unauthorized, "bad owner token".into());
+                send_error(out, stats, ErrorCode::Unauthorized, "bad owner token".into());
                 return ConnFate::Keep;
             }
             let (coll, cstats) = match resolve_collection(&collection, catalog, coll_stats) {
                 Ok(found) => found,
                 Err((code, msg)) => {
-                    send_error(conn, stats, code, msg);
+                    send_error(out, stats, code, msg);
                     return ConnFate::Keep;
                 }
             };
@@ -1049,7 +1108,7 @@ fn serve_frame(
             let dim = coll.dim();
             if c_sap.len() != dim {
                 send_error_counted(
-                    conn,
+                    out,
                     &[stats, &cstats],
                     ErrorCode::BadRequest,
                     format!("insert dim {} != served dim {dim}", c_sap.len()),
@@ -1061,7 +1120,7 @@ fn serve_frame(
             let expected = ppann_dce::ciphertext_dim(dim);
             if c_dce.component_dim() != expected {
                 send_error_counted(
-                    conn,
+                    out,
                     &[stats, &cstats],
                     ErrorCode::BadRequest,
                     format!("DCE component dim {} != expected {expected}", c_dce.component_dim()),
@@ -1077,7 +1136,7 @@ fn serve_frame(
                 Ok(id) => id,
                 Err(e) => {
                     send_error_counted(
-                        conn,
+                        out,
                         &[stats, &cstats],
                         ErrorCode::Internal,
                         format!("write-ahead log append failed: {e}"),
@@ -1087,17 +1146,18 @@ fn serve_frame(
             };
             stats.record_insert();
             cstats.record_insert();
-            keep_if(send_counted(conn, &[stats, &cstats], &Frame::InsertAck { id }))
+            send_counted(out, &[stats, &cstats], &Frame::InsertAck { id });
+            ConnFate::Keep
         }
         Frame::Delete { collection, token, id } => {
             if !authorized(config, token) {
-                send_error(conn, stats, ErrorCode::Unauthorized, "bad owner token".into());
+                send_error(out, stats, ErrorCode::Unauthorized, "bad owner token".into());
                 return ConnFate::Keep;
             }
             let (coll, cstats) = match resolve_collection(&collection, catalog, coll_stats) {
                 Ok(found) => found,
                 Err((code, msg)) => {
-                    send_error(conn, stats, code, msg);
+                    send_error(out, stats, code, msg);
                     return ConnFate::Keep;
                 }
             };
@@ -1108,11 +1168,12 @@ fn serve_frame(
                 Ok(true) => {
                     stats.record_delete();
                     cstats.record_delete();
-                    keep_if(send_counted(conn, &[stats, &cstats], &Frame::DeleteAck))
+                    send_counted(out, &[stats, &cstats], &Frame::DeleteAck);
+                    ConnFate::Keep
                 }
                 Ok(false) => {
                     send_error_counted(
-                        conn,
+                        out,
                         &[stats, &cstats],
                         ErrorCode::BadRequest,
                         format!("id {id} out of range or already deleted"),
@@ -1121,7 +1182,7 @@ fn serve_frame(
                 }
                 Err(e) => {
                     send_error_counted(
-                        conn,
+                        out,
                         &[stats, &cstats],
                         ErrorCode::Internal,
                         format!("write-ahead log append failed: {e}"),
@@ -1131,21 +1192,24 @@ fn serve_frame(
             }
         }
         Frame::Stats { collection: None } => {
-            // Aggregate view: process-wide counters, catalog-wide live.
+            // Aggregate view: process-wide counters, catalog-wide live,
+            // plus the reactor's connection gauges.
             let snap = stats.snapshot(catalog.total_live() as u64);
-            keep_if(send(conn, stats, &Frame::StatsReply(snap)))
+            send(out, stats, &Frame::StatsReply(snap));
+            ConnFate::Keep
         }
         Frame::Stats { collection: collection @ Some(_) } => {
             let (coll, cstats) = match resolve_collection(&collection, catalog, coll_stats) {
                 Ok(found) => found,
                 Err((code, msg)) => {
-                    send_error(conn, stats, code, msg);
+                    send_error(out, stats, code, msg);
                     return ConnFate::Keep;
                 }
             };
             cstats.add_bytes_in(frame_bytes);
             let snap = cstats.snapshot(coll.live_len() as u64);
-            keep_if(send_counted(conn, &[stats, &cstats], &Frame::StatsReply(snap)))
+            send_counted(out, &[stats, &cstats], &Frame::StatsReply(snap));
+            ConnFate::Keep
         }
         Frame::ListCollections => {
             let entries: Vec<CollectionEntry> = catalog
@@ -1162,23 +1226,24 @@ fn serve_frame(
                     shards: info.kind.shards(),
                 })
                 .collect();
-            keep_if(send(conn, stats, &Frame::ListCollectionsReply(entries)))
+            send(out, stats, &Frame::ListCollectionsReply(entries));
+            ConnFate::Keep
         }
         Frame::CreateCollection { token, name, dim, shards } => {
             if !authorized(config, token) {
-                send_error(conn, stats, ErrorCode::Unauthorized, "bad owner token".into());
+                send_error(out, stats, ErrorCode::Unauthorized, "bad owner token".into());
                 return ConnFate::Keep;
             }
             let name = match decode_name(&name) {
                 Ok(name) => name.to_string(),
                 Err((code, msg)) => {
-                    send_error(conn, stats, code, msg);
+                    send_error(out, stats, code, msg);
                     return ConnFate::Keep;
                 }
             };
             if dim == 0 || dim > MAX_CREATE_DIM {
                 send_error(
-                    conn,
+                    out,
                     stats,
                     ErrorCode::BadRequest,
                     format!("collection dim must be in 1..={MAX_CREATE_DIM}, got {dim}"),
@@ -1187,7 +1252,7 @@ fn serve_frame(
             }
             if shards == 0 || shards > MAX_CREATE_SHARDS {
                 send_error(
-                    conn,
+                    out,
                     stats,
                     ErrorCode::BadRequest,
                     format!("shards must be in 1..={MAX_CREATE_SHARDS}, got {shards}"),
@@ -1195,54 +1260,52 @@ fn serve_frame(
                 return ConnFate::Keep;
             }
             // The mutation runs under the lifecycle lock; the lock is
-            // released before the reply is written, so an owner
-            // connection that stops reading cannot stall other
-            // lifecycle frames for up to the write timeout.
-            let outcome = {
+            // released before the reply is buffered, and the reply write
+            // is non-blocking anyway — an owner connection that stops
+            // reading cannot stall other lifecycle frames.
+            let lifecycle_outcome = {
                 let _lifecycle = coll_stats.lifecycle.lock();
                 create_collection_locked(catalog, coll_stats, config, &name, dim, shards)
             };
-            match outcome {
-                Ok(()) => keep_if(send(conn, stats, &Frame::CreateCollectionAck)),
-                Err((code, msg)) => {
-                    send_error(conn, stats, code, msg);
-                    ConnFate::Keep
-                }
+            match lifecycle_outcome {
+                Ok(()) => send(out, stats, &Frame::CreateCollectionAck),
+                Err((code, msg)) => send_error(out, stats, code, msg),
             }
+            ConnFate::Keep
         }
         Frame::DropCollection { token, name } => {
             if !authorized(config, token) {
-                send_error(conn, stats, ErrorCode::Unauthorized, "bad owner token".into());
+                send_error(out, stats, ErrorCode::Unauthorized, "bad owner token".into());
                 return ConnFate::Keep;
             }
             let name = match decode_name(&name) {
                 Ok(name) => name.to_string(),
                 Err((code, msg)) => {
-                    send_error(conn, stats, code, msg);
+                    send_error(out, stats, code, msg);
                     return ConnFate::Keep;
                 }
             };
             // Same locking discipline as CreateCollection: mutate under
             // the lifecycle lock, reply after releasing it.
-            let outcome = {
+            let lifecycle_outcome = {
                 let _lifecycle = coll_stats.lifecycle.lock();
                 drop_collection_locked(catalog, coll_stats, config, &name)
             };
-            match outcome {
-                Ok(()) => keep_if(send(conn, stats, &Frame::DropCollectionAck)),
-                Err((code, msg)) => {
-                    send_error(conn, stats, code, msg);
-                    ConnFate::Keep
-                }
+            match lifecycle_outcome {
+                Ok(()) => send(out, stats, &Frame::DropCollectionAck),
+                Err((code, msg)) => send_error(out, stats, code, msg),
             }
+            ConnFate::Keep
         }
         Frame::Shutdown { token } => {
             if !authorized(config, token) {
-                send_error(conn, stats, ErrorCode::Unauthorized, "bad owner token".into());
+                send_error(out, stats, ErrorCode::Unauthorized, "bad owner token".into());
                 return ConnFate::Keep;
             }
-            send(conn, stats, &Frame::ShutdownAck);
-            stop.store(true, Ordering::Relaxed);
+            send(out, stats, &Frame::ShutdownAck);
+            // Raise the flag *and* wake the reactor so teardown starts
+            // now, not at its next deadline.
+            shared.request_stop();
             ConnFate::Close
         }
         // Replies and a second Hello are protocol violations from a
@@ -1259,7 +1322,7 @@ fn serve_frame(
         | Frame::DropCollectionAck
         | Frame::ListCollectionsReply(_)
         | Frame::Error { .. } => {
-            send_error(conn, stats, ErrorCode::BadRequest, "unexpected frame direction".into());
+            send_error(out, stats, ErrorCode::BadRequest, "unexpected frame direction".into());
             ConnFate::Keep
         }
     }
@@ -1296,42 +1359,30 @@ fn validate_query(
     None
 }
 
-fn keep_if(sent: bool) -> ConnFate {
-    if sent {
-        ConnFate::Keep
-    } else {
-        ConnFate::Close
-    }
-}
-
 fn authorized(config: &ServiceConfig, token: u64) -> bool {
     config.owner_token == Some(token)
 }
 
-/// Writes one reply frame, crediting the bytes to every stats sink (the
+/// Buffers one reply frame, crediting the bytes to every stats sink (the
 /// process-wide counters plus, on collection-routed replies, the
-/// collection's); `false` means the peer is unwritable (stalled past the
-/// write timeout or gone) and the connection should close.
-fn send_counted(conn: &mut TcpStream, sinks: &[&ServiceStats], frame: &Frame) -> bool {
-    match write_frame(conn, frame) {
-        Ok(n) => {
-            for stats in sinks {
-                stats.add_bytes_out(n as u64);
-            }
-            true
-        }
-        Err(_) => false,
+/// collection's). Buffering cannot fail; delivery failures surface at
+/// flush time, where the connection is closed.
+fn send_counted(out: &mut Vec<u8>, sinks: &[&ServiceStats], frame: &Frame) {
+    let bytes = frame.encode();
+    for stats in sinks {
+        stats.add_bytes_out(bytes.len() as u64);
     }
+    out.extend_from_slice(&bytes);
 }
 
 /// [`send_counted`] into the process-wide counters only.
-fn send(conn: &mut TcpStream, stats: &ServiceStats, frame: &Frame) -> bool {
-    send_counted(conn, &[stats], frame)
+fn send(out: &mut Vec<u8>, stats: &ServiceStats, frame: &Frame) {
+    send_counted(out, &[stats], frame);
 }
 
-fn send_error(conn: &mut TcpStream, stats: &ServiceStats, code: ErrorCode, message: String) {
+fn send_error(out: &mut Vec<u8>, stats: &ServiceStats, code: ErrorCode, message: String) {
     stats.record_error();
-    send(conn, stats, &Frame::Error { code, message });
+    send(out, stats, &Frame::Error { code, message });
 }
 
 /// [`send_error`] for a failure on a frame already routed to a
@@ -1339,7 +1390,7 @@ fn send_error(conn: &mut TcpStream, stats: &ServiceStats, code: ErrorCode, messa
 /// collection's stats as well as the process-wide ones, so per-collection
 /// error rates actually locate the misbehaving tenant.
 fn send_error_counted(
-    conn: &mut TcpStream,
+    out: &mut Vec<u8>,
     sinks: &[&ServiceStats],
     code: ErrorCode,
     message: String,
@@ -1347,5 +1398,5 @@ fn send_error_counted(
     for stats in sinks {
         stats.record_error();
     }
-    send_counted(conn, sinks, &Frame::Error { code, message });
+    send_counted(out, sinks, &Frame::Error { code, message });
 }

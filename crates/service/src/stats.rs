@@ -18,6 +18,15 @@ use std::time::{Duration, Instant};
 const LATENCY_BUCKETS: usize = 40;
 
 /// Shared, lock-free service counters.
+///
+/// Besides the monotonic counters, three *gauges* describe the reactor's
+/// live connection population (server.rs): `conns_parked` (registered in
+/// epoll, waiting for readiness), `conns_active` (checked out — queued
+/// for or held by a worker), and `ready_depth` (connections sitting in
+/// the ready queue, i.e. wakes the workers have not kept up with). The
+/// reactor maintains the connection gauges single-threadedly; the ready
+/// queue maintains its own depth. Per-collection stats slots leave all
+/// three at zero — connections belong to the process, not a collection.
 #[derive(Debug)]
 pub struct ServiceStats {
     started: Instant,
@@ -27,6 +36,9 @@ pub struct ServiceStats {
     errors: AtomicU64,
     bytes_in: AtomicU64,
     bytes_out: AtomicU64,
+    conns_parked: AtomicU64,
+    conns_active: AtomicU64,
+    ready_depth: AtomicU64,
     latency: [AtomicU64; LATENCY_BUCKETS],
 }
 
@@ -47,8 +59,56 @@ impl ServiceStats {
             errors: AtomicU64::new(0),
             bytes_in: AtomicU64::new(0),
             bytes_out: AtomicU64::new(0),
+            conns_parked: AtomicU64::new(0),
+            conns_active: AtomicU64::new(0),
+            ready_depth: AtomicU64::new(0),
             latency: std::array::from_fn(|_| AtomicU64::new(0)),
         }
+    }
+
+    /// Moves `n` connections into the parked population.
+    pub fn conns_parked_add(&self, n: u64) {
+        self.conns_parked.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Moves `n` connections out of the parked population.
+    pub fn conns_parked_sub(&self, n: u64) {
+        self.conns_parked.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Moves `n` connections into the active (checked-out) population.
+    pub fn conns_active_add(&self, n: u64) {
+        self.conns_active.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Moves `n` connections out of the active population.
+    pub fn conns_active_sub(&self, n: u64) {
+        self.conns_active.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Records a connection entering the ready queue.
+    pub fn ready_depth_add(&self, n: u64) {
+        self.ready_depth.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records a connection leaving the ready queue.
+    pub fn ready_depth_sub(&self, n: u64) {
+        self.ready_depth.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Current parked-connection gauge.
+    pub fn conns_parked(&self) -> u64 {
+        self.conns_parked.load(Ordering::Relaxed)
+    }
+
+    /// Current active-connection gauge.
+    pub fn conns_active(&self) -> u64 {
+        self.conns_active.load(Ordering::Relaxed)
+    }
+
+    /// Current ready-queue depth.
+    pub fn ready_depth(&self) -> u64 {
+        self.ready_depth.load(Ordering::Relaxed)
     }
 
     /// Records one answered query and its server-side latency.
@@ -124,6 +184,9 @@ impl ServiceStats {
             p50_micros: self.percentile_micros(0.50),
             p99_micros: self.percentile_micros(0.99),
             uptime_micros: self.started.elapsed().as_micros() as u64,
+            conns_parked: self.conns_parked.load(Ordering::Relaxed),
+            conns_active: self.conns_active.load(Ordering::Relaxed),
+            ready_depth: self.ready_depth.load(Ordering::Relaxed),
         }
     }
 }
@@ -152,10 +215,19 @@ pub struct StatsSnapshot {
     pub p99_micros: u64,
     /// Server uptime in microseconds.
     pub uptime_micros: u64,
+    /// Connections parked in epoll awaiting readiness (gauge; 0 in
+    /// per-collection snapshots and in replies from pre-reactor servers).
+    pub conns_parked: u64,
+    /// Connections checked out to the ready queue or a worker (gauge).
+    pub conns_active: u64,
+    /// Connections waiting in the ready queue for a worker (gauge).
+    pub ready_depth: u64,
 }
 
 impl StatsSnapshot {
-    /// Appends the ten counters as little-endian `u64`s, in field order.
+    /// Appends the thirteen counters as little-endian `u64`s, in field
+    /// order — ten original counters, then the three reactor gauges
+    /// (PROTOCOL.md §3.10).
     pub fn write_to(&self, buf: &mut BytesMut) {
         for v in [
             self.queries,
@@ -168,17 +240,23 @@ impl StatsSnapshot {
             self.p50_micros,
             self.p99_micros,
             self.uptime_micros,
+            self.conns_parked,
+            self.conns_active,
+            self.ready_depth,
         ] {
             buf.put_u64_le(v);
         }
     }
 
-    /// Reads a snapshot written by [`Self::write_to`].
+    /// Reads a snapshot written by [`Self::write_to`]. The three reactor
+    /// gauges are an optional tail: a legacy 80-byte snapshot (from a
+    /// pre-reactor server) decodes with the gauges reported as zero, so
+    /// new clients stay compatible with old servers.
     pub fn read_from(data: &mut Bytes) -> Result<Self, WireError> {
         if data.remaining() < 80 {
             return Err(WireError::Truncated);
         }
-        Ok(Self {
+        let mut snap = Self {
             queries: data.get_u64_le(),
             inserts: data.get_u64_le(),
             deletes: data.get_u64_le(),
@@ -189,7 +267,16 @@ impl StatsSnapshot {
             p50_micros: data.get_u64_le(),
             p99_micros: data.get_u64_le(),
             uptime_micros: data.get_u64_le(),
-        })
+            conns_parked: 0,
+            conns_active: 0,
+            ready_depth: 0,
+        };
+        if data.remaining() >= 24 {
+            snap.conns_parked = data.get_u64_le();
+            snap.conns_active = data.get_u64_le();
+            snap.ready_depth = data.get_u64_le();
+        }
+        Ok(snap)
     }
 }
 
@@ -236,13 +323,50 @@ mod tests {
             p50_micros: 8,
             p99_micros: 9,
             uptime_micros: 10,
+            conns_parked: 11,
+            conns_active: 12,
+            ready_depth: 13,
         };
         let mut buf = BytesMut::new();
         snap.write_to(&mut buf);
-        assert_eq!(buf.len(), 80);
+        assert_eq!(buf.len(), 104);
         let mut data = buf.freeze();
         assert_eq!(StatsSnapshot::read_from(&mut data).unwrap(), snap);
         assert!(!data.has_remaining());
+    }
+
+    #[test]
+    fn legacy_80_byte_snapshot_decodes_with_zero_gauges() {
+        // A pre-reactor server sends only the ten original counters; the
+        // gauges must default to zero, not fail the decode.
+        let mut buf = BytesMut::new();
+        for v in 1..=10u64 {
+            buf.put_u64_le(v);
+        }
+        let mut data = buf.freeze();
+        let snap = StatsSnapshot::read_from(&mut data).unwrap();
+        assert_eq!(snap.queries, 1);
+        assert_eq!(snap.uptime_micros, 10);
+        assert_eq!(snap.conns_parked, 0);
+        assert_eq!(snap.conns_active, 0);
+        assert_eq!(snap.ready_depth, 0);
+        assert!(!data.has_remaining());
+    }
+
+    #[test]
+    fn gauges_track_connection_population() {
+        let stats = ServiceStats::new();
+        stats.conns_parked_add(3);
+        stats.conns_active_add(2);
+        stats.ready_depth_add(1);
+        stats.conns_parked_sub(1);
+        let snap = stats.snapshot(0);
+        assert_eq!(snap.conns_parked, 2);
+        assert_eq!(snap.conns_active, 2);
+        assert_eq!(snap.ready_depth, 1);
+        assert_eq!(stats.conns_parked(), 2);
+        assert_eq!(stats.conns_active(), 2);
+        assert_eq!(stats.ready_depth(), 1);
     }
 
     #[test]

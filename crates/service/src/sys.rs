@@ -1,0 +1,229 @@
+//! Minimal Linux `epoll`/`eventfd` bindings for the service reactor.
+//!
+//! The workspace vendors no `libc` crate (DESIGN.md §3: no registry
+//! access), so the four syscall wrappers the reactor needs are declared
+//! directly against the C library the Rust standard library already
+//! links. Everything else — closing descriptors, reading and writing the
+//! eventfd — goes through safe `std` types (`OwnedFd`, `File`), so the
+//! unsafe surface stays at exactly four foreign calls plus the
+//! `repr(C)` event struct they share.
+//!
+//! Linux-only by construction, like the reactor itself (DESIGN.md §7).
+
+use std::fs::File;
+use std::io;
+use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+use std::time::Duration;
+
+/// Readable (`EPOLLIN`).
+pub const EPOLLIN: u32 = 0x001;
+/// Writable (`EPOLLOUT`).
+pub const EPOLLOUT: u32 = 0x004;
+// `EPOLLERR` (0x008) and `EPOLLHUP` (0x010) are always reported and
+// never requested, so no constants are needed: an erred/hung-up parked
+// connection wakes its ONESHOT registration, the worker's next read or
+// write surfaces the failure, and the connection closes through the
+// normal path.
+/// Peer shut down its writing half — lets the reactor learn about a
+/// half-closed parked connection without a read.
+pub const EPOLLRDHUP: u32 = 0x2000;
+/// Deliver one event, then disarm until the next `EPOLL_CTL_MOD` — the
+/// reactor's guarantee that a connection is owned by at most one worker.
+pub const EPOLLONESHOT: u32 = 1 << 30;
+/// Edge-triggered: report a readiness *transition* once instead of
+/// re-reporting level readiness on every wait (DESIGN.md §7).
+pub const EPOLLET: u32 = 1 << 31;
+
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+const EPOLL_CLOEXEC: i32 = 0x80000;
+const EFD_CLOEXEC: i32 = 0x80000;
+const EFD_NONBLOCK: i32 = 0x800;
+
+/// `struct epoll_event`. On x86-64 the kernel ABI packs it (no padding
+/// between the 32-bit mask and the 64-bit payload); other architectures
+/// use natural alignment — matching glibc's definition.
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    /// Readiness mask (`EPOLL*` bits).
+    pub events: u32,
+    /// Caller-chosen token, returned verbatim with each event.
+    pub data: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout_ms: i32) -> i32;
+    fn eventfd(initval: u32, flags: i32) -> i32;
+}
+
+fn cvt(ret: i32) -> io::Result<i32> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// An owned epoll instance; the descriptor closes on drop.
+pub struct Epoll {
+    fd: OwnedFd,
+}
+
+impl Epoll {
+    /// Creates a close-on-exec epoll instance.
+    pub fn new() -> io::Result<Self> {
+        let fd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+        Ok(Self { fd: unsafe { OwnedFd::from_raw_fd(fd) } })
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        let mut ev = EpollEvent { events, data: token };
+        // DEL ignores the event argument but pre-2.6.9 kernels wanted a
+        // non-null pointer, so one is always passed.
+        cvt(unsafe { epoll_ctl(self.fd.as_raw_fd(), op, fd, &mut ev) }).map(|_| ())
+    }
+
+    /// Registers `fd` with the given readiness mask and token.
+    pub fn add(&self, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, events, token)
+    }
+
+    /// Rearms `fd` with a new mask. Under `EPOLLONESHOT` this is the only
+    /// way a disarmed descriptor comes back to life, and the kernel
+    /// re-checks current readiness at rearm time — readiness that arrived
+    /// while disarmed is reported, not lost (DESIGN.md §7).
+    pub fn modify(&self, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, events, token)
+    }
+
+    /// Deregisters `fd`. Must happen *before* the descriptor is closed:
+    /// closing first would let the kernel reuse the fd number and a late
+    /// DEL would deregister an unrelated new registration.
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    /// Waits for events, filling `events` up to its capacity. `None`
+    /// blocks indefinitely (the reactor's waker covers every off-thread
+    /// wake-up); `Some(d)` rounds up to whole milliseconds so a deadline
+    /// is never woken *before* it expires and then busy-spun on.
+    pub fn wait(
+        &self,
+        events: &mut Vec<EpollEvent>,
+        timeout: Option<Duration>,
+    ) -> io::Result<usize> {
+        let timeout_ms: i32 = match timeout {
+            None => -1,
+            Some(d) => d.as_millis().saturating_add(1).min(i32::MAX as u128) as i32,
+        };
+        events.clear();
+        if events.capacity() == 0 {
+            events.reserve(64);
+        }
+        let cap = events.capacity() as i32;
+        let n = loop {
+            match cvt(unsafe {
+                epoll_wait(self.fd.as_raw_fd(), events.as_mut_ptr(), cap, timeout_ms)
+            }) {
+                Ok(n) => break n as usize,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        };
+        // The kernel wrote `n` initialized events into the spare capacity.
+        unsafe { events.set_len(n) };
+        Ok(n)
+    }
+}
+
+/// A cross-thread wake-up line into an epoll wait, backed by a
+/// non-blocking eventfd. Registered level-triggered in the reactor's
+/// epoll set; any thread may `wake()` it.
+pub struct Waker {
+    fd: File,
+}
+
+impl Waker {
+    /// Creates the eventfd (counter 0, non-blocking, close-on-exec).
+    pub fn new() -> io::Result<Self> {
+        let fd = cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })?;
+        Ok(Self { fd: unsafe { File::from_raw_fd(fd) } })
+    }
+
+    /// The raw descriptor, for epoll registration.
+    pub fn raw_fd(&self) -> RawFd {
+        self.fd.as_raw_fd()
+    }
+
+    /// Wakes the reactor. Failure is ignored: the only non-transient one
+    /// is `EAGAIN` when the 64-bit counter is saturated — at which point
+    /// the eventfd is readable and the reactor is already waking.
+    pub fn wake(&self) {
+        use std::io::Write;
+        let _ = (&self.fd).write(&1u64.to_ne_bytes());
+    }
+
+    /// Drains the counter so a level-triggered registration goes quiet
+    /// until the next `wake`.
+    pub fn drain(&self) {
+        use std::io::Read;
+        let mut buf = [0u8; 8];
+        let _ = (&self.fd).read(&mut buf);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waker_wakes_an_epoll_wait() {
+        let epoll = Epoll::new().unwrap();
+        let waker = Waker::new().unwrap();
+        epoll.add(waker.raw_fd(), EPOLLIN, 7).unwrap();
+
+        let mut events = Vec::with_capacity(8);
+        // Nothing pending: a zero-ish timeout reports no events.
+        let n = epoll.wait(&mut events, Some(Duration::from_millis(0))).unwrap();
+        assert_eq!(n, 0);
+
+        waker.wake();
+        let n = epoll.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(n, 1);
+        let ev = events[0];
+        assert_eq!({ ev.data }, 7);
+        assert_ne!({ ev.events } & EPOLLIN, 0);
+
+        // Drained, the level-triggered eventfd goes quiet again.
+        waker.drain();
+        let n = epoll.wait(&mut events, Some(Duration::from_millis(0))).unwrap();
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn oneshot_rearm_redelivers_pending_readiness() {
+        // The property the reactor's correctness rests on (DESIGN.md §7):
+        // readiness that arrives while a ONESHOT registration is disarmed
+        // is re-reported by the next EPOLL_CTL_MOD, not lost.
+        let epoll = Epoll::new().unwrap();
+        let waker = Waker::new().unwrap();
+        epoll.add(waker.raw_fd(), EPOLLIN | EPOLLET | EPOLLONESHOT, 3).unwrap();
+
+        waker.wake();
+        let mut events = Vec::with_capacity(8);
+        assert_eq!(epoll.wait(&mut events, Some(Duration::from_secs(5))).unwrap(), 1);
+        // Disarmed now; new readiness (the counter is still non-zero, and
+        // we bump it again for an ET edge) produces no event...
+        waker.wake();
+        assert_eq!(epoll.wait(&mut events, Some(Duration::from_millis(20))).unwrap(), 0);
+        // ...until the rearm, which re-checks and re-reports it.
+        epoll.modify(waker.raw_fd(), EPOLLIN | EPOLLET | EPOLLONESHOT, 3).unwrap();
+        assert_eq!(epoll.wait(&mut events, Some(Duration::from_secs(5))).unwrap(), 1);
+        assert_eq!({ events[0].data }, 3);
+    }
+}

@@ -1079,6 +1079,9 @@ mod tests {
             p50_micros: 8,
             p99_micros: 9,
             uptime_micros: 10,
+            conns_parked: 11,
+            conns_active: 12,
+            ready_depth: 13,
         };
         match roundtrip(&Frame::StatsReply(snap)) {
             Frame::StatsReply(back) => assert_eq!(back, snap),

@@ -1,0 +1,205 @@
+//! Property test for the incremental frame assembler: however a byte
+//! stream is chunked — one byte at a time, random splits, everything
+//! coalesced — the decoded frame sequence is identical to whole-stream
+//! delivery, and a stream torn off mid-frame never panics, it just
+//! reports an honest partial.
+//!
+//! The kernel decides chunk boundaries under the edge-triggered reactor,
+//! so every split point is reachable in production; this is the unit
+//! that makes the server's reassembly trustworthy without a network.
+//!
+//! No external property-testing crate (the workspace vendors none): a
+//! seeded LCG drives the case generation, so failures replay exactly.
+
+use ppann_service::io::FrameAssembler;
+use ppann_service::wire::HEADER_LEN;
+use ppann_service::{ErrorCode, Frame, DEFAULT_MAX_FRAME};
+
+/// Deterministic case generator (64-bit LCG, Knuth's constants).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+
+    /// Uniform-ish draw from `1..=max`.
+    fn chunk_len(&mut self, max: usize) -> usize {
+        1 + (self.next() as usize) % max
+    }
+}
+
+/// A frame mix covering empty, fixed-size and variable-size payloads.
+fn sample_frames() -> Vec<Frame> {
+    vec![
+        Frame::Hello { dim: 48 },
+        Frame::HelloAck { dim: 48, live: 300 },
+        Frame::Stats { collection: None },
+        Frame::InsertAck { id: 0xDEAD_BEEF },
+        Frame::Error {
+            code: ErrorCode::BadRequest,
+            message: "chunk boundaries must not change meaning".to_string(),
+        },
+        Frame::ListCollections,
+        Frame::Shutdown { token: 7 },
+        Frame::DeleteAck,
+        Frame::ShutdownAck,
+    ]
+}
+
+/// Encodes the sample mix into one contiguous wire image plus the
+/// per-frame encodings (the equality baseline: `Frame` has no `Eq`, but
+/// its encoding is canonical).
+fn sample_wire() -> (Vec<u8>, Vec<Vec<u8>>) {
+    let encodings: Vec<Vec<u8>> = sample_frames().iter().map(|f| f.encode().to_vec()).collect();
+    let wire: Vec<u8> = encodings.iter().flatten().copied().collect();
+    (wire, encodings)
+}
+
+/// Feeds `wire` to a fresh assembler in the given chunks and returns
+/// every decoded frame, re-encoded, with its reported wire size.
+fn reassemble(wire: &[u8], chunks: &[usize]) -> Vec<(Vec<u8>, usize)> {
+    assert_eq!(chunks.iter().sum::<usize>(), wire.len(), "chunking must cover the stream");
+    let mut asm = FrameAssembler::new(DEFAULT_MAX_FRAME);
+    let mut decoded = Vec::new();
+    let mut offset = 0;
+    for &len in chunks {
+        asm.extend(&wire[offset..offset + len]);
+        offset += len;
+        // Drain every frame this chunk completed — pipelined frames may
+        // land in one chunk, and a frame may complete mid-chunk.
+        while let Some((frame, n)) = asm.poll_frame().expect("valid stream may not error") {
+            decoded.push((frame.encode().to_vec(), n));
+        }
+    }
+    assert!(!asm.has_partial(), "a fully delivered stream leaves no partial");
+    assert!(!asm.frame_pending(), "a drained assembler has nothing pending");
+    decoded
+}
+
+fn assert_matches_baseline(decoded: &[(Vec<u8>, usize)], baseline: &[Vec<u8>], chunks: &[usize]) {
+    assert_eq!(decoded.len(), baseline.len(), "frame count differs under chunking {chunks:?}");
+    for (i, ((bytes, n), expected)) in decoded.iter().zip(baseline).enumerate() {
+        assert_eq!(bytes, expected, "frame {i} decoded differently under chunking {chunks:?}");
+        assert_eq!(*n, expected.len(), "frame {i} reported a wrong wire size");
+    }
+}
+
+#[test]
+fn byte_at_a_time_equals_whole_stream() {
+    let (wire, baseline) = sample_wire();
+    let chunks = vec![1usize; wire.len()];
+    assert_matches_baseline(&reassemble(&wire, &chunks), &baseline, &[1]);
+}
+
+#[test]
+fn single_coalesced_chunk_equals_whole_stream() {
+    let (wire, baseline) = sample_wire();
+    let chunks = vec![wire.len()];
+    assert_matches_baseline(&reassemble(&wire, &chunks), &baseline, &chunks);
+}
+
+#[test]
+fn random_chunkings_equal_whole_stream() {
+    let (wire, baseline) = sample_wire();
+    for seed in 0..300u64 {
+        let mut rng = Lcg(seed + 1);
+        // Mix tiny splits (worst case for header reassembly) with chunks
+        // large enough to coalesce several frames.
+        let max = if seed % 3 == 0 { 7 } else { 96 };
+        let mut chunks = Vec::new();
+        let mut remaining = wire.len();
+        while remaining > 0 {
+            let len = rng.chunk_len(max).min(remaining);
+            chunks.push(len);
+            remaining -= len;
+        }
+        assert_matches_baseline(&reassemble(&wire, &chunks), &baseline, &chunks);
+    }
+}
+
+#[test]
+fn every_torn_tail_is_a_clean_partial_never_a_panic() {
+    let (wire, baseline) = sample_wire();
+    // Frame boundaries, for deciding how many whole frames a cut keeps.
+    let mut boundaries = vec![0usize];
+    for enc in &baseline {
+        boundaries.push(boundaries.last().unwrap() + enc.len());
+    }
+    for cut in 0..=wire.len() {
+        let mut asm = FrameAssembler::new(DEFAULT_MAX_FRAME);
+        asm.extend(&wire[..cut]);
+        let mut decoded = Vec::new();
+        while let Some((frame, n)) = asm.poll_frame().expect("torn valid stream may not error") {
+            decoded.push((frame.encode().to_vec(), n));
+        }
+        let whole = boundaries.iter().filter(|&&b| b > 0 && b <= cut).count();
+        assert_matches_baseline(&decoded, &baseline[..whole], &[cut]);
+        // The tail is reported as partial exactly when the cut landed
+        // strictly inside a frame; at a boundary the assembler is clean
+        // and a server would close the connection silently.
+        let at_boundary = boundaries.contains(&cut);
+        assert_eq!(asm.has_partial(), !at_boundary, "cut at {cut}");
+        assert!(!asm.frame_pending(), "a torn tail must not claim a decodable frame");
+    }
+}
+
+#[test]
+fn malformed_bytes_error_identically_under_any_chunking() {
+    let (wire, baseline) = sample_wire();
+    // Corrupt the magic of the third frame: every chunking must decode
+    // exactly two frames and then surface the same framing error.
+    let mut corrupt = wire.clone();
+    let third = baseline[0].len() + baseline[1].len();
+    corrupt[third] = b'X';
+    for seed in 0..50u64 {
+        let mut rng = Lcg(seed + 1000);
+        let mut asm = FrameAssembler::new(DEFAULT_MAX_FRAME);
+        let mut decoded = 0usize;
+        let mut errored = false;
+        let mut offset = 0;
+        while offset < corrupt.len() {
+            let len = rng.chunk_len(33).min(corrupt.len() - offset);
+            asm.extend(&corrupt[offset..offset + len]);
+            offset += len;
+            loop {
+                match asm.poll_frame() {
+                    Ok(Some(_)) => decoded += 1,
+                    Ok(None) => break,
+                    Err(_) => {
+                        errored = true;
+                        break;
+                    }
+                }
+            }
+            if errored {
+                break;
+            }
+        }
+        assert!(errored, "seed {seed}: the corruption must surface");
+        assert_eq!(decoded, 2, "seed {seed}: exactly the frames before the corruption decode");
+        // A bad prefix is "pending" (the next poll re-reports the error
+        // without more input) but never "partial" (no timeout applies).
+        assert!(asm.frame_pending());
+        assert!(!asm.has_partial());
+    }
+}
+
+#[test]
+fn oversized_header_is_rejected_at_header_completion_regardless_of_split() {
+    // A header promising a payload over the limit must error as soon as
+    // the 12th header byte lands — even delivered one byte at a time —
+    // and must not wait for (or allocate) the phantom payload.
+    let mut frame = Frame::Hello { dim: 1 }.encode().to_vec();
+    frame[8..12].copy_from_slice(&(1u32 << 30).to_le_bytes());
+    let mut asm = FrameAssembler::new(DEFAULT_MAX_FRAME);
+    for (i, &b) in frame.iter().take(HEADER_LEN).enumerate() {
+        asm.extend(&[b]);
+        if i + 1 < HEADER_LEN {
+            assert!(asm.poll_frame().unwrap().is_none(), "byte {i}: header still incomplete");
+        } else {
+            assert!(asm.poll_frame().is_err(), "complete oversized header must be refused");
+        }
+    }
+}

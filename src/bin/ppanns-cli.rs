@@ -428,6 +428,13 @@ fn cmd_stats(flags: &Flags) -> Result<(), String> {
     println!("latency p50  : {} us (bucketed)", s.p50_micros);
     println!("latency p99  : {} us (bucketed)", s.p99_micros);
     println!("uptime       : {:.1} s", s.uptime_micros as f64 / 1e6);
+    // Connection gauges live on the process, not on a collection: the
+    // per-collection reply carries zeros there, so only the aggregate
+    // view prints them.
+    if flags.get("collection").is_none() {
+        println!("connections  : {} parked / {} active", s.conns_parked, s.conns_active);
+        println!("ready queue  : {} waiting", s.ready_depth);
+    }
     Ok(())
 }
 
