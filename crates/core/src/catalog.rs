@@ -213,6 +213,62 @@ impl CollectionWal {
     }
 }
 
+/// What a replication primary needs to serve one follower pull: the
+/// snapshot identity the collection's log is sealed to, the log's
+/// current acknowledged length, and where both files live. Taken as one
+/// consistent sample under the WAL mutex ([`Collection::replication_source`])
+/// — the primary then reads file bytes *below* `log_len` only, which by
+/// the WAL's dirty-flag discipline are always whole acknowledged
+/// records.
+#[derive(Clone, Debug)]
+pub struct ReplicationSource {
+    /// Identity of the snapshot the log extends (what followers must
+    /// hold before applying log records).
+    pub seal: SnapshotId,
+    /// Acknowledged log length in bytes (header + checkpoint +
+    /// records).
+    pub log_len: u64,
+    /// The collection's snapshot file.
+    pub snapshot_path: PathBuf,
+}
+
+/// Why a replicated record was refused by [`Collection::apply_replicated`].
+/// Any of these means the follower's state has diverged from the
+/// primary's stream (or the stream itself is damaged) — the follower's
+/// recovery is a full re-bootstrap, mirroring how restart replay
+/// truncates at the first non-applying record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplicaApplyError {
+    /// The insert's id is not the next free slot.
+    IdMismatch { expected: u32, got: u32 },
+    /// The insert's SAP ciphertext has the wrong dimensionality.
+    DimMismatch { expected: usize, got: usize },
+    /// The delete names an id that is not live here.
+    NotLive(u32),
+    /// A checkpoint arrived mid-stream (checkpoints only seal files,
+    /// they are never shipped as records).
+    Checkpoint,
+    /// The local (durable) apply failed at the storage layer.
+    Storage(String),
+}
+
+impl std::fmt::Display for ReplicaApplyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::IdMismatch { expected, got } => {
+                write!(f, "insert id {got} is not the next slot {expected}")
+            }
+            Self::DimMismatch { expected, got } => {
+                write!(f, "insert of dim {got} into a dim-{expected} collection")
+            }
+            Self::NotLive(id) => write!(f, "delete of id {id} which is not live"),
+            Self::Checkpoint => f.write_str("checkpoint record mid-stream"),
+            Self::Storage(e) => write!(f, "storage: {e}"),
+        }
+    }
+}
+impl std::error::Error for ReplicaApplyError {}
+
 /// A point-in-time view of a collection's durability state (diagnostics
 /// and the log-bounded-restart assertions in the persistence tests).
 #[derive(Clone, Copy, Debug)]
@@ -345,6 +401,67 @@ impl Collection {
                 compact_bytes: wal.opts.compact_bytes,
             }
         })
+    }
+
+    /// One consistent `(seal, log_len, paths)` sample for serving a
+    /// replication pull, taken under the WAL mutex. `None` when the
+    /// collection cannot be streamed right now: it is in-memory-only,
+    /// dropped, or mid-reseal (the on-disk log is stale — the follower
+    /// retries and gets the post-reseal state).
+    pub fn replication_source(&self) -> Option<ReplicationSource> {
+        let wal = self.wal.as_ref()?.lock();
+        match &wal.state {
+            WalState::Open(writer) => Some(ReplicationSource {
+                seal: writer.base(),
+                log_len: writer.log_len(),
+                snapshot_path: wal.snapshot_path.clone(),
+            }),
+            WalState::NeedsReseal(_) | WalState::Dropped => None,
+        }
+    }
+
+    /// Applies one record shipped by a replication primary, enforcing
+    /// the same invariants restart replay does (next-slot id, matching
+    /// dimensionality, live delete target) *before* mutating anything.
+    /// On a durable collection the record rides the normal write-ahead
+    /// path, so a replicated follower with its own `--data-dir` logs
+    /// what it applies; in-memory followers just apply.
+    pub fn apply_replicated(&self, record: &WalRecord) -> Result<(), ReplicaApplyError> {
+        match record {
+            WalRecord::Insert { id, c_sap, c_dce } => {
+                if c_sap.len() != self.dim {
+                    return Err(ReplicaApplyError::DimMismatch {
+                        expected: self.dim,
+                        got: c_sap.len(),
+                    });
+                }
+                // The WAL mutex (if any) is taken inside insert(); slot
+                // prediction here is safe because replication apply is
+                // single-threaded per collection and followers reject
+                // client mutations.
+                let expected = self.backend.slots() as u32;
+                if *id != expected {
+                    return Err(ReplicaApplyError::IdMismatch { expected, got: *id });
+                }
+                let assigned = self
+                    .insert(c_sap.clone(), c_dce.clone())
+                    .map_err(|e| ReplicaApplyError::Storage(e.to_string()))?;
+                debug_assert_eq!(assigned, *id);
+                Ok(())
+            }
+            WalRecord::Delete { id } => {
+                if !self.backend.is_live(*id) {
+                    return Err(ReplicaApplyError::NotLive(*id));
+                }
+                let deleted =
+                    self.try_delete(*id).map_err(|e| ReplicaApplyError::Storage(e.to_string()))?;
+                if !deleted {
+                    return Err(ReplicaApplyError::NotLive(*id));
+                }
+                Ok(())
+            }
+            WalRecord::Checkpoint { .. } => Err(ReplicaApplyError::Checkpoint),
+        }
     }
 
     /// Compacts now regardless of the byte threshold: rewrites the
@@ -593,6 +710,32 @@ impl Catalog {
         })?;
         Self::register_locked(&mut map, name, Self::backend_for(db, shards), Some(wal))
             .map_err(DurableCatalogError::Catalog)
+    }
+
+    /// Installs (or atomically replaces) a **replica** collection: an
+    /// in-memory, non-durable image a replication follower just
+    /// bootstrapped from a primary's snapshot. Replace-in-one-step
+    /// matters: during a re-bootstrap (the primary compacted, changing
+    /// its seal) the old image keeps answering reads until the new one
+    /// swaps in — readers never see an unknown-collection window.
+    /// Returns the new handle.
+    pub fn install_replica(
+        &self,
+        name: &str,
+        db: EncryptedDatabase,
+        shards: usize,
+    ) -> Result<Arc<Collection>, CatalogError> {
+        validate_collection_name(name)?;
+        let backend = Self::backend_for(db, shards);
+        let coll = Arc::new(Collection {
+            name: name.to_string(),
+            dim: backend.dim(),
+            kind: backend.kind(),
+            backend,
+            wal: None,
+        });
+        self.inner.write().insert(name.to_string(), Arc::clone(&coll));
+        Ok(coll)
     }
 
     /// Removes and returns the collection named `name`. In-flight queries

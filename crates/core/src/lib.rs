@@ -77,7 +77,8 @@ pub use backend::{
 pub use batch::{BatchExecutor, BatchOutcome};
 pub use catalog::{
     validate_collection_name, Catalog, CatalogError, Collection, CollectionInfo,
-    DurableCatalogError, WalRecoveryReport, WalStatus, DEFAULT_COLLECTION, MAX_COLLECTION_NAME_LEN,
+    DurableCatalogError, ReplicaApplyError, ReplicationSource, WalRecoveryReport, WalStatus,
+    DEFAULT_COLLECTION, MAX_COLLECTION_NAME_LEN,
 };
 pub use concurrent::SharedServer;
 pub use cost::{QueryCost, UserCost};

@@ -52,7 +52,7 @@
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use ppann_dce::DceCiphertext;
 use std::fs::{File, OpenOptions};
-use std::io::Write;
+use std::io::{Read, Write};
 use std::path::Path;
 
 /// Magic bytes opening every WAL file.
@@ -70,6 +70,15 @@ pub const WAL_HEADER_LEN: usize = 8;
 
 /// Byte length of a record's frame prefix (`len u32 | crc32 u32`).
 pub const WAL_FRAME_LEN: usize = 8;
+
+/// Byte length of a freshly sealed log: header plus the sealing
+/// [`WalRecord::Checkpoint`] (whose body is a fixed
+/// `tag u8 | base_len u64 | base_crc u32` = 13 bytes). Every mutation
+/// record in every log therefore starts at or past this offset — the
+/// replication layer uses it as the first shippable WAL offset, so a
+/// follower that already holds the sealed snapshot never re-reads the
+/// checkpoint over the wire.
+pub const WAL_SEALED_LEN: u64 = (WAL_HEADER_LEN + WAL_FRAME_LEN + 13) as u64;
 
 /// Upper bound on one record's body. A single insert is ~`5·dim`
 /// doubles, so even 100k-dimensional vectors fit with orders of
@@ -411,8 +420,10 @@ pub fn replay(bytes: &[u8], base: SnapshotId) -> WalReplay {
 
 /// Decodes the framed record starting at `off`; `None` on a torn or
 /// corrupt frame. On success returns the record and the offset one past
-/// it.
-fn decode_record_at(bytes: &[u8], off: usize) -> Option<(WalRecord, usize)> {
+/// it. Public so a replication follower can walk a shipped
+/// [`segment_end`]-aligned byte run record by record, applying each and
+/// advancing its acknowledged offset only past records that applied.
+pub fn decode_record_at(bytes: &[u8], off: usize) -> Option<(WalRecord, usize)> {
     let frame = bytes.get(off..off + WAL_FRAME_LEN)?;
     let len = u32::from_le_bytes(frame[..4].try_into().unwrap()) as usize;
     let crc = u32::from_le_bytes(frame[4..8].try_into().unwrap());
@@ -424,6 +435,34 @@ fn decode_record_at(bytes: &[u8], off: usize) -> Option<(WalRecord, usize)> {
         return None;
     }
     Some((decode_body(body)?, off + WAL_FRAME_LEN + len))
+}
+
+/// Walks whole record frames from `start`, returning the largest
+/// record-aligned end offset such that `end - start <= max_bytes` —
+/// except that the first record is always included even when it alone
+/// exceeds `max_bytes`, so a single oversized insert can never stall a
+/// replication stream. Walking stops early at a frame that does not fit
+/// in `bytes` or whose length field is absurd; the returned offset is
+/// then simply the aligned end of the last whole frame. Only the length
+/// prefixes are examined (no CRC or body decode): the caller ships raw
+/// bytes, and the *receiver* re-verifies each record as it applies.
+pub fn segment_end(bytes: &[u8], start: usize, max_bytes: usize) -> usize {
+    let mut off = start;
+    while let Some(frame) = bytes.get(off..off + WAL_FRAME_LEN) {
+        let len = u32::from_le_bytes(frame[..4].try_into().unwrap()) as usize;
+        if len > MAX_WAL_RECORD {
+            break;
+        }
+        let Some(end) = off.checked_add(WAL_FRAME_LEN + len).filter(|&end| end <= bytes.len())
+        else {
+            break;
+        };
+        if off > start && end - start > max_bytes {
+            break;
+        }
+        off = end;
+    }
+    off
 }
 
 /// `fsync` on a directory, making a just-renamed file durable. Errors
@@ -451,6 +490,11 @@ pub fn truncate_to(path: &Path, len: u64) -> std::io::Result<()> {
 #[derive(Debug)]
 pub struct WalWriter {
     file: File,
+    /// The snapshot identity this log's sealing checkpoint names.
+    /// Remembered so the replication layer can hand `(base, log_len)` to
+    /// a follower without re-reading the file's first record on every
+    /// pull.
+    base: SnapshotId,
     /// Length of the last known-good log prefix: every byte below it was
     /// written by a fully successful append (and is covered by the ack
     /// the caller issued). Bytes past it, if any, are the leftovers of a
@@ -493,15 +537,46 @@ impl WalWriter {
             sync_dir(dir)?;
         }
         let file = OpenOptions::new().append(true).open(path)?;
-        Ok(Self { file, len: image.len() as u64, policy, unsynced: 0, dirty: false })
+        Ok(Self { file, base, len: image.len() as u64, policy, unsynced: 0, dirty: false })
     }
 
     /// Opens an existing (already replayed and repaired) log for
-    /// appending.
+    /// appending. The sealing checkpoint is re-read to recover the
+    /// snapshot identity this log extends; a file whose first record is
+    /// not a valid checkpoint is refused (the caller replayed it before
+    /// opening, so this only fires on logic errors or post-replay
+    /// corruption).
     pub fn open_append(path: &Path, policy: FsyncPolicy) -> std::io::Result<Self> {
+        let head = {
+            let mut buf = vec![0u8; WAL_SEALED_LEN as usize];
+            let mut f = File::open(path)?;
+            let mut take = 0;
+            while take < buf.len() {
+                match f.read(&mut buf[take..])? {
+                    0 => break,
+                    n => take += n,
+                }
+            }
+            buf.truncate(take);
+            buf
+        };
+        let base = match decode_record_at(&head, WAL_HEADER_LEN) {
+            Some((WalRecord::Checkpoint { base }, _)) => base,
+            _ => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    "WAL has no valid sealing checkpoint",
+                ))
+            }
+        };
         let file = OpenOptions::new().append(true).open(path)?;
         let len = file.metadata()?.len();
-        Ok(Self { file, len, policy, unsynced: 0, dirty: false })
+        Ok(Self { file, base, len, policy, unsynced: 0, dirty: false })
+    }
+
+    /// The snapshot identity named by this log's sealing checkpoint.
+    pub fn base(&self) -> SnapshotId {
+        self.base
     }
 
     /// Current log length in bytes (what compaction thresholds compare
@@ -836,6 +911,98 @@ mod tests {
         let out = replay(&image, base);
         assert!(out.truncated);
         assert!(out.records.is_empty());
+    }
+
+    /// The sealed-length constant is the literal length of a freshly
+    /// sealed log — the replication layer depends on it as the first
+    /// shippable offset.
+    #[test]
+    fn sealed_len_matches_a_fresh_log() {
+        let path = temp_path("sealed_len");
+        let base = snapshot_id(b"snap");
+        let w = WalWriter::create_sealed(&path, base, FsyncPolicy::Never).unwrap();
+        assert_eq!(w.log_len(), WAL_SEALED_LEN);
+        assert_eq!(w.base(), base);
+        drop(w);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), WAL_SEALED_LEN);
+        // Reopening recovers the same seal from the file's first record.
+        let w = WalWriter::open_append(&path, FsyncPolicy::Never).unwrap();
+        assert_eq!(w.base(), base);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_append_refuses_a_sealless_file() {
+        let path = temp_path("sealless");
+        std::fs::write(&path, wal_header()).unwrap();
+        assert!(WalWriter::open_append(&path, FsyncPolicy::Never).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// `segment_end` slices record-aligned runs: never mid-frame, first
+    /// record always included, cap honored after that.
+    #[test]
+    fn segment_end_is_record_aligned() {
+        let base = snapshot_id(b"snap");
+        let mut image = BytesMut::new();
+        image.put_slice(&wal_header());
+        image.put_slice(&WalRecord::Checkpoint { base }.encode());
+        let start = image.len();
+        let mut ends = Vec::new();
+        for id in 0..4u32 {
+            image.put_slice(
+                &WalRecord::Insert { id, c_sap: vec![id as f64], c_dce: dce([1.0, 2.0, 3.0, 4.0]) }
+                    .encode(),
+            );
+            ends.push(image.len());
+        }
+        let record_len = ends[0] - start;
+
+        // A huge cap takes everything; a zero cap still takes the first
+        // record; a cap of exactly two records takes two.
+        assert_eq!(segment_end(&image, start, usize::MAX), image.len());
+        assert_eq!(segment_end(&image, start, 0), ends[0]);
+        assert_eq!(segment_end(&image, start, 2 * record_len), ends[1]);
+        // From the second record with room for one more: aligned at its
+        // end, not mid-frame.
+        assert_eq!(segment_end(&image, ends[0], record_len), ends[1]);
+        // At the end of the image there is nothing to take.
+        assert_eq!(segment_end(&image, image.len(), usize::MAX), image.len());
+        // A torn tail stops the walk at the last whole frame.
+        let cut = ends[2] + 5;
+        assert_eq!(segment_end(&image[..cut], start, usize::MAX), ends[2]);
+        // An absurd length field stops the walk too.
+        let mut poisoned = image[..ends[1]].to_vec();
+        poisoned.extend_from_slice(&u32::MAX.to_le_bytes());
+        poisoned.extend_from_slice(&[0; 4]);
+        assert_eq!(segment_end(&poisoned, start, usize::MAX), ends[1]);
+    }
+
+    /// Segments sliced by `segment_end` decode record-by-record with
+    /// `decode_record_at` — the follower's apply loop in miniature.
+    #[test]
+    fn shipped_segments_decode_record_by_record() {
+        let base = snapshot_id(b"snap");
+        let mut image = BytesMut::new();
+        image.put_slice(&wal_header());
+        image.put_slice(&WalRecord::Checkpoint { base }.encode());
+        let start = image.len();
+        let mut want = Vec::new();
+        for id in 0..3u32 {
+            let r = WalRecord::Insert { id, c_sap: vec![0.5], c_dce: dce([1.0, 2.0, 3.0, 4.0]) };
+            image.put_slice(&r.encode());
+            want.push(r);
+        }
+        let end = segment_end(&image, start, usize::MAX);
+        let segment = &image[start..end];
+        let mut off = 0;
+        let mut got = Vec::new();
+        while off < segment.len() {
+            let (record, next) = decode_record_at(segment, off).expect("aligned segment");
+            got.push(record);
+            off = next;
+        }
+        assert_eq!(got, want);
     }
 
     #[test]

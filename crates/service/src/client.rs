@@ -506,6 +506,17 @@ impl ServiceClient {
         }
     }
 
+    /// Owner-authenticated promotion of a replication follower to
+    /// primary: from the ack on, the server accepts mutations and stops
+    /// pulling from its old upstream. Idempotent — a primary acks too.
+    /// See OPERATIONS.md §10 for the promotion runbook.
+    pub fn promote(&mut self, token: u64) -> Result<(), ClientError> {
+        match self.call(&Frame::Promote { token })? {
+            Frame::PromoteAck => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
     /// One request/response exchange, bounded by the call deadline.
     /// Error frames surface as [`ClientError::Remote`]; any other
     /// failure leaves the stream in an unknown state (a late reply could
@@ -551,4 +562,227 @@ impl std::fmt::Debug for ServiceClient {
 
 fn unexpected(frame: &Frame) -> ClientError {
     ClientError::Protocol(format!("unexpected reply frame tag {:#04x}", frame.tag()))
+}
+
+/// One node of a [`ReplicaSet`]: its address, and a lazily established
+/// connection that is torn down (and later re-dialed) on any transport
+/// failure.
+struct ReplicaNode {
+    addr: String,
+    client: Option<ServiceClient>,
+}
+
+/// A topology-aware client over one primary plus any number of
+/// replication followers (see `OPERATIONS.md` §10).
+///
+/// * **Writes** (`insert`/`delete`/collection lifecycle) are pinned to
+///   the primary — node 0. Followers would refuse them with
+///   [`ErrorCode::NotPrimary`] anyway, so there is nothing to fail over
+///   to; a write failure surfaces immediately.
+/// * **Reads** (`search`/`search_batch`/`stats`) rotate round-robin
+///   across *all* nodes — the primary serves reads too — and **fail
+///   over**: a node that cannot be dialed, times out, or breaks the
+///   stream is skipped (its connection dropped for a later re-dial) and
+///   the next node answers. One failed node therefore costs at most one
+///   call timeout before the read lands elsewhere. Server-answered
+///   errors ([`ClientError::Remote`]) are real answers and surface
+///   without failover.
+/// * **Failover of the write role** is manual: [`Self::promote`] sends
+///   an owner-authenticated `Promote` to a chosen follower and repins
+///   writes to it.
+///
+/// Connections are established lazily, per node, on first use — a hung
+/// primary cannot block construction of the set.
+///
+/// Followers replicate asynchronously, so a read after an acked write
+/// may briefly see the previous state on a follower (read-your-writes
+/// requires reading the primary; see OPERATIONS.md §10).
+pub struct ReplicaSet {
+    nodes: Vec<ReplicaNode>,
+    next_read: usize,
+    dim: Option<usize>,
+    call_timeout: Duration,
+}
+
+impl ReplicaSet {
+    /// Builds a replica set over `addrs` — the primary first, then the
+    /// followers — with [`DEFAULT_CALL_TIMEOUT`] per call. No connection
+    /// is attempted until the first call needs one.
+    pub fn connect_replicas<S: Into<String>>(
+        addrs: impl IntoIterator<Item = S>,
+        dim: Option<usize>,
+    ) -> Result<Self, ClientError> {
+        Self::connect_replicas_with_timeout(addrs, dim, DEFAULT_CALL_TIMEOUT)
+    }
+
+    /// [`Self::connect_replicas`] with an explicit per-call deadline —
+    /// the bound on how long a dead node can delay a failing-over read.
+    pub fn connect_replicas_with_timeout<S: Into<String>>(
+        addrs: impl IntoIterator<Item = S>,
+        dim: Option<usize>,
+        call_timeout: Duration,
+    ) -> Result<Self, ClientError> {
+        let nodes: Vec<ReplicaNode> =
+            addrs.into_iter().map(|addr| ReplicaNode { addr: addr.into(), client: None }).collect();
+        if nodes.is_empty() {
+            return Err(ClientError::Protocol("a replica set needs at least one node".into()));
+        }
+        Ok(Self { nodes, next_read: 0, dim, call_timeout })
+    }
+
+    /// Node count (primary included).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True for a single-node "set" (no follower to fail over to).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The address writes are currently pinned to.
+    pub fn primary_addr(&self) -> &str {
+        &self.nodes[0].addr
+    }
+
+    /// The client for `node`, dialing it if not yet connected.
+    fn client_at(&mut self, node: usize) -> Result<&mut ServiceClient, ClientError> {
+        let slot = &mut self.nodes[node];
+        if slot.client.is_none() {
+            slot.client = Some(ServiceClient::connect_with_timeout(
+                slot.addr.as_str(),
+                self.dim,
+                self.call_timeout,
+            )?);
+        }
+        Ok(slot.client.as_mut().expect("just connected"))
+    }
+
+    /// Runs `op` against node `node`, dropping its connection on any
+    /// transport-level failure so the next use re-dials.
+    fn call_node<T>(
+        &mut self,
+        node: usize,
+        op: &mut dyn FnMut(&mut ServiceClient) -> Result<T, ClientError>,
+    ) -> Result<T, ClientError> {
+        let outcome = self.client_at(node).and_then(&mut *op);
+        if matches!(outcome, Err(ClientError::Io(_)) | Err(ClientError::Protocol(_))) {
+            self.nodes[node].client = None;
+        }
+        outcome
+    }
+
+    /// One read with rotation + failover. `Remote` errors are answers
+    /// (the node is healthy) and surface without trying another node.
+    fn read<T>(
+        &mut self,
+        mut op: impl FnMut(&mut ServiceClient) -> Result<T, ClientError>,
+    ) -> Result<T, ClientError> {
+        let n = self.nodes.len();
+        let mut last_err = None;
+        for attempt in 0..n {
+            let node = (self.next_read + attempt) % n;
+            match self.call_node(node, &mut op) {
+                Ok(value) => {
+                    self.next_read = (node + 1) % n;
+                    return Ok(value);
+                }
+                Err(e @ ClientError::Remote { .. }) => {
+                    self.next_read = (node + 1) % n;
+                    return Err(e);
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.expect("at least one node was tried"))
+    }
+
+    /// One write, pinned to the primary (node 0). No failover: a
+    /// follower would refuse the write anyway.
+    fn write<T>(
+        &mut self,
+        mut op: impl FnMut(&mut ServiceClient) -> Result<T, ClientError>,
+    ) -> Result<T, ClientError> {
+        self.call_node(0, &mut op)
+    }
+
+    /// [`ServiceClient::search_in`] with follower failover.
+    pub fn search_in(
+        &mut self,
+        collection: &str,
+        query: &EncryptedQuery,
+        params: &SearchParams,
+    ) -> Result<SearchOutcome, ClientError> {
+        self.read(|client| client.search_in(collection, query, params))
+    }
+
+    /// [`ServiceClient::search`] (default collection) with failover.
+    pub fn search(
+        &mut self,
+        query: &EncryptedQuery,
+        params: &SearchParams,
+    ) -> Result<SearchOutcome, ClientError> {
+        self.read(|client| client.search(query, params))
+    }
+
+    /// [`ServiceClient::search_batch_in`] with follower failover.
+    pub fn search_batch_in(
+        &mut self,
+        collection: &str,
+        queries: &[EncryptedQuery],
+        params: &SearchParams,
+    ) -> Result<Vec<SearchOutcome>, ClientError> {
+        self.read(|client| client.search_batch_in(collection, queries, params))
+    }
+
+    /// [`ServiceClient::stats_in`] with follower failover.
+    pub fn stats_in(&mut self, collection: &str) -> Result<StatsSnapshot, ClientError> {
+        self.read(|client| client.stats_in(collection))
+    }
+
+    /// [`ServiceClient::list_collections`] with follower failover.
+    pub fn list_collections(&mut self) -> Result<Vec<CollectionEntry>, ClientError> {
+        self.read(|client| client.list_collections())
+    }
+
+    /// [`ServiceClient::insert_in`], pinned to the primary.
+    pub fn insert_in(
+        &mut self,
+        collection: &str,
+        token: u64,
+        c_sap: Vec<f64>,
+        c_dce: DceCiphertext,
+    ) -> Result<u32, ClientError> {
+        self.write(|client| client.insert_in(collection, token, c_sap.clone(), c_dce.clone()))
+    }
+
+    /// [`ServiceClient::delete_in`], pinned to the primary.
+    pub fn delete_in(&mut self, collection: &str, token: u64, id: u32) -> Result<(), ClientError> {
+        self.write(|client| client.delete_in(collection, token, id))
+    }
+
+    /// Promotes the follower at `node` to primary and repins writes to
+    /// it. The old primary (if still alive) keeps its primary role —
+    /// fence it off before promoting, or its un-replicated tail diverges
+    /// (OPERATIONS.md §10 walks the safe order).
+    pub fn promote(&mut self, node: usize, token: u64) -> Result<(), ClientError> {
+        if node >= self.nodes.len() {
+            return Err(ClientError::Protocol(format!(
+                "node {node} out of range ({} nodes)",
+                self.nodes.len()
+            )));
+        }
+        self.call_node(node, &mut |client| client.promote(token))?;
+        self.nodes.swap(0, node);
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for ReplicaSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplicaSet")
+            .field("nodes", &self.nodes.iter().map(|n| n.addr.as_str()).collect::<Vec<_>>())
+            .field("next_read", &self.next_read)
+            .finish_non_exhaustive()
+    }
 }

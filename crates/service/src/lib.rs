@@ -72,6 +72,7 @@
 pub mod client;
 pub mod io;
 mod reactor;
+pub mod replication;
 pub mod server;
 pub mod stats;
 mod sys;
@@ -82,7 +83,10 @@ pub mod spec {
     #![doc = include_str!("../../../PROTOCOL.md")]
 }
 
-pub use client::{ClientError, ServiceClient, DEFAULT_CALL_TIMEOUT, DEFAULT_PIPELINE_WINDOW};
+pub use client::{
+    ClientError, ReplicaSet, ServiceClient, DEFAULT_CALL_TIMEOUT, DEFAULT_PIPELINE_WINDOW,
+};
+pub use replication::ReplicationRole;
 pub use server::{serve, serve_catalog, ServiceConfig, ServiceHandle};
 pub use stats::{ServiceStats, StatsSnapshot};
 pub use wire::{

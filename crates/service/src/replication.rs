@@ -1,0 +1,602 @@
+//! Primary/backup replication: WAL shipping over PPNW v2 frames.
+//!
+//! ```text
+//! primary process                         follower process
+//! ┌──────────────────────┐   ReplicaHello ┌──────────────────────┐
+//! │ reactor + workers    │◄───────────────│ per-collection sync  │
+//! │  (normal frame path) │ SnapshotChunk /│ thread (blocking IO) │
+//! │                      │──WalSegment───►│                      │
+//! │ per-collection WAL   │   ReplicaAck   │ apply_replicated →   │
+//! │  (PR 7 durability)   │◄───────────────│ in-memory replica    │
+//! └──────────────────────┘                └──────────────────────┘
+//! ```
+//!
+//! The design is **pull-based**: followers drive the stream with strict
+//! request/response pulls ([`Frame::ReplicaHello`] to open or bootstrap,
+//! [`Frame::ReplicaAck`] in steady state), and the primary answers them
+//! through the same reactor + worker pool that serves every other frame —
+//! replication needs no dedicated primary-side session state beyond the
+//! per-connection write buffer the reactor already keeps. That keeps the
+//! primary passive (it never dials anyone) and makes follower recovery
+//! trivial: reconnect and re-ack the last applied offset.
+//!
+//! What ships is the durable byte stream itself, never re-encoded rows:
+//!
+//! * **Bootstrap** — the follower's sealed snapshot identity `(len, crc)`
+//!   does not match the primary's, so the primary streams the snapshot
+//!   file in [`Frame::SnapshotChunk`] runs. The follower verifies the
+//!   assembled bytes against the advertised seal before loading them.
+//! * **Steady state** — the primary ships record-aligned `PPWL` log bytes
+//!   in [`Frame::WalSegment`]s, never past its acknowledged `log_len`
+//!   (bytes below it are complete acknowledged records even mid-crash —
+//!   the WAL writer's dirty-flag discipline guarantees it). The follower
+//!   decodes record by record with [`ppann_core::wal::decode_record_at`]
+//!   and applies through [`Collection::apply_replicated`], the same
+//!   invariants restart replay enforces.
+//! * **Reseal catch-up** — a primary compaction swaps the snapshot and
+//!   restarts the log, changing the seal; the follower's next pull gets
+//!   `SnapshotChunk`s for the new snapshot and re-enters bootstrap.
+//!   Correct but wasteful for large collections; shipping the compacted
+//!   snapshot as a delta is a documented upgrade path (OPERATIONS.md §10).
+//!
+//! A torn segment (the TCP stream died mid-record) costs nothing: the
+//! follower applies the whole records it can decode, discards the partial
+//! tail, and its next ack names the last good offset — the primary simply
+//! resends from there. Divergence (an apply error) is handled the way
+//! restart replay handles a non-applying record: full re-bootstrap, with
+//! [`Catalog::install_replica`] atomically swapping the rebuilt replica in
+//! so reads never observe a missing collection.
+//!
+//! Roles are manual in this version: a process started with
+//! `--replicate-from` is a follower (mutating frames get
+//! [`ErrorCode::NotPrimary`]) until an
+//! owner-authenticated [`Frame::Promote`] flips it. Consensus-driven
+//! promotion and follower-side durability are documented upgrade paths
+//! (OPERATIONS.md §10); follower replicas are in-memory and resync from
+//! their upstream on restart.
+
+use crate::io::{read_frame, write_frame, FrameReadError};
+use crate::reactor::Shared;
+use crate::server::PerCollectionStats;
+use crate::wire::{ErrorCode, Frame, WireName};
+use ppann_core::wal::{
+    decode_record_at, segment_end, snapshot_id, wal_path_for, SnapshotId, WAL_SEALED_LEN,
+};
+use ppann_core::{Catalog, Collection, ReplicationSource};
+use std::collections::HashMap;
+use std::io::Read;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Cap on log bytes shipped per [`Frame::WalSegment`] (the first record
+/// is always included even if it alone exceeds the cap).
+pub(crate) const SEGMENT_MAX_BYTES: usize = 1 << 20;
+
+/// Cap on snapshot bytes shipped per [`Frame::SnapshotChunk`].
+pub(crate) const SNAPSHOT_CHUNK_BYTES: usize = 1 << 20;
+
+/// How many times a pull retries when the collection's sealed state
+/// changes underneath the file read (a concurrent compaction).
+const PULL_RETRIES: usize = 3;
+
+/// How long a follower waits between polls when fully caught up.
+const CAUGHT_UP_PAUSE: Duration = Duration::from_millis(25);
+
+/// Reconnect backoff after an upstream transport failure.
+const RECONNECT_PAUSE: Duration = Duration::from_millis(100);
+
+/// How often the follower manager re-lists the upstream catalog.
+const CATALOG_POLL: Duration = Duration::from_millis(500);
+
+/// Deadline for one blocking request/response exchange with the upstream.
+const PULL_DEADLINE: Duration = Duration::from_secs(10);
+
+/// This process's replication role. Shared by the worker pool (mutation
+/// gating), the follower sync threads (exit on promotion), and
+/// [`ServiceHandle`](crate::server::ServiceHandle).
+///
+/// The only transition is follower → primary, via an owner-authenticated
+/// [`Frame::Promote`] (or [`Self::promote`] in-process). There is no
+/// demotion: restart the process with `--replicate-from` instead, so a
+/// stale primary can never silently rejoin as a follower with diverged
+/// state.
+#[derive(Debug)]
+pub struct ReplicationRole {
+    primary: AtomicBool,
+}
+
+impl ReplicationRole {
+    /// A primary role (the default for a process started without
+    /// `--replicate-from`).
+    pub fn primary() -> Arc<Self> {
+        Arc::new(Self { primary: AtomicBool::new(true) })
+    }
+
+    /// A follower role: mutations refused, sync threads running.
+    pub fn follower() -> Arc<Self> {
+        Arc::new(Self { primary: AtomicBool::new(false) })
+    }
+
+    /// True when this process accepts mutations.
+    pub fn is_primary(&self) -> bool {
+        self.primary.load(Ordering::Relaxed)
+    }
+
+    /// Promotes a follower to primary: mutations are accepted from the
+    /// next frame on, and the sync threads wind down (they stop pulling
+    /// once they observe the flip). Idempotent.
+    pub fn promote(&self) {
+        self.primary.store(true, Ordering::Relaxed);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Primary side: answering pulls.
+// ---------------------------------------------------------------------
+
+/// Answers one follower pull against `coll`. `snapshot_offset` is
+/// `Some` for a [`Frame::ReplicaHello`] (the follower may be mid-
+/// bootstrap) and `None` for a [`Frame::ReplicaAck`] (snapshot transfer
+/// complete by definition). `Err` carries the error frame to answer.
+pub(crate) fn serve_pull(
+    coll: &Collection,
+    seal: SnapshotId,
+    snapshot_offset: Option<u64>,
+    log_offset: u64,
+) -> Result<Frame, (ErrorCode, String)> {
+    for _ in 0..PULL_RETRIES {
+        let Some(src) = coll.replication_source() else {
+            return Err((
+                ErrorCode::Internal,
+                "collection is resealing or not durable — retry".into(),
+            ));
+        };
+        // Bootstrap cases: the follower's seal is not ours (fresh
+        // follower, or our compaction re-sealed), its claimed offset is
+        // past our log (it followed a future we rolled away from), or it
+        // is mid-snapshot-transfer for the current seal.
+        let bootstrapping = seal != src.seal
+            || log_offset > src.log_len
+            || snapshot_offset.is_some_and(|off| off < src.seal.len);
+        let reply = if bootstrapping {
+            // A mismatched seal restarts the transfer at offset 0; a
+            // matching one resumes where the follower left off.
+            let offset = if seal == src.seal { snapshot_offset.unwrap_or(0) } else { 0 };
+            snapshot_chunk(&src, offset)
+        } else {
+            wal_segment(&src, log_offset)
+        };
+        match reply {
+            Ok(frame) => return Ok(frame),
+            // The file changed identity under the read (compaction swaps
+            // it atomically): re-sample and try again.
+            Err(PullError::SealChanged) => continue,
+            Err(PullError::Io(e)) => {
+                return Err((ErrorCode::Internal, format!("replication source read failed: {e}")))
+            }
+        }
+    }
+    Err((ErrorCode::Internal, "collection kept resealing under the pull — retry".into()))
+}
+
+enum PullError {
+    /// The on-disk state no longer matches the sampled source.
+    SealChanged,
+    Io(std::io::Error),
+}
+
+impl From<std::io::Error> for PullError {
+    fn from(e: std::io::Error) -> Self {
+        PullError::Io(e)
+    }
+}
+
+/// One snapshot run starting at `offset`. The file is read in full and
+/// verified against the sampled seal — the computed identity is
+/// authoritative, so a compaction that swapped the file mid-read is
+/// detected here rather than shipped as a torn hybrid.
+fn snapshot_chunk(src: &ReplicationSource, offset: u64) -> Result<Frame, PullError> {
+    let bytes = std::fs::read(&src.snapshot_path)?;
+    if snapshot_id(&bytes) != src.seal {
+        return Err(PullError::SealChanged);
+    }
+    let start = (offset as usize).min(bytes.len());
+    let end = (start + SNAPSHOT_CHUNK_BYTES).min(bytes.len());
+    Ok(Frame::SnapshotChunk {
+        seal_len: src.seal.len,
+        seal_crc: src.seal.crc,
+        offset: start as u64,
+        total_len: bytes.len() as u64,
+        bytes: bytes[start..end].to_vec(),
+    })
+}
+
+/// One record-aligned log run starting at `log_offset` (clamped up to
+/// the sealed prefix — the sealing checkpoint is never shipped; the
+/// follower's bootstrap already gave it the sealed base). Only bytes
+/// below the *sampled* `log_len` ship: those are complete acknowledged
+/// records even if the primary is killed mid-append.
+fn wal_segment(src: &ReplicationSource, log_offset: u64) -> Result<Frame, PullError> {
+    let start = log_offset.max(WAL_SEALED_LEN);
+    let mut bytes = Vec::new();
+    if start < src.log_len {
+        let wal_path = wal_path_for(&src.snapshot_path);
+        let mut file = std::fs::File::open(&wal_path)?;
+        let mut log = vec![0u8; src.log_len as usize];
+        if let Err(e) = file.read_exact(&mut log) {
+            // Shorter than the sampled acknowledged length: this is not
+            // the same log generation (compaction restarted it).
+            return if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                Err(PullError::SealChanged)
+            } else {
+                Err(e.into())
+            };
+        }
+        // The sealing checkpoint must still name the sampled seal — if
+        // not, the file was swapped between the sample and the open.
+        match decode_record_at(&log, ppann_core::wal::WAL_HEADER_LEN) {
+            Some((ppann_core::wal::WalRecord::Checkpoint { base }, _)) if base == src.seal => {}
+            _ => return Err(PullError::SealChanged),
+        }
+        let end = segment_end(&log, start as usize, SEGMENT_MAX_BYTES);
+        bytes = log[start as usize..end].to_vec();
+    }
+    Ok(Frame::WalSegment {
+        seal_len: src.seal.len,
+        seal_crc: src.seal.crc,
+        start_offset: start,
+        log_len: src.log_len,
+        bytes,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Follower side: the manager and per-collection sync threads.
+// ---------------------------------------------------------------------
+
+/// Everything a follower thread needs from the service that spawned it.
+#[derive(Clone)]
+pub(crate) struct FollowerCtx {
+    pub upstream: String,
+    pub catalog: Arc<Catalog>,
+    pub coll_stats: Arc<PerCollectionStats>,
+    pub role: Arc<ReplicationRole>,
+    pub shared: Arc<Shared>,
+    pub max_frame: u32,
+}
+
+impl FollowerCtx {
+    /// True while the follower machinery should keep running.
+    fn running(&self) -> bool {
+        !self.shared.stopping() && !self.role.is_primary()
+    }
+
+    /// Sleeps up to `pause` in small slices; false when winding down.
+    fn pause(&self, pause: Duration) -> bool {
+        let deadline = Instant::now() + pause;
+        while Instant::now() < deadline {
+            if !self.running() {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        self.running()
+    }
+}
+
+/// Spawns the follower manager: it polls the upstream catalog and keeps
+/// one sync thread per upstream collection alive until the service stops
+/// or the role flips to primary. Returned handle joins everything.
+pub(crate) fn spawn_follower(ctx: FollowerCtx) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || run_manager(ctx))
+}
+
+fn run_manager(ctx: FollowerCtx) {
+    let mut syncers: HashMap<String, std::thread::JoinHandle<()>> = HashMap::new();
+    while ctx.running() {
+        match list_upstream(&ctx) {
+            Ok(entries) => {
+                syncers.retain(|_, handle| !handle.is_finished());
+                for name in entries {
+                    if let std::collections::hash_map::Entry::Vacant(slot) = syncers.entry(name) {
+                        let ctx = ctx.clone();
+                        let thread_name = slot.key().clone();
+                        slot.insert(std::thread::spawn(move || run_sync(ctx, thread_name)));
+                    }
+                }
+                if !ctx.pause(CATALOG_POLL) {
+                    break;
+                }
+            }
+            Err(_) => {
+                // Upstream unreachable (down, or not up yet): keep
+                // retrying — the primary may simply start after us.
+                if !ctx.pause(RECONNECT_PAUSE) {
+                    break;
+                }
+            }
+        }
+    }
+    for (_, handle) in syncers {
+        let _ = handle.join();
+    }
+}
+
+/// One blocking upstream connection, handshaken and ready for pulls.
+fn dial_upstream(ctx: &FollowerCtx) -> Result<TcpStream, FrameReadError> {
+    let addr: SocketAddr =
+        ctx.upstream.to_socket_addrs().map_err(FrameReadError::Io)?.next().ok_or_else(|| {
+            FrameReadError::Io(std::io::Error::new(
+                std::io::ErrorKind::AddrNotAvailable,
+                "upstream address resolved to nothing",
+            ))
+        })?;
+    let stream =
+        TcpStream::connect_timeout(&addr, Duration::from_secs(2)).map_err(FrameReadError::Io)?;
+    stream.set_nodelay(true).map_err(FrameReadError::Io)?;
+    // A short read timeout keeps `read_frame`'s retry loop spinning
+    // through its stop/deadline checks instead of blocking forever.
+    stream.set_read_timeout(Some(Duration::from_millis(50))).map_err(FrameReadError::Io)?;
+    let mut stream = stream;
+    // dim 0 = wildcard: a follower syncs heterogeneous collections.
+    exchange(ctx, &mut stream, &Frame::Hello { dim: 0 }).and_then(|reply| match reply {
+        Frame::HelloAck { .. } => Ok(()),
+        other => Err(protocol_surprise("HelloAck", &other)),
+    })?;
+    Ok(stream)
+}
+
+/// One strict request/response exchange with stop-aware deadlines.
+fn exchange(
+    ctx: &FollowerCtx,
+    stream: &mut TcpStream,
+    request: &Frame,
+) -> Result<Frame, FrameReadError> {
+    write_frame(stream, request).map_err(FrameReadError::Io)?;
+    let deadline = Instant::now() + PULL_DEADLINE;
+    match read_frame(stream, ctx.max_frame, Some(&ctx.shared.stop), Some(deadline))? {
+        Some((frame, _)) => Ok(frame),
+        None => Err(FrameReadError::Io(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "upstream closed mid-exchange",
+        ))),
+    }
+}
+
+fn protocol_surprise(wanted: &str, got: &Frame) -> FrameReadError {
+    FrameReadError::Io(std::io::Error::new(
+        std::io::ErrorKind::InvalidData,
+        format!("expected {wanted}, upstream answered {got:?}"),
+    ))
+}
+
+/// The upstream collection names (one sync thread each).
+fn list_upstream(ctx: &FollowerCtx) -> Result<Vec<String>, FrameReadError> {
+    let mut stream = dial_upstream(ctx)?;
+    match exchange(ctx, &mut stream, &Frame::ListCollections)? {
+        Frame::ListCollectionsReply(entries) => Ok(entries.into_iter().map(|e| e.name).collect()),
+        other => Err(protocol_surprise("ListCollectionsReply", &other)),
+    }
+}
+
+/// Follower-side progress for one collection.
+struct SyncState {
+    /// The sealed snapshot identity the local replica was built from;
+    /// zero until the first bootstrap completes.
+    seal: SnapshotId,
+    /// Next log byte to request: everything below applied cleanly.
+    applied: u64,
+    /// Accumulates snapshot bytes during bootstrap.
+    pending: Vec<u8>,
+    /// The seal the pending bytes belong to.
+    pending_seal: SnapshotId,
+    /// True once the local replica is installed and serving reads.
+    installed: bool,
+}
+
+impl SyncState {
+    fn fresh() -> Self {
+        Self {
+            seal: SnapshotId { len: 0, crc: 0 },
+            applied: 0,
+            pending: Vec::new(),
+            pending_seal: SnapshotId { len: 0, crc: 0 },
+            installed: false,
+        }
+    }
+
+    /// Forgets all replication progress (the local replica, if
+    /// installed, keeps serving stale reads until the re-bootstrap
+    /// atomically replaces it).
+    fn reset_progress(&mut self) {
+        self.seal = SnapshotId { len: 0, crc: 0 };
+        self.applied = 0;
+        self.pending.clear();
+        self.pending_seal = SnapshotId { len: 0, crc: 0 };
+    }
+}
+
+/// The per-collection sync loop: bootstrap, then tail the log, acking
+/// applied offsets; on any divergence fall back to a full re-bootstrap.
+/// Exits when the service stops, the role flips to primary, or the
+/// upstream drops the collection (taking the local replica with it).
+fn run_sync(ctx: FollowerCtx, name: String) {
+    let mut state = SyncState::fresh();
+    let wire_name: WireName = name.as_bytes().to_vec();
+    'reconnect: while ctx.running() {
+        let mut stream = match dial_upstream(&ctx) {
+            Ok(stream) => stream,
+            Err(_) => {
+                if !ctx.pause(RECONNECT_PAUSE) {
+                    return;
+                }
+                continue 'reconnect;
+            }
+        };
+        while ctx.running() {
+            // Mid-bootstrap (or never bootstrapped) pulls go through
+            // ReplicaHello, which carries the snapshot transfer offset;
+            // steady-state pulls are the cheaper ReplicaAck.
+            let request = if state.seal == state.pending_seal && state.applied >= WAL_SEALED_LEN {
+                Frame::ReplicaAck {
+                    collection: wire_name.clone(),
+                    seal_len: state.seal.len,
+                    seal_crc: state.seal.crc,
+                    applied_offset: state.applied,
+                }
+            } else {
+                Frame::ReplicaHello {
+                    collection: wire_name.clone(),
+                    seal_len: state.pending_seal.len,
+                    seal_crc: state.pending_seal.crc,
+                    snapshot_offset: state.pending.len() as u64,
+                    log_offset: state.applied,
+                }
+            };
+            let reply = match exchange(&ctx, &mut stream, &request) {
+                Ok(reply) => reply,
+                Err(FrameReadError::Stopped) => return,
+                Err(_) => {
+                    if !ctx.pause(RECONNECT_PAUSE) {
+                        return;
+                    }
+                    continue 'reconnect;
+                }
+            };
+            match reply {
+                Frame::SnapshotChunk { seal_len, seal_crc, offset, total_len, bytes } => {
+                    let seal = SnapshotId { len: seal_len, crc: seal_crc };
+                    if seal != state.pending_seal || offset != state.pending.len() as u64 {
+                        // New target (primary re-sealed) or a resumption
+                        // mismatch: restart the transfer from zero.
+                        state.reset_progress();
+                        state.pending_seal = seal;
+                        if offset != 0 {
+                            continue; // re-pull from offset 0
+                        }
+                    }
+                    state.pending.extend_from_slice(&bytes);
+                    if state.pending.len() as u64 >= total_len
+                        && !install_pending(&ctx, &name, &mut state)
+                    {
+                        // Verification failed — the transfer was
+                        // damaged; start over.
+                        state.reset_progress();
+                    }
+                }
+                Frame::WalSegment { seal_len, seal_crc, start_offset, log_len, bytes } => {
+                    let seal = SnapshotId { len: seal_len, crc: seal_crc };
+                    if seal != state.seal || start_offset != state.applied {
+                        // The primary answered for a different log
+                        // generation than we hold: re-bootstrap.
+                        state.reset_progress();
+                        continue;
+                    }
+                    if bytes.is_empty() || state.applied >= log_len {
+                        // Caught up: breathe before the next poll.
+                        if !ctx.pause(CAUGHT_UP_PAUSE) {
+                            return;
+                        }
+                        continue;
+                    }
+                    if !apply_segment(&ctx, &name, &mut state, &bytes) {
+                        // Divergence: forget progress, re-bootstrap.
+                        state.reset_progress();
+                    }
+                }
+                Frame::Error { code: ErrorCode::UnknownCollection, .. } => {
+                    // Dropped upstream: drop the local replica and let
+                    // the manager respawn us if the name returns.
+                    let _lifecycle = ctx.coll_stats.lock_lifecycle();
+                    let _ = ctx.catalog.drop_collection(&name);
+                    ctx.coll_stats.remove(&name);
+                    return;
+                }
+                Frame::Error { .. } => {
+                    // Transient primary-side trouble (resealing, read
+                    // failure): back off and re-pull.
+                    if !ctx.pause(RECONNECT_PAUSE) {
+                        return;
+                    }
+                }
+                other => {
+                    let _ = protocol_surprise("WalSegment or SnapshotChunk", &other);
+                    continue 'reconnect;
+                }
+            }
+        }
+    }
+}
+
+/// Verifies and installs a completed snapshot transfer; true on success.
+/// Installation is an atomic catalog swap — reads against a previous
+/// replica generation never observe a missing collection.
+fn install_pending(ctx: &FollowerCtx, name: &str, state: &mut SyncState) -> bool {
+    if snapshot_id(&state.pending) != state.pending_seal {
+        return false;
+    }
+    let bytes = bytes::Bytes::from(std::mem::take(&mut state.pending));
+    let (meta, db) = match ppann_core::load_snapshot_bytes(bytes) {
+        Ok(loaded) => loaded,
+        Err(_) => return false,
+    };
+    let shards = meta.map(|m| m.shards as usize).unwrap_or(1).max(1);
+    // Slot before visibility, same as the create path: a resolved
+    // collection must always find its stats slot.
+    let _lifecycle = ctx.coll_stats.lock_lifecycle();
+    ctx.coll_stats.insert(name);
+    if ctx.catalog.install_replica(name, db, shards).is_err() {
+        return false;
+    }
+    state.seal = state.pending_seal;
+    state.applied = WAL_SEALED_LEN;
+    state.installed = true;
+    true
+}
+
+/// Applies every whole record in a shipped segment, advancing `applied`
+/// past each one; a torn tail is discarded (the next ack re-requests
+/// it). False means the stream diverged and the caller re-bootstraps.
+fn apply_segment(ctx: &FollowerCtx, name: &str, state: &mut SyncState, bytes: &[u8]) -> bool {
+    let Some(coll) = ctx.catalog.get(name) else {
+        return false;
+    };
+    let mut off = 0usize;
+    while let Some((record, next)) = decode_record_at(bytes, off) {
+        if coll.apply_replicated(&record).is_err() {
+            return false;
+        }
+        state.applied += (next - off) as u64;
+        off = next;
+    }
+    // Anything after `off` is a torn or corrupt tail: deliberately not
+    // counted as applied, so the next pull fetches it again whole.
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn role_flips_once_and_stays() {
+        let role = ReplicationRole::follower();
+        assert!(!role.is_primary());
+        role.promote();
+        assert!(role.is_primary());
+        role.promote();
+        assert!(role.is_primary());
+    }
+
+    #[test]
+    fn fresh_sync_state_asks_for_a_bootstrap() {
+        let state = SyncState::fresh();
+        // seal == pending_seal but applied < WAL_SEALED_LEN: the pull
+        // loop sends ReplicaHello, which the primary answers with a
+        // bootstrap because the zero seal can never match a real one.
+        assert!(state.applied < WAL_SEALED_LEN);
+        assert!(!state.installed);
+    }
+}

@@ -78,6 +78,7 @@
 //! sizing the reactor + worker deployment.
 
 use crate::reactor::{deadline_after, Command, Conn, ConnState, Interest, Reactor, Shared};
+use crate::replication::{self, FollowerCtx, ReplicationRole};
 use crate::stats::ServiceStats;
 use crate::wire::{
     CollectionEntry, ErrorCode, Frame, WireName, COLLECTION_KIND_CLOUD, COLLECTION_KIND_SHARDED,
@@ -180,6 +181,15 @@ pub struct ServiceConfig {
     /// Lower it explicitly when several clients batch concurrently
     /// (OPERATIONS.md §7).
     pub batch_threads: usize,
+    /// Upstream primary address to replicate from. When set, this
+    /// process starts as a **follower**: it continuously pulls every
+    /// upstream collection's snapshot and WAL stream, serves
+    /// `Search`/`SearchBatch`/`Stats` against the replicas, and refuses
+    /// mutating frames with [`ErrorCode::NotPrimary`] until an
+    /// owner-authenticated `Promote` frame flips the role. Follower
+    /// replicas are in-memory: a restarted follower resyncs from its
+    /// upstream (OPERATIONS.md §10).
+    pub replicate_from: Option<String>,
 }
 
 impl ServiceConfig {
@@ -200,6 +210,7 @@ impl ServiceConfig {
             max_search_k: 1 << 16,
             max_batch: 1024,
             batch_threads: 0,
+            replicate_from: None,
         }
     }
 
@@ -300,6 +311,13 @@ impl ServiceConfig {
         self.max_search_k = max_search_k.max(1);
         self
     }
+
+    /// Starts this process as a replication follower of `upstream`
+    /// (see [`Self::replicate_from`]).
+    pub fn with_replicate_from(mut self, upstream: impl Into<String>) -> Self {
+        self.replicate_from = Some(upstream.into());
+        self
+    }
 }
 
 /// Per-collection service counters plus the catalog lifecycle guard.
@@ -316,7 +334,7 @@ impl ServiceConfig {
 /// every routed frame reads it: only lifecycle operations take the
 /// write lock.
 #[derive(Default)]
-struct PerCollectionStats {
+pub(crate) struct PerCollectionStats {
     map: RwLock<HashMap<String, Arc<ServiceStats>>>,
     /// Serializes create/drop sequences — catalog mutation, snapshot
     /// file I/O, and slot registration — against each other. Without
@@ -335,12 +353,19 @@ impl PerCollectionStats {
     }
 
     /// Registers (or returns) the slot for `name`; uptime starts here.
-    fn insert(&self, name: &str) -> Arc<ServiceStats> {
+    pub(crate) fn insert(&self, name: &str) -> Arc<ServiceStats> {
         Arc::clone(self.map.write().entry(name.to_string()).or_default())
     }
 
-    fn remove(&self, name: &str) {
+    pub(crate) fn remove(&self, name: &str) {
         self.map.write().remove(name);
+    }
+
+    /// Takes the lifecycle lock, serializing against wire-driven
+    /// create/drop sequences (the follower sync threads install and
+    /// drop replicas under it too).
+    pub(crate) fn lock_lifecycle(&self) -> std::sync::MutexGuard<'_, ()> {
+        self.lifecycle.lock()
     }
 }
 
@@ -353,6 +378,7 @@ pub struct ServiceHandle {
     stats: Arc<ServiceStats>,
     catalog: Arc<Catalog>,
     shared: Arc<Shared>,
+    role: Arc<ReplicationRole>,
     threads: Vec<std::thread::JoinHandle<()>>,
 }
 
@@ -382,6 +408,19 @@ impl ServiceHandle {
     /// Total live vectors across every served collection.
     pub fn live(&self) -> u64 {
         self.catalog.total_live() as u64
+    }
+
+    /// True when this process accepts mutations (started without
+    /// `replicate_from`, or promoted since).
+    pub fn is_primary(&self) -> bool {
+        self.role.is_primary()
+    }
+
+    /// The replication role handle (shared with the worker pool and the
+    /// follower sync threads). [`ReplicationRole::promote`] here is the
+    /// in-process equivalent of an owner-authenticated `Promote` frame.
+    pub fn role(&self) -> &Arc<ReplicationRole> {
+        &self.role
     }
 
     /// Raises the stop flag and wakes the reactor: stop accepting, close
@@ -488,18 +527,38 @@ pub fn serve_catalog(
     }
     let shared = Arc::new(Shared::new(Arc::clone(&stats))?);
     let workers = config.workers.max(1);
+    let role = match &config.replicate_from {
+        Some(_) => ReplicationRole::follower(),
+        None => ReplicationRole::primary(),
+    };
 
-    let mut threads = Vec::with_capacity(workers + 1);
+    let mut threads = Vec::with_capacity(workers + 2);
     for _ in 0..workers {
         let shared = Arc::clone(&shared);
         let catalog = Arc::clone(&catalog);
         let coll_stats = Arc::clone(&coll_stats);
         let stats = Arc::clone(&stats);
+        let role = Arc::clone(&role);
         let config = config.clone();
         threads.push(std::thread::spawn(move || {
             while let Some(conn) = shared.ready.pop(&stats) {
-                serve_wake(&conn, &catalog, &coll_stats, &config, &stats, &shared);
+                serve_wake(&conn, &catalog, &coll_stats, &config, &stats, &shared, &role);
             }
+        }));
+    }
+
+    if let Some(upstream) = &config.replicate_from {
+        // The follower machinery: one manager thread polling the
+        // upstream catalog, one sync thread per collection. All of them
+        // observe the shared stop flag and the role, so `request_stop`
+        // (or a promotion) winds them down; `join` collects them here.
+        threads.push(replication::spawn_follower(FollowerCtx {
+            upstream: upstream.clone(),
+            catalog: Arc::clone(&catalog),
+            coll_stats: Arc::clone(&coll_stats),
+            role: Arc::clone(&role),
+            shared: Arc::clone(&shared),
+            max_frame: config.max_frame,
         }));
     }
 
@@ -512,12 +571,13 @@ pub fn serve_catalog(
     )?;
     threads.push(std::thread::spawn(move || reactor.run()));
 
-    Ok(ServiceHandle { addr, stats, catalog, shared, threads })
+    Ok(ServiceHandle { addr, stats, catalog, shared, role, threads })
 }
 
 /// One worker wake: drive the connection as far as one answered request
 /// allows, then hand it back — to the ready queue, to the reactor, or to
 /// the grave.
+#[allow(clippy::too_many_arguments)]
 fn serve_wake(
     conn: &Arc<Conn>,
     catalog: &Catalog,
@@ -525,10 +585,11 @@ fn serve_wake(
     config: &ServiceConfig,
     stats: &ServiceStats,
     shared: &Shared,
+    role: &ReplicationRole,
 ) {
     let verdict = {
         let mut state = conn.state.lock();
-        drive(conn, &mut state, catalog, coll_stats, config, stats, shared)
+        drive(conn, &mut state, catalog, coll_stats, config, stats, shared, role)
     };
     match verdict {
         Wake::Requeue => {
@@ -548,6 +609,7 @@ fn serve_wake(
 }
 
 /// The per-wake state machine, run under the connection's state lock.
+#[allow(clippy::too_many_arguments)]
 fn drive(
     conn: &Conn,
     st: &mut ConnState,
@@ -556,6 +618,7 @@ fn drive(
     config: &ServiceConfig,
     stats: &ServiceStats,
     shared: &Shared,
+    role: &ReplicationRole,
 ) -> Wake {
     // Step 1: move buffered reply bytes toward the kernel. A connection
     // with replies still pending after the flush serves nothing new —
@@ -628,7 +691,17 @@ fn drive(
     // hit a server bug, not a network failure.
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         if st.ready {
-            serve_frame(st, frame, wire_bytes as u64, catalog, coll_stats, config, stats, shared)
+            serve_frame(
+                st,
+                frame,
+                wire_bytes as u64,
+                catalog,
+                coll_stats,
+                config,
+                stats,
+                shared,
+                role,
+            )
         } else {
             serve_hello(st, frame, catalog, stats)
         }
@@ -977,6 +1050,7 @@ fn serve_frame(
     config: &ServiceConfig,
     stats: &ServiceStats,
     shared: &Shared,
+    role: &ReplicationRole,
 ) -> ConnFate {
     let out = &mut st.write_buf;
     match frame {
@@ -1093,6 +1167,10 @@ fn serve_frame(
             ConnFate::Keep
         }
         Frame::Insert { collection, token, c_sap, c_dce } => {
+            if let Some(msg) = follower_refusal(role) {
+                send_error(out, stats, ErrorCode::NotPrimary, msg);
+                return ConnFate::Keep;
+            }
             if !authorized(config, token) {
                 send_error(out, stats, ErrorCode::Unauthorized, "bad owner token".into());
                 return ConnFate::Keep;
@@ -1150,6 +1228,10 @@ fn serve_frame(
             ConnFate::Keep
         }
         Frame::Delete { collection, token, id } => {
+            if let Some(msg) = follower_refusal(role) {
+                send_error(out, stats, ErrorCode::NotPrimary, msg);
+                return ConnFate::Keep;
+            }
             if !authorized(config, token) {
                 send_error(out, stats, ErrorCode::Unauthorized, "bad owner token".into());
                 return ConnFate::Keep;
@@ -1207,7 +1289,16 @@ fn serve_frame(
                 }
             };
             cstats.add_bytes_in(frame_bytes);
-            let snap = cstats.snapshot(coll.live_len() as u64);
+            // The per-collection slot counts the frames routed to this
+            // collection, but the connection gauges are reactor state —
+            // connections are not owned by any collection, so the slot's
+            // own gauges stay zero forever. Report the process-global
+            // gauges instead of misreporting "0 connections" next to
+            // real per-collection request counters (PROTOCOL.md §3.10).
+            let mut snap = cstats.snapshot(coll.live_len() as u64);
+            snap.conns_parked = stats.conns_parked();
+            snap.conns_active = stats.conns_active();
+            snap.ready_depth = stats.ready_depth();
             send_counted(out, &[stats, &cstats], &Frame::StatsReply(snap));
             ConnFate::Keep
         }
@@ -1230,6 +1321,10 @@ fn serve_frame(
             ConnFate::Keep
         }
         Frame::CreateCollection { token, name, dim, shards } => {
+            if let Some(msg) = follower_refusal(role) {
+                send_error(out, stats, ErrorCode::NotPrimary, msg);
+                return ConnFate::Keep;
+            }
             if !authorized(config, token) {
                 send_error(out, stats, ErrorCode::Unauthorized, "bad owner token".into());
                 return ConnFate::Keep;
@@ -1274,6 +1369,10 @@ fn serve_frame(
             ConnFate::Keep
         }
         Frame::DropCollection { token, name } => {
+            if let Some(msg) = follower_refusal(role) {
+                send_error(out, stats, ErrorCode::NotPrimary, msg);
+                return ConnFate::Keep;
+            }
             if !authorized(config, token) {
                 send_error(out, stats, ErrorCode::Unauthorized, "bad owner token".into());
                 return ConnFate::Keep;
@@ -1308,6 +1407,41 @@ fn serve_frame(
             shared.request_stop();
             ConnFate::Close
         }
+        Frame::Promote { token } => {
+            // Manual promotion: owner-authenticated, idempotent (a
+            // primary acks too). The sync threads observe the flip and
+            // wind down; consensus-driven promotion is the documented
+            // upgrade path (OPERATIONS.md §10).
+            if !authorized(config, token) {
+                send_error(out, stats, ErrorCode::Unauthorized, "bad owner token".into());
+                return ConnFate::Keep;
+            }
+            role.promote();
+            send(out, stats, &Frame::PromoteAck);
+            ConnFate::Keep
+        }
+        Frame::ReplicaHello { collection, seal_len, seal_crc, snapshot_offset, log_offset } => {
+            serve_replica_pull(
+                st,
+                &Some(collection),
+                ppann_core::wal::SnapshotId { len: seal_len, crc: seal_crc },
+                Some(snapshot_offset),
+                log_offset,
+                catalog,
+                coll_stats,
+                stats,
+            )
+        }
+        Frame::ReplicaAck { collection, seal_len, seal_crc, applied_offset } => serve_replica_pull(
+            st,
+            &Some(collection),
+            ppann_core::wal::SnapshotId { len: seal_len, crc: seal_crc },
+            None,
+            applied_offset,
+            catalog,
+            coll_stats,
+            stats,
+        ),
         // Replies and a second Hello are protocol violations from a
         // client; answer and keep the connection (stream sync intact).
         Frame::Hello { .. }
@@ -1321,10 +1455,55 @@ fn serve_frame(
         | Frame::CreateCollectionAck
         | Frame::DropCollectionAck
         | Frame::ListCollectionsReply(_)
+        | Frame::WalSegment { .. }
+        | Frame::SnapshotChunk { .. }
+        | Frame::PromoteAck
         | Frame::Error { .. } => {
             send_error(out, stats, ErrorCode::BadRequest, "unexpected frame direction".into());
             ConnFate::Keep
         }
+    }
+}
+
+/// Answers one replication pull (`ReplicaHello` or `ReplicaAck`): the
+/// follower names a collection and its applied position; the reply is a
+/// `SnapshotChunk` (bootstrap/reseal) or a `WalSegment` (steady state).
+/// Replication frames are served by the ordinary worker path — the only
+/// "session state" a pull needs is the follower's own offsets, which it
+/// carries in every request.
+#[allow(clippy::too_many_arguments)]
+fn serve_replica_pull(
+    st: &mut ConnState,
+    collection: &Option<WireName>,
+    seal: ppann_core::wal::SnapshotId,
+    snapshot_offset: Option<u64>,
+    log_offset: u64,
+    catalog: &Catalog,
+    coll_stats: &PerCollectionStats,
+    stats: &ServiceStats,
+) -> ConnFate {
+    let out = &mut st.write_buf;
+    let (coll, cstats) = match resolve_collection(collection, catalog, coll_stats) {
+        Ok(found) => found,
+        Err((code, msg)) => {
+            send_error(out, stats, code, msg);
+            return ConnFate::Keep;
+        }
+    };
+    match replication::serve_pull(&coll, seal, snapshot_offset, log_offset) {
+        Ok(reply) => send_counted(out, &[stats, &cstats], &reply),
+        Err((code, msg)) => send_error_counted(out, &[stats, &cstats], code, msg),
+    }
+    ConnFate::Keep
+}
+
+/// `Some` is the `NotPrimary` refusal for a mutating frame on a
+/// follower. Reads are never gated — scaling them out is the point.
+fn follower_refusal(role: &ReplicationRole) -> Option<String> {
+    if role.is_primary() {
+        None
+    } else {
+        Some("this node is a read-only follower — send writes to the primary".to_string())
     }
 }
 

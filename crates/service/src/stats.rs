@@ -25,8 +25,11 @@ const LATENCY_BUCKETS: usize = 40;
 /// for or held by a worker), and `ready_depth` (connections sitting in
 /// the ready queue, i.e. wakes the workers have not kept up with). The
 /// reactor maintains the connection gauges single-threadedly; the ready
-/// queue maintains its own depth. Per-collection stats slots leave all
-/// three at zero — connections belong to the process, not a collection.
+/// queue maintains its own depth. Per-collection stats slots never
+/// *update* the three gauges — connections belong to the process, not a
+/// collection — so a per-collection `StatsReply` overlays the
+/// process-wide gauge values onto the collection's own counters at
+/// serve time (PROTOCOL.md §3.10).
 #[derive(Debug)]
 pub struct ServiceStats {
     started: Instant,
@@ -215,8 +218,9 @@ pub struct StatsSnapshot {
     pub p99_micros: u64,
     /// Server uptime in microseconds.
     pub uptime_micros: u64,
-    /// Connections parked in epoll awaiting readiness (gauge; 0 in
-    /// per-collection snapshots and in replies from pre-reactor servers).
+    /// Connections parked in epoll awaiting readiness (gauge;
+    /// process-global even in per-collection replies, 0 from
+    /// pre-reactor servers — PROTOCOL.md §3.10).
     pub conns_parked: u64,
     /// Connections checked out to the ready queue or a worker (gauge).
     pub conns_active: u64,

@@ -104,6 +104,13 @@ pub mod tag {
     pub const DROP_COLLECTION_ACK: u8 = 0x43;
     pub const LIST_COLLECTIONS: u8 = 0x44;
     pub const LIST_COLLECTIONS_REPLY: u8 = 0x45;
+    // Replication (version 2 only; PROTOCOL.md §3.23–§3.28).
+    pub const REPLICA_HELLO: u8 = 0x50;
+    pub const REPLICA_ACK: u8 = 0x51;
+    pub const WAL_SEGMENT: u8 = 0x52;
+    pub const SNAPSHOT_CHUNK: u8 = 0x53;
+    pub const PROMOTE: u8 = 0x54;
+    pub const PROMOTE_ACK: u8 = 0x55;
     pub const ERROR: u8 = 0x7F;
 }
 
@@ -132,6 +139,10 @@ pub enum ErrorCode {
     /// itself is well-formed — malformed names are [`Self::BadRequest`]).
     /// The connection stays open.
     UnknownCollection = 8,
+    /// A mutation sent to a read-only replication follower. The
+    /// connection stays open (reads still work here); the client should
+    /// direct writes at the primary.
+    NotPrimary = 9,
 }
 
 impl ErrorCode {
@@ -146,6 +157,7 @@ impl ErrorCode {
             6 => Self::FrameTooLarge,
             7 => Self::Internal,
             8 => Self::UnknownCollection,
+            9 => Self::NotPrimary,
             _ => return None,
         })
     }
@@ -162,6 +174,7 @@ impl std::fmt::Display for ErrorCode {
             Self::FrameTooLarge => "frame too large",
             Self::Internal => "internal server error",
             Self::UnknownCollection => "unknown collection",
+            Self::NotPrimary => "not the primary",
         };
         f.write_str(name)
     }
@@ -308,6 +321,40 @@ pub enum Frame {
     /// Answer to [`Frame::ListCollections`]: every collection, sorted by
     /// name.
     ListCollectionsReply(Vec<CollectionEntry>),
+    /// A follower opens (or re-opens) replication of one collection:
+    /// the snapshot seal `(len, crc)` it currently holds, how many
+    /// snapshot bytes it has received toward that seal, and the WAL
+    /// offset up to which it has applied records. A follower that holds
+    /// nothing yet sends all-zero state; the primary answers with
+    /// whatever the follower needs next — [`Frame::SnapshotChunk`] while
+    /// bootstrapping, [`Frame::WalSegment`] once sealed state matches.
+    ReplicaHello {
+        collection: WireName,
+        seal_len: u64,
+        seal_crc: u32,
+        snapshot_offset: u64,
+        log_offset: u64,
+    },
+    /// A follower's steady-state pull: its (complete) snapshot seal and
+    /// the WAL offset one past the last record it applied. Semantically
+    /// a [`Frame::ReplicaHello`] whose snapshot transfer is done.
+    ReplicaAck { collection: WireName, seal_len: u64, seal_crc: u32, applied_offset: u64 },
+    /// A record-aligned run of raw `PPWL` log bytes: the seal of the
+    /// snapshot the log extends, the offset of the run's first byte,
+    /// the primary's current log length (so the follower knows how far
+    /// behind it still is), and the bytes themselves. Empty bytes mean
+    /// the follower is caught up.
+    WalSegment { seal_len: u64, seal_crc: u32, start_offset: u64, log_len: u64, bytes: Vec<u8> },
+    /// One run of raw snapshot-file bytes during bootstrap: the seal of
+    /// the snapshot being transferred, the run's starting offset, the
+    /// full snapshot length, and the bytes.
+    SnapshotChunk { seal_len: u64, seal_crc: u32, offset: u64, total_len: u64, bytes: Vec<u8> },
+    /// Owner-authenticated promotion of a follower to primary (manual
+    /// failover — OPERATIONS.md §10). Idempotent on a node that is
+    /// already primary.
+    Promote { token: u64 },
+    /// Answer to a successful [`Frame::Promote`].
+    PromoteAck,
     /// Failure report. Depending on the code the server either keeps the
     /// connection open (semantic errors) or closes it (framing errors).
     Error { code: ErrorCode, message: String },
@@ -337,6 +384,12 @@ impl Frame {
             Frame::DropCollectionAck => tag::DROP_COLLECTION_ACK,
             Frame::ListCollections => tag::LIST_COLLECTIONS,
             Frame::ListCollectionsReply(_) => tag::LIST_COLLECTIONS_REPLY,
+            Frame::ReplicaHello { .. } => tag::REPLICA_HELLO,
+            Frame::ReplicaAck { .. } => tag::REPLICA_ACK,
+            Frame::WalSegment { .. } => tag::WAL_SEGMENT,
+            Frame::SnapshotChunk { .. } => tag::SNAPSHOT_CHUNK,
+            Frame::Promote { .. } => tag::PROMOTE,
+            Frame::PromoteAck => tag::PROMOTE_ACK,
             Frame::Error { .. } => tag::ERROR,
         }
     }
@@ -356,7 +409,13 @@ impl Frame {
             | Frame::DropCollection { .. }
             | Frame::DropCollectionAck
             | Frame::ListCollections
-            | Frame::ListCollectionsReply(_) => PROTOCOL_VERSION,
+            | Frame::ListCollectionsReply(_)
+            | Frame::ReplicaHello { .. }
+            | Frame::ReplicaAck { .. }
+            | Frame::WalSegment { .. }
+            | Frame::SnapshotChunk { .. }
+            | Frame::Promote { .. }
+            | Frame::PromoteAck => PROTOCOL_VERSION,
             _ => PROTOCOL_VERSION_LEGACY,
         }
     }
@@ -457,6 +516,37 @@ impl Frame {
                     buf.put_u16_le(e.shards);
                 }
             }
+            Frame::ReplicaHello { collection, seal_len, seal_crc, snapshot_offset, log_offset } => {
+                put_name(buf, collection);
+                buf.put_u64_le(*seal_len);
+                buf.put_u32_le(*seal_crc);
+                buf.put_u64_le(*snapshot_offset);
+                buf.put_u64_le(*log_offset);
+            }
+            Frame::ReplicaAck { collection, seal_len, seal_crc, applied_offset } => {
+                put_name(buf, collection);
+                buf.put_u64_le(*seal_len);
+                buf.put_u32_le(*seal_crc);
+                buf.put_u64_le(*applied_offset);
+            }
+            Frame::WalSegment { seal_len, seal_crc, start_offset, log_len, bytes } => {
+                buf.put_u64_le(*seal_len);
+                buf.put_u32_le(*seal_crc);
+                buf.put_u64_le(*start_offset);
+                buf.put_u64_le(*log_len);
+                buf.put_u64_le(bytes.len() as u64);
+                buf.put_slice(bytes);
+            }
+            Frame::SnapshotChunk { seal_len, seal_crc, offset, total_len, bytes } => {
+                buf.put_u64_le(*seal_len);
+                buf.put_u32_le(*seal_crc);
+                buf.put_u64_le(*offset);
+                buf.put_u64_le(*total_len);
+                buf.put_u64_le(bytes.len() as u64);
+                buf.put_slice(bytes);
+            }
+            Frame::Promote { token } => buf.put_u64_le(*token),
+            Frame::PromoteAck => {}
             Frame::Error { code, message } => {
                 buf.put_u16_le(*code as u16);
                 let msg = message.as_bytes();
@@ -564,6 +654,39 @@ impl Frame {
                 }
                 Frame::ListCollectionsReply(entries)
             }
+            tag::REPLICA_HELLO if namespaced => {
+                let collection = get_name(&mut data)?;
+                let seal_len = get_u64(&mut data)?;
+                let seal_crc = get_u32(&mut data)?;
+                let snapshot_offset = get_u64(&mut data)?;
+                let log_offset = get_u64(&mut data)?;
+                Frame::ReplicaHello { collection, seal_len, seal_crc, snapshot_offset, log_offset }
+            }
+            tag::REPLICA_ACK if namespaced => {
+                let collection = get_name(&mut data)?;
+                let seal_len = get_u64(&mut data)?;
+                let seal_crc = get_u32(&mut data)?;
+                let applied_offset = get_u64(&mut data)?;
+                Frame::ReplicaAck { collection, seal_len, seal_crc, applied_offset }
+            }
+            tag::WAL_SEGMENT if namespaced => {
+                let seal_len = get_u64(&mut data)?;
+                let seal_crc = get_u32(&mut data)?;
+                let start_offset = get_u64(&mut data)?;
+                let log_len = get_u64(&mut data)?;
+                let bytes = get_byte_run(&mut data)?;
+                Frame::WalSegment { seal_len, seal_crc, start_offset, log_len, bytes }
+            }
+            tag::SNAPSHOT_CHUNK if namespaced => {
+                let seal_len = get_u64(&mut data)?;
+                let seal_crc = get_u32(&mut data)?;
+                let offset = get_u64(&mut data)?;
+                let total_len = get_u64(&mut data)?;
+                let bytes = get_byte_run(&mut data)?;
+                Frame::SnapshotChunk { seal_len, seal_crc, offset, total_len, bytes }
+            }
+            tag::PROMOTE if namespaced => Frame::Promote { token: get_u64(&mut data)? },
+            tag::PROMOTE_ACK if namespaced => Frame::PromoteAck,
             tag::ERROR => {
                 if data.remaining() < 10 {
                     return Err(WireError::Truncated.into());
@@ -679,6 +802,17 @@ fn get_counted(data: &mut Bytes, min_element_len: usize) -> Result<usize, WireEr
         return Err(WireError::Truncated);
     }
     Ok(count)
+}
+
+/// Reads a `u64` byte-count followed by that many raw bytes (the WAL /
+/// snapshot byte runs of the replication frames). The count is checked
+/// against the bytes actually remaining before any allocation.
+fn get_byte_run(data: &mut Bytes) -> Result<Vec<u8>, WireError> {
+    let len = get_u64(data)? as usize;
+    if data.remaining() < len {
+        return Err(WireError::Truncated);
+    }
+    Ok(data.copy_to_bytes(len).to_vec())
 }
 
 fn get_u64(data: &mut Bytes) -> Result<u64, WireError> {
@@ -880,11 +1014,168 @@ mod tests {
     }
 
     #[test]
+    fn replication_frames_roundtrip() {
+        match roundtrip(&Frame::ReplicaHello {
+            collection: b"docs".to_vec(),
+            seal_len: 0x1122,
+            seal_crc: 0xAABBCCDD,
+            snapshot_offset: 64,
+            log_offset: 29,
+        }) {
+            Frame::ReplicaHello { collection, seal_len, seal_crc, snapshot_offset, log_offset } => {
+                assert_eq!(collection, b"docs".to_vec());
+                assert_eq!(seal_len, 0x1122);
+                assert_eq!(seal_crc, 0xAABBCCDD);
+                assert_eq!(snapshot_offset, 64);
+                assert_eq!(log_offset, 29);
+            }
+            other => panic!("wrong frame {other:?}"),
+        }
+        match roundtrip(&Frame::ReplicaAck {
+            collection: b"docs".to_vec(),
+            seal_len: 7,
+            seal_crc: 8,
+            applied_offset: 99,
+        }) {
+            Frame::ReplicaAck { collection, seal_len, seal_crc, applied_offset } => {
+                assert_eq!(collection, b"docs".to_vec());
+                assert_eq!(seal_len, 7);
+                assert_eq!(seal_crc, 8);
+                assert_eq!(applied_offset, 99);
+            }
+            other => panic!("wrong frame {other:?}"),
+        }
+        match roundtrip(&Frame::WalSegment {
+            seal_len: 1,
+            seal_crc: 2,
+            start_offset: 29,
+            log_len: 1000,
+            bytes: vec![0xDE, 0xAD, 0xBE, 0xEF],
+        }) {
+            Frame::WalSegment { seal_len, seal_crc, start_offset, log_len, bytes } => {
+                assert_eq!(seal_len, 1);
+                assert_eq!(seal_crc, 2);
+                assert_eq!(start_offset, 29);
+                assert_eq!(log_len, 1000);
+                assert_eq!(bytes, vec![0xDE, 0xAD, 0xBE, 0xEF]);
+            }
+            other => panic!("wrong frame {other:?}"),
+        }
+        // The empty (caught-up) segment is representable.
+        match roundtrip(&Frame::WalSegment {
+            seal_len: 1,
+            seal_crc: 2,
+            start_offset: 64,
+            log_len: 64,
+            bytes: vec![],
+        }) {
+            Frame::WalSegment { bytes, .. } => assert!(bytes.is_empty()),
+            other => panic!("wrong frame {other:?}"),
+        }
+        match roundtrip(&Frame::SnapshotChunk {
+            seal_len: 100,
+            seal_crc: 5,
+            offset: 32,
+            total_len: 100,
+            bytes: vec![1, 2, 3],
+        }) {
+            Frame::SnapshotChunk { seal_len, seal_crc, offset, total_len, bytes } => {
+                assert_eq!(seal_len, 100);
+                assert_eq!(seal_crc, 5);
+                assert_eq!(offset, 32);
+                assert_eq!(total_len, 100);
+                assert_eq!(bytes, vec![1, 2, 3]);
+            }
+            other => panic!("wrong frame {other:?}"),
+        }
+        match roundtrip(&Frame::Promote { token: 42 }) {
+            Frame::Promote { token } => assert_eq!(token, 42),
+            other => panic!("wrong frame {other:?}"),
+        }
+        assert!(matches!(roundtrip(&Frame::PromoteAck), Frame::PromoteAck));
+        // All replication frames are version-2-only on the wire.
+        assert_eq!(Frame::Promote { token: 1 }.encode()[4], PROTOCOL_VERSION);
+        assert_eq!(
+            Frame::WalSegment {
+                seal_len: 0,
+                seal_crc: 0,
+                start_offset: 0,
+                log_len: 0,
+                bytes: vec![]
+            }
+            .encode()[4],
+            PROTOCOL_VERSION
+        );
+    }
+
+    #[test]
+    fn byte_run_count_is_validated_before_allocation() {
+        // A WalSegment whose byte-count field claims 2^56 bytes but
+        // carries none must be rejected as truncated, without allocating.
+        let mut bytes = Frame::WalSegment {
+            seal_len: 1,
+            seal_crc: 2,
+            start_offset: 29,
+            log_len: 1000,
+            bytes: vec![],
+        }
+        .encode()
+        .to_vec();
+        let payload_len = bytes.len() - HEADER_LEN;
+        bytes[HEADER_LEN + payload_len - 8..].copy_from_slice(&(1u64 << 56).to_le_bytes());
+        assert_eq!(
+            decode_frame(&bytes, DEFAULT_MAX_FRAME).unwrap_err(),
+            ProtocolError::Codec(WireError::Truncated)
+        );
+    }
+
+    #[test]
+    fn not_primary_error_code_roundtrips() {
+        assert_eq!(ErrorCode::from_u16(9), Some(ErrorCode::NotPrimary));
+        match roundtrip(&Frame::Error { code: ErrorCode::NotPrimary, message: "follower".into() }) {
+            Frame::Error { code, message } => {
+                assert_eq!(code, ErrorCode::NotPrimary);
+                assert_eq!(message, "follower");
+            }
+            other => panic!("wrong frame {other:?}"),
+        }
+    }
+
+    #[test]
     fn catalog_tags_do_not_exist_under_version_1() {
         for frame in [
             Frame::ListCollections,
             Frame::CreateCollection { token: 1, name: b"a".to_vec(), dim: 2, shards: 1 },
             Frame::DropCollection { token: 1, name: b"a".to_vec() },
+            Frame::ReplicaHello {
+                collection: b"a".to_vec(),
+                seal_len: 0,
+                seal_crc: 0,
+                snapshot_offset: 0,
+                log_offset: 0,
+            },
+            Frame::ReplicaAck {
+                collection: b"a".to_vec(),
+                seal_len: 0,
+                seal_crc: 0,
+                applied_offset: 0,
+            },
+            Frame::WalSegment {
+                seal_len: 0,
+                seal_crc: 0,
+                start_offset: 0,
+                log_len: 0,
+                bytes: vec![],
+            },
+            Frame::SnapshotChunk {
+                seal_len: 0,
+                seal_crc: 0,
+                offset: 0,
+                total_len: 0,
+                bytes: vec![],
+            },
+            Frame::Promote { token: 1 },
+            Frame::PromoteAck,
         ] {
             let mut bytes = frame.encode().to_vec();
             bytes[4] = PROTOCOL_VERSION_LEGACY;

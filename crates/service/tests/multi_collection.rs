@@ -304,6 +304,10 @@ fn create_insert_search_drop_lifecycle() {
     assert_eq!(snap.queries, 1);
     assert_eq!(snap.errors, 1, "routed failures must count per collection");
     assert!(snap.bytes_in > 0 && snap.bytes_out > 0);
+    // The connection gauges are process-global (PROTOCOL.md §3.10): a
+    // per-collection reply overlays them, so the very connection asking
+    // is visible as checked-out rather than reported as zero.
+    assert!(snap.conns_active >= 1, "the asking connection must show in conns_active");
     // The aggregate view counts the whole process.
     let agg = client.stats().unwrap();
     assert_eq!(agg.live, 60 + 10);

@@ -7,6 +7,7 @@
 //! bytes* — including non-UTF-8 — because that is what the codec must
 //! carry for the server's semantic name validation to be reachable.
 
+use ppann_core::wal::{decode_record_at, WalRecord};
 use ppann_core::{EncryptedQuery, QueryCost, SearchOutcome, SearchParams};
 use ppann_dce::DceTrapdoor;
 use ppann_service::wire::{
@@ -268,5 +269,131 @@ proptest! {
             Frame::ListCollectionsReply(back) => prop_assert_eq!(back, entries),
             other => prop_assert!(false, "wrong frame {:?}", other),
         }
+    }
+
+    /// All six replication frames round-trip bit-exactly for arbitrary
+    /// field values — collection names as raw bytes, seals, offsets and
+    /// opaque WAL/snapshot payloads — and always carry the v2 byte.
+    #[test]
+    fn replication_frames_roundtrip(
+        name in proptest::collection::vec(any::<u8>(), 0..80),
+        seal_len in any::<u64>(),
+        seal_crc in any::<u32>(),
+        offsets in proptest::collection::vec(any::<u64>(), 4),
+        token in any::<u64>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let frames = [
+            Frame::ReplicaHello {
+                collection: name.clone(),
+                seal_len,
+                seal_crc,
+                snapshot_offset: offsets[0],
+                log_offset: offsets[1],
+            },
+            Frame::ReplicaAck {
+                collection: name.clone(),
+                seal_len,
+                seal_crc,
+                applied_offset: offsets[2],
+            },
+            Frame::WalSegment {
+                seal_len,
+                seal_crc,
+                start_offset: offsets[0],
+                log_len: offsets[1],
+                bytes: payload.clone(),
+            },
+            Frame::SnapshotChunk {
+                seal_len,
+                seal_crc,
+                offset: offsets[3],
+                total_len: offsets[1],
+                bytes: payload.clone(),
+            },
+            Frame::Promote { token },
+            Frame::PromoteAck,
+        ];
+        for frame in frames {
+            let encoded = frame.encode();
+            prop_assert_eq!(encoded[4], PROTOCOL_VERSION, "replication frames are v2-only");
+            // Byte-identical re-encode (asserted inside) plus a matching
+            // variant is field equality: the encoding is canonical.
+            let back = roundtrip_and_prefixes(&frame);
+            prop_assert_eq!(std::mem::discriminant(&back), std::mem::discriminant(&frame));
+        }
+    }
+
+    /// A WalSegment whose byte-run length claims more than the payload
+    /// carries is rejected before any allocation for the run.
+    #[test]
+    fn inflated_segment_len_rejected(
+        inflate in 1u64..1_000_000,
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let frame = Frame::WalSegment {
+            seal_len: 1,
+            seal_crc: 2,
+            start_offset: 3,
+            log_len: 4,
+            bytes: payload,
+        };
+        let mut bytes = frame.encode().to_vec();
+        // Byte-run length u64 sits after seal (8+4) + start (8) + log_len (8).
+        let off = HEADER_LEN + 28;
+        let claimed = u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap());
+        bytes[off..off + 8].copy_from_slice(&claimed.saturating_add(inflate).to_le_bytes());
+        prop_assert!(decode_frame(&bytes, DEFAULT_MAX_FRAME).is_err());
+    }
+
+    /// The follower's torn-segment contract: a WAL byte stream cut at an
+    /// arbitrary byte yields, via `decode_record_at`, exactly the records
+    /// whose frames end at or before the cut, and the resume offset — the
+    /// one a follower would re-ack — is the last whole-record boundary,
+    /// never inside a record and never past the cut.
+    #[test]
+    fn torn_segment_applies_whole_records_and_reacks_last_boundary(
+        ids in proptest::collection::vec(any::<u32>(), 1..8),
+        dim in 1usize..5,
+        pool in proptest::collection::vec(-1e6f64..1e6, 64),
+        cut_seed in any::<u64>(),
+    ) {
+        // A synthetic record stream (what WalSegment.bytes carries).
+        let mut stream = Vec::new();
+        let mut boundaries = vec![0usize];
+        for (i, id) in ids.iter().enumerate() {
+            let record = if i % 3 == 2 {
+                WalRecord::Delete { id: *id }
+            } else {
+                let c_sap: Vec<f64> =
+                    pool.iter().cycle().skip(i * dim).take(dim).copied().collect();
+                let c_dce = ppann_dce::DceCiphertext::from_components(
+                    c_sap.clone(),
+                    c_sap.clone(),
+                    c_sap.clone(),
+                    c_sap.clone(),
+                );
+                WalRecord::Insert { id: *id, c_sap, c_dce }
+            };
+            stream.extend_from_slice(&record.encode());
+            boundaries.push(stream.len());
+        }
+        let cut = (cut_seed % (stream.len() as u64 + 1)) as usize;
+        let torn = &stream[..cut];
+
+        // Walk the torn stream exactly as `apply_segment` does.
+        let mut off = 0usize;
+        let mut applied = 0usize;
+        while let Some((_, next)) = decode_record_at(torn, off) {
+            off = next;
+            applied += 1;
+        }
+
+        // The resume offset is the greatest record boundary ≤ cut, and
+        // the applied count is the number of whole records before it.
+        let expect_off = *boundaries.iter().filter(|b| **b <= cut).max().unwrap();
+        let expect_applied = boundaries.iter().filter(|b| **b <= cut).count() - 1;
+        prop_assert_eq!(off, expect_off);
+        prop_assert_eq!(applied, expect_applied);
     }
 }

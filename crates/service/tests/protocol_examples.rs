@@ -54,6 +54,12 @@ fn expected_tag(name: &str) -> u8 {
         "DropCollectionAck" => tag::DROP_COLLECTION_ACK,
         "ListCollections" => tag::LIST_COLLECTIONS,
         "ListCollectionsReply" => tag::LIST_COLLECTIONS_REPLY,
+        "ReplicaHello" => tag::REPLICA_HELLO,
+        "ReplicaAck" => tag::REPLICA_ACK,
+        "WalSegment" => tag::WAL_SEGMENT,
+        "SnapshotChunk" => tag::SNAPSHOT_CHUNK,
+        "Promote" => tag::PROMOTE,
+        "PromoteAck" => tag::PROMOTE_ACK,
         "Error" => tag::ERROR,
         other => panic!("PROTOCOL.md documents unknown message {other}"),
     }
@@ -88,6 +94,12 @@ fn every_message_has_a_worked_example() {
         "DropCollectionAck",
         "ListCollections",
         "ListCollectionsReply",
+        "ReplicaHello",
+        "ReplicaAck",
+        "WalSegment",
+        "SnapshotChunk",
+        "Promote",
+        "PromoteAck",
         "Error",
     ] {
         assert!(examples.contains_key(name), "PROTOCOL.md lacks a worked example for {name}");
@@ -99,7 +111,13 @@ fn every_message_has_a_worked_example() {
 #[test]
 fn documented_version_bytes_follow_the_canonical_rule() {
     for (name, bytes) in documented_examples() {
-        let expect = if name.ends_with("Named") || name.contains("Collection") { 2 } else { 1 };
+        let v2 = name.ends_with("Named")
+            || name.contains("Collection")
+            || name.starts_with("Replica")
+            || name.starts_with("Promote")
+            || name == "WalSegment"
+            || name == "SnapshotChunk";
+        let expect = if v2 { 2 } else { 1 };
         assert_eq!(bytes[4], expect, "example {name} has the wrong version byte");
     }
 }
@@ -251,6 +269,50 @@ fn documented_field_values_match() {
             assert_eq!(token, 7);
             assert_eq!(name, b"vault".to_vec());
         }
+        other => panic!("wrong frame {other:?}"),
+    }
+    // Replication frames (§3.23–§3.28).
+    match decode_frame(&examples["ReplicaHello"], DEFAULT_MAX_FRAME).unwrap() {
+        Frame::ReplicaHello { collection, seal_len, seal_crc, snapshot_offset, log_offset } => {
+            assert_eq!(collection, b"vault".to_vec());
+            assert_eq!(seal_len, 512);
+            assert_eq!(seal_crc, 0xDEADBEEF);
+            assert_eq!(snapshot_offset, 0);
+            assert_eq!(log_offset, 29);
+        }
+        other => panic!("wrong frame {other:?}"),
+    }
+    match decode_frame(&examples["ReplicaAck"], DEFAULT_MAX_FRAME).unwrap() {
+        Frame::ReplicaAck { collection, seal_len, seal_crc, applied_offset } => {
+            assert_eq!(collection, b"vault".to_vec());
+            assert_eq!(seal_len, 512);
+            assert_eq!(seal_crc, 0xDEADBEEF);
+            assert_eq!(applied_offset, 73);
+        }
+        other => panic!("wrong frame {other:?}"),
+    }
+    match decode_frame(&examples["WalSegment"], DEFAULT_MAX_FRAME).unwrap() {
+        Frame::WalSegment { seal_len, seal_crc, start_offset, log_len, bytes } => {
+            assert_eq!(seal_len, 512);
+            assert_eq!(seal_crc, 0xDEADBEEF);
+            assert_eq!(start_offset, 29);
+            assert_eq!(log_len, 73);
+            assert_eq!(bytes, vec![0xAA, 0xBB, 0xCC, 0xDD]);
+        }
+        other => panic!("wrong frame {other:?}"),
+    }
+    match decode_frame(&examples["SnapshotChunk"], DEFAULT_MAX_FRAME).unwrap() {
+        Frame::SnapshotChunk { seal_len, seal_crc, offset, total_len, bytes } => {
+            assert_eq!(seal_len, 512);
+            assert_eq!(seal_crc, 0xDEADBEEF);
+            assert_eq!(offset, 0);
+            assert_eq!(total_len, 512);
+            assert_eq!(bytes, b"PPDB".to_vec());
+        }
+        other => panic!("wrong frame {other:?}"),
+    }
+    match decode_frame(&examples["Promote"], DEFAULT_MAX_FRAME).unwrap() {
+        Frame::Promote { token } => assert_eq!(token, 7),
         other => panic!("wrong frame {other:?}"),
     }
     match decode_frame(&examples["ListCollectionsReply"], DEFAULT_MAX_FRAME).unwrap() {

@@ -65,6 +65,7 @@ fn main() -> ExitCode {
         "create" => cmd_create(&flags),
         "drop" => cmd_drop(&flags),
         "stats" => cmd_stats(&flags),
+        "promote" => cmd_promote(&flags),
         "shutdown" => cmd_shutdown(&flags),
         "tune" => cmd_tune(&flags),
         other => Err(format!("unknown command `{other}`")),
@@ -82,7 +83,8 @@ const USAGE: &str = "usage:
   ppanns-cli gen       --profile <sift|gist|glove|deep> --n <N> --queries <Q> --base <out.fvecs> --out-queries <out.fvecs> [--seed S]
   ppanns-cli outsource --base <in.fvecs> --db <out.bin> --keys <out.bin> [--beta B] [--seed S]
   ppanns-cli serve     --db <in.bin> [--addr A] [--shards S] [--workers W] [--token T]
-  ppanns-cli serve     --data-dir <dir> [--addr A] [--workers W] [--token T] [--fsync always|never|every=N] [--compact-bytes B]
+  ppanns-cli serve     --data-dir <dir> [--addr A] [--workers W] [--token T] [--fsync always|never|every=N] [--compact-bytes B] [--replica-listen A2]
+  ppanns-cli serve     --replicate-from <primary-addr> [--addr A] [--workers W] [--token T]
   ppanns-cli query     --remote <addr> --keys <in.bin> --queries <in.fvecs> [--collection C] [--k K] [--ratio R] [--ef E]
   ppanns-cli query     --remote <addr> --keys <in.bin> --batch-file <in.fvecs> [--collection C] [--batch-size B] [--k K] [--ratio R] [--ef E]
   ppanns-cli query     --db <in.bin> --keys <in.bin> --queries <in.fvecs> [--k K] [--ratio R] [--ef E] [--shards S]
@@ -90,6 +92,7 @@ const USAGE: &str = "usage:
   ppanns-cli create    --remote <addr> --token <T> --name <N> --dim <D> [--shards S]
   ppanns-cli drop      --remote <addr> --token <T> --name <N>
   ppanns-cli stats     --remote <addr> [--collection C]
+  ppanns-cli promote   --remote <addr> --token <T>
   ppanns-cli shutdown  --remote <addr> --token <T>
   ppanns-cli tune      --db <in.bin> --keys <in.bin> --base <in.fvecs> --queries <in.fvecs> [--k K] [--target T]";
 
@@ -197,11 +200,25 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         config = config.with_owner_token(t);
     }
 
-    // Two boot modes: one snapshot served as collection "default"
-    // (--db, the legacy deployment), or a whole snapshot directory —
-    // one collection per *.ppdb file, with remote create/drop persisted
-    // back into the directory.
+    // Three boot modes: one snapshot served as collection "default"
+    // (--db, the legacy deployment), a whole snapshot directory
+    // (--data-dir, one collection per *.ppdb file, with remote
+    // create/drop persisted back), or a replication follower
+    // (--replicate-from, empty catalog that syncs every upstream
+    // collection and serves reads — OPERATIONS.md §10).
+    let replicate_from = flags.get("replicate-from");
+    if replicate_from.is_some() && (flags.get("db").is_some() || flags.get("data-dir").is_some()) {
+        return Err(
+            "--replicate-from is exclusive with --db/--data-dir: a follower's collections \
+             come from its upstream and live in memory"
+                .into(),
+        );
+    }
     let catalog = match (flags.get("db"), flags.get("data-dir")) {
+        (None, None) if replicate_from.is_some() => {
+            config = config.with_replicate_from(replicate_from.expect("checked above"));
+            Catalog::new()
+        }
         (Some(_), Some(_)) => return Err("--db and --data-dir are mutually exclusive".into()),
         (Some(db_path), None) => {
             let db = EncryptedDatabase::load_from(Path::new(db_path)).map_err(|e| e.to_string())?;
@@ -250,19 +267,44 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
             config = config.with_data_dir(dir).with_fsync(fsync).with_compact_bytes(compact_bytes);
             catalog
         }
-        (None, None) => return Err("missing --db (or --data-dir)".into()),
+        (None, None) => return Err("missing --db, --data-dir or --replicate-from".into()),
     };
 
     let collections = catalog.list();
-    let handle =
-        serve_catalog(Arc::new(catalog), config).map_err(|e| format!("bind failed: {e}"))?;
+    let catalog = Arc::new(catalog);
+    let handle = serve_catalog(Arc::clone(&catalog), config.clone())
+        .map_err(|e| format!("bind failed: {e}"))?;
+
+    // A dedicated replication listener over the SAME catalog: follower
+    // pull traffic (snapshot chunks, WAL segments) gets its own accept
+    // queue, connection budget and worker pool, so a bootstrapping
+    // follower never competes with client queries for the primary's
+    // main listener.
+    let replica_handle = match flags.get("replica-listen") {
+        Some(replica_addr) => {
+            let replica_config = {
+                let mut c = config.clone().with_addr(replica_addr.clone());
+                c.replicate_from = None; // listeners never pull
+                c
+            };
+            let h = serve_catalog(Arc::clone(&catalog), replica_config)
+                .map_err(|e| format!("replica listener bind failed: {e}"))?;
+            println!("replication listener on {}", h.local_addr());
+            Some(h)
+        }
+        None => None,
+    };
 
     println!(
-        "serving {} collections ({} vectors) on {} with {workers} workers{}",
+        "serving {} collections ({} vectors) on {} with {workers} workers{}{}",
         collections.len(),
         handle.live(),
         handle.local_addr(),
         if token.is_some() { ", owner maintenance enabled" } else { ", maintenance disabled" },
+        match replicate_from {
+            Some(upstream) => format!(", replicating from {upstream} (read-only follower)"),
+            None => String::new(),
+        },
     );
     for c in &collections {
         println!("  {:<20} {:>8} vectors  {:>5}d  {}", c.name, c.live, c.dim, c.kind);
@@ -276,11 +318,17 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         None => println!("no --token given: remote shutdown disabled, stop with Ctrl-C"),
     }
 
-    // Serve until a Shutdown frame raises the stop flag.
-    while !handle.stop_requested() {
+    // Serve until a Shutdown frame raises a stop flag (on either
+    // listener — both serve the same catalog, so either stops both).
+    while !handle.stop_requested() && replica_handle.as_ref().is_none_or(|h| !h.stop_requested()) {
         std::thread::sleep(std::time::Duration::from_millis(200));
     }
     let snap = handle.stats().snapshot(handle.live());
+    if let Some(h) = replica_handle {
+        h.request_stop();
+        h.join();
+    }
+    handle.request_stop();
     handle.join();
     println!(
         "shutdown: {} live vectors, {} queries, {} inserts, {} deletes, {} errors, {} B in, {} B out",
@@ -445,6 +493,18 @@ fn cmd_shutdown(flags: &Flags) -> Result<(), String> {
     let mut client = ServiceClient::connect(remote, None).map_err(|e| format!("{remote}: {e}"))?;
     client.shutdown(token).map_err(|e| e.to_string())?;
     println!("server at {remote} acknowledged shutdown");
+    Ok(())
+}
+
+/// Flips a replication follower to primary (OPERATIONS.md §10 is the
+/// runbook — fence the old primary first).
+fn cmd_promote(flags: &Flags) -> Result<(), String> {
+    let remote = required(flags, "remote")?;
+    let token: u64 =
+        required(flags, "token")?.parse().map_err(|_| "--token: cannot parse".to_string())?;
+    let mut client = ServiceClient::connect(remote, None).map_err(|e| format!("{remote}: {e}"))?;
+    client.promote(token).map_err(|e| e.to_string())?;
+    println!("server at {remote} is now the primary (accepting writes)");
     Ok(())
 }
 

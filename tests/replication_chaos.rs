@@ -1,0 +1,305 @@
+//! Replication chaos harness: a real `ppanns-cli serve --data-dir`
+//! primary replicates to a real `--replicate-from` follower process
+//! while a client churns acknowledged inserts; the primary is SIGKILLed
+//! mid-churn at a randomized point, and the test then proves the
+//! tentpole's three promises (OPERATIONS.md §10):
+//!
+//! 1. **Reads survive the primary.** The follower keeps answering
+//!    searches — every insert it replicated is still its own nearest
+//!    neighbor — and a [`ReplicaSet`] client fails a read over from the
+//!    dead primary to the follower within one call-timeout budget.
+//! 2. **No acknowledged insert is lost.** The primary restarts from its
+//!    data dir and every churn insert the client saw acknowledged is
+//!    live and self-findable (`--fsync always` is the mode under test,
+//!    same as the single-node crash harness).
+//! 3. **Followers bootstrap from a restarted primary.** A fresh
+//!    follower pointed at the revived primary converges to the full
+//!    post-recovery state and answers with identical results.
+//!
+//! Iterations default to a quick smoke count; CI sets
+//! `PPANN_CRASH_ITERS` for the sweep (the scheduled soak runs 200).
+//! Failing runs leave both data dirs and both server logs under
+//! `CARGO_TARGET_TMPDIR/replication_chaos` for artifact upload;
+//! successful runs clean up.
+
+use ppanns::core::{
+    save_collection_snapshot, CollectionMeta, DataOwner, PpAnnParams, SearchParams,
+};
+use ppanns::linalg::{seeded_rng, uniform_vec};
+use ppanns::service::{ReplicaSet, ServiceClient};
+use std::io::BufRead;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+const TOKEN: u64 = 7;
+const DIM: usize = 4;
+const BASE_N: usize = 24;
+const COLLECTION: &str = "c";
+
+fn iterations() -> u64 {
+    std::env::var("PPANN_CRASH_ITERS").ok().and_then(|v| v.parse().ok()).unwrap_or(3)
+}
+
+/// Deterministic per-iteration randomness (no wall clock, so a failing
+/// iteration number reproduces exactly).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+}
+
+/// A served child whose stderr is teed to a log file for artifact
+/// upload; killed (if still alive) when dropped so a failing assertion
+/// never leaks processes.
+struct Server {
+    child: Child,
+    addr: String,
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn spawn(args: &[&str], log_path: &Path) -> Server {
+    let bin = env!("CARGO_BIN_EXE_ppanns-cli");
+    let log = std::fs::File::create(log_path).unwrap();
+    let mut child = Command::new(bin)
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::from(log))
+        .spawn()
+        .unwrap();
+    let stdout = child.stdout.take().unwrap();
+    let mut reader = std::io::BufReader::new(stdout);
+    // Recovery lines may precede the serving line; scan for the line
+    // that carries the bound address.
+    let addr = loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line).unwrap() == 0 {
+            panic!("server exited before announcing its address (log: {})", log_path.display());
+        }
+        if line.starts_with("serving") {
+            break line
+                .split(" on ")
+                .nth(1)
+                .and_then(|rest| rest.split_whitespace().next())
+                .unwrap_or_else(|| panic!("cannot parse bound address from: {line}"))
+                .to_string();
+        }
+    };
+    // Keep draining stdout so the child never blocks on a full pipe.
+    std::thread::spawn(move || {
+        let mut sink = String::new();
+        while reader.read_line(&mut sink).map(|n| n > 0).unwrap_or(false) {
+            sink.clear();
+        }
+    });
+    Server { child, addr }
+}
+
+fn spawn_primary(dir: &Path, log: &Path) -> Server {
+    spawn(
+        &[
+            "serve",
+            "--data-dir",
+            dir.to_str().unwrap(),
+            "--addr",
+            "127.0.0.1:0",
+            "--token",
+            &TOKEN.to_string(),
+            "--fsync",
+            "always",
+        ],
+        log,
+    )
+}
+
+fn spawn_follower(upstream: &str, log: &Path) -> Server {
+    spawn(
+        &[
+            "serve",
+            "--replicate-from",
+            upstream,
+            "--addr",
+            "127.0.0.1:0",
+            "--token",
+            &TOKEN.to_string(),
+        ],
+        log,
+    )
+}
+
+fn seed_data_dir(dir: &Path, seed: u64) -> (DataOwner, Vec<Vec<f64>>) {
+    std::fs::remove_dir_all(dir).ok();
+    std::fs::create_dir_all(dir).unwrap();
+    let mut rng = seeded_rng(seed);
+    let vectors: Vec<Vec<f64>> =
+        (0..BASE_N + 4096).map(|_| uniform_vec(&mut rng, DIM, -1.0, 1.0)).collect();
+    let base = &vectors[..BASE_N];
+    let owner = DataOwner::setup(PpAnnParams::new(DIM).with_seed(seed), base);
+    save_collection_snapshot(
+        &dir.join(format!("{COLLECTION}.ppdb")),
+        &CollectionMeta { name: COLLECTION.into(), shards: 1 },
+        &owner.outsource(base),
+    )
+    .unwrap();
+    (owner, vectors)
+}
+
+fn params() -> SearchParams {
+    SearchParams { k_prime: 12, ef_search: 24 }
+}
+
+/// Churns acknowledged inserts until a call fails — which is how the
+/// churn thread learns the kill landed. Insert-only churn keeps the
+/// replicated prefix trivially checkable: a follower holding `live`
+/// vectors holds exactly ids `0..live`.
+fn churn(addr: &str, owner: &DataOwner, vectors: &[Vec<f64>], seed: u64, acked: &Mutex<Vec<u32>>) {
+    let Ok(mut client) = ServiceClient::connect(addr, None) else {
+        return; // killed before the handshake — nothing was acked
+    };
+    let mut next = BASE_N;
+    loop {
+        let (c_sap, c_dce) = owner.encrypt_for_insert(&vectors[next], seed ^ next as u64);
+        match client.insert_in(COLLECTION, TOKEN, c_sap, c_dce) {
+            Ok(id) => {
+                assert_eq!(id as usize, next, "server assigned an unexpected id");
+                acked.lock().unwrap().push(id);
+                next += 1;
+            }
+            Err(_) => return, // the kill landed mid-call
+        }
+    }
+}
+
+/// Polls `addr` until the named collection reports `at_least` live
+/// vectors (or panics at the deadline); returns the observed count.
+fn await_live(addr: &str, at_least: usize, what: &str) -> usize {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if let Ok(mut client) = ServiceClient::connect(addr, None) {
+            if let Ok(snap) = client.stats_in(COLLECTION) {
+                if snap.live as usize >= at_least {
+                    return snap.live as usize;
+                }
+            }
+        }
+        assert!(Instant::now() < deadline, "{what}: never reached {at_least} live vectors");
+        std::thread::sleep(Duration::from_millis(30));
+    }
+}
+
+#[test]
+fn sigkill_primary_mid_churn_loses_no_acked_insert_and_reads_fail_over() {
+    let base = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("replication_chaos");
+    for iter in 0..iterations() {
+        let seed = 9000 + iter;
+        let dir = base.join("primary_data");
+        let (owner, vectors) = seed_data_dir(&dir, seed);
+        std::fs::create_dir_all(base.join("logs")).unwrap();
+        let plog = base.join("logs").join("primary.log");
+        let flog = base.join("logs").join("follower.log");
+        let flog2 = base.join("logs").join("follower_rebootstrap.log");
+
+        let primary = spawn_primary(&dir, &plog);
+        let follower = spawn_follower(&primary.addr, &flog);
+        // Let the follower finish its snapshot bootstrap before the
+        // churn starts, so the kill window exercises WAL tailing.
+        await_live(&follower.addr, BASE_N, "bootstrap");
+
+        // Churn acknowledged inserts, SIGKILL the primary mid-stream.
+        let acked = Mutex::new(Vec::new());
+        let mut rng = Lcg(seed ^ 0x9E37_79B9_7F4A_7C15);
+        let kill_after = Duration::from_micros(500 + rng.next() % 120_000);
+        let mut primary = primary;
+        std::thread::scope(|scope| {
+            scope.spawn(|| churn(&primary.addr, &owner, &vectors, seed, &acked));
+            std::thread::sleep(kill_after);
+            primary.child.kill().unwrap(); // SIGKILL: no destructors, no flush
+            primary.child.wait().unwrap();
+        });
+        let acked = acked.into_inner().unwrap();
+        let dead_addr = primary.addr.clone();
+
+        // 1a. The follower still answers searches with the primary dead.
+        //     Whatever prefix it replicated, each of those inserts must
+        //     be its own nearest neighbor.
+        let mut fclient = ServiceClient::connect(&follower.addr, None).unwrap();
+        let flive = fclient.stats_in(COLLECTION).unwrap().live as usize;
+        assert!(flive >= BASE_N, "iter {iter}: follower lost its bootstrap state");
+        assert!(
+            flive <= BASE_N + acked.len() + 1,
+            "iter {iter}: follower holds {flive} vectors but only {} inserts were even sent",
+            acked.len()
+        );
+        let mut user = owner.authorize_user();
+        for id in (0..flive).rev().take(4) {
+            let q = user.encrypt_query(&vectors[id], 1);
+            let out = fclient.search_in(COLLECTION, &q, &params()).unwrap();
+            assert_eq!(out.ids[0], id as u32, "iter {iter}: follower lost replicated insert {id}");
+        }
+
+        // 1b. A ReplicaSet read fails over from the dead primary to the
+        //     follower within one call-timeout budget.
+        let call_timeout = Duration::from_millis(500);
+        let mut set = ReplicaSet::connect_replicas_with_timeout(
+            [dead_addr, follower.addr.clone()],
+            None,
+            call_timeout,
+        )
+        .unwrap();
+        let started = Instant::now();
+        let out =
+            set.search_in(COLLECTION, &user.encrypt_query(&vectors[0], 1), &params()).unwrap();
+        let failover = started.elapsed();
+        assert_eq!(out.ids[0], 0);
+        assert!(
+            failover < call_timeout * 3,
+            "iter {iter}: failover took {failover:?} against a {call_timeout:?} timeout"
+        );
+
+        // 2. Restart the primary from the same data dir: every
+        //    acknowledged insert must be live and self-findable.
+        let primary = spawn_primary(&dir, &plog);
+        let mut pclient = ServiceClient::connect(&primary.addr, None).unwrap();
+        let plive = pclient.stats_in(COLLECTION).unwrap().live as usize;
+        assert!(
+            plive >= BASE_N + acked.len(),
+            "iter {iter}: {} acked inserts but only {} live after restart — an ack was lost",
+            acked.len(),
+            plive - BASE_N.min(plive)
+        );
+        for &id in acked.iter().rev().take(8).chain(acked.first()) {
+            let q = user.encrypt_query(&vectors[id as usize], 1);
+            let out = pclient.search_in(COLLECTION, &q, &params()).unwrap();
+            assert_eq!(out.ids[0], id, "iter {iter}: acked insert {id} lost across SIGKILL");
+        }
+
+        // 3. A fresh follower bootstraps from the restarted primary and
+        //    converges to the full recovered state.
+        let follower2 = spawn_follower(&primary.addr, &flog2);
+        let f2live = await_live(&follower2.addr, plive, "re-bootstrap");
+        assert_eq!(f2live, plive, "iter {iter}");
+        let mut f2client = ServiceClient::connect(&follower2.addr, None).unwrap();
+        if let Some(&id) = acked.last() {
+            let q = user.encrypt_query(&vectors[id as usize], 1);
+            let out = f2client.search_in(COLLECTION, &q, &params()).unwrap();
+            assert_eq!(out.ids[0], id, "iter {iter}: re-bootstrapped follower missing insert {id}");
+        }
+
+        eprintln!(
+            "replication chaos iter {iter}: {} acked, follower held {flive}, \
+             failover {failover:?}, recovered {plive} live",
+            acked.len(),
+        );
+    }
+    std::fs::remove_dir_all(&base).ok();
+}
