@@ -33,16 +33,50 @@ use ppann_bench::{bench_scale, write_bench_json, JsonObject, TableWriter};
 use ppann_core::catalog::Catalog;
 use ppann_core::wal::DurabilityOptions;
 use ppann_core::{
-    save_collection_snapshot, CollectionMeta, EncryptedQuery, SearchOutcome, SearchParams,
-    SharedServer, DEFAULT_COLLECTION,
+    save_collection_snapshot, CollectionMeta, EncryptedQuery, QueryScratch, SearchOutcome,
+    SearchParams, SharedServer, DEFAULT_COLLECTION,
 };
 use ppann_datasets::{DatasetProfile, Workload};
 use ppann_hnsw::HnswParams;
 use ppann_service::{serve_catalog, ServiceClient, ServiceConfig, DEFAULT_PIPELINE_WINDOW};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 const BATCH_SIZE: usize = 64;
+
+/// Counting global allocator for the `allocs_per_query` row: counts
+/// `alloc`/`realloc` hits process-wide while enabled, so the pooled
+/// in-process pass can report (and CI can floor-gate) how many heap
+/// allocations one warm query actually costs.
+struct CountingAlloc;
+
+static COUNTING: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Relaxed) {
+            ALLOCS.fetch_add(1, Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING.load(Relaxed) {
+            ALLOCS.fetch_add(1, Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
 
 /// Asserts one mode's remote answers match the in-process reference
 /// bit-for-bit.
@@ -107,11 +141,42 @@ fn main() {
     let queries: Vec<EncryptedQuery> =
         w.queries().iter().map(|q| user.encrypt_query(q, k)).collect();
 
-    // In-process baseline (and the parity reference).
+    // In-process baseline (and the parity reference). This pass also
+    // warms the thread's QueryScratchPool for the A/B below.
     let started = Instant::now();
     let reference: Vec<SearchOutcome> = queries.iter().map(|q| server.search(q, &params)).collect();
     let base_secs = started.elapsed().as_secs_f64();
     let base_qps = queries.len() as f64 / base_secs;
+
+    // Pooled vs fresh-allocation A/B on the same warm server: the pooled
+    // pass reuses this thread's scratch (counting heap allocations per
+    // query — CI floor-gates the count), the fresh pass pays a cold
+    // `QueryScratch::default()` per query, which is exactly the
+    // pre-pooling behavior. The delta is what scratch pooling buys the
+    // in-process path.
+    let mut pooled: Vec<SearchOutcome> = Vec::with_capacity(queries.len());
+    ALLOCS.store(0, Relaxed);
+    COUNTING.store(true, Relaxed);
+    let started = Instant::now();
+    for q in &queries {
+        pooled.push(server.search(q, &params));
+    }
+    let pooled_secs = started.elapsed().as_secs_f64();
+    COUNTING.store(false, Relaxed);
+    let allocs_per_query = ALLOCS.load(Relaxed) as f64 / queries.len() as f64;
+    let pooled_qps = queries.len() as f64 / pooled_secs;
+    assert_parity("in-process pooled", &pooled, &reference);
+    drop(pooled);
+
+    let mut fresh: Vec<SearchOutcome> = Vec::with_capacity(queries.len());
+    let started = Instant::now();
+    for q in &queries {
+        fresh.push(server.search_in(&mut QueryScratch::default(), q, &params));
+    }
+    let fresh_secs = started.elapsed().as_secs_f64();
+    let fresh_qps = queries.len() as f64 / fresh_secs;
+    assert_parity("in-process fresh-alloc", &fresh, &reference);
+    drop(fresh);
 
     let workers = 8;
     let shared = SharedServer::new(server);
@@ -126,6 +191,18 @@ fn main() {
         &["mode", "QPS", "vs in-process", "p99 us"],
     );
     t.row(&["in-process".into(), format!("{base_qps:.0}"), "1.00x".into(), "-".into()]);
+    t.row(&[
+        format!("in-process pooled ({allocs_per_query:.1} allocs/q)"),
+        format!("{pooled_qps:.0}"),
+        format!("{:.2}x", pooled_qps / base_qps),
+        "-".into(),
+    ]);
+    t.row(&[
+        "in-process fresh-alloc".into(),
+        format!("{fresh_qps:.0}"),
+        format!("{:.2}x", fresh_qps / base_qps),
+        "-".into(),
+    ]);
     let mut push_row = |mode: String, qps: f64, p99: u64| {
         t.row(&[mode, format!("{qps:.0}"), format!("{:.2}x", qps / base_qps), p99.to_string()]);
     };
@@ -473,6 +550,10 @@ fn main() {
         .int("batch_size", BATCH_SIZE as u64)
         .int("pipeline_window", window as u64)
         .num("in_process_qps", base_qps)
+        .num("inproc_pooled_qps", pooled_qps)
+        .num("inproc_fresh_qps", fresh_qps)
+        .num("pooled_vs_fresh", pooled_qps / fresh_qps)
+        .num("allocs_per_query", allocs_per_query)
         .num("sequential_qps", sequential_qps)
         .num("pipelined_qps", pipelined_qps)
         .num("batched_qps", batched_qps)

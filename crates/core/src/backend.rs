@@ -27,6 +27,7 @@
 //! trade-off.
 
 use crate::query::EncryptedQuery;
+use crate::scratch::QueryScratch;
 use crate::server::{SearchOutcome, SearchParams};
 use ppann_dce::DceCiphertext;
 
@@ -38,11 +39,38 @@ use ppann_dce::DceCiphertext;
 pub trait QueryBackend: Sync {
     /// Answers one query (paper Algorithm 2: filter then refine).
     fn search(&self, query: &EncryptedQuery, params: &SearchParams) -> SearchOutcome;
+
+    /// [`Self::search`] through caller-owned scratch, for long-lived
+    /// workers that answer many queries: a warm scratch makes the whole
+    /// filter-and-refine pipeline allocation-free except for the returned
+    /// outcome. Results are bitwise identical to [`Self::search`] for any
+    /// scratch state (the pooling determinism contract, DESIGN.md §6).
+    ///
+    /// Blanket-defaulted to plain `search` so existing backends keep
+    /// working; the built-in backends override it with real reuse.
+    fn search_in(
+        &self,
+        scratch: &mut QueryScratch,
+        query: &EncryptedQuery,
+        params: &SearchParams,
+    ) -> SearchOutcome {
+        let _ = scratch;
+        self.search(query, params)
+    }
 }
 
 impl<B: QueryBackend + ?Sized> QueryBackend for &B {
     fn search(&self, query: &EncryptedQuery, params: &SearchParams) -> SearchOutcome {
         (**self).search(query, params)
+    }
+
+    fn search_in(
+        &self,
+        scratch: &mut QueryScratch,
+        query: &EncryptedQuery,
+        params: &SearchParams,
+    ) -> SearchOutcome {
+        (**self).search_in(scratch, query, params)
     }
 }
 
@@ -151,6 +179,16 @@ pub trait BackendInfo {
 pub trait ErasedBackend: Send + Sync {
     /// Answers one query (paper Algorithm 2: filter then refine).
     fn search(&self, query: &EncryptedQuery, params: &SearchParams) -> SearchOutcome;
+
+    /// Answers one query through caller-owned scratch
+    /// ([`QueryBackend::search_in`] semantics: bitwise identical to
+    /// [`Self::search`], allocation-free when warm).
+    fn search_in(
+        &self,
+        scratch: &mut QueryScratch,
+        query: &EncryptedQuery,
+        params: &SearchParams,
+    ) -> SearchOutcome;
 
     /// Answers a batch of queries, fanning across up to `threads` workers
     /// ([`BatchExecutor`](crate::BatchExecutor) semantics: result order

@@ -15,7 +15,9 @@ use crate::backend::QueryBackend;
 use crate::concurrent::SharedServer;
 use crate::cost::QueryCost;
 use crate::query::EncryptedQuery;
+use crate::scratch::QueryScratch;
 use crate::server::{SearchOutcome, SearchParams};
+use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Aggregated result of a batch run.
@@ -42,12 +44,27 @@ impl BatchOutcome {
 pub struct BatchExecutor<B: QueryBackend = SharedServer> {
     server: B,
     threads: usize,
+    /// Warm [`QueryScratch`] instances retained across batches: each worker
+    /// checks one out for its whole run, so steady-state batch traffic
+    /// re-traverses already-grown buffers instead of the allocator.
+    scratch_pool: Mutex<Vec<QueryScratch>>,
 }
 
 impl<B: QueryBackend> BatchExecutor<B> {
     /// Creates an executor with `threads` workers (clamped to ≥ 1).
     pub fn new(server: B, threads: usize) -> Self {
-        Self { server, threads: threads.max(1) }
+        Self { server, threads: threads.max(1), scratch_pool: Mutex::new(Vec::new()) }
+    }
+
+    fn checkout_scratch(&self) -> QueryScratch {
+        self.scratch_pool.lock().pop().unwrap_or_default()
+    }
+
+    fn checkin_scratch(&self, scratch: QueryScratch) {
+        let mut pool = self.scratch_pool.lock();
+        if pool.len() < self.threads {
+            pool.push(scratch);
+        }
     }
 
     /// Executes all queries, work-stealing over an atomic cursor so skewed
@@ -63,8 +80,10 @@ impl<B: QueryBackend> BatchExecutor<B> {
         let n = queries.len();
         let threads = self.threads.min(n.max(1));
         if threads == 1 {
+            let mut scratch = self.checkout_scratch();
             let outcomes: Vec<SearchOutcome> =
-                queries.iter().map(|q| self.server.search(q, params)).collect();
+                queries.iter().map(|q| self.server.search_in(&mut scratch, q, params)).collect();
+            self.checkin_scratch(scratch);
             return Self::finish(outcomes, started, 1);
         }
         let mut slots: Vec<Option<SearchOutcome>> = Vec::with_capacity(n);
@@ -78,6 +97,7 @@ impl<B: QueryBackend> BatchExecutor<B> {
             for _ in 0..threads {
                 let server = &self.server;
                 let cursor = &cursor;
+                let mut scratch = self.checkout_scratch();
                 handles.push(scope.spawn(move || {
                     let mut local: Vec<(usize, SearchOutcome)> = Vec::new();
                     loop {
@@ -85,13 +105,15 @@ impl<B: QueryBackend> BatchExecutor<B> {
                         if i >= n {
                             break;
                         }
-                        local.push((i, server.search(&queries[i], params)));
+                        local.push((i, server.search_in(&mut scratch, &queries[i], params)));
                     }
-                    local
+                    (local, scratch)
                 }));
             }
             for h in handles {
-                for (i, out) in h.join().expect("batch worker panicked") {
+                let (local, scratch) = h.join().expect("batch worker panicked");
+                self.checkin_scratch(scratch);
+                for (i, out) in local {
                     slots[i] = Some(out);
                 }
             }

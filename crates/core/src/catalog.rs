@@ -323,6 +323,18 @@ impl Collection {
         self.backend.search(query, params)
     }
 
+    /// Answers one query through caller-owned scratch
+    /// ([`crate::QueryBackend::search_in`] semantics): what a long-lived
+    /// service worker calls so its warm buffers survive across requests.
+    pub fn search_in(
+        &self,
+        scratch: &mut crate::scratch::QueryScratch,
+        query: &EncryptedQuery,
+        params: &SearchParams,
+    ) -> SearchOutcome {
+        self.backend.search_in(scratch, query, params)
+    }
+
     /// Answers a batch, fanning across up to `threads` workers
     /// (input order preserved).
     pub fn search_many(
@@ -562,6 +574,15 @@ impl Collection {
 impl crate::backend::QueryBackend for Collection {
     fn search(&self, query: &EncryptedQuery, params: &SearchParams) -> SearchOutcome {
         Collection::search(self, query, params)
+    }
+
+    fn search_in(
+        &self,
+        scratch: &mut crate::scratch::QueryScratch,
+        query: &EncryptedQuery,
+        params: &SearchParams,
+    ) -> SearchOutcome {
+        Collection::search_in(self, scratch, query, params)
     }
 }
 

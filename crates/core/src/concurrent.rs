@@ -13,6 +13,7 @@ use crate::backend::{
 };
 use crate::batch::BatchExecutor;
 use crate::query::EncryptedQuery;
+use crate::scratch::QueryScratch;
 use crate::server::{CloudServer, SearchOutcome, SearchParams};
 use parking_lot::RwLock;
 use ppann_dce::DceCiphertext;
@@ -40,6 +41,18 @@ impl<S: QueryBackend> SharedServer<S> {
     /// Concurrent query path (shared lock).
     pub fn search(&self, query: &EncryptedQuery, params: &SearchParams) -> SearchOutcome {
         self.inner.read().search(query, params)
+    }
+
+    /// Concurrent query path through caller-owned scratch (shared lock):
+    /// the lock guards the backend, not the scratch, so long-lived workers
+    /// keep their warm buffers across lock acquisitions.
+    pub fn search_in(
+        &self,
+        scratch: &mut QueryScratch,
+        query: &EncryptedQuery,
+        params: &SearchParams,
+    ) -> SearchOutcome {
+        self.inner.read().search_in(scratch, query, params)
     }
 }
 
@@ -107,6 +120,15 @@ impl<S: QueryBackend + Send + Sync> QueryBackend for SharedServer<S> {
     fn search(&self, query: &EncryptedQuery, params: &SearchParams) -> SearchOutcome {
         SharedServer::search(self, query, params)
     }
+
+    fn search_in(
+        &self,
+        scratch: &mut QueryScratch,
+        query: &EncryptedQuery,
+        params: &SearchParams,
+    ) -> SearchOutcome {
+        SharedServer::search_in(self, scratch, query, params)
+    }
 }
 
 /// The one blanket erasure: every `SharedServer` composition — the paper's
@@ -121,6 +143,15 @@ where
 {
     fn search(&self, query: &EncryptedQuery, params: &SearchParams) -> SearchOutcome {
         SharedServer::search(self, query, params)
+    }
+
+    fn search_in(
+        &self,
+        scratch: &mut QueryScratch,
+        query: &EncryptedQuery,
+        params: &SearchParams,
+    ) -> SearchOutcome {
+        SharedServer::search_in(self, scratch, query, params)
     }
 
     fn search_many(

@@ -5,7 +5,7 @@
 //! only comparison signs. Each insertion costs O(log k) secure comparisons,
 //! giving the paper's refine complexity O(k′·d·log k).
 
-use ppann_dce::{distance_comp, distance_comp_many, DceCiphertext, DceTrapdoor};
+use ppann_dce::{distance_comp, distance_comp_many_into, DceCiphertext, DceTrapdoor};
 
 /// A bounded secure max-heap: retains the `k` candidates closest to the
 /// query, with the *farthest* retained candidate on top.
@@ -24,14 +24,22 @@ impl<'a> SecureTopK<'a> {
         ciphertexts: &'a [DceCiphertext],
         capacity: usize,
     ) -> Self {
+        Self::new_with_storage(trapdoor, ciphertexts, capacity, Vec::with_capacity(capacity + 1))
+    }
+
+    /// [`Self::new`] reusing recycled heap storage (cleared here): the warm
+    /// refine phase hands the same `Vec` through
+    /// [`Self::into_sorted_parts`] query after query, so the heap itself
+    /// never re-allocates.
+    pub fn new_with_storage(
+        trapdoor: &'a DceTrapdoor,
+        ciphertexts: &'a [DceCiphertext],
+        capacity: usize,
+        mut storage: Vec<u32>,
+    ) -> Self {
         assert!(capacity > 0, "SecureTopK requires capacity ≥ 1");
-        Self {
-            trapdoor,
-            ciphertexts,
-            capacity,
-            heap: Vec::with_capacity(capacity + 1),
-            comparisons: 0,
-        }
+        storage.clear();
+        Self { trapdoor, ciphertexts, capacity, heap: storage, comparisons: 0 }
     }
 
     /// Number of retained candidates.
@@ -97,17 +105,34 @@ impl<'a> SecureTopK<'a> {
         if rest.is_empty() {
             return;
         }
-        let top = self.heap[0];
-        let c_ps: Vec<&DceCiphertext> =
-            rest.iter().map(|&id| &self.ciphertexts[id as usize]).collect();
-        let zs = distance_comp_many(&self.ciphertexts[top as usize], &c_ps, self.trapdoor);
-        self.comparisons += rest.len() as u64;
-        for (&id, &z) in rest.iter().zip(&zs) {
-            // z > 0 ⇔ the batch-start top is farther ⇒ the candidate may
-            // still belong in the heap: run the normal offer against the
-            // live top.
-            if z > 0.0 {
-                self.offer(id);
+        // The batch-start top stays the screen reference across every chunk
+        // (its field borrow is `'a`, independent of `&mut self`): chunking
+        // only groups kernel calls, the decisions and comparison count are
+        // exactly those of the unchunked screen. Staging the ciphertext
+        // refs in a fixed stack array keeps the warm path allocation-free.
+        let cts: &'a [DceCiphertext] = self.ciphertexts;
+        let top_ct = &cts[self.heap[0] as usize];
+        const CHUNK: usize = 64;
+        let mut c_ps: [&DceCiphertext; CHUNK] = [top_ct; CHUNK];
+        let mut zs = [0.0f64; CHUNK];
+        for chunk in rest.chunks(CHUNK) {
+            for (slot, &id) in c_ps.iter_mut().zip(chunk) {
+                *slot = &cts[id as usize];
+            }
+            distance_comp_many_into(
+                top_ct,
+                &c_ps[..chunk.len()],
+                self.trapdoor,
+                &mut zs[..chunk.len()],
+            );
+            self.comparisons += chunk.len() as u64;
+            for (&id, &z) in chunk.iter().zip(&zs[..chunk.len()]) {
+                // z > 0 ⇔ the batch-start top is farther ⇒ the candidate
+                // may still belong in the heap: run the normal offer
+                // against the live top.
+                if z > 0.0 {
+                    self.offer(id);
+                }
             }
         }
     }
@@ -145,7 +170,13 @@ impl<'a> SecureTopK<'a> {
     /// Drains the heap into ids ordered closest-first (k·log k secure
     /// comparisons; the paper returns the heap unordered, ordering is a
     /// convenience for recall computation).
-    pub fn into_sorted_ids(mut self) -> Vec<u32> {
+    pub fn into_sorted_ids(self) -> Vec<u32> {
+        self.into_sorted_parts().0
+    }
+
+    /// [`Self::into_sorted_ids`] that also returns the (now empty) heap
+    /// storage for recycling into the next [`Self::new_with_storage`].
+    pub fn into_sorted_parts(mut self) -> (Vec<u32>, Vec<u32>) {
         let mut out = Vec::with_capacity(self.heap.len());
         while !self.heap.is_empty() {
             let last = self.heap.len() - 1;
@@ -156,7 +187,7 @@ impl<'a> SecureTopK<'a> {
             }
         }
         out.reverse();
-        out
+        (out, self.heap)
     }
 }
 

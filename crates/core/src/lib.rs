@@ -64,6 +64,7 @@ mod keyfile;
 mod owner;
 mod persist;
 mod query;
+mod scratch;
 mod server;
 mod shard;
 pub mod tune;
@@ -90,6 +91,7 @@ pub use persist::{
     load_snapshot_bytes, save_collection_snapshot, CollectionMeta, PersistError, SNAPSHOT_EXT,
 };
 pub use query::EncryptedQuery;
+pub use scratch::{QueryScratch, QueryScratchPool};
 pub use server::{CloudServer, SearchOutcome, SearchParams};
 pub use shard::ShardedServer;
 pub use user::QueryUser;

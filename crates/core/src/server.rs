@@ -5,6 +5,7 @@ use crate::cost::QueryCost;
 use crate::heap::SecureTopK;
 use crate::index::EncryptedDatabase;
 use crate::query::EncryptedQuery;
+use crate::scratch::{QueryScratch, QueryScratchPool};
 use ppann_dce::DceCiphertext;
 use std::time::Instant;
 
@@ -80,7 +81,24 @@ impl CloudServer {
     /// **Algorithm 2**: filter phase (k′-ANNS on HNSW over SAP ciphertexts)
     /// followed by the refine phase (exact DCE comparisons through a secure
     /// max-heap). Single-threaded, as in the paper's evaluation.
+    ///
+    /// Borrows this thread's pooled [`QueryScratch`]; results are bitwise
+    /// identical to [`Self::search_in`] with any scratch.
     pub fn search(&self, query: &EncryptedQuery, params: &SearchParams) -> SearchOutcome {
+        QueryScratchPool::with(|scratch| self.search_in(scratch, query, params))
+    }
+
+    /// [`Self::search`] through caller-owned scratch. With a warm scratch
+    /// the whole pipeline performs exactly **two** heap allocations — the
+    /// returned `ids` and `sap_dists` vectors, which the outcome must own —
+    /// and zero inside the hnsw layer (the counting-allocator regression
+    /// test pins both numbers).
+    pub fn search_in(
+        &self,
+        scratch: &mut QueryScratch,
+        query: &EncryptedQuery,
+        params: &SearchParams,
+    ) -> SearchOutcome {
         let started = Instant::now();
         let hnsw = self.db.hnsw();
         // Cost is read as a counter delta, not reset-then-read: the counter
@@ -91,17 +109,27 @@ impl CloudServer {
 
         // Filter: k′ candidates ranked by approximate (SAP) distance.
         let k_prime = params.k_prime.max(query.k);
-        let candidates = hnsw.search(&query.c_sap, k_prime, params.ef_search.max(k_prime));
+        let candidates =
+            hnsw.search_in(&mut scratch.hnsw, &query.c_sap, k_prime, params.ef_search.max(k_prime));
         let filter_dist_comps = hnsw.distance_computations().saturating_sub(dist_before);
+        let filter_candidates = candidates.len();
 
         // Refine: exact top-k via DCE comparisons only, offered as one
         // batch so the at-capacity screen scores the candidate set with a
-        // single `DistanceComp` kernel call per trapdoor load.
-        let mut heap = SecureTopK::new(&query.trapdoor, self.db.dce_ciphertexts(), query.k);
-        let cand_ids: Vec<u32> = candidates.iter().map(|c| c.id).collect();
-        heap.offer_many(&cand_ids);
+        // single `DistanceComp` kernel call per trapdoor load. The heap
+        // recycles its storage through the scratch across queries.
+        let mut heap = SecureTopK::new_with_storage(
+            &query.trapdoor,
+            self.db.dce_ciphertexts(),
+            query.k,
+            std::mem::take(&mut scratch.topk),
+        );
+        scratch.cand_ids.clear();
+        scratch.cand_ids.extend(candidates.iter().map(|c| c.id));
+        heap.offer_many(&scratch.cand_ids);
         let refine_sdc_comps = heap.comparisons();
-        let ids = heap.into_sorted_ids();
+        let (ids, storage) = heap.into_sorted_parts();
+        scratch.topk = storage;
         let sap_dists = self.db.sap_distances(&query.c_sap, &ids);
 
         let cost = QueryCost {
@@ -111,7 +139,7 @@ impl CloudServer {
             bytes_up: query.upload_bytes(),
             bytes_down: 4 * ids.len() as u64, // k result ids, u32 each (paper model)
         };
-        SearchOutcome { ids, sap_dists, filter_candidates: candidates.len(), cost }
+        SearchOutcome { ids, sap_dists, filter_candidates, cost }
     }
 
     /// The filter phase alone (`HNSW(filter)` of Figure 6 and the β study of
@@ -165,6 +193,15 @@ impl CloudServer {
 impl crate::backend::QueryBackend for CloudServer {
     fn search(&self, query: &EncryptedQuery, params: &SearchParams) -> SearchOutcome {
         CloudServer::search(self, query, params)
+    }
+
+    fn search_in(
+        &self,
+        scratch: &mut QueryScratch,
+        query: &EncryptedQuery,
+        params: &SearchParams,
+    ) -> SearchOutcome {
+        CloudServer::search_in(self, scratch, query, params)
     }
 }
 

@@ -33,9 +33,10 @@ use crate::cost::QueryCost;
 use crate::heap::SecureTopK;
 use crate::index::EncryptedDatabase;
 use crate::query::EncryptedQuery;
+use crate::scratch::{QueryScratch, QueryScratchPool};
 use crate::server::{SearchOutcome, SearchParams};
 use ppann_dce::DceCiphertext;
-use ppann_hnsw::Hnsw;
+use ppann_hnsw::{Hnsw, SearchScratch};
 use std::time::Instant;
 
 /// One shard: a private HNSW index over a slice of the SAP ciphertexts,
@@ -142,37 +143,74 @@ impl ShardedServer {
     /// as global ids), then one [`SecureTopK`] refines the merged candidate
     /// pool with exact DCE comparisons.
     pub fn search(&self, query: &EncryptedQuery, params: &SearchParams) -> SearchOutcome {
+        QueryScratchPool::with(|scratch| self.search_in(scratch, query, params))
+    }
+
+    /// [`Self::search`] through caller-owned scratch: each shard worker
+    /// borrows its own [`SearchScratch`] and global-id staging buffer from
+    /// `scratch`, and the merge-refine reuses the recycled heap storage —
+    /// the warm sharded path allocates only the returned `ids`/`sap_dists`
+    /// (plus the scoped-thread spawns, which are OS- not heap-bound; the
+    /// per-query thread fan-out predates this scratch work).
+    pub fn search_in(
+        &self,
+        scratch: &mut QueryScratch,
+        query: &EncryptedQuery,
+        params: &SearchParams,
+    ) -> SearchOutcome {
         let started = Instant::now();
         let k_prime = params.k_prime.max(query.k);
         let ef = params.ef_search.max(k_prime);
 
-        // Filter, one scoped thread per shard. Results are collected in
-        // shard order so the merge below is deterministic.
-        let per_shard: Vec<(Vec<u32>, u64)> = if self.shards.len() == 1 {
-            vec![filter_shard(&self.shards[0], query, k_prime, ef)]
-        } else {
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = self
-                    .shards
-                    .iter()
-                    .map(|shard| scope.spawn(move || filter_shard(shard, query, k_prime, ef)))
-                    .collect();
-                handles.into_iter().map(|h| h.join().expect("shard worker panicked")).collect()
-            })
-        };
+        // One scratch + id buffer per shard, grown once and kept warm.
+        let n = self.shards.len();
+        if scratch.shards.len() < n {
+            scratch.shards.resize_with(n, SearchScratch::default);
+        }
+        if scratch.shard_ids.len() < n {
+            scratch.shard_ids.resize_with(n, Vec::new);
+        }
+
+        // Filter, one scoped thread per shard. Results land in per-shard
+        // buffers in shard order, so the merge below is deterministic. The
+        // single-shard shape (the common in-process one) runs inline and
+        // spawns nothing.
+        let mut filter_dist_comps = 0u64;
+        {
+            let lanes =
+                self.shards.iter().zip(scratch.shards.iter_mut()).zip(scratch.shard_ids.iter_mut());
+            if n == 1 {
+                for ((shard, s), ids) in lanes {
+                    filter_dist_comps += filter_shard_in(shard, s, ids, query, k_prime, ef);
+                }
+            } else {
+                filter_dist_comps = std::thread::scope(|scope| {
+                    let handles: Vec<_> = lanes
+                        .map(|((shard, s), ids)| {
+                            scope.spawn(move || filter_shard_in(shard, s, ids, query, k_prime, ef))
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().expect("shard worker panicked")).sum()
+                });
+            }
+        }
 
         // Refine: one exact top-k over the union of all shard candidates,
         // offered per shard batch (batched `DistanceComp` screen).
-        let mut heap = SecureTopK::new(&query.trapdoor, &self.dce, query.k);
+        let mut heap = SecureTopK::new_with_storage(
+            &query.trapdoor,
+            &self.dce,
+            query.k,
+            std::mem::take(&mut scratch.topk),
+        );
         let mut filter_candidates = 0usize;
-        let mut filter_dist_comps = 0u64;
-        for (candidates, dist_comps) in &per_shard {
+        for candidates in &scratch.shard_ids[..n] {
             filter_candidates += candidates.len();
-            filter_dist_comps += dist_comps;
             heap.offer_many(candidates);
         }
         let refine_sdc_comps = heap.comparisons();
-        let ids = heap.into_sorted_ids();
+        let (ids, storage) = heap.into_sorted_parts();
+        scratch.topk = storage;
         let sap_dists = self.sap_distances(&query.c_sap, &ids);
 
         let cost = QueryCost {
@@ -286,21 +324,33 @@ impl ShardedServer {
 /// they can over-attribute a racing query's work, so treat per-query
 /// `filter_dist_comps` as approximate there (exact when queries run one at
 /// a time).
-fn filter_shard(
+fn filter_shard_in(
     shard: &Shard,
+    scratch: &mut SearchScratch,
+    out_ids: &mut Vec<u32>,
     query: &EncryptedQuery,
     k_prime: usize,
     ef: usize,
-) -> (Vec<u32>, u64) {
+) -> u64 {
     let before = shard.hnsw.distance_computations();
-    let hits = shard.hnsw.search(&query.c_sap, k_prime, ef);
-    let dist_comps = shard.hnsw.distance_computations().saturating_sub(before);
-    (hits.into_iter().map(|nb| shard.global_ids[nb.id as usize]).collect(), dist_comps)
+    let hits = shard.hnsw.search_in(scratch, &query.c_sap, k_prime, ef);
+    out_ids.clear();
+    out_ids.extend(hits.iter().map(|nb| shard.global_ids[nb.id as usize]));
+    shard.hnsw.distance_computations().saturating_sub(before)
 }
 
 impl QueryBackend for ShardedServer {
     fn search(&self, query: &EncryptedQuery, params: &SearchParams) -> SearchOutcome {
         ShardedServer::search(self, query, params)
+    }
+
+    fn search_in(
+        &self,
+        scratch: &mut QueryScratch,
+        query: &EncryptedQuery,
+        params: &SearchParams,
+    ) -> SearchOutcome {
+        ShardedServer::search_in(self, scratch, query, params)
     }
 }
 

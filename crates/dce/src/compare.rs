@@ -88,6 +88,35 @@ pub fn distance_comp_many_with(
     out
 }
 
+/// [`distance_comp_many`] into a caller-provided buffer: the warm path of
+/// the refine phase. The pair list is staged in a fixed stack array and
+/// chunked, so no heap allocation happens here — and chunking is invisible
+/// to the results: each output is the same fused single-pair kernel pass
+/// regardless of batch grouping, so every `Z` is bit-identical to
+/// [`distance_comp`] (and to the allocating batched entry point).
+///
+/// # Panics
+/// Panics if `out.len() != c_ps.len()` or on any dimension mismatch.
+pub fn distance_comp_many_into(
+    c_o: &DceCiphertext,
+    c_ps: &[&DceCiphertext],
+    t_q: &DceTrapdoor,
+    out: &mut [f64],
+) {
+    assert_eq!(c_ps.len(), out.len(), "distance_comp_many_into: output length mismatch");
+    let k = kernels::active();
+    const CHUNK: usize = 64;
+    let empty: (&[f64], &[f64]) = (&[], &[]);
+    let mut pairs = [empty; CHUNK];
+    for (cp_chunk, out_chunk) in c_ps.chunks(CHUNK).zip(out.chunks_mut(CHUNK)) {
+        for (slot, c_p) in pairs.iter_mut().zip(cp_chunk) {
+            assert_dims(c_o, c_p, t_q);
+            *slot = (c_p.c3.as_slice(), c_p.c4.as_slice());
+        }
+        (k.dce_comp_many)(&c_o.c1, &c_o.c2, &pairs[..cp_chunk.len()], &t_q.t, out_chunk);
+    }
+}
+
 /// Convenience predicate: is `o` strictly closer to the query than `p`?
 #[inline]
 pub fn is_closer(c_o: &DceCiphertext, c_p: &DceCiphertext, t_q: &DceTrapdoor) -> bool {
@@ -253,6 +282,30 @@ mod tests {
                     let single = distance_comp_with(k, &c_o, c_p, &t);
                     assert_eq!(z.to_bits(), single.to_bits(), "kernel={} d={d}", k.name);
                 }
+            }
+        }
+    }
+
+    /// The allocation-free batched entry point crosses its stack-chunk
+    /// boundary (64) without changing a single bit of output.
+    #[test]
+    fn into_variant_matches_allocating_variant_bitwise() {
+        let mut rng = seeded_rng(67);
+        let d = 12;
+        let sk = DceSecretKey::generate(d, &mut rng);
+        let q = uniform_vec(&mut rng, d, -1.0, 1.0);
+        let t = sk.trapdoor(&q, &mut rng);
+        let c_o = sk.encrypt(&uniform_vec(&mut rng, d, -1.0, 1.0), &mut rng);
+        for n in [1usize, 63, 64, 65, 200] {
+            let cts: Vec<_> = (0..n)
+                .map(|_| sk.encrypt(&uniform_vec(&mut rng, d, -1.0, 1.0), &mut rng))
+                .collect();
+            let refs: Vec<&DceCiphertext> = cts.iter().collect();
+            let zs = distance_comp_many(&c_o, &refs, &t);
+            let mut out = vec![0.0; n];
+            distance_comp_many_into(&c_o, &refs, &t, &mut out);
+            for (a, b) in zs.iter().zip(&out) {
+                assert_eq!(a.to_bits(), b.to_bits(), "n={n}");
             }
         }
     }

@@ -54,8 +54,8 @@ pub mod security;
 mod serial;
 
 pub use compare::{
-    distance_comp, distance_comp_many, distance_comp_many_with, distance_comp_with, is_closer,
-    sdc_mac_ops, SecureOrd,
+    distance_comp, distance_comp_many, distance_comp_many_into, distance_comp_many_with,
+    distance_comp_with, is_closer, sdc_mac_ops, SecureOrd,
 };
 pub use encrypt::{DceCiphertext, DceTrapdoor};
 pub use key::DceSecretKey;

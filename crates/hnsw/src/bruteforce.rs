@@ -1,69 +1,73 @@
 //! Exact k-NN by linear scan — ground truth for every recall measurement.
 
-use crate::graph::Neighbor;
+use crate::graph::{FarthestFirst, Neighbor};
+use crate::scratch::{ScratchPool, SearchScratch};
 use crate::store::VecStore;
 use ppann_linalg::vector::squared_euclidean_many;
-use std::collections::BinaryHeap;
 
 /// Rows scored per batched kernel call during the scan.
 const CHUNK: usize = 64;
 
-struct MaxByDist(Neighbor);
-impl PartialEq for MaxByDist {
-    fn eq(&self, other: &Self) -> bool {
-        self.0.dist == other.0.dist
-    }
-}
-impl Eq for MaxByDist {}
-impl Ord for MaxByDist {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.dist.partial_cmp(&other.0.dist).expect("NaN distance")
-    }
-}
-impl PartialOrd for MaxByDist {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
+/// Exact k-nearest neighbors of `query` in `store`, closest first.
+///
+/// Borrows this thread's pooled scratch, so on a warm thread the only heap
+/// allocation is the returned `Vec`. Results are identical to
+/// [`exact_knn_in`] with any scratch.
+pub fn exact_knn(store: &VecStore, query: &[f64], k: usize) -> Vec<Neighbor> {
+    ScratchPool::with(|scratch| exact_knn_in(scratch, store, query, k).to_vec())
 }
 
-/// Exact k-nearest neighbors of `query` in `store`, closest first.
+/// Allocation-free exact k-NN: results are left in (and borrowed from)
+/// `scratch.out`, closest first.
 ///
 /// The scan runs in batched kernel calls of `CHUNK` (64) rows (bit-identical
 /// per row to single-pair calls), offering each distance to the top-k heap
-/// in id order exactly as the per-row loop did.
-pub fn exact_knn(store: &VecStore, query: &[f64], k: usize) -> Vec<Neighbor> {
-    let mut heap: BinaryHeap<MaxByDist> = BinaryHeap::with_capacity(k + 1);
-    let mut rows: Vec<&[f64]> = Vec::with_capacity(CHUNK);
+/// in id order exactly as the per-row loop did. Row pointers live in a fixed
+/// stack array and the heap/output buffers come from `scratch`, so a warm
+/// scratch performs zero heap allocations.
+pub fn exact_knn_in<'s>(
+    scratch: &'s mut SearchScratch,
+    store: &VecStore,
+    query: &[f64],
+    k: usize,
+) -> &'s [Neighbor] {
+    let heap = &mut scratch.results;
+    heap.clear();
+    let empty: &[f64] = &[];
+    let mut rows: [&[f64]; CHUNK] = [empty; CHUNK];
     let mut dists = [0.0f64; CHUNK];
     let mut base = 0u32;
     let n = store.len() as u32;
     while base < n {
         let end = (base + CHUNK as u32).min(n);
-        rows.clear();
-        rows.extend((base..end).map(|id| store.get(id)));
-        let out = &mut dists[..rows.len()];
-        squared_euclidean_many(query, &rows, out);
+        let len = (end - base) as usize;
+        for (slot, id) in rows.iter_mut().zip(base..end) {
+            *slot = store.get(id);
+        }
+        let out = &mut dists[..len];
+        squared_euclidean_many(query, &rows[..len], out);
         for (off, &dist) in out.iter().enumerate() {
             let id = base + off as u32;
             if heap.len() < k {
-                heap.push(MaxByDist(Neighbor { id, dist }));
+                heap.push(FarthestFirst(Neighbor { id, dist }));
             } else if let Some(top) = heap.peek() {
                 if dist < top.0.dist {
                     heap.pop();
-                    heap.push(MaxByDist(Neighbor { id, dist }));
+                    heap.push(FarthestFirst(Neighbor { id, dist }));
                 }
             }
         }
         base = end;
     }
-    let mut out: Vec<Neighbor> = heap.into_iter().map(|m| m.0).collect();
-    out.sort_by(|a, b| a.dist.partial_cmp(&b.dist).unwrap());
-    out
+    scratch.drain_results_into_out();
+    &scratch.out
 }
 
 /// Exact k-NN ids only.
 pub fn exact_knn_ids(store: &VecStore, query: &[f64], k: usize) -> Vec<u32> {
-    exact_knn(store, query, k).into_iter().map(|n| n.id).collect()
+    ScratchPool::with(|scratch| {
+        exact_knn_in(scratch, store, query, k).iter().map(|n| n.id).collect()
+    })
 }
 
 #[cfg(test)]
@@ -89,5 +93,21 @@ mod tests {
         let store = VecStore::from_vectors(2, &[vec![5.0, 0.0], vec![1.0, 0.0], vec![3.0, 0.0]]);
         let hits = exact_knn(&store, &[0.0, 0.0], 3);
         assert!(hits.windows(2).all(|w| w[0].dist <= w[1].dist));
+    }
+
+    #[test]
+    fn dirty_scratch_matches_fresh() {
+        let store = VecStore::from_vectors(
+            2,
+            &[vec![5.0, 1.0], vec![1.0, 2.0], vec![3.0, 0.5], vec![0.5, 4.0]],
+        );
+        let mut dirty = SearchScratch::default();
+        // Dirty the scratch with an unrelated query, then check parity.
+        exact_knn_in(&mut dirty, &store, &[9.0, 9.0], 4);
+        for k in [1, 2, 4, 8] {
+            let a = exact_knn_in(&mut dirty, &store, &[0.0, 0.0], k).to_vec();
+            let b = exact_knn_in(&mut SearchScratch::default(), &store, &[0.0, 0.0], k).to_vec();
+            assert_eq!(a, b);
+        }
     }
 }

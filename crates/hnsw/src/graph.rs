@@ -1,12 +1,11 @@
 //! The hierarchical graph: construction, search, maintenance.
 
 use crate::params::HnswParams;
+use crate::scratch::{ScratchPool, SearchScratch};
 use crate::store::VecStore;
-use crate::visited::VisitedTable;
 use ppann_linalg::vector::{squared_euclidean, squared_euclidean_many};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A search hit: node id plus its (squared) distance to the query.
@@ -20,10 +19,10 @@ pub struct Neighbor {
 
 /// Max-heap entry ordered by distance (largest distance on top).
 #[derive(Clone, Copy, PartialEq)]
-struct FarthestFirst(Neighbor);
+pub(crate) struct FarthestFirst(pub(crate) Neighbor);
 /// Min-heap entry ordered by distance (smallest distance on top).
 #[derive(Clone, Copy, PartialEq)]
-struct ClosestFirst(Neighbor);
+pub(crate) struct ClosestFirst(pub(crate) Neighbor);
 
 impl Eq for FarthestFirst {}
 impl Eq for ClosestFirst {}
@@ -66,10 +65,6 @@ impl Node {
 pub(crate) type RawParts<'a> =
     (&'a HnswParams, &'a VecStore, Vec<(Vec<Vec<u32>>, bool)>, Option<u32>, usize);
 
-/// Reusable per-thread scratch space for [`Hnsw::search_with`].
-#[derive(Default)]
-pub struct SearchScratch(VisitedTable);
-
 /// A Hierarchical Navigable Small World index over squared-Euclidean space.
 pub struct Hnsw {
     params: HnswParams,
@@ -77,7 +72,13 @@ pub struct Hnsw {
     nodes: Vec<Node>,
     entry: Option<u32>,
     rng: StdRng,
-    visited: VisitedTable,
+    /// Scratch for the mutating paths (`insert`/`delete`), `mem::take`n
+    /// around each use; searches use caller scratch or the thread pool.
+    scratch: SearchScratch,
+    /// Staging buffers for `shrink_if_needed` (it runs while `scratch` is
+    /// checked out by `insert`, so it keeps its own base/dist storage).
+    shrink_base: Vec<f64>,
+    shrink_dists: Vec<f64>,
     live: usize,
     /// Distance computations performed by searches (the paper's cost unit
     /// for the filter phase). Relaxed atomic so `search(&self)` stays `&self`.
@@ -97,7 +98,9 @@ impl Hnsw {
             nodes: Vec::new(),
             entry: None,
             rng: StdRng::seed_from_u64(params.seed),
-            visited: VisitedTable::default(),
+            scratch: SearchScratch::default(),
+            shrink_base: Vec::new(),
+            shrink_dists: Vec::new(),
             live: 0,
             dist_comps: AtomicU64::new(0),
         }
@@ -142,22 +145,28 @@ impl Hnsw {
         let workers = available_threads_for_build().min(n - prefix).max(1);
         std::thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n - prefix {
-                        break;
+                scope.spawn(|| {
+                    // Worker-owned scratch: the planning beam search under
+                    // the shared lock cannot touch the index's own scratch,
+                    // so each worker amortizes its own across inserts.
+                    let mut scratch = SearchScratch::default();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n - prefix {
+                            break;
+                        }
+                        let vector = &vectors[prefix + i];
+                        let level = levels[i];
+                        // Phase 1 (shared lock): beam-search candidate lists
+                        // per layer against the current graph snapshot.
+                        let plan = {
+                            let g = shared.read().expect("lock poisoned");
+                            g.plan_insertion(&mut scratch, vector, level)
+                        };
+                        // Phase 2 (exclusive lock): materialize the node.
+                        let mut g = shared.write().expect("lock poisoned");
+                        g.apply_insertion(vector, level, plan);
                     }
-                    let vector = &vectors[prefix + i];
-                    let level = levels[i];
-                    // Phase 1 (shared lock): beam-search candidate lists per
-                    // layer against the current graph snapshot.
-                    let plan = {
-                        let g = shared.read().expect("lock poisoned");
-                        g.plan_insertion(vector, level)
-                    };
-                    // Phase 2 (exclusive lock): materialize the node.
-                    let mut g = shared.write().expect("lock poisoned");
-                    g.apply_insertion(vector, level, plan);
                 });
             }
         });
@@ -165,31 +174,30 @@ impl Hnsw {
     }
 
     /// Search phase of a parallel insertion: per-layer candidate lists for
-    /// wiring, computed under a shared lock.
-    fn plan_insertion(&self, vector: &[f64], level: usize) -> Vec<Vec<Neighbor>> {
+    /// wiring, computed under a shared lock with caller-owned scratch (the
+    /// shared lock means `&self`, so the index's own scratch is off-limits).
+    fn plan_insertion(
+        &self,
+        scratch: &mut SearchScratch,
+        vector: &[f64],
+        level: usize,
+    ) -> Vec<Vec<Neighbor>> {
         let Some(entry) = self.entry else { return Vec::new() };
         let top_level = self.nodes[entry as usize].level();
         let mut ep = entry;
         for layer in ((level + 1)..=top_level).rev() {
-            ep = self.greedy_closest(vector, ep, layer);
+            ep = self.greedy_closest(vector, ep, layer, &mut scratch.dists);
         }
-        let mut visited = VisitedTable::default();
         let mut plan = Vec::new();
         let mut eps = vec![ep];
         for layer in (0..=level.min(top_level)).rev() {
-            let found = self.search_layer(
-                &mut visited,
-                vector,
-                &eps,
-                self.params.ef_construction,
-                layer,
-                true,
-            );
-            eps = found.iter().map(|nb| nb.id).collect();
+            self.search_layer(scratch, vector, &eps, self.params.ef_construction, layer, true);
+            eps.clear();
+            eps.extend(scratch.out.iter().map(|nb| nb.id));
             if eps.is_empty() {
-                eps = vec![ep];
+                eps.push(ep);
             }
-            plan.push(found);
+            plan.push(scratch.out.clone());
         }
         plan.reverse(); // plan[layer] = candidates for that layer
         plan
@@ -286,10 +294,20 @@ impl Hnsw {
     /// same amount — batching is a pure execution-shape change.
     fn dist_many(&self, query: &[f64], ids: &[u32], out: &mut Vec<f64>) {
         self.dist_comps.fetch_add(ids.len() as u64, Ordering::Relaxed);
-        let rows: Vec<&[f64]> = ids.iter().map(|&id| self.store.get(id)).collect();
         out.clear();
         out.resize(ids.len(), 0.0);
-        squared_euclidean_many(query, &rows, out);
+        // Row pointers are staged in a fixed stack array so the warm path
+        // never allocates; chunking is per-row exact (each output is the
+        // same single-row kernel result regardless of batch grouping).
+        const CHUNK: usize = 64;
+        let empty: &[f64] = &[];
+        let mut rows: [&[f64]; CHUNK] = [empty; CHUNK];
+        for (id_chunk, out_chunk) in ids.chunks(CHUNK).zip(out.chunks_mut(CHUNK)) {
+            for (slot, &id) in rows.iter_mut().zip(id_chunk) {
+                *slot = self.store.get(id);
+            }
+            squared_euclidean_many(query, &rows[..id_chunk.len()], out_chunk);
+        }
     }
 
     /// Samples a level with the exponential decay `⌊−ln(U)·mL⌋`.
@@ -302,17 +320,22 @@ impl Hnsw {
     /// insertion/search level). Each round scores the whole adjacency list
     /// with one batched call; keeping the first strict improvement in list
     /// order reproduces the sequential scan's choice exactly.
-    fn greedy_closest(&self, query: &[f64], mut ep: u32, layer: usize) -> u32 {
+    fn greedy_closest(
+        &self,
+        query: &[f64],
+        mut ep: u32,
+        layer: usize,
+        dists: &mut Vec<f64>,
+    ) -> u32 {
         let mut best = self.dist(query, ep);
-        let mut dists = Vec::new();
         loop {
             let links = &self.nodes[ep as usize].links[layer];
             if links.is_empty() {
                 return ep;
             }
-            self.dist_many(query, links, &mut dists);
+            self.dist_many(query, links, dists);
             let mut improved = false;
-            for (&nb, &d) in links.iter().zip(&dists) {
+            for (&nb, &d) in links.iter().zip(dists.iter()) {
                 if d < best {
                     best = d;
                     ep = nb;
@@ -326,21 +349,24 @@ impl Hnsw {
     }
 
     /// `SEARCH-LAYER` (Algorithm 2 of the HNSW paper): beam search with
-    /// width `ef`, returning up to `ef` closest elements, closest first.
-    /// `include_deleted` lets construction route through tombstones so the
-    /// graph stays connected after deletions.
+    /// width `ef`, leaving up to `ef` closest elements in `scratch.out`,
+    /// closest first. `include_deleted` lets construction route through
+    /// tombstones so the graph stays connected after deletions. Every
+    /// scratch buffer is reset up front, so the output is independent of
+    /// whatever search used the scratch before (the pooling contract).
     fn search_layer(
         &self,
-        visited: &mut VisitedTable,
+        scratch: &mut SearchScratch,
         query: &[f64],
         eps: &[u32],
         ef: usize,
         layer: usize,
         include_deleted: bool,
-    ) -> Vec<Neighbor> {
+    ) {
+        let SearchScratch { visited, candidates, results, fresh, dists, out, .. } = scratch;
         visited.reset(self.nodes.len());
-        let mut candidates: BinaryHeap<ClosestFirst> = BinaryHeap::new();
-        let mut results: BinaryHeap<FarthestFirst> = BinaryHeap::new();
+        candidates.clear();
+        results.clear();
 
         for &ep in eps {
             if !visited.insert(ep) {
@@ -353,8 +379,6 @@ impl Hnsw {
                 results.push(FarthestFirst(n));
             }
         }
-        let mut fresh: Vec<u32> = Vec::new();
-        let mut dists: Vec<f64> = Vec::new();
         while let Some(ClosestFirst(c)) = candidates.pop() {
             let worst = results.peek().map_or(f64::INFINITY, |f| f.0.dist);
             if c.dist > worst && results.len() >= ef {
@@ -375,8 +399,8 @@ impl Hnsw {
             if fresh.is_empty() {
                 continue;
             }
-            self.dist_many(query, &fresh, &mut dists);
-            for (&nb, &d) in fresh.iter().zip(&dists) {
+            self.dist_many(query, fresh, dists);
+            for (&nb, &d) in fresh.iter().zip(dists.iter()) {
                 let worst = results.peek().map_or(f64::INFINITY, |f| f.0.dist);
                 if results.len() < ef || d < worst {
                     candidates.push(ClosestFirst(Neighbor { id: nb, dist: d }));
@@ -389,9 +413,14 @@ impl Hnsw {
                 }
             }
         }
-        let mut out: Vec<Neighbor> = results.into_iter().map(|f| f.0).collect();
-        out.sort_by(|a, b| a.dist.partial_cmp(&b.dist).unwrap());
-        out
+        // Drain the bounded max-heap: pops come farthest first, so the
+        // reverse yields ascending distance without a sort (a stable sort
+        // would allocate its merge buffer on every query).
+        out.clear();
+        while let Some(FarthestFirst(nb)) = results.pop() {
+            out.push(nb);
+        }
+        out.reverse();
     }
 
     /// `SELECT-NEIGHBORS-HEURISTIC` (Algorithm 4): keeps candidates that are
@@ -441,39 +470,40 @@ impl Hnsw {
             return id;
         };
         let top_level = self.nodes[entry as usize].level();
-        let query = self.store.get(id).to_vec();
+        // Stage the just-pushed vector in the reusable scratch buffer (the
+        // store cannot stay borrowed across the wiring mutations below).
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let mut base = std::mem::take(&mut scratch.base);
+        base.clear();
+        base.extend_from_slice(self.store.get(id));
 
         // Phase 1: greedy descent through layers above the node's level.
         let mut ep = entry;
         for layer in ((level + 1)..=top_level).rev() {
-            ep = self.greedy_closest(&query, ep, layer);
+            ep = self.greedy_closest(&base, ep, layer, &mut scratch.dists);
         }
 
         // Phase 2: beam search + bidirectional wiring on each shared layer.
-        let mut visited = std::mem::take(&mut self.visited);
         let mut eps = vec![ep];
         for layer in (0..=level.min(top_level)).rev() {
-            let found = self.search_layer(
-                &mut visited,
-                &query,
-                &eps,
-                self.params.ef_construction,
-                layer,
-                true,
-            );
+            self.search_layer(&mut scratch, &base, &eps, self.params.ef_construction, layer, true);
             let m = self.params.max_degree(layer);
-            let chosen = self.select_neighbors(&query, &found, m);
+            let chosen = self.select_neighbors(&base, &scratch.out, m);
+            // Entry points for the next layer come from this layer's beam;
+            // extract them before the wiring below reuses the scratch.
+            eps.clear();
+            eps.extend(scratch.out.iter().map(|n| n.id));
+            if eps.is_empty() {
+                eps.push(ep);
+            }
             for nb in &chosen {
                 self.nodes[id as usize].links[layer].push(nb.id);
                 self.nodes[nb.id as usize].links[layer].push(id);
                 self.shrink_if_needed(nb.id, layer);
             }
-            eps = found.iter().map(|n| n.id).collect();
-            if eps.is_empty() {
-                eps = vec![ep];
-            }
         }
-        self.visited = visited;
+        scratch.base = base;
+        self.scratch = scratch;
 
         if level > top_level {
             self.entry = Some(id);
@@ -488,25 +518,36 @@ impl Hnsw {
         if self.nodes[node as usize].links[layer].len() <= m {
             return;
         }
-        let base = self.store.get(node).to_vec();
+        // Stage the base vector and distances in reusable buffers — this
+        // runs while `insert` has the main scratch checked out, so it owns
+        // its own staging storage.
+        let mut base = std::mem::take(&mut self.shrink_base);
+        let mut dists = std::mem::take(&mut self.shrink_dists);
+        base.clear();
+        base.extend_from_slice(self.store.get(node));
         let links = &self.nodes[node as usize].links[layer];
-        let mut dists = Vec::new();
         self.dist_many(&base, links, &mut dists);
         let cands: Vec<Neighbor> =
             links.iter().zip(&dists).map(|(&nb, &d)| Neighbor { id: nb, dist: d }).collect();
         let chosen = self.select_neighbors(&base, &cands, m);
         self.nodes[node as usize].links[layer] = chosen.into_iter().map(|n| n.id).collect();
+        self.shrink_base = base;
+        self.shrink_dists = dists;
     }
 
     /// k-ANN search (Algorithm 5): returns up to `k` live neighbors,
     /// closest first, exploring with beam width `ef ≥ k`.
+    ///
+    /// Borrows this thread's pooled [`SearchScratch`], so on a warm thread
+    /// the only heap allocation is the returned `Vec` itself. Results are
+    /// bitwise identical to [`Self::search_in`] with any scratch.
     pub fn search(&self, query: &[f64], k: usize, ef: usize) -> Vec<Neighbor> {
-        let mut scratch = SearchScratch::default();
-        self.search_with(&mut scratch, query, k, ef)
+        ScratchPool::with(|scratch| self.search_in(scratch, query, k, ef).to_vec())
     }
 
-    /// Search variant reusing caller-owned scratch space (used by the
-    /// single-threaded benchmark loops to avoid per-query allocation).
+    /// Search variant reusing caller-owned scratch space and returning an
+    /// owned `Vec` (callers that can hold the borrow should prefer
+    /// [`Self::search_in`], which allocates nothing at all).
     pub fn search_with(
         &self,
         scratch: &mut SearchScratch,
@@ -514,16 +555,34 @@ impl Hnsw {
         k: usize,
         ef: usize,
     ) -> Vec<Neighbor> {
-        let Some(entry) = self.entry else { return Vec::new() };
+        self.search_in(scratch, query, k, ef).to_vec()
+    }
+
+    /// Allocation-free search: results are left in (and borrowed from)
+    /// `scratch.out`. A warm scratch — one whose buffers already fit this
+    /// graph and beam width — performs **zero** heap allocations here, and
+    /// the output is bitwise identical regardless of the scratch's history
+    /// (see [`SearchScratch`] and DESIGN.md §6 for the determinism contract).
+    pub fn search_in<'s>(
+        &self,
+        scratch: &'s mut SearchScratch,
+        query: &[f64],
+        k: usize,
+        ef: usize,
+    ) -> &'s [Neighbor] {
+        let Some(entry) = self.entry else {
+            scratch.out.clear();
+            return &scratch.out;
+        };
         assert_eq!(query.len(), self.dim(), "search: query dimension mismatch");
         let ef = ef.max(k);
         let mut ep = entry;
         for layer in (1..=self.nodes[entry as usize].level()).rev() {
-            ep = self.greedy_closest(query, ep, layer);
+            ep = self.greedy_closest(query, ep, layer, &mut scratch.dists);
         }
-        let mut found = self.search_layer(&mut scratch.0, query, &[ep], ef, 0, false);
-        found.truncate(k);
-        found
+        self.search_layer(scratch, query, &[ep], ef, 0, false);
+        scratch.out.truncate(k);
+        &scratch.out
     }
 
     /// Deletes a vector (paper Section V-D): tombstones the node, strips its
@@ -574,24 +633,30 @@ impl Hnsw {
 
         // Repair each in-neighbor: re-select its layer links from a fresh
         // k-ANN of itself ("reinsert it into HNSW" per the paper).
-        let mut visited = std::mem::take(&mut self.visited);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let mut base = std::mem::take(&mut scratch.base);
         for (layer, vs) in in_neighbors.iter().enumerate() {
             for &v in vs {
                 if self.entry.is_none() {
                     break;
                 }
-                let base = self.store.get(v).to_vec();
-                let eps = vec![self.entry.unwrap()];
-                let found = self.search_layer(
-                    &mut visited,
+                base.clear();
+                base.extend_from_slice(self.store.get(v));
+                let eps = [self.entry.unwrap()];
+                self.search_layer(
+                    &mut scratch,
                     &base,
                     &eps,
                     self.params.ef_construction,
                     layer.min(self.nodes[self.entry.unwrap() as usize].level()),
                     true,
                 );
-                let cands: Vec<Neighbor> =
-                    found.into_iter().filter(|n| n.id != v && !self.is_deleted(n.id)).collect();
+                let cands: Vec<Neighbor> = scratch
+                    .out
+                    .iter()
+                    .copied()
+                    .filter(|n| n.id != v && !self.is_deleted(n.id))
+                    .collect();
                 let m = self.params.max_degree(layer);
                 let mut chosen = self.select_neighbors(&base, &cands, m);
                 // Keep existing live links that the re-selection missed.
@@ -607,7 +672,8 @@ impl Hnsw {
                 self.nodes[v as usize].links[layer] = chosen.into_iter().map(|n| n.id).collect();
             }
         }
-        self.visited = visited;
+        scratch.base = base;
+        self.scratch = scratch;
     }
 
     /// Iterator over live node ids.
@@ -654,7 +720,9 @@ impl Hnsw {
             store,
             nodes: nodes.into_iter().map(|(links, deleted)| Node { links, deleted }).collect(),
             entry,
-            visited: VisitedTable::default(),
+            scratch: SearchScratch::default(),
+            shrink_base: Vec::new(),
+            shrink_dists: Vec::new(),
             live,
             dist_comps: AtomicU64::new(0),
         }

@@ -35,12 +35,14 @@ mod comparison_search;
 mod graph;
 pub mod nsg;
 mod params;
+mod scratch;
 mod serial;
 mod store;
 mod visited;
 
-pub use bruteforce::{exact_knn, exact_knn_ids};
-pub use graph::{Hnsw, Neighbor, SearchScratch};
+pub use bruteforce::{exact_knn, exact_knn_ids, exact_knn_in};
+pub use graph::{Hnsw, Neighbor};
 pub use nsg::{Nsg, NsgParams};
 pub use params::HnswParams;
+pub use scratch::{ScratchPool, SearchScratch};
 pub use store::VecStore;

@@ -18,8 +18,8 @@
 
 use crate::graph::{Hnsw, Neighbor};
 use crate::params::HnswParams;
+use crate::scratch::{ScratchPool, SearchScratch};
 use crate::store::VecStore;
-use crate::visited::VisitedTable;
 use ppann_linalg::vector::squared_euclidean;
 
 /// NSG construction/search parameters.
@@ -94,7 +94,7 @@ impl Nsg {
         let knn_adj: Vec<Vec<u32>> =
             knn.iter().map(|l| l.iter().map(|nb| nb.id).collect()).collect();
         let mut adjacency: Vec<Vec<u32>> = Vec::with_capacity(n);
-        let mut visited = VisitedTable::default();
+        let mut scratch = SearchScratch::default();
         for v in 0..n as u32 {
             let target = store.get(v).to_vec();
             // Candidates: the *entire* visited set of a build-time search
@@ -106,7 +106,7 @@ impl Nsg {
                 navigating,
                 &target,
                 params.l_build,
-                &mut visited,
+                &mut scratch,
                 Some(&mut candidates),
             );
             for nb in &knn[v as usize] {
@@ -276,38 +276,51 @@ impl Nsg {
 
     /// Greedy best-first k-ANN search with pool width `l` (the NSG search
     /// routine), returning up to `k` hits closest-first.
+    ///
+    /// Borrows this thread's pooled scratch, so on a warm thread the only
+    /// heap allocation is the returned `Vec`.
     pub fn search(&self, query: &[f64], k: usize, l: usize) -> Vec<Neighbor> {
-        let mut visited = VisitedTable::default();
-        let pool = greedy_pool(
-            &self.store,
-            &self.adjacency,
-            self.navigating,
-            query,
-            l.max(k),
-            &mut visited,
-            None,
-        );
-        pool.into_iter().take(k).collect()
+        ScratchPool::with(|scratch| self.search_in(scratch, query, k, l).to_vec())
+    }
+
+    /// Allocation-free search variant: results are left in (and borrowed
+    /// from) `scratch.out`, closest first. Output is identical for any
+    /// scratch, warm or fresh.
+    pub fn search_in<'s>(
+        &self,
+        scratch: &'s mut SearchScratch,
+        query: &[f64],
+        k: usize,
+        l: usize,
+    ) -> &'s [Neighbor] {
+        greedy_pool(&self.store, &self.adjacency, self.navigating, query, l.max(k), scratch, None);
+        scratch.out.truncate(k);
+        &scratch.out
     }
 }
 
 /// Greedy best-first traversal over `adjacency` toward `target`, keeping a
-/// pool of the best `l` nodes seen; returns the pool sorted closest-first.
-/// When `record_visited` is supplied, every node whose distance was
-/// evaluated is appended to it (the NSG build uses the *full* visited set
-/// as edge candidates, not just the final pool).
+/// pool of the best `l` nodes seen; leaves the pool in `scratch.out`,
+/// sorted closest-first. When `record_visited` is supplied, every node
+/// whose distance was evaluated is appended to it (the NSG build uses the
+/// *full* visited set as edge candidates, not just the final pool).
+///
+/// Both stamp tables (`visited`, `expanded`) and the pool come from the
+/// scratch, so a warm search allocates nothing.
 fn greedy_pool(
     store: &VecStore,
     adjacency: &[Vec<u32>],
     entry: u32,
     target: &[f64],
     l: usize,
-    visited: &mut VisitedTable,
+    scratch: &mut SearchScratch,
     mut record_visited: Option<&mut Vec<Neighbor>>,
-) -> Vec<Neighbor> {
+) {
     let n = adjacency.len();
+    let SearchScratch { visited, expanded, out: pool, .. } = scratch;
     visited.reset(n);
-    let mut pool: Vec<Neighbor> = Vec::with_capacity(l + 1);
+    expanded.reset(n);
+    pool.clear();
     // Seed the pool with the navigating node plus up to `l − 1` points
     // spread evenly over the id space. The reference NSG implementation
     // initializes its search pool with *random* points for the same reason:
@@ -327,12 +340,11 @@ fn greedy_pool(
         let at = pool.partition_point(|x| x.dist <= nb.dist);
         pool.insert(at, nb);
     }
-    let mut expanded = vec![false; n];
 
     // Expand the closest unexpanded pool member until none remain.
-    while let Some(pos) = pool.iter().position(|nb| !expanded[nb.id as usize]) {
+    while let Some(pos) = pool.iter().position(|nb| !expanded.contains(nb.id)) {
         let current = pool[pos];
-        expanded[current.id as usize] = true;
+        expanded.insert(current.id);
         for &nb in &adjacency[current.id as usize] {
             if !visited.insert(nb) {
                 continue;
@@ -352,7 +364,6 @@ fn greedy_pool(
             }
         }
     }
-    pool
 }
 
 #[cfg(test)]

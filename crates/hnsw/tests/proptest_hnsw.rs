@@ -1,7 +1,7 @@
 //! Property-based tests of the HNSW index: structural invariants must hold
 //! for arbitrary data, parameters and maintenance sequences.
 
-use ppann_hnsw::{exact_knn_ids, Hnsw, HnswParams};
+use ppann_hnsw::{exact_knn_ids, Hnsw, HnswParams, SearchScratch};
 use proptest::prelude::*;
 
 fn points(n: usize, d: usize, data: &[f64]) -> Vec<Vec<f64>> {
@@ -73,6 +73,59 @@ proptest! {
         let hits = index.search(q, n, 60);
         for h in &hits {
             prop_assert!(!deleted.contains(&h.id), "deleted id {} returned", h.id);
+        }
+    }
+
+    /// Determinism contract of pooled scratch (DESIGN.md §6): a search
+    /// through a dirty, previously used scratch is bitwise identical —
+    /// same ids in the same order, same `f64` distance bits — to the same
+    /// search through a fresh `SearchScratch::default()`. The dirty
+    /// scratch is dragged across differently-sized graphs (large first,
+    /// so its tables and heaps are oversized and full of stale state for
+    /// the small one) and across deletions, whose tombstones the visited
+    /// tables must not resurrect or suppress.
+    #[test]
+    fn scratch_parity(
+        n_big in 20usize..60,
+        n_small in 2usize..20,
+        d in 1usize..6,
+        k in 1usize..10,
+        ef in 4usize..48,
+        delete_mask in proptest::collection::vec(any::<bool>(), 60),
+        data in proptest::collection::vec(-1.0f64..1.0, 60 * 6),
+        queries in proptest::collection::vec(-1.0f64..1.0, 4 * 6),
+    ) {
+        let big_pts = points(n_big, d, &data);
+        let small_pts = points(n_small, d, &data);
+        let mut big = Hnsw::build(d, HnswParams::default(), &big_pts);
+        let small = Hnsw::build(d, HnswParams::default(), &small_pts);
+
+        let mut dirty = SearchScratch::default();
+        for step in 0..4 {
+            let q = &queries[step * d..(step + 1) * d];
+            // Interleave deletions so later searches run over tombstones.
+            if step == 2 {
+                for (id, &kill) in delete_mask.iter().take(n_big).enumerate() {
+                    if kill && big.len() > 2 {
+                        big.delete(id as u32);
+                    }
+                }
+            }
+            // Alternate graphs: big warms the buffers past what small
+            // needs, so small sees genuinely stale oversized state.
+            for index in [&big, &small] {
+                let reused: Vec<_> = index.search_in(&mut dirty, q, k, ef).to_vec();
+                let fresh: Vec<_> =
+                    index.search_in(&mut SearchScratch::default(), q, k, ef).to_vec();
+                prop_assert_eq!(reused.len(), fresh.len(), "result count diverged");
+                for (a, b) in reused.iter().zip(fresh.iter()) {
+                    prop_assert_eq!(a.id, b.id, "id order diverged");
+                    prop_assert_eq!(
+                        a.dist.to_bits(), b.dist.to_bits(),
+                        "distance bits diverged for id {}", a.id
+                    );
+                }
+            }
         }
     }
 

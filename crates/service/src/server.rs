@@ -84,13 +84,14 @@ use crate::wire::{
     CollectionEntry, ErrorCode, Frame, WireName, COLLECTION_KIND_CLOUD, COLLECTION_KIND_SHARDED,
     DEFAULT_MAX_FRAME,
 };
+use bytes::BytesMut;
 use parking_lot::{Mutex, RwLock};
 use ppann_core::catalog::{validate_collection_name, Catalog, Collection};
 use ppann_core::wal::wal_path_for;
 use ppann_core::{
     BackendInfo, BackendKind, DurabilityOptions, DurableCatalogError, EncryptedDatabase,
-    EncryptedQuery, FsyncPolicy, MaintainableServer, QueryBackend, SearchParams, SharedServer,
-    DEFAULT_COLLECTION, DEFAULT_COMPACT_BYTES, SNAPSHOT_EXT,
+    EncryptedQuery, FsyncPolicy, MaintainableServer, QueryBackend, QueryScratch, SearchParams,
+    SharedServer, DEFAULT_COLLECTION, DEFAULT_COMPACT_BYTES, SNAPSHOT_EXT,
 };
 use std::collections::HashMap;
 use std::io::{Read, Write};
@@ -106,6 +107,44 @@ const READ_CHUNK: usize = 64 * 1024;
 /// pipelined requests faster than they are served is requeued behind
 /// everyone else instead of monopolizing its worker's read loop.
 const MAX_READ_PER_WAKE: usize = 1 << 20;
+
+/// High-water mark for a worker's persistent reply-encode buffer: the
+/// buffer grows to the largest reply the worker has staged and stays
+/// there (zero-allocation steady state), but one giant batch reply must
+/// not pin megabytes per worker forever — above this capacity the
+/// buffer is released after the wake and regrown on demand.
+const ENCODE_HIGH_WATER: usize = 1 << 20;
+
+/// Everything one worker thread keeps warm across the requests it
+/// answers (DESIGN.md §6): the backend's pooled query scratch, the
+/// reply-encode staging buffer, and the worker's last report to the
+/// process-wide `scratch_bytes` gauge.
+#[derive(Default)]
+struct WorkerScratch {
+    /// Filter-and-refine buffers handed to `Collection::search_in`.
+    query: QueryScratch,
+    /// Reply-payload staging for `Frame::encode_with` — grow-only until
+    /// [`ENCODE_HIGH_WATER`].
+    encode: BytesMut,
+    /// Resident bytes last pushed to the gauge (delta bookkeeping).
+    reported: u64,
+}
+
+impl WorkerScratch {
+    /// Post-wake bookkeeping: shrink the encode buffer above the
+    /// high-water mark, then move the `scratch_bytes` gauge by this
+    /// worker's delta.
+    fn settle(&mut self, stats: &ServiceStats) {
+        if self.encode.capacity() > ENCODE_HIGH_WATER {
+            self.encode = BytesMut::new();
+        }
+        let now = (self.query.resident_bytes() + self.encode.capacity()) as u64;
+        if now != self.reported {
+            stats.update_scratch_bytes(self.reported, now);
+            self.reported = now;
+        }
+    }
+}
 
 /// Server configuration.
 #[derive(Clone, Debug)]
@@ -541,9 +580,13 @@ pub fn serve_catalog(
         let role = Arc::clone(&role);
         let config = config.clone();
         threads.push(std::thread::spawn(move || {
+            let mut ws = WorkerScratch::default();
             while let Some(conn) = shared.ready.pop(&stats) {
-                serve_wake(&conn, &catalog, &coll_stats, &config, &stats, &shared, &role);
+                serve_wake(&conn, &mut ws, &catalog, &coll_stats, &config, &stats, &shared, &role);
+                ws.settle(&stats);
             }
+            // Retire this worker's contribution from the gauge.
+            stats.update_scratch_bytes(ws.reported, 0);
         }));
     }
 
@@ -580,6 +623,7 @@ pub fn serve_catalog(
 #[allow(clippy::too_many_arguments)]
 fn serve_wake(
     conn: &Arc<Conn>,
+    ws: &mut WorkerScratch,
     catalog: &Catalog,
     coll_stats: &PerCollectionStats,
     config: &ServiceConfig,
@@ -589,7 +633,7 @@ fn serve_wake(
 ) {
     let verdict = {
         let mut state = conn.state.lock();
-        drive(conn, &mut state, catalog, coll_stats, config, stats, shared, role)
+        drive(conn, &mut state, ws, catalog, coll_stats, config, stats, shared, role)
     };
     match verdict {
         Wake::Requeue => {
@@ -613,6 +657,7 @@ fn serve_wake(
 fn drive(
     conn: &Conn,
     st: &mut ConnState,
+    ws: &mut WorkerScratch,
     catalog: &Catalog,
     coll_stats: &PerCollectionStats,
     config: &ServiceConfig,
@@ -647,7 +692,7 @@ fn drive(
             Err(e) => {
                 // Framing violation: answer, then close — byte-positional
                 // framing has no resynchronization point.
-                send_error(&mut st.write_buf, stats, e.error_code(), e.to_string());
+                send_error(&mut st.write_buf, &mut ws.encode, stats, e.error_code(), e.to_string());
                 st.closing = true;
                 return finish_closing(conn, st, config, shared);
             }
@@ -693,6 +738,7 @@ fn drive(
         if st.ready {
             serve_frame(
                 st,
+                ws,
                 frame,
                 wire_bytes as u64,
                 catalog,
@@ -703,14 +749,20 @@ fn drive(
                 role,
             )
         } else {
-            serve_hello(st, frame, catalog, stats)
+            serve_hello(st, ws, frame, catalog, stats)
         }
     }));
     let fate = match outcome {
         Ok(fate) => fate,
         Err(_) => {
+            // The panic may have left the worker scratch mid-handoff
+            // (buffers taken, partial contents) — drop it for a fresh
+            // one; the determinism contract needs valid, not clean,
+            // state, and a poisoned buffer must not serve the next peer.
+            *ws = WorkerScratch { reported: ws.reported, ..WorkerScratch::default() };
             send_error(
                 &mut st.write_buf,
+                &mut ws.encode,
                 stats,
                 ErrorCode::Internal,
                 "server failed while answering".into(),
@@ -849,10 +901,12 @@ fn flush(conn: &Conn, st: &mut ConnState) -> std::io::Result<()> {
 /// `dim = 0` Hello passes.
 fn serve_hello(
     st: &mut ConnState,
+    ws: &mut WorkerScratch,
     frame: Frame,
     catalog: &Catalog,
     stats: &ServiceStats,
 ) -> ConnFate {
+    let encode = &mut ws.encode;
     match frame {
         Frame::Hello { dim } => {
             let default = catalog.default_collection();
@@ -868,16 +922,17 @@ fn serve_hello(
                          send dim 0 and pick a collection by name"
                     ),
                 };
-                send_error(&mut st.write_buf, stats, ErrorCode::DimMismatch, detail);
+                send_error(&mut st.write_buf, encode, stats, ErrorCode::DimMismatch, detail);
                 return ConnFate::Close;
             }
             st.ready = true;
-            send(&mut st.write_buf, stats, &Frame::HelloAck { dim: served_dim, live });
+            send(&mut st.write_buf, encode, stats, &Frame::HelloAck { dim: served_dim, live });
             ConnFate::Keep
         }
         _ => {
             send_error(
                 &mut st.write_buf,
+                encode,
                 stats,
                 ErrorCode::BadRequest,
                 "expected Hello first".into(),
@@ -1043,6 +1098,7 @@ fn drop_collection_locked(
 #[allow(clippy::too_many_arguments)]
 fn serve_frame(
     st: &mut ConnState,
+    ws: &mut WorkerScratch,
     frame: Frame,
     frame_bytes: u64,
     catalog: &Catalog,
@@ -1052,34 +1108,37 @@ fn serve_frame(
     shared: &Shared,
     role: &ReplicationRole,
 ) -> ConnFate {
+    // Disjoint borrows of the worker scratch: the query buffers feed the
+    // search arms while the encode buffer stages every reply.
+    let WorkerScratch { query: wsq, encode, .. } = ws;
     let out = &mut st.write_buf;
     match frame {
         Frame::Search { collection, params, query } => {
             let (coll, cstats) = match resolve_collection(&collection, catalog, coll_stats) {
                 Ok(found) => found,
                 Err((code, msg)) => {
-                    send_error(out, stats, code, msg);
+                    send_error(out, encode, stats, code, msg);
                     return ConnFate::Keep;
                 }
             };
             cstats.add_bytes_in(frame_bytes);
             if let Some(msg) = validate_query(&query, &params, coll.dim(), config) {
-                send_error_counted(out, &[stats, &cstats], ErrorCode::BadRequest, msg);
+                send_error_counted(out, encode, &[stats, &cstats], ErrorCode::BadRequest, msg);
                 return ConnFate::Keep;
             }
             let started = Instant::now();
-            let outcome = coll.search(&query, &params);
+            let outcome = coll.search_in(wsq, &query, &params);
             let elapsed = started.elapsed();
             stats.record_query(elapsed);
             cstats.record_query(elapsed);
-            send_counted(out, &[stats, &cstats], &Frame::SearchResult(outcome));
+            send_counted(out, encode, &[stats, &cstats], &Frame::SearchResult(outcome));
             ConnFate::Keep
         }
         Frame::SearchBatch { collection, params, queries } => {
             let (coll, cstats) = match resolve_collection(&collection, catalog, coll_stats) {
                 Ok(found) => found,
                 Err((code, msg)) => {
-                    send_error(out, stats, code, msg);
+                    send_error(out, encode, stats, code, msg);
                     return ConnFate::Keep;
                 }
             };
@@ -1090,6 +1149,7 @@ fn serve_frame(
             if queries.is_empty() {
                 send_error_counted(
                     out,
+                    encode,
                     &[stats, &cstats],
                     ErrorCode::BadRequest,
                     "empty batch".into(),
@@ -1104,6 +1164,7 @@ fn serve_frame(
             if queries.len() > config.max_batch {
                 send_error_counted(
                     out,
+                    encode,
                     &[stats, &cstats],
                     ErrorCode::BadRequest,
                     format!(
@@ -1119,6 +1180,7 @@ fn serve_frame(
                 if let Some(msg) = validate_query(query, &params, dim, config) {
                     send_error_counted(
                         out,
+                        encode,
                         &[stats, &cstats],
                         ErrorCode::BadRequest,
                         format!("batch query {qi}: {msg}"),
@@ -1136,6 +1198,7 @@ fn serve_frame(
             if reply_bound > config.max_frame as u64 {
                 send_error_counted(
                     out,
+                    encode,
                     &[stats, &cstats],
                     ErrorCode::BadRequest,
                     format!(
@@ -1163,22 +1226,22 @@ fn serve_frame(
                 stats.record_query(elapsed);
                 cstats.record_query(elapsed);
             }
-            send_counted(out, &[stats, &cstats], &Frame::SearchBatchResult(outcomes));
+            send_counted(out, encode, &[stats, &cstats], &Frame::SearchBatchResult(outcomes));
             ConnFate::Keep
         }
         Frame::Insert { collection, token, c_sap, c_dce } => {
             if let Some(msg) = follower_refusal(role) {
-                send_error(out, stats, ErrorCode::NotPrimary, msg);
+                send_error(out, encode, stats, ErrorCode::NotPrimary, msg);
                 return ConnFate::Keep;
             }
             if !authorized(config, token) {
-                send_error(out, stats, ErrorCode::Unauthorized, "bad owner token".into());
+                send_error(out, encode, stats, ErrorCode::Unauthorized, "bad owner token".into());
                 return ConnFate::Keep;
             }
             let (coll, cstats) = match resolve_collection(&collection, catalog, coll_stats) {
                 Ok(found) => found,
                 Err((code, msg)) => {
-                    send_error(out, stats, code, msg);
+                    send_error(out, encode, stats, code, msg);
                     return ConnFate::Keep;
                 }
             };
@@ -1187,6 +1250,7 @@ fn serve_frame(
             if c_sap.len() != dim {
                 send_error_counted(
                     out,
+                    encode,
                     &[stats, &cstats],
                     ErrorCode::BadRequest,
                     format!("insert dim {} != served dim {dim}", c_sap.len()),
@@ -1199,6 +1263,7 @@ fn serve_frame(
             if c_dce.component_dim() != expected {
                 send_error_counted(
                     out,
+                    encode,
                     &[stats, &cstats],
                     ErrorCode::BadRequest,
                     format!("DCE component dim {} != expected {expected}", c_dce.component_dim()),
@@ -1215,6 +1280,7 @@ fn serve_frame(
                 Err(e) => {
                     send_error_counted(
                         out,
+                        encode,
                         &[stats, &cstats],
                         ErrorCode::Internal,
                         format!("write-ahead log append failed: {e}"),
@@ -1224,22 +1290,22 @@ fn serve_frame(
             };
             stats.record_insert();
             cstats.record_insert();
-            send_counted(out, &[stats, &cstats], &Frame::InsertAck { id });
+            send_counted(out, encode, &[stats, &cstats], &Frame::InsertAck { id });
             ConnFate::Keep
         }
         Frame::Delete { collection, token, id } => {
             if let Some(msg) = follower_refusal(role) {
-                send_error(out, stats, ErrorCode::NotPrimary, msg);
+                send_error(out, encode, stats, ErrorCode::NotPrimary, msg);
                 return ConnFate::Keep;
             }
             if !authorized(config, token) {
-                send_error(out, stats, ErrorCode::Unauthorized, "bad owner token".into());
+                send_error(out, encode, stats, ErrorCode::Unauthorized, "bad owner token".into());
                 return ConnFate::Keep;
             }
             let (coll, cstats) = match resolve_collection(&collection, catalog, coll_stats) {
                 Ok(found) => found,
                 Err((code, msg)) => {
-                    send_error(out, stats, code, msg);
+                    send_error(out, encode, stats, code, msg);
                     return ConnFate::Keep;
                 }
             };
@@ -1250,12 +1316,13 @@ fn serve_frame(
                 Ok(true) => {
                     stats.record_delete();
                     cstats.record_delete();
-                    send_counted(out, &[stats, &cstats], &Frame::DeleteAck);
+                    send_counted(out, encode, &[stats, &cstats], &Frame::DeleteAck);
                     ConnFate::Keep
                 }
                 Ok(false) => {
                     send_error_counted(
                         out,
+                        encode,
                         &[stats, &cstats],
                         ErrorCode::BadRequest,
                         format!("id {id} out of range or already deleted"),
@@ -1265,6 +1332,7 @@ fn serve_frame(
                 Err(e) => {
                     send_error_counted(
                         out,
+                        encode,
                         &[stats, &cstats],
                         ErrorCode::Internal,
                         format!("write-ahead log append failed: {e}"),
@@ -1277,14 +1345,14 @@ fn serve_frame(
             // Aggregate view: process-wide counters, catalog-wide live,
             // plus the reactor's connection gauges.
             let snap = stats.snapshot(catalog.total_live() as u64);
-            send(out, stats, &Frame::StatsReply(snap));
+            send(out, encode, stats, &Frame::StatsReply(snap));
             ConnFate::Keep
         }
         Frame::Stats { collection: collection @ Some(_) } => {
             let (coll, cstats) = match resolve_collection(&collection, catalog, coll_stats) {
                 Ok(found) => found,
                 Err((code, msg)) => {
-                    send_error(out, stats, code, msg);
+                    send_error(out, encode, stats, code, msg);
                     return ConnFate::Keep;
                 }
             };
@@ -1299,7 +1367,8 @@ fn serve_frame(
             snap.conns_parked = stats.conns_parked();
             snap.conns_active = stats.conns_active();
             snap.ready_depth = stats.ready_depth();
-            send_counted(out, &[stats, &cstats], &Frame::StatsReply(snap));
+            snap.scratch_bytes = stats.scratch_bytes();
+            send_counted(out, encode, &[stats, &cstats], &Frame::StatsReply(snap));
             ConnFate::Keep
         }
         Frame::ListCollections => {
@@ -1317,28 +1386,29 @@ fn serve_frame(
                     shards: info.kind.shards(),
                 })
                 .collect();
-            send(out, stats, &Frame::ListCollectionsReply(entries));
+            send(out, encode, stats, &Frame::ListCollectionsReply(entries));
             ConnFate::Keep
         }
         Frame::CreateCollection { token, name, dim, shards } => {
             if let Some(msg) = follower_refusal(role) {
-                send_error(out, stats, ErrorCode::NotPrimary, msg);
+                send_error(out, encode, stats, ErrorCode::NotPrimary, msg);
                 return ConnFate::Keep;
             }
             if !authorized(config, token) {
-                send_error(out, stats, ErrorCode::Unauthorized, "bad owner token".into());
+                send_error(out, encode, stats, ErrorCode::Unauthorized, "bad owner token".into());
                 return ConnFate::Keep;
             }
             let name = match decode_name(&name) {
                 Ok(name) => name.to_string(),
                 Err((code, msg)) => {
-                    send_error(out, stats, code, msg);
+                    send_error(out, encode, stats, code, msg);
                     return ConnFate::Keep;
                 }
             };
             if dim == 0 || dim > MAX_CREATE_DIM {
                 send_error(
                     out,
+                    encode,
                     stats,
                     ErrorCode::BadRequest,
                     format!("collection dim must be in 1..={MAX_CREATE_DIM}, got {dim}"),
@@ -1348,6 +1418,7 @@ fn serve_frame(
             if shards == 0 || shards > MAX_CREATE_SHARDS {
                 send_error(
                     out,
+                    encode,
                     stats,
                     ErrorCode::BadRequest,
                     format!("shards must be in 1..={MAX_CREATE_SHARDS}, got {shards}"),
@@ -1363,24 +1434,24 @@ fn serve_frame(
                 create_collection_locked(catalog, coll_stats, config, &name, dim, shards)
             };
             match lifecycle_outcome {
-                Ok(()) => send(out, stats, &Frame::CreateCollectionAck),
-                Err((code, msg)) => send_error(out, stats, code, msg),
+                Ok(()) => send(out, encode, stats, &Frame::CreateCollectionAck),
+                Err((code, msg)) => send_error(out, encode, stats, code, msg),
             }
             ConnFate::Keep
         }
         Frame::DropCollection { token, name } => {
             if let Some(msg) = follower_refusal(role) {
-                send_error(out, stats, ErrorCode::NotPrimary, msg);
+                send_error(out, encode, stats, ErrorCode::NotPrimary, msg);
                 return ConnFate::Keep;
             }
             if !authorized(config, token) {
-                send_error(out, stats, ErrorCode::Unauthorized, "bad owner token".into());
+                send_error(out, encode, stats, ErrorCode::Unauthorized, "bad owner token".into());
                 return ConnFate::Keep;
             }
             let name = match decode_name(&name) {
                 Ok(name) => name.to_string(),
                 Err((code, msg)) => {
-                    send_error(out, stats, code, msg);
+                    send_error(out, encode, stats, code, msg);
                     return ConnFate::Keep;
                 }
             };
@@ -1391,17 +1462,17 @@ fn serve_frame(
                 drop_collection_locked(catalog, coll_stats, config, &name)
             };
             match lifecycle_outcome {
-                Ok(()) => send(out, stats, &Frame::DropCollectionAck),
-                Err((code, msg)) => send_error(out, stats, code, msg),
+                Ok(()) => send(out, encode, stats, &Frame::DropCollectionAck),
+                Err((code, msg)) => send_error(out, encode, stats, code, msg),
             }
             ConnFate::Keep
         }
         Frame::Shutdown { token } => {
             if !authorized(config, token) {
-                send_error(out, stats, ErrorCode::Unauthorized, "bad owner token".into());
+                send_error(out, encode, stats, ErrorCode::Unauthorized, "bad owner token".into());
                 return ConnFate::Keep;
             }
-            send(out, stats, &Frame::ShutdownAck);
+            send(out, encode, stats, &Frame::ShutdownAck);
             // Raise the flag *and* wake the reactor so teardown starts
             // now, not at its next deadline.
             shared.request_stop();
@@ -1413,16 +1484,17 @@ fn serve_frame(
             // wind down; consensus-driven promotion is the documented
             // upgrade path (OPERATIONS.md §10).
             if !authorized(config, token) {
-                send_error(out, stats, ErrorCode::Unauthorized, "bad owner token".into());
+                send_error(out, encode, stats, ErrorCode::Unauthorized, "bad owner token".into());
                 return ConnFate::Keep;
             }
             role.promote();
-            send(out, stats, &Frame::PromoteAck);
+            send(out, encode, stats, &Frame::PromoteAck);
             ConnFate::Keep
         }
         Frame::ReplicaHello { collection, seal_len, seal_crc, snapshot_offset, log_offset } => {
             serve_replica_pull(
                 st,
+                encode,
                 &Some(collection),
                 ppann_core::wal::SnapshotId { len: seal_len, crc: seal_crc },
                 Some(snapshot_offset),
@@ -1434,6 +1506,7 @@ fn serve_frame(
         }
         Frame::ReplicaAck { collection, seal_len, seal_crc, applied_offset } => serve_replica_pull(
             st,
+            encode,
             &Some(collection),
             ppann_core::wal::SnapshotId { len: seal_len, crc: seal_crc },
             None,
@@ -1459,7 +1532,13 @@ fn serve_frame(
         | Frame::SnapshotChunk { .. }
         | Frame::PromoteAck
         | Frame::Error { .. } => {
-            send_error(out, stats, ErrorCode::BadRequest, "unexpected frame direction".into());
+            send_error(
+                out,
+                encode,
+                stats,
+                ErrorCode::BadRequest,
+                "unexpected frame direction".into(),
+            );
             ConnFate::Keep
         }
     }
@@ -1474,6 +1553,7 @@ fn serve_frame(
 #[allow(clippy::too_many_arguments)]
 fn serve_replica_pull(
     st: &mut ConnState,
+    encode: &mut BytesMut,
     collection: &Option<WireName>,
     seal: ppann_core::wal::SnapshotId,
     snapshot_offset: Option<u64>,
@@ -1486,13 +1566,13 @@ fn serve_replica_pull(
     let (coll, cstats) = match resolve_collection(collection, catalog, coll_stats) {
         Ok(found) => found,
         Err((code, msg)) => {
-            send_error(out, stats, code, msg);
+            send_error(out, encode, stats, code, msg);
             return ConnFate::Keep;
         }
     };
     match replication::serve_pull(&coll, seal, snapshot_offset, log_offset) {
-        Ok(reply) => send_counted(out, &[stats, &cstats], &reply),
-        Err((code, msg)) => send_error_counted(out, &[stats, &cstats], code, msg),
+        Ok(reply) => send_counted(out, encode, &[stats, &cstats], &reply),
+        Err((code, msg)) => send_error_counted(out, encode, &[stats, &cstats], code, msg),
     }
     ConnFate::Keep
 }
@@ -1546,22 +1626,27 @@ fn authorized(config: &ServiceConfig, token: u64) -> bool {
 /// process-wide counters plus, on collection-routed replies, the
 /// collection's). Buffering cannot fail; delivery failures surface at
 /// flush time, where the connection is closed.
-fn send_counted(out: &mut Vec<u8>, sinks: &[&ServiceStats], frame: &Frame) {
-    let bytes = frame.encode();
+fn send_counted(out: &mut Vec<u8>, encode: &mut BytesMut, sinks: &[&ServiceStats], frame: &Frame) {
+    let n = frame.encode_with(encode, out);
     for stats in sinks {
-        stats.add_bytes_out(bytes.len() as u64);
+        stats.add_bytes_out(n as u64);
     }
-    out.extend_from_slice(&bytes);
 }
 
 /// [`send_counted`] into the process-wide counters only.
-fn send(out: &mut Vec<u8>, stats: &ServiceStats, frame: &Frame) {
-    send_counted(out, &[stats], frame);
+fn send(out: &mut Vec<u8>, encode: &mut BytesMut, stats: &ServiceStats, frame: &Frame) {
+    send_counted(out, encode, &[stats], frame);
 }
 
-fn send_error(out: &mut Vec<u8>, stats: &ServiceStats, code: ErrorCode, message: String) {
+fn send_error(
+    out: &mut Vec<u8>,
+    encode: &mut BytesMut,
+    stats: &ServiceStats,
+    code: ErrorCode,
+    message: String,
+) {
     stats.record_error();
-    send(out, stats, &Frame::Error { code, message });
+    send(out, encode, stats, &Frame::Error { code, message });
 }
 
 /// [`send_error`] for a failure on a frame already routed to a
@@ -1570,6 +1655,7 @@ fn send_error(out: &mut Vec<u8>, stats: &ServiceStats, code: ErrorCode, message:
 /// error rates actually locate the misbehaving tenant.
 fn send_error_counted(
     out: &mut Vec<u8>,
+    encode: &mut BytesMut,
     sinks: &[&ServiceStats],
     code: ErrorCode,
     message: String,
@@ -1577,5 +1663,5 @@ fn send_error_counted(
     for stats in sinks {
         stats.record_error();
     }
-    send_counted(out, sinks, &Frame::Error { code, message });
+    send_counted(out, encode, sinks, &Frame::Error { code, message });
 }

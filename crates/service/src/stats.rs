@@ -42,6 +42,7 @@ pub struct ServiceStats {
     conns_parked: AtomicU64,
     conns_active: AtomicU64,
     ready_depth: AtomicU64,
+    scratch_bytes: AtomicU64,
     latency: [AtomicU64; LATENCY_BUCKETS],
 }
 
@@ -65,6 +66,7 @@ impl ServiceStats {
             conns_parked: AtomicU64::new(0),
             conns_active: AtomicU64::new(0),
             ready_depth: AtomicU64::new(0),
+            scratch_bytes: AtomicU64::new(0),
             latency: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
@@ -112,6 +114,23 @@ impl ServiceStats {
     /// Current ready-queue depth.
     pub fn ready_depth(&self) -> u64 {
         self.ready_depth.load(Ordering::Relaxed)
+    }
+
+    /// Moves one worker's contribution to the pooled-scratch gauge from
+    /// `prev` to `now` resident bytes. Workers call this after a wake
+    /// whose serving grew (or shrank) their warm buffers; the gauge sums
+    /// every worker's last report (OPERATIONS.md §2).
+    pub fn update_scratch_bytes(&self, prev: u64, now: u64) {
+        if now >= prev {
+            self.scratch_bytes.fetch_add(now - prev, Ordering::Relaxed);
+        } else {
+            self.scratch_bytes.fetch_sub(prev - now, Ordering::Relaxed);
+        }
+    }
+
+    /// Current resident bytes across every worker's pooled query scratch.
+    pub fn scratch_bytes(&self) -> u64 {
+        self.scratch_bytes.load(Ordering::Relaxed)
     }
 
     /// Records one answered query and its server-side latency.
@@ -190,6 +209,7 @@ impl ServiceStats {
             conns_parked: self.conns_parked.load(Ordering::Relaxed),
             conns_active: self.conns_active.load(Ordering::Relaxed),
             ready_depth: self.ready_depth.load(Ordering::Relaxed),
+            scratch_bytes: self.scratch_bytes.load(Ordering::Relaxed),
         }
     }
 }
@@ -226,12 +246,16 @@ pub struct StatsSnapshot {
     pub conns_active: u64,
     /// Connections waiting in the ready queue for a worker (gauge).
     pub ready_depth: u64,
+    /// Resident bytes across every worker's pooled query scratch (gauge;
+    /// process-global even in per-collection replies, 0 from pre-pooling
+    /// servers — PROTOCOL.md §3.10, OPERATIONS.md §2).
+    pub scratch_bytes: u64,
 }
 
 impl StatsSnapshot {
-    /// Appends the thirteen counters as little-endian `u64`s, in field
-    /// order — ten original counters, then the three reactor gauges
-    /// (PROTOCOL.md §3.10).
+    /// Appends the fourteen counters as little-endian `u64`s, in field
+    /// order — ten original counters, the three reactor gauges, then the
+    /// pooled-scratch gauge (PROTOCOL.md §3.10).
     pub fn write_to(&self, buf: &mut BytesMut) {
         for v in [
             self.queries,
@@ -247,15 +271,17 @@ impl StatsSnapshot {
             self.conns_parked,
             self.conns_active,
             self.ready_depth,
+            self.scratch_bytes,
         ] {
             buf.put_u64_le(v);
         }
     }
 
-    /// Reads a snapshot written by [`Self::write_to`]. The three reactor
-    /// gauges are an optional tail: a legacy 80-byte snapshot (from a
-    /// pre-reactor server) decodes with the gauges reported as zero, so
-    /// new clients stay compatible with old servers.
+    /// Reads a snapshot written by [`Self::write_to`]. The gauges are
+    /// optional tails: a legacy 80-byte snapshot (pre-reactor server)
+    /// decodes with all gauges zero, a 104-byte one (pre-pooling server)
+    /// with `scratch_bytes` zero, so new clients stay compatible with
+    /// old servers.
     pub fn read_from(data: &mut Bytes) -> Result<Self, WireError> {
         if data.remaining() < 80 {
             return Err(WireError::Truncated);
@@ -274,11 +300,15 @@ impl StatsSnapshot {
             conns_parked: 0,
             conns_active: 0,
             ready_depth: 0,
+            scratch_bytes: 0,
         };
         if data.remaining() >= 24 {
             snap.conns_parked = data.get_u64_le();
             snap.conns_active = data.get_u64_le();
             snap.ready_depth = data.get_u64_le();
+        }
+        if data.remaining() >= 8 {
+            snap.scratch_bytes = data.get_u64_le();
         }
         Ok(snap)
     }
@@ -330,10 +360,11 @@ mod tests {
             conns_parked: 11,
             conns_active: 12,
             ready_depth: 13,
+            scratch_bytes: 14,
         };
         let mut buf = BytesMut::new();
         snap.write_to(&mut buf);
-        assert_eq!(buf.len(), 104);
+        assert_eq!(buf.len(), 112);
         let mut data = buf.freeze();
         assert_eq!(StatsSnapshot::read_from(&mut data).unwrap(), snap);
         assert!(!data.has_remaining());
@@ -354,7 +385,34 @@ mod tests {
         assert_eq!(snap.conns_parked, 0);
         assert_eq!(snap.conns_active, 0);
         assert_eq!(snap.ready_depth, 0);
+        assert_eq!(snap.scratch_bytes, 0);
         assert!(!data.has_remaining());
+    }
+
+    #[test]
+    fn legacy_104_byte_snapshot_decodes_with_zero_scratch_gauge() {
+        // A pre-pooling server sends thirteen counters; only the
+        // scratch gauge defaults.
+        let mut buf = BytesMut::new();
+        for v in 1..=13u64 {
+            buf.put_u64_le(v);
+        }
+        let mut data = buf.freeze();
+        let snap = StatsSnapshot::read_from(&mut data).unwrap();
+        assert_eq!(snap.ready_depth, 13);
+        assert_eq!(snap.scratch_bytes, 0);
+        assert!(!data.has_remaining());
+    }
+
+    #[test]
+    fn scratch_gauge_moves_by_worker_deltas() {
+        let stats = ServiceStats::new();
+        stats.update_scratch_bytes(0, 4096);
+        stats.update_scratch_bytes(0, 1024);
+        assert_eq!(stats.scratch_bytes(), 5120);
+        stats.update_scratch_bytes(4096, 2048);
+        assert_eq!(stats.scratch_bytes(), 3072);
+        assert_eq!(stats.snapshot(0).scratch_bytes, 3072);
     }
 
     #[test]

@@ -433,20 +433,37 @@ impl Frame {
     /// length field's width; servers bound names far lower).
     pub fn encode(&self) -> Bytes {
         let mut payload = BytesMut::new();
-        self.write_payload(&mut payload);
+        let mut out = Vec::new();
+        self.encode_with(&mut payload, &mut out);
+        Bytes::from(out)
+    }
+
+    /// [`Self::encode`] through caller-owned buffers: the payload is
+    /// staged in `payload` (cleared here; its contents afterwards are
+    /// scratch) and the complete frame — header plus payload — is
+    /// *appended* to `out`. Returns the appended wire length. A
+    /// long-lived worker that reuses both buffers encodes replies with
+    /// zero allocations once they are grown (DESIGN.md §6).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Self::encode`].
+    pub fn encode_with(&self, payload: &mut BytesMut, out: &mut Vec<u8>) -> usize {
+        payload.clear();
+        self.write_payload(payload);
         assert!(
             payload.len() <= u32::MAX as usize,
             "frame payload of {} bytes overflows the u32 length header",
             payload.len()
         );
-        let mut out = BytesMut::with_capacity(HEADER_LEN + payload.len());
-        out.put_slice(&MAGIC);
-        out.put_u8(self.wire_version());
-        out.put_u8(self.tag());
-        out.put_u16_le(0); // reserved
-        out.put_u32_le(payload.len() as u32);
-        out.put_slice(&payload);
-        out.freeze()
+        out.reserve(HEADER_LEN + payload.len());
+        out.extend_from_slice(&MAGIC);
+        out.push(self.wire_version());
+        out.push(self.tag());
+        out.extend_from_slice(&0u16.to_le_bytes()); // reserved
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(payload);
+        HEADER_LEN + payload.len()
     }
 
     fn write_payload(&self, buf: &mut BytesMut) {
@@ -1373,6 +1390,7 @@ mod tests {
             conns_parked: 11,
             conns_active: 12,
             ready_depth: 13,
+            scratch_bytes: 14,
         };
         match roundtrip(&Frame::StatsReply(snap)) {
             Frame::StatsReply(back) => assert_eq!(back, snap),

@@ -483,6 +483,9 @@ fn cmd_stats(flags: &Flags) -> Result<(), String> {
         println!("connections  : {} parked / {} active", s.conns_parked, s.conns_active);
         println!("ready queue  : {} waiting", s.ready_depth);
     }
+    // Worker scratch is process state too, but the per-collection reply
+    // overlays the live value (PROTOCOL.md §3.10), so print it always.
+    println!("scratch bytes: {}", s.scratch_bytes);
     Ok(())
 }
 

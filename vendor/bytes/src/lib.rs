@@ -253,6 +253,21 @@ impl BytesMut {
         self.data.is_empty()
     }
 
+    /// Bytes the builder can hold without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
+    }
+
+    /// Reserves capacity for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.data.reserve(additional);
+    }
+
+    /// Empties the builder, keeping its allocation.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
     /// Appends a slice (alias of [`BufMut::put_slice`]).
     pub fn extend_from_slice(&mut self, src: &[u8]) {
         self.data.extend_from_slice(src);
